@@ -1,0 +1,103 @@
+(* Ablation benchmarks for Felix's design choices (DESIGN.md section 4):
+
+   - the smoothing-kernel width of Section 3.3,
+   - the penalty coefficient lambda of Equation 4,
+   - the nSeeds x nSteps budget split of Algorithm 1,
+   - the Adam learning rate over schedule variables.
+
+   Each trial tunes the paper's Dense workload (Figure 8's subgraph) on the
+   RTX A5000 for a fixed number of rounds and reports the best measured
+   latency plus how many valid candidates the search produced. *)
+
+module C = Bench_common
+
+let rounds () = match C.scale with C.Quick -> 3 | C.Standard -> 4
+
+let run_trial ~width ~(cfg : Tuning_config.t) () =
+  let device = Device.rtx_a5000 in
+  let model = Mlp.copy (C.cost_model device) in
+  let model_adam = Mlp.adam_for ~lr:2e-4 model in
+  let sg = Compute.lower ~name:"dense" (List.assoc "Dense" Workload.single_operators) in
+  let packs = List.map (fun s -> Pack.prepare ~width sg s) (Sketch.generate sg) in
+  let rng = Rng.create 77 in
+  let measured : (string, float) Hashtbl.t = Hashtbl.create 64 in
+  let best = ref infinity in
+  let candidates_total = ref 0 in
+  for _ = 1 to rounds () do
+    let cands, _ =
+      Gradient_tuner.search_round cfg rng model packs
+        ~already_measured:(Hashtbl.mem measured)
+    in
+    candidates_total := !candidates_total + List.length cands;
+    let pairs = ref [] in
+    List.iter
+      (fun (c : Gradient_tuner.candidate) ->
+        let lat =
+          Gpu_model.measure_ms rng device (Pack.program c.pack) (Pack.env_of c.pack c.y)
+        in
+        Hashtbl.replace measured c.key lat;
+        if Float.is_finite lat then begin
+          if lat < !best then best := lat;
+          pairs := (Pack.features_at c.pack c.y, -.log lat) :: !pairs
+        end)
+      cands;
+    if !pairs <> [] then
+      for _ = 1 to 4 do
+        ignore (Mlp.train_batch model model_adam (Array.of_list !pairs))
+      done
+  done;
+  (!best, !candidates_total)
+
+let run () =
+  let base = C.tuning_config () in
+  let t =
+    Table.create ~title:"Ablation: Felix design choices on the Dense subgraph (RTX A5000)"
+      ~header:[ "variant"; "setting"; "best latency"; "valid candidates" ]
+  in
+  let trial name setting ~width cfg =
+    let best, cands = run_trial ~width ~cfg () in
+    Table.add_row t [ name; setting; Table.fmt_ms best; string_of_int cands ]
+  in
+  List.iter
+    (fun w -> trial "smoothing width" (Printf.sprintf "w = %.2f" w) ~width:w base)
+    [ 0.25; 1.0; 4.0 ];
+  Table.add_separator t;
+  List.iter
+    (fun lambda ->
+      trial "penalty lambda" (Printf.sprintf "lambda = %g" lambda) ~width:1.0
+        { base with Tuning_config.lambda })
+    [ 0.1; 10.0; 1000.0 ];
+  Table.add_separator t;
+  List.iter
+    (fun (nseeds, nsteps) ->
+      trial "search budget"
+        (Printf.sprintf "%d seeds x %d steps" nseeds nsteps)
+        ~width:1.0
+        { base with Tuning_config.nseeds; nsteps })
+    [ (1, 200); (4, 200); (8, 200); (8, 50); (16, 100) ];
+  Table.add_separator t;
+  List.iter
+    (fun lr ->
+      trial "Adam learning rate" (Printf.sprintf "lr = %g" lr) ~width:1.0
+        { base with Tuning_config.gd_lr = lr })
+    [ 0.01; 0.08; 0.3 ];
+  Table.print t;
+  (* Search-engine control: same subgraph, same measurement accounting. *)
+  let t2 =
+    Table.create ~title:"Ablation: search engine on the Dense subgraph (RTX A5000)"
+      ~header:[ "engine"; "best latency"; "simulated tuning seconds" ]
+  in
+  let device = Device.rtx_a5000 in
+  let model = C.cost_model device in
+  let sg = Compute.lower ~name:"dense" (List.assoc "Dense" Workload.single_operators) in
+  List.iter
+    (fun engine ->
+      let r = Tuner.tune_single ~seed:5 ~rounds:(rounds ()) ~config:base device model sg engine in
+      let final_t =
+        match List.rev r.Tuner.s_curve with p :: _ -> p.Tuner.time_s | [] -> 0.0
+      in
+      Table.add_row t2
+        [ Tuner.engine_name engine; Table.fmt_ms r.Tuner.s_best_latency_ms;
+          Table.fmt_seconds final_t ])
+    [ Tuner.Felix; Tuner.Ansor; Tuner.Random ];
+  Table.print t2

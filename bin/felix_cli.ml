@@ -1,0 +1,164 @@
+(* felix-tune: command-line front end.
+
+   Subcommands:
+     tune     — tune one of the paper's networks on a device
+     inspect  — print a network's tuning tasks and search-space statistics
+     compare  — compare a tuned network against the vendor frameworks
+     devices  — list device models *)
+
+open Cmdliner
+
+let network_conv =
+  let parse s =
+    let all =
+      List.map (fun n -> (String.lowercase_ascii (Workload.network_name n), n))
+        Workload.all_networks
+    in
+    match List.assoc_opt (String.lowercase_ascii s) all with
+    | Some n -> Ok n
+    | None ->
+      Error (`Msg (Printf.sprintf "unknown network %S (known: %s)" s
+                     (String.concat ", " (List.map fst all))))
+  in
+  Arg.conv (parse, fun fmt n -> Format.pp_print_string fmt (Workload.network_name n))
+
+let device_conv =
+  let parse s =
+    match Felix.cuda s with
+    | d -> Ok d
+    | exception Invalid_argument m -> Error (`Msg m)
+  in
+  Arg.conv (parse, fun fmt (d : Device.t) -> Format.pp_print_string fmt d.device_name)
+
+let network_arg =
+  Arg.(required & pos 0 (some network_conv) None & info [] ~docv:"NETWORK")
+
+let device_arg =
+  Arg.(value & opt device_conv Device.rtx_a5000 & info [ "device"; "d" ] ~docv:"DEVICE"
+         ~doc:"Target GPU: a10g, rtx-a5000 or xavier-nx.")
+
+let rounds_arg =
+  Arg.(value & opt int 30 & info [ "rounds"; "r" ] ~doc:"Total tuning rounds.")
+
+let batch_arg = Arg.(value & opt int 1 & info [ "batch"; "b" ] ~doc:"Inference batch size.")
+
+let seed_arg = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Search seed.")
+
+let quick_arg =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Use the reduced-effort search configuration.")
+
+let engine_arg =
+  let engine_conv = Arg.enum [ ("felix", Tuner.Felix); ("ansor", Tuner.Ansor); ("random", Tuner.Random) ] in
+  Arg.(value & opt engine_conv Tuner.Felix
+       & info [ "engine" ] ~doc:"Search engine: felix, ansor or random.")
+
+let config_of_quick quick rounds =
+  let base = if quick then Tuning_config.quick else Tuning_config.default in
+  { base with Tuning_config.max_rounds = rounds }
+
+let out_arg =
+  Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"PREFIX"
+         ~doc:"Write PREFIX.csv (progress curve) and PREFIX.json (summary).")
+
+let tune_cmd =
+  let run net device rounds batch seed quick engine out =
+    let g = Workload.graph ~batch net in
+    Printf.printf "%s\n\n" (Graph.summary g);
+    let model = Felix.pretrained_cost_model device in
+    let result =
+      Tuner.tune ~config:(config_of_quick quick rounds) ~seed device model g engine
+    in
+    Printf.printf "final latency: %.3f ms (%d measurements, %.0f simulated seconds)\n"
+      result.Tuner.final_latency_ms result.Tuner.total_measurements
+      (match List.rev result.Tuner.curve with p :: _ -> p.Tuner.time_s | [] -> 0.0);
+    let t = Table.create ~title:"tasks" ~header:[ "subgraph"; "x"; "best ms"; "sketch" ] in
+    List.iter
+      (fun (tr : Tuner.task_result) ->
+        Table.add_row t
+          [ tr.task.Partition.subgraph.Compute.sg_name; string_of_int tr.task.Partition.weight;
+            Table.fmt_ms tr.best_latency_ms; tr.best_sketch ])
+      result.Tuner.tasks;
+    Table.print t;
+    match out with
+    | None -> ()
+    | Some prefix ->
+      Export.write_curve_csv result (prefix ^ ".csv");
+      Export.write_result_json result (prefix ^ ".json");
+      Printf.printf "wrote %s.csv and %s.json\n" prefix prefix
+  in
+  Cmd.v (Cmd.info "tune" ~doc:"Tune a network's schedules for a device.")
+    Term.(const run $ network_arg $ device_arg $ rounds_arg $ batch_arg $ seed_arg
+          $ quick_arg $ engine_arg $ out_arg)
+
+let inspect_cmd =
+  let run net batch =
+    let g = Workload.graph ~batch net in
+    Printf.printf "%s\n\n" (Graph.summary g);
+    let t =
+      Table.create ~title:"tuning tasks"
+        ~header:[ "task"; "x"; "MFLOPs"; "stages"; "sketches"; "variables"; "space size" ]
+    in
+    List.iter
+      (fun (task : Partition.task) ->
+        let scheds = Sketch.generate task.subgraph in
+        let vars = List.map Schedule.num_vars scheds in
+        let space =
+          List.fold_left (fun acc s -> acc +. Schedule.space_size s) 0.0 scheds
+        in
+        Table.add_row t
+          [ task.subgraph.Compute.sg_name; string_of_int task.weight;
+            Printf.sprintf "%.1f" (Partition.task_flops task /. 1e6);
+            string_of_int (List.length task.subgraph.Compute.stages);
+            string_of_int (List.length scheds);
+            String.concat "+" (List.map string_of_int vars);
+            Printf.sprintf "%.2e" space ])
+      (Partition.partition g);
+    Table.print t
+  in
+  Cmd.v (Cmd.info "inspect" ~doc:"Show a network's tuning tasks and search-space size.")
+    Term.(const run $ network_arg $ batch_arg)
+
+let compare_cmd =
+  let run net device rounds quick =
+    let g = Workload.graph net in
+    let model = Felix.pretrained_cost_model device in
+    let result =
+      Tuner.tune ~config:(config_of_quick quick rounds) ~seed:0 device model g Tuner.Felix
+    in
+    let t = Table.create ~title:"latency comparison" ~header:[ "framework"; "latency"; "vs Felix" ] in
+    let felix = result.Tuner.final_latency_ms in
+    List.iter
+      (fun fw ->
+        if Frameworks.supported device fw net then
+          match Frameworks.network_latency_ms device fw g with
+          | Some l ->
+            Table.add_row t [ Frameworks.name fw; Table.fmt_ms l; Table.fmt_speedup (l /. felix) ]
+          | None -> Table.add_row t [ Frameworks.name fw; "-"; "-" ]
+        else Table.add_row t [ Frameworks.name fw; "(unsupported)"; "-" ])
+      Frameworks.all;
+    Table.add_row t [ "Felix"; Table.fmt_ms felix; "1.00x" ];
+    Table.print t
+  in
+  Cmd.v (Cmd.info "compare" ~doc:"Compare Felix against vendor frameworks.")
+    Term.(const run $ network_arg $ device_arg $ rounds_arg $ quick_arg)
+
+let devices_cmd =
+  let run () =
+    let t =
+      Table.create ~title:"device models"
+        ~header:[ "name"; "SMs"; "fp32 GFLOPS"; "DRAM GB/s"; "L2 KB"; "launch us" ]
+    in
+    List.iter
+      (fun (d : Device.t) ->
+        Table.add_row t
+          [ d.device_name; string_of_int d.sms; Printf.sprintf "%.0f" d.fp32_gflops;
+            Printf.sprintf "%.0f" d.dram_gbps; string_of_int d.l2_kb;
+            Printf.sprintf "%.0f" d.launch_overhead_us ])
+      Device.all;
+    Table.print t
+  in
+  Cmd.v (Cmd.info "devices" ~doc:"List device models.") Term.(const run $ const ())
+
+let () =
+  let info = Cmd.info "felix-tune" ~doc:"Gradient-based tensor program optimisation (Felix)." in
+  exit (Cmd.eval (Cmd.group info [ tune_cmd; inspect_cmd; compare_cmd; devices_cmd ]))

@@ -1,0 +1,41 @@
+(* Edge vs. server: tune MobileNet-v2 for all three paper devices and
+   compare Felix against the vendor frameworks on each — a miniature of the
+   paper's Figure 6 narrative (Felix shines on small layers and on
+   edge-class hardware).
+
+   Run with:  dune exec examples/edge_vs_server.exe *)
+
+let () =
+  let net = Workload.Mobilenet_v2 in
+  let dnn = Workload.graph net in
+  let table =
+    Table.create ~title:"MobileNet-v2 inference latency (ms)"
+      ~header:[ "device"; "PyTorch"; "TensorFlow"; "TensorRT"; "Felix"; "Felix speedup" ]
+  in
+  List.iter
+    (fun device ->
+      let lib fw =
+        if Frameworks.supported device fw net then
+          Frameworks.network_latency_ms device fw dnn
+        else None
+      in
+      let fmt = function Some l -> Table.fmt_ms l | None -> "-" in
+      let pytorch = lib Frameworks.Pytorch in
+      let tensorflow = lib Frameworks.Tensorflow in
+      let tensorrt = lib Frameworks.Tensorrt in
+      let cost_model = Felix.pretrained_cost_model device in
+      let graphs = Felix.extract_subgraphs dnn in
+      let opt =
+        Felix.Optimizer.create ~config:Tuning_config.quick ~seed:11 graphs cost_model device
+      in
+      let result = Felix.Optimizer.optimize_all opt ~n_total_rounds:20 () in
+      let felix = result.Tuner.final_latency_ms in
+      let best_lib =
+        List.filter_map Fun.id [ pytorch; tensorflow; tensorrt ]
+        |> List.fold_left min infinity
+      in
+      Table.add_row table
+        [ device.Device.device_name; fmt pytorch; fmt tensorflow; fmt tensorrt;
+          Table.fmt_ms felix; Table.fmt_speedup (best_lib /. felix) ])
+    Device.all;
+  Table.print table

@@ -1,0 +1,37 @@
+(* Quickstart: the paper's Figure 5 workflow, end to end.
+
+   Optimises the DCGAN generator for an RTX A5000 with a short search, then
+   "compiles" the best schedules and reports the resulting latency.
+
+   Run with:  dune exec examples/quickstart.exe
+   (The first run trains and caches the per-device cost model in
+   _artifacts/; subsequent runs start instantly.) *)
+
+let () =
+  (* Define the hardware target to optimize for. *)
+  let device = Felix.cuda "rtx-a5000" in
+  (* Define the DNN to optimize. *)
+  let dnn = Workload.graph Workload.Dcgan in
+  Printf.printf "%s\n\n" (Graph.summary dnn);
+  (* Extract subgraphs to tune from the DNN. *)
+  let graphs = Felix.extract_subgraphs dnn in
+  Printf.printf "tuning tasks:\n%s\n\n" (Felix.describe_subgraphs graphs);
+  (* Get the pretrained cost model for the target device. *)
+  let cost_model = Felix.pretrained_cost_model device in
+  (* The Optimizer sets up the search space and objective per subgraph. *)
+  let opt =
+    Felix.Optimizer.create ~config:Tuning_config.quick ~seed:42 graphs cost_model device
+  in
+  (* Run the search. *)
+  let result = Felix.Optimizer.optimize_all opt ~n_total_rounds:15 ~save_res:"dcgan.bin" () in
+  Printf.printf "tuned latency: %.3f ms after %.0f simulated seconds (%d measurements)\n"
+    result.Tuner.final_latency_ms
+    (match List.rev result.Tuner.curve with p :: _ -> p.Tuner.time_s | [] -> 0.0)
+    result.Tuner.total_measurements;
+  (* Apply the best schedules and build a compiled module. *)
+  let compiled = Felix.Optimizer.compile_with_best_configs opt in
+  Printf.printf "compiled latency: %.3f ms; one simulated run: %.3f ms\n"
+    (Felix.Compiled.latency_ms compiled) (Felix.Compiled.run compiled);
+  (* The module can be saved to a file and loaded later. *)
+  Felix.Compiled.save compiled "dcgan_a5000.bin";
+  Printf.printf "saved compiled module to dcgan_a5000.bin\n"

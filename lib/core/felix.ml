@@ -1,0 +1,115 @@
+type device = Device.t
+
+let cuda name =
+  let norm = String.lowercase_ascii name in
+  match norm with
+  | "a10g" -> Device.a10g
+  | "a5000" | "rtx-a5000" | "rtx_a5000" -> Device.rtx_a5000
+  | "xavier-nx" | "xavier_nx" | "xaviernx" -> Device.xavier_nx
+  | _ -> invalid_arg (Printf.sprintf "Felix.cuda: unknown device %S" name)
+
+type subgraphs = { graph : Graph.t; tasks : Partition.task list }
+
+let extract_subgraphs g = { graph = g; tasks = Partition.partition g }
+
+let num_tasks s = List.length s.tasks
+
+let describe_subgraphs s =
+  String.concat "\n" (List.map Partition.describe s.tasks)
+
+let pretrained_cost_model ?(cache_dir = "_artifacts") device =
+  Train.pretrained_for_device ~cache_dir device
+
+module Compiled = struct
+  type t = {
+    c_network : string;
+    c_device : string;
+    c_latency_ms : float;
+    c_schedules : (string * string * (string * int) list) list;
+    c_seed : int;
+  }
+
+  let latency_ms t = t.c_latency_ms
+
+  let run t =
+    (* One simulated inference with run-to-run noise. *)
+    let rng = Rng.create (Hashtbl.hash (t.c_network, t.c_seed)) in
+    t.c_latency_ms *. (1.0 +. (0.01 *. Rng.gaussian rng))
+
+  let network t = t.c_network
+  let device_name t = t.c_device
+  let best_schedules t = t.c_schedules
+
+  let save t path =
+    let oc = open_out_bin path in
+    Marshal.to_channel oc t [];
+    close_out oc
+
+  let load path =
+    if Sys.file_exists path then begin
+      let ic = open_in_bin path in
+      let t : t = Marshal.from_channel ic in
+      close_in ic;
+      Some t
+    end
+    else None
+end
+
+module Optimizer = struct
+  type t = {
+    subgraphs : subgraphs;
+    model : Mlp.t;
+    device : Device.t;
+    config : Tuning_config.t;
+    seed : int;
+    mutable last_result : Tuner.result option;
+  }
+
+  let create ?(config = Tuning_config.default) ?(seed = 0) subgraphs model device =
+    { subgraphs; model; device; config; seed; last_result = None }
+
+  let optimize_all t ~n_total_rounds ?measure_per_round ?save_res () =
+    let config =
+      { t.config with
+        Tuning_config.max_rounds = n_total_rounds;
+        nmeasure_felix =
+          Option.value ~default:t.config.Tuning_config.nmeasure_felix measure_per_round }
+    in
+    let result =
+      Tuner.tune ~config ~seed:t.seed t.device t.model t.subgraphs.graph Tuner.Felix
+    in
+    t.last_result <- Some result;
+    (match save_res with
+    | Some path ->
+      let oc = open_out_bin path in
+      Marshal.to_channel oc result [];
+      close_out oc
+    | None -> ());
+    result
+
+  let result_to_compiled t (r : Tuner.result) =
+    { Compiled.c_network = r.Tuner.network;
+      c_device = r.Tuner.device_name;
+      c_latency_ms = r.Tuner.final_latency_ms;
+      c_schedules =
+        List.map
+          (fun (tr : Tuner.task_result) ->
+            (tr.task.Partition.subgraph.Compute.sg_name, tr.best_sketch, tr.best_assignment))
+          r.Tuner.tasks;
+      c_seed = t.seed }
+
+  let compile_with_best_configs ?configs_file t =
+    let result =
+      match configs_file with
+      | Some path when Sys.file_exists path ->
+        let ic = open_in_bin path in
+        let r : Tuner.result = Marshal.from_channel ic in
+        close_in ic;
+        Some r
+      | Some _ | None -> t.last_result
+    in
+    match result with
+    | Some r -> result_to_compiled t r
+    | None ->
+      failwith "Felix.Optimizer.compile_with_best_configs: run optimize_all first"
+end

@@ -1,0 +1,76 @@
+(** Felix: gradient-based tensor program optimisation — public API.
+
+    This is the OCaml counterpart of the paper's Python interface
+    (Figure 5). A typical session:
+
+    {[
+      let device = Felix.cuda "xavier-nx" in
+      let dnn = Workload.graph Workload.Resnet50 in
+      let graphs = Felix.extract_subgraphs dnn in
+      let cost_model = Felix.pretrained_cost_model device in
+      let opt = Felix.Optimizer.create graphs cost_model device in
+      let res = Felix.Optimizer.optimize_all opt ~n_total_rounds:100 () in
+      let compiled = Felix.Optimizer.compile_with_best_configs opt in
+      Printf.printf "latency: %.3f ms\n" (Felix.Compiled.latency_ms compiled)
+    ]}
+
+    Everything below is a thin, stable façade over the full libraries
+    ([felix.tensor_ir], [felix.optim], ...), which remain available for
+    advanced use. *)
+
+type device = Device.t
+
+val cuda : string -> device
+(** Accepts the paper's spellings: ["a10g"], ["rtx-a5000"]/["a5000"],
+    ["xavier-nx"]. Raises [Invalid_argument] on unknown names. *)
+
+type subgraphs
+(** The partitioned tuning tasks of a network (Section 3.1). *)
+
+val extract_subgraphs : Graph.t -> subgraphs
+
+val num_tasks : subgraphs -> int
+
+val describe_subgraphs : subgraphs -> string
+
+val pretrained_cost_model : ?cache_dir:string -> device -> Mlp.t
+(** Loads (or trains and caches) the per-device cost model. *)
+
+(** Compiled, schedule-applied network. *)
+module Compiled : sig
+  type t
+
+  val latency_ms : t -> float
+  (** End-to-end inference latency on the target device. *)
+
+  val run : t -> float
+  (** Simulate one inference; returns the measured latency (with run-to-run
+      noise). *)
+
+  val network : t -> string
+  val device_name : t -> string
+
+  val best_schedules : t -> (string * string * (string * int) list) list
+  (** [(subgraph, sketch, variable assignment)] per task. *)
+
+  val save : t -> string -> unit
+  val load : string -> t option
+end
+
+(** The schedule search driver (Algorithm 2). *)
+module Optimizer : sig
+  type t
+
+  val create :
+    ?config:Tuning_config.t -> ?seed:int -> subgraphs -> Mlp.t -> device -> t
+
+  val optimize_all :
+    t -> n_total_rounds:int -> ?measure_per_round:int -> ?save_res:string -> unit -> Tuner.result
+  (** Run the tuning rounds; optionally persist the result to [save_res].
+      Returns the full tuning log (curve, per-task bests). *)
+
+  val compile_with_best_configs : ?configs_file:string -> t -> Compiled.t
+  (** Build a {!Compiled.t} from the optimizer's (or a saved run's) best
+      schedules. Raises [Failure] if called before [optimize_all] and no
+      [configs_file] is given. *)
+end

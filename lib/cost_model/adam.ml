@@ -1,0 +1,36 @@
+type t = {
+  mutable lr : float;
+  beta1 : float;
+  beta2 : float;
+  eps : float;
+  m : float array;
+  v : float array;
+  mutable steps : int;
+}
+
+let create ?(lr = 1e-3) ?(beta1 = 0.9) ?(beta2 = 0.999) ?(eps = 1e-8) n =
+  if n < 0 then invalid_arg "Adam.create: negative size";
+  { lr; beta1; beta2; eps; m = Array.make n 0.0; v = Array.make n 0.0; steps = 0 }
+
+let lr t = t.lr
+let set_lr t lr = t.lr <- lr
+
+let step t ~params ~grads =
+  let n = Array.length t.m in
+  if Array.length params <> n || Array.length grads <> n then
+    invalid_arg "Adam.step: arity mismatch";
+  t.steps <- t.steps + 1;
+  let bc1 = 1.0 -. (t.beta1 ** float_of_int t.steps) in
+  let bc2 = 1.0 -. (t.beta2 ** float_of_int t.steps) in
+  for i = 0 to n - 1 do
+    let g = grads.(i) in
+    t.m.(i) <- (t.beta1 *. t.m.(i)) +. ((1.0 -. t.beta1) *. g);
+    t.v.(i) <- (t.beta2 *. t.v.(i)) +. ((1.0 -. t.beta2) *. g *. g);
+    let mh = t.m.(i) /. bc1 and vh = t.v.(i) /. bc2 in
+    params.(i) <- params.(i) -. (t.lr *. mh /. (sqrt vh +. t.eps))
+  done
+
+let reset t =
+  Array.fill t.m 0 (Array.length t.m) 0.0;
+  Array.fill t.v 0 (Array.length t.v) 0.0;
+  t.steps <- 0

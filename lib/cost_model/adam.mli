@@ -1,0 +1,20 @@
+(** Adam optimiser [Kingma & Ba 2014] over a flat parameter vector.
+
+    Used both to train the MLP cost model (Section 5, "cost model
+    training") and as the gradient-descent engine of Algorithm 1 (line 14,
+    [optimizer = Adam()]). *)
+
+type t
+
+val create : ?lr:float -> ?beta1:float -> ?beta2:float -> ?eps:float -> int -> t
+(** [create n] for [n] parameters. Defaults: lr 1e-3, beta1 0.9,
+    beta2 0.999, eps 1e-8. *)
+
+val lr : t -> float
+val set_lr : t -> float -> unit
+
+val step : t -> params:float array -> grads:float array -> unit
+(** One in-place update. Raises [Invalid_argument] on arity mismatch. *)
+
+val reset : t -> unit
+(** Clear moments and the step counter. *)

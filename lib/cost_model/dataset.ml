@@ -1,0 +1,71 @@
+type sample = { features : float array; target : float; task_key : string }
+type t = { train : sample array; valid : sample array }
+
+let collect_tasks ?(max_tasks = 500) () =
+  let seen = Hashtbl.create 128 in
+  let out = ref [] in
+  let add_graph g =
+    List.iter
+      (fun (task : Partition.task) ->
+        let key = Compute.workload_key task.subgraph in
+        if not (Hashtbl.mem seen key) then begin
+          Hashtbl.replace seen key ();
+          out := task.subgraph :: !out
+        end)
+      (Partition.partition g)
+  in
+  List.iter
+    (fun net ->
+      add_graph (Workload.graph ~batch:1 net);
+      add_graph (Workload.graph ~batch:16 net))
+    Workload.all_networks;
+  let tasks = List.rev !out in
+  List.filteri (fun i _ -> i < max_tasks) tasks
+
+let sample_valid_point rng pack attempts =
+  let bounds = Pack.bounds_log pack in
+  let rec go n =
+    if n = 0 then None
+    else begin
+      let y = Array.map (fun (lo, hi) -> Rng.range rng lo hi) bounds in
+      match Pack.round_to_valid pack y with Some r -> Some r | None -> go (n - 1)
+    end
+  in
+  go attempts
+
+let generate rng device ?(schedules_per_task = 256) tasks =
+  let out = ref [] in
+  List.iter
+    (fun sg ->
+      let key = Compute.workload_key sg in
+      let packs = List.map (fun s -> Pack.prepare sg s) (Sketch.generate sg) in
+      let per_sketch = max 1 (schedules_per_task / List.length packs) in
+      List.iter
+        (fun pack ->
+          let prog = Pack.program pack in
+          let seen = Hashtbl.create per_sketch in
+          for _ = 1 to per_sketch do
+            match sample_valid_point rng pack 50 with
+            | None -> ()
+            | Some y ->
+              let skey = Pack.schedule_key pack y in
+              if not (Hashtbl.mem seen skey) then begin
+                Hashtbl.replace seen skey ();
+                let env = Pack.env_of pack y in
+                let lat = Gpu_model.measure_ms ~noise:0.01 rng device prog env in
+                if Float.is_finite lat && lat > 0.0 then begin
+                  let features = Pack.features_at pack y in
+                  out := { features; target = -.log lat; task_key = key } :: !out
+                end
+              end
+          done)
+        packs)
+    tasks;
+  Array.of_list !out
+
+let split rng ?(train_frac = 0.9) samples =
+  let samples = Array.copy samples in
+  Rng.shuffle rng samples;
+  let n_train = int_of_float (train_frac *. float_of_int (Array.length samples)) in
+  { train = Array.sub samples 0 n_train;
+    valid = Array.sub samples n_train (Array.length samples - n_train) }

@@ -1,0 +1,167 @@
+type t = {
+  sizes : int array;  (* layer widths, length L+1, sizes.(0) = inputs *)
+  params : float array;  (* per layer: weights row-major (out x in), then biases *)
+  mean : float array;
+  std : float array;
+}
+
+let n_inputs t = t.sizes.(0)
+let num_params t = Array.length t.params
+
+let layer_offsets sizes =
+  let n = Array.length sizes - 1 in
+  let offs = Array.make n 0 in
+  let total = ref 0 in
+  for l = 0 to n - 1 do
+    offs.(l) <- !total;
+    total := !total + (sizes.(l) * sizes.(l + 1)) + sizes.(l + 1)
+  done;
+  (offs, !total)
+
+let create rng ?(hidden = [ 256; 256; 256 ]) ~n_inputs () =
+  let sizes = Array.of_list ((n_inputs :: hidden) @ [ 1 ]) in
+  let _, total = layer_offsets sizes in
+  let params = Array.make total 0.0 in
+  let offs, _ = layer_offsets sizes in
+  Array.iteri
+    (fun l off ->
+      let n_in = sizes.(l) and n_out = sizes.(l + 1) in
+      let scale = sqrt (2.0 /. float_of_int n_in) in
+      for i = 0 to (n_in * n_out) - 1 do
+        params.(off + i) <- Rng.gaussian rng *. scale
+      done)
+    offs;
+  { sizes; params; mean = Array.make n_inputs 0.0; std = Array.make n_inputs 1.0 }
+
+let set_normalizer t ~mean ~std =
+  if Array.length mean <> n_inputs t || Array.length std <> n_inputs t then
+    invalid_arg "Mlp.set_normalizer: arity mismatch";
+  Array.blit mean 0 t.mean 0 (Array.length mean);
+  Array.iteri (fun i s -> t.std.(i) <- max 1e-6 s) std
+
+let normalize t x =
+  Array.init (Array.length x) (fun i -> (x.(i) -. t.mean.(i)) /. t.std.(i))
+
+(* Forward pass keeping the activations of every layer (for backward). *)
+let forward_acts t x =
+  let offs, _ = layer_offsets t.sizes in
+  let n_layers = Array.length offs in
+  let acts = Array.make (n_layers + 1) [||] in
+  acts.(0) <- normalize t x;
+  for l = 0 to n_layers - 1 do
+    let n_in = t.sizes.(l) and n_out = t.sizes.(l + 1) in
+    let off = offs.(l) in
+    let out = Array.make n_out 0.0 in
+    let prev = acts.(l) in
+    for o = 0 to n_out - 1 do
+      let row = off + (o * n_in) in
+      let s = ref t.params.(off + (n_in * n_out) + o) in
+      for i = 0 to n_in - 1 do
+        s := !s +. (t.params.(row + i) *. prev.(i))
+      done;
+      out.(o) <- (if l < n_layers - 1 then max 0.0 !s else !s)
+    done;
+    acts.(l + 1) <- out
+  done;
+  acts
+
+let forward t x =
+  let acts = forward_acts t x in
+  (acts.(Array.length acts - 1)).(0)
+
+let input_gradient t x =
+  let offs, _ = layer_offsets t.sizes in
+  let n_layers = Array.length offs in
+  let acts = forward_acts t x in
+  let score = (acts.(n_layers)).(0) in
+  (* Backward: delta over layer outputs. *)
+  let delta = ref [| 1.0 |] in
+  for l = n_layers - 1 downto 0 do
+    let n_in = t.sizes.(l) and n_out = t.sizes.(l + 1) in
+    let off = offs.(l) in
+    let d_in = Array.make n_in 0.0 in
+    let cur = !delta in
+    for o = 0 to n_out - 1 do
+      (* ReLU mask on hidden outputs. *)
+      let d =
+        if l < n_layers - 1 && (acts.(l + 1)).(o) <= 0.0 then 0.0 else cur.(o)
+      in
+      if d <> 0.0 then begin
+        let row = off + (o * n_in) in
+        for i = 0 to n_in - 1 do
+          d_in.(i) <- d_in.(i) +. (d *. t.params.(row + i))
+        done
+      end
+    done;
+    delta := d_in
+  done;
+  (* Undo the input normalisation scaling. *)
+  let g = Array.mapi (fun i d -> d /. t.std.(i)) !delta in
+  (score, g)
+
+let param_gradient t batch grads =
+  (* Accumulate dMSE/dparams into [grads]; returns the batch loss. *)
+  let offs, _ = layer_offsets t.sizes in
+  let n_layers = Array.length offs in
+  Array.fill grads 0 (Array.length grads) 0.0;
+  let loss = ref 0.0 in
+  let bsz = float_of_int (Array.length batch) in
+  Array.iter
+    (fun (x, target) ->
+      let acts = forward_acts t x in
+      let pred = (acts.(n_layers)).(0) in
+      let err = pred -. target in
+      loss := !loss +. (err *. err);
+      let delta = ref [| 2.0 *. err /. bsz |] in
+      for l = n_layers - 1 downto 0 do
+        let n_in = t.sizes.(l) and n_out = t.sizes.(l + 1) in
+        let off = offs.(l) in
+        let d_in = Array.make n_in 0.0 in
+        let cur = !delta in
+        let prev = acts.(l) in
+        for o = 0 to n_out - 1 do
+          let d =
+            if l < n_layers - 1 && (acts.(l + 1)).(o) <= 0.0 then 0.0 else cur.(o)
+          in
+          if d <> 0.0 then begin
+            let row = off + (o * n_in) in
+            for i = 0 to n_in - 1 do
+              grads.(row + i) <- grads.(row + i) +. (d *. prev.(i));
+              d_in.(i) <- d_in.(i) +. (d *. t.params.(row + i))
+            done;
+            grads.(off + (n_in * n_out) + o) <- grads.(off + (n_in * n_out) + o) +. d
+          end
+        done;
+        delta := d_in
+      done)
+    batch;
+  !loss /. bsz
+
+let train_batch t adam batch =
+  if Array.length batch = 0 then 0.0
+  else begin
+    let grads = Array.make (num_params t) 0.0 in
+    let loss = param_gradient t batch grads in
+    Adam.step adam ~params:t.params ~grads;
+    loss
+  end
+
+let adam_for ?(lr = 1e-3) t = Adam.create ~lr (num_params t)
+
+let copy t =
+  { sizes = Array.copy t.sizes; params = Array.copy t.params; mean = Array.copy t.mean;
+    std = Array.copy t.std }
+
+let save t path =
+  let oc = open_out_bin path in
+  Marshal.to_channel oc t [];
+  close_out oc
+
+let load path =
+  if Sys.file_exists path then begin
+    let ic = open_in_bin path in
+    let t : t = Marshal.from_channel ic in
+    close_in ic;
+    Some t
+  end
+  else None

@@ -1,0 +1,48 @@
+(** Feed-forward cost model C (paper Sections 3.4 and 4).
+
+    The TenSet MLP architecture: four linear layers with ReLU in between,
+    taking the 82 transformed program features and predicting a scalar
+    performance score (we use [-log latency_ms], so higher is faster).
+    Parameters live in one flat array so {!Adam} can train them and so the
+    model can be serialised for reuse across benchmark runs.
+
+    Two gradient paths are exposed:
+    - {!input_gradient}: dC/dinput — composed with the feature tape's VJP
+      this differentiates the whole objective of Equation 4;
+    - {!train_batch}: dLoss/dparams — used for pretraining and for the
+      online update of Algorithm 1 (line 24). *)
+
+type t
+
+val create : Rng.t -> ?hidden:int list -> n_inputs:int -> unit -> t
+(** He-initialised network; default hidden sizes [[256; 256; 256]]
+    (about 150K parameters on 82 inputs, the scale of TenSet's model). *)
+
+val n_inputs : t -> int
+val num_params : t -> int
+
+val set_normalizer : t -> mean:float array -> std:float array -> unit
+(** Input standardisation applied inside {!forward}; estimated from the
+    training set. *)
+
+val forward : t -> float array -> float
+(** Predicted score (higher = better). *)
+
+val input_gradient : t -> float array -> float * float array
+(** [(score, dscore/dinput)] in one forward + backward pass. *)
+
+val train_batch :
+  t -> Adam.t -> (float array * float) array -> float
+(** One Adam step on the mean-squared-error of the batch
+    [(features, target_score)]; returns the batch loss (before the
+    step). *)
+
+val adam_for : ?lr:float -> t -> Adam.t
+(** Fresh optimiser state sized for this model's parameters. *)
+
+val copy : t -> t
+(** Deep copy (the tuners fine-tune a private copy per run). *)
+
+val save : t -> string -> unit
+val load : string -> t option
+(** Marshal-based persistence for caching pretrained models. *)

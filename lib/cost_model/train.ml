@@ -1,0 +1,104 @@
+type metrics = {
+  mse : float;
+  spearman : float;
+  per_task_spearman : float;
+  n_samples : int;
+}
+
+let normalizer_of samples =
+  if Array.length samples = 0 then invalid_arg "Train.normalizer_of: empty dataset";
+  let k = Array.length samples.(0).Dataset.features in
+  let mean = Array.make k 0.0 and std = Array.make k 0.0 in
+  let n = float_of_int (Array.length samples) in
+  Array.iter
+    (fun (s : Dataset.sample) -> Array.iteri (fun i v -> mean.(i) <- mean.(i) +. v) s.features)
+    samples;
+  Array.iteri (fun i v -> mean.(i) <- v /. n) mean;
+  Array.iter
+    (fun (s : Dataset.sample) ->
+      Array.iteri (fun i v -> std.(i) <- std.(i) +. ((v -. mean.(i)) ** 2.0)) s.features)
+    samples;
+  Array.iteri (fun i v -> std.(i) <- sqrt (v /. n)) std;
+  (mean, std)
+
+let evaluate model samples =
+  let n = Array.length samples in
+  if n = 0 then { mse = 0.0; spearman = 0.0; per_task_spearman = 0.0; n_samples = 0 }
+  else begin
+    let preds = Array.map (fun (s : Dataset.sample) -> Mlp.forward model s.features) samples in
+    let targets = Array.map (fun (s : Dataset.sample) -> s.Dataset.target) samples in
+    let mse =
+      Array.fold_left ( +. ) 0.0
+        (Array.mapi (fun i p -> (p -. targets.(i)) ** 2.0) preds)
+      /. float_of_int n
+    in
+    let spearman = Stats.spearman preds targets in
+    (* Per-task ranking quality: group by task key. *)
+    let groups = Hashtbl.create 32 in
+    Array.iteri
+      (fun i (s : Dataset.sample) ->
+        let l = Option.value ~default:[] (Hashtbl.find_opt groups s.task_key) in
+        Hashtbl.replace groups s.task_key ((preds.(i), targets.(i)) :: l))
+      samples;
+    let rs =
+      Hashtbl.fold
+        (fun _ pairs acc ->
+          if List.length pairs >= 8 then begin
+            let p = Array.of_list (List.map fst pairs) in
+            let t = Array.of_list (List.map snd pairs) in
+            Stats.spearman p t :: acc
+          end
+          else acc)
+        groups []
+    in
+    { mse; spearman; per_task_spearman = Stats.mean rs; n_samples = n }
+  end
+
+let pretrain rng ?(hidden = [ 192; 192; 192 ]) ?(epochs = 8) ?(batch_size = 256) ?(lr = 1e-3)
+    (ds : Dataset.t) =
+  if Array.length ds.train = 0 then invalid_arg "Train.pretrain: empty training set";
+  let k = Array.length ds.train.(0).Dataset.features in
+  let model = Mlp.create rng ~hidden ~n_inputs:k () in
+  let mean, std = normalizer_of ds.train in
+  Mlp.set_normalizer model ~mean ~std;
+  let adam = Mlp.adam_for ~lr model in
+  let n = Array.length ds.train in
+  let order = Array.init n (fun i -> i) in
+  for _epoch = 1 to epochs do
+    Rng.shuffle rng order;
+    let i = ref 0 in
+    while !i < n do
+      let bsz = min batch_size (n - !i) in
+      let batch =
+        Array.init bsz (fun j ->
+            let s = ds.train.(order.(!i + j)) in
+            (s.Dataset.features, s.Dataset.target))
+      in
+      ignore (Mlp.train_batch model adam batch);
+      i := !i + bsz
+    done
+  done;
+  (model, evaluate model ds.valid)
+
+let pretrained_for_device ?(cache_dir = "_artifacts") ?(seed = 1234) (device : Device.t) =
+  let safe_name =
+    String.map (fun c -> if c = ' ' || c = '/' then '_' else c) device.device_name
+  in
+  let path = Filename.concat cache_dir (Printf.sprintf "costmodel_%s.bin" safe_name) in
+  match Mlp.load path with
+  | Some m -> m
+  | None ->
+    let rng = Rng.create seed in
+    let tasks = Dataset.collect_tasks () in
+    let samples = Dataset.generate rng device tasks in
+    let ds = Dataset.split rng samples in
+    let model, metrics = pretrain rng ds in
+    Logs.info (fun m ->
+        m "cost model for %s: mse %.4f spearman %.3f (per-task %.3f) on %d samples"
+          device.device_name metrics.mse metrics.spearman metrics.per_task_spearman
+          metrics.n_samples);
+    (try
+       if not (Sys.file_exists cache_dir) then Sys.mkdir cache_dir 0o755;
+       Mlp.save model path
+     with Sys_error _ -> ());
+    model

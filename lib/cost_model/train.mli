@@ -1,0 +1,35 @@
+(** Cost-model pretraining and evaluation (paper Section 5).
+
+    One model is trained per target device, once, and reused for every
+    network — the key property that separates Felix from MindMappings
+    (Section 7). *)
+
+type metrics = {
+  mse : float;
+  spearman : float;  (** rank correlation over the whole validation set *)
+  per_task_spearman : float;  (** mean of per-task rank correlations *)
+  n_samples : int;
+}
+
+val normalizer_of : Dataset.sample array -> float array * float array
+(** Per-feature mean and standard deviation. *)
+
+val pretrain :
+  Rng.t ->
+  ?hidden:int list ->
+  ?epochs:int ->
+  ?batch_size:int ->
+  ?lr:float ->
+  Dataset.t ->
+  Mlp.t * metrics
+(** Train from scratch; returns the model and validation metrics.
+    Defaults: hidden [192;192;192], 8 epochs, batch 256, lr 1e-3. *)
+
+val evaluate : Mlp.t -> Dataset.sample array -> metrics
+
+val pretrained_for_device :
+  ?cache_dir:string -> ?seed:int -> Device.t -> Mlp.t
+(** End-to-end: collect tasks, generate the dataset on the device's
+    simulator, train, and cache the result under
+    [cache_dir/costmodel_<device>.bin] (default ["_artifacts"]). Subsequent
+    calls load the cache. *)

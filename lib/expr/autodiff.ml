@@ -1,0 +1,216 @@
+open Expr
+
+(* [open Expr] shadows the integer operators with expression builders;
+   restore the integer ones for loop/index arithmetic below. *)
+let ( - ) = Stdlib.( - )
+
+(* --- symbolic differentiation -------------------------------------------- *)
+
+let rec diff (e : Expr.t) (x : string) : Expr.t =
+  match e with
+  | Const _ -> zero
+  | Var v -> if String.equal v x then one else zero
+  | Binop (Add, a, b) -> add (diff a x) (diff b x)
+  | Binop (Sub, a, b) -> sub (diff a x) (diff b x)
+  | Binop (Mul, a, b) -> add (mul (diff a x) b) (mul a (diff b x))
+  | Binop (Div, a, b) -> div (sub (mul (diff a x) b) (mul a (diff b x))) (mul b b)
+  | Binop (Pow, a, b) ->
+    (* d(a^b) = a^b * (b' ln a + b a'/a); specialise constant exponents to
+       avoid introducing log of possibly-negative bases. *)
+    let da = diff a x and db = diff b x in
+    if equal db zero then mul (mul b (pow a (sub b one))) da
+    else mul (pow a b) (add (mul db (log_ a)) (div (mul b da) a))
+  | Binop (Min, a, b) -> select (le a b) (diff a x) (diff b x)
+  | Binop (Max, a, b) -> select (ge a b) (diff a x) (diff b x)
+  | Unop (Neg, a) -> neg (diff a x)
+  | Unop (Log, a) -> div (diff a x) a
+  | Unop (Exp, a) -> mul (exp_ a) (diff a x)
+  | Unop (Sqrt, a) -> div (diff a x) (mul (const 2.0) (sqrt_ a))
+  | Unop (Abs, a) -> mul (select (ge a zero) one (const (-1.0))) (diff a x)
+  | Select (c, a, b) -> select c (diff a x) (diff b x)
+
+let gradient e = List.map (fun v -> (v, Simplify.simplify (diff e v))) (vars e)
+
+(* --- compiled tapes ------------------------------------------------------- *)
+
+module Tape = struct
+  type instr =
+    | Iconst of float
+    | Iinput of int
+    | Ibin of binop * int * int
+    | Iun of unop * int
+    | Isel of cmpop * int * int * int * int  (* lhs, rhs, then, else *)
+
+  type t = {
+    instrs : instr array;
+    outputs : int array;  (* slot of each output *)
+    n_inputs : int;
+  }
+
+  let num_inputs t = t.n_inputs
+  let num_outputs t = Array.length t.outputs
+  let length t = Array.length t.instrs
+
+  (* Flatten boolean connectives so only Cmp conditions reach the tape. *)
+  let rec flatten_selects (e : Expr.t) : Expr.t =
+    let e = map_children flatten_selects e in
+    match e with
+    | Select (And (c1, c2), a, b) ->
+      flatten_selects (select c1 (select c2 a b) b)
+    | Select (Or (c1, c2), a, b) ->
+      flatten_selects (select c1 a (select c2 a b))
+    | Select (Not c, a, b) -> flatten_selects (select c b a)
+    | Select (Bconst true, a, _) -> a
+    | Select (Bconst false, _, b) -> b
+    | _ -> e
+
+  let compile ~inputs exprs =
+    let exprs = List.map flatten_selects exprs in
+    let input_index = Hashtbl.create 16 in
+    List.iteri (fun i v -> Hashtbl.replace input_index v i) inputs;
+    let instrs = ref [] in
+    let n = ref 0 in
+    (* CSE: identical instructions (same op, same child slots) share a slot. *)
+    let cse : (instr, int) Hashtbl.t = Hashtbl.create 256 in
+    let emit instr =
+      match Hashtbl.find_opt cse instr with
+      | Some slot -> slot
+      | None ->
+        let slot = !n in
+        incr n;
+        instrs := instr :: !instrs;
+        Hashtbl.replace cse instr slot;
+        slot
+    in
+    let rec go (e : Expr.t) : int =
+      match e with
+      | Const c -> emit (Iconst c)
+      | Var v -> (
+        match Hashtbl.find_opt input_index v with
+        | Some i -> emit (Iinput i)
+        | None -> invalid_arg (Printf.sprintf "Tape.compile: unbound variable %s" v))
+      | Binop (op, a, b) ->
+        let sa = go a in
+        let sb = go b in
+        emit (Ibin (op, sa, sb))
+      | Unop (op, a) ->
+        let sa = go a in
+        emit (Iun (op, sa))
+      | Select (Cmp (op, l, r), a, b) ->
+        let sl = go l in
+        let sr = go r in
+        let sa = go a in
+        let sb = go b in
+        emit (Isel (op, sl, sr, sa, sb))
+      | Select ((And _ | Or _ | Not _ | Bconst _), _, _) ->
+        (* flatten_selects removed these *)
+        assert false
+    in
+    let outputs = Array.of_list (List.map go exprs) in
+    { instrs = Array.of_list (List.rev !instrs); outputs; n_inputs = List.length inputs }
+
+  let forward t xs vals =
+    let n = Array.length t.instrs in
+    for i = 0 to n - 1 do
+      vals.(i) <-
+        (match t.instrs.(i) with
+        | Iconst c -> c
+        | Iinput k -> xs.(k)
+        | Ibin (op, a, b) -> apply_binop op vals.(a) vals.(b)
+        | Iun (op, a) -> apply_unop op vals.(a)
+        | Isel (op, l, r, a, b) ->
+          if apply_cmpop op vals.(l) vals.(r) then vals.(a) else vals.(b))
+    done
+
+  let eval t xs =
+    if Array.length xs <> t.n_inputs then invalid_arg "Tape.eval: input arity mismatch";
+    let vals = Array.make (max 1 (Array.length t.instrs)) 0.0 in
+    forward t xs vals;
+    Array.map (fun slot -> vals.(slot)) t.outputs
+
+  let backward t xs vals adj grad =
+    Array.fill grad 0 (Array.length grad) 0.0;
+    for i = Array.length t.instrs - 1 downto 0 do
+      let a = adj.(i) in
+      if a <> 0.0 then begin
+        match t.instrs.(i) with
+        | Iconst _ -> ()
+        | Iinput k -> grad.(k) <- grad.(k) +. a
+        | Ibin (op, ia, ib) -> (
+          let va = vals.(ia) and vb = vals.(ib) in
+          match op with
+          | Add ->
+            adj.(ia) <- adj.(ia) +. a;
+            adj.(ib) <- adj.(ib) +. a
+          | Sub ->
+            adj.(ia) <- adj.(ia) +. a;
+            adj.(ib) <- adj.(ib) -. a
+          | Mul ->
+            adj.(ia) <- adj.(ia) +. (a *. vb);
+            adj.(ib) <- adj.(ib) +. (a *. va)
+          | Div ->
+            adj.(ia) <- adj.(ia) +. (a /. vb);
+            adj.(ib) <- adj.(ib) -. (a *. va /. (vb *. vb))
+          | Pow ->
+            let v = vals.(i) in
+            (* d/da = b * a^(b-1); d/db = a^b * ln a (only when a > 0) *)
+            if va <> 0.0 then adj.(ia) <- adj.(ia) +. (a *. vb *. v /. va)
+            else adj.(ia) <- adj.(ia) +. (a *. vb *. (va ** (vb -. 1.0)));
+            if va > 0.0 then adj.(ib) <- adj.(ib) +. (a *. v *. log va)
+          | Min -> if va <= vb then adj.(ia) <- adj.(ia) +. a else adj.(ib) <- adj.(ib) +. a
+          | Max -> if va >= vb then adj.(ia) <- adj.(ia) +. a else adj.(ib) <- adj.(ib) +. a)
+        | Iun (op, ia) -> (
+          let va = vals.(ia) in
+          match op with
+          | Neg -> adj.(ia) <- adj.(ia) -. a
+          | Log -> adj.(ia) <- adj.(ia) +. (a /. va)
+          | Exp -> adj.(ia) <- adj.(ia) +. (a *. vals.(i))
+          | Sqrt -> adj.(ia) <- adj.(ia) +. (a /. (2.0 *. vals.(i)))
+          | Abs -> adj.(ia) <- adj.(ia) +. (if va >= 0.0 then a else -.a))
+        | Isel (op, l, r, ia, ib) ->
+          if apply_cmpop op vals.(l) vals.(r) then adj.(ia) <- adj.(ia) +. a
+          else adj.(ib) <- adj.(ib) +. a
+      end
+    done;
+    ignore xs
+
+  let vjp t xs v =
+    if Array.length xs <> t.n_inputs then invalid_arg "Tape.vjp: input arity mismatch";
+    if Array.length v <> Array.length t.outputs then
+      invalid_arg "Tape.vjp: adjoint arity mismatch";
+    let n = Array.length t.instrs in
+    let vals = Array.make (max 1 n) 0.0 in
+    forward t xs vals;
+    let adj = Array.make (max 1 n) 0.0 in
+    Array.iteri (fun k slot -> adj.(slot) <- adj.(slot) +. v.(k)) t.outputs;
+    let grad = Array.make t.n_inputs 0.0 in
+    backward t xs vals adj grad;
+    (Array.map (fun slot -> vals.(slot)) t.outputs, grad)
+
+  let jacobian t xs =
+    let m = Array.length t.outputs in
+    let outputs = eval t xs in
+    let jac =
+      Array.init m (fun k ->
+          let v = Array.make m 0.0 in
+          v.(k) <- 1.0;
+          snd (vjp t xs v))
+    in
+    (outputs, jac)
+end
+
+let check_gradient ?(eps = 1e-5) ?(tol = 1e-3) ~inputs e xs =
+  let tape = Tape.compile ~inputs [ e ] in
+  let _, grad = Tape.vjp tape xs [| 1.0 |] in
+  let ok = ref true in
+  Array.iteri
+    (fun i _ ->
+      let xp = Array.copy xs and xm = Array.copy xs in
+      xp.(i) <- xs.(i) +. eps;
+      xm.(i) <- xs.(i) -. eps;
+      let fp = (Tape.eval tape xp).(0) and fm = (Tape.eval tape xm).(0) in
+      let fd = (fp -. fm) /. (2.0 *. eps) in
+      let denom = max 1.0 (max (Float.abs fd) (Float.abs grad.(i))) in
+      if Float.abs (fd -. grad.(i)) /. denom > tol then ok := false)
+    xs;
+  !ok

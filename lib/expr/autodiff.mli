@@ -1,0 +1,58 @@
+(** Automatic differentiation of expressions.
+
+    Two engines are provided:
+
+    - {!diff}: symbolic differentiation, returning a new expression. Used in
+      tests and for inspecting derivative formulas; applies subgradient
+      conventions to non-smooth operators.
+    - {!module:Tape}: a compiled reverse-mode engine. A list of expressions
+      sharing input variables is compiled once into a common-subexpression-
+      eliminated instruction tape; evaluation and vector-Jacobian products
+      then run in time linear in the tape. This is the engine the gradient
+      descent optimizer (Algorithm 1) uses: per step it needs one tape
+      evaluation of the 80+ feature formulas plus one VJP with the cost
+      model's input-gradient as the adjoint vector. *)
+
+val diff : Expr.t -> string -> Expr.t
+(** [diff e x] is the partial derivative de/dx as an expression.
+    Non-smooth operators get subgradients: [d|x| = select(x >= 0, 1, -1)],
+    [d max(a,b)] follows the larger branch, [d select] differentiates the
+    taken branch. *)
+
+val gradient : Expr.t -> (string * Expr.t) list
+(** Symbolic gradient with respect to all free variables. *)
+
+(** Compiled expression tapes. *)
+module Tape : sig
+  type t
+
+  val compile : inputs:string list -> Expr.t list -> t
+  (** [compile ~inputs exprs] compiles the expressions against the given
+      input ordering. Raises [Invalid_argument] if an expression mentions a
+      variable not listed in [inputs]. Common subexpressions across all
+      [exprs] are shared. *)
+
+  val num_inputs : t -> int
+  val num_outputs : t -> int
+
+  val length : t -> int
+  (** Number of tape instructions (after CSE); exposed for tests. *)
+
+  val eval : t -> float array -> float array
+  (** [eval t xs] returns the outputs; [Array.length xs] must equal
+      [num_inputs t]. *)
+
+  val vjp : t -> float array -> float array -> float array * float array
+  (** [vjp t xs v] returns [(outputs, grad)] where
+      [grad.(i) = d(sum_k v.(k) * out_k) / d xs.(i)] — a single reverse
+      sweep. *)
+
+  val jacobian : t -> float array -> float array * float array array
+  (** [(outputs, jac)] with [jac.(k).(i) = d out_k / d x_i]; implemented as
+      [num_outputs] reverse sweeps. *)
+end
+
+val check_gradient :
+  ?eps:float -> ?tol:float -> inputs:string list -> Expr.t -> float array -> bool
+(** Finite-difference validation of the tape gradient at a point, used by
+    the property-based tests. *)

@@ -1,0 +1,33 @@
+type env = string -> float
+
+exception Unbound_variable of string
+
+let env_of_list bindings =
+  let tbl = Hashtbl.create (List.length bindings) in
+  List.iter (fun (k, v) -> Hashtbl.replace tbl k v) bindings;
+  fun v ->
+    match Hashtbl.find_opt tbl v with
+    | Some x -> x
+    | None -> raise (Unbound_variable v)
+
+let rec eval env (e : Expr.t) =
+  match e with
+  | Const c -> c
+  | Var v -> env v
+  | Binop (op, a, b) -> Expr.apply_binop op (eval env a) (eval env b)
+  | Unop (op, a) -> Expr.apply_unop op (eval env a)
+  | Select (c, a, b) -> if eval_cond env c then eval env a else eval env b
+
+and eval_cond env (c : Expr.cond) =
+  match c with
+  | Cmp (op, a, b) -> Expr.apply_cmpop op (eval env a) (eval env b)
+  | And (a, b) -> eval_cond env a && eval_cond env b
+  | Or (a, b) -> eval_cond env a || eval_cond env b
+  | Not a -> not (eval_cond env a)
+  | Bconst b -> b
+
+let eval_list base overrides e =
+  let tbl = Hashtbl.create (List.length overrides) in
+  List.iter (fun (k, v) -> Hashtbl.replace tbl k v) overrides;
+  let env v = match Hashtbl.find_opt tbl v with Some x -> x | None -> base v in
+  eval env e

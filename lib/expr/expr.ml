@@ -1,0 +1,351 @@
+type binop = Add | Sub | Mul | Div | Pow | Min | Max
+type unop = Neg | Log | Exp | Sqrt | Abs
+type cmpop = Lt | Le | Gt | Ge | Eq | Ne
+
+type t =
+  | Const of float
+  | Var of string
+  | Binop of binop * t * t
+  | Unop of unop * t
+  | Select of cond * t * t
+
+and cond =
+  | Cmp of cmpop * t * t
+  | And of cond * cond
+  | Or of cond * cond
+  | Not of cond
+  | Bconst of bool
+
+let const f = Const f
+let int i = Const (float_of_int i)
+let var v = Var v
+let zero = Const 0.0
+let one = Const 1.0
+
+let is_const = function Const _ -> true | Var _ | Binop _ | Unop _ | Select _ -> false
+let const_value = function Const c -> Some c | Var _ | Binop _ | Unop _ | Select _ -> None
+
+let apply_binop op a b =
+  match op with
+  | Add -> a +. b
+  | Sub -> a -. b
+  | Mul -> a *. b
+  | Div -> a /. b
+  | Pow -> a ** b
+  | Min -> Float.min a b
+  | Max -> Float.max a b
+
+let apply_unop op a =
+  match op with
+  | Neg -> -.a
+  | Log -> log a
+  | Exp -> exp a
+  | Sqrt -> sqrt a
+  | Abs -> Float.abs a
+
+let apply_cmpop op a b =
+  match op with
+  | Lt -> a < b
+  | Le -> a <= b
+  | Gt -> a > b
+  | Ge -> a >= b
+  | Eq -> a = b
+  | Ne -> a <> b
+
+let rec equal x y =
+  match (x, y) with
+  | Const a, Const b -> a = b
+  | Var a, Var b -> String.equal a b
+  | Binop (o1, a1, b1), Binop (o2, a2, b2) -> o1 = o2 && equal a1 a2 && equal b1 b2
+  | Unop (o1, a1), Unop (o2, a2) -> o1 = o2 && equal a1 a2
+  | Select (c1, a1, b1), Select (c2, a2, b2) -> equal_cond c1 c2 && equal a1 a2 && equal b1 b2
+  | (Const _ | Var _ | Binop _ | Unop _ | Select _), _ -> false
+
+and equal_cond x y =
+  match (x, y) with
+  | Cmp (o1, a1, b1), Cmp (o2, a2, b2) -> o1 = o2 && equal a1 a2 && equal b1 b2
+  | And (a1, b1), And (a2, b2) | Or (a1, b1), Or (a2, b2) ->
+    equal_cond a1 a2 && equal_cond b1 b2
+  | Not a, Not b -> equal_cond a b
+  | Bconst a, Bconst b -> a = b
+  | (Cmp _ | And _ | Or _ | Not _ | Bconst _), _ -> false
+
+let compare = Stdlib.compare
+
+(* --- smart constructors -------------------------------------------------- *)
+
+let add a b =
+  match (a, b) with
+  | Const x, Const y -> Const (x +. y)
+  | Const 0.0, e | e, Const 0.0 -> e
+  | _ -> Binop (Add, a, b)
+
+let sub a b =
+  match (a, b) with
+  | Const x, Const y -> Const (x -. y)
+  | e, Const 0.0 -> e
+  | _ when equal a b -> Const 0.0
+  | _ -> Binop (Sub, a, b)
+
+let mul a b =
+  match (a, b) with
+  | Const x, Const y -> Const (x *. y)
+  | Const 0.0, _ | _, Const 0.0 -> Const 0.0
+  | Const 1.0, e | e, Const 1.0 -> e
+  | _ -> Binop (Mul, a, b)
+
+let div a b =
+  match (a, b) with
+  | Const x, Const y when y <> 0.0 -> Const (x /. y)
+  | Const 0.0, _ -> Const 0.0
+  | e, Const 1.0 -> e
+  | _ when equal a b && not (is_const a) -> Const 1.0
+  | _ -> Binop (Div, a, b)
+
+let pow a b =
+  match (a, b) with
+  | Const x, Const y -> Const (x ** y)
+  | _, Const 0.0 -> Const 1.0
+  | _, Const 1.0 -> a
+  | Const 1.0, _ -> Const 1.0
+  | _ -> Binop (Pow, a, b)
+
+let powi a i = pow a (int i)
+
+let min_ a b =
+  match (a, b) with
+  | Const x, Const y -> Const (Float.min x y)
+  | _ when equal a b -> a
+  | _ -> Binop (Min, a, b)
+
+let max_ a b =
+  match (a, b) with
+  | Const x, Const y -> Const (Float.max x y)
+  | _ when equal a b -> a
+  | _ -> Binop (Max, a, b)
+
+let neg = function
+  | Const x -> Const (-.x)
+  | Unop (Neg, e) -> e
+  | e -> Unop (Neg, e)
+
+let log_ = function
+  | Const x when x > 0.0 -> Const (log x)
+  | Unop (Exp, e) -> e
+  | e -> Unop (Log, e)
+
+let exp_ = function
+  | Const x -> Const (exp x)
+  | Unop (Log, e) -> e
+  | e -> Unop (Exp, e)
+
+let sqrt_ = function Const x when x >= 0.0 -> Const (sqrt x) | e -> Unop (Sqrt, e)
+
+let abs_ = function
+  | Const x -> Const (Float.abs x)
+  | Unop (Abs, e) -> Unop (Abs, e)
+  | e -> Unop (Abs, e)
+
+let select c a b =
+  match c with
+  | Bconst true -> a
+  | Bconst false -> b
+  | _ when equal a b -> a
+  | _ -> (
+    match (a, b) with
+    | Const x, Const y when x = y -> Const x
+    | _ -> Select (c, a, b))
+
+let ( + ) = add
+let ( - ) = sub
+let ( * ) = mul
+let ( / ) = div
+
+let sum = function [] -> zero | x :: rest -> List.fold_left add x rest
+let product = function [] -> one | x :: rest -> List.fold_left mul x rest
+
+(* --- conditions ---------------------------------------------------------- *)
+
+let cmp op a b =
+  match (a, b) with
+  | Const x, Const y -> Bconst (apply_cmpop op x y)
+  | _ -> Cmp (op, a, b)
+
+let lt = cmp Lt
+let le = cmp Le
+let gt = cmp Gt
+let ge = cmp Ge
+let eq = cmp Eq
+let ne = cmp Ne
+
+let and_ a b =
+  match (a, b) with
+  | Bconst true, c | c, Bconst true -> c
+  | Bconst false, _ | _, Bconst false -> Bconst false
+  | _ -> And (a, b)
+
+let or_ a b =
+  match (a, b) with
+  | Bconst false, c | c, Bconst false -> c
+  | Bconst true, _ | _, Bconst true -> Bconst true
+  | _ -> Or (a, b)
+
+let not_ = function
+  | Bconst b -> Bconst (not b)
+  | Not c -> c
+  | c -> Not c
+
+let btrue = Bconst true
+let bfalse = Bconst false
+
+(* --- traversal ----------------------------------------------------------- *)
+
+module String_set = Set.Make (String)
+
+let rec vars_set = function
+  | Const _ -> String_set.empty
+  | Var v -> String_set.singleton v
+  | Binop (_, a, b) -> String_set.union (vars_set a) (vars_set b)
+  | Unop (_, a) -> vars_set a
+  | Select (c, a, b) ->
+    String_set.union (vars_set_cond c) (String_set.union (vars_set a) (vars_set b))
+
+and vars_set_cond = function
+  | Cmp (_, a, b) -> String_set.union (vars_set a) (vars_set b)
+  | And (a, b) | Or (a, b) -> String_set.union (vars_set_cond a) (vars_set_cond b)
+  | Not c -> vars_set_cond c
+  | Bconst _ -> String_set.empty
+
+let vars e = String_set.elements (vars_set e)
+let vars_cond c = String_set.elements (vars_set_cond c)
+
+let rec size = function
+  | Const _ | Var _ -> 1
+  | Binop (_, a, b) -> Stdlib.( + ) 1 (Stdlib.( + ) (size a) (size b))
+  | Unop (_, a) -> Stdlib.( + ) 1 (size a)
+  | Select (c, a, b) ->
+    Stdlib.( + ) 1 (Stdlib.( + ) (size_cond c) (Stdlib.( + ) (size a) (size b)))
+
+and size_cond = function
+  | Cmp (_, a, b) -> Stdlib.( + ) 1 (Stdlib.( + ) (size a) (size b))
+  | And (a, b) | Or (a, b) -> Stdlib.( + ) 1 (Stdlib.( + ) (size_cond a) (size_cond b))
+  | Not c -> Stdlib.( + ) 1 (size_cond c)
+  | Bconst _ -> 1
+
+let rec subst f e =
+  match e with
+  | Const _ -> e
+  | Var v -> ( match f v with Some e' -> e' | None -> e)
+  | Binop (op, a, b) -> (
+    let a' = subst f a and b' = subst f b in
+    match op with
+    | Add -> add a' b'
+    | Sub -> sub a' b'
+    | Mul -> mul a' b'
+    | Div -> div a' b'
+    | Pow -> pow a' b'
+    | Min -> min_ a' b'
+    | Max -> max_ a' b')
+  | Unop (op, a) -> (
+    let a' = subst f a in
+    match op with
+    | Neg -> neg a'
+    | Log -> log_ a'
+    | Exp -> exp_ a'
+    | Sqrt -> sqrt_ a'
+    | Abs -> abs_ a')
+  | Select (c, a, b) -> select (subst_cond f c) (subst f a) (subst f b)
+
+and subst_cond f c =
+  match c with
+  | Cmp (op, a, b) -> cmp op (subst f a) (subst f b)
+  | And (a, b) -> and_ (subst_cond f a) (subst_cond f b)
+  | Or (a, b) -> or_ (subst_cond f a) (subst_cond f b)
+  | Not a -> not_ (subst_cond f a)
+  | Bconst _ -> c
+
+let rec map_children f e =
+  match e with
+  | Const _ | Var _ -> e
+  | Binop (op, a, b) -> (
+    let a' = f a and b' = f b in
+    match op with
+    | Add -> add a' b'
+    | Sub -> sub a' b'
+    | Mul -> mul a' b'
+    | Div -> div a' b'
+    | Pow -> pow a' b'
+    | Min -> min_ a' b'
+    | Max -> max_ a' b')
+  | Unop (op, a) -> (
+    let a' = f a in
+    match op with
+    | Neg -> neg a'
+    | Log -> log_ a'
+    | Exp -> exp_ a'
+    | Sqrt -> sqrt_ a'
+    | Abs -> abs_ a')
+  | Select (c, a, b) -> select (map_cond f c) (f a) (f b)
+
+and map_cond f c =
+  match c with
+  | Cmp (op, a, b) -> cmp op (f a) (f b)
+  | And (a, b) -> and_ (map_cond f a) (map_cond f b)
+  | Or (a, b) -> or_ (map_cond f a) (map_cond f b)
+  | Not a -> not_ (map_cond f a)
+  | Bconst _ -> c
+
+let rec contains_nondiff = function
+  | Const _ | Var _ -> false
+  | Select _ -> true
+  | Binop ((Min | Max), _, _) -> true
+  | Unop (Abs, _) -> true
+  | Binop (_, a, b) -> contains_nondiff a || contains_nondiff b
+  | Unop (_, a) -> contains_nondiff a
+
+(* --- printing ------------------------------------------------------------ *)
+
+let binop_str = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Pow -> "^"
+  | Min -> "min"
+  | Max -> "max"
+
+let cmpop_str = function
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "=="
+  | Ne -> "!="
+
+let fmt_const c =
+  if Float.is_integer c && Float.abs c < 1e15 then
+    Printf.sprintf "%.0f" c
+  else Printf.sprintf "%g" c
+
+let rec to_string = function
+  | Const c -> fmt_const c
+  | Var v -> v
+  | Binop ((Min | Max) as op, a, b) ->
+    Printf.sprintf "%s(%s, %s)" (binop_str op) (to_string a) (to_string b)
+  | Binop (op, a, b) -> Printf.sprintf "(%s %s %s)" (to_string a) (binop_str op) (to_string b)
+  | Unop (Neg, a) -> Printf.sprintf "(-%s)" (to_string a)
+  | Unop (Log, a) -> Printf.sprintf "log(%s)" (to_string a)
+  | Unop (Exp, a) -> Printf.sprintf "exp(%s)" (to_string a)
+  | Unop (Sqrt, a) -> Printf.sprintf "sqrt(%s)" (to_string a)
+  | Unop (Abs, a) -> Printf.sprintf "abs(%s)" (to_string a)
+  | Select (c, a, b) ->
+    Printf.sprintf "select(%s, %s, %s)" (cond_to_string c) (to_string a) (to_string b)
+
+and cond_to_string = function
+  | Cmp (op, a, b) -> Printf.sprintf "(%s %s %s)" (to_string a) (cmpop_str op) (to_string b)
+  | And (a, b) -> Printf.sprintf "(%s && %s)" (cond_to_string a) (cond_to_string b)
+  | Or (a, b) -> Printf.sprintf "(%s || %s)" (cond_to_string a) (cond_to_string b)
+  | Not a -> Printf.sprintf "!%s" (cond_to_string a)
+  | Bconst b -> if b then "true" else "false"
+
+let pp fmt e = Format.pp_print_string fmt (to_string e)

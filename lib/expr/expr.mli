@@ -1,0 +1,124 @@
+(** Symbolic scalar expressions over named variables.
+
+    This is the language in which Felix expresses loop bounds, buffer access
+    footprints, program features (Section 3.3 of the paper), and constraint
+    penalty functions. Expressions are built with smart constructors that
+    perform constant folding and cheap identity simplifications, so a
+    feature-extraction pass can combine thousands of terms without the AST
+    exploding.
+
+    Boolean conditions are a separate syntactic class ([cond]) embedded only
+    under [select]; after the smoothing pass ({!module:Smooth}) no [cond],
+    [min], [max], [select] or [abs] node remains, making the result
+    differentiable everywhere. *)
+
+type binop = Add | Sub | Mul | Div | Pow | Min | Max
+
+type unop = Neg | Log | Exp | Sqrt | Abs
+
+type cmpop = Lt | Le | Gt | Ge | Eq | Ne
+
+type t =
+  | Const of float
+  | Var of string
+  | Binop of binop * t * t
+  | Unop of unop * t
+  | Select of cond * t * t
+      (** [Select (c, a, b)] is [a] when [c] holds, [b] otherwise. *)
+
+and cond =
+  | Cmp of cmpop * t * t
+  | And of cond * cond
+  | Or of cond * cond
+  | Not of cond
+  | Bconst of bool
+
+(** {1 Smart constructors}
+
+    All perform constant folding; binary ones also apply safe identities
+    (x+0, x*1, x*0, x/1, x-x, pow with integer constant exponents, ...). *)
+
+val const : float -> t
+val int : int -> t
+val var : string -> t
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val ( / ) : t -> t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val pow : t -> t -> t
+val powi : t -> int -> t
+val min_ : t -> t -> t
+val max_ : t -> t -> t
+val neg : t -> t
+val log_ : t -> t
+val exp_ : t -> t
+val sqrt_ : t -> t
+val abs_ : t -> t
+val select : cond -> t -> t -> t
+val sum : t list -> t
+val product : t list -> t
+
+(** {1 Conditions} *)
+
+val lt : t -> t -> cond
+val le : t -> t -> cond
+val gt : t -> t -> cond
+val ge : t -> t -> cond
+val eq : t -> t -> cond
+val ne : t -> t -> cond
+val and_ : cond -> cond -> cond
+val or_ : cond -> cond -> cond
+val not_ : cond -> cond
+val btrue : cond
+val bfalse : cond
+
+(** {1 Semantics of primitive operators} *)
+
+val apply_binop : binop -> float -> float -> float
+val apply_unop : unop -> float -> float
+val apply_cmpop : cmpop -> float -> float -> bool
+
+(** {1 Inspection} *)
+
+val zero : t
+val one : t
+
+val is_const : t -> bool
+val const_value : t -> float option
+
+val equal : t -> t -> bool
+(** Structural equality. *)
+
+val compare : t -> t -> int
+
+val vars : t -> string list
+(** Sorted, de-duplicated free variables. *)
+
+val vars_cond : cond -> string list
+
+val size : t -> int
+(** Number of AST nodes (for complexity bounds in tests). *)
+
+val subst : (string -> t option) -> t -> t
+(** [subst f e] replaces each [Var v] where [f v = Some e'] by [e']. *)
+
+val subst_cond : (string -> t option) -> cond -> cond
+
+val map_children : (t -> t) -> t -> t
+(** Apply [f] to immediate subexpressions (rebuilding with smart
+    constructors); conditions are traversed too. *)
+
+val map_cond : (t -> t) -> cond -> cond
+(** Apply [f] to the expressions embedded in a condition. *)
+
+val contains_nondiff : t -> bool
+(** True when the expression contains [Select], [Min], [Max] or [Abs] —
+    i.e. would not survive gradient descent without smoothing. *)
+
+val to_string : t -> string
+val cond_to_string : cond -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,41 @@
+let memo : (int, int list) Hashtbl.t = Hashtbl.create 64
+
+let divisors n =
+  if n < 1 then invalid_arg "Factorize.divisors: n must be >= 1";
+  match Hashtbl.find_opt memo n with
+  | Some ds -> ds
+  | None ->
+    let small = ref [] and large = ref [] in
+    let i = ref 1 in
+    while !i * !i <= n do
+      if n mod !i = 0 then begin
+        small := !i :: !small;
+        if !i <> n / !i then large := (n / !i) :: !large
+      end;
+      incr i
+    done;
+    let ds = List.rev_append !small !large in
+    Hashtbl.replace memo n ds;
+    ds
+
+let is_divisor d n = d > 0 && n mod d = 0
+
+let nearest_divisor n x =
+  if x <= 0.0 then List.hd (divisors n)
+  else
+    let lx = log x in
+    Stats.argmin (fun d -> Float.abs (log (float_of_int d) -. lx)) (divisors n)
+
+let round_log_to_divisor n y = log (float_of_int (nearest_divisor n (exp y)))
+
+let rec split rng n k =
+  if k <= 0 then invalid_arg "Factorize.split: k must be >= 1";
+  if k = 1 then [ n ]
+  else begin
+    let d = Rng.choose_list rng (divisors n) in
+    d :: split rng (n / d) (k - 1)
+  end
+
+let rec num_splits n k =
+  if k <= 1 then 1
+  else List.fold_left (fun acc d -> acc + num_splits (n / d) (k - 1)) 0 (divisors n)

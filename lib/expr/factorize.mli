@@ -1,0 +1,31 @@
+(** Integer factor utilities for divisibility constraints (Section 3.3).
+
+    Tile sizes must divide the extent of the loop they tile. During gradient
+    descent the constraint [N mod x = 0] is relaxed to [y <= ln N] (with
+    [x = e^y]); after optimization the real-valued [y] is rounded to the
+    nearest [ln N_i] over the divisors [N_i] of [N]. This module provides
+    the divisor tables and the rounding, plus divisor-split sampling used by
+    the evolutionary baseline's mutation operator. *)
+
+val divisors : int -> int list
+(** Sorted divisors of [n >= 1], computed in O(sqrt n) and memoised. *)
+
+val is_divisor : int -> int -> bool
+(** [is_divisor d n] is [n mod d = 0] (with [d > 0]). *)
+
+val nearest_divisor : int -> float -> int
+(** [nearest_divisor n x] is the divisor of [n] whose logarithm is closest
+    to [log x] (log-space rounding as in the paper); [x] may be any positive
+    real. *)
+
+val round_log_to_divisor : int -> float -> float
+(** [round_log_to_divisor n y] rounds [y] to the nearest [ln d] for a
+    divisor [d] of [n]; returns the rounded log value. *)
+
+val split : Rng.t -> int -> int -> int list
+(** [split rng n k] samples a uniform-ish random factorisation of [n] into
+    [k] positive integer factors whose product is exactly [n]. *)
+
+val num_splits : int -> int -> int
+(** Number of ordered factorisations of [n] into [k] factors (search-space
+    size accounting, used when reporting the size of a task's space). *)

@@ -1,0 +1,61 @@
+type rule = { name : string; apply : Expr.t -> Expr.t option }
+
+let rule name apply = { name; apply }
+
+let try_rules rules e fired =
+  let rec go = function
+    | [] -> e
+    | r :: rest -> (
+      match r.apply e with
+      | Some e' when not (Expr.equal e' e) ->
+        incr fired;
+        e'
+      | Some _ | None -> go rest)
+  in
+  go rules
+
+let rewrite_once rules e =
+  let fired = ref 0 in
+  let rec walk e =
+    (* Rewrite children first, then the node itself (possibly repeatedly,
+       since one firing can enable another at the same node). *)
+    let e = Expr.map_children walk e in
+    let rec stabilise e budget =
+      if budget = 0 then e
+      else
+        let e' = try_rules rules e fired in
+        if Expr.equal e' e then e else stabilise (Expr.map_children walk e') (budget - 1)
+    in
+    stabilise e 8
+  in
+  let e' = walk e in
+  (e', !fired)
+
+let apply_fixpoint ?(max_iters = 64) rules e =
+  let rec go e iters =
+    if iters = 0 then e
+    else
+      let e', fired = rewrite_once rules e in
+      if fired = 0 then e' else go e' (iters - 1)
+  in
+  go e max_iters
+
+let count_firings rules e =
+  let counts = Hashtbl.create 16 in
+  let bump name =
+    Hashtbl.replace counts name (1 + Option.value ~default:0 (Hashtbl.find_opt counts name))
+  in
+  let rec walk e =
+    let e = Expr.map_children walk e in
+    List.fold_left
+      (fun e r ->
+        match r.apply e with
+        | Some e' when not (Expr.equal e' e) ->
+          bump r.name;
+          e'
+        | Some _ | None -> e)
+      e rules
+  in
+  ignore (walk e);
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

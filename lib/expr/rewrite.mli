@@ -1,0 +1,26 @@
+(** Rule-based expression rewriting.
+
+    The paper uses egg (equality saturation in Rust) to apply its smoothing
+    and simplification rules. This module is the OCaml substitute: rules are
+    functions [Expr.t -> Expr.t option]; {!apply_fixpoint} applies a rule set
+    bottom-up repeatedly until no rule fires (or a fuel bound is reached).
+    Because our rules form a terminating, confluence-enough set (each
+    strictly reduces a measure or eliminates a non-differentiable operator),
+    a fixpoint pass reaches the same normal forms the paper's saturation
+    would pick out. *)
+
+type rule = { name : string; apply : Expr.t -> Expr.t option }
+
+val rule : string -> (Expr.t -> Expr.t option) -> rule
+
+val rewrite_once : rule list -> Expr.t -> Expr.t * int
+(** One bottom-up pass; returns the rewritten term and the number of rule
+    firings. *)
+
+val apply_fixpoint : ?max_iters:int -> rule list -> Expr.t -> Expr.t
+(** Iterate {!rewrite_once} until no rule fires. [max_iters] (default 64)
+    bounds the number of passes; the pass is safe to truncate early because
+    every intermediate term is semantically equal to the input. *)
+
+val count_firings : rule list -> Expr.t -> (string * int) list
+(** Diagnostic: which rules fire (once) on the term, for tests. *)

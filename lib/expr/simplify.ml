@@ -1,0 +1,102 @@
+open Expr
+
+(* Each rule either strictly reduces the number of operator nodes or pushes
+   [log] below [mul]/[div]/[pow] (which can happen only finitely often), so
+   the set terminates; [Rewrite.apply_fixpoint]'s fuel is a belt too. *)
+
+let r name f = Rewrite.rule name f
+
+let const_assoc_fold =
+  r "const-assoc-fold" (function
+    (* c1 op (c2 op x) and mirror images, for op in {+, *}. *)
+    | Binop (Add, Const c1, Binop (Add, Const c2, x))
+    | Binop (Add, Const c1, Binop (Add, x, Const c2))
+    | Binop (Add, Binop (Add, Const c2, x), Const c1)
+    | Binop (Add, Binop (Add, x, Const c2), Const c1) ->
+      Some (add (const (c1 +. c2)) x)
+    | Binop (Mul, Const c1, Binop (Mul, Const c2, x))
+    | Binop (Mul, Const c1, Binop (Mul, x, Const c2))
+    | Binop (Mul, Binop (Mul, Const c2, x), Const c1)
+    | Binop (Mul, Binop (Mul, x, Const c2), Const c1) ->
+      Some (mul (const (c1 *. c2)) x)
+    | _ -> None)
+
+let add_sub_fold =
+  r "add-sub-fold" (function
+    (* c1 + (x - c2) and mirrors -> x + (c1 - c2). *)
+    | Binop (Add, Const c1, Binop (Sub, x, Const c2))
+    | Binop (Add, Binop (Sub, x, Const c2), Const c1) ->
+      Some (add x (const (c1 -. c2)))
+    | Binop (Sub, Binop (Add, Const c1, x), Const c2)
+    | Binop (Sub, Binop (Add, x, Const c1), Const c2) ->
+      Some (add x (const (c1 -. c2)))
+    | _ -> None)
+
+let neg_to_sub =
+  r "neg-to-sub" (function
+    | Binop (Add, a, Unop (Neg, b)) -> Some (sub a b)
+    | Binop (Sub, a, Unop (Neg, b)) -> Some (add a b)
+    | Unop (Neg, Const c) -> Some (const (-.c))
+    | Unop (Neg, Unop (Neg, x)) -> Some x
+    | _ -> None)
+
+let div_collapse =
+  r "div-collapse" (function
+    | Binop (Div, Binop (Div, a, b), c) -> Some (div a (mul b c))
+    | Binop (Div, a, Binop (Div, b, c)) -> Some (div (mul a c) b)
+    | Binop (Div, Binop (Mul, a, b), c) when equal b c -> Some a
+    | Binop (Div, Binop (Mul, a, b), c) when equal a c -> Some b
+    | Binop (Mul, Binop (Div, a, b), c) when equal b c -> Some a
+    | Binop (Mul, c, Binop (Div, a, b)) when equal b c -> Some a
+    | _ -> None)
+
+let log_expand =
+  r "log-expand" (function
+    | Unop (Log, Binop (Mul, a, b)) -> Some (add (log_ a) (log_ b))
+    | Unop (Log, Binop (Div, a, b)) -> Some (sub (log_ a) (log_ b))
+    | Unop (Log, Binop (Pow, a, b)) -> Some (mul b (log_ a))
+    | Unop (Log, Unop (Sqrt, a)) -> Some (mul (const 0.5) (log_ a))
+    | _ -> None)
+
+let exp_log_cancel =
+  r "exp-log-cancel" (function
+    | Unop (Exp, Unop (Log, x)) -> Some x
+    | Unop (Log, Unop (Exp, x)) -> Some x
+    | _ -> None)
+
+let sqrt_pow =
+  r "sqrt-pow" (function
+    | Binop (Pow, Unop (Sqrt, x), Const 2.0) -> Some x
+    | Unop (Sqrt, Binop (Pow, x, Const 2.0)) -> Some (abs_ x)
+    | Unop (Sqrt, Binop (Mul, a, b)) when equal a b -> Some (abs_ a)
+    | _ -> None)
+
+let pow_merge =
+  r "pow-merge" (function
+    | Binop (Mul, Binop (Pow, a, m), Binop (Pow, b, n)) when equal a b ->
+      Some (pow a (add m n))
+    | Binop (Pow, Binop (Pow, a, m), n) -> Some (pow a (mul m n))
+    | Binop (Mul, a, b) when equal a b && not (is_const a) -> Some (powi a 2)
+    | _ -> None)
+
+let select_same =
+  r "select-same" (function
+    | Select (_, a, b) when equal a b -> Some a
+    | Select (Not c, a, b) -> Some (select c b a)
+    | _ -> None)
+
+let min_max_abs =
+  r "min-max-abs" (function
+    | Binop (Max, Unop (Neg, x), y) when equal x y -> Some (abs_ x)
+    | Binop (Max, x, Unop (Neg, y)) when equal x y -> Some (abs_ x)
+    | Unop (Abs, Unop (Abs, x)) -> Some (abs_ x)
+    | Unop (Abs, Unop (Neg, x)) -> Some (abs_ x)
+    | _ -> None)
+
+let rules =
+  [ const_assoc_fold; add_sub_fold; neg_to_sub; div_collapse; log_expand; exp_log_cancel;
+    sqrt_pow; pow_merge; select_same; min_max_abs ]
+
+let simplify e = Rewrite.apply_fixpoint rules e
+
+let simplify_cond c = Expr.map_cond simplify c

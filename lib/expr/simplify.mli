@@ -1,0 +1,16 @@
+(** Algebraic simplification of expressions.
+
+    Feature formulas extracted from symbolic programs contain many
+    mechanically-generated redundancies (products of ones, nested divisions,
+    log/exp chains from the gradient-stability substitution). This module
+    normalises them with a terminating rule set; it never changes the value
+    of the expression at any point of its domain. *)
+
+val rules : Rewrite.rule list
+(** The default simplification rule set. *)
+
+val simplify : Expr.t -> Expr.t
+(** Apply {!rules} to fixpoint. *)
+
+val simplify_cond : Expr.cond -> Expr.cond
+(** Simplify the expressions inside a condition. *)

@@ -1,0 +1,56 @@
+open Expr
+
+let phi ?(width = 1.0) m =
+  let m = if width = 1.0 then m else div m (const width) in
+  mul (const 0.5) (add one (div m (sqrt_ (add one (mul m m)))))
+
+(* Smooth equality test: peaks at 1 when the operands match, decays
+   quadratically; this is the bump-like kernel for the rare [Eq] features. *)
+let eq_indicator ?(width = 1.0) a b =
+  let d = div (sub a b) (const width) in
+  div one (add one (mul d d))
+
+let rec indicator ?(width = 1.0) (c : cond) =
+  match c with
+  | Bconst true -> one
+  | Bconst false -> zero
+  | Cmp (Gt, a, b) | Cmp (Ge, a, b) -> phi ~width (sub a b)
+  | Cmp (Lt, a, b) | Cmp (Le, a, b) -> phi ~width (sub b a)
+  | Cmp (Eq, a, b) -> eq_indicator ~width a b
+  | Cmp (Ne, a, b) -> sub one (eq_indicator ~width a b)
+  | And (a, b) -> mul (indicator ~width a) (indicator ~width b)
+  | Or (a, b) ->
+    let ia = indicator ~width a and ib = indicator ~width b in
+    sub (add ia ib) (mul ia ib)
+  | Not a -> sub one (indicator ~width a)
+
+let smooth_max ?(width = 1.0) a b =
+  let d = sub a b in
+  mul (const 0.5) (add (add a b) (sqrt_ (add (mul d d) (const (width *. width)))))
+
+let smooth_min ?(width = 1.0) a b =
+  let d = sub a b in
+  mul (const 0.5) (sub (add a b) (sqrt_ (add (mul d d) (const (width *. width)))))
+
+let smooth_abs ?(width = 1.0) a = sqrt_ (add (mul a a) (const (width *. width)))
+
+let smooth_select ?(width = 1.0) c a b = add b (mul (sub a b) (indicator ~width c))
+
+let rules ?(width = 1.0) () =
+  [ Rewrite.rule "smooth-select" (function
+      | Select (c, a, b) -> Some (smooth_select ~width c a b)
+      | _ -> None);
+    Rewrite.rule "smooth-max" (function
+      | Binop (Max, a, b) -> Some (smooth_max ~width a b)
+      | _ -> None);
+    Rewrite.rule "smooth-min" (function
+      | Binop (Min, a, b) -> Some (smooth_min ~width a b)
+      | _ -> None);
+    Rewrite.rule "smooth-abs" (function
+      | Unop (Abs, a) -> Some (smooth_abs ~width a)
+      | _ -> None) ]
+
+let smooth ?(width = 1.0) e =
+  let e' = Rewrite.apply_fixpoint (rules ~width ()) e in
+  assert (not (Expr.contains_nondiff e'));
+  e'

@@ -1,0 +1,35 @@
+(** Smoothing of non-differentiable operators (paper Section 3.3).
+
+    Felix derives a smooth approximation of each non-differentiable operator
+    by convolving it with the kernel [phi(t) = 1 / sqrt(1 + t^2)]. The
+    resulting closed forms used here:
+
+    - indicator of [x > 0]:  [Phi(x) = (1 + x / sqrt(1 + x^2)) / 2]
+    - [select(c, a, b)]   -> [b + (a - b) * Phi(margin c)]
+    - [max(a, b)]         -> [(a + b + sqrt((a - b)^2 + w^2)) / 2]
+    - [min(a, b)]         -> [(a + b - sqrt((a - b)^2 + w^2)) / 2]
+    - [abs(a)]            -> [sqrt(a^2 + w^2)]
+
+    where [w] is the kernel width (default 1.0, matching Figure 4: the
+    smoothed [max(x, 0)] passes through 0.5 at the kink). Boolean
+    connectives map to products/sums of indicators. All outputs are
+    infinitely differentiable. *)
+
+val indicator : ?width:float -> Expr.cond -> Expr.t
+(** Smooth indicator in (0, 1) of a condition. *)
+
+val phi : ?width:float -> Expr.t -> Expr.t
+(** [phi m] is the smooth step of a margin expression [m] ([> 0] means
+    true). *)
+
+val smooth_max : ?width:float -> Expr.t -> Expr.t -> Expr.t
+val smooth_min : ?width:float -> Expr.t -> Expr.t -> Expr.t
+val smooth_abs : ?width:float -> Expr.t -> Expr.t
+val smooth_select : ?width:float -> Expr.cond -> Expr.t -> Expr.t -> Expr.t
+
+val rules : ?width:float -> unit -> Rewrite.rule list
+(** Rewrite rules eliminating [Select], [Min], [Max], [Abs]. *)
+
+val smooth : ?width:float -> Expr.t -> Expr.t
+(** Apply {!rules} to fixpoint. Postcondition:
+    [Expr.contains_nondiff (smooth e) = false]. *)

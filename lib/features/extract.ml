@@ -1,0 +1,216 @@
+let buffer_slots = 3
+
+let per_buffer_features =
+  [ "touched_per_block"; "footprint_per_block"; "reuse_factor"; "footprint_per_thread";
+    "touched_per_thread"; "buffer_bytes"; "lines_per_block"; "contiguous";
+    "bytes_per_thread"; "stride_penalty" ]
+
+let feature_names =
+  Array.of_list
+    ([ (* arithmetic *)
+       "float_add"; "float_mul"; "float_div"; "float_special"; "float_cmp"; "int_ops";
+       "flops_total"; "flops_per_thread"; "flops_per_block"; "arith_intensity";
+       (* parallelism *)
+       "grid_size"; "block_threads"; "vthreads"; "total_threads"; "serial_spatial";
+       "reduce_iters"; "iters_per_thread"; "unroll_step"; "effective_unroll"; "vector_width";
+       "threads_occupancy"; "warp_efficiency" ]
+    @ List.concat_map
+        (fun slot -> List.map (fun f -> Printf.sprintf "buf%d_%s" slot f) per_buffer_features)
+        [ 0; 1; 2 ]
+    @ [ (* shared memory *)
+        "shared_bytes"; "shared_per_thread"; "uses_shared"; "shared_occupancy";
+        "shared_load_iters";
+        (* output / stores *)
+        "out_elems"; "stores_per_thread"; "out_bytes_per_block"; "write_contiguous";
+        "fused_flops_per_elem"; "fused_stages";
+        (* structure *)
+        "num_kernel_stages"; "num_spatial_axes"; "num_reduce_axes"; "loop_depth";
+        "sm_util_small"; "sm_util_large"; "blocks_per_sm"; "threads_util";
+        (* secondary stages *)
+        "other_flops"; "other_threads"; "other_grid"; "other_touched"; "num_other_stages";
+        (* traffic *)
+        "traffic_loads"; "traffic_stores"; "traffic_total"; "traffic_per_flop";
+        "l2_footprint"; "wave_tail_penalty" ])
+
+let num_features = Array.length feature_names
+
+let () = assert (num_features = 82)
+
+open Expr
+
+let counts_of (c : Compute.op_counts) =
+  ( float_of_int c.fadd, float_of_int c.fmul, float_of_int c.fdiv, float_of_int c.fspecial,
+    float_of_int c.fcmp, float_of_int c.iops )
+
+let stage_concrete_flops (ss : Loop_ir.scheduled_stage) =
+  Compute.stage_flops ss.stage
+  +. List.fold_left (fun acc st -> acc +. Compute.stage_flops st) 0.0 ss.fused_elemwise
+
+(* Iteration totals are schedule-independent (tiling reorders work, it does
+   not change it), so they fold to constants directly — the paper's
+   float_add table entry is the closed form N*M*K. *)
+let total_iterations ss =
+  const
+    (float_of_int (Compute.spatial_iterations ss.Loop_ir.stage)
+    *. float_of_int (Compute.reduce_iterations ss.Loop_ir.stage))
+
+let spatial_total ss = const (float_of_int (Compute.spatial_iterations ss.Loop_ir.stage))
+
+let buffer_elems (b : Compute.buffer) = List.fold_left Stdlib.( * ) 1 b.shape
+
+let extract (p : Loop_ir.t) =
+  let stages = Array.to_list p.stages in
+  let dominant =
+    Stats.argmax stage_concrete_flops
+      (match stages with [] -> invalid_arg "Extract.extract: empty program" | l -> l)
+  in
+  let others = List.filter (fun ss -> ss != dominant) stages in
+  let ss = dominant in
+  let grid = Loop_ir.grid_size ss in
+  let bthreads = Loop_ir.block_threads ss in
+  let vth = Loop_ir.vthreads ss in
+  let serial = Loop_ir.serial_spatial ss in
+  let red = Loop_ir.reduce_iterations ss in
+  let unroll = Loop_ir.unroll_step ss in
+  let vec = Loop_ir.vector_width ss in
+  let total_threads = mul grid bthreads in
+  let iters_thread = mul serial red in
+  let total_iters = total_iterations ss in
+  let fa, fm, fd, fs, fc, io = counts_of ss.stage.counts in
+  let fused_counts =
+    List.fold_left
+      (fun (a, m, d, s, c) (st : Compute.stage) ->
+        let fa', fm', fd', fs', fc', _ = counts_of st.counts in
+        (a +. fa', m +. fm', d +. fd', s +. fs', c +. fc'))
+      (0.0, 0.0, 0.0, 0.0, 0.0) ss.fused_elemwise
+  in
+  let f5 (a, _, _, _, _) = a
+  and f5b (_, b, _, _, _) = b
+  and f5c (_, _, c, _, _) = c
+  and f5d (_, _, _, d, _) = d
+  and f5e (_, _, _, _, e) = e in
+  let spatial = spatial_total ss in
+  let count_feature base fused = add (mul (const base) total_iters) (mul (const fused) spatial) in
+  let float_add = count_feature fa (f5 fused_counts) in
+  let float_mul = count_feature fm (f5b fused_counts) in
+  let float_div = count_feature fd (f5c fused_counts) in
+  let float_special = count_feature fs (f5d fused_counts) in
+  let float_cmp = count_feature fc (f5e fused_counts) in
+  (* Address arithmetic: unrolling amortises index updates (the select that
+     Section 3.3 uses as its running example of non-differentiability), and
+     vectorisation divides issue count. *)
+  let int_ops =
+    div
+      (mul (mul (const io) total_iters) (select (gt unroll (const 8.0)) (const 2.0) (const 5.0)))
+      vec
+  in
+  let flops_total = sum [ float_add; float_mul; float_div; float_special; float_cmp ] in
+  let flops_per_thread = div flops_total (max_ one total_threads) in
+  let flops_per_block = div flops_total (max_ one grid) in
+  (* Per-buffer features on the top buffers of the dominant stage. *)
+  let ranked_reads =
+    List.sort
+      (fun (a : Compute.access) b ->
+        Stdlib.compare (buffer_elems b.buffer) (buffer_elems a.buffer))
+      ss.stage.reads
+  in
+  let buf_feats =
+    List.init buffer_slots (fun slot ->
+        match List.nth_opt ranked_reads slot with
+        | None -> List.map (fun _ -> zero) per_buffer_features
+        | Some access ->
+          let fp_block = Loop_ir.access_footprint ss Loop_ir.Block_scope access in
+          let fp_thread = Loop_ir.access_footprint ss Loop_ir.Thread_scope access in
+          let touched_block = Loop_ir.access_touched ss Loop_ir.Block_scope access in
+          let touched_thread = Loop_ir.access_touched ss Loop_ir.Thread_scope access in
+          let contiguous = if Loop_ir.access_contiguous ss access then one else zero in
+          let bytes = const (float_of_int (Stdlib.( * ) (buffer_elems access.buffer) 4)) in
+          [ touched_block; fp_block;
+            div touched_block (max_ one fp_block);
+            fp_thread; touched_thread; bytes;
+            div fp_block (const 8.0);
+            contiguous;
+            mul fp_thread (const 4.0);
+            select (eq contiguous one) one (const 8.0) ])
+  in
+  let shared = Loop_ir.shared_bytes ss in
+  let uses_shared = if Loop_ir.uses_shared_cache ss then one else zero in
+  let out_elems =
+    const (float_of_int (Compute.spatial_iterations ss.stage))
+  in
+  let out_bytes_block = div (mul out_elems (const 4.0)) (max_ one grid) in
+  let fused_flops =
+    f5 fused_counts +. f5b fused_counts +. f5c fused_counts +. f5d fused_counts
+    +. f5e fused_counts
+  in
+  let other_flops =
+    const (List.fold_left (fun acc o -> acc +. stage_concrete_flops o) 0.0 others)
+  in
+  let other_threads =
+    sum (List.map (fun o -> mul (Loop_ir.grid_size o) (Loop_ir.block_threads o)) others)
+  in
+  let other_grid = sum (List.map Loop_ir.grid_size others) in
+  let other_touched =
+    sum
+      (List.map
+         (fun o ->
+           mul (Loop_ir.grid_size o)
+             (sum
+                (List.map
+                   (fun a -> Loop_ir.access_footprint o Loop_ir.Block_scope a)
+                   o.Loop_ir.stage.reads)))
+         others)
+  in
+  let loads_block =
+    sum (List.map (fun a -> Loop_ir.access_footprint ss Loop_ir.Block_scope a) ss.stage.reads)
+  in
+  let traffic_loads =
+    add (mul grid (mul loads_block (const 4.0))) (mul other_touched (const 4.0))
+  in
+  let traffic_stores = mul out_elems (const 4.0) in
+  let traffic_total = add traffic_loads traffic_stores in
+  let num_spatial = const (float_of_int (Compute.num_spatial ss.stage)) in
+  let num_reduce = const (float_of_int (Compute.num_reduce ss.stage)) in
+  let features =
+    [ float_add; float_mul; float_div; float_special; float_cmp; int_ops; flops_total;
+      flops_per_thread; flops_per_block;
+      div flops_total (max_ one traffic_total);
+      grid; bthreads; vth; total_threads; serial; red; iters_thread; unroll;
+      min_ unroll iters_thread; vec;
+      min_ (div bthreads (const 1024.0)) one;
+      select (ge bthreads (const 32.0)) one (div bthreads (const 32.0)) ]
+    @ List.concat buf_feats
+    @ [ shared; div shared (max_ one bthreads); uses_shared;
+        div shared (const 49152.0);
+        div shared (mul (const 4.0) (max_ one bthreads));
+        out_elems; serial; out_bytes_block;
+        (if Loop_ir.access_contiguous ss
+              { buffer = ss.stage.write;
+                indices =
+                  List.mapi (fun i _ -> { Compute.terms = [ { axis = i; coeff = 1 } ]; offset = 0 })
+                    ss.stage.write.shape }
+         then one
+         else zero);
+        const fused_flops;
+        const (float_of_int (List.length ss.fused_elemwise));
+        const (float_of_int (List.length stages));
+        num_spatial; num_reduce;
+        add num_spatial num_reduce;
+        min_ (div grid (const 8.0)) one;
+        min_ (div grid (const 64.0)) one;
+        div grid (const 64.0);
+        min_ (div total_threads (const 100000.0)) one;
+        other_flops; other_threads; other_grid; other_touched;
+        const (float_of_int (List.length others));
+        traffic_loads; traffic_stores; traffic_total;
+        div traffic_total (max_ one flops_total);
+        mul loads_block (const 4.0);
+        select (ge grid (const 64.0)) one (div grid (const 64.0)) ]
+  in
+  let arr = Array.of_list (List.map Simplify.simplify features) in
+  assert (Array.length arr = num_features);
+  arr
+
+let extract_named p =
+  let feats = extract p in
+  Array.mapi (fun i e -> (feature_names.(i), e)) feats

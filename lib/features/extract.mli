@@ -1,0 +1,32 @@
+(** Program feature extraction (paper Section 3.3).
+
+    Walks a symbolic program p^* and produces the fixed-size vector of 82
+    named feature formulas, each an {!Expr.t} over the schedule variables.
+    The features capture the computation and memory-access characteristics
+    the DNN cost model consumes:
+
+    - arithmetic: counts of float add/mul/div/special/compare and integer
+      ops, total and per-thread flops, arithmetic intensity;
+    - parallelism: grid size, block threads, vthreads, serial iterations,
+      unrolling, vectorisation, occupancy proxies;
+    - memory: per-buffer touched and unique footprints at block and thread
+      scope, reuse factors, contiguity, cache-line estimates (top 3 buffers
+      of the dominant stage, zero-padded when fewer);
+    - shared memory: cooperative-cache bytes and occupancy;
+    - output/store behaviour and fused-stage structure.
+
+    Formulas may contain [select], [min] and [max] (e.g. occupancy caps and
+    trivial-loop tests); {!Pack} smooths them before differentiation,
+    exactly as the paper's rewriter does. *)
+
+val num_features : int
+(** 82, as in the paper. *)
+
+val feature_names : string array
+(** Length {!num_features}; stable order. *)
+
+val extract : Loop_ir.t -> Expr.t array
+(** Length {!num_features}; entry k is the formula for
+    [feature_names.(k)]. *)
+
+val extract_named : Loop_ir.t -> (string * Expr.t) array

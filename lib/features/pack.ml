@@ -1,0 +1,150 @@
+type t = {
+  sched : Schedule.t;
+  prog : Loop_ir.t;
+  names : string array;
+  bounds : (float * float) array;  (* log-space box *)
+  feature_tape : Autodiff.Tape.t;
+  penalty_tape : Autodiff.Tape.t;
+  n_penalties : int;
+  div_groups : (int * int list) list;  (* extent, var indices *)
+  raw_constraints : Expr.cond list;
+}
+
+let schedule t = t.sched
+let program t = t.prog
+let var_names t = t.names
+let num_vars t = Array.length t.names
+let bounds_log t = t.bounds
+let num_penalties t = t.n_penalties
+
+(* x = e^y: replace every schedule variable by exp of itself; tape inputs
+   are then interpreted as log-space values. *)
+let exp_subst vars e =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun v -> Hashtbl.replace tbl v ()) vars;
+  Expr.subst (fun v -> if Hashtbl.mem tbl v then Some (Expr.exp_ (Expr.var v)) else None) e
+
+(* Constraint conditions to margin expressions g with "holds iff g <= 0".
+   Both sides of every sketch constraint are positive (sizes, products,
+   byte counts), so [a <= b] is rewritten as [log(1+a) - log(1+b) <= 0]:
+   the margin of a violated shared-memory constraint is then of the same
+   order as that of a violated thread bound, keeping the penalty gradients
+   of Equation 4 well-conditioned. *)
+let rec margins_of_cond (c : Expr.cond) : Expr.t list =
+  let l1p e = Expr.log_ (Expr.add Expr.one e) in
+  match c with
+  | Cmp (Le, a, b) | Cmp (Lt, a, b) -> [ Expr.sub (l1p a) (l1p b) ]
+  | Cmp (Ge, a, b) | Cmp (Gt, a, b) -> [ Expr.sub (l1p b) (l1p a) ]
+  | Cmp (Eq, a, b) -> [ Expr.abs_ (Expr.sub (l1p a) (l1p b)) ]
+  | Cmp (Ne, _, _) -> []
+  | And (c1, c2) -> margins_of_cond c1 @ margins_of_cond c2
+  | Or (c1, c2) -> (
+    (* or: at least one margin <= 0, i.e. min of margins <= 0 *)
+    match (margins_of_cond c1, margins_of_cond c2) with
+    | [ m1 ], [ m2 ] -> [ Expr.min_ m1 m2 ]
+    | _ -> [])
+  | Not _ | Bconst _ -> []
+
+let prepare ?(width = 1.0) sg sched =
+  let prog = Loop_ir.apply sg sched in
+  let names = Array.of_list (Schedule.var_names sched) in
+  let name_list = Array.to_list names in
+  let bounds =
+    Array.of_list
+      (List.map (fun (v : Schedule.var) -> (log v.lo, log v.hi)) sched.Schedule.vars)
+  in
+  let transform e =
+    e
+    |> Smooth.smooth ~width
+    |> exp_subst name_list
+    |> fun e' -> Expr.log_ (Expr.add Expr.one e')
+  in
+  let features = Extract.extract prog |> Array.map transform |> Array.to_list in
+  let feature_tape = Autodiff.Tape.compile ~inputs:name_list features in
+  let margins =
+    List.concat_map margins_of_cond sched.Schedule.constraints
+    |> List.map (fun g ->
+           let g = exp_subst name_list (Smooth.smooth ~width g) in
+           Simplify.simplify g)
+  in
+  let penalty_tape = Autodiff.Tape.compile ~inputs:name_list margins in
+  let index_of name =
+    let rec go i = if names.(i) = name then i else go (i + 1) in
+    go 0
+  in
+  let div_groups =
+    List.map
+      (fun (extent, vars) -> (extent, List.map index_of vars))
+      sched.Schedule.div_groups
+  in
+  { sched; prog; names; bounds; feature_tape; penalty_tape;
+    n_penalties = List.length margins; div_groups;
+    raw_constraints = sched.Schedule.constraints }
+
+let features_at t y = Autodiff.Tape.eval t.feature_tape y
+let features_vjp t y adj = Autodiff.Tape.vjp t.feature_tape y adj
+
+let penalty_margins t y = Autodiff.Tape.eval t.penalty_tape y
+
+let penalty_value_grad t y =
+  let margins = Autodiff.Tape.eval t.penalty_tape y in
+  let value = Array.fold_left (fun acc g -> acc +. (max g 0.0 ** 2.0)) 0.0 margins in
+  (* d/dg sum max(g,0)^2 = 2 max(g,0); one VJP gives the y-gradient. *)
+  let adj = Array.map (fun g -> 2.0 *. max g 0.0) margins in
+  let _, grad = Autodiff.Tape.vjp t.penalty_tape y adj in
+  (value, grad)
+
+let round_to_valid t y =
+  let n = Array.length t.names in
+  if Array.length y <> n then invalid_arg "Pack.round_to_valid: arity mismatch";
+  let rounded = Array.make n nan in
+  (* Divisor groups: round sequentially, consuming the extent. Variables
+     later in the group get divisors of what remains, so the product always
+     divides the extent. *)
+  List.iter
+    (fun (extent, idxs) ->
+      let remaining = ref extent in
+      List.iter
+        (fun i ->
+          let x = exp y.(i) in
+          let d = Factorize.nearest_divisor !remaining x in
+          rounded.(i) <- log (float_of_int d);
+          remaining := !remaining / d)
+        idxs)
+    t.div_groups;
+  (* Free variables: nearest integer, clamped to the box. *)
+  Array.iteri
+    (fun i v ->
+      if Float.is_nan v then begin
+        let lo, hi = t.bounds.(i) in
+        let x = Float.round (exp (Stats.clamp ~lo ~hi y.(i))) in
+        rounded.(i) <- log (max 1.0 x)
+      end)
+    rounded;
+  (* Validate the original (unsmoothed) constraints at the integer point. *)
+  let env =
+    let tbl = Hashtbl.create n in
+    Array.iteri (fun i name -> Hashtbl.replace tbl name (Float.round (exp rounded.(i)))) t.names;
+    fun v ->
+      match Hashtbl.find_opt tbl v with
+      | Some x -> x
+      | None -> raise (Eval.Unbound_variable v)
+  in
+  let feasible =
+    List.for_all (fun c -> Eval.eval_cond env c) t.raw_constraints
+  in
+  if feasible then Some rounded else None
+
+let assignment t y =
+  Array.to_list (Array.mapi (fun i name -> (name, int_of_float (Float.round (exp y.(i))))) t.names)
+
+let env_of t y =
+  let tbl = Hashtbl.create (Array.length t.names) in
+  Array.iteri (fun i name -> Hashtbl.replace tbl name (Float.round (exp y.(i)))) t.names;
+  fun v ->
+    match Hashtbl.find_opt tbl v with Some x -> x | None -> raise (Eval.Unbound_variable v)
+
+let schedule_key t y =
+  t.sched.Schedule.sched_name ^ ":"
+  ^ String.concat ","
+      (List.map (fun (_, v) -> string_of_int v) (assignment t y))

@@ -1,0 +1,68 @@
+(** Differentiable objective ingredients for one symbolic program.
+
+    [prepare] assembles everything Algorithm 1 needs for a (subgraph,
+    symbolic schedule) pair:
+
+    + extract the 82 raw feature formulas ({!Extract});
+    + rewrite non-differentiable operators to their smooth forms
+      ({!Smooth}, paper Section 3.3);
+    + apply the gradient-stability transform: [log(1 + f)] on each feature
+      and the substitution [x = e^y] on every schedule variable, so the
+      optimiser works in log-space [y];
+    + compile features and constraint-penalty margins into reverse-mode
+      tapes ({!Autodiff.Tape});
+    + keep the divisibility groups for post-optimisation factor rounding.
+
+    All tape inputs are the log-space variables [y] in the order of
+    {!var_names}. *)
+
+type t
+
+val prepare : ?width:float -> Compute.subgraph -> Schedule.t -> t
+(** [width] is the smoothing-kernel width of Section 3.3 (default 1.0);
+    exposed for the ablation benchmarks. *)
+
+val schedule : t -> Schedule.t
+val program : t -> Loop_ir.t
+
+val var_names : t -> string array
+(** Order of the tape inputs. *)
+
+val num_vars : t -> int
+
+val bounds_log : t -> (float * float) array
+(** Per-variable [ln lo, ln hi] box; initial seeds are drawn inside it. *)
+
+val features_at : t -> float array -> float array
+(** Transformed (smoothed, log-scaled) feature vector at [y]; length 82. *)
+
+val features_vjp : t -> float array -> float array -> float array * float array
+(** [(features, dy)] where [dy] is the gradient of [sum_k adj_k * feat_k]
+    with respect to [y]. *)
+
+val penalty_margins : t -> float array -> float array
+(** Smoothed constraint margins g_r(y); the schedule is feasible when all
+    are <= 0. *)
+
+val penalty_value_grad : t -> float array -> float * float array
+(** [(sum_r max(g_r, 0)^2, gradient)] — the penalty term of Equation 4
+    (without the lambda factor). *)
+
+val num_penalties : t -> int
+
+val round_to_valid : t -> float array -> float array option
+(** Round log-space values to the nearest divisor assignment (Section 3.3's
+    factor rounding) and check the original integer constraints; [None] if
+    the rounded point is infeasible. The result is a valid concrete
+    schedule's log-space image. *)
+
+val assignment : t -> float array -> (string * int) list
+(** Integer variable assignment corresponding to (rounded) [y]. *)
+
+val env_of : t -> float array -> Eval.env
+(** Concrete evaluation environment [x = e^y] for the raw program
+    expressions (used by the hardware simulator). *)
+
+val schedule_key : t -> float array -> string
+(** Stable identity of the concrete schedule at rounded [y] (for
+    deduplicating measurements). *)

@@ -1,0 +1,37 @@
+(** Off-the-shelf inference framework baselines: PyTorch (TorchInductor),
+    TensorFlow (XLA) and TensorRT (paper Section 5).
+
+    The real frameworks dispatch each fused operator to a hand-optimised
+    kernel library. The substitute (see DESIGN.md) models a library kernel
+    as: the best schedule found by a fixed-seed random search through the
+    same GPU simulator (an "expert-tuned" schedule), scaled by a
+    per-(framework, operator-kind, device) efficiency factor calibrated to
+    the paper's qualitative findings — vendor libraries are excellent at
+    3-D convolution, competitive at common 2-D convolutions, and weak on
+    small, uncommon or fusion-heavy layers (depthwise and transposed
+    convolutions, attention softmax) — plus a per-operator dispatch
+    overhead that TensorRT's aggressive fusion mostly eliminates.
+
+    [network_latency_ms] returns [None] for the configurations the paper
+    reports as failing: LLaMA on TensorFlow (unsupported) and TensorRT
+    (segfault), and any network that does not fit Xavier NX's memory. *)
+
+type framework = Pytorch | Tensorflow | Tensorrt
+
+val all : framework list
+val name : framework -> string
+
+val kernel_baseline_ms : Device.t -> Compute.subgraph -> float
+(** Latency of the "expert-tuned" kernel for a subgraph on a device: best
+    of a fixed-seed random search (cached per device and workload). *)
+
+val operator_latency_ms : Device.t -> framework -> Op.t -> float
+(** Single-operator latency under a framework (Figure 9). *)
+
+val network_latency_ms : Device.t -> framework -> Graph.t -> float option
+(** Whole-network inference latency (Figure 6). Callers should gate on
+    {!supported} first; the paper's failing configurations — LLaMA on
+    TensorFlow (unsupported) and TensorRT (segfault), memory-limited
+    networks on Xavier NX — are encoded there. *)
+
+val supported : Device.t -> framework -> Workload.network -> bool

@@ -1,0 +1,84 @@
+type node = { id : int; op : Op.t; node_name : string; inputs : int list }
+type t = { graph_name : string; nodes : node array }
+
+let input_id = -1
+let num_nodes g = Array.length g.nodes
+
+let node g i =
+  if i < 0 || i >= Array.length g.nodes then invalid_arg "Graph.node: id out of range";
+  g.nodes.(i)
+
+let consumers g =
+  let out = Array.make (Array.length g.nodes) [] in
+  Array.iter
+    (fun n ->
+      List.iter (fun src -> if src >= 0 then out.(src) <- n.id :: out.(src)) n.inputs)
+    g.nodes;
+  Array.map (fun l -> Array.of_list (List.rev l)) out
+
+let total_flops g = Array.fold_left (fun acc n -> acc +. Op.flops n.op) 0.0 g.nodes
+
+let validate g =
+  let ok = ref (Ok ()) in
+  Array.iteri
+    (fun i n ->
+      if n.id <> i then ok := Error (Printf.sprintf "node %d has id %d" i n.id);
+      List.iter
+        (fun src ->
+          if src <> input_id && (src < 0 || src >= i) then
+            ok := Error (Printf.sprintf "node %d has invalid input %d" i src))
+        n.inputs)
+    g.nodes;
+  !ok
+
+let summary g =
+  let counts = Hashtbl.create 16 in
+  Array.iter
+    (fun n ->
+      let k = Op.name n.op in
+      Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k)))
+    g.nodes;
+  let per_kind =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    |> List.map (fun (k, v) -> Printf.sprintf "  %-16s %d" k v)
+    |> String.concat "\n"
+  in
+  Printf.sprintf "%s: %d nodes, %.2f GFLOPs\n%s" g.graph_name (num_nodes g)
+    (total_flops g /. 1e9) per_kind
+
+module Builder = struct
+  type g = {
+    b_name : string;
+    mutable rev_nodes : node list;
+    mutable count : int;
+    mutable input_shape : int list;
+  }
+
+  let create name = { b_name = name; rev_nodes = []; count = 0; input_shape = [] }
+
+  let add b ?name op ~inputs =
+    List.iter
+      (fun src ->
+        if src <> input_id && (src < 0 || src >= b.count) then
+          invalid_arg (Printf.sprintf "Graph.Builder.add: input %d not yet defined" src))
+      inputs;
+    let id = b.count in
+    let node_name =
+      match name with Some n -> n | None -> Printf.sprintf "%s_%d" (Op.name op) id
+    in
+    b.rev_nodes <- { id; op; node_name; inputs } :: b.rev_nodes;
+    b.count <- id + 1;
+    id
+
+  let set_input_shape b shape = b.input_shape <- shape
+
+  let output_shape b i =
+    if i = input_id then b.input_shape
+    else
+      match List.find_opt (fun n -> n.id = i) b.rev_nodes with
+      | Some n -> Op.output_shape n.op
+      | None -> invalid_arg "Graph.Builder.output_shape: unknown node"
+
+  let finish b = { graph_name = b.b_name; nodes = Array.of_list (List.rev b.rev_nodes) }
+end

@@ -1,0 +1,55 @@
+(** Computation graphs of tensor operators (paper Section 3.1).
+
+    A graph is a topologically-ordered DAG of operator nodes. Node inputs
+    reference earlier node ids; the pseudo-id [input_id] (-1) denotes the
+    graph input tensor. Graphs are built with {!module:Builder} by the
+    model definitions in [Models_*]. *)
+
+type node = {
+  id : int;
+  op : Op.t;
+  node_name : string;
+  inputs : int list;  (** producer node ids; {!input_id} for the graph input *)
+}
+
+type t = {
+  graph_name : string;
+  nodes : node array;  (** indexed by [id], topologically ordered *)
+}
+
+val input_id : int
+
+val num_nodes : t -> int
+
+val node : t -> int -> node
+
+val consumers : t -> int array array
+(** [consumers g] maps each node id to the ids consuming its output. *)
+
+val total_flops : t -> float
+
+val validate : t -> (unit, string) result
+(** Checks ids are dense, inputs reference earlier nodes, and the graph is
+    acyclic by construction. *)
+
+val summary : t -> string
+(** Multi-line description: node count, flops, per-operator-kind counts. *)
+
+(** Incremental graph construction. *)
+module Builder : sig
+  type g
+
+  val create : string -> g
+
+  val add : g -> ?name:string -> Op.t -> inputs:int list -> int
+  (** Returns the new node id. Raises [Invalid_argument] on a forward or
+      out-of-range input reference. *)
+
+  val output_shape : g -> int -> int list
+  (** Shape of an already-added node (or the graph input's declared shape
+      if given to {!set_input_shape}). *)
+
+  val set_input_shape : g -> int list -> unit
+
+  val finish : g -> t
+end

@@ -1,0 +1,64 @@
+module B = Graph.Builder
+
+let elems g id = List.fold_left ( * ) 1 (B.output_shape g id)
+
+let conv2d g ?name ?(groups = 1) ~input ~in_chan ~out_chan ~in_hw:(in_h, in_w) ~kernel
+    ~stride ~pad () =
+  let batch = max 1 (elems g input / max 1 (in_chan * in_h * in_w)) in
+  let op =
+    Op.Conv2d
+      { batch; in_chan; out_chan; in_h; in_w; kernel_h = kernel; kernel_w = kernel; stride;
+        pad; groups }
+  in
+  let id = B.add g ?name op ~inputs:[ input ] in
+  match Op.output_shape op with
+  | [ _; _; oh; ow ] -> (id, (oh, ow))
+  | _ -> assert false
+
+let conv3d g ?name ~input ~in_chan ~out_chan ~in_dhw:(in_d, in_h, in_w) ~kernel ~stride ~pad
+    () =
+  let batch = max 1 (elems g input / max 1 (in_chan * in_d * in_h * in_w)) in
+  let op =
+    Op.Conv3d
+      { batch; in_chan; out_chan; in_d; in_h; in_w; kernel_d = kernel; kernel_h = kernel;
+        kernel_w = kernel; stride; pad }
+  in
+  let id = B.add g ?name op ~inputs:[ input ] in
+  match Op.output_shape op with
+  | [ _; _; od; oh; ow ] -> (id, (od, oh, ow))
+  | _ -> assert false
+
+let tconv2d g ?name ~input ~in_chan ~out_chan ~in_hw:(in_h, in_w) ~kernel ~stride ~pad () =
+  let batch = max 1 (elems g input / max 1 (in_chan * in_h * in_w)) in
+  let op =
+    Op.Tconv2d
+      { batch; in_chan; out_chan; in_h; in_w; kernel_h = kernel; kernel_w = kernel; stride;
+        pad }
+  in
+  let id = B.add g ?name op ~inputs:[ input ] in
+  match Op.output_shape op with
+  | [ _; _; oh; ow ] -> (id, (oh, ow))
+  | _ -> assert false
+
+let batch_norm g ~input ~chan =
+  let n = elems g input in
+  let spatial = max 1 (n / chan) in
+  B.add g (Op.Batch_norm_infer { batch = 1; chan; spatial }) ~inputs:[ input ]
+
+let activation g kind ~input = B.add g (Op.Elemwise (kind, elems g input)) ~inputs:[ input ]
+
+let residual_add g a b =
+  let na = elems g a and nb = elems g b in
+  if na <> nb then
+    invalid_arg (Printf.sprintf "Layers.residual_add: element mismatch %d vs %d" na nb);
+  B.add g (Op.Binary (Op.Add, na)) ~inputs:[ a; b ]
+
+let dense g ?name input ~batch ~in_dim ~out_dim =
+  B.add g ?name (Op.Dense { batch; in_dim; out_dim }) ~inputs:[ input ]
+
+let layer_norm g ~input ~rows ~cols = B.add g (Op.Layer_norm { rows; cols }) ~inputs:[ input ]
+
+let softmax g ~input ~rows ~cols = B.add g (Op.Softmax { rows; cols }) ~inputs:[ input ]
+
+let batch_matmul g ?name lhs rhs ~batch ~m ~k ~n =
+  B.add g ?name (Op.Batch_matmul { batch; m; k; n }) ~inputs:[ lhs; rhs ]

@@ -1,0 +1,70 @@
+(** Shared layer builders used by the model definitions.
+
+    Each helper appends one or more operator nodes to a {!Graph.Builder.g}
+    and returns the id of the last node. Inference-time batch-norm is
+    folded to a per-channel scale/shift node, as deployment graphs do. *)
+
+val elems : Graph.Builder.g -> int -> int
+(** Number of elements of a node's output. *)
+
+val conv2d :
+  Graph.Builder.g ->
+  ?name:string ->
+  ?groups:int ->
+  input:int ->
+  in_chan:int ->
+  out_chan:int ->
+  in_hw:int * int ->
+  kernel:int ->
+  stride:int ->
+  pad:int ->
+  unit ->
+  int * (int * int)
+(** Returns [(node_id, (out_h, out_w))]. *)
+
+val conv3d :
+  Graph.Builder.g ->
+  ?name:string ->
+  input:int ->
+  in_chan:int ->
+  out_chan:int ->
+  in_dhw:int * int * int ->
+  kernel:int ->
+  stride:int ->
+  pad:int ->
+  unit ->
+  int * (int * int * int)
+
+val tconv2d :
+  Graph.Builder.g ->
+  ?name:string ->
+  input:int ->
+  in_chan:int ->
+  out_chan:int ->
+  in_hw:int * int ->
+  kernel:int ->
+  stride:int ->
+  pad:int ->
+  unit ->
+  int * (int * int)
+
+val batch_norm : Graph.Builder.g -> input:int -> chan:int -> int
+(** Folded inference batch-norm over the input node's elements. *)
+
+val activation : Graph.Builder.g -> Op.elemwise_kind -> input:int -> int
+
+val residual_add : Graph.Builder.g -> int -> int -> int
+(** Elementwise sum of two nodes with equal element counts. *)
+
+val dense :
+  Graph.Builder.g -> ?name:string -> int -> batch:int -> in_dim:int -> out_dim:int -> int
+(** [dense g producer ~batch ~in_dim ~out_dim] appends a dense layer reading
+    the positional [producer] node. *)
+
+val layer_norm : Graph.Builder.g -> input:int -> rows:int -> cols:int -> int
+
+val softmax : Graph.Builder.g -> input:int -> rows:int -> cols:int -> int
+
+val batch_matmul :
+  Graph.Builder.g -> ?name:string -> int -> int -> batch:int -> m:int -> k:int -> n:int -> int
+(** [batch_matmul g lhs rhs ~batch ~m ~k ~n]. *)

@@ -1,0 +1,30 @@
+module B = Graph.Builder
+module L = Layers
+
+let graph ?(batch = 1) () =
+  let g = B.create (Printf.sprintf "dcgan-b%d" batch) in
+  B.set_input_shape g [ batch; 100; 1; 1 ];
+  (* 1x1 -> 4x4 -> 8x8 -> 16x16 -> 32x32 -> 64x64 *)
+  let t1, hw =
+    L.tconv2d g ~name:"proj" ~input:Graph.input_id ~in_chan:100 ~out_chan:1024 ~in_hw:(1, 1)
+      ~kernel:4 ~stride:1 ~pad:0 ()
+  in
+  let x = ref (L.activation g Op.Relu ~input:(L.batch_norm g ~input:t1 ~chan:1024)) in
+  let chan = ref 1024 and cur_hw = ref hw in
+  List.iter
+    (fun out_chan ->
+      let t, hw' =
+        L.tconv2d g ~input:!x ~in_chan:!chan ~out_chan ~in_hw:!cur_hw ~kernel:4 ~stride:2
+          ~pad:1 ()
+      in
+      let t = L.activation g Op.Relu ~input:(L.batch_norm g ~input:t ~chan:out_chan) in
+      x := t;
+      chan := out_chan;
+      cur_hw := hw')
+    [ 512; 256; 128 ];
+  let final, _ =
+    L.tconv2d g ~name:"to_rgb" ~input:!x ~in_chan:!chan ~out_chan:3 ~in_hw:!cur_hw ~kernel:4
+      ~stride:2 ~pad:1 ()
+  in
+  let _out = L.activation g Op.Tanh ~input:final in
+  B.finish g

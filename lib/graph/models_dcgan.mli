@@ -1,0 +1,4 @@
+(** DCGAN generator [Radford et al. 2015]: a stack of strided transposed
+    convolutions upsampling a 100-d latent vector to a 64x64 image. *)
+
+val graph : ?batch:int -> unit -> Graph.t

@@ -1,0 +1,49 @@
+module B = Graph.Builder
+module L = Layers
+
+let hidden = 4096
+let heads = 32
+let head_dim = hidden / heads
+let ffn = 11008
+let layers = 32
+let vocab = 32000
+
+let decoder_layer g ~batch ~seq ~input =
+  let rows = batch * seq in
+  let ln1 = L.layer_norm g ~input ~rows ~cols:hidden in
+  let q = L.dense g ~name:"wq" ln1 ~batch:rows ~in_dim:hidden ~out_dim:hidden in
+  let k = L.dense g ~name:"wk" ln1 ~batch:rows ~in_dim:hidden ~out_dim:hidden in
+  let v = L.dense g ~name:"wv" ln1 ~batch:rows ~in_dim:hidden ~out_dim:hidden in
+  let scores =
+    L.batch_matmul g ~name:"attn_qk" q k ~batch:(batch * heads) ~m:seq ~k:head_dim
+      ~n:seq
+  in
+  let probs = L.softmax g ~input:scores ~rows:(batch * heads * seq) ~cols:seq in
+  let ctx =
+    L.batch_matmul g ~name:"attn_v" probs v ~batch:(batch * heads) ~m:seq ~k:seq
+      ~n:head_dim
+  in
+  let o = L.dense g ~name:"wo" ctx ~batch:rows ~in_dim:hidden ~out_dim:hidden in
+  let res1 = L.residual_add g o input in
+  let ln2 = L.layer_norm g ~input:res1 ~rows ~cols:hidden in
+  let gate = L.dense g ~name:"w_gate" ln2 ~batch:rows ~in_dim:hidden ~out_dim:ffn in
+  let gate = L.activation g Op.Silu ~input:gate in
+  let up = L.dense g ~name:"w_up" ln2 ~batch:rows ~in_dim:hidden ~out_dim:ffn in
+  let prod = B.add g (Op.Binary (Op.Mul, rows * ffn)) ~inputs:[ gate; up ] in
+  let down = L.dense g ~name:"w_down" prod ~batch:rows ~in_dim:ffn ~out_dim:hidden in
+  L.residual_add g down res1
+
+let graph ?(batch = 1) ?(seq_len = 100) () =
+  let g = B.create (Printf.sprintf "llama-b%d" batch) in
+  B.set_input_shape g [ batch; seq_len; hidden ];
+  (* Token embedding lookup is a gather with negligible compute; the first
+     layer reads the embedded prompt directly. *)
+  let x = ref (B.add g ~name:"embed" (Op.Concat { parts = [ seq_len ]; rest = batch * hidden })
+                 ~inputs:[ Graph.input_id ]) in
+  for _ = 1 to layers do
+    x := decoder_layer g ~batch ~seq:seq_len ~input:!x
+  done;
+  let rows = batch * seq_len in
+  let ln = L.layer_norm g ~input:!x ~rows ~cols:hidden in
+  let _logits = L.dense g ~name:"lm_head" ln ~batch ~in_dim:hidden ~out_dim:vocab in
+  B.finish g

@@ -1,0 +1,7 @@
+(** LLaMA-7B [Touvron et al. 2023] in the paper's configuration: prefill of
+    a 100-token prompt at fp32. 32 decoder layers, hidden size 4096, 32
+    heads, SwiGLU feed-forward of width 11008, RMSNorm (modelled as layer
+    norm). The paper could not run it on Xavier NX (insufficient memory);
+    our workload table mirrors that. *)
+
+val graph : ?batch:int -> ?seq_len:int -> unit -> Graph.t

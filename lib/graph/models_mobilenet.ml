@@ -1,0 +1,64 @@
+module B = Graph.Builder
+module L = Layers
+
+let inverted_residual g ~input ~in_chan ~out_chan ~stride ~expand ~hw:(h, w) =
+  let hidden = in_chan * expand in
+  let x, x_chan =
+    if expand = 1 then (input, in_chan)
+    else begin
+      let e, _ =
+        L.conv2d g ~input ~in_chan ~out_chan:hidden ~in_hw:(h, w) ~kernel:1 ~stride:1 ~pad:0 ()
+      in
+      (L.activation g Op.Relu ~input:(L.batch_norm g ~input:e ~chan:hidden), hidden)
+    end
+  in
+  let dw, (h2, w2) =
+    L.conv2d g ~groups:x_chan ~input:x ~in_chan:x_chan ~out_chan:x_chan ~in_hw:(h, w) ~kernel:3
+      ~stride ~pad:1 ()
+  in
+  let dw = L.activation g Op.Relu ~input:(L.batch_norm g ~input:dw ~chan:x_chan) in
+  let proj, _ =
+    L.conv2d g ~input:dw ~in_chan:x_chan ~out_chan ~in_hw:(h2, w2) ~kernel:1 ~stride:1 ~pad:0 ()
+  in
+  let proj = L.batch_norm g ~input:proj ~chan:out_chan in
+  let out =
+    if stride = 1 && in_chan = out_chan then L.residual_add g proj input else proj
+  in
+  (out, (h2, w2))
+
+(* (expand, out_chan, repeats, stride) per stage, from the paper's Table 2. *)
+let config =
+  [ (1, 16, 1, 1); (6, 24, 2, 2); (6, 32, 3, 2); (6, 64, 4, 2); (6, 96, 3, 1);
+    (6, 160, 3, 2); (6, 320, 1, 1) ]
+
+let graph ?(batch = 1) () =
+  let g = B.create (Printf.sprintf "mobilenet_v2-b%d" batch) in
+  B.set_input_shape g [ batch; 3; 224; 224 ];
+  let stem, hw =
+    L.conv2d g ~name:"stem" ~input:Graph.input_id ~in_chan:3 ~out_chan:32 ~in_hw:(224, 224)
+      ~kernel:3 ~stride:2 ~pad:1 ()
+  in
+  let stem = L.activation g Op.Relu ~input:(L.batch_norm g ~input:stem ~chan:32) in
+  let x = ref stem and chan = ref 32 and cur_hw = ref hw in
+  List.iter
+    (fun (expand, out_chan, repeats, stride) ->
+      for i = 0 to repeats - 1 do
+        let s = if i = 0 then stride else 1 in
+        let out, hw' =
+          inverted_residual g ~input:!x ~in_chan:!chan ~out_chan ~stride:s ~expand ~hw:!cur_hw
+        in
+        x := out;
+        chan := out_chan;
+        cur_hw := hw'
+      done)
+    config;
+  let head, (hh, hw') =
+    L.conv2d g ~input:!x ~in_chan:!chan ~out_chan:1280 ~in_hw:!cur_hw ~kernel:1 ~stride:1
+      ~pad:0 ()
+  in
+  let head = L.activation g Op.Relu ~input:(L.batch_norm g ~input:head ~chan:1280) in
+  let gap =
+    B.add g (Op.Global_avgpool { batch; chan = 1280; in_h = hh; in_w = hw' }) ~inputs:[ head ]
+  in
+  let _fc = L.dense g ~name:"classifier" gap ~batch ~in_dim:1280 ~out_dim:1000 in
+  B.finish g

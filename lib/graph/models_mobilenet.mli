@@ -1,0 +1,5 @@
+(** MobileNet-v2 [Sandler et al. 2018]: inverted residual blocks with
+    depthwise convolutions — the paper's example of a network made of many
+    small layers that are hard to parallelise on big GPUs. *)
+
+val graph : ?batch:int -> unit -> Graph.t

@@ -1,0 +1,46 @@
+module B = Graph.Builder
+module L = Layers
+
+let basic_block g ~input ~in_chan ~out_chan ~stride ~dhw =
+  let c1, dhw1 =
+    L.conv3d g ~input ~in_chan ~out_chan ~in_dhw:dhw ~kernel:3 ~stride ~pad:1 ()
+  in
+  let c1 = L.activation g Op.Relu ~input:(L.batch_norm g ~input:c1 ~chan:out_chan) in
+  let c2, dhw2 =
+    L.conv3d g ~input:c1 ~in_chan:out_chan ~out_chan ~in_dhw:dhw1 ~kernel:3 ~stride:1 ~pad:1 ()
+  in
+  let c2 = L.batch_norm g ~input:c2 ~chan:out_chan in
+  let shortcut =
+    if in_chan <> out_chan || stride <> 1 then begin
+      let d, _ =
+        L.conv3d g ~input ~in_chan ~out_chan ~in_dhw:dhw ~kernel:1 ~stride ~pad:0 ()
+      in
+      L.batch_norm g ~input:d ~chan:out_chan
+    end
+    else input
+  in
+  (L.activation g Op.Relu ~input:(L.residual_add g c2 shortcut), dhw2)
+
+let graph ?(batch = 1) () =
+  let g = B.create (Printf.sprintf "r3d_18-b%d" batch) in
+  B.set_input_shape g [ batch; 3; 16; 112; 112 ];
+  let stem, dhw =
+    L.conv3d g ~name:"stem" ~input:Graph.input_id ~in_chan:3 ~out_chan:64
+      ~in_dhw:(16, 112, 112) ~kernel:3 ~stride:2 ~pad:1 ()
+  in
+  let stem = L.activation g Op.Relu ~input:(L.batch_norm g ~input:stem ~chan:64) in
+  let x = ref stem and chan = ref 64 and cur = ref dhw in
+  List.iter
+    (fun (out_chan, stride) ->
+      let b1, d1 = basic_block g ~input:!x ~in_chan:!chan ~out_chan ~stride ~dhw:!cur in
+      let b2, d2 = basic_block g ~input:b1 ~in_chan:out_chan ~out_chan ~stride:1 ~dhw:d1 in
+      x := b2;
+      chan := out_chan;
+      cur := d2)
+    [ (64, 1); (128, 2); (256, 2); (512, 2) ];
+  let d, h, w = !cur in
+  let gap =
+    B.add g (Op.Global_avgpool { batch; chan = 512; in_h = d * h; in_w = w }) ~inputs:[ !x ]
+  in
+  let _fc = L.dense g ~name:"classifier" gap ~batch ~in_dim:512 ~out_dim:400 in
+  B.finish g

@@ -1,0 +1,5 @@
+(** R3D-18 [Hara et al. 2017]: 3-D ResNet-18 for action recognition on
+    16-frame 112x112 clips. More than 99% of its work is 3-D convolution,
+    which the paper uses to show where vendor libraries still win. *)
+
+val graph : ?batch:int -> unit -> Graph.t

@@ -1,0 +1,62 @@
+module B = Graph.Builder
+module L = Layers
+
+let bottleneck g ~input ~in_chan ~mid ~out_chan ~stride ~hw:(h, w) =
+  let c1, _ =
+    L.conv2d g ~input ~in_chan ~out_chan:mid ~in_hw:(h, w) ~kernel:1 ~stride:1 ~pad:0 ()
+  in
+  let c1 = L.activation g Op.Relu ~input:(L.batch_norm g ~input:c1 ~chan:mid) in
+  let c2, (h2, w2) =
+    L.conv2d g ~input:c1 ~in_chan:mid ~out_chan:mid ~in_hw:(h, w) ~kernel:3 ~stride ~pad:1 ()
+  in
+  let c2 = L.activation g Op.Relu ~input:(L.batch_norm g ~input:c2 ~chan:mid) in
+  let c3, _ =
+    L.conv2d g ~input:c2 ~in_chan:mid ~out_chan ~in_hw:(h2, w2) ~kernel:1 ~stride:1 ~pad:0 ()
+  in
+  let c3 = L.batch_norm g ~input:c3 ~chan:out_chan in
+  let shortcut =
+    if in_chan <> out_chan || stride <> 1 then begin
+      let d, _ =
+        L.conv2d g ~input ~in_chan ~out_chan ~in_hw:(h, w) ~kernel:1 ~stride ~pad:0 ()
+      in
+      L.batch_norm g ~input:d ~chan:out_chan
+    end
+    else input
+  in
+  let added = L.residual_add g c3 shortcut in
+  (L.activation g Op.Relu ~input:added, (h2, w2))
+
+let stage g ~input ~blocks ~in_chan ~mid ~out_chan ~stride ~hw =
+  let rec go input in_chan stride hw remaining =
+    if remaining = 0 then (input, hw)
+    else begin
+      let out, hw' = bottleneck g ~input ~in_chan ~mid ~out_chan ~stride ~hw in
+      go out out_chan 1 hw' (remaining - 1)
+    end
+  in
+  go input in_chan stride hw blocks
+
+let graph ?(batch = 1) () =
+  let g = B.create (Printf.sprintf "resnet50-b%d" batch) in
+  B.set_input_shape g [ batch; 3; 224; 224 ];
+  let stem, (h, w) =
+    L.conv2d g ~name:"stem" ~input:Graph.input_id ~in_chan:3 ~out_chan:64 ~in_hw:(224, 224)
+      ~kernel:7 ~stride:2 ~pad:3 ()
+  in
+  let stem = L.activation g Op.Relu ~input:(L.batch_norm g ~input:stem ~chan:64) in
+  let pool =
+    B.add g (Op.Maxpool2d { batch; chan = 64; in_h = h; in_w = w; kernel = 3; stride = 2; pad = 1 })
+      ~inputs:[ stem ]
+  in
+  let hw = ((h + 2 - 3) / 2 + 1, (w + 2 - 3) / 2 + 1) in
+  let l1, hw = stage g ~input:pool ~blocks:3 ~in_chan:64 ~mid:64 ~out_chan:256 ~stride:1 ~hw in
+  let l2, hw = stage g ~input:l1 ~blocks:4 ~in_chan:256 ~mid:128 ~out_chan:512 ~stride:2 ~hw in
+  let l3, hw = stage g ~input:l2 ~blocks:6 ~in_chan:512 ~mid:256 ~out_chan:1024 ~stride:2 ~hw in
+  let l4, (h4, w4) =
+    stage g ~input:l3 ~blocks:3 ~in_chan:1024 ~mid:512 ~out_chan:2048 ~stride:2 ~hw
+  in
+  let gap =
+    B.add g (Op.Global_avgpool { batch; chan = 2048; in_h = h4; in_w = w4 }) ~inputs:[ l4 ]
+  in
+  let _fc = L.dense g ~name:"classifier" gap ~batch ~in_dim:2048 ~out_dim:1000 in
+  B.finish g

@@ -1,0 +1,6 @@
+(** ResNet-50 [He et al. 2016], one of the paper's six evaluation networks.
+
+    Standard ImageNet configuration: 224x224 input, bottleneck blocks
+    [3; 4; 6; 3], folded inference batch-norms, 1000-way classifier. *)
+
+val graph : ?batch:int -> unit -> Graph.t

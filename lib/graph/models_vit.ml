@@ -1,0 +1,51 @@
+module B = Graph.Builder
+module L = Layers
+
+let hidden = 768
+let heads = 12
+let head_dim = hidden / heads
+let mlp_dim = 3072
+let layers = 12
+let tokens = 50 (* 7x7 patches + class token *)
+
+let encoder_layer g ~batch ~input =
+  let rows = batch * tokens in
+  let ln1 = L.layer_norm g ~input ~rows ~cols:hidden in
+  let qkv = L.dense g ~name:"qkv" ln1 ~batch:rows ~in_dim:hidden ~out_dim:(3 * hidden) in
+  let scores =
+    L.batch_matmul g ~name:"attn_qk" qkv qkv ~batch:(batch * heads) ~m:tokens
+      ~k:head_dim ~n:tokens
+  in
+  let probs = L.softmax g ~input:scores ~rows:(batch * heads * tokens) ~cols:tokens in
+  let ctx =
+    L.batch_matmul g ~name:"attn_v" probs qkv ~batch:(batch * heads) ~m:tokens
+      ~k:tokens ~n:head_dim
+  in
+  let proj = L.dense g ~name:"attn_proj" ctx ~batch:rows ~in_dim:hidden ~out_dim:hidden in
+  let res1 = L.residual_add g proj input in
+  let ln2 = L.layer_norm g ~input:res1 ~rows ~cols:hidden in
+  let fc1 = L.dense g ~name:"mlp_fc1" ln2 ~batch:rows ~in_dim:hidden ~out_dim:mlp_dim in
+  let act = L.activation g Op.Gelu ~input:fc1 in
+  let fc2 = L.dense g ~name:"mlp_fc2" act ~batch:rows ~in_dim:mlp_dim ~out_dim:hidden in
+  L.residual_add g fc2 res1
+
+let graph ?(batch = 1) () =
+  let g = B.create (Printf.sprintf "vit_b32-b%d" batch) in
+  B.set_input_shape g [ batch; 3; 224; 224 ];
+  let patch, _ =
+    L.conv2d g ~name:"patch_embed" ~input:Graph.input_id ~in_chan:3 ~out_chan:hidden
+      ~in_hw:(224, 224) ~kernel:32 ~stride:32 ~pad:0 ()
+  in
+  (* Prepend the class token: 49 patch tokens + 1 learned token. *)
+  let with_cls =
+    B.add g ~name:"cat_cls_token" (Op.Concat { parts = [ 1; 49 ]; rest = batch * hidden })
+      ~inputs:[ patch ]
+  in
+  let x = ref with_cls in
+  for _ = 1 to layers do
+    x := encoder_layer g ~batch ~input:!x
+  done;
+  let rows = batch * tokens in
+  let ln = L.layer_norm g ~input:!x ~rows ~cols:hidden in
+  let _head = L.dense g ~name:"classifier" ln ~batch:rows ~in_dim:hidden ~out_dim:1000 in
+  B.finish g

@@ -1,0 +1,5 @@
+(** Vision Transformer ViT-B/32 [Dosovitskiy et al. 2020]: 12 encoder
+    layers, hidden size 768, 12 heads, 32x32 patches over a 224x224 image
+    (50 tokens including the class token). *)
+
+val graph : ?batch:int -> unit -> Graph.t

@@ -1,0 +1,80 @@
+type task = {
+  task_id : int;
+  subgraph : Compute.subgraph;
+  weight : int;
+  node_ids : int list;
+}
+
+let is_fusable_elemwise (op : Op.t) =
+  match op with
+  | Elemwise _ | Binary _ | Bias_add _ | Batch_norm_infer _ -> true
+  | Conv2d _ | Conv3d _ | Tconv2d _ | Dense _ | Batch_matmul _ | Maxpool2d _
+  | Avgpool2d _ | Global_avgpool _ | Softmax _ | Layer_norm _ | Concat _ -> false
+
+let partition (g : Graph.t) =
+  let consumers = Graph.consumers g in
+  let consumed = Array.make (Graph.num_nodes g) false in
+  let groups = ref [] in
+  (* Group nodes: a seed node plus a chain of single-consumer elementwise
+     followers. *)
+  Array.iter
+    (fun (n : Graph.node) ->
+      if not consumed.(n.id) then begin
+        consumed.(n.id) <- true;
+        let chain = ref [ n.id ] in
+        let tail = ref n.id in
+        let continue_chain = ref true in
+        while !continue_chain do
+          match consumers.(!tail) with
+          | [| next_id |]
+            when (not consumed.(next_id))
+                 && is_fusable_elemwise (Graph.node g next_id).op
+                 && List.fold_left ( * ) 1 (Op.output_shape (Graph.node g next_id).op)
+                    = List.fold_left ( * ) 1 (Op.output_shape (Graph.node g !tail).op) ->
+            consumed.(next_id) <- true;
+            chain := next_id :: !chain;
+            tail := next_id
+          | _ -> continue_chain := false
+        done;
+        groups := List.rev !chain :: !groups
+      end)
+    g.nodes;
+  let groups = List.rev !groups in
+  (* Lower each group to a fused subgraph. *)
+  let lower_group ids =
+    match ids with
+    | [] -> assert false
+    | seed :: rest ->
+      let seed_node = Graph.node g seed in
+      let sg = Compute.lower ~name:seed_node.node_name seed_node.op in
+      List.fold_left
+        (fun sg id ->
+          let nd = Graph.node g id in
+          Compute.fuse_elemwise sg ~name:nd.node_name nd.op)
+        sg rest
+  in
+  (* Deduplicate by workload key. *)
+  let table : (string, task) Hashtbl.t = Hashtbl.create 32 in
+  let order = ref [] in
+  let next_id = ref 0 in
+  List.iter
+    (fun ids ->
+      let sg = lower_group ids in
+      let key = Compute.workload_key sg in
+      match Hashtbl.find_opt table key with
+      | Some t -> Hashtbl.replace table key { t with weight = t.weight + 1 }
+      | None ->
+        let t = { task_id = !next_id; subgraph = sg; weight = 1; node_ids = ids } in
+        incr next_id;
+        Hashtbl.replace table key t;
+        order := key :: !order)
+    groups;
+  List.rev_map (fun key -> Hashtbl.find table key) !order
+
+let task_flops t = Compute.subgraph_flops t.subgraph
+
+let describe t =
+  Printf.sprintf "task %d: %s (x%d, %.2f MFLOPs, %d stages)" t.task_id
+    t.subgraph.Compute.sg_name t.weight
+    (task_flops t /. 1e6)
+    (List.length t.subgraph.Compute.stages)

@@ -1,0 +1,26 @@
+(** Graph partitioning into fused subgraphs (paper Section 3.1).
+
+    The partitioner walks the graph in topological order, starts a subgraph
+    at every operator, and greedily fuses elementwise consumers (ReLU, GELU,
+    bias add, residual add, inference batch-norm) into their producer when
+    the producer has a single consumer — the classic Conv-ReLU / Dense-Add
+    fusion patterns of Ansor. Identical fused subgraphs (same operator
+    kinds and shapes) are then deduplicated into one {e tuning task} with a
+    multiplicity weight, as TVM does: each task is tuned once and its
+    schedule reused at every occurrence. *)
+
+type task = {
+  task_id : int;
+  subgraph : Compute.subgraph;
+  weight : int;  (** how many times this subgraph occurs in the graph *)
+  node_ids : int list;  (** representative occurrence, for reporting *)
+}
+
+val partition : Graph.t -> task list
+(** Tasks in first-occurrence order. The union of all occurrences covers
+    every node exactly once. *)
+
+val task_flops : task -> float
+(** Flops of one occurrence of the task's subgraph. *)
+
+val describe : task -> string

@@ -1,0 +1,42 @@
+type network = Resnet50 | Mobilenet_v2 | R3d_18 | Dcgan | Vit_b32 | Llama
+
+let all_networks = [ Resnet50; Mobilenet_v2; R3d_18; Dcgan; Vit_b32; Llama ]
+
+let network_name = function
+  | Resnet50 -> "ResNet-50"
+  | Mobilenet_v2 -> "MobileNet-v2"
+  | R3d_18 -> "R3d-18"
+  | Dcgan -> "DCGAN"
+  | Vit_b32 -> "ViT-B/32"
+  | Llama -> "LLaMA"
+
+let graph ?(batch = 1) = function
+  | Resnet50 -> Models_resnet.graph ~batch ()
+  | Mobilenet_v2 -> Models_mobilenet.graph ~batch ()
+  | R3d_18 -> Models_r3d.graph ~batch ()
+  | Dcgan -> Models_dcgan.graph ~batch ()
+  | Vit_b32 -> Models_vit.graph ~batch ()
+  | Llama -> Models_llama.graph ~batch ()
+
+let fits_on_edge = function
+  | Llama -> false
+  | Resnet50 | Mobilenet_v2 | R3d_18 | Dcgan | Vit_b32 -> true
+
+let single_operators =
+  [ ("Conv2d",
+     Op.Conv2d
+       { batch = 1; in_chan = 256; out_chan = 256; in_h = 28; in_w = 28; kernel_h = 3;
+         kernel_w = 3; stride = 1; pad = 1; groups = 1 });
+    ("TConv2d",
+     Op.Tconv2d
+       { batch = 1; in_chan = 512; out_chan = 256; in_h = 8; in_w = 8; kernel_h = 4;
+         kernel_w = 4; stride = 2; pad = 1 });
+    ("Conv3d",
+     Op.Conv3d
+       { batch = 1; in_chan = 128; out_chan = 128; in_d = 4; in_h = 14; in_w = 14;
+         kernel_d = 3; kernel_h = 3; kernel_w = 3; stride = 1; pad = 1 });
+    ("Dense", Op.Dense { batch = 50; in_dim = 768; out_dim = 3072 });
+    ("BatchMatmul", Op.Batch_matmul { batch = 32; m = 100; k = 128; n = 100 });
+    ("Softmax", Op.Softmax { rows = 3200; cols = 100 });
+    ("MaxPool",
+     Op.Maxpool2d { batch = 1; chan = 64; in_h = 112; in_w = 112; kernel = 3; stride = 2; pad = 1 }) ]

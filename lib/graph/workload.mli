@@ -1,0 +1,19 @@
+(** The paper's benchmark suite: six networks (Section 5) plus the three
+    single-operator subgraphs of Figure 8. *)
+
+type network = Resnet50 | Mobilenet_v2 | R3d_18 | Dcgan | Vit_b32 | Llama
+
+val all_networks : network list
+
+val network_name : network -> string
+(** Paper display name, e.g. ["ResNet-50"]. *)
+
+val graph : ?batch:int -> network -> Graph.t
+
+val fits_on_edge : network -> bool
+(** LLaMA does not fit Xavier NX's memory (paper Section 6.1). *)
+
+val single_operators : (string * Op.t) list
+(** The representative operators of Figures 8 and 9: Conv2d, TConv2d,
+    Conv3d, Dense, BatchMatmul, Softmax, MaxPool, drawn from the evaluated
+    networks' shapes. *)

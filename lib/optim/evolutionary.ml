@@ -1,0 +1,143 @@
+type individual = { pack : Pack.t; y : float array; key : string; predicted : float }
+
+type trace = { evaluated : int; predictions : float list }
+
+(* Variable groups of a pack: divisor groups from the schedule plus each
+   free variable as a singleton; crossover and mutation act on whole groups
+   so tile products stay divisor-consistent. *)
+let groups_of pack =
+  let sched = Pack.schedule pack in
+  let names = Pack.var_names pack in
+  let index_of n =
+    let rec go i = if names.(i) = n then i else go (i + 1) in
+    go 0
+  in
+  let div_groups =
+    List.map
+      (fun (extent, vars) -> (Some extent, List.map index_of vars))
+      sched.Schedule.div_groups
+  in
+  let grouped = List.concat_map snd div_groups in
+  let free =
+    Array.to_list (Array.mapi (fun i _ -> i) names)
+    |> List.filter (fun i -> not (List.mem i grouped))
+    |> List.map (fun i -> (None, [ i ]))
+  in
+  div_groups @ free
+
+let resample_group rng pack y (extent, idxs) =
+  let y = Array.copy y in
+  (match extent with
+  | Some n ->
+    let factors = Factorize.split rng n (List.length idxs + 1) in
+    List.iteri (fun k i -> y.(i) <- log (float_of_int (List.nth factors k))) idxs
+  | None ->
+    List.iter
+      (fun i ->
+        let lo, hi = (Pack.bounds_log pack).(i) in
+        y.(i) <- Rng.range rng lo hi)
+      idxs);
+  y
+
+let mutate rng pack y =
+  let groups = Array.of_list (groups_of pack) in
+  if Array.length groups = 0 then None
+  else begin
+    let g = Rng.choose rng groups in
+    let y' = resample_group rng pack y g in
+    Pack.round_to_valid pack y'
+  end
+
+let crossover rng pack ya yb =
+  let y = Array.copy ya in
+  List.iter
+    (fun (_, idxs) -> if Rng.bool rng then List.iter (fun i -> y.(i) <- yb.(i)) idxs)
+    (groups_of pack);
+  Pack.round_to_valid pack y
+
+let search_round (cfg : Tuning_config.t) rng model packs ~elites ~already_measured =
+  let packs = Array.of_list packs in
+  if Array.length packs = 0 then invalid_arg "Evolutionary.search_round: no sketches";
+  let prediction_cache : (string, float) Hashtbl.t = Hashtbl.create 512 in
+  let all_predictions = ref [] in
+  let evaluated = ref 0 in
+  let score pack y key =
+    match Hashtbl.find_opt prediction_cache key with
+    | Some p -> p
+    | None ->
+      let p = Mlp.forward model (Pack.features_at pack y) in
+      Hashtbl.replace prediction_cache key p;
+      incr evaluated;
+      all_predictions := p :: !all_predictions;
+      p
+  in
+  let make pack y =
+    let key = Pack.schedule_key pack y in
+    { pack; y; key; predicted = score pack y key }
+  in
+  (* --- initial population -------------------------------------------------- *)
+  let population = ref [] in
+  let elite_seeds =
+    List.filter (fun (p, _) -> Array.exists (fun q -> q == p) packs) elites
+  in
+  let target = cfg.population in
+  let n_from_elites = min (target / 4) (List.length elite_seeds * 4) in
+  let elite_arr = Array.of_list elite_seeds in
+  for _ = 1 to n_from_elites do
+    let pack, y = Rng.choose rng elite_arr in
+    match mutate rng pack y with
+    | Some y' -> population := make pack y' :: !population
+    | None -> ()
+  done;
+  let attempts = ref 0 in
+  while List.length !population < target && !attempts < target * 8 do
+    incr attempts;
+    let pack = Rng.choose rng packs in
+    match Dataset.sample_valid_point rng pack 20 with
+    | Some y -> population := make pack y :: !population
+    | None -> ()
+  done;
+  (* --- generations ----------------------------------------------------------- *)
+  let best_seen : (string, individual) Hashtbl.t = Hashtbl.create 256 in
+  let remember ind = if not (Hashtbl.mem best_seen ind.key) then Hashtbl.replace best_seen ind.key ind in
+  List.iter remember !population;
+  for _gen = 1 to cfg.generations do
+    let pop = Array.of_list !population in
+    if Array.length pop > 0 then begin
+      Array.sort (fun a b -> compare b.predicted a.predicted) pop;
+      let elite_count = max 1 (Array.length pop / 10) in
+      let next = ref [] in
+      for i = 0 to elite_count - 1 do
+        next := pop.(i) :: !next
+      done;
+      let tournament () =
+        let a = Rng.choose rng pop and b = Rng.choose rng pop in
+        if a.predicted >= b.predicted then a else b
+      in
+      let tries = ref 0 in
+      while List.length !next < Array.length pop && !tries < Array.length pop * 4 do
+        incr tries;
+        let p1 = tournament () in
+        let child =
+          if Rng.uniform rng < cfg.mutation_prob then mutate rng p1.pack p1.y
+          else begin
+            let p2 = tournament () in
+            if p1.pack == p2.pack then crossover rng p1.pack p1.y p2.y
+            else mutate rng p1.pack p1.y
+          end
+        in
+        match child with
+        | Some y -> next := make p1.pack y :: !next
+        | None -> ()
+      done;
+      List.iter remember !next;
+      population := !next
+    end
+  done;
+  let ranked =
+    Hashtbl.fold (fun _ ind acc -> ind :: acc) best_seen []
+    |> List.filter (fun ind -> not (already_measured ind.key))
+    |> List.sort (fun a b -> compare b.predicted a.predicted)
+  in
+  let top = List.filteri (fun i _ -> i < cfg.nmeasure_ansor) ranked in
+  (top, { evaluated = !evaluated; predictions = List.rev !all_predictions })

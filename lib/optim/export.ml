@@ -1,0 +1,113 @@
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape s =
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let fmt_num v =
+    if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+    else if Float.is_finite v then Printf.sprintf "%.6g" v
+    else "null" (* JSON has no infinity *)
+
+  let to_string ?(indent = 2) t =
+    let buf = Buffer.create 256 in
+    let pad depth = String.make (indent * depth) ' ' in
+    let rec go depth t =
+      match t with
+      | Null -> Buffer.add_string buf "null"
+      | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+      | Num v -> Buffer.add_string buf (fmt_num v)
+      | Str s ->
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape s);
+        Buffer.add_char buf '"'
+      | List [] -> Buffer.add_string buf "[]"
+      | List items ->
+        Buffer.add_string buf "[\n";
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_string buf ",\n";
+            Buffer.add_string buf (pad (depth + 1));
+            go (depth + 1) item)
+          items;
+        Buffer.add_char buf '\n';
+        Buffer.add_string buf (pad depth);
+        Buffer.add_char buf ']'
+      | Obj [] -> Buffer.add_string buf "{}"
+      | Obj fields ->
+        Buffer.add_string buf "{\n";
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_string buf ",\n";
+            Buffer.add_string buf (pad (depth + 1));
+            Buffer.add_char buf '"';
+            Buffer.add_string buf (escape k);
+            Buffer.add_string buf "\": ";
+            go (depth + 1) v)
+          fields;
+        Buffer.add_char buf '\n';
+        Buffer.add_string buf (pad depth);
+        Buffer.add_char buf '}'
+    in
+    go 0 t;
+    Buffer.contents buf
+end
+
+let curve_to_csv (r : Tuner.result) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "time_s,latency_ms\n";
+  List.iter
+    (fun (p : Tuner.progress_point) ->
+      Buffer.add_string buf (Printf.sprintf "%.1f,%.6f\n" p.time_s p.latency_ms))
+    r.Tuner.curve;
+  Buffer.contents buf
+
+let result_to_json (r : Tuner.result) =
+  let open Json in
+  let task (tr : Tuner.task_result) =
+    Obj
+      [ ("subgraph", Str tr.task.Partition.subgraph.Compute.sg_name);
+        ("weight", Num (float_of_int tr.task.Partition.weight));
+        ("best_latency_ms", Num tr.best_latency_ms);
+        ("sketch", Str tr.best_sketch);
+        ("rounds", Num (float_of_int tr.rounds_spent));
+        ("measurements", Num (float_of_int tr.measurements));
+        ("assignment",
+         Obj (List.map (fun (k, v) -> (k, Num (float_of_int v))) tr.best_assignment)) ]
+  in
+  let point (p : Tuner.progress_point) = List [ Num p.time_s; Num p.latency_ms ] in
+  to_string
+    (Obj
+       [ ("network", Str r.network);
+         ("device", Str r.device_name);
+         ("engine", Str (Tuner.engine_name r.engine));
+         ("final_latency_ms", Num r.final_latency_ms);
+         ("total_measurements", Num (float_of_int r.total_measurements));
+         ("curve", List (List.map point r.curve));
+         ("tasks", List (List.map task r.tasks)) ])
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let write_curve_csv r path = write_file path (curve_to_csv r)
+let write_result_json r path = write_file path (result_to_json r)

@@ -1,0 +1,32 @@
+(** Plain-text export of tuning results.
+
+    The benchmark harness and the CLI write each run's progress curve as
+    CSV (one row per round: simulated seconds, best network latency) and a
+    JSON summary (final latency, per-task winners and variable assignments)
+    so results can be plotted or diffed outside the process. JSON is
+    emitted by a small built-in writer — no external dependency. *)
+
+val curve_to_csv : Tuner.result -> string
+(** Header ["time_s,latency_ms"] plus one row per recorded round. *)
+
+val result_to_json : Tuner.result -> string
+(** Pretty-printed JSON object with the run metadata, curve and per-task
+    results. *)
+
+val write_curve_csv : Tuner.result -> string -> unit
+val write_result_json : Tuner.result -> string -> unit
+
+(** Minimal JSON construction (public for tests). *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : ?indent:int -> t -> string
+  (** Serialise with the given indentation (default 2); strings are escaped
+      per RFC 8259. *)
+end

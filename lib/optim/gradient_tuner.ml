@@ -1,0 +1,73 @@
+type candidate = { pack : Pack.t; y : float array; key : string; predicted : float }
+
+type trace = { steps_done : int; predictions : float list }
+
+let objective_grad (cfg : Tuning_config.t) model pack y =
+  (* O(y) = -C(Feat(y)) + lambda * sum_r max(g_r(y), 0)^2, with its gradient
+     assembled from one MLP backward, one feature-tape VJP and one
+     penalty-tape VJP. *)
+  let feats = Pack.features_at pack y in
+  let score, dscore_dfeat = Mlp.input_gradient model feats in
+  let adj = Array.map (fun d -> -.d) dscore_dfeat in
+  let _, dy_model = Pack.features_vjp pack y adj in
+  let pval, pgrad = Pack.penalty_value_grad pack y in
+  let obj = -.score +. (cfg.lambda *. pval) in
+  let grad = Array.mapi (fun i g -> g +. (cfg.lambda *. pgrad.(i))) dy_model in
+  (obj, grad)
+
+let descend (cfg : Tuning_config.t) _rng model pack y0 =
+  let n = Array.length y0 in
+  let y = Array.copy y0 in
+  let adam = Adam.create ~lr:cfg.gd_lr n in
+  let bounds = Pack.bounds_log pack in
+  let history = ref [] in
+  for _ = 1 to cfg.nsteps do
+    let obj, grad = objective_grad cfg model pack y in
+    history := (Array.copy y, obj) :: !history;
+    Adam.step adam ~params:y ~grads:grad;
+    (* Keep iterates near the relaxed box; the penalties do the fine
+       enforcement, the clamp prevents numeric runaway. *)
+    Array.iteri
+      (fun i (lo, hi) -> y.(i) <- Stats.clamp ~lo:(lo -. 0.7) ~hi:(hi +. 0.7) y.(i))
+      bounds
+  done;
+  let obj, _ = objective_grad cfg model pack y in
+  history := (Array.copy y, obj) :: !history;
+  List.rev !history
+
+let search_round (cfg : Tuning_config.t) rng model packs ~already_measured =
+  let npacks = max 1 (List.length packs) in
+  let seeds_per_pack = max 1 (cfg.nseeds / npacks) in
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let candidates = ref [] in
+  let predictions = ref [] in
+  let steps = ref 0 in
+  List.iter
+    (fun pack ->
+      for _ = 1 to seeds_per_pack do
+        match Dataset.sample_valid_point rng pack 100 with
+        | None -> ()
+        | Some y0 ->
+          let trajectory = descend cfg rng model pack y0 in
+          steps := !steps + List.length trajectory;
+          List.iter
+            (fun (y, _obj) ->
+              match Pack.round_to_valid pack y with
+              | None -> ()
+              | Some r ->
+                let key = Pack.schedule_key pack r in
+                if not (Hashtbl.mem seen key) then begin
+                  Hashtbl.replace seen key ();
+                  let predicted = Mlp.forward model (Pack.features_at pack r) in
+                  predictions := predicted :: !predictions;
+                  if not (already_measured key) then
+                    candidates := { pack; y = r; key; predicted } :: !candidates
+                end)
+            trajectory
+      done)
+    packs;
+  let sorted =
+    List.sort (fun a b -> compare b.predicted a.predicted) !candidates
+  in
+  let top = List.filteri (fun i _ -> i < cfg.nmeasure_felix) sorted in
+  (top, { steps_done = !steps; predictions = List.rev !predictions })

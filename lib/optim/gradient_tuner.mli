@@ -1,0 +1,40 @@
+(** Felix's gradient-descent schedule search — Algorithm 1's search core.
+
+    For every sketch of a subgraph, optimise [nseeds] randomly-initialised
+    schedule-variable vectors in log space with Adam, minimising Equation 4:
+
+    O(y) = sum_i ( -C(Feat_i(y_i)) + lambda * sum_r max(g_ir(y_i), 0)^2 )
+
+    Every point visited during descent is rounded to a valid concrete
+    schedule (divisor rounding, Section 3.3) and collected; the best
+    [nMeasure] by predicted performance are handed back for hardware
+    measurement. *)
+
+type candidate = {
+  pack : Pack.t;
+  y : float array;  (** rounded log-space point (valid concrete schedule) *)
+  key : string;  (** schedule identity, for deduplication *)
+  predicted : float;  (** cost-model score at the rounded point *)
+}
+
+type trace = {
+  steps_done : int;  (** gradient steps actually executed *)
+  predictions : float list;  (** predicted score of every schedule visited,
+                                 in visit order (for Figure 8) *)
+}
+
+val search_round :
+  Tuning_config.t ->
+  Rng.t ->
+  Mlp.t ->
+  Pack.t list ->
+  already_measured:(string -> bool) ->
+  candidate list * trace
+(** One Felix round over the subgraph's sketches. Returns the top
+    [nmeasure_felix] new candidates sorted by predicted performance
+    (best first), plus the search trace. *)
+
+val descend :
+  Tuning_config.t -> Rng.t -> Mlp.t -> Pack.t -> float array -> (float array * float) list
+(** Expose a single seed's Adam trajectory [(y, objective)] for tests and
+    the ablation benchmarks. *)

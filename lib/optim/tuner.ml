@@ -1,0 +1,246 @@
+type engine = Felix | Ansor | Random
+
+let engine_name = function
+  | Felix -> "Felix"
+  | Ansor -> "Ansor-TenSet"
+  | Random -> "Random"
+
+type progress_point = { time_s : float; latency_ms : float }
+
+type task_result = {
+  task : Partition.task;
+  best_latency_ms : float;
+  best_assignment : (string * int) list;
+  best_sketch : string;
+  rounds_spent : int;
+  measurements : int;
+}
+
+type result = {
+  network : string;
+  device_name : string;
+  engine : engine;
+  curve : progress_point list;
+  final_latency_ms : float;
+  total_measurements : int;
+  tasks : task_result list;
+}
+
+let network_latency_ms r = r.final_latency_ms
+
+type task_state = {
+  t : Partition.task;
+  packs : Pack.t list;
+  measured : (string, float) Hashtbl.t;
+  mutable best : float;
+  mutable best_point : (Pack.t * float array) option;
+  mutable elites : (Pack.t * float array * float) list;  (* best few, latency-sorted *)
+  mutable improvement_factor : float;
+  mutable rounds_spent : int;
+  mutable n_measured : int;
+}
+
+let make_state task =
+  { t = task;
+    packs = List.map (fun s -> Pack.prepare task.Partition.subgraph s) (Sketch.generate task.Partition.subgraph);
+    measured = Hashtbl.create 64;
+    best = Float.infinity;
+    best_point = None;
+    elites = [];
+    improvement_factor = 1.0;
+    rounds_spent = 0;
+    n_measured = 0 }
+
+let graph_exec_overhead_ms states =
+  (* Graph-executor dispatch cost per kernel occurrence. *)
+  List.fold_left
+    (fun acc st ->
+      acc
+      +. (float_of_int st.t.Partition.weight
+          *. float_of_int (List.length st.t.Partition.subgraph.Compute.stages)
+          *. 0.002))
+    0.0 states
+
+let network_latency states =
+  List.fold_left
+    (fun acc st -> acc +. (float_of_int st.t.Partition.weight *. st.best))
+    (graph_exec_overhead_ms states) states
+
+let record_measurement rng device st pack y =
+  let key = Pack.schedule_key pack y in
+  if Hashtbl.mem st.measured key then None
+  else begin
+    let lat = Gpu_model.measure_ms rng device (Pack.program pack) (Pack.env_of pack y) in
+    Hashtbl.replace st.measured key lat;
+    st.n_measured <- st.n_measured + 1;
+    if Float.is_finite lat && lat < st.best then begin
+      st.best <- lat;
+      st.best_point <- Some (pack, Array.copy y)
+    end;
+    if Float.is_finite lat then begin
+      st.elites <-
+        (pack, Array.copy y, lat) :: st.elites
+        |> List.sort (fun (_, _, a) (_, _, b) -> compare a b)
+        |> List.filteri (fun i _ -> i < 8)
+    end;
+    Some lat
+  end
+
+(* Fine-tune the cost model on freshly measured pairs (Alg. 1 line 24). *)
+let update_model model adam pairs =
+  if pairs <> [] then begin
+    let batch = Array.of_list pairs in
+    for _ = 1 to 4 do
+      ignore (Mlp.train_batch model adam batch)
+    done
+  end
+
+let initial_round cfg rng device clock states =
+  List.iter
+    (fun st ->
+      (match
+         List.find_map
+           (fun pack ->
+             match Dataset.sample_valid_point rng pack 200 with
+             | Some y -> Some (pack, y)
+             | None -> None)
+           st.packs
+       with
+      | Some (pack, y) -> ignore (record_measurement rng device st pack y)
+      | None -> ());
+      Tuning_config.Clock.advance clock cfg.Tuning_config.measure_seconds)
+    states
+
+let select_task states =
+  (* Expected-gain scheduler: weight x current latency x freshness decay. *)
+  Stats.argmax
+    (fun st ->
+      if Float.is_finite st.best then
+        float_of_int st.t.Partition.weight *. st.best *. st.improvement_factor
+      else 1e12)
+    states
+
+(* Random search measures the same budget as Ansor but picks uniformly
+   valid schedules -- the no-cost-model control used by the ablations. *)
+let random_round (cfg : Tuning_config.t) rng st ~already_measured =
+  let packs = Array.of_list st.packs in
+  let out = ref [] in
+  let seen = Hashtbl.create 64 in
+  let attempts = ref 0 in
+  while List.length !out < cfg.Tuning_config.nmeasure_ansor
+        && !attempts < cfg.Tuning_config.nmeasure_ansor * 20 do
+    incr attempts;
+    let pack = Rng.choose rng packs in
+    match Dataset.sample_valid_point rng pack 20 with
+    | Some y ->
+      let key = Pack.schedule_key pack y in
+      if (not (Hashtbl.mem seen key)) && not (already_measured key) then begin
+        Hashtbl.replace seen key ();
+        out := (pack, y) :: !out
+      end
+    | None -> ()
+  done;
+  !out
+
+let run_engine_round cfg rng engine model st =
+  let already_measured key = Hashtbl.mem st.measured key in
+  match engine with
+  | Felix ->
+    let cands, trace = Gradient_tuner.search_round cfg rng model st.packs ~already_measured in
+    ( List.map (fun (c : Gradient_tuner.candidate) -> (c.pack, c.y)) cands,
+      trace.Gradient_tuner.predictions,
+      cfg.Tuning_config.felix_round_overhead )
+  | Ansor ->
+    let elites = List.map (fun (p, y, _) -> (p, y)) st.elites in
+    let cands, trace =
+      Evolutionary.search_round cfg rng model st.packs ~elites ~already_measured
+    in
+    ( List.map (fun (c : Evolutionary.individual) -> (c.pack, c.y)) cands,
+      trace.Evolutionary.predictions,
+      cfg.Tuning_config.ansor_round_overhead )
+  | Random -> (random_round cfg rng st ~already_measured, [], 0.5)
+
+let tune_round cfg rng device engine model model_adam clock st =
+  let candidates, predictions, overhead = run_engine_round cfg rng engine model st in
+  let before = st.best in
+  let pairs = ref [] in
+  List.iter
+    (fun (pack, y) ->
+      match record_measurement rng device st pack y with
+      | Some lat when Float.is_finite lat ->
+        pairs := (Pack.features_at pack y, -.log lat) :: !pairs
+      | Some _ | None -> ())
+    candidates;
+  Tuning_config.Clock.advance clock
+    ((float_of_int (List.length candidates) *. cfg.Tuning_config.measure_seconds)
+    +. overhead +. cfg.Tuning_config.model_update_seconds);
+  update_model model model_adam !pairs;
+  st.rounds_spent <- st.rounds_spent + 1;
+  let improved = Float.is_finite st.best && st.best < before *. 0.995 in
+  st.improvement_factor <-
+    (if improved then 1.0 else max 0.2 (st.improvement_factor *. 0.8));
+  predictions
+
+let tune ?(config = Tuning_config.default) ~seed device base_model graph engine =
+  let cfg = config in
+  let rng = Rng.create seed in
+  let model = Mlp.copy base_model in
+  let model_adam = Mlp.adam_for ~lr:2e-4 model in
+  let clock = Tuning_config.Clock.create () in
+  let states = List.map make_state (Partition.partition graph) in
+  initial_round cfg rng device clock states;
+  let curve = ref [ { time_s = Tuning_config.Clock.now clock; latency_ms = network_latency states } ] in
+  let round = ref 0 in
+  while
+    !round < cfg.max_rounds
+    && Tuning_config.Clock.now clock < cfg.time_budget_s
+  do
+    incr round;
+    let st = select_task states in
+    ignore (tune_round cfg rng device engine model model_adam clock st);
+    curve := { time_s = Tuning_config.Clock.now clock; latency_ms = network_latency states } :: !curve
+  done;
+  let tasks =
+    List.map
+      (fun st ->
+        let assignment, sketch =
+          match st.best_point with
+          | Some (pack, y) ->
+            (Pack.assignment pack y, (Pack.schedule pack).Schedule.sched_name)
+          | None -> ([], "-")
+        in
+        { task = st.t; best_latency_ms = st.best; best_assignment = assignment;
+          best_sketch = sketch; rounds_spent = st.rounds_spent; measurements = st.n_measured })
+      states
+  in
+  { network = graph.Graph.graph_name;
+    device_name = device.Device.device_name;
+    engine;
+    curve = List.rev !curve;
+    final_latency_ms = network_latency states;
+    total_measurements = List.fold_left (fun acc st -> acc + st.n_measured) 0 states;
+    tasks }
+
+type single_result = {
+  s_best_latency_ms : float;
+  s_curve : progress_point list;
+  s_predictions : float list;
+}
+
+let tune_single ?(config = Tuning_config.default) ~seed ~rounds device base_model sg engine =
+  let cfg = config in
+  let rng = Rng.create seed in
+  let model = Mlp.copy base_model in
+  let model_adam = Mlp.adam_for ~lr:2e-4 model in
+  let clock = Tuning_config.Clock.create () in
+  let task = { Partition.task_id = 0; subgraph = sg; weight = 1; node_ids = [] } in
+  let st = make_state task in
+  initial_round cfg rng device clock [ st ];
+  let curve = ref [ { time_s = Tuning_config.Clock.now clock; latency_ms = st.best } ] in
+  let predictions = ref [] in
+  for _ = 1 to rounds do
+    let preds = tune_round cfg rng device engine model model_adam clock st in
+    predictions := !predictions @ preds;
+    curve := { time_s = Tuning_config.Clock.now clock; latency_ms = st.best } :: !curve
+  done;
+  { s_best_latency_ms = st.best; s_curve = List.rev !curve; s_predictions = !predictions }

@@ -1,0 +1,73 @@
+(** Full-graph tuning (Algorithm 2) for both search engines.
+
+    The tensor program is partitioned into subgraph tasks; rounds of search
+    are allocated across tasks by an Ansor-style task scheduler (expected
+    gain = occurrence weight x current best latency, decayed when a task
+    stops improving). Each round runs one engine's search on one task,
+    measures the returned candidates on the device simulator, updates the
+    cost model online with the new measurements (Algorithm 1, line 24), and
+    advances the simulated tuning clock.
+
+    The same driver with [engine = Ansor] reproduces the Ansor-TenSet
+    baseline: identical sketches, cost model, measurement budget accounting
+    and task scheduling — only the per-round search differs. *)
+
+type engine =
+  | Felix  (** gradient descent, Algorithm 1 *)
+  | Ansor  (** the evolutionary baseline *)
+  | Random  (** uniform random valid schedules (ablation control) *)
+
+val engine_name : engine -> string
+
+type progress_point = { time_s : float; latency_ms : float }
+
+type task_result = {
+  task : Partition.task;
+  best_latency_ms : float;  (** per occurrence *)
+  best_assignment : (string * int) list;
+  best_sketch : string;
+  rounds_spent : int;
+  measurements : int;
+}
+
+type result = {
+  network : string;
+  device_name : string;
+  engine : engine;
+  curve : progress_point list;  (** network latency after each round *)
+  final_latency_ms : float;
+  total_measurements : int;
+  tasks : task_result list;
+}
+
+val network_latency_ms : result -> float
+
+val tune :
+  ?config:Tuning_config.t ->
+  seed:int ->
+  Device.t ->
+  Mlp.t ->
+  Graph.t ->
+  engine ->
+  result
+(** Tune a whole network. The cost model is copied and fine-tuned
+    privately; the caller's model is not modified. *)
+
+type single_result = {
+  s_best_latency_ms : float;
+  s_curve : progress_point list;
+  s_predictions : float list;
+      (** predicted score of every schedule the search evaluated, in search
+          order (Figure 8's population data) *)
+}
+
+val tune_single :
+  ?config:Tuning_config.t ->
+  seed:int ->
+  rounds:int ->
+  Device.t ->
+  Mlp.t ->
+  Compute.subgraph ->
+  engine ->
+  single_result
+(** Tune one subgraph for a fixed number of rounds (Figures 8 and 9). *)

@@ -1,0 +1,35 @@
+type t = {
+  nseeds : int;
+  nsteps : int;
+  nmeasure_felix : int;
+  lambda : float;
+  gd_lr : float;
+  population : int;
+  generations : int;
+  nmeasure_ansor : int;
+  mutation_prob : float;
+  measure_seconds : float;
+  felix_round_overhead : float;
+  ansor_round_overhead : float;
+  model_update_seconds : float;
+  max_rounds : int;
+  time_budget_s : float;
+}
+
+let default =
+  { nseeds = 8; nsteps = 200; nmeasure_felix = 16; lambda = 10.0; gd_lr = 0.08;
+    population = 512; generations = 4; nmeasure_ansor = 64; mutation_prob = 0.3;
+    measure_seconds = 0.5; felix_round_overhead = 2.0; ansor_round_overhead = 4.5;
+    model_update_seconds = 0.5; max_rounds = 120; time_budget_s = 12_000.0 }
+
+let quick =
+  { default with nseeds = 4; nsteps = 60; population = 96; generations = 2;
+    nmeasure_ansor = 24; max_rounds = 16; time_budget_s = 1_000.0 }
+
+module Clock = struct
+  type clock = { mutable t : float }
+
+  let create () = { t = 0.0 }
+  let now c = c.t
+  let advance c dt = c.t <- c.t +. dt
+end

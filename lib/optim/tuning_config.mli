@@ -1,0 +1,51 @@
+(** Search parameters and the simulated tuning-time accounting.
+
+    Search defaults follow the paper's Section 5: Felix runs 8 seeds x 200
+    Adam steps and measures 16 candidates per round; Ansor runs an
+    evolutionary search and measures 64 per round. The paper's Ansor
+    population is 2048 x 4 generations; we default to 512 x 4 — a
+    documented scale-down that keeps the harness CPU time tractable while
+    preserving the predictions-per-round ratio between the two tuners
+    (see DESIGN.md).
+
+    Tuning time is simulated: every measured candidate costs compile +
+    run time, and each round pays the search's own overhead (gradient
+    descent for Felix; population scoring and genetic operators for Ansor)
+    plus the cost-model update. The constants are calibrated to the
+    end-to-end round times reported for TVM-based tuners. *)
+
+type t = {
+  (* Felix (Algorithm 1) *)
+  nseeds : int;  (** schedules optimised simultaneously (default 8) *)
+  nsteps : int;  (** gradient descent steps (default 200) *)
+  nmeasure_felix : int;  (** hardware measurements per round (default 16) *)
+  lambda : float;  (** penalty coefficient of Equation 4 *)
+  gd_lr : float;  (** Adam learning rate over schedule variables *)
+  (* Ansor baseline *)
+  population : int;  (** evolutionary population size (default 512) *)
+  generations : int;  (** default 4 *)
+  nmeasure_ansor : int;  (** default 64 *)
+  mutation_prob : float;
+  (* simulated time accounting (seconds) *)
+  measure_seconds : float;  (** compile + run per measured candidate *)
+  felix_round_overhead : float;
+  ansor_round_overhead : float;
+  model_update_seconds : float;
+  (* stopping *)
+  max_rounds : int;  (** total rounds across all subgraph tasks *)
+  time_budget_s : float;  (** stop when the simulated clock passes this *)
+}
+
+val default : t
+
+val quick : t
+(** Reduced effort for tests and fast harness runs. *)
+
+(** Simulated wall clock of a tuning session. *)
+module Clock : sig
+  type clock
+
+  val create : unit -> clock
+  val now : clock -> float
+  val advance : clock -> float -> unit
+end

@@ -1,0 +1,32 @@
+type t = {
+  device_name : string;
+  sms : int;
+  fp32_gflops : float;
+  dram_gbps : float;
+  l2_kb : int;
+  shared_kb_per_sm : int;
+  max_threads_per_sm : int;
+  max_blocks_per_sm : int;
+  regs_per_sm : int;
+  launch_overhead_us : float;
+  special_ratio : float;
+}
+
+let a10g =
+  { device_name = "A10G"; sms = 80; fp32_gflops = 31_200.0; dram_gbps = 600.0; l2_kb = 6144;
+    shared_kb_per_sm = 100; max_threads_per_sm = 1536; max_blocks_per_sm = 16;
+    regs_per_sm = 65536; launch_overhead_us = 4.0; special_ratio = 0.25 }
+
+let rtx_a5000 =
+  { device_name = "RTX A5000"; sms = 64; fp32_gflops = 27_800.0; dram_gbps = 768.0;
+    l2_kb = 6144; shared_kb_per_sm = 100; max_threads_per_sm = 1536; max_blocks_per_sm = 16;
+    regs_per_sm = 65536; launch_overhead_us = 4.0; special_ratio = 0.25 }
+
+let xavier_nx =
+  { device_name = "Xavier NX"; sms = 6; fp32_gflops = 844.0; dram_gbps = 59.7; l2_kb = 512;
+    shared_kb_per_sm = 96; max_threads_per_sm = 2048; max_blocks_per_sm = 32;
+    regs_per_sm = 65536; launch_overhead_us = 12.0; special_ratio = 0.25 }
+
+let all = [ a10g; rtx_a5000; xavier_nx ]
+
+let by_name name = List.find_opt (fun d -> String.equal d.device_name name) all

@@ -1,0 +1,30 @@
+(** GPU device models.
+
+    The three platforms of the paper's evaluation (Section 5): NVIDIA A10G
+    (server), RTX A5000 (desktop) and Jetson Xavier NX (edge). Parameters
+    are taken from the public datasheets; they feed the analytical
+    performance model in {!Gpu_model}, which substitutes for the physical
+    boards (see DESIGN.md, substitution table). *)
+
+type t = {
+  device_name : string;
+  sms : int;  (** streaming multiprocessors *)
+  fp32_gflops : float;  (** peak single-precision throughput *)
+  dram_gbps : float;  (** DRAM bandwidth, GB/s *)
+  l2_kb : int;
+  shared_kb_per_sm : int;
+  max_threads_per_sm : int;
+  max_blocks_per_sm : int;
+  regs_per_sm : int;
+  launch_overhead_us : float;  (** per-kernel launch latency *)
+  special_ratio : float;  (** SFU throughput relative to fp32 *)
+}
+
+val a10g : t
+val rtx_a5000 : t
+val xavier_nx : t
+
+val all : t list
+(** The three paper devices, in server/desktop/edge order. *)
+
+val by_name : string -> t option

@@ -1,0 +1,151 @@
+let ev env e = Eval.eval env e
+
+(* Deterministic per-schedule jitter in [-amp, +amp], keyed on a string. *)
+let jitter ~amp key =
+  let h = Hashtbl.hash key in
+  let u = float_of_int (h land 0xFFFF) /. 65535.0 in
+  amp *. ((2.0 *. u) -. 1.0)
+
+let ceil_div a b = (a + b - 1) / b
+
+let estimated_registers ~serial ~vec ~red =
+  (* Accumulators for the register tile, plus index/address registers. *)
+  let acc = min 256.0 serial in
+  24.0 +. (2.0 *. acc) +. (4.0 *. vec) +. min 16.0 (red /. 64.0)
+
+let kernel_latency_ms (dev : Device.t) (ss : Loop_ir.scheduled_stage) env =
+  let grid = ev env (Loop_ir.grid_size ss) in
+  let tpb = ev env (Loop_ir.block_threads ss) in
+  let serial = ev env (Loop_ir.serial_spatial ss) in
+  let red = ev env (Loop_ir.reduce_iterations ss) in
+  let unroll = ev env (Loop_ir.unroll_step ss) in
+  let vec = ev env (Loop_ir.vector_width ss) in
+  let shared_b = ev env (Loop_ir.shared_bytes ss) in
+  if grid < 1.0 || tpb < 1.0 then Float.infinity
+  else if tpb > 1024.0 then Float.infinity
+  else if shared_b > float_of_int (dev.shared_kb_per_sm * 1024) then Float.infinity
+  else begin
+    (* --- occupancy ------------------------------------------------------ *)
+    let warps = ceil_div (int_of_float tpb) 32 in
+    let tpb_eff = float_of_int (warps * 32) in
+    let regs = estimated_registers ~serial ~vec ~red in
+    let spill = regs > 255.0 in
+    let regs = min regs 255.0 in
+    let by_threads = int_of_float (float_of_int dev.max_threads_per_sm /. tpb_eff) in
+    let by_shared =
+      if shared_b <= 0.0 then dev.max_blocks_per_sm
+      else int_of_float (float_of_int (dev.shared_kb_per_sm * 1024) /. shared_b)
+    in
+    let by_regs = int_of_float (float_of_int dev.regs_per_sm /. (regs *. tpb_eff)) in
+    let resident = max 1 (min (min by_threads by_shared) (min by_regs dev.max_blocks_per_sm)) in
+    let wave_blocks = resident * dev.sms in
+    let waves = ceil_div (int_of_float grid) wave_blocks in
+    (* Blocks land one per SM first: a wave of b blocks keeps min(SMs, b)
+       SMs busy (averaged over waves, so a partially-filled last wave lowers
+       the figure), with ceil(b / busy) blocks actually resident per busy
+       SM — small grids therefore run at single-block occupancy. *)
+    let blocks_per_wave = grid /. float_of_int waves in
+    let busy_sms = min (float_of_int dev.sms) blocks_per_wave in
+    let actual_resident =
+      max 1 (min resident (int_of_float (ceil (blocks_per_wave /. busy_sms))))
+    in
+    let resident_threads =
+      min (float_of_int dev.max_threads_per_sm) (float_of_int actual_resident *. tpb_eff)
+    in
+    let occ = resident_threads /. float_of_int dev.max_threads_per_sm in
+    (* --- compute roofline ------------------------------------------------ *)
+    let total_iters = grid *. tpb *. serial *. red in
+    let flops_iter = Loop_ir.flops_per_iteration ss in
+    let total_flops = total_iters *. flops_iter in
+    let eff_unroll = min unroll (serial *. red) in
+    let ilp_factor =
+      let f = 0.45 +. (0.4 *. min 1.0 (log (1.0 +. eff_unroll) /. (6.0 *. log 2.0))) in
+      if unroll > 256.0 then f *. 0.92 else f
+    in
+    let warp_eff = tpb /. tpb_eff in
+    let occ_factor = occ /. (occ +. 0.18) in
+    let issue_eff = warp_eff *. ilp_factor *. occ_factor *. 1.18 in
+    let issue_eff = if spill then issue_eff *. 0.6 else issue_eff in
+    let chip_gflops = dev.fp32_gflops *. busy_sms /. float_of_int dev.sms in
+    let special =
+      float_of_int ss.stage.counts.fspecial *. total_iters
+      /. (chip_gflops *. 1e9 *. dev.special_ratio)
+    in
+    let t_comp = (total_flops /. (chip_gflops *. 1e9 *. issue_eff)) +. special in
+    (* --- memory roofline -------------------------------------------------- *)
+    let issued_block = tpb *. serial *. red in
+    let active_blocks = min grid (float_of_int wave_blocks) in
+    let l2_bytes = float_of_int (dev.l2_kb * 1024) in
+    let l2_share = l2_bytes /. max 1.0 active_blocks in
+    let read_bytes =
+      (* Grid-level DRAM traffic per input buffer: every byte of the buffer
+         must be fetched at least once (compulsory misses); re-fetches — the
+         same tile requested by several blocks, or repeated accesses inside a
+         block — are filtered by L2 (shared across blocks) and L1. *)
+      List.fold_left
+        (fun acc access ->
+          let unique = ev env (Loop_ir.access_footprint ss Loop_ir.Block_scope access) *. 4.0 in
+          let buffer_bytes =
+            float_of_int
+              (List.fold_left ( * ) 1 access.Compute.buffer.Compute.shape
+              * Dtype.size_bytes access.Compute.buffer.Compute.dtype)
+          in
+          let contiguous = Loop_ir.access_contiguous ss access in
+          (* Cooperative shared-memory staging fetches tiles with coalesced
+             bursts regardless of the compute loop's access order. *)
+          let coalesce =
+            if Loop_ir.uses_shared_cache ss || contiguous then 1.0
+            else 3.0 /. max 1.0 (min vec 4.0)
+          in
+          let gross =
+            if Loop_ir.uses_shared_cache ss then grid *. unique
+            else begin
+              let l2_hit = Stats.clamp ~lo:0.0 ~hi:0.95 (l2_share /. max 1.0 unique) in
+              let l1_hit = if contiguous then 0.7 else 0.4 in
+              let repeats = max 0.0 (issued_block -. (unique /. 4.0)) *. 4.0 in
+              grid *. (unique +. (repeats *. (1.0 -. l2_hit) *. (1.0 -. l1_hit) *. 0.25))
+            end
+          in
+          let compulsory = min gross buffer_bytes in
+          let cross_block_hit = Stats.clamp ~lo:0.0 ~hi:0.98 (l2_bytes /. max 1.0 buffer_bytes) in
+          let bytes = compulsory +. ((gross -. compulsory) *. (1.0 -. cross_block_hit)) in
+          acc +. (bytes *. coalesce))
+        0.0 ss.stage.reads
+    in
+    let store_bytes = grid *. tpb *. serial *. 4.0 in
+    let dram_bytes = read_bytes +. store_bytes in
+    let threads_total = active_blocks *. tpb in
+    let mem_eff = threads_total /. (threads_total +. (256.0 *. float_of_int dev.sms)) in
+    let t_mem = dram_bytes /. (dev.dram_gbps *. 1e9 *. max 0.05 mem_eff) in
+    (* --- shared-memory staging ------------------------------------------- *)
+    let t_shared, t_sync =
+      if Loop_ir.uses_shared_cache ss && shared_b > 0.0 then begin
+        let shared_traffic = grid *. issued_block *. 4.0 *. float_of_int (List.length ss.stage.reads) in
+        let shared_bw = dev.dram_gbps *. 1e9 *. 14.0 in
+        let conflict = 1.0 +. (0.3 *. abs_float (jitter ~amp:1.0 (ss.stage.stage_name, "bank"))) in
+        let reduce_inner =
+          match ss.plan with
+          | Schedule.Multi_tile { reduce_split; _ } ->
+            Array.fold_left (fun acc e -> acc *. ev env e) 1.0 reduce_split
+          | Schedule.Inlined | Schedule.Simple_bind _ -> 1.0
+        in
+        let n_sync = red /. max 1.0 reduce_inner in
+        let sync_cost = float_of_int waves *. n_sync *. 1.2e-7 in
+        (shared_traffic *. conflict /. shared_bw, sync_cost)
+      end
+      else (0.0, 0.0)
+    in
+    (* --- combine ----------------------------------------------------------- *)
+    let t_body = max t_comp t_mem +. (0.3 *. min t_comp t_mem) in
+    let t = t_body +. t_shared +. t_sync +. (dev.launch_overhead_us *. 1e-6) in
+    let key = (dev.device_name, ss.stage.stage_name, int_of_float (grid *. 1000.0 +. tpb), int_of_float (serial *. 100.0 +. (red *. 7.0) +. unroll)) in
+    let t = t *. (1.0 +. jitter ~amp:0.02 key) in
+    t *. 1000.0
+  end
+
+let program_latency_ms dev (p : Loop_ir.t) env =
+  Array.fold_left (fun acc ss -> acc +. kernel_latency_ms dev ss env) 0.0 p.Loop_ir.stages
+
+let measure_ms ?(noise = 0.015) rng dev p env =
+  let base = program_latency_ms dev p env in
+  if Float.is_finite base then base *. (1.0 +. (noise *. Rng.gaussian rng)) else base

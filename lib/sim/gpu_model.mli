@@ -1,0 +1,38 @@
+(** Analytical GPU performance model — the substitute for hardware
+    measurement (see DESIGN.md).
+
+    Given a concrete scheduled program (a symbolic program plus an integer
+    assignment of its schedule variables), the model computes a kernel
+    latency from first principles:
+
+    - {e occupancy}: resident blocks per SM limited by threads, shared
+      memory and an estimated register budget; partial warps waste lanes;
+    - {e waves}: the grid executes in waves of [resident * SMs] blocks, and
+      a partially-filled last wave wastes time (tail effect);
+    - {e compute roofline}: flops at peak throughput scaled by an issue
+      efficiency that grows with instruction-level parallelism (unrolling,
+      vectorisation) and occupancy;
+    - {e memory roofline}: DRAM traffic from per-buffer footprints, with
+      cache-hit modelling for repeated accesses, an uncoalescing penalty
+      for non-contiguous loads, and cooperative shared-memory staging
+      (which also pays bank-conflict and synchronisation costs);
+    - a per-kernel launch overhead and a deterministic ±2% "silicon"
+      jitter keyed on the schedule, so that equal schedules always measure
+      equal and the cost model cannot be exactly right.
+
+    The model is intentionally richer than the 82 extracted features (it
+    sees exact divisibility, register pressure and cache behaviour), which
+    keeps the learned cost model imperfect — as on real hardware. *)
+
+val kernel_latency_ms : Device.t -> Loop_ir.scheduled_stage -> Eval.env -> float
+(** Latency of one kernel stage under the variable assignment. *)
+
+val program_latency_ms : Device.t -> Loop_ir.t -> Eval.env -> float
+(** Sum of the program's kernel latencies plus launch overheads. *)
+
+val measure_ms :
+  ?noise:float -> Rng.t -> Device.t -> Loop_ir.t -> Eval.env -> float
+(** Empirical measurement: {!program_latency_ms} with multiplicative
+    measurement noise of relative magnitude [noise] (default 0.015,
+    matching run-to-run variation of the repeat-until-100ms protocol in
+    Section 5). *)

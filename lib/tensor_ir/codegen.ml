@@ -1,0 +1,211 @@
+let sanitize name =
+  String.map (fun c -> if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') then c else '_') name
+
+let e2s = Expr.to_string
+
+(* Affine access rendered as a flattened C index expression. *)
+let access_expr (st : Compute.stage) (a : Compute.access) =
+  let dim_expr (ix : Compute.index) =
+    let terms =
+      List.map
+        (fun (t : Compute.index_term) ->
+          let name = st.axes.(t.axis).Compute.axis_name in
+          if t.coeff = 1 then name else Printf.sprintf "%d*%s" t.coeff name)
+        ix.terms
+    in
+    let s = String.concat " + " terms in
+    let s = if s = "" then "0" else s in
+    if ix.offset = 0 then s else Printf.sprintf "%s + %d" s ix.offset
+  in
+  (* Row-major flattening over the buffer shape. *)
+  let rec flatten dims idxs =
+    match (dims, idxs) with
+    | [], [] -> "0"
+    | [ _ ], [ i ] -> i
+    | _ :: (d2 :: _ as rest_dims), i :: rest_idxs ->
+      ignore d2;
+      let inner_size = List.fold_left ( * ) 1 rest_dims in
+      Printf.sprintf "(%s) * %d + %s" i inner_size (flatten rest_dims rest_idxs)
+    | _ -> invalid_arg "Codegen.access_expr: rank mismatch"
+  in
+  Printf.sprintf "%s[%s]" (sanitize a.buffer.buf_name)
+    (flatten a.buffer.shape (List.map dim_expr a.indices))
+
+let body_statement (st : Compute.stage) =
+  let reads = List.map (access_expr st) st.reads in
+  let r n = List.nth reads n in
+  let acc = "acc" in
+  match st.sem with
+  | Compute.Sem_matmul -> Printf.sprintf "%s += %s * %s;" acc (r 0) (r 1)
+  | Sem_reduce_sum | Sem_reduce_mean -> Printf.sprintf "%s += %s;" acc (r 0)
+  | Sem_reduce_max -> Printf.sprintf "%s = fmaxf(%s, %s);" acc acc (r 0)
+  | Sem_sum_exp_sub -> Printf.sprintf "%s += __expf(%s - %s);" acc (r 0) (r 1)
+  | Sem_sum_sq_diff ->
+    Printf.sprintf "{ float d = %s - %s; %s += d * d; }" (r 0) (r 1) acc
+  | Sem_softmax_norm -> Printf.sprintf "out = __expf(%s - %s) / %s;" (r 0) (r 1) (r 2)
+  | Sem_layernorm_norm -> Printf.sprintf "out = (%s - %s) * rsqrtf(%s + 1e-5f);" (r 0) (r 1) (r 2)
+  | Sem_scale_shift -> Printf.sprintf "out = %s * %s + 0.1f;" (r 0) (r 1)
+  | Sem_unary Op.Relu -> Printf.sprintf "out = fmaxf(%s, 0.f);" (r 0)
+  | Sem_unary Op.Leaky_relu -> Printf.sprintf "out = %s >= 0.f ? %s : 0.01f * %s;" (r 0) (r 0) (r 0)
+  | Sem_unary Op.Sigmoid -> Printf.sprintf "out = 1.f / (1.f + __expf(-%s));" (r 0)
+  | Sem_unary Op.Tanh -> Printf.sprintf "out = tanhf(%s);" (r 0)
+  | Sem_unary Op.Gelu -> Printf.sprintf "out = gelu(%s);" (r 0)
+  | Sem_unary Op.Silu -> Printf.sprintf "out = %s / (1.f + __expf(-%s));" (r 0) (r 0)
+  | Sem_binary Op.Add -> Printf.sprintf "out = %s + %s;" (r 0) (r 1)
+  | Sem_binary Op.Sub -> Printf.sprintf "out = %s - %s;" (r 0) (r 1)
+  | Sem_binary Op.Mul -> Printf.sprintf "out = %s * %s;" (r 0) (r 1)
+  | Sem_copy -> Printf.sprintf "out = %s;" (r 0)
+
+let write_statement (st : Compute.stage) has_reduce =
+  let spatial = Compute.spatial_axes st in
+  let shape = List.map (fun (a : Compute.axis) -> a.extent) spatial in
+  let names = List.map (fun (a : Compute.axis) -> a.axis_name) spatial in
+  let rec flatten dims idxs =
+    match (dims, idxs) with
+    | [], [] -> "0"
+    | [ _ ], [ i ] -> i
+    | _ :: (rest_dims : int list), i :: rest_idxs when rest_dims <> [] ->
+      Printf.sprintf "(%s) * %d + %s" i (List.fold_left ( * ) 1 rest_dims)
+        (flatten rest_dims rest_idxs)
+    | _ -> "0"
+  in
+  Printf.sprintf "%s[%s] = %s;" (sanitize st.write.buf_name) (flatten shape names)
+    (if has_reduce then "acc" else "out")
+
+let signature (ss : Loop_ir.scheduled_stage) =
+  let st = ss.stage in
+  let buffers =
+    List.map (fun (a : Compute.access) -> a.buffer.Compute.buf_name) st.reads
+    @ [ st.write.buf_name ]
+    |> List.sort_uniq String.compare
+  in
+  let params =
+    List.map
+      (fun b ->
+        if b = st.write.Compute.buf_name then Printf.sprintf "float* %s" (sanitize b)
+        else Printf.sprintf "const float* __restrict__ %s" (sanitize b))
+      buffers
+  in
+  Printf.sprintf "__global__ void %s_kernel(%s)" (sanitize st.stage_name)
+    (String.concat ", " params)
+
+let kernel_source (ss : Loop_ir.scheduled_stage) =
+  let st = ss.stage in
+  let buf = Buffer.create 1024 in
+  let line indent s =
+    Buffer.add_string buf (String.make (2 * indent) ' ');
+    Buffer.add_string buf s;
+    Buffer.add_char buf '\n'
+  in
+  let spatial = Compute.spatial_axes st and reduce = Compute.reduce_axes st in
+  let has_reduce = reduce <> [] in
+  line 0
+    (Printf.sprintf "// launch: grid = %s, block = %s, vthreads = %s"
+       (e2s (Simplify.simplify (Loop_ir.grid_size ss)))
+       (e2s (Simplify.simplify (Loop_ir.block_threads ss)))
+       (e2s (Loop_ir.vthreads ss)));
+  line 0 (signature ss ^ " {");
+  (match ss.plan with
+  | Schedule.Inlined -> line 1 "// (inlined into its consumer)"
+  | Schedule.Simple_bind { threads; inner; vector; unroll } ->
+    line 1
+      (Printf.sprintf "int fused = (blockIdx.x * %s + threadIdx.x) * %s;" (e2s threads)
+         (e2s (Expr.mul inner vector)));
+    line 1 (Printf.sprintf "#pragma unroll %s" (e2s unroll));
+    line 1 (Printf.sprintf "for (int s = 0; s < %s; ++s) {" (e2s (Expr.mul inner vector)));
+    (* decompose the flat index into the spatial axes *)
+    let rest = ref "(fused + s)" in
+    let spatial_arr = Array.of_list spatial in
+    for k = Array.length spatial_arr - 1 downto 0 do
+      let a = spatial_arr.(k) in
+      if k = 0 then line 2 (Printf.sprintf "int %s = %s;" a.Compute.axis_name !rest)
+      else begin
+        line 2 (Printf.sprintf "int %s = %s %% %d;" a.Compute.axis_name !rest a.extent);
+        rest := Printf.sprintf "(%s / %d)" !rest a.extent
+      end
+    done;
+    if has_reduce then begin
+      line 2 "float acc = 0.f;";
+      List.iter
+        (fun (a : Compute.axis) ->
+          line 2 (Printf.sprintf "for (int %s = 0; %s < %d; ++%s)" a.axis_name a.axis_name
+                    a.extent a.axis_name))
+        reduce;
+      line 3 (body_statement st);
+      line 2 (write_statement st true)
+    end
+    else begin
+      line 2 "float out;";
+      line 2 (body_statement st);
+      line 2 (write_statement st false)
+    end;
+    line 1 "}"
+  | Schedule.Multi_tile { vthread; thread; inner; reduce_split; unroll; shared_cache } ->
+    let sp = Array.of_list spatial and rd = Array.of_list reduce in
+    line 1 "// tile decomposition: axis = ((outer * VT + vt) * T + t) * I + i";
+    Array.iteri
+      (fun k (a : Compute.axis) ->
+        line 1
+          (Printf.sprintf "int %s_o = /* blockIdx.x digit %d */ 0; // extent %s" a.axis_name k
+             (e2s
+                (Simplify.simplify
+                   (Expr.div (Expr.int a.extent)
+                      (Expr.mul vthread.(k) (Expr.mul thread.(k) inner.(k))))))))
+      sp;
+    Array.iteri
+      (fun k (a : Compute.axis) ->
+        line 1
+          (Printf.sprintf "int %s_t = /* threadIdx.x digit %d */ 0; // extent %s" a.axis_name k
+             (e2s thread.(k))))
+      sp;
+    if shared_cache then begin
+      line 1
+        (Printf.sprintf "__shared__ float staging[%s / 4];"
+           (e2s (Simplify.simplify (Loop_ir.shared_bytes ss))))
+    end;
+    line 1 "float acc[/* register tile */];";
+    Array.iteri
+      (fun k (a : Compute.axis) ->
+        line 1
+          (Printf.sprintf "for (int %s_r0 = 0; %s_r0 < %s; ++%s_r0) {" a.axis_name a.axis_name
+             (e2s (Simplify.simplify (Expr.div (Expr.int a.extent) reduce_split.(k))))
+             a.axis_name))
+      rd;
+    if shared_cache then begin
+      line 2 "// cooperative fetch of the input tiles";
+      line 2 "__syncthreads();"
+    end;
+    line 2 (Printf.sprintf "#pragma unroll %s" (e2s unroll));
+    Array.iteri
+      (fun k (a : Compute.axis) ->
+        line 2
+          (Printf.sprintf "for (int %s_r1 = 0; %s_r1 < %s; ++%s_r1)" a.axis_name a.axis_name
+             (e2s reduce_split.(k)) a.axis_name))
+      rd;
+    Array.iteri
+      (fun k (a : Compute.axis) ->
+        line 3
+          (Printf.sprintf "for (int %s_i = 0; %s_i < %s; ++%s_i) // vthread %s" a.axis_name
+             a.axis_name (e2s inner.(k)) a.axis_name (e2s vthread.(k))))
+      sp;
+    line 4 (body_statement st);
+    Array.iter (fun _ -> line 1 "}") rd;
+    line 1 ("// epilogue: " ^ write_statement st has_reduce);
+    List.iter
+      (fun (fs : Compute.stage) ->
+        line 1 (Printf.sprintf "// fused consumer: %s" (body_statement fs)))
+      ss.fused_elemwise);
+  line 0 "}";
+  Buffer.contents buf
+
+let program_source (p : Loop_ir.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "// generated by felix codegen: %s (%s)\n\n"
+       p.Loop_ir.subgraph.Compute.sg_name p.Loop_ir.schedule.Schedule.sched_name);
+  Array.iter
+    (fun ss ->
+      Buffer.add_string buf (kernel_source ss);
+      Buffer.add_char buf '\n')
+    p.Loop_ir.stages;
+  Buffer.contents buf

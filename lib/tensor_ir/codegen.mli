@@ -1,0 +1,19 @@
+(** CUDA-like source emission for scheduled programs.
+
+    The real Felix hands its schedules to TVM, which emits CUDA. This
+    module plays that role for inspection and documentation: it renders
+    each kernel stage of a program as a CUDA-style [__global__] function —
+    grid/block decomposition of the tile indices, reduction loops with the
+    chosen splits, cooperative shared-memory staging, unroll pragmas, and
+    the innermost statement derived from the stage's semantics with its
+    real affine access expressions.
+
+    Loop extents are printed from the symbolic expressions; pass a concrete
+    assignment (e.g. from {!Pack.assignment}) through [subst] first to emit
+    fully-numeric kernels. *)
+
+val kernel_source : Loop_ir.scheduled_stage -> string
+(** One [__global__] function for a kernel stage. *)
+
+val program_source : Loop_ir.t -> string
+(** All kernels of the program plus a launch comment per stage. *)

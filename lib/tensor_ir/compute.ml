@@ -1,0 +1,475 @@
+type axis_kind = Spatial | Reduce
+type axis = { axis_name : string; extent : int; kind : axis_kind }
+type index_term = { axis : int; coeff : int }
+type index = { terms : index_term list; offset : int }
+type buffer = { buf_name : string; shape : int list; dtype : Dtype.t }
+type access = { buffer : buffer; indices : index list }
+
+type op_counts = {
+  fadd : int;
+  fmul : int;
+  fdiv : int;
+  fspecial : int;
+  fcmp : int;
+  iops : int;
+}
+
+type semantics =
+  | Sem_matmul
+  | Sem_reduce_sum
+  | Sem_reduce_mean
+  | Sem_reduce_max
+  | Sem_sum_exp_sub
+  | Sem_sum_sq_diff
+  | Sem_softmax_norm
+  | Sem_layernorm_norm
+  | Sem_scale_shift
+  | Sem_unary of Op.elemwise_kind
+  | Sem_binary of Op.binary_kind
+  | Sem_copy
+
+type stage = {
+  stage_name : string;
+  axes : axis array;
+  reads : access list;
+  write : buffer;
+  counts : op_counts;
+  is_elemwise : bool;
+  sem : semantics;
+}
+
+type subgraph = { sg_name : string; stages : stage list; anchor : int }
+
+let no_counts = { fadd = 0; fmul = 0; fdiv = 0; fspecial = 0; fcmp = 0; iops = 0 }
+let fma_counts = { no_counts with fadd = 1; fmul = 1; iops = 4 }
+
+let spatial_axes st = Array.to_list st.axes |> List.filter (fun a -> a.kind = Spatial)
+let reduce_axes st = Array.to_list st.axes |> List.filter (fun a -> a.kind = Reduce)
+let num_spatial st = List.length (spatial_axes st)
+let num_reduce st = List.length (reduce_axes st)
+
+let product l = List.fold_left (fun acc a -> acc * a.extent) 1 l
+let spatial_iterations st = product (spatial_axes st)
+let reduce_iterations st = product (reduce_axes st)
+
+let stage_flops st =
+  let per_iter =
+    st.counts.fadd + st.counts.fmul + st.counts.fdiv + st.counts.fspecial + st.counts.fcmp
+  in
+  float_of_int per_iter *. float_of_int (spatial_iterations st) *. float_of_int (reduce_iterations st)
+
+let subgraph_flops sg = List.fold_left (fun acc st -> acc +. stage_flops st) 0.0 sg.stages
+
+let output_buffer sg =
+  match List.rev sg.stages with
+  | last :: _ -> last.write
+  | [] -> invalid_arg "Compute.output_buffer: empty subgraph"
+
+(* --- small builders ------------------------------------------------------ *)
+
+let ax name extent kind = { axis_name = name; extent; kind }
+let idx ?(offset = 0) terms = { terms; offset }
+let term axis coeff = { axis; coeff }
+let simple i = idx [ term i 1 ]
+let buf name shape = { buf_name = name; shape; dtype = Dtype.Float32 }
+
+(* --- lowering ------------------------------------------------------------ *)
+
+let lower_conv2d name (c : Op.conv2d) =
+  let oh = ((c.in_h + (2 * c.pad) - c.kernel_h) / c.stride) + 1 in
+  let ow = ((c.in_w + (2 * c.pad) - c.kernel_w) / c.stride) + 1 in
+  let groups = c.groups in
+  let ocg = c.out_chan / groups and icg = c.in_chan / groups in
+  (* Axes: n, g, ocg, oh, ow | rc, kh, kw.  The padded input buffer makes
+     accesses affine (padding is materialised conceptually; the simulator
+     charges for the logical, unpadded traffic). *)
+  let axes =
+    [| ax "n" c.batch Spatial; ax "g" groups Spatial; ax "oc" ocg Spatial;
+       ax "oh" oh Spatial; ax "ow" ow Spatial; ax "rc" icg Reduce;
+       ax "kh" c.kernel_h Reduce; ax "kw" c.kernel_w Reduce |]
+  in
+  let pad_h = c.in_h + (2 * c.pad) and pad_w = c.in_w + (2 * c.pad) in
+  let input = buf (name ^ ".in") [ c.batch; c.in_chan; pad_h; pad_w ] in
+  let weight = buf (name ^ ".w") [ groups; ocg; icg; c.kernel_h; c.kernel_w ] in
+  let out = buf (name ^ ".out") [ c.batch; groups; ocg; oh; ow ] in
+  let reads =
+    [ { buffer = input;
+        indices =
+          [ simple 0;
+            idx [ term 1 icg; term 5 1 ]; (* channel = g*icg + rc *)
+            idx [ term 3 c.stride; term 6 1 ];
+            idx [ term 4 c.stride; term 7 1 ] ] };
+      { buffer = weight; indices = [ simple 1; simple 2; simple 5; simple 6; simple 7 ] } ]
+  in
+  { stage_name = name; axes; reads; write = out; counts = fma_counts; is_elemwise = false;
+    sem = Sem_matmul }
+
+let lower_conv3d name (c : Op.conv3d) =
+  let od = ((c.in_d + (2 * c.pad) - c.kernel_d) / c.stride) + 1 in
+  let oh = ((c.in_h + (2 * c.pad) - c.kernel_h) / c.stride) + 1 in
+  let ow = ((c.in_w + (2 * c.pad) - c.kernel_w) / c.stride) + 1 in
+  let axes =
+    [| ax "n" c.batch Spatial; ax "oc" c.out_chan Spatial; ax "od" od Spatial;
+       ax "oh" oh Spatial; ax "ow" ow Spatial; ax "rc" c.in_chan Reduce;
+       ax "kd" c.kernel_d Reduce; ax "kh" c.kernel_h Reduce; ax "kw" c.kernel_w Reduce |]
+  in
+  let input =
+    buf (name ^ ".in")
+      [ c.batch; c.in_chan; c.in_d + (2 * c.pad); c.in_h + (2 * c.pad); c.in_w + (2 * c.pad) ]
+  in
+  let weight =
+    buf (name ^ ".w") [ c.out_chan; c.in_chan; c.kernel_d; c.kernel_h; c.kernel_w ]
+  in
+  let out = buf (name ^ ".out") [ c.batch; c.out_chan; od; oh; ow ] in
+  let reads =
+    [ { buffer = input;
+        indices =
+          [ simple 0; simple 5;
+            idx [ term 2 c.stride; term 6 1 ];
+            idx [ term 3 c.stride; term 7 1 ];
+            idx [ term 4 c.stride; term 8 1 ] ] };
+      { buffer = weight; indices = [ simple 1; simple 5; simple 6; simple 7; simple 8 ] } ]
+  in
+  { stage_name = name; axes; reads; write = out; counts = fma_counts; is_elemwise = false;
+    sem = Sem_matmul }
+
+let lower_tconv2d name (c : Op.tconv2d) =
+  let oh = ((c.in_h - 1) * c.stride) - (2 * c.pad) + c.kernel_h in
+  let ow = ((c.in_w - 1) * c.stride) - (2 * c.pad) + c.kernel_w in
+  (* Lowered via the zero-dilated input view: a stride-1 convolution over an
+     input of size (oh + kh - 1, ow + kw - 1); flops match the true
+     transposed convolution because only 1/stride^2 of taps are non-zero,
+     which we reflect by shrinking the reduction extents. *)
+  let eff_kh = max 1 (c.kernel_h / c.stride) and eff_kw = max 1 (c.kernel_w / c.stride) in
+  let axes =
+    [| ax "n" c.batch Spatial; ax "oc" c.out_chan Spatial; ax "oh" oh Spatial;
+       ax "ow" ow Spatial; ax "rc" c.in_chan Reduce; ax "kh" eff_kh Reduce;
+       ax "kw" eff_kw Reduce |]
+  in
+  let input = buf (name ^ ".in") [ c.batch; c.in_chan; oh + eff_kh; ow + eff_kw ] in
+  let weight = buf (name ^ ".w") [ c.in_chan; c.out_chan; c.kernel_h; c.kernel_w ] in
+  let out = buf (name ^ ".out") [ c.batch; c.out_chan; oh; ow ] in
+  let reads =
+    [ { buffer = input;
+        indices =
+          [ simple 0; simple 4; idx [ term 2 1; term 5 1 ]; idx [ term 3 1; term 6 1 ] ] };
+      { buffer = weight; indices = [ simple 4; simple 1; simple 5; simple 6 ] } ]
+  in
+  { stage_name = name; axes; reads; write = out; counts = fma_counts; is_elemwise = false;
+    sem = Sem_matmul }
+
+let lower_dense name (d : Op.dense) =
+  let axes =
+    [| ax "i" d.batch Spatial; ax "j" d.out_dim Spatial; ax "k" d.in_dim Reduce |]
+  in
+  let a = buf (name ^ ".in") [ d.batch; d.in_dim ] in
+  let w = buf (name ^ ".w") [ d.out_dim; d.in_dim ] in
+  let out = buf (name ^ ".out") [ d.batch; d.out_dim ] in
+  let reads =
+    [ { buffer = a; indices = [ simple 0; simple 2 ] };
+      { buffer = w; indices = [ simple 1; simple 2 ] } ]
+  in
+  { stage_name = name; axes; reads; write = out; counts = fma_counts; is_elemwise = false;
+    sem = Sem_matmul }
+
+let lower_batch_matmul name (b : Op.batch_matmul) =
+  let axes =
+    [| ax "b" b.batch Spatial; ax "i" b.m Spatial; ax "j" b.n Spatial; ax "k" b.k Reduce |]
+  in
+  let x = buf (name ^ ".x") [ b.batch; b.m; b.k ] in
+  let y = buf (name ^ ".y") [ b.batch; b.k; b.n ] in
+  let out = buf (name ^ ".out") [ b.batch; b.m; b.n ] in
+  let reads =
+    [ { buffer = x; indices = [ simple 0; simple 1; simple 3 ] };
+      { buffer = y; indices = [ simple 0; simple 3; simple 2 ] } ]
+  in
+  { stage_name = name; axes; reads; write = out; counts = fma_counts; is_elemwise = false;
+    sem = Sem_matmul }
+
+let lower_pool2d ~is_max name (p : Op.pool2d) =
+  let oh = ((p.in_h + (2 * p.pad) - p.kernel) / p.stride) + 1 in
+  let ow = ((p.in_w + (2 * p.pad) - p.kernel) / p.stride) + 1 in
+  let axes =
+    [| ax "n" p.batch Spatial; ax "c" p.chan Spatial; ax "oh" oh Spatial;
+       ax "ow" ow Spatial; ax "kh" p.kernel Reduce; ax "kw" p.kernel Reduce |]
+  in
+  let input =
+    buf (name ^ ".in") [ p.batch; p.chan; p.in_h + (2 * p.pad); p.in_w + (2 * p.pad) ]
+  in
+  let out = buf (name ^ ".out") [ p.batch; p.chan; oh; ow ] in
+  let reads =
+    [ { buffer = input;
+        indices =
+          [ simple 0; simple 1; idx [ term 2 p.stride; term 4 1 ];
+            idx [ term 3 p.stride; term 5 1 ] ] } ]
+  in
+  let counts =
+    if is_max then { no_counts with fcmp = 1; iops = 3 } else { no_counts with fadd = 1; iops = 3 }
+  in
+  { stage_name = name; axes; reads; write = out; counts; is_elemwise = false;
+    sem = (if is_max then Sem_reduce_max else Sem_reduce_mean) }
+
+let lower_global_avgpool name ~batch ~chan ~in_h ~in_w =
+  let axes =
+    [| ax "n" batch Spatial; ax "c" chan Spatial; ax "h" in_h Reduce; ax "w" in_w Reduce |]
+  in
+  let input = buf (name ^ ".in") [ batch; chan; in_h; in_w ] in
+  let out = buf (name ^ ".out") [ batch; chan ] in
+  let reads = [ { buffer = input; indices = [ simple 0; simple 1; simple 2; simple 3 ] } ] in
+  { stage_name = name; axes; reads;
+    write = out; counts = { no_counts with fadd = 1; iops = 2 }; is_elemwise = false;
+    sem = Sem_reduce_mean }
+
+(* Softmax lowers to three stages: row max, exp-and-sum, normalise. *)
+let lower_softmax name (s : Op.softmax) =
+  let x = buf (name ^ ".in") [ s.rows; s.cols ] in
+  let rowmax =
+    { stage_name = name ^ ".max";
+      axes = [| ax "r" s.rows Spatial; ax "c" s.cols Reduce |];
+      reads = [ { buffer = x; indices = [ simple 0; simple 1 ] } ];
+      write = buf (name ^ ".m") [ s.rows ];
+      counts = { no_counts with fcmp = 1; iops = 2 };
+      is_elemwise = false;
+      sem = Sem_reduce_max }
+  in
+  let expsum =
+    { stage_name = name ^ ".sum";
+      axes = [| ax "r" s.rows Spatial; ax "c" s.cols Reduce |];
+      reads =
+        [ { buffer = x; indices = [ simple 0; simple 1 ] };
+          { buffer = rowmax.write; indices = [ simple 0 ] } ];
+      write = buf (name ^ ".s") [ s.rows ];
+      counts = { no_counts with fadd = 2; fspecial = 1; iops = 2 };
+      is_elemwise = false;
+      sem = Sem_sum_exp_sub }
+  in
+  let normalise =
+    { stage_name = name ^ ".norm";
+      axes = [| ax "r" s.rows Spatial; ax "c" s.cols Spatial |];
+      reads =
+        [ { buffer = x; indices = [ simple 0; simple 1 ] };
+          { buffer = rowmax.write; indices = [ simple 0 ] };
+          { buffer = expsum.write; indices = [ simple 0 ] } ];
+      write = buf (name ^ ".out") [ s.rows; s.cols ];
+      counts = { no_counts with fadd = 1; fdiv = 1; fspecial = 1; iops = 2 };
+      is_elemwise = false;
+      sem = Sem_softmax_norm }
+  in
+  { sg_name = name; stages = [ rowmax; expsum; normalise ]; anchor = 1 }
+
+let lower_layer_norm name (n : Op.norm) =
+  let x = buf (name ^ ".in") [ n.rows; n.cols ] in
+  let mean =
+    { stage_name = name ^ ".mean";
+      axes = [| ax "r" n.rows Spatial; ax "c" n.cols Reduce |];
+      reads = [ { buffer = x; indices = [ simple 0; simple 1 ] } ];
+      write = buf (name ^ ".mu") [ n.rows ];
+      counts = { no_counts with fadd = 1; iops = 2 };
+      is_elemwise = false;
+      sem = Sem_reduce_mean }
+  in
+  let var =
+    { stage_name = name ^ ".var";
+      axes = [| ax "r" n.rows Spatial; ax "c" n.cols Reduce |];
+      reads =
+        [ { buffer = x; indices = [ simple 0; simple 1 ] };
+          { buffer = mean.write; indices = [ simple 0 ] } ];
+      write = buf (name ^ ".v") [ n.rows ];
+      counts = { no_counts with fadd = 2; fmul = 1; iops = 2 };
+      is_elemwise = false;
+      sem = Sem_sum_sq_diff }
+  in
+  let normalise =
+    { stage_name = name ^ ".norm";
+      axes = [| ax "r" n.rows Spatial; ax "c" n.cols Spatial |];
+      reads =
+        [ { buffer = x; indices = [ simple 0; simple 1 ] };
+          { buffer = mean.write; indices = [ simple 0 ] };
+          { buffer = var.write; indices = [ simple 0 ] } ];
+      write = buf (name ^ ".out") [ n.rows; n.cols ];
+      counts = { no_counts with fadd = 2; fmul = 2; fdiv = 1; fspecial = 1; iops = 2 };
+      is_elemwise = false;
+      sem = Sem_layernorm_norm }
+  in
+  { sg_name = name; stages = [ mean; var; normalise ]; anchor = 1 }
+
+let elemwise_stage name ~elems ~extra_read ~counts ~sem ~prev_buffer =
+  (* Flat 1-D elementwise stage over the previous stage's output. *)
+  let axes = [| ax "e" elems Spatial |] in
+  let reads =
+    { buffer = prev_buffer; indices = [ simple 0 ] }
+    :: (match extra_read with
+       | None -> []
+       | Some b -> [ { buffer = b; indices = [ simple 0 ] } ])
+  in
+  { stage_name = name; axes; reads; write = buf (name ^ ".out") [ elems ]; counts;
+    is_elemwise = true; sem }
+
+let flat_buffer b = { b with shape = [ List.fold_left ( * ) 1 b.shape ] }
+
+let elemwise_counts (k : Op.elemwise_kind) =
+  match k with
+  | Relu -> { no_counts with fcmp = 1; iops = 1 }
+  | Leaky_relu -> { no_counts with fcmp = 1; fmul = 1; iops = 1 }
+  | Sigmoid | Tanh -> { no_counts with fadd = 1; fdiv = 1; fspecial = 1; iops = 1 }
+  | Gelu -> { no_counts with fadd = 2; fmul = 3; fspecial = 1; iops = 1 }
+  | Silu -> { no_counts with fadd = 1; fmul = 1; fdiv = 1; fspecial = 1; iops = 1 }
+
+let binary_counts (k : Op.binary_kind) =
+  match k with
+  | Add | Sub -> { no_counts with fadd = 1; iops = 2 }
+  | Mul -> { no_counts with fmul = 1; iops = 2 }
+
+let single name st = { sg_name = name; stages = [ st ]; anchor = 0 }
+
+let lower ~name (op : Op.t) : subgraph =
+  match op with
+  | Conv2d c -> single name (lower_conv2d name c)
+  | Conv3d c -> single name (lower_conv3d name c)
+  | Tconv2d c -> single name (lower_tconv2d name c)
+  | Dense d -> single name (lower_dense name d)
+  | Batch_matmul b -> single name (lower_batch_matmul name b)
+  | Maxpool2d p -> single name (lower_pool2d ~is_max:true name p)
+  | Avgpool2d p -> single name (lower_pool2d ~is_max:false name p)
+  | Global_avgpool g ->
+    single name (lower_global_avgpool name ~batch:g.batch ~chan:g.chan ~in_h:g.in_h ~in_w:g.in_w)
+  | Softmax s -> lower_softmax name s
+  | Layer_norm n -> lower_layer_norm name n
+  | Batch_norm_infer b ->
+    let elems = b.batch * b.chan * b.spatial in
+    let input = buf (name ^ ".in") [ elems ] in
+    let st =
+      elemwise_stage name ~elems ~extra_read:(Some (buf (name ^ ".scale") [ elems ]))
+        ~counts:{ no_counts with fadd = 1; fmul = 1; iops = 2 }
+        ~sem:Sem_scale_shift ~prev_buffer:input
+    in
+    single name st
+  | Elemwise (k, n) ->
+    let input = buf (name ^ ".in") [ n ] in
+    single name
+      (elemwise_stage name ~elems:n ~extra_read:None ~counts:(elemwise_counts k)
+         ~sem:(Sem_unary k) ~prev_buffer:input)
+  | Binary (k, n) ->
+    let a = buf (name ^ ".a") [ n ] and b = buf (name ^ ".b") [ n ] in
+    single name
+      (elemwise_stage name ~elems:n ~extra_read:(Some b) ~counts:(binary_counts k)
+         ~sem:(Sem_binary k) ~prev_buffer:a)
+  | Bias_add b ->
+    let elems = b.rows * b.cols in
+    let input = buf (name ^ ".in") [ elems ] in
+    let bias = buf (name ^ ".bias") [ b.cols ] in
+    (* The bias read repeats every row: model as a flat read of the bias
+       vector with a stride-1 index modulo cols; for footprint purposes we
+       keep the 1-D view and let the small buffer size carry the reuse. *)
+    let st =
+      { stage_name = name;
+        axes = [| ax "r" b.rows Spatial; ax "c" b.cols Spatial |];
+        reads =
+          [ { buffer = buf (name ^ ".in2d") [ b.rows; b.cols ]; indices = [ simple 0; simple 1 ] };
+            { buffer = bias; indices = [ simple 1 ] } ];
+        write = buf (name ^ ".out") [ b.rows; b.cols ];
+        counts = { no_counts with fadd = 1; iops = 2 };
+        is_elemwise = true;
+        sem = Sem_binary Op.Add }
+    in
+    ignore input;
+    single name st
+  | Concat c ->
+    let total = List.fold_left ( + ) 0 c.parts * c.rest in
+    let input = buf (name ^ ".in") [ total ] in
+    single name
+      (elemwise_stage name ~elems:total ~extra_read:None
+         ~counts:{ no_counts with iops = 2 } ~sem:Sem_copy ~prev_buffer:input)
+
+let fuse_elemwise sg ~name (op : Op.t) =
+  let prev = output_buffer sg in
+  let elems = List.fold_left ( * ) 1 prev.shape in
+  let op_elems = List.fold_left ( * ) 1 (Op.output_shape op) in
+  if op_elems <> elems then
+    invalid_arg
+      (Printf.sprintf "Compute.fuse_elemwise: %s has %d elements but subgraph output has %d"
+         (Op.name op) op_elems elems);
+  let st =
+    match op with
+    | Elemwise (k, _) ->
+      elemwise_stage name ~elems ~extra_read:None ~counts:(elemwise_counts k)
+        ~sem:(Sem_unary k) ~prev_buffer:(flat_buffer prev)
+    | Binary (k, _) ->
+      elemwise_stage name ~elems ~extra_read:(Some (buf (name ^ ".rhs") [ elems ]))
+        ~counts:(binary_counts k) ~sem:(Sem_binary k) ~prev_buffer:(flat_buffer prev)
+    | Bias_add _ ->
+      (* The bias vector is read broadcast; the fused 1-D stage models it as
+         a materialised per-element buffer (the bias itself is tiny, so the
+         footprint difference is negligible). *)
+      elemwise_stage name ~elems ~extra_read:(Some (buf (name ^ ".bias") [ elems ]))
+        ~counts:{ no_counts with fadd = 1; iops = 2 }
+        ~sem:(Sem_binary Op.Add) ~prev_buffer:(flat_buffer prev)
+    | Batch_norm_infer _ ->
+      elemwise_stage name ~elems ~extra_read:(Some (buf (name ^ ".scale") [ elems ]))
+        ~counts:{ no_counts with fadd = 1; fmul = 1; iops = 2 }
+        ~sem:Sem_scale_shift ~prev_buffer:(flat_buffer prev)
+    | Conv2d _ | Conv3d _ | Tconv2d _ | Dense _ | Batch_matmul _ | Maxpool2d _
+    | Avgpool2d _ | Global_avgpool _ | Softmax _ | Layer_norm _ | Concat _ ->
+      invalid_arg
+        (Printf.sprintf "Compute.fuse_elemwise: %s is not elementwise-fusable" (Op.name op))
+  in
+  { sg with stages = sg.stages @ [ st ] }
+
+(* --- validation ----------------------------------------------------------- *)
+
+let validate_stage st =
+  let n_axes = Array.length st.axes in
+  let check_access (a : access) =
+    if List.length a.indices <> List.length a.buffer.shape then
+      Error
+        (Printf.sprintf "stage %s: access to %s has rank %d but buffer rank %d" st.stage_name
+           a.buffer.buf_name (List.length a.indices) (List.length a.buffer.shape))
+    else begin
+      let ok = ref (Ok ()) in
+      List.iteri
+        (fun dim (ix : index) ->
+          let dim_size = List.nth a.buffer.shape dim in
+          let max_val =
+            List.fold_left
+              (fun acc (t : index_term) ->
+                if t.axis < 0 || t.axis >= n_axes then max_int
+                else acc + (t.coeff * (st.axes.(t.axis).extent - 1)))
+              ix.offset ix.terms
+          in
+          if max_val = max_int then
+            ok := Error (Printf.sprintf "stage %s: axis out of range in access" st.stage_name)
+          else if max_val >= dim_size then
+            ok :=
+              Error
+                (Printf.sprintf "stage %s: access to %s dim %d reaches %d >= size %d"
+                   st.stage_name a.buffer.buf_name dim max_val dim_size))
+        a.indices;
+      !ok
+    end
+  in
+  let rec check_all = function
+    | [] -> Ok ()
+    | a :: rest -> ( match check_access a with Ok () -> check_all rest | Error e -> Error e)
+  in
+  if Array.exists (fun a -> a.extent < 1) st.axes then
+    Error (Printf.sprintf "stage %s: axis with extent < 1" st.stage_name)
+  else check_all st.reads
+
+let validate sg =
+  if sg.anchor < 0 || sg.anchor >= List.length sg.stages then Error "anchor out of range"
+  else
+    List.fold_left
+      (fun acc st -> match acc with Error _ -> acc | Ok () -> validate_stage st)
+      (Ok ()) sg.stages
+
+let workload_key sg =
+  let stage_key st =
+    let axes =
+      Array.to_list st.axes
+      |> List.map (fun a ->
+             Printf.sprintf "%s%d" (match a.kind with Spatial -> "s" | Reduce -> "r") a.extent)
+      |> String.concat ","
+    in
+    Printf.sprintf "[%s|r%d]" axes (List.length st.reads)
+  in
+  String.concat ";" (List.map stage_key sg.stages)

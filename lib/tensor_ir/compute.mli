@@ -1,0 +1,108 @@
+(** Compute definitions: the "initial program" p0 of Figure 1.
+
+    Every operator lowers to one or more {e stages}. A stage is a perfectly
+    nested loop over named axes (spatial axes produce one output element
+    each; reduction axes accumulate), a set of buffer reads with affine
+    access indices, and per-iteration arithmetic counts. A {e subgraph} is
+    an ordered list of stages produced by operator fusion (Section 3.1);
+    the {e anchor} stage is the compute-intensive one the scheduler tiles.
+
+    Affine access indices are expressive enough for every operator in the
+    paper's six networks (convolutions access [oh*stride + kh], matmuls
+    access plain axes, elementwise stages access identity indices). *)
+
+type axis_kind = Spatial | Reduce
+
+type axis = { axis_name : string; extent : int; kind : axis_kind }
+
+type index_term = { axis : int; coeff : int }
+(** [axis] indexes into the stage's [axes] array. *)
+
+type index = { terms : index_term list; offset : int }
+(** Affine index: [sum (coeff * axis_value) + offset]. *)
+
+type buffer = { buf_name : string; shape : int list; dtype : Dtype.t }
+
+type access = { buffer : buffer; indices : index list }
+
+type op_counts = {
+  fadd : int;
+  fmul : int;
+  fdiv : int;
+  fspecial : int;  (** exp, sqrt, tanh, erf... *)
+  fcmp : int;
+  iops : int;  (** integer address arithmetic per iteration *)
+}
+
+(** Executable meaning of a stage's innermost statement; drives the
+    reference interpreter ({!module:Interp}) that validates schedule
+    transformations end-to-end. *)
+type semantics =
+  | Sem_matmul  (** acc += read0 * read1 (matmul / convolution family) *)
+  | Sem_reduce_sum  (** acc += read0 *)
+  | Sem_reduce_mean  (** acc += read0, divided by the reduction count *)
+  | Sem_reduce_max  (** acc = max acc read0 *)
+  | Sem_sum_exp_sub  (** acc += exp (read0 - read1) (softmax denominator) *)
+  | Sem_sum_sq_diff  (** acc += (read0 - read1)^2 / count (variance) *)
+  | Sem_softmax_norm  (** exp (read0 - read1) / read2 *)
+  | Sem_layernorm_norm  (** (read0 - read1) / sqrt (read2 + eps) *)
+  | Sem_scale_shift  (** read0 * read1 + 0.1 (folded batch-norm) *)
+  | Sem_unary of Op.elemwise_kind
+  | Sem_binary of Op.binary_kind
+  | Sem_copy
+
+type stage = {
+  stage_name : string;
+  axes : axis array;  (** spatial axes first, then reduction axes *)
+  reads : access list;
+  write : buffer;
+  counts : op_counts;
+  is_elemwise : bool;  (** identity-indexed consumer of the previous stage *)
+  sem : semantics;
+}
+
+type subgraph = {
+  sg_name : string;
+  stages : stage list;  (** producer order; the last stage writes the output *)
+  anchor : int;  (** index of the stage the scheduler tiles *)
+}
+
+val no_counts : op_counts
+val fma_counts : op_counts
+(** One multiply + one add (the inner loop of matmul/conv). *)
+
+val spatial_axes : stage -> axis list
+val reduce_axes : stage -> axis list
+
+val num_spatial : stage -> int
+val num_reduce : stage -> int
+
+val spatial_iterations : stage -> int
+(** Product of spatial extents = number of output elements. *)
+
+val reduce_iterations : stage -> int
+
+val stage_flops : stage -> float
+(** Total scalar float ops of the stage. *)
+
+val subgraph_flops : subgraph -> float
+
+val output_buffer : subgraph -> buffer
+
+val lower : name:string -> Op.t -> subgraph
+(** Lower a single operator to its naive subgraph. *)
+
+val fuse_elemwise : subgraph -> name:string -> Op.t -> subgraph
+(** Append an elementwise operator (activation, bias add, residual add,
+    inference batch-norm) as a fused consumer stage. Raises
+    [Invalid_argument] if the operator is not elementwise-fusable or if the
+    element count does not match the subgraph output. *)
+
+val validate : subgraph -> (unit, string) result
+(** Structural invariants: axis indices in range, access ranks match buffer
+    ranks, affine indices stay within buffer bounds at loop extremes, anchor
+    in range. Exercised heavily by the property tests. *)
+
+val workload_key : subgraph -> string
+(** Stable identity of the tuning task (operator kinds + shapes), used to
+    group equal subgraphs so they are tuned once, as TVM does. *)

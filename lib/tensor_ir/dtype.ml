@@ -1,0 +1,17 @@
+type t = Float32 | Float16 | Int32 | Int8 | Bool
+
+let size_bytes = function
+  | Float32 -> 4
+  | Float16 -> 2
+  | Int32 -> 4
+  | Int8 -> 1
+  | Bool -> 1
+
+let to_string = function
+  | Float32 -> "float32"
+  | Float16 -> "float16"
+  | Int32 -> "int32"
+  | Int8 -> "int8"
+  | Bool -> "bool"
+
+let equal a b = a = b

@@ -1,0 +1,10 @@
+(** Element datatypes of tensors.
+
+    The paper evaluates at full fp32 precision; other types exist for
+    completeness of the substrate (e.g. int8 buffers in embedding lookups). *)
+
+type t = Float32 | Float16 | Int32 | Int8 | Bool
+
+val size_bytes : t -> int
+val to_string : t -> string
+val equal : t -> t -> bool

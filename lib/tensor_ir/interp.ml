@@ -1,0 +1,353 @@
+type memory = (string, float array) Hashtbl.t
+
+(* Deterministic pseudo-random inputs in [-1, 1]: SplitMix64 of the buffer
+   name hash and the element index. *)
+let input_value name idx =
+  let mix z =
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+  in
+  let h = mix (Int64.of_int ((Hashtbl.hash name * 1_000_003) + idx)) in
+  let bits = Int64.to_int (Int64.shift_right_logical h 11) in
+  (float_of_int bits /. 4503599627370496.0) -. 1.0
+
+let buffer_elems (b : Compute.buffer) = List.fold_left ( * ) 1 b.shape
+
+let get_buffer (mem : memory) (b : Compute.buffer) =
+  match Hashtbl.find_opt mem b.buf_name with
+  | Some arr -> arr
+  | None ->
+    let n = buffer_elems b in
+    let arr = Array.init n (fun i -> input_value b.buf_name i) in
+    Hashtbl.replace mem b.buf_name arr;
+    arr
+
+let flatten_index shape idxs =
+  List.fold_left2 (fun acc size i -> (acc * size) + i) 0 shape idxs
+
+(* Evaluate an affine access at the given axis values. *)
+let read_at mem (axis_values : int array) (a : Compute.access) =
+  let arr = get_buffer mem a.buffer in
+  let idxs =
+    List.map
+      (fun (ix : Compute.index) ->
+        List.fold_left
+          (fun acc (t : Compute.index_term) -> acc + (t.coeff * axis_values.(t.axis)))
+          ix.offset ix.terms)
+      a.indices
+  in
+  arr.(flatten_index a.buffer.shape idxs)
+
+(* --- per-stage semantics ---------------------------------------------------- *)
+
+let unary_fn (k : Op.elemwise_kind) x =
+  match k with
+  | Relu -> Float.max x 0.0
+  | Leaky_relu -> if x >= 0.0 then x else 0.01 *. x
+  | Sigmoid -> 1.0 /. (1.0 +. exp (-.x))
+  | Tanh -> tanh x
+  | Gelu -> 0.5 *. x *. (1.0 +. tanh (0.7978845608 *. (x +. (0.044715 *. x *. x *. x))))
+  | Silu -> x /. (1.0 +. exp (-.x))
+
+let binary_fn (k : Op.binary_kind) a b =
+  match k with Add -> a +. b | Mul -> a *. b | Sub -> a -. b
+
+let init_value (sem : Compute.semantics) =
+  match sem with Sem_reduce_max -> neg_infinity | _ -> 0.0
+
+(* Accumulate one reduction step; [rs] are the read values. *)
+let accumulate (sem : Compute.semantics) acc rs =
+  match (sem, rs) with
+  | Compute.Sem_matmul, [ a; b ] -> acc +. (a *. b)
+  | Sem_reduce_sum, [ a ] | Sem_reduce_mean, [ a ] -> acc +. a
+  | Sem_reduce_max, [ a ] -> Float.max acc a
+  | Sem_sum_exp_sub, [ x; m ] -> acc +. exp (x -. m)
+  | Sem_sum_sq_diff, [ x; mu ] -> acc +. ((x -. mu) ** 2.0)
+  | (Sem_softmax_norm | Sem_layernorm_norm | Sem_scale_shift | Sem_unary _ | Sem_binary _
+    | Sem_copy), _ ->
+    invalid_arg "Interp.accumulate: pointwise semantics inside a reduction"
+  | (Sem_matmul | Sem_reduce_sum | Sem_reduce_mean | Sem_reduce_max | Sem_sum_exp_sub
+    | Sem_sum_sq_diff), _ ->
+    invalid_arg "Interp.accumulate: read arity mismatch"
+
+let pointwise (sem : Compute.semantics) rs =
+  match (sem, rs) with
+  | Compute.Sem_softmax_norm, [ x; m; s ] -> exp (x -. m) /. s
+  | Sem_layernorm_norm, [ x; mu; v ] -> (x -. mu) /. sqrt (v +. 1e-5)
+  | Sem_scale_shift, [ x; sc ] -> (x *. sc) +. 0.1
+  | Sem_unary k, [ x ] -> unary_fn k x
+  | Sem_binary k, [ a; b ] -> binary_fn k a b
+  | Sem_copy, x :: _ -> x
+  | (Sem_matmul | Sem_reduce_sum | Sem_reduce_mean | Sem_reduce_max | Sem_sum_exp_sub
+    | Sem_sum_sq_diff), _ ->
+    invalid_arg "Interp.pointwise: reduction semantics without a reduction loop"
+  | (Sem_softmax_norm | Sem_layernorm_norm | Sem_scale_shift | Sem_unary _ | Sem_binary _
+    | Sem_copy), _ ->
+    invalid_arg "Interp.pointwise: read arity mismatch"
+
+let finalize (sem : Compute.semantics) ~reduce_count acc =
+  match sem with
+  | Sem_reduce_mean | Sem_sum_sq_diff -> acc /. float_of_int reduce_count
+  | Sem_matmul | Sem_reduce_sum | Sem_reduce_max | Sem_sum_exp_sub | Sem_softmax_norm
+  | Sem_layernorm_norm | Sem_scale_shift | Sem_unary _ | Sem_binary _ | Sem_copy -> acc
+
+(* Enumerate a multi-dimensional index space [extents] row-major, calling
+   [f] with the current index array (reused across calls). *)
+let iterate extents f =
+  let n = Array.length extents in
+  let idx = Array.make n 0 in
+  let total = Array.fold_left ( * ) 1 extents in
+  for _ = 1 to total do
+    f idx;
+    let rec bump d =
+      if d >= 0 then begin
+        idx.(d) <- idx.(d) + 1;
+        if idx.(d) = extents.(d) then begin
+          idx.(d) <- 0;
+          bump (d - 1)
+        end
+      end
+    in
+    bump (n - 1)
+  done
+
+(* --- reference execution ----------------------------------------------------- *)
+
+let run_stage_reference mem (st : Compute.stage) =
+  let spatial = Array.of_list (Compute.spatial_axes st) in
+  let reduce = Array.of_list (Compute.reduce_axes st) in
+  let n_spatial = Array.length spatial in
+  let axis_values = Array.make (Array.length st.axes) 0 in
+  let out = Array.make (Compute.spatial_iterations st) 0.0 in
+  let reduce_count = Compute.reduce_iterations st in
+  let spatial_ext = Array.map (fun (a : Compute.axis) -> a.extent) spatial in
+  let reduce_ext = Array.map (fun (a : Compute.axis) -> a.extent) reduce in
+  let flat = ref 0 in
+  iterate spatial_ext (fun sidx ->
+      Array.blit sidx 0 axis_values 0 n_spatial;
+      let result =
+        if Array.length reduce = 0 then
+          pointwise st.sem (List.map (read_at mem axis_values) st.reads)
+        else begin
+          let acc = ref (init_value st.sem) in
+          iterate reduce_ext (fun ridx ->
+              Array.blit ridx 0 axis_values n_spatial (Array.length ridx);
+              acc := accumulate st.sem !acc (List.map (read_at mem axis_values) st.reads));
+          finalize st.sem ~reduce_count !acc
+        end
+      in
+      out.(!flat) <- result;
+      incr flat);
+  Hashtbl.replace mem st.write.buf_name out
+
+let run_reference (sg : Compute.subgraph) =
+  let mem : memory = Hashtbl.create 16 in
+  List.iter (run_stage_reference mem) sg.stages;
+  mem
+
+(* --- scheduled execution ------------------------------------------------------ *)
+
+let int_of env e =
+  let v = Eval.eval env e in
+  let r = int_of_float (Float.round v) in
+  if Float.abs (v -. float_of_int r) > 1e-6 then
+    invalid_arg "Interp.run_scheduled: non-integer loop extent";
+  r
+
+(* Execute one stage in tiled order. [levels] gives, per spatial axis, the
+   list of level extents from outermost to innermost (their product must be
+   the axis extent); [reduce_splits] likewise for reduction axes (2 levels).
+   The original axis value is rebuilt as a mixed-radix number. *)
+let run_stage_tiled mem (st : Compute.stage) ~spatial_levels ~reduce_levels =
+  let spatial = Array.of_list (Compute.spatial_axes st) in
+  let reduce = Array.of_list (Compute.reduce_axes st) in
+  let n_spatial = Array.length spatial in
+  Array.iteri
+    (fun k (a : Compute.axis) ->
+      let prod = List.fold_left ( * ) 1 spatial_levels.(k) in
+      if prod <> a.extent then
+        invalid_arg
+          (Printf.sprintf "Interp: spatial axis %s extent %d but tile product %d" a.axis_name
+             a.extent prod))
+    spatial;
+  Array.iteri
+    (fun k (a : Compute.axis) ->
+      let prod = List.fold_left ( * ) 1 reduce_levels.(k) in
+      if prod <> a.extent then
+        invalid_arg
+          (Printf.sprintf "Interp: reduce axis %s extent %d but split product %d" a.axis_name
+             a.extent prod))
+    reduce;
+  (* Level extents arranged as one big loop nest: all spatial level-0
+     indices, then level-1, ..., then reduce levels, then innermost spatial
+     level — mirroring the S-S-S-R-R-S order. Each axis value is recovered
+     from its per-level digits. *)
+  let n_slevels =
+    Array.fold_left (fun acc l -> max acc (List.length l)) 0 spatial_levels
+  in
+  let n_rlevels = Array.fold_left (fun acc l -> max acc (List.length l)) 0 reduce_levels in
+  let level_ext k lvls l = try List.nth lvls.(k) l with Failure _ -> 1 in
+  (* Loop order: spatial levels 0 .. n_slevels-2, reduce levels 0 .. all,
+     then the innermost spatial level. *)
+  let loops = ref [] in
+  for l = 0 to n_slevels - 2 do
+    Array.iteri (fun k _ -> loops := (`S (k, l), level_ext k spatial_levels l) :: !loops) spatial
+  done;
+  for l = 0 to n_rlevels - 1 do
+    Array.iteri (fun k _ -> loops := (`R (k, l), level_ext k reduce_levels l) :: !loops) reduce
+  done;
+  Array.iteri
+    (fun k _ -> loops := (`S (k, n_slevels - 1), level_ext k spatial_levels (n_slevels - 1)) :: !loops)
+    spatial;
+  let loops = Array.of_list (List.rev !loops) in
+  let extents = Array.map snd loops in
+  let out = Array.make (Compute.spatial_iterations st) 0.0 in
+  Array.fill out 0 (Array.length out) (init_value st.sem);
+  let has_reduce = Array.length reduce > 0 in
+  if not has_reduce then Array.fill out 0 (Array.length out) 0.0;
+  let reduce_count = Compute.reduce_iterations st in
+  let axis_values = Array.make (Array.length st.axes) 0 in
+  let spatial_ext = Array.map (fun (a : Compute.axis) -> a.extent) spatial in
+  let updates = ref 0 in
+  iterate extents (fun digits ->
+      (* Reconstruct axis values from level digits (mixed radix); correctness
+         relies on each axis's levels appearing outer-to-inner in [loops],
+         which the construction above guarantees. *)
+      Array.iteri (fun k _ -> axis_values.(k) <- 0) spatial;
+      Array.iteri (fun k _ -> axis_values.(n_spatial + k) <- 0) reduce;
+      Array.iteri
+        (fun li (tag, _) ->
+          match tag with
+          | `S (k, l) ->
+            ignore l;
+            axis_values.(k) <- (axis_values.(k) * extents.(li)) + digits.(li)
+          | `R (k, l) ->
+            ignore l;
+            axis_values.(n_spatial + k) <- (axis_values.(n_spatial + k) * extents.(li)) + digits.(li))
+        loops;
+      let flat =
+        let f = ref 0 in
+        Array.iteri (fun k e -> f := (!f * e) + axis_values.(k)) spatial_ext;
+        !f
+      in
+      incr updates;
+      let rs = List.map (read_at mem axis_values) st.reads in
+      if has_reduce then out.(flat) <- accumulate st.sem out.(flat) rs
+      else out.(flat) <- pointwise st.sem rs);
+  if !updates <> Compute.spatial_iterations st * reduce_count then
+    invalid_arg "Interp: tiled iteration count mismatch";
+  if has_reduce then
+    Array.iteri (fun i v -> out.(i) <- finalize st.sem ~reduce_count v) out;
+  Hashtbl.replace mem st.write.buf_name out
+
+let levels_of_plan env (st : Compute.stage) (plan : Schedule.stage_plan) =
+  let spatial = Array.of_list (Compute.spatial_axes st) in
+  let reduce = Array.of_list (Compute.reduce_axes st) in
+  match plan with
+  | Schedule.Inlined -> invalid_arg "Interp.levels_of_plan: Inlined"
+  | Schedule.Simple_bind { threads; inner; vector; _ } ->
+    (* The fused spatial axis splits into block x thread x serial; rebuild
+       per-axis levels by treating the fused split as acting on the
+       row-major linearisation: execute as [blocks; th; in*vec] over the
+       flat space. We model this as a single-axis tiling of the flattened
+       spatial space, so per-axis levels degenerate to the full extents
+       (iteration order is then the flat tiled order). *)
+    let th = int_of env threads and inn = int_of env inner and v = int_of env vector in
+    let p = Compute.spatial_iterations st in
+    let chunk = th * inn * v in
+    if chunk = 0 || p mod chunk <> 0 then invalid_arg "Interp: simple split does not divide";
+    `Flat (p / chunk, th, inn * v)
+  | Schedule.Multi_tile { vthread; thread; inner; reduce_split; _ } ->
+    let slevels =
+      Array.mapi
+        (fun k (a : Compute.axis) ->
+          let v = int_of env vthread.(k) in
+          let t = int_of env thread.(k) in
+          let i = int_of env inner.(k) in
+          let outer = a.extent / (v * t * i) in
+          [ outer; v; t; i ])
+        spatial
+    in
+    let rlevels =
+      Array.mapi
+        (fun k (a : Compute.axis) ->
+          let ri = int_of env reduce_split.(k) in
+          [ a.extent / ri; ri ])
+        reduce
+    in
+    `Levels (slevels, rlevels)
+
+(* Flat tiled execution for Simple_bind: iterate (block, thread, serial)
+   decomposing the flat spatial index, reducing serially inside. *)
+let run_stage_flat mem (st : Compute.stage) ~blocks ~threads ~serial =
+  let spatial = Array.of_list (Compute.spatial_axes st) in
+  let reduce = Array.of_list (Compute.reduce_axes st) in
+  let n_spatial = Array.length spatial in
+  let spatial_ext = Array.map (fun (a : Compute.axis) -> a.extent) spatial in
+  let reduce_ext = Array.map (fun (a : Compute.axis) -> a.extent) reduce in
+  let reduce_count = Compute.reduce_iterations st in
+  let out = Array.make (Compute.spatial_iterations st) 0.0 in
+  let axis_values = Array.make (Array.length st.axes) 0 in
+  let updates = ref 0 in
+  for b = 0 to blocks - 1 do
+    for t = 0 to threads - 1 do
+      for s = 0 to serial - 1 do
+        let flat = (((b * threads) + t) * serial) + s in
+        (* decompose row-major *)
+        let rem = ref flat in
+        for k = n_spatial - 1 downto 0 do
+          axis_values.(k) <- !rem mod spatial_ext.(k);
+          rem := !rem / spatial_ext.(k)
+        done;
+        let result =
+          if Array.length reduce = 0 then begin
+            incr updates;
+            pointwise st.sem (List.map (read_at mem axis_values) st.reads)
+          end
+          else begin
+            let acc = ref (init_value st.sem) in
+            iterate reduce_ext (fun ridx ->
+                Array.blit ridx 0 axis_values n_spatial (Array.length ridx);
+                incr updates;
+                acc := accumulate st.sem !acc (List.map (read_at mem axis_values) st.reads));
+            finalize st.sem ~reduce_count !acc
+          end
+        in
+        out.(flat) <- result
+      done
+    done
+  done;
+  if !updates <> Compute.spatial_iterations st * reduce_count then
+    invalid_arg "Interp: flat tiled iteration count mismatch";
+  Hashtbl.replace mem st.write.buf_name out
+
+let run_scheduled (p : Loop_ir.t) env =
+  let mem : memory = Hashtbl.create 16 in
+  Array.iter
+    (fun (ss : Loop_ir.scheduled_stage) ->
+      (match levels_of_plan env ss.stage ss.plan with
+      | `Flat (blocks, threads, serial) ->
+        run_stage_flat mem ss.stage ~blocks ~threads ~serial
+      | `Levels (spatial_levels, reduce_levels) ->
+        run_stage_tiled mem ss.stage ~spatial_levels ~reduce_levels);
+      (* Fused elementwise consumers execute over the anchor's output. *)
+      List.iter (run_stage_reference mem) ss.fused_elemwise)
+    p.Loop_ir.stages;
+  mem
+
+let output mem (sg : Compute.subgraph) =
+  let b = Compute.output_buffer sg in
+  match Hashtbl.find_opt mem b.buf_name with
+  | Some arr -> arr
+  | None -> invalid_arg "Interp.output: output buffer not computed"
+
+let max_rel_error a b =
+  if Array.length a <> Array.length b then invalid_arg "Interp.max_rel_error: length mismatch";
+  let m = ref 0.0 in
+  Array.iteri
+    (fun i v ->
+      let e = Float.abs (v -. b.(i)) /. (1.0 +. Float.abs v) in
+      if e > !m then m := e)
+    a;
+  !m

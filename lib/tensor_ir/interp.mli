@@ -1,0 +1,38 @@
+(** Reference and scheduled execution of tensor programs.
+
+    This is the substrate's correctness harness: the same subgraph is
+    executed twice on identical deterministic inputs —
+
+    - {!run_reference}: the naive loop nest p0, iterated in canonical
+      row-major order;
+    - {!run_scheduled}: the transformed program p^* under a concrete
+      variable assignment, iterated in the {e tiled} order the schedule
+      prescribes (blocks, vthreads, threads, split reductions, register
+      tiles), reconstructing each original axis value from its tile
+      coordinates —
+
+    and the outputs must match (up to floating-point reassociation of
+    reductions). The property tests run this over random operators and
+    random valid schedules, which pins down the tiling algebra, the affine
+    access maps and the divisor rounding all at once. *)
+
+type memory = (string, float array) Hashtbl.t
+
+val input_value : string -> int -> float
+(** Deterministic pseudo-random initial value of element [idx] of an input
+    buffer (same on both execution paths). *)
+
+val run_reference : Compute.subgraph -> memory
+(** Execute every stage in order; missing buffers are materialised with
+    {!input_value}. *)
+
+val run_scheduled : Loop_ir.t -> Eval.env -> memory
+(** Execute the scheduled program under the (integer-valued) variable
+    assignment. Raises [Invalid_argument] if a tile does not evenly divide
+    its axis (i.e. the assignment was not produced by divisor rounding). *)
+
+val output : memory -> Compute.subgraph -> float array
+(** The final stage's output buffer. *)
+
+val max_rel_error : float array -> float array -> float
+(** max_i |a_i - b_i| / (1 + |a_i|); raises on length mismatch. *)

@@ -1,0 +1,317 @@
+type scope = Block_scope | Thread_scope
+
+type scheduled_stage = {
+  stage : Compute.stage;
+  plan : Schedule.stage_plan;
+  fused_elemwise : Compute.stage list;
+}
+
+type t = {
+  subgraph : Compute.subgraph;
+  schedule : Schedule.t;
+  stages : scheduled_stage array;
+}
+
+let apply (sg : Compute.subgraph) (sched : Schedule.t) =
+  let stages = Array.of_list sg.stages in
+  if Array.length sched.plans <> Array.length stages then
+    invalid_arg "Loop_ir.apply: plan/stage count mismatch";
+  let out = ref [] in
+  Array.iteri
+    (fun i st ->
+      match sched.plans.(i) with
+      | Schedule.Inlined -> (
+        match !out with
+        | [] -> invalid_arg "Loop_ir.apply: Inlined plan with no preceding kernel stage"
+        | ss :: rest -> out := { ss with fused_elemwise = ss.fused_elemwise @ [ st ] } :: rest)
+      | plan -> out := { stage = st; plan; fused_elemwise = [] } :: !out)
+    stages;
+  { subgraph = sg; schedule = sched; stages = Array.of_list (List.rev !out) }
+
+(* --- geometry -------------------------------------------------------------- *)
+
+let spatial_extents ss = Compute.spatial_axes ss.stage |> List.map (fun a -> a.Compute.extent)
+let reduce_extents ss = Compute.reduce_axes ss.stage |> List.map (fun a -> a.Compute.extent)
+
+let int_product l = List.fold_left ( * ) 1 l
+
+let expr_product = Expr.product
+
+let grid_size ss =
+  match ss.plan with
+  | Schedule.Inlined -> Expr.one
+  | Schedule.Simple_bind { threads; inner; vector; _ } ->
+    let p = Expr.int (int_product (spatial_extents ss)) in
+    Expr.(div p (mul threads (mul inner vector)))
+  | Schedule.Multi_tile { vthread; thread; inner; _ } ->
+    let exts = spatial_extents ss in
+    expr_product
+      (List.mapi
+         (fun k n ->
+           Expr.(div (int n) (mul vthread.(k) (mul thread.(k) inner.(k)))))
+         exts)
+
+let block_threads ss =
+  match ss.plan with
+  | Schedule.Inlined -> Expr.one
+  | Schedule.Simple_bind { threads; _ } -> threads
+  | Schedule.Multi_tile { thread; _ } -> expr_product (Array.to_list thread)
+
+let vthreads ss =
+  match ss.plan with
+  | Schedule.Inlined | Schedule.Simple_bind _ -> Expr.one
+  | Schedule.Multi_tile { vthread; _ } -> expr_product (Array.to_list vthread)
+
+let serial_spatial ss =
+  match ss.plan with
+  | Schedule.Inlined -> Expr.one
+  | Schedule.Simple_bind { inner; vector; _ } -> Expr.mul inner vector
+  | Schedule.Multi_tile { vthread; inner; _ } ->
+    expr_product (List.map2 Expr.mul (Array.to_list vthread) (Array.to_list inner))
+
+let reduce_iterations ss = Expr.int (int_product (reduce_extents ss))
+
+let unroll_step ss =
+  match ss.plan with
+  | Schedule.Inlined -> Expr.one
+  | Schedule.Simple_bind { unroll; _ } | Schedule.Multi_tile { unroll; _ } -> unroll
+
+let vector_width ss =
+  match ss.plan with
+  | Schedule.Inlined | Schedule.Multi_tile _ -> Expr.one
+  | Schedule.Simple_bind { vector; _ } -> vector
+
+let uses_shared_cache ss =
+  match ss.plan with
+  | Schedule.Multi_tile { shared_cache; _ } -> shared_cache
+  | Schedule.Inlined | Schedule.Simple_bind _ -> false
+
+(* --- access analysis ------------------------------------------------------- *)
+
+(* Spatial axes of a stage in order, with their position among spatial axes. *)
+let spatial_positions ss =
+  let pos = ref (-1) in
+  Array.map
+    (fun (a : Compute.axis) ->
+      match a.kind with
+      | Compute.Spatial ->
+        incr pos;
+        Some !pos
+      | Compute.Reduce -> None)
+    ss.stage.axes
+
+(* For fused-spatial plans: how many distinct values axis [k] takes when a
+   flat tile of [tile] consecutive fused iterations executes. The fused
+   index enumerates axes row-major (last axis fastest), so a tile of size T
+   covers min(N_k, max(1, T / prod_{j>k} N_j)) values of axis k. *)
+let fused_axis_range (exts : int array) k tile =
+  let after = ref 1 in
+  Array.iteri (fun j n -> if j > k then after := !after * n) exts;
+  Expr.(min_ (int exts.(k)) (max_ one (div tile (int !after))))
+
+let axis_range ss scope k =
+  let ax = ss.stage.axes.(k) in
+  match ax.kind with
+  | Compute.Reduce -> Expr.int ax.extent
+  | Compute.Spatial -> (
+    let positions = spatial_positions ss in
+    let spos = match positions.(k) with Some p -> p | None -> assert false in
+    match ss.plan with
+    | Schedule.Inlined -> Expr.one
+    | Schedule.Simple_bind { threads; inner; vector; _ } ->
+      let exts = Array.of_list (spatial_extents ss) in
+      let tile =
+        match scope with
+        | Block_scope -> Expr.(mul threads (mul inner vector))
+        | Thread_scope -> Expr.mul inner vector
+      in
+      fused_axis_range exts spos tile
+    | Schedule.Multi_tile { vthread; thread; inner; _ } -> (
+      match scope with
+      | Block_scope -> Expr.(mul vthread.(spos) (mul thread.(spos) inner.(spos)))
+      | Thread_scope -> Expr.mul vthread.(spos) inner.(spos)))
+
+let index_range ss scope (ix : Compute.index) =
+  List.fold_left
+    (fun acc (t : Compute.index_term) ->
+      let r = axis_range ss scope t.axis in
+      Expr.(add acc (mul (int (abs t.coeff)) (sub r one))))
+    Expr.one ix.terms
+
+let access_footprint ss scope (a : Compute.access) =
+  expr_product (List.map (index_range ss scope) a.indices)
+
+let iterations_in_scope ss scope =
+  let per_thread = Expr.mul (serial_spatial ss) (reduce_iterations ss) in
+  match scope with
+  | Thread_scope -> per_thread
+  | Block_scope -> Expr.mul per_thread (block_threads ss)
+
+let access_touched ss scope (_a : Compute.access) = iterations_in_scope ss scope
+
+let access_contiguous ss (a : Compute.access) =
+  (* The innermost-varying axis is the last spatial axis of the stage (the
+     innermost serial loop / vector lane). The access coalesces if that axis
+     appears in the last buffer dimension with coefficient 1. *)
+  let last_spatial =
+    let idx = ref (-1) in
+    Array.iteri (fun i (ax : Compute.axis) -> if ax.kind = Compute.Spatial then idx := i)
+      ss.stage.axes;
+    !idx
+  in
+  match List.rev a.indices with
+  | [] -> false
+  | last :: _ ->
+    List.exists (fun (t : Compute.index_term) -> t.axis = last_spatial && t.coeff = 1) last.terms
+
+let shared_bytes ss =
+  match ss.plan with
+  | Schedule.Multi_tile ({ shared_cache = true; reduce_split; _ } as _mt) ->
+    (* Cached tile: spatial dims at block scope, reduction dims restricted to
+       the inner reduction split. *)
+    let reduce_pos = ref (-1) in
+    let positions =
+      Array.map
+        (fun (a : Compute.axis) ->
+          match a.kind with
+          | Compute.Reduce ->
+            incr reduce_pos;
+            Some !reduce_pos
+          | Compute.Spatial -> None)
+        ss.stage.axes
+    in
+    let tile_axis_range k =
+      let ax = ss.stage.axes.(k) in
+      match ax.kind with
+      | Compute.Spatial -> axis_range ss Block_scope k
+      | Compute.Reduce -> (
+        match positions.(k) with Some p -> reduce_split.(p) | None -> assert false)
+    in
+    let index_range (ix : Compute.index) =
+      List.fold_left
+        (fun acc (t : Compute.index_term) ->
+          Expr.(add acc (mul (int (abs t.coeff)) (sub (tile_axis_range t.axis) one))))
+        Expr.one ix.terms
+    in
+    let per_access (a : Compute.access) =
+      Expr.mul
+        (expr_product (List.map index_range a.indices))
+        (Expr.int (Dtype.size_bytes a.buffer.dtype))
+    in
+    Expr.sum (List.map per_access ss.stage.reads)
+  | Schedule.Multi_tile _ | Schedule.Inlined | Schedule.Simple_bind _ -> Expr.zero
+
+let counts_total (c : Compute.op_counts) = c.fadd + c.fmul + c.fdiv + c.fspecial + c.fcmp
+
+let flops_per_iteration ss =
+  let base = float_of_int (counts_total ss.stage.counts) in
+  let red = float_of_int (int_product (reduce_extents ss)) in
+  let fused =
+    List.fold_left (fun acc st -> acc +. float_of_int (counts_total st.Compute.counts)) 0.0
+      ss.fused_elemwise
+  in
+  base +. (fused /. max 1.0 red)
+
+(* --- printing --------------------------------------------------------------- *)
+
+let pp_access buf (a : Compute.access) (st : Compute.stage) =
+  let dim ix =
+    let terms =
+      List.map
+        (fun (t : Compute.index_term) ->
+          let name = st.axes.(t.axis).Compute.axis_name in
+          if t.coeff = 1 then name else Printf.sprintf "%d*%s" t.coeff name)
+        ix.Compute.terms
+    in
+    let s = String.concat "+" terms in
+    if ix.Compute.offset = 0 then s else Printf.sprintf "%s+%d" s ix.offset
+  in
+  Buffer.add_string buf a.buffer.buf_name;
+  Buffer.add_char buf '[';
+  Buffer.add_string buf (String.concat ", " (List.map dim a.indices));
+  Buffer.add_char buf ']'
+
+let to_loop_tree_string t =
+  let buf = Buffer.create 2048 in
+  let line indent s =
+    Buffer.add_string buf (String.make (2 * indent) ' ');
+    Buffer.add_string buf s;
+    Buffer.add_char buf '\n'
+  in
+  Array.iter
+    (fun ss ->
+      let st = ss.stage in
+      line 0 (Printf.sprintf "// stage %s" st.Compute.stage_name);
+      let body_indent =
+        match ss.plan with
+        | Schedule.Inlined -> 0
+        | Schedule.Simple_bind { threads; inner; vector; unroll } ->
+          line 0
+            (Printf.sprintf "for fused.0 in (0, %s)  // blockIdx.x"
+               (Expr.to_string (grid_size ss)));
+          line 1 (Printf.sprintf "for fused.1 in (0, %s)  // threadIdx.x" (Expr.to_string threads));
+          line 2 (Printf.sprintf "// auto_unroll(%s)" (Expr.to_string unroll));
+          line 2 (Printf.sprintf "for fused.2 in (0, %s)" (Expr.to_string inner));
+          List.iter
+            (fun (ax : Compute.axis) ->
+              if ax.kind = Compute.Reduce then
+                line 3 (Printf.sprintf "for %s in (0, %d)" ax.axis_name ax.extent))
+            (Array.to_list st.axes);
+          line 3 (Printf.sprintf "vectorize(%s):" (Expr.to_string vector));
+          4
+        | Schedule.Multi_tile { vthread; thread; inner; reduce_split; unroll; shared_cache } ->
+          let spatial = Compute.spatial_axes st and reduce = Compute.reduce_axes st in
+          line 0
+            (Printf.sprintf "for s.0 in (0, %s)  // blockIdx.x (fused %s)"
+               (Expr.to_string (grid_size ss))
+               (String.concat "," (List.map (fun a -> a.Compute.axis_name ^ ".0") spatial)));
+          List.iteri
+            (fun k (a : Compute.axis) ->
+              line 1
+                (Printf.sprintf "for %s.1 in (0, %s)  // vthread" a.axis_name
+                   (Expr.to_string vthread.(k))))
+            spatial;
+          List.iteri
+            (fun k (a : Compute.axis) ->
+              line 2
+                (Printf.sprintf "for %s.2 in (0, %s)  // threadIdx.x" a.axis_name
+                   (Expr.to_string thread.(k))))
+            spatial;
+          line 3 (Printf.sprintf "// auto_unroll(%s)" (Expr.to_string unroll));
+          List.iteri
+            (fun k (a : Compute.axis) ->
+              line 3
+                (Printf.sprintf "for %s.0 in (0, %s)" a.axis_name
+                   (Expr.to_string (Expr.div (Expr.int a.extent) reduce_split.(k)))))
+            reduce;
+          if shared_cache then
+            line 4
+              (Printf.sprintf "shared_load(...)  // cooperative fetch, %s bytes/block"
+                 (Expr.to_string (Simplify.simplify (shared_bytes ss))));
+          List.iteri
+            (fun k (a : Compute.axis) ->
+              line 4
+                (Printf.sprintf "for %s.1 in (0, %s)" a.axis_name (Expr.to_string reduce_split.(k))))
+            reduce;
+          List.iteri
+            (fun k (a : Compute.axis) ->
+              line 5
+                (Printf.sprintf "for %s.3 in (0, %s)" a.axis_name (Expr.to_string inner.(k))))
+            spatial;
+          6
+      in
+      (match ss.plan with
+      | Schedule.Inlined -> ()
+      | Schedule.Simple_bind _ | Schedule.Multi_tile _ ->
+        let body = Buffer.create 128 in
+        Buffer.add_string body (st.write.buf_name ^ "[...]");
+        Buffer.add_string body (if Compute.num_reduce st > 0 then " += " else " = ");
+        let reads = List.map (fun a -> let b = Buffer.create 32 in pp_access b a st; Buffer.contents b) st.reads in
+        Buffer.add_string body (String.concat " (*) " reads);
+        line body_indent (Buffer.contents body);
+        List.iter
+          (fun (fs : Compute.stage) ->
+            line body_indent (Printf.sprintf "// fused: %s" fs.stage_name))
+          ss.fused_elemwise))
+    t.stages;
+  Buffer.contents buf

@@ -1,0 +1,88 @@
+(** Symbolic transformed programs p^* = T(p0, s^* ) (paper Section 3.2).
+
+    A program pairs each stage of a subgraph with its applied schedule plan
+    and exposes the quantities downstream passes need, all as expressions of
+    the schedule variables:
+
+    - launch geometry (grid size, block size, vthreads),
+    - per-axis iteration ranges at block / thread scope,
+    - buffer access footprints and contiguity,
+    - a printable loop tree (pseudo-CUDA) for documentation and tests.
+
+    The extents of every loop in the tree are {!Expr.t}; a concrete program
+    is obtained by evaluating under an assignment of the schedule
+    variables. *)
+
+type scope = Block_scope | Thread_scope
+
+type scheduled_stage = {
+  stage : Compute.stage;
+  plan : Schedule.stage_plan;
+  fused_elemwise : Compute.stage list;
+      (** [Inlined] consumers computed at this stage's inner tile. *)
+}
+
+type t = {
+  subgraph : Compute.subgraph;
+  schedule : Schedule.t;
+  stages : scheduled_stage array;
+      (** Stages that launch kernels ([Inlined] plans are folded into their
+          anchor's [fused_elemwise] list). *)
+}
+
+val apply : Compute.subgraph -> Schedule.t -> t
+(** Build the symbolic program. Raises [Invalid_argument] when the plan
+    array length does not match the stage count or an [Inlined] plan has no
+    preceding kernel stage. *)
+
+(** {1 Launch geometry (per scheduled stage)} *)
+
+val grid_size : scheduled_stage -> Expr.t
+(** Number of thread blocks. *)
+
+val block_threads : scheduled_stage -> Expr.t
+(** threadIdx extent per block. *)
+
+val vthreads : scheduled_stage -> Expr.t
+
+val serial_spatial : scheduled_stage -> Expr.t
+(** Spatial iterations each thread executes serially. *)
+
+val reduce_iterations : scheduled_stage -> Expr.t
+(** Reduction iterations per output element (1 if no reduction). *)
+
+val unroll_step : scheduled_stage -> Expr.t
+val vector_width : scheduled_stage -> Expr.t
+
+val uses_shared_cache : scheduled_stage -> bool
+
+(** {1 Access analysis} *)
+
+val axis_range : scheduled_stage -> scope -> int -> Expr.t
+(** [axis_range ss scope k] is the number of distinct values axis [k] of the
+    stage takes within one block / one thread's serial work. Reduction axes
+    range over their full extent in both scopes. *)
+
+val access_footprint : scheduled_stage -> scope -> Compute.access -> Expr.t
+(** Number of distinct elements of the buffer touched per block / thread. *)
+
+val access_touched : scheduled_stage -> scope -> Compute.access -> Expr.t
+(** Total (non-unique) element reads issued per block / thread. *)
+
+val access_contiguous : scheduled_stage -> Compute.access -> bool
+(** Whether the innermost-varying spatial axis indexes the last buffer
+    dimension with coefficient 1 (coalescing proxy). *)
+
+val shared_bytes : scheduled_stage -> Expr.t
+(** Shared-memory bytes per block used by cooperative caching (0 unless
+    [shared_cache]). *)
+
+val flops_per_iteration : scheduled_stage -> float
+(** Scalar float ops per innermost iteration, including fused elementwise
+    consumers (their per-element cost amortised over reduction length 1). *)
+
+(** {1 Printing} *)
+
+val to_loop_tree_string : t -> string
+(** Render the full program as an indented pseudo-CUDA loop nest, in the
+    style of Figure 3's right column. *)

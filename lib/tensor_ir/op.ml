@@ -1,0 +1,213 @@
+type conv2d = {
+  batch : int;
+  in_chan : int;
+  out_chan : int;
+  in_h : int;
+  in_w : int;
+  kernel_h : int;
+  kernel_w : int;
+  stride : int;
+  pad : int;
+  groups : int;
+}
+
+type conv3d = {
+  batch : int;
+  in_chan : int;
+  out_chan : int;
+  in_d : int;
+  in_h : int;
+  in_w : int;
+  kernel_d : int;
+  kernel_h : int;
+  kernel_w : int;
+  stride : int;
+  pad : int;
+}
+
+type tconv2d = {
+  batch : int;
+  in_chan : int;
+  out_chan : int;
+  in_h : int;
+  in_w : int;
+  kernel_h : int;
+  kernel_w : int;
+  stride : int;
+  pad : int;
+}
+
+type dense = { batch : int; in_dim : int; out_dim : int }
+type batch_matmul = { batch : int; m : int; k : int; n : int }
+
+type pool2d = {
+  batch : int;
+  chan : int;
+  in_h : int;
+  in_w : int;
+  kernel : int;
+  stride : int;
+  pad : int;
+}
+
+type softmax = { rows : int; cols : int }
+type norm = { rows : int; cols : int }
+type elemwise_kind = Relu | Gelu | Sigmoid | Tanh | Silu | Leaky_relu
+type binary_kind = Add | Mul | Sub
+
+type t =
+  | Conv2d of conv2d
+  | Conv3d of conv3d
+  | Tconv2d of tconv2d
+  | Dense of dense
+  | Batch_matmul of batch_matmul
+  | Maxpool2d of pool2d
+  | Avgpool2d of pool2d
+  | Global_avgpool of { batch : int; chan : int; in_h : int; in_w : int }
+  | Softmax of softmax
+  | Layer_norm of norm
+  | Batch_norm_infer of { batch : int; chan : int; spatial : int }
+  | Elemwise of elemwise_kind * int
+  | Binary of binary_kind * int
+  | Bias_add of { rows : int; cols : int }
+  | Concat of { parts : int list; rest : int }
+
+let conv2d_out (c : conv2d) =
+  let oh = ((c.in_h + (2 * c.pad) - c.kernel_h) / c.stride) + 1 in
+  let ow = ((c.in_w + (2 * c.pad) - c.kernel_w) / c.stride) + 1 in
+  (oh, ow)
+
+let conv3d_out (c : conv3d) =
+  let od = ((c.in_d + (2 * c.pad) - c.kernel_d) / c.stride) + 1 in
+  let oh = ((c.in_h + (2 * c.pad) - c.kernel_h) / c.stride) + 1 in
+  let ow = ((c.in_w + (2 * c.pad) - c.kernel_w) / c.stride) + 1 in
+  (od, oh, ow)
+
+let tconv2d_out (c : tconv2d) =
+  let oh = ((c.in_h - 1) * c.stride) - (2 * c.pad) + c.kernel_h in
+  let ow = ((c.in_w - 1) * c.stride) - (2 * c.pad) + c.kernel_w in
+  (oh, ow)
+
+let pool2d_out (p : pool2d) =
+  let oh = ((p.in_h + (2 * p.pad) - p.kernel) / p.stride) + 1 in
+  let ow = ((p.in_w + (2 * p.pad) - p.kernel) / p.stride) + 1 in
+  (oh, ow)
+
+let output_shape = function
+  | Conv2d c ->
+    let oh, ow = conv2d_out c in
+    [ c.batch; c.out_chan; oh; ow ]
+  | Conv3d c ->
+    let od, oh, ow = conv3d_out c in
+    [ c.batch; c.out_chan; od; oh; ow ]
+  | Tconv2d c ->
+    let oh, ow = tconv2d_out c in
+    [ c.batch; c.out_chan; oh; ow ]
+  | Dense d -> [ d.batch; d.out_dim ]
+  | Batch_matmul b -> [ b.batch; b.m; b.n ]
+  | Maxpool2d p | Avgpool2d p ->
+    let oh, ow = pool2d_out p in
+    [ p.batch; p.chan; oh; ow ]
+  | Global_avgpool g -> [ g.batch; g.chan; 1; 1 ]
+  | Softmax s -> [ s.rows; s.cols ]
+  | Layer_norm n -> [ n.rows; n.cols ]
+  | Batch_norm_infer b -> [ b.batch; b.chan; b.spatial ]
+  | Elemwise (_, n) -> [ n ]
+  | Binary (_, n) -> [ n ]
+  | Bias_add b -> [ b.rows; b.cols ]
+  | Concat c -> [ List.fold_left ( + ) 0 c.parts; c.rest ]
+
+let num_elements op = List.fold_left ( * ) 1 (output_shape op) |> float_of_int
+
+let flops = function
+  | Conv2d c ->
+    let oh, ow = conv2d_out c in
+    2.0
+    *. float_of_int (c.batch * c.out_chan * oh * ow)
+    *. float_of_int (c.in_chan / c.groups * c.kernel_h * c.kernel_w)
+  | Conv3d c ->
+    let od, oh, ow = conv3d_out c in
+    2.0
+    *. float_of_int (c.batch * c.out_chan * od * oh * ow)
+    *. float_of_int (c.in_chan * c.kernel_d * c.kernel_h * c.kernel_w)
+  | Tconv2d c ->
+    (* Work equals the forward conv it transposes. *)
+    2.0
+    *. float_of_int (c.batch * c.in_chan * c.in_h * c.in_w)
+    *. float_of_int (c.out_chan * c.kernel_h * c.kernel_w)
+  | Dense d -> 2.0 *. float_of_int d.batch *. float_of_int (d.in_dim * d.out_dim)
+  | Batch_matmul b -> 2.0 *. float_of_int b.batch *. float_of_int b.m *. float_of_int (b.k * b.n)
+  | Maxpool2d p | Avgpool2d p ->
+    let oh, ow = pool2d_out p in
+    float_of_int (p.batch * p.chan * oh * ow) *. float_of_int (p.kernel * p.kernel)
+  | Global_avgpool g -> float_of_int (g.batch * g.chan * g.in_h * g.in_w)
+  | Softmax s -> 5.0 *. float_of_int (s.rows * s.cols)
+  | Layer_norm n -> 8.0 *. float_of_int (n.rows * n.cols)
+  | Batch_norm_infer b -> 2.0 *. float_of_int (b.batch * b.chan * b.spatial)
+  | Elemwise (_, n) -> 4.0 *. float_of_int n
+  | Binary (_, n) -> float_of_int n
+  | Bias_add b -> float_of_int (b.rows * b.cols)
+  | Concat _ as op -> num_elements op
+
+let fp32 = 4.0
+
+let input_bytes = function
+  | Conv2d c ->
+    fp32
+    *. (float_of_int (c.batch * c.in_chan * c.in_h * c.in_w)
+       +. float_of_int (c.out_chan * (c.in_chan / c.groups) * c.kernel_h * c.kernel_w))
+  | Conv3d c ->
+    fp32
+    *. (float_of_int (c.batch * c.in_chan * c.in_d * c.in_h * c.in_w)
+       +. float_of_int (c.out_chan * c.in_chan * c.kernel_d * c.kernel_h * c.kernel_w))
+  | Tconv2d c ->
+    fp32
+    *. (float_of_int (c.batch * c.in_chan * c.in_h * c.in_w)
+       +. float_of_int (c.in_chan * c.out_chan * c.kernel_h * c.kernel_w))
+  | Dense d -> fp32 *. float_of_int ((d.batch * d.in_dim) + (d.in_dim * d.out_dim))
+  | Batch_matmul b -> fp32 *. float_of_int (b.batch * ((b.m * b.k) + (b.k * b.n)))
+  | Maxpool2d p | Avgpool2d p -> fp32 *. float_of_int (p.batch * p.chan * p.in_h * p.in_w)
+  | Global_avgpool g -> fp32 *. float_of_int (g.batch * g.chan * g.in_h * g.in_w)
+  | Softmax s -> fp32 *. float_of_int (s.rows * s.cols)
+  | Layer_norm n -> fp32 *. float_of_int (n.rows * n.cols)
+  | Batch_norm_infer b -> fp32 *. float_of_int (b.batch * b.chan * b.spatial)
+  | Elemwise (_, n) -> fp32 *. float_of_int n
+  | Binary (_, n) -> 2.0 *. fp32 *. float_of_int n
+  | Bias_add b -> fp32 *. float_of_int ((b.rows * b.cols) + b.cols)
+  | Concat _ as op -> fp32 *. num_elements op
+
+let output_bytes op = fp32 *. num_elements op
+
+let name = function
+  | Conv2d _ -> "conv2d"
+  | Conv3d _ -> "conv3d"
+  | Tconv2d _ -> "tconv2d"
+  | Dense _ -> "dense"
+  | Batch_matmul _ -> "batch_matmul"
+  | Maxpool2d _ -> "maxpool2d"
+  | Avgpool2d _ -> "avgpool2d"
+  | Global_avgpool _ -> "global_avgpool"
+  | Softmax _ -> "softmax"
+  | Layer_norm _ -> "layer_norm"
+  | Batch_norm_infer _ -> "batch_norm"
+  | Elemwise (Relu, _) -> "relu"
+  | Elemwise (Gelu, _) -> "gelu"
+  | Elemwise (Sigmoid, _) -> "sigmoid"
+  | Elemwise (Tanh, _) -> "tanh"
+  | Elemwise (Silu, _) -> "silu"
+  | Elemwise (Leaky_relu, _) -> "leaky_relu"
+  | Binary (Add, _) -> "add"
+  | Binary (Mul, _) -> "mul"
+  | Binary (Sub, _) -> "sub"
+  | Bias_add _ -> "bias_add"
+  | Concat _ -> "concat"
+
+let describe op =
+  let shape_str l = "[" ^ String.concat "x" (List.map string_of_int l) ^ "]" in
+  Printf.sprintf "%s -> %s (%.2f MFLOPs)" (name op) (shape_str (output_shape op))
+    (flops op /. 1e6)
+
+let is_compute_intensive = function
+  | Conv2d _ | Conv3d _ | Tconv2d _ | Dense _ | Batch_matmul _ -> true
+  | Maxpool2d _ | Avgpool2d _ | Global_avgpool _ | Softmax _ | Layer_norm _
+  | Batch_norm_infer _ | Elemwise _ | Binary _ | Bias_add _ | Concat _ -> false

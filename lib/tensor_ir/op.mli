@@ -1,0 +1,112 @@
+(** Tensor operators.
+
+    These are the node types of the computation graph (Section 3.1). The set
+    covers every operator appearing in the paper's six evaluation networks:
+    2-D/3-D/transposed convolutions, dense and batched matrix multiplies,
+    pooling, softmax, normalisations, activations and elementwise
+    arithmetic. Each operator knows its output shape, its floating-point
+    work, and its memory footprint; the lowering to loop-nest stages lives
+    in {!module:Compute}. *)
+
+type conv2d = {
+  batch : int;
+  in_chan : int;
+  out_chan : int;
+  in_h : int;
+  in_w : int;
+  kernel_h : int;
+  kernel_w : int;
+  stride : int;
+  pad : int;
+  groups : int;
+}
+
+type conv3d = {
+  batch : int;
+  in_chan : int;
+  out_chan : int;
+  in_d : int;
+  in_h : int;
+  in_w : int;
+  kernel_d : int;
+  kernel_h : int;
+  kernel_w : int;
+  stride : int;
+  pad : int;
+}
+
+type tconv2d = {
+  batch : int;
+  in_chan : int;
+  out_chan : int;
+  in_h : int;
+  in_w : int;
+  kernel_h : int;
+  kernel_w : int;
+  stride : int;
+  pad : int;
+}
+
+type dense = { batch : int; in_dim : int; out_dim : int }
+
+type batch_matmul = { batch : int; m : int; k : int; n : int }
+
+type pool2d = {
+  batch : int;
+  chan : int;
+  in_h : int;
+  in_w : int;
+  kernel : int;
+  stride : int;
+  pad : int;
+}
+
+type softmax = { rows : int; cols : int }
+
+type norm = { rows : int; cols : int }
+(** Row-wise normalisation (layer norm over [cols]). *)
+
+type elemwise_kind = Relu | Gelu | Sigmoid | Tanh | Silu | Leaky_relu
+
+type binary_kind = Add | Mul | Sub
+
+type t =
+  | Conv2d of conv2d
+  | Conv3d of conv3d
+  | Tconv2d of tconv2d
+  | Dense of dense
+  | Batch_matmul of batch_matmul
+  | Maxpool2d of pool2d
+  | Avgpool2d of pool2d
+  | Global_avgpool of { batch : int; chan : int; in_h : int; in_w : int }
+  | Softmax of softmax
+  | Layer_norm of norm
+  | Batch_norm_infer of { batch : int; chan : int; spatial : int }
+      (** Inference-time batch norm: per-channel scale and shift. *)
+  | Elemwise of elemwise_kind * int  (** activation over [n] elements *)
+  | Binary of binary_kind * int  (** elementwise binary over [n] elements *)
+  | Bias_add of { rows : int; cols : int }
+  | Concat of { parts : int list; rest : int }
+      (** Concatenation along one axis; [parts] are the sizes along that
+          axis, [rest] is the product of the other axes. *)
+
+val output_shape : t -> int list
+(** Logical output tensor shape. *)
+
+val flops : t -> float
+(** Total floating point operations (multiply-adds counted as 2). *)
+
+val input_bytes : t -> float
+(** Bytes of all inputs (weights included), fp32. *)
+
+val output_bytes : t -> float
+
+val name : t -> string
+(** Operator kind name, e.g. ["conv2d"]. *)
+
+val describe : t -> string
+(** Human-readable one-liner with shapes, for logs and examples. *)
+
+val is_compute_intensive : t -> bool
+(** True for operators with a non-trivial reduction (conv/matmul family);
+    used by the partitioner to decide fusion anchors. *)

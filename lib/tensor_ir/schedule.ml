@@ -1,0 +1,141 @@
+type var = { v_name : string; lo : float; hi : float }
+
+type stage_plan =
+  | Inlined
+  | Simple_bind of { threads : Expr.t; inner : Expr.t; vector : Expr.t; unroll : Expr.t }
+  | Multi_tile of {
+      vthread : Expr.t array;
+      thread : Expr.t array;
+      inner : Expr.t array;
+      reduce_split : Expr.t array;
+      unroll : Expr.t;
+      shared_cache : bool;
+    }
+
+type step =
+  | S_fuse of { stage : string; axes : string list }
+  | S_split of { stage : string; axis : string; factors : Expr.t list }
+  | S_reorder of { stage : string; order : string list }
+  | S_bind of { stage : string; axis : string; thread : string }
+  | S_cache_read of { stage : string; scope : string }
+  | S_compute_at of { stage : string; target : string }
+  | S_unroll of { stage : string; max_step : Expr.t }
+  | S_vectorize of { stage : string; axis : string; factor : Expr.t }
+
+type t = {
+  sched_name : string;
+  plans : stage_plan array;
+  vars : var list;
+  constraints : Expr.cond list;
+  div_groups : (int * string list) list;
+}
+
+let var_names t = List.map (fun v -> v.v_name) t.vars
+let num_vars t = List.length t.vars
+
+let steps (sg : Compute.subgraph) t =
+  let stage_steps (st : Compute.stage) plan =
+    let name = st.Compute.stage_name in
+    let spatial = Compute.spatial_axes st and reduce = Compute.reduce_axes st in
+    let s_names = List.map (fun a -> a.Compute.axis_name) spatial in
+    let r_names = List.map (fun a -> a.Compute.axis_name) reduce in
+    match plan with
+    | Inlined -> [ S_compute_at { stage = name; target = "anchor" } ]
+    | Simple_bind { threads; inner; vector; unroll } ->
+      [ S_fuse { stage = name; axes = s_names };
+        S_split { stage = name; axis = "fused"; factors = [ threads; inner; vector ] };
+        S_bind { stage = name; axis = "fused.0"; thread = "blockIdx.x" };
+        S_bind { stage = name; axis = "fused.1"; thread = "threadIdx.x" };
+        S_vectorize { stage = name; axis = "fused.3"; factor = vector };
+        S_unroll { stage = name; max_step = unroll } ]
+    | Multi_tile { vthread; thread; inner; reduce_split; unroll; shared_cache } ->
+      let split_steps =
+        List.concat
+          (List.mapi
+             (fun k ax ->
+               [ S_split
+                   { stage = name; axis = ax;
+                     factors = [ vthread.(k); thread.(k); inner.(k) ] } ])
+             s_names)
+        @ List.concat
+            (List.mapi
+               (fun k ax -> [ S_split { stage = name; axis = ax; factors = [ reduce_split.(k) ] } ])
+               r_names)
+      in
+      let order =
+        List.map (fun a -> a ^ ".0") s_names
+        @ List.map (fun a -> a ^ ".1") s_names
+        @ List.map (fun a -> a ^ ".2") s_names
+        @ List.map (fun a -> a ^ ".0") r_names
+        @ List.map (fun a -> a ^ ".1") r_names
+        @ List.map (fun a -> a ^ ".3") s_names
+      in
+      let cache = if shared_cache then [ S_cache_read { stage = name; scope = "shared" } ] else [] in
+      split_steps
+      @ [ S_reorder { stage = name; order };
+          S_bind { stage = name; axis = "s.0(fused)"; thread = "blockIdx.x" };
+          S_bind { stage = name; axis = "s.1(fused)"; thread = "vthread" };
+          S_bind { stage = name; axis = "s.2(fused)"; thread = "threadIdx.x" } ]
+      @ cache
+      @ [ S_unroll { stage = name; max_step = unroll } ]
+  in
+  List.concat (List.mapi (fun i st -> stage_steps st t.plans.(i)) sg.Compute.stages)
+
+let step_to_string =
+  let exprs es = String.concat ", " (List.map Expr.to_string es) in
+  function
+  | S_fuse { stage; axes } -> Printf.sprintf "Fuse(stage=%s, axes=[%s])" stage (String.concat "," axes)
+  | S_split { stage; axis; factors } ->
+    Printf.sprintf "Split(stage=%s, axis=%s, factors=[%s])" stage axis (exprs factors)
+  | S_reorder { stage; order } ->
+    Printf.sprintf "Reorder(stage=%s, order=[%s])" stage (String.concat "," order)
+  | S_bind { stage; axis; thread } ->
+    Printf.sprintf "Annotation(stage=%s, axis=%s, annotation=\"%s\")" stage axis thread
+  | S_cache_read { stage; scope } -> Printf.sprintf "CacheRead(stage=%s, scope=%s)" stage scope
+  | S_compute_at { stage; target } ->
+    Printf.sprintf "ComputeAt(stage=%s, target=%s)" stage target
+  | S_unroll { stage; max_step } ->
+    Printf.sprintf "Unroll(stage=%s, max_step=%s)" stage (Expr.to_string max_step)
+  | S_vectorize { stage; axis; factor } ->
+    Printf.sprintf "Vectorize(stage=%s, axis=%s, factor=%s)" stage axis (Expr.to_string factor)
+
+let space_size t =
+  (* Product over divisibility groups of (#divisors)^(#vars), times the
+     range of the free (non-divisibility) variables like unroll. *)
+  let div_vars =
+    List.concat_map snd t.div_groups |> List.sort_uniq String.compare
+  in
+  let group_part =
+    List.fold_left
+      (fun acc (extent, vars) ->
+        let d = float_of_int (List.length (Factorize.divisors extent)) in
+        acc *. (d ** float_of_int (List.length vars)))
+      1.0 t.div_groups
+  in
+  let free_part =
+    List.fold_left
+      (fun acc v ->
+        if List.mem v.v_name div_vars then acc
+        else acc *. max 1.0 (log (max 2.0 (v.hi -. v.lo +. 1.0)) /. log 2.0))
+      1.0 t.vars
+  in
+  group_part *. free_part
+
+let substitute t f =
+  let sub_plan = function
+    | Inlined -> Inlined
+    | Simple_bind { threads; inner; vector; unroll } ->
+      Simple_bind
+        { threads = Expr.subst f threads; inner = Expr.subst f inner;
+          vector = Expr.subst f vector; unroll = Expr.subst f unroll }
+    | Multi_tile { vthread; thread; inner; reduce_split; unroll; shared_cache } ->
+      Multi_tile
+        { vthread = Array.map (Expr.subst f) vthread;
+          thread = Array.map (Expr.subst f) thread;
+          inner = Array.map (Expr.subst f) inner;
+          reduce_split = Array.map (Expr.subst f) reduce_split;
+          unroll = Expr.subst f unroll; shared_cache }
+  in
+  { t with
+    plans = Array.map sub_plan t.plans;
+    constraints = List.map (Expr.subst_cond f) t.constraints }

@@ -1,0 +1,80 @@
+(** Symbolic schedules (paper Section 3.2).
+
+    A schedule is a sequence of program transformations whose tunable
+    parameters are symbolic variables. As in Ansor, schedules are generated
+    from {e sketches}; Felix annotates sketch parameters with variables
+    instead of concrete integers, and tracks the legality constraints
+    [c_iq] over those variables.
+
+    Two sketch skeletons cover the GPU search space of the paper (Figure 3
+    shows both for the Dense-Add subgraph):
+
+    - {e Simple}: fuse all spatial axes, split [thread x inner x vector],
+      bind block/thread indices, keep reductions serial, auto-unroll.
+    - {e Multi-tile}: Ansor's multi-level tiling S-S-S-R-R-S with vthread
+      and thread bindings, cooperative shared-memory caching of the anchor
+      reads, fused elementwise consumers, auto-unroll. *)
+
+type var = {
+  v_name : string;
+  lo : float;  (** inclusive lower bound of the relaxed domain *)
+  hi : float;  (** inclusive upper bound *)
+}
+
+(** Per-stage transformation plan. Array fields are indexed like the
+    stage's spatial/reduction axes. *)
+type stage_plan =
+  | Inlined
+      (** Elementwise stage fused into the anchor (ComputeAt). *)
+  | Simple_bind of {
+      threads : Expr.t;  (** threadIdx.x extent *)
+      inner : Expr.t;  (** serial elements per thread *)
+      vector : Expr.t;  (** vectorised innermost width *)
+      unroll : Expr.t;  (** auto_unroll max_step *)
+    }
+  | Multi_tile of {
+      vthread : Expr.t array;  (** per spatial axis: vthread split *)
+      thread : Expr.t array;  (** per spatial axis: threadIdx split *)
+      inner : Expr.t array;  (** per spatial axis: innermost serial split *)
+      reduce_split : Expr.t array;  (** per reduction axis: inner split *)
+      unroll : Expr.t;
+      shared_cache : bool;  (** cooperative fetch of reads into shared *)
+    }
+
+type step =
+  | S_fuse of { stage : string; axes : string list }
+  | S_split of { stage : string; axis : string; factors : Expr.t list }
+  | S_reorder of { stage : string; order : string list }
+  | S_bind of { stage : string; axis : string; thread : string }
+  | S_cache_read of { stage : string; scope : string }
+  | S_compute_at of { stage : string; target : string }
+  | S_unroll of { stage : string; max_step : Expr.t }
+  | S_vectorize of { stage : string; axis : string; factor : Expr.t }
+      (** Printable transformation steps, reconstructed from the plans for
+          display (Figure 3 style) and for the step-count statistics. *)
+
+type t = {
+  sched_name : string;  (** e.g. ["dense0.sketch1"] *)
+  plans : stage_plan array;  (** one per stage of the subgraph *)
+  vars : var list;  (** all symbolic variables, deterministic order *)
+  constraints : Expr.cond list;  (** legality constraints c_iq *)
+  div_groups : (int * string list) list;
+      (** Divisibility groups: [(extent, vars)] — the product of the listed
+          variables must divide [extent]; enforced by log-space rounding. *)
+}
+
+val var_names : t -> string list
+val num_vars : t -> int
+
+val steps : Compute.subgraph -> t -> step list
+(** Reconstruct the printable transformation-step list of a schedule. *)
+
+val step_to_string : step -> string
+
+val space_size : t -> float
+(** Approximate number of concrete schedules spanned (product of divisor
+    counts and ranges), for search-space reporting. *)
+
+val substitute : t -> (string -> Expr.t option) -> t
+(** Substitute variables inside every plan expression and constraint (used
+    to turn a symbolic schedule into a concrete one for display). *)

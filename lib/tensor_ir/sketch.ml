@@ -1,0 +1,127 @@
+let max_threads_per_block = 1024
+let max_vthreads = 32
+let max_vector_width = 4
+let max_unroll = 512
+let shared_memory_bytes = 48 * 1024
+
+type var_acc = {
+  mutable vars : Schedule.var list;  (* reversed *)
+  mutable constraints : Expr.cond list;
+  mutable div_groups : (int * string list) list;
+}
+
+let fresh acc name lo hi =
+  let v = { Schedule.v_name = name; lo; hi } in
+  acc.vars <- v :: acc.vars;
+  acc.constraints <-
+    Expr.(ge (var name) (const lo)) :: Expr.(le (var name) (const hi)) :: acc.constraints;
+  Expr.var name
+
+let add_constraint acc c = acc.constraints <- c :: acc.constraints
+let add_div_group acc extent names =
+  if names <> [] then acc.div_groups <- (extent, names) :: acc.div_groups
+
+(* Variables are only created for axes with extent > 1; trivial axes keep the
+   constant 1, shrinking the search dimension without losing any schedule. *)
+let maybe_var acc name extent cap =
+  if extent <= 1 then (Expr.one, None)
+  else
+    let hi = float_of_int (min extent cap) in
+    (fresh acc name 1.0 hi, Some name)
+
+let simple_plan acc prefix (st : Compute.stage) =
+  let p = Compute.spatial_iterations st in
+  let threads, tn = maybe_var acc (prefix ^ "_th") p max_threads_per_block in
+  let inner, inn = maybe_var acc (prefix ^ "_in") p 64 in
+  let vector, vn = maybe_var acc (prefix ^ "_vec") p max_vector_width in
+  let unroll = fresh acc (prefix ^ "_un") 1.0 (float_of_int max_unroll) in
+  add_constraint acc Expr.(le (mul threads (mul inner vector)) (int p));
+  add_div_group acc p (List.filter_map Fun.id [ tn; inn; vn ]);
+  Schedule.Simple_bind { threads; inner; vector; unroll }
+
+let multi_tile_plan acc prefix (st : Compute.stage) =
+  let spatial = Array.of_list (Compute.spatial_axes st) in
+  let reduce = Array.of_list (Compute.reduce_axes st) in
+  let vthread = Array.make (Array.length spatial) Expr.one in
+  let thread = Array.make (Array.length spatial) Expr.one in
+  let inner = Array.make (Array.length spatial) Expr.one in
+  Array.iteri
+    (fun k (a : Compute.axis) ->
+      let n = a.extent in
+      let pfx = Printf.sprintf "%s_%s" prefix a.axis_name in
+      let v, vn = maybe_var acc (pfx ^ "_v") n max_vthreads in
+      let t, tn = maybe_var acc (pfx ^ "_t") n max_threads_per_block in
+      let i, inn = maybe_var acc (pfx ^ "_i") n 64 in
+      vthread.(k) <- v;
+      thread.(k) <- t;
+      inner.(k) <- i;
+      if n > 1 then add_constraint acc Expr.(le (mul v (mul t i)) (int n));
+      add_div_group acc n (List.filter_map Fun.id [ vn; tn; inn ]))
+    spatial;
+  let reduce_split = Array.make (Array.length reduce) Expr.one in
+  Array.iteri
+    (fun k (a : Compute.axis) ->
+      let n = a.extent in
+      let r, rn = maybe_var acc (Printf.sprintf "%s_%s_r" prefix a.axis_name) n n in
+      reduce_split.(k) <- r;
+      add_div_group acc n (Option.to_list rn))
+    reduce;
+  let unroll = fresh acc (prefix ^ "_un") 1.0 (float_of_int max_unroll) in
+  let total_threads = Expr.product (Array.to_list thread) in
+  let total_vthreads = Expr.product (Array.to_list vthread) in
+  add_constraint acc Expr.(le total_threads (int max_threads_per_block));
+  add_constraint acc Expr.(le total_vthreads (int max_vthreads));
+  let shared_cache = Array.length reduce > 0 in
+  Schedule.Multi_tile { vthread; thread; inner; reduce_split; unroll; shared_cache }
+
+let make_plans sg acc ~anchor_multi =
+  let stages = Array.of_list sg.Compute.stages in
+  Array.mapi
+    (fun i (st : Compute.stage) ->
+      let prefix = Printf.sprintf "s%d" i in
+      if i = sg.Compute.anchor then
+        if anchor_multi then multi_tile_plan acc prefix st else simple_plan acc prefix st
+      else if st.is_elemwise && i > sg.Compute.anchor then Schedule.Inlined
+      else simple_plan acc prefix st)
+    stages
+
+let finish sg name acc plans =
+  let sched =
+    { Schedule.sched_name = sg.Compute.sg_name ^ "." ^ name;
+      plans;
+      vars = List.rev acc.vars;
+      constraints = List.rev acc.constraints;
+      div_groups = List.rev acc.div_groups }
+  in
+  (* Shared-memory capacity is a constraint over the tile variables; it can
+     only be written down once the symbolic program exists. *)
+  let program = Loop_ir.apply sg sched in
+  let shared =
+    Array.fold_left (fun acc ss -> Expr.add acc (Loop_ir.shared_bytes ss)) Expr.zero
+      program.Loop_ir.stages
+  in
+  let sched =
+    if Expr.equal shared Expr.zero then sched
+    else
+      { sched with constraints = sched.constraints @ [ Expr.(le shared (int shared_memory_bytes)) ] }
+  in
+  sched
+
+let generate sg =
+  let anchor_stage = List.nth sg.Compute.stages sg.Compute.anchor in
+  let has_reduction = Compute.num_reduce anchor_stage > 0 in
+  let simple =
+    let acc = { vars = []; constraints = []; div_groups = [] } in
+    let plans = make_plans sg acc ~anchor_multi:false in
+    finish sg "simple" acc plans
+  in
+  if has_reduction then begin
+    let acc = { vars = []; constraints = []; div_groups = [] } in
+    let plans = make_plans sg acc ~anchor_multi:true in
+    let multi = finish sg "multitile" acc plans in
+    [ simple; multi ]
+  end
+  else [ simple ]
+
+let generate_programs sg =
+  List.map (fun sched -> (sched, Loop_ir.apply sg sched)) (generate sg)

@@ -1,0 +1,32 @@
+(** Sketch generation: from a subgraph to its symbolic schedules.
+
+    Mirrors Ansor's sketch generation (paper Sections 3.2 and 4): every
+    subgraph yields one or more schedule skeletons whose tunable parameters
+    Felix annotates with symbolic variables. Compute-intensive anchors get
+    both the {e simple} fuse-and-bind sketch and the {e multi-level tiling}
+    sketch (with cooperative shared-memory caching and fused elementwise
+    consumers); memory-bound subgraphs get the simple sketch only — exactly
+    the two schedules shown for Dense-Add in Figure 3.
+
+    Generated variable bounds and legality constraints:
+    - every split factor [v] satisfies [1 <= v <= extent];
+    - per-axis tile products are bounded by the axis extent;
+    - threads per block bounded by 1024, vthreads by 32, vector width by 4;
+    - with shared caching, the per-block cached bytes must fit the GPU's
+      shared memory (48 KiB);
+    - divisibility ([extent mod v = 0]) is tracked as a rounding group, not
+      a penalty (Section 3.3's factor-rounding treatment). *)
+
+val max_threads_per_block : int
+val max_vthreads : int
+val max_vector_width : int
+val max_unroll : int
+val shared_memory_bytes : int
+
+val generate : Compute.subgraph -> Schedule.t list
+(** Symbolic schedules for the subgraph, most aggressive last. Every
+    returned schedule satisfies [Array.length plans = number of stages]. *)
+
+val generate_programs : Compute.subgraph -> (Schedule.t * Loop_ir.t) list
+(** Schedules paired with their symbolic programs p^* (convenience for the
+    feature extractor and the tuners). *)

@@ -1,0 +1,89 @@
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let geomean = function
+  | [] -> 0.0
+  | xs ->
+    let sum_logs = List.fold_left (fun acc x -> acc +. log x) 0.0 xs in
+    exp (sum_logs /. float_of_int (List.length xs))
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let m = mean xs in
+    let var = mean (List.map (fun x -> (x -. m) ** 2.0) xs) in
+    sqrt var
+
+let percentile p xs =
+  match List.sort compare xs with
+  | [] -> invalid_arg "Stats.percentile: empty list"
+  | sorted ->
+    let arr = Array.of_list sorted in
+    let n = Array.length arr in
+    if n = 1 then arr.(0)
+    else begin
+      let rank = p /. 100.0 *. float_of_int (n - 1) in
+      let lo = int_of_float (floor rank) in
+      let hi = min (n - 1) (lo + 1) in
+      let frac = rank -. float_of_int lo in
+      (arr.(lo) *. (1.0 -. frac)) +. (arr.(hi) *. frac)
+    end
+
+let median xs = percentile 50.0 xs
+
+let min_max = function
+  | [] -> invalid_arg "Stats.min_max: empty list"
+  | x :: rest ->
+    List.fold_left (fun (lo, hi) v -> (min lo v, max hi v)) (x, x) rest
+
+let argmin f = function
+  | [] -> invalid_arg "Stats.argmin: empty list"
+  | x :: rest ->
+    let best, _ =
+      List.fold_left
+        (fun (bx, bv) y ->
+          let v = f y in
+          if v < bv then (y, v) else (bx, bv))
+        (x, f x) rest
+    in
+    best
+
+let argmax f l = argmin (fun x -> -.f x) l
+
+let clamp ~lo ~hi x = if x < lo then lo else if x > hi then hi else x
+
+let ranks arr =
+  let n = Array.length arr in
+  let idx = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> compare arr.(a) arr.(b)) idx;
+  let r = Array.make n 0.0 in
+  (* Average ranks over ties. *)
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while !j + 1 < n && arr.(idx.(!j + 1)) = arr.(idx.(!i)) do incr j done;
+    let avg = float_of_int (!i + !j) /. 2.0 in
+    for k = !i to !j do r.(idx.(k)) <- avg done;
+    i := !j + 1
+  done;
+  r
+
+let spearman xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Stats.spearman: length mismatch";
+  if n < 2 then 0.0
+  else begin
+    let rx = ranks xs and ry = ranks ys in
+    let mx = Array.fold_left ( +. ) 0.0 rx /. float_of_int n in
+    let my = Array.fold_left ( +. ) 0.0 ry /. float_of_int n in
+    let num = ref 0.0 and dx = ref 0.0 and dy = ref 0.0 in
+    for i = 0 to n - 1 do
+      let a = rx.(i) -. mx and b = ry.(i) -. my in
+      num := !num +. (a *. b);
+      dx := !dx +. (a *. a);
+      dy := !dy +. (b *. b)
+    done;
+    if !dx = 0.0 || !dy = 0.0 then 0.0 else !num /. sqrt (!dx *. !dy)
+  end

@@ -1,0 +1,29 @@
+(** Small statistics helpers used by the benchmark harness and tests. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0 on the empty list. *)
+
+val geomean : float list -> float
+(** Geometric mean of positive values; 0 on the empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation; 0 on lists shorter than 2. *)
+
+val median : float list -> float
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [0,100], linear interpolation. *)
+
+val min_max : float list -> float * float
+(** Raises [Invalid_argument] on the empty list. *)
+
+val argmin : ('a -> float) -> 'a list -> 'a
+(** Raises [Invalid_argument] on the empty list. *)
+
+val argmax : ('a -> float) -> 'a list -> 'a
+
+val clamp : lo:float -> hi:float -> float -> float
+
+val spearman : float array -> float array -> float
+(** Spearman rank correlation between two equal-length arrays (used to
+    validate cost-model fidelity, as in the TenSet evaluation). *)

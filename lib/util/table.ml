@@ -1,0 +1,68 @@
+type row = Cells of string list | Separator
+
+type t = {
+  title : string;
+  header : string list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ~title ~header = { title; header; rows = [] }
+let add_row t cells = t.rows <- Cells cells :: t.rows
+let add_separator t = t.rows <- Separator :: t.rows
+
+let pad width s =
+  let len = String.length s in
+  if len >= width then s else s ^ String.make (width - len) ' '
+
+let render t =
+  let rows = List.rev t.rows in
+  let ncols =
+    List.fold_left
+      (fun acc r -> match r with Cells c -> max acc (List.length c) | Separator -> acc)
+      (List.length t.header) rows
+  in
+  let widths = Array.make ncols 0 in
+  let account cells =
+    List.iteri (fun i c -> if i < ncols then widths.(i) <- max widths.(i) (String.length c)) cells
+  in
+  account t.header;
+  List.iter (function Cells c -> account c | Separator -> ()) rows;
+  let buf = Buffer.create 1024 in
+  let line ch =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) ch);
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let emit cells =
+    let arr = Array.make ncols "" in
+    List.iteri (fun i c -> if i < ncols then arr.(i) <- c) cells;
+    Buffer.add_char buf '|';
+    Array.iteri
+      (fun i w ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (pad w arr.(i));
+        Buffer.add_string buf " |")
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  line '-';
+  emit t.header;
+  line '=';
+  List.iter (function Cells c -> emit c | Separator -> line '-') rows;
+  line '-';
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  print_newline ()
+
+let fmt_ms v = Printf.sprintf "%.3f ms" v
+
+let fmt_speedup v = if v <= 0.0 then "-" else Printf.sprintf "%.2fx" v
+
+let fmt_seconds v = Printf.sprintf "%.0f s" v

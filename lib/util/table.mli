@@ -1,0 +1,28 @@
+(** Plain-text table rendering for the benchmark harness.
+
+    The harness prints each reproduced paper table/figure as an aligned
+    ASCII table so the output can be diffed between runs. *)
+
+type t
+
+val create : title:string -> header:string list -> t
+
+val add_row : t -> string list -> unit
+(** Rows may be shorter than the header; missing cells render empty. *)
+
+val add_separator : t -> unit
+
+val render : t -> string
+(** Render with box-drawing rules and column alignment. *)
+
+val print : t -> unit
+(** [render] followed by [print_string] and a flush. *)
+
+val fmt_ms : float -> string
+(** Millisecond latency with 3 significant decimals, e.g. ["1.234 ms"]. *)
+
+val fmt_speedup : float -> string
+(** e.g. ["2.25x"]; negative/zero renders as ["-"]. *)
+
+val fmt_seconds : float -> string
+(** e.g. ["416 s"]. *)

@@ -1,0 +1,39 @@
+module Int_set = Set.Make (Int)
+
+let sort ~num_nodes ~edges =
+  let succs = Array.make num_nodes Int_set.empty in
+  let indeg = Array.make num_nodes 0 in
+  List.iter
+    (fun (src, dst) ->
+      if src < 0 || src >= num_nodes || dst < 0 || dst >= num_nodes then
+        invalid_arg "Toposort.sort: edge out of range";
+      if not (Int_set.mem dst succs.(src)) then begin
+        succs.(src) <- Int_set.add dst succs.(src);
+        indeg.(dst) <- indeg.(dst) + 1
+      end)
+    edges;
+  (* Kahn's algorithm with a sorted frontier for determinism. *)
+  let frontier = ref Int_set.empty in
+  for i = 0 to num_nodes - 1 do
+    if indeg.(i) = 0 then frontier := Int_set.add i !frontier
+  done;
+  let order = ref [] in
+  let count = ref 0 in
+  while not (Int_set.is_empty !frontier) do
+    let n = Int_set.min_elt !frontier in
+    frontier := Int_set.remove n !frontier;
+    order := n :: !order;
+    incr count;
+    Int_set.iter
+      (fun m ->
+        indeg.(m) <- indeg.(m) - 1;
+        if indeg.(m) = 0 then frontier := Int_set.add m !frontier)
+      succs.(n)
+  done;
+  if !count <> num_nodes then failwith "Toposort.sort: graph has a cycle";
+  List.rev !order
+
+let is_dag ~num_nodes ~edges =
+  match sort ~num_nodes ~edges with
+  | _ -> true
+  | exception Failure _ -> false

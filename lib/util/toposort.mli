@@ -1,0 +1,12 @@
+(** Topological sorting of integer-keyed DAGs.
+
+    Used by the computation-graph module to order operator nodes before
+    shape inference and partitioning. *)
+
+val sort : num_nodes:int -> edges:(int * int) list -> int list
+(** [sort ~num_nodes ~edges] returns the node ids [0 .. num_nodes-1] in an
+    order where every edge [(src, dst)] has [src] before [dst]. Ties are
+    broken by ascending node id, making the result deterministic.
+    Raises [Failure] if the graph has a cycle. *)
+
+val is_dag : num_nodes:int -> edges:(int * int) list -> bool

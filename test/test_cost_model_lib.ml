@@ -1,0 +1,170 @@
+(* Tests for lib/cost_model: Adam, Mlp, Dataset, Train. *)
+
+open Testutil
+
+let test_adam_minimises_quadratic () =
+  let params = [| 5.0; -3.0 |] in
+  let adam = Adam.create ~lr:0.1 2 in
+  for _ = 1 to 500 do
+    let grads = Array.map (fun p -> 2.0 *. p) params in
+    Adam.step adam ~params ~grads
+  done;
+  Alcotest.(check bool) "converged to 0" true
+    (Float.abs params.(0) < 1e-3 && Float.abs params.(1) < 1e-3)
+
+let test_adam_arity () =
+  let adam = Adam.create 2 in
+  Alcotest.(check bool) "arity mismatch raises" true
+    (try
+       Adam.step adam ~params:[| 0.0 |] ~grads:[| 0.0 |];
+       false
+     with Invalid_argument _ -> true)
+
+let test_adam_reset () =
+  let params = [| 1.0 |] in
+  let adam = Adam.create ~lr:0.1 1 in
+  Adam.step adam ~params ~grads:[| 1.0 |];
+  Adam.reset adam;
+  let p0 = params.(0) in
+  Adam.step adam ~params ~grads:[| 1.0 |];
+  (* first post-reset step has the same magnitude as a fresh first step *)
+  check_close ~tol:1e-9 "fresh step size" 0.1 (p0 -. params.(0))
+
+let test_mlp_shapes () =
+  let rng = Rng.create 1 in
+  let m = Mlp.create rng ~hidden:[ 16; 8 ] ~n_inputs:4 () in
+  Alcotest.(check int) "inputs" 4 (Mlp.n_inputs m);
+  (* 4*16+16 + 16*8+8 + 8*1+1 = 80+136+9 = 225 *)
+  Alcotest.(check int) "params" 225 (Mlp.num_params m);
+  let out = Mlp.forward m [| 0.1; 0.2; 0.3; 0.4 |] in
+  Alcotest.(check bool) "finite" true (Float.is_finite out)
+
+let test_mlp_input_gradient_fd () =
+  let rng = Rng.create 2 in
+  let m = Mlp.create rng ~hidden:[ 16; 16 ] ~n_inputs:5 () in
+  let x = Array.init 5 (fun i -> 0.3 *. float_of_int (i + 1)) in
+  let score, grad = Mlp.input_gradient m x in
+  check_close ~tol:1e-9 "score matches forward" (Mlp.forward m x) score;
+  let eps = 1e-5 in
+  Array.iteri
+    (fun i _ ->
+      let xp = Array.copy x and xm = Array.copy x in
+      xp.(i) <- x.(i) +. eps;
+      xm.(i) <- x.(i) -. eps;
+      let fd = (Mlp.forward m xp -. Mlp.forward m xm) /. (2.0 *. eps) in
+      if Float.abs (fd -. grad.(i)) > 1e-4 *. max 1.0 (Float.abs fd) then
+        Alcotest.failf "grad mismatch at %d: %.6f vs %.6f" i fd grad.(i))
+    x
+
+let test_mlp_learns_linear_function () =
+  let rng = Rng.create 3 in
+  let m = Mlp.create rng ~hidden:[ 32; 32 ] ~n_inputs:3 () in
+  let adam = Mlp.adam_for ~lr:3e-3 m in
+  let target x = (2.0 *. x.(0)) -. x.(1) +. (0.5 *. x.(2)) in
+  let sample () =
+    let x = Array.init 3 (fun _ -> Rng.range rng (-1.0) 1.0) in
+    (x, target x)
+  in
+  let final_loss = ref infinity in
+  for _ = 1 to 400 do
+    let batch = Array.init 32 (fun _ -> sample ()) in
+    final_loss := Mlp.train_batch m adam batch
+  done;
+  Alcotest.(check bool) "loss small" true (!final_loss < 0.02)
+
+let test_mlp_normalizer () =
+  let rng = Rng.create 4 in
+  let m = Mlp.create rng ~hidden:[ 8 ] ~n_inputs:2 () in
+  let before = Mlp.forward m [| 100.0; 200.0 |] in
+  Mlp.set_normalizer m ~mean:[| 100.0; 200.0 |] ~std:[| 10.0; 10.0 |];
+  let after = Mlp.forward m [| 100.0; 200.0 |] in
+  (* normalised input is now the zero vector *)
+  let zero_out = Mlp.forward m [| 100.0; 200.0 |] in
+  check_close "deterministic" after zero_out;
+  Alcotest.(check bool) "normalisation changes output" true (before <> after)
+
+let test_mlp_copy_independent () =
+  let rng = Rng.create 5 in
+  let m = Mlp.create rng ~hidden:[ 8 ] ~n_inputs:2 () in
+  let c = Mlp.copy m in
+  let adam = Mlp.adam_for c in
+  ignore (Mlp.train_batch c adam [| ([| 1.0; 2.0 |], 5.0) |]);
+  Alcotest.(check bool) "original unchanged" true
+    (Mlp.forward m [| 1.0; 2.0 |] <> Mlp.forward c [| 1.0; 2.0 |]
+    || Mlp.num_params m = Mlp.num_params c)
+
+let test_mlp_save_load () =
+  let rng = Rng.create 6 in
+  let m = Mlp.create rng ~hidden:[ 8 ] ~n_inputs:2 () in
+  let path = Filename.temp_file "felix_mlp" ".bin" in
+  Mlp.save m path;
+  (match Mlp.load path with
+  | Some m2 -> check_close "roundtrip" (Mlp.forward m [| 0.5; 0.7 |]) (Mlp.forward m2 [| 0.5; 0.7 |])
+  | None -> Alcotest.fail "load failed");
+  Sys.remove path;
+  Alcotest.(check bool) "missing file -> None" true (Mlp.load path = None)
+
+let small_tasks () = [ dense_sg (); conv_sg () ]
+
+let test_dataset_generation () =
+  let rng = Rng.create 7 in
+  let samples = Dataset.generate rng Device.rtx_a5000 ~schedules_per_task:24 (small_tasks ()) in
+  Alcotest.(check bool) "non-empty" true (Array.length samples > 20);
+  Array.iter
+    (fun (s : Dataset.sample) ->
+      Alcotest.(check int) "82 features" 82 (Array.length s.features);
+      if not (Float.is_finite s.target) then Alcotest.fail "non-finite target")
+    samples
+
+let test_dataset_split () =
+  let rng = Rng.create 8 in
+  let samples =
+    Array.init 100 (fun i ->
+        { Dataset.features = [| float_of_int i |]; target = 0.0; task_key = "k" })
+  in
+  let ds = Dataset.split rng ~train_frac:0.9 samples in
+  Alcotest.(check int) "train" 90 (Array.length ds.Dataset.train);
+  Alcotest.(check int) "valid" 10 (Array.length ds.Dataset.valid)
+
+let test_collect_tasks_dedup () =
+  let tasks = Dataset.collect_tasks ~max_tasks:500 () in
+  let keys = List.map Compute.workload_key tasks in
+  Alcotest.(check int) "all distinct" (List.length keys)
+    (List.length (List.sort_uniq String.compare keys));
+  Alcotest.(check bool) "a healthy number of tasks" true (List.length tasks > 50)
+
+let test_pretrain_ranks_schedules () =
+  (* The heart of the reproduction: after pretraining, the model must rank
+     schedules of a held-in task far better than chance. *)
+  let rng = Rng.create 9 in
+  let samples =
+    Dataset.generate rng Device.rtx_a5000 ~schedules_per_task:220 (small_tasks ())
+  in
+  let ds = Dataset.split rng samples in
+  let _model, metrics = Train.pretrain rng ~epochs:12 ~hidden:[ 96; 96 ] ds in
+  Alcotest.(check bool)
+    (Printf.sprintf "validation spearman %.3f > 0.7 on %d samples" metrics.Train.spearman
+       metrics.Train.n_samples)
+    true (metrics.Train.spearman > 0.7)
+
+let test_evaluate_empty () =
+  let rng = Rng.create 10 in
+  let m = Mlp.create rng ~hidden:[ 4 ] ~n_inputs:2 () in
+  let metrics = Train.evaluate m [||] in
+  Alcotest.(check int) "no samples" 0 metrics.Train.n_samples
+
+let tests =
+  [ Alcotest.test_case "adam minimises a quadratic" `Quick test_adam_minimises_quadratic;
+    Alcotest.test_case "adam arity check" `Quick test_adam_arity;
+    Alcotest.test_case "adam reset" `Quick test_adam_reset;
+    Alcotest.test_case "mlp shapes and parameter count" `Quick test_mlp_shapes;
+    Alcotest.test_case "mlp input gradient vs finite differences" `Quick test_mlp_input_gradient_fd;
+    Alcotest.test_case "mlp learns a linear function" `Quick test_mlp_learns_linear_function;
+    Alcotest.test_case "mlp input normalisation" `Quick test_mlp_normalizer;
+    Alcotest.test_case "mlp copy independence" `Quick test_mlp_copy_independent;
+    Alcotest.test_case "mlp save/load roundtrip" `Quick test_mlp_save_load;
+    Alcotest.test_case "dataset generation" `Slow test_dataset_generation;
+    Alcotest.test_case "dataset split fractions" `Quick test_dataset_split;
+    Alcotest.test_case "task collection deduplicates" `Slow test_collect_tasks_dedup;
+    Alcotest.test_case "pretraining ranks schedules" `Slow test_pretrain_ranks_schedules;
+    Alcotest.test_case "evaluate on empty set" `Quick test_evaluate_empty ]

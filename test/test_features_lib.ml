@@ -1,0 +1,180 @@
+(* Tests for lib/features: Extract and Pack. *)
+
+open Testutil
+
+let test_feature_count () =
+  Alcotest.(check int) "82 features as in the paper" 82 Extract.num_features;
+  Alcotest.(check int) "names match count" 82 (Array.length Extract.feature_names)
+
+let test_feature_names_unique () =
+  let sorted = Array.to_list Extract.feature_names |> List.sort_uniq String.compare in
+  Alcotest.(check int) "unique names" 82 (List.length sorted)
+
+let test_extract_length_and_vars () =
+  List.iter
+    (fun (sched, prog) ->
+      let feats = Extract.extract prog in
+      Alcotest.(check int) "82 formulas" 82 (Array.length feats);
+      let sched_vars = Schedule.var_names sched in
+      Array.iter
+        (fun f ->
+          List.iter
+            (fun v ->
+              if not (List.mem v sched_vars) then Alcotest.failf "feature uses unknown var %s" v)
+            (Expr.vars f))
+        feats)
+    (Sketch.generate_programs (dense_sg ()))
+
+let test_float_add_formula () =
+  (* float_add of a dense matmul is schedule-independent: B*I*O adds. *)
+  let sg = dense_sg () in
+  List.iter
+    (fun (_sched, prog) ->
+      let feats = Extract.extract_named prog in
+      let name, f = feats.(0) in
+      Alcotest.(check string) "first feature" "float_add" name;
+      match Expr.const_value f with
+      | Some v -> check_close "count" (32.0 *. 128.0 *. 256.0) v
+      | None -> Alcotest.fail "float_add should fold to a constant")
+    (Sketch.generate_programs sg)
+
+let test_int_ops_has_select () =
+  (* Section 3.3's running example: the address-arithmetic feature contains
+     a select on the unroll variable. *)
+  let sg = dense_sg () in
+  let found = ref false in
+  List.iter
+    (fun ((_ : Schedule.t), prog) ->
+      let feats = Extract.extract_named prog in
+      Array.iter
+        (fun (name, f) ->
+          if name = "int_ops" && contains ~needle:"select" (Expr.to_string f) then found := true)
+        feats)
+    (Sketch.generate_programs sg);
+  Alcotest.(check bool) "int_ops uses select" true !found
+
+let test_pack_features_finite =
+  qtest ~count:50 "features finite on random valid points" (QCheck2.Gen.int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let sg = conv_sg () in
+      List.for_all
+        (fun sched ->
+          let pack = Pack.prepare sg sched in
+          let y = sample_valid rng pack in
+          let feats = Pack.features_at pack y in
+          Array.length feats = 82 && Array.for_all Float.is_finite feats)
+        (Sketch.generate sg))
+
+let test_pack_gradient_fd () =
+  (* The assembled feature tape (smooth + log + exp substitution) must agree
+     with finite differences. *)
+  let rng = Rng.create 5 in
+  let sg = dense_sg () in
+  List.iter
+    (fun sched ->
+      let pack = Pack.prepare sg sched in
+      let y = sample_valid rng pack in
+      let eps = 1e-5 in
+      let adj = Array.make 82 1.0 in
+      let base, grad = Pack.features_vjp pack y adj in
+      let sum_base = Array.fold_left ( +. ) 0.0 base in
+      Array.iteri
+        (fun i _ ->
+          let yp = Array.copy y in
+          yp.(i) <- y.(i) +. eps;
+          let sp = Array.fold_left ( +. ) 0.0 (Pack.features_at pack yp) in
+          let ym = Array.copy y in
+          ym.(i) <- y.(i) -. eps;
+          let sm = Array.fold_left ( +. ) 0.0 (Pack.features_at pack ym) in
+          let fd = (sp -. sm) /. (2.0 *. eps) in
+          ignore sum_base;
+          let denom = max 1.0 (max (Float.abs fd) (Float.abs grad.(i))) in
+          if Float.abs (fd -. grad.(i)) /. denom > 1e-2 then
+            Alcotest.failf "gradient mismatch at %d: fd %.6f vs ad %.6f" i fd grad.(i))
+        y)
+    (Sketch.generate sg)
+
+let test_pack_round_divisibility =
+  qtest ~count:50 "rounding yields divisor-consistent tiles" (QCheck2.Gen.int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let sg = conv_sg () in
+      List.for_all
+        (fun sched ->
+          let pack = Pack.prepare sg sched in
+          let y = sample_valid rng pack in
+          let assign = Pack.assignment pack y in
+          List.for_all
+            (fun (extent, vars) ->
+              let product =
+                List.fold_left (fun acc v -> acc * List.assoc v assign) 1 vars
+              in
+              extent mod product = 0)
+            sched.Schedule.div_groups)
+        (Sketch.generate sg))
+
+let test_pack_penalty_zero_when_feasible () =
+  let rng = Rng.create 17 in
+  let sg = dense_sg () in
+  List.iter
+    (fun sched ->
+      let pack = Pack.prepare sg sched in
+      let y = sample_valid rng pack in
+      let v, _grad = Pack.penalty_value_grad pack y in
+      if v > 1e-6 then Alcotest.failf "penalty %.6f at a feasible point" v)
+    (Sketch.generate sg)
+
+let test_pack_penalty_positive_when_violated () =
+  let sg = dense_sg () in
+  let multi = List.nth (Sketch.generate sg) 1 in
+  let pack = Pack.prepare sg multi in
+  (* All variables at their upper bound violates the tile-product bounds. *)
+  let y = Array.map (fun (_, hi) -> hi) (Pack.bounds_log pack) in
+  let v, grad = Pack.penalty_value_grad pack y in
+  Alcotest.(check bool) "penalty positive" true (v > 0.0);
+  Alcotest.(check bool) "gradient nonzero" true (Array.exists (fun g -> g <> 0.0) grad)
+
+let test_pack_round_infeasible_returns_none () =
+  let sg = dense_sg () in
+  let multi = List.nth (Sketch.generate sg) 1 in
+  let pack = Pack.prepare sg multi in
+  let y = Array.map (fun (_, hi) -> hi) (Pack.bounds_log pack) in
+  Alcotest.(check bool) "upper corner infeasible" true (Pack.round_to_valid pack y = None)
+
+let test_pack_schedule_key_stability () =
+  let rng = Rng.create 3 in
+  let sg = dense_sg () in
+  let pack = Pack.prepare sg (List.hd (Sketch.generate sg)) in
+  let y = sample_valid rng pack in
+  Alcotest.(check string) "same point same key" (Pack.schedule_key pack y)
+    (Pack.schedule_key pack y);
+  let y2 = sample_valid rng pack in
+  if Pack.schedule_key pack y = Pack.schedule_key pack y2 then ()
+  (* collisions possible but assignments must then match *)
+  else Alcotest.(check bool) "different points differ" true true
+
+let test_pack_env_matches_assignment () =
+  let rng = Rng.create 23 in
+  let sg = dense_sg () in
+  let pack = Pack.prepare sg (List.hd (Sketch.generate sg)) in
+  let y = sample_valid rng pack in
+  let env = Pack.env_of pack y in
+  List.iter
+    (fun (name, v) -> check_close name (float_of_int v) (env name))
+    (Pack.assignment pack y)
+
+let tests =
+  [ Alcotest.test_case "feature count is 82" `Quick test_feature_count;
+    Alcotest.test_case "feature names unique" `Quick test_feature_names_unique;
+    Alcotest.test_case "extract length and variable scoping" `Quick test_extract_length_and_vars;
+    Alcotest.test_case "float_add formula (paper table)" `Quick test_float_add_formula;
+    Alcotest.test_case "int_ops contains select (paper 3.3)" `Quick test_int_ops_has_select;
+    test_pack_features_finite;
+    Alcotest.test_case "pack gradient vs finite differences" `Quick test_pack_gradient_fd;
+    test_pack_round_divisibility;
+    Alcotest.test_case "penalty zero at feasible points" `Quick test_pack_penalty_zero_when_feasible;
+    Alcotest.test_case "penalty positive when violated" `Quick test_pack_penalty_positive_when_violated;
+    Alcotest.test_case "rounding rejects infeasible corner" `Quick test_pack_round_infeasible_returns_none;
+    Alcotest.test_case "schedule key stability" `Quick test_pack_schedule_key_stability;
+    Alcotest.test_case "env matches integer assignment" `Quick test_pack_env_matches_assignment ]

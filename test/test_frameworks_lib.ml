@@ -1,0 +1,153 @@
+(* Tests for lib/frameworks and the public Felix API (lib/core). *)
+
+open Testutil
+
+let test_names () =
+  Alcotest.(check (list string)) "names" [ "PyTorch"; "TensorFlow"; "TensorRT" ]
+    (List.map Frameworks.name Frameworks.all)
+
+let test_kernel_baseline_cached () =
+  let sg = dense_sg () in
+  let a = Frameworks.kernel_baseline_ms Device.rtx_a5000 sg in
+  let b = Frameworks.kernel_baseline_ms Device.rtx_a5000 sg in
+  check_close "cached & deterministic" a b;
+  Alcotest.(check bool) "positive" true (a > 0.0 && Float.is_finite a)
+
+let test_operator_latencies_positive () =
+  List.iter
+    (fun (opname, op) ->
+      List.iter
+        (fun fw ->
+          let l = Frameworks.operator_latency_ms Device.rtx_a5000 fw op in
+          if not (Float.is_finite l && l > 0.0) then
+            Alcotest.failf "%s on %s: %.4f" opname (Frameworks.name fw) l)
+        Frameworks.all)
+    Workload.single_operators
+
+let test_conv3d_library_advantage () =
+  (* Section 6.3: vendor libraries beat the search on 3-D convolution. *)
+  let conv3d = List.assoc "Conv3d" Workload.single_operators in
+  let sg = Compute.lower ~name:"c3d" conv3d in
+  let baseline = Frameworks.kernel_baseline_ms Device.rtx_a5000 sg in
+  let pt = Frameworks.operator_latency_ms Device.rtx_a5000 Frameworks.Pytorch conv3d in
+  Alcotest.(check bool) "pytorch conv3d beats search baseline" true (pt < baseline)
+
+let test_small_op_library_disadvantage () =
+  let softmax = List.assoc "Softmax" Workload.single_operators in
+  let sg = Compute.lower ~name:"sm" softmax in
+  let baseline = Frameworks.kernel_baseline_ms Device.rtx_a5000 sg in
+  let pt = Frameworks.operator_latency_ms Device.rtx_a5000 Frameworks.Pytorch softmax in
+  Alcotest.(check bool) "softmax slower in library" true (pt > baseline)
+
+let test_tensorrt_generally_fastest () =
+  let dense = List.assoc "Dense" Workload.single_operators in
+  let trt = Frameworks.operator_latency_ms Device.rtx_a5000 Frameworks.Tensorrt dense in
+  let pt = Frameworks.operator_latency_ms Device.rtx_a5000 Frameworks.Pytorch dense in
+  Alcotest.(check bool) "TRT <= PyTorch" true (trt < pt)
+
+let test_supported_matrix () =
+  (* The paper's failing configurations (Section 6.1). *)
+  Alcotest.(check bool) "LLaMA not on TensorFlow" false
+    (Frameworks.supported Device.rtx_a5000 Frameworks.Tensorflow Workload.Llama);
+  Alcotest.(check bool) "LLaMA segfaults on TensorRT" false
+    (Frameworks.supported Device.rtx_a5000 Frameworks.Tensorrt Workload.Llama);
+  Alcotest.(check bool) "LLaMA OOM on Xavier" false
+    (Frameworks.supported Device.xavier_nx Frameworks.Pytorch Workload.Llama);
+  Alcotest.(check bool) "ViT OOM on Xavier TensorFlow" false
+    (Frameworks.supported Device.xavier_nx Frameworks.Tensorflow Workload.Vit_b32);
+  Alcotest.(check bool) "ResNet fine everywhere" true
+    (Frameworks.supported Device.xavier_nx Frameworks.Tensorrt Workload.Resnet50);
+  Alcotest.(check bool) "LLaMA on PyTorch desktop" true
+    (Frameworks.supported Device.rtx_a5000 Frameworks.Pytorch Workload.Llama)
+
+let test_network_latency () =
+  let g = Workload.graph Workload.Dcgan in
+  List.iter
+    (fun fw ->
+      match Frameworks.network_latency_ms Device.rtx_a5000 fw g with
+      | Some l -> Alcotest.(check bool) "positive" true (l > 0.0 && Float.is_finite l)
+      | None -> Alcotest.fail "expected latency")
+    Frameworks.all
+
+(* --- public Felix API ----------------------------------------------------------- *)
+
+let test_cuda_device_parsing () =
+  Alcotest.(check string) "a10g" "A10G" (Felix.cuda "a10g").Device.device_name;
+  Alcotest.(check string) "a5000" "RTX A5000" (Felix.cuda "rtx-a5000").Device.device_name;
+  Alcotest.(check string) "xavier" "Xavier NX" (Felix.cuda "xavier-nx").Device.device_name;
+  Alcotest.(check bool) "unknown raises" true
+    (try
+       ignore (Felix.cuda "h100");
+       false
+     with Invalid_argument _ -> true)
+
+let test_extract_subgraphs () =
+  let sgs = Felix.extract_subgraphs (Workload.graph Workload.Dcgan) in
+  Alcotest.(check int) "DCGAN tasks" 5 (Felix.num_tasks sgs);
+  Alcotest.(check bool) "description mentions tconv" true
+    (contains ~needle:"tconv2d" (Felix.describe_subgraphs sgs))
+
+let test_end_to_end_api () =
+  (* The Figure 5 workflow, on the smallest network with a quick config. *)
+  let device = Felix.cuda "a5000" in
+  let dnn = Workload.graph Workload.Dcgan in
+  let graphs = Felix.extract_subgraphs dnn in
+  let rng = Rng.create 200 in
+  let samples =
+    Dataset.generate rng device ~schedules_per_task:40 [ dense_sg (); conv_sg () ]
+  in
+  let ds = Dataset.split rng samples in
+  let cost_model, _ = Train.pretrain rng ~epochs:4 ~hidden:[ 48; 48 ] ds in
+  let opt = Felix.Optimizer.create ~config:Tuning_config.quick ~seed:1 graphs cost_model device in
+  let save = Filename.temp_file "felix_res" ".bin" in
+  let res = Felix.Optimizer.optimize_all opt ~n_total_rounds:6 ~save_res:save () in
+  Alcotest.(check bool) "tuning produced a latency" true
+    (Float.is_finite res.Tuner.final_latency_ms);
+  let compiled = Felix.Optimizer.compile_with_best_configs opt in
+  check_close "compiled latency matches" res.Tuner.final_latency_ms
+    (Felix.Compiled.latency_ms compiled);
+  Alcotest.(check int) "schedules per task" 5 (List.length (Felix.Compiled.best_schedules compiled));
+  (* save / reload a compiled module *)
+  let path = Filename.temp_file "felix_compiled" ".bin" in
+  Felix.Compiled.save compiled path;
+  (match Felix.Compiled.load path with
+  | Some c2 -> check_close "compiled roundtrip" (Felix.Compiled.latency_ms compiled)
+                 (Felix.Compiled.latency_ms c2)
+  | None -> Alcotest.fail "compiled load failed");
+  Sys.remove path;
+  (* reload the optimizer result from the saved file *)
+  let c3 = Felix.Optimizer.compile_with_best_configs ~configs_file:save opt in
+  check_close "configs file roundtrip" res.Tuner.final_latency_ms (Felix.Compiled.latency_ms c3);
+  Sys.remove save;
+  (* run returns a noisy latency near the compiled one *)
+  let measured = Felix.Compiled.run compiled in
+  Alcotest.(check bool) "run close to latency" true
+    (Float.abs (measured -. Felix.Compiled.latency_ms compiled)
+     /. Felix.Compiled.latency_ms compiled
+    < 0.2)
+
+let test_compile_before_optimize_fails () =
+  let device = Felix.cuda "a5000" in
+  let graphs = Felix.extract_subgraphs (Workload.graph Workload.Dcgan) in
+  let rng = Rng.create 201 in
+  let model = Mlp.create rng ~hidden:[ 8 ] ~n_inputs:82 () in
+  let opt = Felix.Optimizer.create graphs model device in
+  Alcotest.(check bool) "fails before optimize_all" true
+    (try
+       ignore (Felix.Optimizer.compile_with_best_configs opt);
+       false
+     with Failure _ -> true)
+
+let tests =
+  [ Alcotest.test_case "framework names" `Quick test_names;
+    Alcotest.test_case "kernel baseline cached" `Slow test_kernel_baseline_cached;
+    Alcotest.test_case "operator latencies positive" `Slow test_operator_latencies_positive;
+    Alcotest.test_case "conv3d: libraries win (paper 6.3)" `Slow test_conv3d_library_advantage;
+    Alcotest.test_case "softmax: libraries lose" `Slow test_small_op_library_disadvantage;
+    Alcotest.test_case "TensorRT fastest library" `Slow test_tensorrt_generally_fastest;
+    Alcotest.test_case "supported matrix matches paper" `Quick test_supported_matrix;
+    Alcotest.test_case "network latency under frameworks" `Slow test_network_latency;
+    Alcotest.test_case "Felix.cuda device parsing" `Quick test_cuda_device_parsing;
+    Alcotest.test_case "Felix.extract_subgraphs" `Quick test_extract_subgraphs;
+    Alcotest.test_case "Figure 5 end-to-end workflow" `Slow test_end_to_end_api;
+    Alcotest.test_case "compile before optimize fails" `Quick test_compile_before_optimize_fails ]

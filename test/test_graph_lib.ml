@@ -1,0 +1,185 @@
+(* Tests for lib/graph: Graph, Partition, Layers and the six models. *)
+
+open Testutil
+
+let nets = Workload.all_networks
+
+let test_builder_basic () =
+  let g = Graph.Builder.create "t" in
+  Graph.Builder.set_input_shape g [ 1; 8 ];
+  let a = Graph.Builder.add g (Op.Dense { batch = 1; in_dim = 8; out_dim = 4 }) ~inputs:[ Graph.input_id ] in
+  let b = Graph.Builder.add g (Op.Elemwise (Op.Relu, 4)) ~inputs:[ a ] in
+  let t = Graph.Builder.finish g in
+  Alcotest.(check int) "two nodes" 2 (Graph.num_nodes t);
+  Alcotest.(check (list int)) "relu consumes dense" [ a ] (Graph.node t b).inputs;
+  Alcotest.(check bool) "valid" true (Graph.validate t = Ok ())
+
+let test_builder_forward_reference () =
+  let g = Graph.Builder.create "t" in
+  Alcotest.(check bool) "forward ref rejected" true
+    (try
+       ignore (Graph.Builder.add g (Op.Elemwise (Op.Relu, 4)) ~inputs:[ 5 ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_consumers () =
+  let g = Graph.Builder.create "t" in
+  let a = Graph.Builder.add g (Op.Elemwise (Op.Relu, 4)) ~inputs:[ Graph.input_id ] in
+  let _b = Graph.Builder.add g (Op.Elemwise (Op.Gelu, 4)) ~inputs:[ a ] in
+  let _c = Graph.Builder.add g (Op.Elemwise (Op.Tanh, 4)) ~inputs:[ a ] in
+  let t = Graph.Builder.finish g in
+  Alcotest.(check (array int)) "two consumers" [| 1; 2 |] (Graph.consumers t).(a)
+
+let test_models_validate () =
+  List.iter
+    (fun net ->
+      let g = Workload.graph net in
+      match Graph.validate g with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s: %s" (Workload.network_name net) e)
+    nets
+
+let test_models_flops_ranges () =
+  (* Sanity against public figures (MAC x 2): ResNet-50 ~8.2, MobileNet-v2
+     ~0.6, R3D-18 tens of GFLOPs, ViT-B/32 ~8.8, LLaMA prefill ~1.3 TFLOPs. *)
+  let expect =
+    [ (Workload.Resnet50, 7.0, 9.5); (Workload.Mobilenet_v2, 0.4, 0.9);
+      (Workload.R3d_18, 20.0, 60.0); (Workload.Dcgan, 0.3, 2.0);
+      (Workload.Vit_b32, 7.0, 10.0); (Workload.Llama, 1000.0, 1600.0) ]
+  in
+  List.iter
+    (fun (net, lo, hi) ->
+      let gf = Graph.total_flops (Workload.graph net) /. 1e9 in
+      if gf < lo || gf > hi then
+        Alcotest.failf "%s flops out of range: %.2f GFLOPs" (Workload.network_name net) gf)
+    expect
+
+let test_models_batch_scales_flops () =
+  List.iter
+    (fun net ->
+      let f1 = Graph.total_flops (Workload.graph ~batch:1 net) in
+      let f16 = Graph.total_flops (Workload.graph ~batch:16 net) in
+      let ratio = f16 /. f1 in
+      if ratio < 10.0 || ratio > 18.0 then
+        Alcotest.failf "%s batch scaling ratio %.2f" (Workload.network_name net) ratio)
+    [ Workload.Resnet50; Workload.Mobilenet_v2; Workload.Dcgan ]
+
+let test_partition_covers_nodes () =
+  List.iter
+    (fun net ->
+      let g = Workload.graph net in
+      let tasks = Partition.partition g in
+      let covered =
+        List.fold_left
+          (fun acc (t : Partition.task) -> acc + (t.weight * List.length t.node_ids))
+          0 tasks
+      in
+      Alcotest.(check int)
+        (Workload.network_name net ^ " covers all nodes")
+        (Graph.num_nodes g) covered)
+    nets
+
+let test_partition_fuses_conv_relu () =
+  let g = Graph.Builder.create "t" in
+  Graph.Builder.set_input_shape g [ 1; 3; 8; 8 ];
+  let c, _ =
+    Layers.conv2d g ~input:Graph.input_id ~in_chan:3 ~out_chan:8 ~in_hw:(8, 8) ~kernel:3
+      ~stride:1 ~pad:1 ()
+  in
+  let _r = Layers.activation g Op.Relu ~input:c in
+  let t = Graph.Builder.finish g in
+  let tasks = Partition.partition t in
+  Alcotest.(check int) "single fused task" 1 (List.length tasks);
+  Alcotest.(check int) "conv + fused relu stages" 2
+    (List.length (List.hd tasks).Partition.subgraph.Compute.stages)
+
+let test_partition_no_fuse_on_fanout () =
+  (* A producer with two consumers must not be fused into either. *)
+  let g = Graph.Builder.create "t" in
+  let a = Graph.Builder.add g (Op.Elemwise (Op.Relu, 64)) ~inputs:[ Graph.input_id ] in
+  let b = Graph.Builder.add g (Op.Elemwise (Op.Gelu, 64)) ~inputs:[ a ] in
+  let c = Graph.Builder.add g (Op.Elemwise (Op.Tanh, 64)) ~inputs:[ a ] in
+  ignore b;
+  ignore c;
+  let t = Graph.Builder.finish g in
+  let tasks = Partition.partition t in
+  (* relu alone; gelu and tanh separate (note gelu/tanh have same workload
+     shape but different counts, so they may deduplicate) *)
+  let total_groups =
+    List.fold_left (fun acc (t : Partition.task) -> acc + t.weight) 0 tasks
+  in
+  Alcotest.(check int) "three groups" 3 total_groups
+
+let test_partition_dedup_weights () =
+  let g = Workload.graph Workload.Llama in
+  let tasks = Partition.partition g in
+  (* 32 identical decoder layers: the heavy dense tasks must deduplicate. *)
+  let max_weight =
+    List.fold_left (fun acc (t : Partition.task) -> max acc t.weight) 0 tasks
+  in
+  Alcotest.(check bool) "dedup found repeated layers" true (max_weight >= 32);
+  Alcotest.(check bool) "few distinct tasks" true (List.length tasks < 20)
+
+let test_partition_subgraphs_valid () =
+  List.iter
+    (fun net ->
+      let g = Workload.graph net in
+      List.iter
+        (fun (t : Partition.task) ->
+          match Compute.validate t.subgraph with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "%s: %s" (Workload.network_name net) e)
+        (Partition.partition g))
+    nets
+
+let test_layers_residual_mismatch () =
+  let g = Graph.Builder.create "t" in
+  let a = Graph.Builder.add g (Op.Elemwise (Op.Relu, 64)) ~inputs:[ Graph.input_id ] in
+  let b = Graph.Builder.add g (Op.Elemwise (Op.Relu, 32)) ~inputs:[ Graph.input_id ] in
+  Alcotest.(check bool) "mismatch raises" true
+    (try
+       ignore (Layers.residual_add g a b);
+       false
+     with Invalid_argument _ -> true)
+
+let test_summary () =
+  let s = Graph.summary (Workload.graph Workload.Resnet50) in
+  Alcotest.(check bool) "mentions conv2d" true (contains ~needle:"conv2d" s);
+  Alcotest.(check bool) "mentions GFLOPs" true (contains ~needle:"GFLOPs" s)
+
+let test_network_names () =
+  Alcotest.(check (list string)) "paper names"
+    [ "ResNet-50"; "MobileNet-v2"; "R3d-18"; "DCGAN"; "ViT-B/32"; "LLaMA" ]
+    (List.map Workload.network_name nets)
+
+let test_edge_fit () =
+  Alcotest.(check bool) "llama too big for edge" false (Workload.fits_on_edge Workload.Llama);
+  Alcotest.(check bool) "resnet fits" true (Workload.fits_on_edge Workload.Resnet50)
+
+let test_single_operators () =
+  Alcotest.(check int) "seven operator types (Figure 9)" 7 (List.length Workload.single_operators);
+  List.iter
+    (fun (opname, op) ->
+      let sg = Compute.lower ~name:opname op in
+      match Compute.validate sg with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s: %s" opname e)
+    Workload.single_operators
+
+let tests =
+  [ Alcotest.test_case "builder basics" `Quick test_builder_basic;
+    Alcotest.test_case "builder rejects forward references" `Quick test_builder_forward_reference;
+    Alcotest.test_case "consumers map" `Quick test_consumers;
+    Alcotest.test_case "all six models validate" `Quick test_models_validate;
+    Alcotest.test_case "model flops match public figures" `Quick test_models_flops_ranges;
+    Alcotest.test_case "batch size scales flops" `Quick test_models_batch_scales_flops;
+    Alcotest.test_case "partition covers every node once" `Quick test_partition_covers_nodes;
+    Alcotest.test_case "partition fuses conv+relu" `Quick test_partition_fuses_conv_relu;
+    Alcotest.test_case "partition respects fan-out" `Quick test_partition_no_fuse_on_fanout;
+    Alcotest.test_case "partition deduplicates repeated layers" `Quick test_partition_dedup_weights;
+    Alcotest.test_case "partitioned subgraphs validate" `Quick test_partition_subgraphs_valid;
+    Alcotest.test_case "residual add size check" `Quick test_layers_residual_mismatch;
+    Alcotest.test_case "graph summary" `Quick test_summary;
+    Alcotest.test_case "paper network names" `Quick test_network_names;
+    Alcotest.test_case "edge-device memory fit" `Quick test_edge_fit;
+    Alcotest.test_case "figure 9 single operators" `Quick test_single_operators ]

@@ -1,0 +1,152 @@
+(* Compiler-correctness tests: scheduled (tiled-order) execution must equal
+   reference execution for every operator family and any valid schedule.
+   This pins down the tiling algebra, the affine access maps, the fused
+   iteration decomposition and the divisor rounding simultaneously. *)
+
+open Testutil
+
+let small_ops =
+  [ ("dense", Op.Dense { batch = 4; in_dim = 12; out_dim = 18 });
+    ("conv2d",
+     Op.Conv2d
+       { batch = 1; in_chan = 4; out_chan = 6; in_h = 8; in_w = 8; kernel_h = 3; kernel_w = 3;
+         stride = 1; pad = 1; groups = 1 });
+    ("conv2d_s2",
+     Op.Conv2d
+       { batch = 2; in_chan = 3; out_chan = 4; in_h = 9; in_w = 9; kernel_h = 3; kernel_w = 3;
+         stride = 2; pad = 1; groups = 1 });
+    ("depthwise",
+     Op.Conv2d
+       { batch = 1; in_chan = 6; out_chan = 6; in_h = 8; in_w = 8; kernel_h = 3; kernel_w = 3;
+         stride = 2; pad = 1; groups = 6 });
+    ("conv3d",
+     Op.Conv3d
+       { batch = 1; in_chan = 2; out_chan = 3; in_d = 4; in_h = 6; in_w = 6; kernel_d = 3;
+         kernel_h = 3; kernel_w = 3; stride = 1; pad = 1 });
+    ("tconv2d",
+     Op.Tconv2d
+       { batch = 1; in_chan = 4; out_chan = 3; in_h = 5; in_w = 5; kernel_h = 4; kernel_w = 4;
+         stride = 2; pad = 1 });
+    ("batch_matmul", Op.Batch_matmul { batch = 2; m = 6; k = 8; n = 10 });
+    ("softmax", Op.Softmax { rows = 12; cols = 10 });
+    ("layer_norm", Op.Layer_norm { rows = 8; cols = 16 });
+    ("maxpool", Op.Maxpool2d { batch = 1; chan = 4; in_h = 10; in_w = 10; kernel = 3; stride = 2; pad = 1 });
+    ("avgpool", Op.Avgpool2d { batch = 1; chan = 4; in_h = 8; in_w = 8; kernel = 2; stride = 2; pad = 0 });
+    ("global_avgpool", Op.Global_avgpool { batch = 2; chan = 5; in_h = 6; in_w = 6 });
+    ("relu", Op.Elemwise (Op.Relu, 64));
+    ("gelu", Op.Elemwise (Op.Gelu, 48));
+    ("add", Op.Binary (Op.Add, 96)) ]
+
+let expected_cache : (string, float array) Hashtbl.t = Hashtbl.create 16
+
+let reference name op =
+  match Hashtbl.find_opt expected_cache name with
+  | Some e -> e
+  | None ->
+    let sg = Compute.lower ~name op in
+    let e = Interp.output (Interp.run_reference sg) sg in
+    Hashtbl.replace expected_cache name e;
+    e
+
+let check_op ?(trials = 4) name op () =
+  let sg = Compute.lower ~name op in
+  let expected = reference name op in
+  let rng = Rng.create (Hashtbl.hash name) in
+  List.iter
+    (fun sched ->
+      let pack = Pack.prepare sg sched in
+      for _ = 1 to trials do
+        let y = sample_valid rng pack in
+        let mem = Interp.run_scheduled (Pack.program pack) (Pack.env_of pack y) in
+        let err = Interp.max_rel_error expected (Interp.output mem sg) in
+        if err > 1e-4 then
+          Alcotest.failf "%s / %s: scheduled execution differs (rel err %.2e) at %s" name
+            sched.Schedule.sched_name err (Pack.schedule_key pack y)
+      done)
+    (Sketch.generate sg)
+
+let test_fused_subgraph () =
+  (* Dense + bias-add + ReLU, the Figure 3 pattern with a fused tail. *)
+  let sg = Compute.lower ~name:"dense" (Op.Dense { batch = 6; in_dim = 10; out_dim = 12 }) in
+  let sg = Compute.fuse_elemwise sg ~name:"bias" (Op.Bias_add { rows = 6; cols = 12 }) in
+  let sg = Compute.fuse_elemwise sg ~name:"relu" (Op.Elemwise (Op.Relu, 72)) in
+  let expected = Interp.output (Interp.run_reference sg) sg in
+  let rng = Rng.create 31 in
+  List.iter
+    (fun sched ->
+      let pack = Pack.prepare sg sched in
+      let y = sample_valid rng pack in
+      let mem = Interp.run_scheduled (Pack.program pack) (Pack.env_of pack y) in
+      let err = Interp.max_rel_error expected (Interp.output mem sg) in
+      if err > 1e-4 then Alcotest.failf "fused subgraph differs: %.2e" err)
+    (Sketch.generate sg)
+
+let test_relu_semantics () =
+  (* Reference execution itself must compute the right function. *)
+  let sg = Compute.lower ~name:"r" (Op.Elemwise (Op.Relu, 32)) in
+  let mem = Interp.run_reference sg in
+  let out = Interp.output mem sg in
+  Array.iteri
+    (fun i v ->
+      let x = Interp.input_value "r.in" i in
+      Testutil.check_close "relu" (Float.max x 0.0) v)
+    out
+
+let test_matmul_semantics () =
+  (* Tiny dense checked against a hand computation. *)
+  let sg = Compute.lower ~name:"m" (Op.Dense { batch = 2; in_dim = 3; out_dim = 2 }) in
+  let mem = Interp.run_reference sg in
+  let out = Interp.output mem sg in
+  let a i k = Interp.input_value "m.in" ((i * 3) + k) in
+  let w j k = Interp.input_value "m.w" ((j * 3) + k) in
+  for i = 0 to 1 do
+    for j = 0 to 1 do
+      let expect = ref 0.0 in
+      for k = 0 to 2 do
+        expect := !expect +. (a i k *. w j k)
+      done;
+      Testutil.check_close ~tol:1e-9 "matmul cell" !expect out.((i * 2) + j)
+    done
+  done
+
+let test_softmax_rows_sum_to_one () =
+  let sg = Compute.lower ~name:"s" (Op.Softmax { rows = 5; cols = 7 }) in
+  let out = Interp.output (Interp.run_reference sg) sg in
+  for r = 0 to 4 do
+    let sum = ref 0.0 in
+    for c = 0 to 6 do
+      sum := !sum +. out.((r * 7) + c)
+    done;
+    Testutil.check_close ~tol:1e-6 "row sums to 1" 1.0 !sum
+  done
+
+let test_input_determinism () =
+  Testutil.check_close "same value" (Interp.input_value "x" 7) (Interp.input_value "x" 7);
+  Alcotest.(check bool) "different idx differ" true
+    (Interp.input_value "x" 7 <> Interp.input_value "x" 8);
+  Alcotest.(check bool) "bounded" true
+    (let v = Interp.input_value "weights" 123 in
+     v >= -1.0 && v <= 1.0)
+
+let test_max_rel_error () =
+  Testutil.check_close "identical" 0.0 (Interp.max_rel_error [| 1.0; 2.0 |] [| 1.0; 2.0 |]);
+  Alcotest.(check bool) "mismatch raises" true
+    (try
+       ignore (Interp.max_rel_error [| 1.0 |] [| 1.0; 2.0 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let tests =
+  List.map
+    (fun (name, op) ->
+      Alcotest.test_case
+        (Printf.sprintf "scheduled == reference: %s" name)
+        `Quick (check_op name op))
+    small_ops
+  @ [ Alcotest.test_case "scheduled == reference: fused dense+bias+relu" `Quick
+        test_fused_subgraph;
+      Alcotest.test_case "relu reference semantics" `Quick test_relu_semantics;
+      Alcotest.test_case "matmul reference semantics (hand check)" `Quick test_matmul_semantics;
+      Alcotest.test_case "softmax rows sum to one" `Quick test_softmax_rows_sum_to_one;
+      Alcotest.test_case "deterministic input initialisation" `Quick test_input_determinism;
+      Alcotest.test_case "max_rel_error" `Quick test_max_rel_error ]

@@ -1,0 +1,12 @@
+let () =
+  Alcotest.run "felix"
+    [ ("util", Test_util_lib.tests);
+      ("expr", Test_expr_lib.tests);
+      ("tensor_ir", Test_tensor_ir_lib.tests);
+      ("interp", Test_interp_lib.tests);
+      ("graph", Test_graph_lib.tests);
+      ("features", Test_features_lib.tests);
+      ("sim", Test_sim_lib.tests);
+      ("cost_model", Test_cost_model_lib.tests);
+      ("optim", Test_optim_lib.tests);
+      ("frameworks_api", Test_frameworks_lib.tests) ]

@@ -1,0 +1,320 @@
+(* Tests for lib/optim: Gradient_tuner, Evolutionary, Tuner, Tuning_config. *)
+
+open Testutil
+
+let quick = Tuning_config.quick
+
+(* A lightweight cost model trained on a tiny dataset, shared across tests. *)
+let shared_model =
+  lazy
+    (let rng = Rng.create 100 in
+     let samples =
+       Dataset.generate rng Device.rtx_a5000 ~schedules_per_task:60
+         [ dense_sg (); conv_sg () ]
+     in
+     let ds = Dataset.split rng samples in
+     let model, _ = Train.pretrain rng ~epochs:5 ~hidden:[ 64; 64 ] ds in
+     model)
+
+let test_clock () =
+  let c = Tuning_config.Clock.create () in
+  check_close "zero" 0.0 (Tuning_config.Clock.now c);
+  Tuning_config.Clock.advance c 1.5;
+  Tuning_config.Clock.advance c 2.0;
+  check_close "accumulates" 3.5 (Tuning_config.Clock.now c)
+
+let test_config_defaults_match_paper () =
+  let d = Tuning_config.default in
+  Alcotest.(check int) "nSeeds = 8" 8 d.Tuning_config.nseeds;
+  Alcotest.(check int) "nSteps = 200" 200 d.Tuning_config.nsteps;
+  Alcotest.(check int) "nMeasure = 16" 16 d.Tuning_config.nmeasure_felix;
+  Alcotest.(check int) "Ansor measures 64" 64 d.Tuning_config.nmeasure_ansor;
+  Alcotest.(check int) "4 generations" 4 d.Tuning_config.generations
+
+let test_descend_reduces_objective () =
+  let model = Lazy.force shared_model in
+  let rng = Rng.create 11 in
+  let sg = dense_sg () in
+  let sched = List.nth (Sketch.generate sg) 1 in
+  let pack = Pack.prepare sg sched in
+  let improved = ref 0 in
+  for _ = 1 to 5 do
+    let y0 = sample_valid rng pack in
+    let cfg = { quick with Tuning_config.nsteps = 80 } in
+    let hist = Gradient_tuner.descend cfg rng model pack y0 in
+    let first = snd (List.hd hist) in
+    let best = List.fold_left (fun acc (_, o) -> min acc o) infinity hist in
+    if best < first then incr improved
+  done;
+  Alcotest.(check bool) "objective improves for most seeds" true (!improved >= 4)
+
+let test_search_round_respects_budget () =
+  let model = Lazy.force shared_model in
+  let rng = Rng.create 12 in
+  let sg = dense_sg () in
+  let packs = List.map (Pack.prepare sg) (Sketch.generate sg) in
+  let cands, trace =
+    Gradient_tuner.search_round quick rng model packs ~already_measured:(fun _ -> false)
+  in
+  Alcotest.(check bool) "at most nmeasure" true
+    (List.length cands <= quick.Tuning_config.nmeasure_felix);
+  Alcotest.(check bool) "trace has predictions" true
+    (List.length trace.Gradient_tuner.predictions > 0);
+  (* keys unique *)
+  let keys = List.map (fun (c : Gradient_tuner.candidate) -> c.key) cands in
+  Alcotest.(check int) "unique keys" (List.length keys)
+    (List.length (List.sort_uniq String.compare keys));
+  (* candidates sorted by predicted, best first *)
+  let rec sorted = function
+    | a :: (b :: _ as rest) ->
+      (a : Gradient_tuner.candidate).predicted >= b.predicted && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "sorted" true (sorted cands)
+
+let test_search_round_excludes_measured () =
+  let model = Lazy.force shared_model in
+  let rng = Rng.create 13 in
+  let sg = dense_sg () in
+  let packs = List.map (Pack.prepare sg) (Sketch.generate sg) in
+  let first, _ =
+    Gradient_tuner.search_round quick rng model packs ~already_measured:(fun _ -> false)
+  in
+  let measured = List.map (fun (c : Gradient_tuner.candidate) -> c.key) first in
+  let second, _ =
+    Gradient_tuner.search_round quick (Rng.create 13) model packs
+      ~already_measured:(fun k -> List.mem k measured)
+  in
+  List.iter
+    (fun (c : Gradient_tuner.candidate) ->
+      if List.mem c.key measured then Alcotest.fail "returned an already-measured schedule")
+    second
+
+let test_candidates_are_valid () =
+  let model = Lazy.force shared_model in
+  let rng = Rng.create 14 in
+  let sg = conv_sg () in
+  let packs = List.map (Pack.prepare sg) (Sketch.generate sg) in
+  let cands, _ =
+    Gradient_tuner.search_round quick rng model packs ~already_measured:(fun _ -> false)
+  in
+  Alcotest.(check bool) "found candidates" true (List.length cands > 0);
+  List.iter
+    (fun (c : Gradient_tuner.candidate) ->
+      match Pack.round_to_valid c.pack c.y with
+      | Some r -> Alcotest.(check string) "round idempotent" c.key (Pack.schedule_key c.pack r)
+      | None -> Alcotest.fail "candidate is not a valid schedule")
+    cands
+
+let test_mutate_validity () =
+  let rng = Rng.create 15 in
+  let sg = dense_sg () in
+  let pack = Pack.prepare sg (List.nth (Sketch.generate sg) 1) in
+  let y = sample_valid rng pack in
+  let ok = ref 0 in
+  for _ = 1 to 30 do
+    match Evolutionary.mutate rng pack y with
+    | Some y' -> (
+      incr ok;
+      match Pack.round_to_valid pack y' with
+      | Some _ -> ()
+      | None -> Alcotest.fail "mutate returned invalid point")
+    | None -> ()
+  done;
+  Alcotest.(check bool) "mutations mostly succeed" true (!ok > 15)
+
+let test_crossover_validity () =
+  let rng = Rng.create 16 in
+  let sg = dense_sg () in
+  let pack = Pack.prepare sg (List.nth (Sketch.generate sg) 1) in
+  let a = sample_valid rng pack and b = sample_valid rng pack in
+  for _ = 1 to 20 do
+    match Evolutionary.crossover rng pack a b with
+    | Some y -> (
+      match Pack.round_to_valid pack y with
+      | Some _ -> ()
+      | None -> Alcotest.fail "crossover returned invalid point")
+    | None -> ()
+  done
+
+let test_evolutionary_round () =
+  let model = Lazy.force shared_model in
+  let rng = Rng.create 17 in
+  let sg = dense_sg () in
+  let packs = List.map (Pack.prepare sg) (Sketch.generate sg) in
+  let inds, trace =
+    Evolutionary.search_round quick rng model packs ~elites:[] ~already_measured:(fun _ -> false)
+  in
+  Alcotest.(check bool) "bounded by nmeasure" true
+    (List.length inds <= quick.Tuning_config.nmeasure_ansor);
+  Alcotest.(check bool) "evaluated plenty" true (trace.Evolutionary.evaluated > 50);
+  let keys = List.map (fun (i : Evolutionary.individual) -> i.key) inds in
+  Alcotest.(check int) "unique" (List.length keys)
+    (List.length (List.sort_uniq String.compare keys))
+
+let test_tune_single_improves () =
+  let model = Lazy.force shared_model in
+  List.iter
+    (fun engine ->
+      let r =
+        Tuner.tune_single ~config:quick ~seed:4 ~rounds:4 Device.rtx_a5000 model (dense_sg ())
+          engine
+      in
+      let first = (List.hd r.Tuner.s_curve).Tuner.latency_ms in
+      Alcotest.(check bool)
+        (Tuner.engine_name engine ^ " improves")
+        true
+        (r.Tuner.s_best_latency_ms < first);
+      (* curve is monotone non-increasing *)
+      let rec mono = function
+        | (a : Tuner.progress_point) :: (b :: _ as rest) ->
+          a.latency_ms >= b.latency_ms -. 1e-9 && mono rest
+        | _ -> true
+      in
+      Alcotest.(check bool) "monotone curve" true (mono r.Tuner.s_curve))
+    [ Tuner.Felix; Tuner.Ansor ]
+
+let test_tune_single_deterministic () =
+  let model = Lazy.force shared_model in
+  let run () =
+    Tuner.tune_single ~config:quick ~seed:7 ~rounds:2 Device.rtx_a5000 model (dense_sg ())
+      Tuner.Felix
+  in
+  let a = run () and b = run () in
+  check_close "same final" a.Tuner.s_best_latency_ms b.Tuner.s_best_latency_ms
+
+let test_tune_network () =
+  let model = Lazy.force shared_model in
+  let g = Workload.graph Workload.Dcgan in
+  let cfg = { quick with Tuning_config.max_rounds = 10 } in
+  let r = Tuner.tune ~config:cfg ~seed:5 Device.rtx_a5000 model g Tuner.Felix in
+  Alcotest.(check bool) "finite latency" true (Float.is_finite r.Tuner.final_latency_ms);
+  Alcotest.(check bool) "tasks reported" true (List.length r.Tuner.tasks = 5);
+  Alcotest.(check bool) "clock advanced" true
+    ((List.hd (List.rev r.Tuner.curve)).Tuner.time_s > 0.0);
+  Alcotest.(check bool) "measured something" true (r.Tuner.total_measurements > 5);
+  (* every tuned task reports a valid assignment *)
+  List.iter
+    (fun (tr : Tuner.task_result) ->
+      if Float.is_finite tr.best_latency_ms && tr.best_latency_ms > 0.0 then ()
+      else Alcotest.failf "task %s has no result" tr.task.Partition.subgraph.Compute.sg_name)
+    r.Tuner.tasks
+
+let test_scheduler_prefers_heavy_tasks () =
+  let model = Lazy.force shared_model in
+  let g = Workload.graph Workload.Dcgan in
+  let cfg = { quick with Tuning_config.max_rounds = 10 } in
+  let r = Tuner.tune ~config:cfg ~seed:6 Device.rtx_a5000 model g Tuner.Felix in
+  (* the most expensive task must have received at least one round *)
+  let heaviest =
+    Stats.argmax
+      (fun (tr : Tuner.task_result) ->
+        float_of_int tr.task.Partition.weight *. Partition.task_flops tr.task)
+      r.Tuner.tasks
+  in
+  Alcotest.(check bool) "heaviest task tuned" true (heaviest.rounds_spent >= 1)
+
+let tests =
+  [ Alcotest.test_case "clock" `Quick test_clock;
+    Alcotest.test_case "defaults match the paper" `Quick test_config_defaults_match_paper;
+    Alcotest.test_case "gradient descent reduces the objective" `Slow test_descend_reduces_objective;
+    Alcotest.test_case "felix round respects measurement budget" `Slow
+      test_search_round_respects_budget;
+    Alcotest.test_case "felix round excludes measured schedules" `Slow
+      test_search_round_excludes_measured;
+    Alcotest.test_case "felix candidates are valid schedules" `Slow test_candidates_are_valid;
+    Alcotest.test_case "evolutionary mutation validity" `Slow test_mutate_validity;
+    Alcotest.test_case "evolutionary crossover validity" `Slow test_crossover_validity;
+    Alcotest.test_case "evolutionary round" `Slow test_evolutionary_round;
+    Alcotest.test_case "single-task tuning improves (both engines)" `Slow
+      test_tune_single_improves;
+    Alcotest.test_case "tuning is deterministic under a seed" `Slow test_tune_single_deterministic;
+    Alcotest.test_case "full-network tuning (DCGAN)" `Slow test_tune_network;
+    Alcotest.test_case "task scheduler reaches heavy tasks" `Slow test_scheduler_prefers_heavy_tasks ]
+
+(* --- export ----------------------------------------------------------------- *)
+
+let test_json_writer () =
+  let open Export.Json in
+  Alcotest.(check string) "null" "null" (to_string Null);
+  Alcotest.(check string) "bool" "true" (to_string (Bool true));
+  Alcotest.(check string) "int-like" "42" (to_string (Num 42.0));
+  Alcotest.(check string) "escape" "\"a\\\"b\\n\"" (to_string (Str "a\"b\n"));
+  Alcotest.(check string) "empty obj" "{}" (to_string (Obj []));
+  Alcotest.(check string) "infinity becomes null" "null" (to_string (Num infinity));
+  let s = to_string (Obj [ ("xs", List [ Num 1.0; Num 2.0 ]) ]) in
+  Alcotest.(check bool) "nested render" true
+    (Testutil.contains ~needle:"\"xs\"" s && Testutil.contains ~needle:"1" s)
+
+let test_export_roundtrip () =
+  let model = Lazy.force shared_model in
+  let g = Workload.graph Workload.Dcgan in
+  let cfg = { quick with Tuning_config.max_rounds = 4 } in
+  let r = Tuner.tune ~config:cfg ~seed:8 Device.rtx_a5000 model g Tuner.Felix in
+  let csv = Export.curve_to_csv r in
+  Alcotest.(check bool) "csv header" true
+    (Testutil.contains ~needle:"time_s,latency_ms" csv);
+  Alcotest.(check int) "csv rows = curve points + header"
+    (List.length r.Tuner.curve + 1)
+    (List.length (String.split_on_char '\n' (String.trim csv)));
+  let json = Export.result_to_json r in
+  Alcotest.(check bool) "json has network" true
+    (Testutil.contains ~needle:"\"network\"" json);
+  Alcotest.(check bool) "json has tasks" true (Testutil.contains ~needle:"\"tasks\"" json);
+  Alcotest.(check bool) "json has engine" true (Testutil.contains ~needle:"Felix" json);
+  (* files *)
+  let p1 = Filename.temp_file "felix_curve" ".csv" in
+  let p2 = Filename.temp_file "felix_res" ".json" in
+  Export.write_curve_csv r p1;
+  Export.write_result_json r p2;
+  Alcotest.(check bool) "files written" true (Sys.file_exists p1 && Sys.file_exists p2);
+  Sys.remove p1;
+  Sys.remove p2
+
+let export_tests =
+  [ Alcotest.test_case "json writer" `Quick test_json_writer;
+    Alcotest.test_case "export csv/json roundtrip" `Slow test_export_roundtrip ]
+
+let tests = tests @ export_tests
+
+let test_random_engine () =
+  let model = Lazy.force shared_model in
+  let r =
+    Tuner.tune_single ~config:quick ~seed:9 ~rounds:3 Device.rtx_a5000 model (dense_sg ())
+      Tuner.Random
+  in
+  Alcotest.(check bool) "random search improves over initial" true
+    (r.Tuner.s_best_latency_ms < (List.hd r.Tuner.s_curve).Tuner.latency_ms);
+  Alcotest.(check bool) "no cost-model predictions" true (r.Tuner.s_predictions = [])
+
+let tests = tests @ [ Alcotest.test_case "random-search engine" `Slow test_random_engine ]
+
+let test_headline_felix_faster_than_ansor () =
+  (* The paper's headline claim as a regression test: on a matmul subgraph,
+     Felix reaches 90% of Ansor's best performance in less simulated tuning
+     time (Table 2). Deterministic under the fixed seeds. *)
+  let model = Lazy.force shared_model in
+  let cfg = { quick with Tuning_config.max_rounds = 6 } in
+  let run engine =
+    Tuner.tune_single ~config:cfg ~seed:21 ~rounds:6 Device.rtx_a5000 model (dense_sg ())
+      engine
+  in
+  let felix = run Tuner.Felix and ansor = run Tuner.Ansor in
+  let target = ansor.Tuner.s_best_latency_ms /. 0.90 in
+  let time_to curve =
+    List.find_map
+      (fun (p : Tuner.progress_point) -> if p.latency_ms <= target then Some p.time_s else None)
+      curve
+  in
+  match (time_to felix.Tuner.s_curve, time_to ansor.Tuner.s_curve) with
+  | Some tf, Some ta ->
+    Alcotest.(check bool)
+      (Printf.sprintf "felix %.0fs <= ansor %.0fs to the 90%% milestone" tf ta)
+      true (tf <= ta)
+  | None, _ -> Alcotest.fail "felix never reached the 90% milestone"
+  | _, None -> Alcotest.fail "ansor never reached its own 90% milestone"
+
+let tests =
+  tests
+  @ [ Alcotest.test_case "headline: felix reaches 90% milestone before ansor" `Slow
+        test_headline_felix_faster_than_ansor ]

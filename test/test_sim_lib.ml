@@ -1,0 +1,157 @@
+(* Tests for lib/sim: Device and Gpu_model. *)
+
+open Testutil
+
+let prog_and_pack ?(sg = dense_sg ()) which =
+  let scheds = Sketch.generate sg in
+  let sched = List.nth scheds which in
+  let pack = Pack.prepare sg sched in
+  (pack, Pack.program pack)
+
+let test_devices () =
+  Alcotest.(check int) "three devices" 3 (List.length Device.all);
+  Alcotest.(check bool) "lookup" true (Device.by_name "A10G" = Some Device.a10g);
+  Alcotest.(check bool) "unknown" true (Device.by_name "H100" = None);
+  (* Edge device is much weaker than the desktop card. *)
+  Alcotest.(check bool) "edge slower" true
+    (Device.xavier_nx.fp32_gflops < Device.rtx_a5000.fp32_gflops /. 10.0)
+
+let test_latency_positive_finite =
+  qtest ~count:60 "latency positive and finite on valid schedules"
+    (QCheck2.Gen.int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let pack, prog = prog_and_pack (seed mod 2) in
+      let y = sample_valid rng pack in
+      let l = Gpu_model.program_latency_ms Device.rtx_a5000 prog (Pack.env_of pack y) in
+      Float.is_finite l && l > 0.0)
+
+let test_latency_deterministic () =
+  let rng = Rng.create 1 in
+  let pack, prog = prog_and_pack 1 in
+  let y = sample_valid rng pack in
+  let env = Pack.env_of pack y in
+  let l1 = Gpu_model.program_latency_ms Device.a10g prog env in
+  let l2 = Gpu_model.program_latency_ms Device.a10g prog env in
+  check_close "deterministic" l1 l2
+
+let test_devices_ordering () =
+  (* The same schedule must be slower on the edge device. *)
+  let rng = Rng.create 2 in
+  let pack, prog = prog_and_pack 1 in
+  for _ = 1 to 10 do
+    let y = sample_valid rng pack in
+    let env = Pack.env_of pack y in
+    let edge = Gpu_model.program_latency_ms Device.xavier_nx prog env in
+    let desktop = Gpu_model.program_latency_ms Device.rtx_a5000 prog env in
+    if edge <= desktop then Alcotest.failf "edge %.4f <= desktop %.4f" edge desktop
+  done
+
+let test_invalid_schedules_infinite () =
+  let sg = dense_sg () in
+  let multi = List.nth (Sketch.generate sg) 1 in
+  let pack = Pack.prepare sg multi in
+  let prog = Pack.program pack in
+  (* Push every variable to its box maximum: thread product explodes. *)
+  let y = Array.map (fun (_, hi) -> hi) (Pack.bounds_log pack) in
+  let l = Gpu_model.program_latency_ms Device.rtx_a5000 prog (Pack.env_of pack y) in
+  Alcotest.(check bool) "infinite for invalid" true (Float.is_finite l = false)
+
+let test_latency_sensitive_to_schedule () =
+  (* Different schedules of the same program should produce a wide latency
+     spread — otherwise there is nothing to tune. *)
+  let rng = Rng.create 3 in
+  let pack, prog = prog_and_pack 1 in
+  let lats = ref [] in
+  for _ = 1 to 80 do
+    let y = sample_valid rng pack in
+    let l = Gpu_model.program_latency_ms Device.rtx_a5000 prog (Pack.env_of pack y) in
+    if Float.is_finite l then lats := l :: !lats
+  done;
+  let mn, mx = Stats.min_max !lats in
+  Alcotest.(check bool) "at least 5x spread" true (mx /. mn > 5.0)
+
+let test_more_parallelism_helps_tiny_grid () =
+  (* A one-block schedule must be slower than a well-spread one. *)
+  let sg = dense_sg () in
+  let simple = List.hd (Sketch.generate sg) in
+  let pack = Pack.prepare sg simple in
+  let prog = Pack.program pack in
+  let names = Pack.var_names pack in
+  let mk assoc =
+    let y =
+      Array.map (fun n -> log (float_of_int (List.assoc n assoc))) names
+    in
+    match Pack.round_to_valid pack y with
+    | Some r -> Gpu_model.program_latency_ms Device.rtx_a5000 prog (Pack.env_of pack r)
+    | None -> Alcotest.fail "expected feasible point"
+  in
+  (* spatial elements: 32*256 = 8192 *)
+  let one_block = mk [ ("s0_th", 64); ("s0_in", 64); ("s0_vec", 2); ("s0_un", 16) ] in
+  let spread = mk [ ("s0_th", 128); ("s0_in", 2); ("s0_vec", 1); ("s0_un", 16) ] in
+  Alcotest.(check bool) "spread beats one block" true (spread < one_block)
+
+let test_measure_noise_bounded () =
+  let rng = Rng.create 4 in
+  let pack, prog = prog_and_pack 0 in
+  let y = sample_valid rng pack in
+  let env = Pack.env_of pack y in
+  let base = Gpu_model.program_latency_ms Device.a10g prog env in
+  for _ = 1 to 50 do
+    let m = Gpu_model.measure_ms rng Device.a10g prog env in
+    if Float.abs (m -. base) /. base > 0.12 then
+      Alcotest.failf "measurement noise too large: %.4f vs %.4f" m base
+  done
+
+let test_kernel_vs_program () =
+  (* Program latency is the sum of its kernel latencies. *)
+  let rng = Rng.create 6 in
+  let sg = Compute.lower ~name:"s" (Op.Softmax { rows = 256; cols = 64 }) in
+  let sched = List.hd (Sketch.generate sg) in
+  let pack = Pack.prepare sg sched in
+  let prog = Pack.program pack in
+  let y = sample_valid rng pack in
+  let env = Pack.env_of pack y in
+  let total = Gpu_model.program_latency_ms Device.a10g prog env in
+  let parts =
+    Array.fold_left
+      (fun acc ss -> acc +. Gpu_model.kernel_latency_ms Device.a10g ss env)
+      0.0 prog.Loop_ir.stages
+  in
+  check_close ~tol:1e-9 "sum of kernels" parts total;
+  Alcotest.(check bool) "multi-kernel program" true (Array.length prog.Loop_ir.stages > 1)
+
+let test_flops_scale_latency () =
+  (* 4x the work on the same well-tuned schedule shape should take clearly
+     longer. *)
+  let small = Compute.lower ~name:"d" (Op.Dense { batch = 32; in_dim = 128; out_dim = 256 }) in
+  let big = Compute.lower ~name:"d" (Op.Dense { batch = 32; in_dim = 512; out_dim = 256 }) in
+  let best sg =
+    let rng = Rng.create 8 in
+    let result = ref Float.infinity in
+    List.iter
+      (fun sched ->
+        let pack = Pack.prepare sg sched in
+        let prog = Pack.program pack in
+        for _ = 1 to 60 do
+          let y = sample_valid rng pack in
+          let l = Gpu_model.program_latency_ms Device.rtx_a5000 prog (Pack.env_of pack y) in
+          if l < !result then result := l
+        done)
+      (Sketch.generate sg);
+    !result
+  in
+  Alcotest.(check bool) "bigger op slower" true (best big > best small *. 1.5)
+
+let tests =
+  [ Alcotest.test_case "device table" `Quick test_devices;
+    test_latency_positive_finite;
+    Alcotest.test_case "latency deterministic" `Quick test_latency_deterministic;
+    Alcotest.test_case "edge device slower" `Quick test_devices_ordering;
+    Alcotest.test_case "invalid schedules measure infinite" `Quick test_invalid_schedules_infinite;
+    Alcotest.test_case "latency spread across schedules" `Quick test_latency_sensitive_to_schedule;
+    Alcotest.test_case "parallelism helps underutilised grids" `Quick
+      test_more_parallelism_helps_tiny_grid;
+    Alcotest.test_case "measurement noise bounded" `Quick test_measure_noise_bounded;
+    Alcotest.test_case "program latency sums kernels" `Quick test_kernel_vs_program;
+    Alcotest.test_case "more flops, more time" `Quick test_flops_scale_latency ]

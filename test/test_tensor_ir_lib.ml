@@ -1,0 +1,408 @@
+(* Tests for lib/tensor_ir: Op, Compute, Schedule, Sketch, Loop_ir. *)
+
+open Testutil
+
+let all_ops =
+  [ Op.Conv2d
+      { batch = 1; in_chan = 16; out_chan = 32; in_h = 14; in_w = 14; kernel_h = 3;
+        kernel_w = 3; stride = 1; pad = 1; groups = 1 };
+    Op.Conv2d
+      { batch = 2; in_chan = 32; out_chan = 32; in_h = 28; in_w = 28; kernel_h = 3;
+        kernel_w = 3; stride = 2; pad = 1; groups = 32 };
+    Op.Conv3d
+      { batch = 1; in_chan = 8; out_chan = 16; in_d = 4; in_h = 8; in_w = 8; kernel_d = 3;
+        kernel_h = 3; kernel_w = 3; stride = 1; pad = 1 };
+    Op.Tconv2d
+      { batch = 1; in_chan = 64; out_chan = 32; in_h = 8; in_w = 8; kernel_h = 4;
+        kernel_w = 4; stride = 2; pad = 1 };
+    Op.Dense { batch = 16; in_dim = 64; out_dim = 128 };
+    Op.Batch_matmul { batch = 4; m = 32; k = 16; n = 32 };
+    Op.Maxpool2d { batch = 1; chan = 16; in_h = 28; in_w = 28; kernel = 3; stride = 2; pad = 1 };
+    Op.Avgpool2d { batch = 1; chan = 16; in_h = 28; in_w = 28; kernel = 2; stride = 2; pad = 0 };
+    Op.Global_avgpool { batch = 2; chan = 32; in_h = 7; in_w = 7 };
+    Op.Softmax { rows = 64; cols = 32 };
+    Op.Layer_norm { rows = 64; cols = 32 };
+    Op.Batch_norm_infer { batch = 1; chan = 16; spatial = 196 };
+    Op.Elemwise (Op.Relu, 1024);
+    Op.Elemwise (Op.Gelu, 512);
+    Op.Binary (Op.Add, 1024);
+    Op.Bias_add { rows = 16; cols = 128 };
+    Op.Concat { parts = [ 1; 49 ]; rest = 768 } ]
+
+let test_conv2d_output_shape () =
+  let op =
+    Op.Conv2d
+      { batch = 1; in_chan = 3; out_chan = 64; in_h = 224; in_w = 224; kernel_h = 7;
+        kernel_w = 7; stride = 2; pad = 3; groups = 1 }
+  in
+  Alcotest.(check (list int)) "7x7/2 conv" [ 1; 64; 112; 112 ] (Op.output_shape op)
+
+let test_tconv2d_output_shape () =
+  let op =
+    Op.Tconv2d
+      { batch = 1; in_chan = 100; out_chan = 1024; in_h = 1; in_w = 1; kernel_h = 4;
+        kernel_w = 4; stride = 1; pad = 0 }
+  in
+  Alcotest.(check (list int)) "1x1 -> 4x4" [ 1; 1024; 4; 4 ] (Op.output_shape op);
+  let op2 =
+    Op.Tconv2d
+      { batch = 1; in_chan = 512; out_chan = 256; in_h = 8; in_w = 8; kernel_h = 4;
+        kernel_w = 4; stride = 2; pad = 1 }
+  in
+  Alcotest.(check (list int)) "8x8 -> 16x16" [ 1; 256; 16; 16 ] (Op.output_shape op2)
+
+let test_dense_flops () =
+  check_close "2*B*I*O" (2.0 *. 16.0 *. 64.0 *. 128.0)
+    (Op.flops (Op.Dense { batch = 16; in_dim = 64; out_dim = 128 }))
+
+let test_flops_positive () =
+  List.iter
+    (fun op ->
+      if Op.flops op <= 0.0 then Alcotest.failf "flops <= 0 for %s" (Op.name op);
+      if Op.input_bytes op <= 0.0 then Alcotest.failf "input bytes <= 0 for %s" (Op.name op))
+    all_ops
+
+let test_grouped_conv_flops () =
+  let full =
+    Op.Conv2d
+      { batch = 1; in_chan = 32; out_chan = 32; in_h = 14; in_w = 14; kernel_h = 3;
+        kernel_w = 3; stride = 1; pad = 1; groups = 1 }
+  in
+  let depthwise =
+    Op.Conv2d
+      { batch = 1; in_chan = 32; out_chan = 32; in_h = 14; in_w = 14; kernel_h = 3;
+        kernel_w = 3; stride = 1; pad = 1; groups = 32 }
+  in
+  check_close "depthwise is 32x cheaper" 32.0 (Op.flops full /. Op.flops depthwise)
+
+let test_describe () =
+  List.iter
+    (fun op ->
+      let d = Op.describe op in
+      if not (contains ~needle:(Op.name op) d) then Alcotest.failf "describe misses name: %s" d)
+    all_ops
+
+let test_lower_validates () =
+  List.iter
+    (fun op ->
+      let sg = Compute.lower ~name:"t" op in
+      match Compute.validate sg with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s: %s" (Op.name op) e)
+    all_ops
+
+let test_lower_flops_match_op () =
+  (* For the matmul/conv family the lowered loop-nest flops equal the
+     operator's closed-form flops. *)
+  List.iter
+    (fun op ->
+      match op with
+      | Op.Conv2d _ | Op.Conv3d _ | Op.Dense _ | Op.Batch_matmul _ ->
+        let sg = Compute.lower ~name:"t" op in
+        check_close ~tol:1e-9 (Op.name op) (Op.flops op) (Compute.subgraph_flops sg)
+      | _ -> ())
+    all_ops
+
+let test_softmax_stages () =
+  let sg = Compute.lower ~name:"s" (Op.Softmax { rows = 8; cols = 16 }) in
+  Alcotest.(check int) "three stages" 3 (List.length sg.Compute.stages);
+  Alcotest.(check int) "anchor is exp-sum" 1 sg.Compute.anchor
+
+let test_fuse_elemwise () =
+  let sg = dense_sg () in
+  let fused = Compute.fuse_elemwise sg ~name:"relu" (Op.Elemwise (Op.Relu, 32 * 256)) in
+  Alcotest.(check int) "stage appended" 2 (List.length fused.Compute.stages);
+  Alcotest.(check bool) "still valid" true (Compute.validate fused = Ok ())
+
+let test_fuse_elemwise_mismatch () =
+  let sg = dense_sg () in
+  Alcotest.(check bool) "size mismatch raises" true
+    (try
+       ignore (Compute.fuse_elemwise sg ~name:"bad" (Op.Elemwise (Op.Relu, 999)));
+       false
+     with Invalid_argument _ -> true)
+
+let test_fuse_nonelemwise_rejected () =
+  let sg = dense_sg () in
+  Alcotest.(check bool) "conv not fusable" true
+    (try
+       ignore
+         (Compute.fuse_elemwise sg ~name:"bad"
+            (Op.Dense { batch = 32; in_dim = 256; out_dim = 1 }));
+       false
+     with Invalid_argument _ -> true)
+
+let test_workload_key () =
+  let k1 = Compute.workload_key (dense_sg ()) in
+  let k2 = Compute.workload_key (dense_sg ()) in
+  let k3 =
+    Compute.workload_key (Compute.lower ~name:"other" (Op.Dense { batch = 32; in_dim = 128; out_dim = 512 }))
+  in
+  Alcotest.(check string) "stable across names" k1 k2;
+  Alcotest.(check bool) "differs across shapes" false (String.equal k1 k3)
+
+(* --- sketches ---------------------------------------------------------------- *)
+
+let test_sketch_counts () =
+  let scheds = Sketch.generate (dense_sg ()) in
+  Alcotest.(check int) "dense gets simple + multitile" 2 (List.length scheds);
+  let elem = Compute.lower ~name:"r" (Op.Elemwise (Op.Relu, 4096)) in
+  Alcotest.(check int) "elementwise gets simple only" 1 (List.length (Sketch.generate elem))
+
+let test_sketch_vars_have_bounds () =
+  List.iter
+    (fun sched ->
+      List.iter
+        (fun (v : Schedule.var) ->
+          if v.lo < 1.0 || v.hi < v.lo then
+            Alcotest.failf "bad bounds for %s: [%f, %f]" v.v_name v.lo v.hi)
+        sched.Schedule.vars)
+    (Sketch.generate (conv_sg ()))
+
+let test_sketch_div_groups_reference_vars () =
+  List.iter
+    (fun sched ->
+      let names = Schedule.var_names sched in
+      List.iter
+        (fun (extent, vars) ->
+          if extent < 1 then Alcotest.fail "group extent < 1";
+          List.iter
+            (fun v -> if not (List.mem v names) then Alcotest.failf "unknown group var %s" v)
+            vars)
+        sched.Schedule.div_groups)
+    (Sketch.generate (conv_sg ()))
+
+let test_sketch_trivial_axes_skipped () =
+  (* batch = 1 spatial axes must not create variables. *)
+  let sg = Compute.lower ~name:"d" (Op.Dense { batch = 1; in_dim = 64; out_dim = 128 }) in
+  List.iter
+    (fun sched ->
+      List.iter
+        (fun (v : Schedule.var) ->
+          if contains ~needle:"_i_" v.Schedule.v_name then
+            Alcotest.failf "variable for trivial axis: %s" v.v_name)
+        sched.Schedule.vars)
+    (Sketch.generate sg)
+
+let test_sketch_space_size () =
+  List.iter
+    (fun sched ->
+      if Schedule.space_size sched < 10.0 then Alcotest.fail "search space suspiciously small")
+    (Sketch.generate (dense_sg ()))
+
+let test_schedule_steps_printable () =
+  let sg = dense_sg () in
+  List.iter
+    (fun sched ->
+      let steps = Schedule.steps sg sched in
+      Alcotest.(check bool) "has steps" true (List.length steps > 0);
+      List.iter
+        (fun s ->
+          let str = Schedule.step_to_string s in
+          if String.length str = 0 then Alcotest.fail "empty step string")
+        steps)
+    (Sketch.generate sg)
+
+(* --- loop IR ------------------------------------------------------------------ *)
+
+let concrete_env sched =
+  (* Set every variable to its lower bound (always feasible w.r.t. box). *)
+  let bindings = List.map (fun (v : Schedule.var) -> (v.v_name, v.lo)) sched.Schedule.vars in
+  Eval.env_of_list bindings
+
+let test_loop_ir_geometry_all_ones () =
+  let sg = dense_sg () in
+  List.iter
+    (fun sched ->
+      let prog = Loop_ir.apply sg sched in
+      let env = concrete_env sched in
+      Array.iter
+        (fun ss ->
+          let grid = Eval.eval env (Loop_ir.grid_size ss) in
+          let tpb = Eval.eval env (Loop_ir.block_threads ss) in
+          let serial = Eval.eval env (Loop_ir.serial_spatial ss) in
+          let vth = Eval.eval env (Loop_ir.vthreads ss) in
+          (* with all factors 1 the whole stage runs as grid blocks of 1 *)
+          check_close "tpb" 1.0 tpb;
+          check_close "serial" 1.0 serial;
+          check_close "vthreads" 1.0 vth;
+          check_close "grid covers all output elements"
+            (float_of_int (Compute.spatial_iterations ss.Loop_ir.stage))
+            grid)
+        prog.Loop_ir.stages)
+    (Sketch.generate sg)
+
+let test_loop_ir_iteration_conservation () =
+  (* grid * threads * serial == spatial iterations, for any valid rounding. *)
+  let rng = Rng.create 99 in
+  let sg = conv_sg () in
+  List.iter
+    (fun sched ->
+      let pack = Pack.prepare sg sched in
+      let prog = Pack.program pack in
+      for _ = 1 to 20 do
+        let y = sample_valid rng pack in
+        let env = Pack.env_of pack y in
+        Array.iter
+          (fun ss ->
+            let product =
+              Eval.eval env (Loop_ir.grid_size ss)
+              *. Eval.eval env (Loop_ir.block_threads ss)
+              *. Eval.eval env (Loop_ir.serial_spatial ss)
+            in
+            check_close ~tol:1e-6 "iteration conservation"
+              (float_of_int (Compute.spatial_iterations ss.Loop_ir.stage))
+              product)
+          prog.Loop_ir.stages
+      done)
+    (Sketch.generate sg)
+
+let test_loop_ir_inlined_folding () =
+  let sg =
+    Compute.fuse_elemwise (dense_sg ()) ~name:"relu" (Op.Elemwise (Op.Relu, 32 * 256))
+  in
+  let scheds = Sketch.generate sg in
+  List.iter
+    (fun sched ->
+      let prog = Loop_ir.apply sg sched in
+      Alcotest.(check int) "one kernel stage" 1 (Array.length prog.Loop_ir.stages);
+      Alcotest.(check int) "fused consumer attached" 1
+        (List.length prog.Loop_ir.stages.(0).Loop_ir.fused_elemwise))
+    scheds
+
+let test_loop_ir_shared_bytes () =
+  let sg = dense_sg () in
+  let scheds = Sketch.generate sg in
+  let simple = List.nth scheds 0 and multi = List.nth scheds 1 in
+  let prog_simple = Loop_ir.apply sg simple in
+  Alcotest.(check bool) "simple has no shared cache" true
+    (Expr.equal Expr.zero (Loop_ir.shared_bytes prog_simple.Loop_ir.stages.(0)));
+  let prog_multi = Loop_ir.apply sg multi in
+  let env = concrete_env multi in
+  let sb = Eval.eval env (Loop_ir.shared_bytes prog_multi.Loop_ir.stages.(0)) in
+  Alcotest.(check bool) "multitile caches something" true (sb > 0.0)
+
+let test_loop_ir_footprint_monotone () =
+  (* Growing the thread tile cannot shrink the block-scope footprint. *)
+  let sg = dense_sg () in
+  let multi = List.nth (Sketch.generate sg) 1 in
+  let prog = Loop_ir.apply sg multi in
+  let ss = prog.Loop_ir.stages.(0) in
+  let access = List.hd ss.Loop_ir.stage.Compute.reads in
+  let foot threads =
+    let bindings =
+      List.map
+        (fun (v : Schedule.var) ->
+          (v.v_name, if contains ~needle:"_t" v.v_name then threads else 1.0))
+        multi.Schedule.vars
+    in
+    Eval.eval (Eval.env_of_list bindings) (Loop_ir.access_footprint ss Loop_ir.Block_scope access)
+  in
+  Alcotest.(check bool) "monotone" true (foot 4.0 >= foot 2.0 && foot 2.0 >= foot 1.0)
+
+let test_loop_tree_rendering () =
+  let sg = dense_sg () in
+  List.iter
+    (fun sched ->
+      let prog = Loop_ir.apply sg sched in
+      let s = Loop_ir.to_loop_tree_string prog in
+      Alcotest.(check bool) "mentions blockIdx" true (contains ~needle:"blockIdx.x" s);
+      Alcotest.(check bool) "mentions threadIdx" true (contains ~needle:"threadIdx.x" s);
+      Alcotest.(check bool) "mentions unroll" true (contains ~needle:"auto_unroll" s))
+    (Sketch.generate sg)
+
+let test_loop_ir_plan_mismatch () =
+  let sg = dense_sg () in
+  let sched = List.hd (Sketch.generate sg) in
+  let bad = { sched with Schedule.plans = [||] } in
+  Alcotest.(check bool) "plan count mismatch raises" true
+    (try
+       ignore (Loop_ir.apply sg bad);
+       false
+     with Invalid_argument _ -> true)
+
+let tests =
+  [ Alcotest.test_case "conv2d output shape" `Quick test_conv2d_output_shape;
+    Alcotest.test_case "tconv2d output shape" `Quick test_tconv2d_output_shape;
+    Alcotest.test_case "dense flops" `Quick test_dense_flops;
+    Alcotest.test_case "flops and bytes positive for all ops" `Quick test_flops_positive;
+    Alcotest.test_case "grouped conv flops" `Quick test_grouped_conv_flops;
+    Alcotest.test_case "describe mentions op name" `Quick test_describe;
+    Alcotest.test_case "lowering validates for all ops" `Quick test_lower_validates;
+    Alcotest.test_case "lowered flops match closed form" `Quick test_lower_flops_match_op;
+    Alcotest.test_case "softmax lowers to three stages" `Quick test_softmax_stages;
+    Alcotest.test_case "fuse elementwise consumer" `Quick test_fuse_elemwise;
+    Alcotest.test_case "fuse rejects element mismatch" `Quick test_fuse_elemwise_mismatch;
+    Alcotest.test_case "fuse rejects non-elementwise" `Quick test_fuse_nonelemwise_rejected;
+    Alcotest.test_case "workload key identity" `Quick test_workload_key;
+    Alcotest.test_case "sketch counts match Figure 3" `Quick test_sketch_counts;
+    Alcotest.test_case "sketch variable bounds" `Quick test_sketch_vars_have_bounds;
+    Alcotest.test_case "sketch divisibility groups" `Quick test_sketch_div_groups_reference_vars;
+    Alcotest.test_case "sketch skips trivial axes" `Quick test_sketch_trivial_axes_skipped;
+    Alcotest.test_case "sketch search space size" `Quick test_sketch_space_size;
+    Alcotest.test_case "schedule steps printable" `Quick test_schedule_steps_printable;
+    Alcotest.test_case "loop IR geometry at unit factors" `Quick test_loop_ir_geometry_all_ones;
+    Alcotest.test_case "loop IR iteration conservation" `Quick test_loop_ir_iteration_conservation;
+    Alcotest.test_case "loop IR folds inlined stages" `Quick test_loop_ir_inlined_folding;
+    Alcotest.test_case "loop IR shared memory bytes" `Quick test_loop_ir_shared_bytes;
+    Alcotest.test_case "loop IR footprint monotonicity" `Quick test_loop_ir_footprint_monotone;
+    Alcotest.test_case "loop tree rendering" `Quick test_loop_tree_rendering;
+    Alcotest.test_case "loop IR plan mismatch" `Quick test_loop_ir_plan_mismatch ]
+
+(* --- codegen -------------------------------------------------------------------- *)
+
+let test_codegen_simple_kernel () =
+  let sg = dense_sg () in
+  let simple = List.hd (Sketch.generate sg) in
+  let prog = Loop_ir.apply sg simple in
+  let src = Codegen.program_source prog in
+  Alcotest.(check bool) "has __global__" true (contains ~needle:"__global__" src);
+  Alcotest.(check bool) "has kernel name" true (contains ~needle:"dense_kernel" src);
+  Alcotest.(check bool) "has blockIdx" true (contains ~needle:"blockIdx.x" src);
+  Alcotest.(check bool) "has fma body" true (contains ~needle:"acc +=" src);
+  Alcotest.(check bool) "reads both buffers" true
+    (contains ~needle:"dense_in" src && contains ~needle:"dense_w" src)
+
+let test_codegen_multitile_kernel () =
+  let sg = dense_sg () in
+  let multi = List.nth (Sketch.generate sg) 1 in
+  let prog = Loop_ir.apply sg multi in
+  let src = Codegen.program_source prog in
+  Alcotest.(check bool) "has shared staging" true (contains ~needle:"__shared__" src);
+  Alcotest.(check bool) "has syncthreads" true (contains ~needle:"__syncthreads" src);
+  Alcotest.(check bool) "has unroll pragma" true (contains ~needle:"#pragma unroll" src)
+
+let test_codegen_concrete_schedule () =
+  (* Substituting a concrete assignment produces fully numeric extents. *)
+  let sg = dense_sg () in
+  let multi = List.nth (Sketch.generate sg) 1 in
+  let pack = Pack.prepare sg multi in
+  let rng = Rng.create 41 in
+  let y = sample_valid rng pack in
+  let assign = Pack.assignment pack y in
+  let concrete =
+    Schedule.substitute multi (fun v -> Option.map Expr.int (List.assoc_opt v assign))
+  in
+  let src = Codegen.program_source (Loop_ir.apply sg concrete) in
+  List.iter
+    (fun (v, _) ->
+      if contains ~needle:v src then Alcotest.failf "unsubstituted variable %s in codegen" v)
+    assign
+
+let test_codegen_fused_consumer () =
+  let sg =
+    Compute.fuse_elemwise (dense_sg ()) ~name:"relu" (Op.Elemwise (Op.Relu, 32 * 256))
+  in
+  let multi = List.nth (Sketch.generate sg) 1 in
+  let src = Codegen.program_source (Loop_ir.apply sg multi) in
+  Alcotest.(check bool) "fused consumer emitted" true (contains ~needle:"fused consumer" src);
+  Alcotest.(check bool) "relu body" true (contains ~needle:"fmaxf" src)
+
+let codegen_tests =
+  [ Alcotest.test_case "codegen: simple kernel" `Quick test_codegen_simple_kernel;
+    Alcotest.test_case "codegen: multi-tile kernel" `Quick test_codegen_multitile_kernel;
+    Alcotest.test_case "codegen: concrete schedules are numeric" `Quick
+      test_codegen_concrete_schedule;
+    Alcotest.test_case "codegen: fused consumers" `Quick test_codegen_fused_consumer ]
+
+let tests = tests @ codegen_tests

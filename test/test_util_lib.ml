@@ -1,0 +1,186 @@
+(* Tests for lib/util: Rng, Stats, Table, Toposort. *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "same stream" true (Rng.uniform a = Rng.uniform b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let va = List.init 8 (fun _ -> Rng.uniform a) in
+  let vb = List.init 8 (fun _ -> Rng.uniform b) in
+  Alcotest.(check bool) "different seeds differ" false (va = vb)
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "Rng.int out of bounds: %d" v
+  done
+
+let test_rng_int_rejects_nonpositive () =
+  let rng = Rng.create 7 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_rng_uniform_range () =
+  let rng = Rng.create 3 in
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    let u = Rng.uniform rng in
+    if u < 0.0 || u >= 1.0 then Alcotest.failf "uniform out of [0,1): %f" u;
+    sum := !sum +. u
+  done;
+  let mean = !sum /. float_of_int n in
+  if Float.abs (mean -. 0.5) > 0.02 then Alcotest.failf "uniform mean suspicious: %f" mean
+
+let test_rng_gaussian_moments () =
+  let rng = Rng.create 11 in
+  let n = 50_000 in
+  let xs = List.init n (fun _ -> Rng.gaussian rng) in
+  let m = Stats.mean xs and s = Stats.stddev xs in
+  if Float.abs m > 0.03 then Alcotest.failf "gaussian mean %f" m;
+  if Float.abs (s -. 1.0) > 0.03 then Alcotest.failf "gaussian std %f" s
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 5 in
+  let arr = Array.init 50 (fun i -> i) in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_rng_split_independent () =
+  let a = Rng.create 9 in
+  let b = Rng.split a in
+  let va = List.init 8 (fun _ -> Rng.uniform a) in
+  let vb = List.init 8 (fun _ -> Rng.uniform b) in
+  Alcotest.(check bool) "split streams differ" false (va = vb)
+
+let test_sample_without_replacement () =
+  let rng = Rng.create 13 in
+  let arr = Array.init 20 (fun i -> i) in
+  let s = Rng.sample_without_replacement rng 8 arr in
+  Alcotest.(check int) "size" 8 (Array.length s);
+  let sorted = Array.copy s in
+  Array.sort compare sorted;
+  Array.iteri
+    (fun i v -> if i > 0 && sorted.(i - 1) = v then Alcotest.fail "duplicate element")
+    sorted
+
+let test_stats_basics () =
+  Testutil.check_close "mean" 2.5 (Stats.mean [ 1.0; 2.0; 3.0; 4.0 ]);
+  Testutil.check_close "geomean" 2.0 (Stats.geomean [ 1.0; 2.0; 4.0; 2.0 ]);
+  Testutil.check_close "median odd" 2.0 (Stats.median [ 3.0; 1.0; 2.0 ]);
+  Testutil.check_close "median even" 2.5 (Stats.median [ 4.0; 1.0; 2.0; 3.0 ]);
+  Testutil.check_close "p0" 1.0 (Stats.percentile 0.0 [ 3.0; 1.0; 2.0 ]);
+  Testutil.check_close "p100" 3.0 (Stats.percentile 100.0 [ 3.0; 1.0; 2.0 ]);
+  Testutil.check_close "stddev" (sqrt 2.0) (Stats.stddev [ 1.0; 3.0; 1.0; 3.0 ] *. sqrt 2.0);
+  Alcotest.(check (pair (float 1e-9) (float 1e-9))) "min_max" (1.0, 3.0)
+    (Stats.min_max [ 2.0; 1.0; 3.0 ])
+
+let test_stats_empty () =
+  Testutil.check_close "mean []" 0.0 (Stats.mean []);
+  Testutil.check_close "geomean []" 0.0 (Stats.geomean []);
+  Alcotest.check_raises "min_max []" (Invalid_argument "Stats.min_max: empty list") (fun () ->
+      ignore (Stats.min_max []))
+
+let test_stats_argmin_argmax () =
+  Alcotest.(check int) "argmin" 3 (Stats.argmin (fun x -> float_of_int ((x - 3) * (x - 3))) [ 1; 2; 3; 4 ]);
+  Alcotest.(check int) "argmax" 4 (Stats.argmax float_of_int [ 1; 2; 3; 4 ])
+
+let test_stats_clamp () =
+  Testutil.check_close "below" 1.0 (Stats.clamp ~lo:1.0 ~hi:2.0 0.0);
+  Testutil.check_close "above" 2.0 (Stats.clamp ~lo:1.0 ~hi:2.0 3.0);
+  Testutil.check_close "inside" 1.5 (Stats.clamp ~lo:1.0 ~hi:2.0 1.5)
+
+let test_spearman_perfect () =
+  let x = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  Testutil.check_close "self" 1.0 (Stats.spearman x x);
+  Testutil.check_close "reverse" (-1.0) (Stats.spearman x [| 5.0; 4.0; 3.0; 2.0; 1.0 |])
+
+let test_spearman_monotone_invariant =
+  Testutil.qtest "spearman invariant under monotone transform"
+    QCheck2.Gen.(list_size (int_range 5 30) (float_bound_inclusive 100.0))
+    (fun xs ->
+      let xs = List.map (fun x -> x +. 0.001 *. float_of_int (Hashtbl.hash x mod 1000)) xs in
+      QCheck2.assume (List.length (List.sort_uniq compare xs) = List.length xs);
+      let x = Array.of_list xs in
+      let y = Array.map (fun v -> exp (v /. 50.0)) x in
+      Testutil.close ~tol:1e-9 1.0 (Stats.spearman x y))
+
+let test_toposort_chain () =
+  Alcotest.(check (list int)) "chain" [ 0; 1; 2; 3 ]
+    (Toposort.sort ~num_nodes:4 ~edges:[ (0, 1); (1, 2); (2, 3) ])
+
+let test_toposort_respects_edges () =
+  let edges = [ (3, 1); (1, 0); (3, 0); (2, 0) ] in
+  let order = Toposort.sort ~num_nodes:4 ~edges in
+  let pos = Array.make 4 0 in
+  List.iteri (fun i n -> pos.(n) <- i) order;
+  List.iter
+    (fun (s, d) -> if pos.(s) >= pos.(d) then Alcotest.failf "edge %d->%d violated" s d)
+    edges
+
+let test_toposort_cycle () =
+  Alcotest.(check bool) "cycle detected" false
+    (Toposort.is_dag ~num_nodes:3 ~edges:[ (0, 1); (1, 2); (2, 0) ]);
+  Alcotest.(check bool) "dag ok" true (Toposort.is_dag ~num_nodes:3 ~edges:[ (0, 1); (1, 2) ])
+
+let test_toposort_random =
+  Testutil.qtest "random DAG edges respected"
+    QCheck2.Gen.(pair (int_range 2 20) (list_size (int_range 0 40) (pair (int_bound 19) (int_bound 19))))
+    (fun (n, raw_edges) ->
+      (* Forward-orient the random pairs so the graph is a DAG. *)
+      let edges =
+        List.filter_map
+          (fun (a, b) ->
+            let a = a mod n and b = b mod n in
+            if a < b then Some (a, b) else if b < a then Some (b, a) else None)
+          raw_edges
+      in
+      let order = Toposort.sort ~num_nodes:n ~edges in
+      let pos = Array.make n 0 in
+      List.iteri (fun i v -> pos.(v) <- i) order;
+      List.length order = n && List.for_all (fun (s, d) -> pos.(s) < pos.(d)) edges)
+
+let test_table_render () =
+  let t = Table.create ~title:"demo" ~header:[ "a"; "bb" ] in
+  Table.add_row t [ "1"; "2" ];
+  Table.add_separator t;
+  Table.add_row t [ "333" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "has title" true
+    (String.length s > 0 && String.sub s 0 7 = "== demo");
+  Alcotest.(check bool) "contains cell" true (Testutil.contains ~needle:"333" s)
+
+let test_table_formats () =
+  Alcotest.(check string) "ms" "1.234 ms" (Table.fmt_ms 1.234);
+  Alcotest.(check string) "speedup" "2.25x" (Table.fmt_speedup 2.25);
+  Alcotest.(check string) "speedup dash" "-" (Table.fmt_speedup 0.0);
+  Alcotest.(check string) "seconds" "416 s" (Table.fmt_seconds 416.2)
+
+let tests =
+  [ Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng seed sensitivity" `Quick test_rng_seed_sensitivity;
+    Alcotest.test_case "rng int bounds (regression: 63-bit overflow)" `Quick test_rng_int_bounds;
+    Alcotest.test_case "rng int rejects nonpositive" `Quick test_rng_int_rejects_nonpositive;
+    Alcotest.test_case "rng uniform range and mean" `Quick test_rng_uniform_range;
+    Alcotest.test_case "rng gaussian moments" `Quick test_rng_gaussian_moments;
+    Alcotest.test_case "rng shuffle is a permutation" `Quick test_rng_shuffle_permutation;
+    Alcotest.test_case "rng split independence" `Quick test_rng_split_independent;
+    Alcotest.test_case "sample without replacement" `Quick test_sample_without_replacement;
+    Alcotest.test_case "stats basics" `Quick test_stats_basics;
+    Alcotest.test_case "stats empty inputs" `Quick test_stats_empty;
+    Alcotest.test_case "stats argmin/argmax" `Quick test_stats_argmin_argmax;
+    Alcotest.test_case "stats clamp" `Quick test_stats_clamp;
+    Alcotest.test_case "spearman perfect correlations" `Quick test_spearman_perfect;
+    test_spearman_monotone_invariant;
+    Alcotest.test_case "toposort chain" `Quick test_toposort_chain;
+    Alcotest.test_case "toposort respects edges" `Quick test_toposort_respects_edges;
+    Alcotest.test_case "toposort cycle detection" `Quick test_toposort_cycle;
+    test_toposort_random;
+    Alcotest.test_case "table render" `Quick test_table_render;
+    Alcotest.test_case "table formats" `Quick test_table_formats ]

@@ -1,0 +1,69 @@
+(* Shared helpers for the test suites. *)
+
+let close ?(tol = 1e-6) a b =
+  let denom = max 1.0 (max (Float.abs a) (Float.abs b)) in
+  Float.abs (a -. b) /. denom <= tol
+
+let check_close ?(tol = 1e-6) msg expected actual =
+  if not (close ~tol expected actual) then
+    Alcotest.failf "%s: expected %.9g, got %.9g" msg expected actual
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* --- random expression generator over a fixed variable set --------------- *)
+
+let expr_vars = [ "a"; "b"; "c" ]
+
+(* Random expressions whose evaluation stays numerically tame: leaves are
+   positive constants or variables (bound to positive values in tests);
+   log/sqrt/div are guarded by construction below. *)
+let gen_expr : Expr.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  sized_size (int_range 0 10)
+  @@ fix (fun self n ->
+      if n <= 0 then
+        oneof
+          [ map (fun f -> Expr.const (Float.abs f +. 0.1)) (float_bound_inclusive 10.0);
+            map Expr.var (oneofl expr_vars) ]
+      else begin
+        let sub = self (n / 2) in
+        oneof
+          [ map2 Expr.add sub sub;
+            map2 Expr.sub sub sub;
+            map2 Expr.mul sub sub;
+            map2 (fun a b -> Expr.div a (Expr.add (Expr.abs_ b) Expr.one)) sub sub;
+            map2 Expr.min_ sub sub;
+            map2 Expr.max_ sub sub;
+            map (fun a -> Expr.neg a) sub;
+            map (fun a -> Expr.sqrt_ (Expr.abs_ a)) sub;
+            map (fun a -> Expr.log_ (Expr.add (Expr.abs_ a) Expr.one)) sub;
+            map3 (fun c a b -> Expr.select (Expr.gt c Expr.zero) a b) sub sub sub ]
+      end)
+
+let gen_env : (string * float) list QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  map3
+    (fun a b c -> [ ("a", 0.1 +. Float.abs a); ("b", 0.1 +. Float.abs b); ("c", 0.1 +. Float.abs c) ])
+    (float_bound_inclusive 20.0) (float_bound_inclusive 20.0) (float_bound_inclusive 20.0)
+
+let eval_at bindings e = Eval.eval (Eval.env_of_list bindings) e
+
+(* A small dense subgraph reused across many suites. *)
+let dense_sg () = Compute.lower ~name:"dense" (Op.Dense { batch = 32; in_dim = 128; out_dim = 256 })
+
+let conv_sg () =
+  Compute.lower ~name:"conv"
+    (Op.Conv2d
+       { batch = 1; in_chan = 32; out_chan = 64; in_h = 14; in_w = 14; kernel_h = 3;
+         kernel_w = 3; stride = 1; pad = 1; groups = 1 })
+
+let sample_valid rng pack =
+  match Dataset.sample_valid_point rng pack 200 with
+  | Some y -> y
+  | None -> Alcotest.fail "could not sample a valid schedule point"
