@@ -94,10 +94,10 @@ let run () =
     (fun engine ->
       let r = Tuner.tune_single ~seed:5 ~rounds:(rounds ()) ~config:base device model sg engine in
       let final_t =
-        match List.rev r.Tuner.s_curve with p :: _ -> p.Tuner.time_s | [] -> 0.0
+        match List.rev r.Tuner.curve with p :: _ -> p.Tuner.time_s | [] -> 0.0
       in
       Table.add_row t2
-        [ Tuner.engine_name engine; Table.fmt_ms r.Tuner.s_best_latency_ms;
+        [ Tuner.engine_name engine; Table.fmt_ms r.Tuner.best.Tuner.latency_ms;
           Table.fmt_seconds final_t ])
     [ Tuner.Felix; Tuner.Ansor; Tuner.Random ];
   Table.print t2

@@ -293,7 +293,7 @@ let fig8 () =
       List.iter
         (fun engine ->
           let r = Tuner.tune_single ~seed:2 ~rounds device model sg engine in
-          let preds = Array.of_list r.Tuner.s_predictions in
+          let preds = Array.of_list r.Tuner.predictions in
           let n = Array.length preds in
           let checkpoints =
             List.filter (fun c -> c <= n) [ 250; 500; 1000; 2000; 4000; 8000; n ]
@@ -329,7 +329,7 @@ let fig9 () =
     (fun (name, op) ->
       let sg = Compute.lower ~name op in
       let tuned engine =
-        (Tuner.tune_single ~seed:3 ~rounds device model sg engine).Tuner.s_best_latency_ms
+        (Tuner.tune_single ~seed:3 ~rounds device model sg engine).Tuner.best.Tuner.latency_ms
       in
       let lats =
         [ Frameworks.operator_latency_ms device Frameworks.Pytorch op;

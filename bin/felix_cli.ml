@@ -4,7 +4,8 @@
      tune     — tune one of the paper's networks on a device
      inspect  — print a network's tuning tasks and search-space statistics
      compare  — compare a tuned network against the vendor frameworks
-     devices  — list device models *)
+     devices  — list device models
+     stats    — summarize a JSONL telemetry trace written by tune --trace *)
 
 open Cmdliner
 
@@ -23,11 +24,7 @@ let network_conv =
   Arg.conv (parse, fun fmt n -> Format.pp_print_string fmt (Workload.network_name n))
 
 let device_conv =
-  let parse s =
-    match Felix.cuda s with
-    | d -> Ok d
-    | exception Invalid_argument m -> Error (`Msg m)
-  in
+  let parse s = Result.map_error (fun m -> `Msg m) (Device.of_name s) in
   Arg.conv (parse, fun fmt (d : Device.t) -> Format.pp_print_string fmt d.device_name)
 
 let network_arg =
@@ -60,8 +57,47 @@ let out_arg =
   Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"PREFIX"
          ~doc:"Write PREFIX.csv (progress curve) and PREFIX.json (summary).")
 
+let trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Write a JSONL telemetry trace of the run (spans, events, metrics) to \
+               $(docv); summarize it later with the stats subcommand.")
+
+let metrics_arg =
+  Arg.(value & flag
+       & info [ "metrics" ] ~doc:"Print aggregated telemetry metrics after the run.")
+
+(* Enable the global telemetry registry for the duration of [f] when either
+   observability flag is set; metric snapshots land at the end of the trace. *)
+let with_telemetry ~trace ~metrics f =
+  let reg = Telemetry.global in
+  let oc =
+    Option.map
+      (fun file ->
+        try open_out file
+        with Sys_error msg ->
+          Printf.eprintf "felix-tune: cannot open trace file: %s\n" msg;
+          exit 1)
+      trace
+  in
+  if oc <> None || metrics then Telemetry.enable reg;
+  Option.iter (fun oc -> Telemetry.add_sink reg (Telemetry.jsonl_sink oc)) oc;
+  let finish () =
+    Telemetry.flush_metrics reg;
+    if metrics then print_string (Telemetry.report reg);
+    Option.iter close_out oc;
+    Option.iter (fun f -> Printf.printf "wrote telemetry trace to %s\n" f) trace
+  in
+  match f () with
+  | v ->
+    finish ();
+    v
+  | exception e ->
+    finish ();
+    raise e
+
 let tune_cmd =
-  let run net device rounds batch seed quick engine out =
+  let run net device rounds batch seed quick engine out trace metrics =
+    with_telemetry ~trace ~metrics @@ fun () ->
     let g = Workload.graph ~batch net in
     Printf.printf "%s\n\n" (Graph.summary g);
     let model = Felix.pretrained_cost_model device in
@@ -76,7 +112,7 @@ let tune_cmd =
       (fun (tr : Tuner.task_result) ->
         Table.add_row t
           [ tr.task.Partition.subgraph.Compute.sg_name; string_of_int tr.task.Partition.weight;
-            Table.fmt_ms tr.best_latency_ms; tr.best_sketch ])
+            Table.fmt_ms tr.best.Tuner.latency_ms; tr.best.Tuner.sketch ])
       result.Tuner.tasks;
     Table.print t;
     match out with
@@ -88,7 +124,7 @@ let tune_cmd =
   in
   Cmd.v (Cmd.info "tune" ~doc:"Tune a network's schedules for a device.")
     Term.(const run $ network_arg $ device_arg $ rounds_arg $ batch_arg $ seed_arg
-          $ quick_arg $ engine_arg $ out_arg)
+          $ quick_arg $ engine_arg $ out_arg $ trace_arg $ metrics_arg)
 
 let inspect_cmd =
   let run net batch =
@@ -159,6 +195,114 @@ let devices_cmd =
   in
   Cmd.v (Cmd.info "devices" ~doc:"List device models.") Term.(const run $ const ())
 
+let stats_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE"
+           ~doc:"JSONL trace written by tune --trace.")
+  in
+  let run file =
+    let records = Telemetry.Trace.read_file file in
+    if records = [] then begin
+      Printf.eprintf "%s: no parseable trace records\n" file;
+      exit 1
+    end;
+    let spans = List.filter (fun r -> r.Telemetry.r_kind = Telemetry.Span) records in
+    let events = List.filter (fun r -> r.Telemetry.r_kind = Telemetry.Event) records in
+    let metrics = List.filter (fun r -> r.Telemetry.r_kind = Telemetry.Metric) records in
+    Printf.printf "%s: %d records (%d spans, %d events, %d metrics)\n\n" file
+      (List.length records) (List.length spans) (List.length events) (List.length metrics);
+    (* Span latency percentiles, grouped by span name. *)
+    let by_name = Hashtbl.create 16 in
+    List.iter
+      (fun r ->
+        let h =
+          match Hashtbl.find_opt by_name r.Telemetry.r_name with
+          | Some h -> h
+          | None ->
+            let h = ref [] in
+            Hashtbl.replace by_name r.Telemetry.r_name h;
+            h
+        in
+        h := r.Telemetry.r_dur_ms :: !h)
+      spans;
+    let t =
+      Table.create ~title:"span latencies (wall clock)"
+        ~header:[ "span"; "count"; "p50 ms"; "p95 ms"; "p99 ms"; "total ms" ]
+    in
+    Hashtbl.fold (fun name durs acc -> (name, !durs) :: acc) by_name []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.iter (fun (name, durs) ->
+           Table.add_row t
+             [ name; string_of_int (List.length durs);
+               Printf.sprintf "%.3f" (Stats.percentile 50.0 durs);
+               Printf.sprintf "%.3f" (Stats.percentile 95.0 durs);
+               Printf.sprintf "%.3f" (Stats.percentile 99.0 durs);
+               Printf.sprintf "%.3f" (List.fold_left ( +. ) 0.0 durs) ]);
+    Table.print t;
+    (* Round-by-round story from the tuner.round spans. *)
+    let rounds =
+      List.filter (fun r -> r.Telemetry.r_name = "tuner.round") spans
+      |> List.sort (fun a b -> compare a.Telemetry.r_ts_s b.Telemetry.r_ts_s)
+    in
+    (match rounds with
+    | [] -> ()
+    | first :: _ ->
+      let attr = Telemetry.attr_float in
+      let last = List.nth rounds (List.length rounds - 1) in
+      let engine =
+        Option.value ~default:"?" (Telemetry.attr_str first.Telemetry.r_attrs "engine")
+      in
+      let measured =
+        List.fold_left
+          (fun acc r ->
+            acc + Option.value ~default:0 (Telemetry.attr_int r.Telemetry.r_attrs "measured"))
+          0 rounds
+      in
+      let best_of r = attr r.Telemetry.r_attrs "best_ms" in
+      Printf.printf "\nrounds: %d (engine %s, %d schedules measured)\n" (List.length rounds)
+        engine measured;
+      (match (best_of first, best_of last) with
+      | Some b0, Some b1 ->
+        Printf.printf "task best latency: %.4f ms -> %.4f ms\n" b0 b1
+      | _ -> ());
+      match attr last.Telemetry.r_attrs "sim_clock_end_s" with
+      | Some sim ->
+        let wall =
+          List.fold_left (fun acc r -> acc +. r.Telemetry.r_dur_ms) 0.0 rounds /. 1000.0
+        in
+        Printf.printf "simulated tuning clock: %.0f s; wall clock in rounds: %.2f s\n" sim wall
+      | None -> ());
+    (* End-of-run metric snapshot lines, if the trace carries them. *)
+    if metrics <> [] then begin
+      let t = Table.create ~title:"metrics" ~header:[ "name"; "kind"; "value" ] in
+      List.iter
+        (fun r ->
+          let kind =
+            Option.value ~default:"?" (Telemetry.attr_str r.Telemetry.r_attrs "metric")
+          in
+          let value =
+            match kind with
+            | "counter" ->
+              string_of_int (Option.value ~default:0 (Telemetry.attr_int r.Telemetry.r_attrs "value"))
+            | "gauge" ->
+              Printf.sprintf "%g"
+                (Option.value ~default:0.0 (Telemetry.attr_float r.Telemetry.r_attrs "value"))
+            | _ ->
+              Printf.sprintf "n=%d p50=%.4g p95=%.4g p99=%.4g"
+                (Option.value ~default:0 (Telemetry.attr_int r.Telemetry.r_attrs "count"))
+                (Option.value ~default:0.0 (Telemetry.attr_float r.Telemetry.r_attrs "p50"))
+                (Option.value ~default:0.0 (Telemetry.attr_float r.Telemetry.r_attrs "p95"))
+                (Option.value ~default:0.0 (Telemetry.attr_float r.Telemetry.r_attrs "p99"))
+          in
+          Table.add_row t [ r.Telemetry.r_name; kind; value ])
+        (List.sort (fun a b -> compare a.Telemetry.r_name b.Telemetry.r_name) metrics);
+      Table.print t
+    end
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Summarize a JSONL telemetry trace (p50/p95/p99 span times).")
+    Term.(const run $ file_arg)
+
 let () =
   let info = Cmd.info "felix-tune" ~doc:"Gradient-based tensor program optimisation (Felix)." in
-  exit (Cmd.eval (Cmd.group info [ tune_cmd; inspect_cmd; compare_cmd; devices_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ tune_cmd; inspect_cmd; compare_cmd; devices_cmd; stats_cmd ]))

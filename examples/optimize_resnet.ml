@@ -15,7 +15,20 @@ let () =
   let opt =
     Felix.Optimizer.create ~config:Tuning_config.quick ~seed:7 graphs cost_model device
   in
-  let result = Felix.Optimizer.optimize_all opt ~n_total_rounds:30 () in
+  (* A compact progress bar fed by the event bus: one character per round,
+     '!' when the round improved its task, '.' otherwise. *)
+  let improved = ref false in
+  let on_event = function
+    | Felix.Task_improved _ -> improved := true
+    | Felix.Round_finished _ ->
+      print_string (if !improved then "!" else ".");
+      flush stdout;
+      improved := false
+    | Felix.Tuning_finished { sim_clock_s; _ } ->
+      Printf.printf " done (%.0f simulated seconds)\n" sim_clock_s
+    | _ -> ()
+  in
+  let result = Felix.Optimizer.optimize_all opt ~n_total_rounds:30 ~on_event () in
   Printf.printf "tuned network latency: %.3f ms\n\n" result.Tuner.final_latency_ms;
 
   (* Per-task report: what won where. *)
@@ -28,8 +41,8 @@ let () =
       Table.add_row table
         [ tr.task.Partition.subgraph.Compute.sg_name;
           string_of_int tr.task.Partition.weight;
-          Table.fmt_ms tr.best_latency_ms;
-          tr.best_sketch;
+          Table.fmt_ms tr.best.latency_ms;
+          tr.best.sketch;
           string_of_int tr.rounds_spent;
           string_of_int tr.measurements ])
     result.Tuner.tasks;
@@ -45,16 +58,16 @@ let () =
   in
   let sg = heaviest.task.Partition.subgraph in
   Printf.printf "\nheaviest task: %s\nchosen schedule variables:\n" sg.Compute.sg_name;
-  List.iter (fun (v, x) -> Printf.printf "  %-16s = %d\n" v x) heaviest.best_assignment;
+  List.iter (fun (v, x) -> Printf.printf "  %-16s = %d\n" v x) heaviest.best.assignment;
   (match
      List.find_opt
-       (fun s -> s.Schedule.sched_name = heaviest.best_sketch)
+       (fun s -> s.Schedule.sched_name = heaviest.best.sketch)
        (Sketch.generate sg)
    with
   | Some sched ->
     let concrete =
       Schedule.substitute sched (fun v ->
-          Option.map (fun x -> Expr.int x) (List.assoc_opt v heaviest.best_assignment))
+          Option.map (fun x -> Expr.int x) (List.assoc_opt v heaviest.best.assignment))
     in
     let prog = Loop_ir.apply sg concrete in
     Printf.printf "\ngenerated program (pseudo-CUDA):\n%s\n" (Loop_ir.to_loop_tree_string prog)

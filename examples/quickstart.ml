@@ -22,8 +22,20 @@ let () =
   let opt =
     Felix.Optimizer.create ~config:Tuning_config.quick ~seed:42 graphs cost_model device
   in
+  (* Stream per-round progress through the tuning event bus: the callback
+     observes every round as it completes, while the search is running. *)
+  let on_event = function
+    | Felix.Round_finished { round; network_ms; sim_clock_s; _ } ->
+      Printf.printf "  round %2d: network %.3f ms (t=%.0fs simulated)\n%!" round network_ms
+        sim_clock_s
+    | Felix.Task_improved { subgraph; before_ms; after_ms; _ } ->
+      Printf.printf "  %s improved: %.4f ms -> %.4f ms\n%!" subgraph before_ms after_ms
+    | _ -> ()
+  in
   (* Run the search. *)
-  let result = Felix.Optimizer.optimize_all opt ~n_total_rounds:15 ~save_res:"dcgan.bin" () in
+  let result =
+    Felix.Optimizer.optimize_all opt ~n_total_rounds:15 ~save_res:"dcgan.bin" ~on_event ()
+  in
   Printf.printf "tuned latency: %.3f ms after %.0f simulated seconds (%d measurements)\n"
     result.Tuner.final_latency_ms
     (match List.rev result.Tuner.curve with p :: _ -> p.Tuner.time_s | [] -> 0.0)

@@ -1,12 +1,58 @@
 type device = Device.t
 
 let cuda name =
-  let norm = String.lowercase_ascii name in
-  match norm with
-  | "a10g" -> Device.a10g
-  | "a5000" | "rtx-a5000" | "rtx_a5000" -> Device.rtx_a5000
-  | "xavier-nx" | "xavier_nx" | "xaviernx" -> Device.xavier_nx
-  | _ -> invalid_arg (Printf.sprintf "Felix.cuda: unknown device %S" name)
+  match Device.of_name name with
+  | Ok d -> d
+  | Error msg -> invalid_arg ("Felix.cuda: " ^ msg)
+
+type progress_point = Tuner.progress_point = { time_s : float; latency_ms : float }
+
+type best_candidate = Tuner.best_candidate = {
+  latency_ms : float;
+  sketch : string;
+  assignment : (string * int) list;
+}
+
+type tuning_event = Tuner.event =
+  | Tuning_started of {
+      network : string;
+      device_name : string;
+      engine : Tuner.engine;
+      n_tasks : int;
+    }
+  | Round_started of { round : int; task_id : int; subgraph : string; sim_clock_s : float }
+  | Candidates_measured of {
+      round : int;
+      task_id : int;
+      proposed : int;
+      measured : int;
+      sim_clock_s : float;
+    }
+  | Task_improved of {
+      round : int;
+      task_id : int;
+      subgraph : string;
+      before_ms : float;
+      after_ms : float;
+    }
+  | Model_updated of { round : int; samples : int; loss : float }
+  | Round_finished of {
+      round : int;
+      task_id : int;
+      best_task_ms : float;
+      network_ms : float;
+      sim_clock_s : float;
+    }
+  | Budget_exhausted of {
+      rounds : int;
+      sim_clock_s : float;
+      reason : Tuner.budget_reason;
+    }
+  | Tuning_finished of {
+      final_latency_ms : float;
+      total_measurements : int;
+      sim_clock_s : float;
+    }
 
 type subgraphs = { graph : Graph.t; tasks : Partition.task list }
 
@@ -68,7 +114,7 @@ module Optimizer = struct
   let create ?(config = Tuning_config.default) ?(seed = 0) subgraphs model device =
     { subgraphs; model; device; config; seed; last_result = None }
 
-  let optimize_all t ~n_total_rounds ?measure_per_round ?save_res () =
+  let optimize_all t ~n_total_rounds ?measure_per_round ?save_res ?on_event ?telemetry () =
     let config =
       { t.config with
         Tuning_config.max_rounds = n_total_rounds;
@@ -76,7 +122,8 @@ module Optimizer = struct
           Option.value ~default:t.config.Tuning_config.nmeasure_felix measure_per_round }
     in
     let result =
-      Tuner.tune ~config ~seed:t.seed t.device t.model t.subgraphs.graph Tuner.Felix
+      Tuner.tune ~config ?on_event ?telemetry ~seed:t.seed t.device t.model
+        t.subgraphs.graph Tuner.Felix
     in
     t.last_result <- Some result;
     (match save_res with
@@ -94,7 +141,9 @@ module Optimizer = struct
       c_schedules =
         List.map
           (fun (tr : Tuner.task_result) ->
-            (tr.task.Partition.subgraph.Compute.sg_name, tr.best_sketch, tr.best_assignment))
+            ( tr.task.Partition.subgraph.Compute.sg_name,
+              tr.best.Tuner.sketch,
+              tr.best.Tuner.assignment ))
           r.Tuner.tasks;
       c_seed = t.seed }
 

@@ -22,7 +22,65 @@ type device = Device.t
 
 val cuda : string -> device
 (** Accepts the paper's spellings: ["a10g"], ["rtx-a5000"]/["a5000"],
-    ["xavier-nx"]. Raises [Invalid_argument] on unknown names. *)
+    ["xavier-nx"]. Raises [Invalid_argument] on unknown names. Thin
+    wrapper over {!Device.of_name}, the non-raising primary API. *)
+
+(** {2 Shared result shapes}
+
+    Re-exports of the tuner's curve point and best-schedule record, so
+    façade users never need the ["s_"]-prefixed spellings of the old
+    [single_result]. *)
+
+type progress_point = Tuner.progress_point = { time_s : float; latency_ms : float }
+
+type best_candidate = Tuner.best_candidate = {
+  latency_ms : float;
+  sketch : string;
+  assignment : (string * int) list;
+}
+
+(** Tuning-loop events, re-exported from {!Tuner.event}; delivered in
+    order to [?on_event] callbacks of {!Optimizer.optimize_all}. *)
+type tuning_event = Tuner.event =
+  | Tuning_started of {
+      network : string;
+      device_name : string;
+      engine : Tuner.engine;
+      n_tasks : int;
+    }
+  | Round_started of { round : int; task_id : int; subgraph : string; sim_clock_s : float }
+  | Candidates_measured of {
+      round : int;
+      task_id : int;
+      proposed : int;
+      measured : int;
+      sim_clock_s : float;
+    }
+  | Task_improved of {
+      round : int;
+      task_id : int;
+      subgraph : string;
+      before_ms : float;
+      after_ms : float;
+    }
+  | Model_updated of { round : int; samples : int; loss : float }
+  | Round_finished of {
+      round : int;
+      task_id : int;
+      best_task_ms : float;
+      network_ms : float;
+      sim_clock_s : float;
+    }
+  | Budget_exhausted of {
+      rounds : int;
+      sim_clock_s : float;
+      reason : Tuner.budget_reason;
+    }
+  | Tuning_finished of {
+      final_latency_ms : float;
+      total_measurements : int;
+      sim_clock_s : float;
+    }
 
 type subgraphs
 (** The partitioned tuning tasks of a network (Section 3.1). *)
@@ -65,9 +123,23 @@ module Optimizer : sig
     ?config:Tuning_config.t -> ?seed:int -> subgraphs -> Mlp.t -> device -> t
 
   val optimize_all :
-    t -> n_total_rounds:int -> ?measure_per_round:int -> ?save_res:string -> unit -> Tuner.result
+    t ->
+    n_total_rounds:int ->
+    ?measure_per_round:int ->
+    ?save_res:string ->
+    ?on_event:(tuning_event -> unit) ->
+    ?telemetry:Telemetry.t ->
+    unit ->
+    Tuner.result
   (** Run the tuning rounds; optionally persist the result to [save_res].
-      Returns the full tuning log (curve, per-task bests). *)
+      Returns the full tuning log (curve, per-task bests).
+
+      [on_event] observes every {!tuning_event} of the run in order —
+      progress streaming, early stopping and dashboards are all consumers
+      of this one event bus. [telemetry] selects the registry receiving
+      per-round spans and counters (default [Telemetry.global], disabled
+      unless a front end enables it). Both default to no-ops: omitting
+      them leaves the result bit-for-bit identical. *)
 
   val compile_with_best_configs : ?configs_file:string -> t -> Compiled.t
   (** Build a {!Compiled.t} from the optimizer's (or a saved run's) best

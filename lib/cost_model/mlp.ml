@@ -65,7 +65,10 @@ let forward_acts t x =
   done;
   acts
 
+let c_forwards = Telemetry.counter Telemetry.global "model.forwards"
+
 let forward t x =
+  Telemetry.Counter.incr c_forwards;
   let acts = forward_acts t x in
   (acts.(Array.length acts - 1)).(0)
 
@@ -137,12 +140,17 @@ let param_gradient t batch grads =
     batch;
   !loss /. bsz
 
+let c_updates = Telemetry.counter Telemetry.global "model.updates"
+let g_last_loss = Telemetry.gauge Telemetry.global "model.last_loss"
+
 let train_batch t adam batch =
   if Array.length batch = 0 then 0.0
   else begin
     let grads = Array.make (num_params t) 0.0 in
     let loss = param_gradient t batch grads in
     Adam.step adam ~params:t.params ~grads;
+    Telemetry.Counter.incr c_updates;
+    Telemetry.Gauge.set g_last_loss loss;
     loss
   end
 

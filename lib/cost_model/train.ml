@@ -57,6 +57,11 @@ let evaluate model samples =
 let pretrain rng ?(hidden = [ 192; 192; 192 ]) ?(epochs = 8) ?(batch_size = 256) ?(lr = 1e-3)
     (ds : Dataset.t) =
   if Array.length ds.train = 0 then invalid_arg "Train.pretrain: empty training set";
+  Telemetry.with_span Telemetry.global "cost_model.pretrain"
+    ~attrs:
+      [ ("train_samples", Telemetry.Int (Array.length ds.train));
+        ("epochs", Telemetry.Int epochs) ]
+  @@ fun () ->
   let k = Array.length ds.train.(0).Dataset.features in
   let model = Mlp.create rng ~hidden ~n_inputs:k () in
   let mean, std = normalizer_of ds.train in
@@ -78,7 +83,12 @@ let pretrain rng ?(hidden = [ 192; 192; 192 ]) ?(epochs = 8) ?(batch_size = 256)
       i := !i + bsz
     done
   done;
-  (model, evaluate model ds.valid)
+  let metrics = evaluate model ds.valid in
+  Telemetry.Gauge.set (Telemetry.gauge Telemetry.global "cost_model.valid_mse") metrics.mse;
+  Telemetry.Gauge.set
+    (Telemetry.gauge Telemetry.global "cost_model.valid_spearman")
+    metrics.spearman;
+  (model, metrics)
 
 let pretrained_for_device ?(cache_dir = "_artifacts") ?(seed = 1234) (device : Device.t) =
   let safe_name =
@@ -86,8 +96,14 @@ let pretrained_for_device ?(cache_dir = "_artifacts") ?(seed = 1234) (device : D
   in
   let path = Filename.concat cache_dir (Printf.sprintf "costmodel_%s.bin" safe_name) in
   match Mlp.load path with
-  | Some m -> m
+  | Some m ->
+    Telemetry.event Telemetry.global "cost_model.cache_hit"
+      ~attrs:[ ("device", Telemetry.Str device.device_name) ];
+    m
   | None ->
+    Telemetry.with_span Telemetry.global "cost_model.train_from_scratch"
+      ~attrs:[ ("device", Telemetry.Str device.device_name) ]
+    @@ fun () ->
     let rng = Rng.create seed in
     let tasks = Dataset.collect_tasks () in
     let samples = Dataset.generate rng device tasks in

@@ -46,6 +46,12 @@ let rec margins_of_cond (c : Expr.cond) : Expr.t list =
   | Not _ | Bconst _ -> []
 
 let prepare ?(width = 1.0) sg sched =
+  Telemetry.with_span Telemetry.global "pack.prepare"
+    ~attrs:
+      [ ("subgraph", Telemetry.Str sg.Compute.sg_name);
+        ("sketch", Telemetry.Str sched.Schedule.sched_name) ]
+  @@ fun () ->
+  Telemetry.Counter.incr (Telemetry.counter Telemetry.global "features.tapes_compiled");
   let prog = Loop_ir.apply sg sched in
   let names = Array.of_list (Schedule.var_names sched) in
   let name_list = Array.to_list names in
@@ -81,7 +87,11 @@ let prepare ?(width = 1.0) sg sched =
     n_penalties = List.length margins; div_groups;
     raw_constraints = sched.Schedule.constraints }
 
-let features_at t y = Autodiff.Tape.eval t.feature_tape y
+let c_feature_evals = Telemetry.counter Telemetry.global "features.evals"
+
+let features_at t y =
+  Telemetry.Counter.incr c_feature_evals;
+  Autodiff.Tape.eval t.feature_tape y
 let features_vjp t y adj = Autodiff.Tape.vjp t.feature_tape y adj
 
 let penalty_margins t y = Autodiff.Tape.eval t.penalty_tape y

@@ -56,6 +56,9 @@ let crossover rng pack ya yb =
   Pack.round_to_valid pack y
 
 let search_round (cfg : Tuning_config.t) rng model packs ~elites ~already_measured =
+  Telemetry.with_span Telemetry.global "ansor.search_round"
+    ~attrs:[ ("packs", Telemetry.Int (List.length packs)) ]
+  @@ fun () ->
   let packs = Array.of_list packs in
   if Array.length packs = 0 then invalid_arg "Evolutionary.search_round: no sketches";
   let prediction_cache : (string, float) Hashtbl.t = Hashtbl.create 512 in
@@ -140,4 +143,6 @@ let search_round (cfg : Tuning_config.t) rng model packs ~elites ~already_measur
     |> List.sort (fun a b -> compare b.predicted a.predicted)
   in
   let top = List.filteri (fun i _ -> i < cfg.nmeasure_ansor) ranked in
+  Telemetry.Counter.incr ~by:!evaluated
+    (Telemetry.counter Telemetry.global "ansor.evaluated");
   (top, { evaluated = !evaluated; predictions = List.rev !all_predictions })

@@ -86,12 +86,12 @@ let result_to_json (r : Tuner.result) =
     Obj
       [ ("subgraph", Str tr.task.Partition.subgraph.Compute.sg_name);
         ("weight", Num (float_of_int tr.task.Partition.weight));
-        ("best_latency_ms", Num tr.best_latency_ms);
-        ("sketch", Str tr.best_sketch);
+        ("best_latency_ms", Num tr.best.Tuner.latency_ms);
+        ("sketch", Str tr.best.Tuner.sketch);
         ("rounds", Num (float_of_int tr.rounds_spent));
         ("measurements", Num (float_of_int tr.measurements));
         ("assignment",
-         Obj (List.map (fun (k, v) -> (k, Num (float_of_int v))) tr.best_assignment)) ]
+         Obj (List.map (fun (k, v) -> (k, Num (float_of_int v))) tr.best.Tuner.assignment)) ]
   in
   let point (p : Tuner.progress_point) = List [ Num p.time_s; Num p.latency_ms ] in
   to_string

@@ -36,6 +36,9 @@ let descend (cfg : Tuning_config.t) _rng model pack y0 =
   List.rev !history
 
 let search_round (cfg : Tuning_config.t) rng model packs ~already_measured =
+  Telemetry.with_span Telemetry.global "felix.search_round"
+    ~attrs:[ ("packs", Telemetry.Int (List.length packs)) ]
+  @@ fun () ->
   let npacks = max 1 (List.length packs) in
   let seeds_per_pack = max 1 (cfg.nseeds / npacks) in
   let seen : (string, unit) Hashtbl.t = Hashtbl.create 64 in
@@ -70,4 +73,7 @@ let search_round (cfg : Tuning_config.t) rng model packs ~already_measured =
     List.sort (fun a b -> compare b.predicted a.predicted) !candidates
   in
   let top = List.filteri (fun i _ -> i < cfg.nmeasure_felix) sorted in
+  Telemetry.Counter.incr ~by:!steps (Telemetry.counter Telemetry.global "felix.gd_steps");
+  Telemetry.Counter.incr ~by:(List.length top)
+    (Telemetry.counter Telemetry.global "felix.candidates");
   (top, { steps_done = !steps; predictions = List.rev !predictions })

@@ -7,11 +7,15 @@ let engine_name = function
 
 type progress_point = { time_s : float; latency_ms : float }
 
+type best_candidate = {
+  latency_ms : float;
+  sketch : string;
+  assignment : (string * int) list;
+}
+
 type task_result = {
   task : Partition.task;
-  best_latency_ms : float;
-  best_assignment : (string * int) list;
-  best_sketch : string;
+  best : best_candidate;
   rounds_spent : int;
   measurements : int;
 }
@@ -27,6 +31,49 @@ type result = {
 }
 
 let network_latency_ms r = r.final_latency_ms
+
+(* --- tuning events --------------------------------------------------------- *)
+
+type budget_reason = Round_limit | Time_limit
+
+type event =
+  | Tuning_started of {
+      network : string;
+      device_name : string;
+      engine : engine;
+      n_tasks : int;
+    }
+  | Round_started of { round : int; task_id : int; subgraph : string; sim_clock_s : float }
+  | Candidates_measured of {
+      round : int;
+      task_id : int;
+      proposed : int;
+      measured : int;
+      sim_clock_s : float;
+    }
+  | Task_improved of {
+      round : int;
+      task_id : int;
+      subgraph : string;
+      before_ms : float;
+      after_ms : float;
+    }
+  | Model_updated of { round : int; samples : int; loss : float }
+  | Round_finished of {
+      round : int;
+      task_id : int;
+      best_task_ms : float;
+      network_ms : float;
+      sim_clock_s : float;
+    }
+  | Budget_exhausted of { rounds : int; sim_clock_s : float; reason : budget_reason }
+  | Tuning_finished of {
+      final_latency_ms : float;
+      total_measurements : int;
+      sim_clock_s : float;
+    }
+
+let no_event : event -> unit = fun _ -> ()
 
 type task_state = {
   t : Partition.task;
@@ -86,13 +133,17 @@ let record_measurement rng device st pack y =
     Some lat
   end
 
-(* Fine-tune the cost model on freshly measured pairs (Alg. 1 line 24). *)
+(* Fine-tune the cost model on freshly measured pairs (Alg. 1 line 24);
+   returns the last batch loss when an update happened. *)
 let update_model model adam pairs =
-  if pairs <> [] then begin
+  if pairs = [] then None
+  else begin
     let batch = Array.of_list pairs in
+    let loss = ref 0.0 in
     for _ = 1 to 4 do
-      ignore (Mlp.train_batch model adam batch)
-    done
+      loss := Mlp.train_batch model adam batch
+    done;
+    Some !loss
   end
 
 let initial_round cfg rng device clock states =
@@ -160,35 +211,100 @@ let run_engine_round cfg rng engine model st =
       cfg.Tuning_config.ansor_round_overhead )
   | Random -> (random_round cfg rng st ~already_measured, [], 0.5)
 
-let tune_round cfg rng device engine model model_adam clock st =
+let subgraph_name st = st.t.Partition.subgraph.Compute.sg_name
+
+let tune_round cfg rng device engine model model_adam clock ~telemetry ~emit ~round st =
+  let task_id = st.t.Partition.task_id in
+  emit
+    (Round_started
+       { round; task_id; subgraph = subgraph_name st;
+         sim_clock_s = Tuning_config.Clock.now clock });
+  let sp =
+    Telemetry.span_begin telemetry "tuner.round"
+      ~attrs:
+        [ ("round", Telemetry.Int round); ("engine", Telemetry.Str (engine_name engine));
+          ("task", Telemetry.Int task_id);
+          ("subgraph", Telemetry.Str (subgraph_name st));
+          ("sim_clock_s", Telemetry.Float (Tuning_config.Clock.now clock)) ]
+  in
   let candidates, predictions, overhead = run_engine_round cfg rng engine model st in
   let before = st.best in
   let pairs = ref [] in
+  let n_measured = ref 0 in
   List.iter
     (fun (pack, y) ->
       match record_measurement rng device st pack y with
-      | Some lat when Float.is_finite lat ->
-        pairs := (Pack.features_at pack y, -.log lat) :: !pairs
-      | Some _ | None -> ())
+      | Some lat ->
+        incr n_measured;
+        if Float.is_finite lat then pairs := (Pack.features_at pack y, -.log lat) :: !pairs
+      | None -> ())
     candidates;
   Tuning_config.Clock.advance clock
     ((float_of_int (List.length candidates) *. cfg.Tuning_config.measure_seconds)
     +. overhead +. cfg.Tuning_config.model_update_seconds);
-  update_model model model_adam !pairs;
+  emit
+    (Candidates_measured
+       { round; task_id; proposed = List.length candidates; measured = !n_measured;
+         sim_clock_s = Tuning_config.Clock.now clock });
+  if Float.is_finite st.best && st.best < before then
+    emit
+      (Task_improved
+         { round; task_id; subgraph = subgraph_name st; before_ms = before;
+           after_ms = st.best });
+  let loss = update_model model model_adam !pairs in
+  (match loss with
+  | Some l ->
+    emit (Model_updated { round; samples = List.length !pairs; loss = l });
+    Telemetry.Gauge.set (Telemetry.gauge telemetry "tuner.model_loss") l
+  | None -> ());
   st.rounds_spent <- st.rounds_spent + 1;
   let improved = Float.is_finite st.best && st.best < before *. 0.995 in
   st.improvement_factor <-
     (if improved then 1.0 else max 0.2 (st.improvement_factor *. 0.8));
+  Telemetry.Counter.incr (Telemetry.counter telemetry "tuner.rounds");
+  Telemetry.Counter.incr ~by:!n_measured (Telemetry.counter telemetry "tuner.measurements");
+  Telemetry.span_end telemetry sp
+    ~attrs:
+      [ ("proposed", Telemetry.Int (List.length candidates));
+        ("measured", Telemetry.Int !n_measured); ("best_ms", Telemetry.Float st.best);
+        ("model_loss", Telemetry.Float (Option.value ~default:0.0 loss));
+        ("sim_clock_end_s", Telemetry.Float (Tuning_config.Clock.now clock)) ];
   predictions
 
-let tune ?(config = Tuning_config.default) ~seed device base_model graph engine =
+let best_of_state st =
+  let sketch, assignment =
+    match st.best_point with
+    | Some (pack, y) -> ((Pack.schedule pack).Schedule.sched_name, Pack.assignment pack y)
+    | None -> ("-", [])
+  in
+  { latency_ms = st.best; sketch; assignment }
+
+let budget_reason_name = function Round_limit -> "rounds" | Time_limit -> "time"
+
+let tune ?(config = Tuning_config.default) ?(on_event = no_event)
+    ?(telemetry = Telemetry.global) ~seed device base_model graph engine =
   let cfg = config in
   let rng = Rng.create seed in
   let model = Mlp.copy base_model in
   let model_adam = Mlp.adam_for ~lr:2e-4 model in
   let clock = Tuning_config.Clock.create () in
-  let states = List.map make_state (Partition.partition graph) in
-  initial_round cfg rng device clock states;
+  let run_sp =
+    Telemetry.span_begin telemetry "tuner.tune"
+      ~attrs:
+        [ ("network", Telemetry.Str graph.Graph.graph_name);
+          ("device", Telemetry.Str device.Device.device_name);
+          ("engine", Telemetry.Str (engine_name engine)) ]
+  in
+  let states =
+    Telemetry.with_span telemetry "tuner.prepare_tasks" (fun () ->
+        List.map make_state (Partition.partition graph))
+  in
+  on_event
+    (Tuning_started
+       { network = graph.Graph.graph_name; device_name = device.Device.device_name;
+         engine; n_tasks = List.length states });
+  Telemetry.with_span telemetry "tuner.initial_round" (fun () ->
+      initial_round cfg rng device clock states);
   let curve = ref [ { time_s = Tuning_config.Clock.now clock; latency_ms = network_latency states } ] in
   let round = ref 0 in
   while
@@ -197,37 +313,64 @@ let tune ?(config = Tuning_config.default) ~seed device base_model graph engine 
   do
     incr round;
     let st = select_task states in
-    ignore (tune_round cfg rng device engine model model_adam clock st);
-    curve := { time_s = Tuning_config.Clock.now clock; latency_ms = network_latency states } :: !curve
+    ignore
+      (tune_round cfg rng device engine model model_adam clock ~telemetry ~emit:on_event
+         ~round:!round st);
+    let net_ms = network_latency states in
+    Telemetry.Gauge.set (Telemetry.gauge telemetry "tuner.network_latency_ms") net_ms;
+    on_event
+      (Round_finished
+         { round = !round; task_id = st.t.Partition.task_id; best_task_ms = st.best;
+           network_ms = net_ms; sim_clock_s = Tuning_config.Clock.now clock });
+    curve := { time_s = Tuning_config.Clock.now clock; latency_ms = net_ms } :: !curve
   done;
+  let reason = if !round >= cfg.max_rounds then Round_limit else Time_limit in
+  on_event
+    (Budget_exhausted
+       { rounds = !round; sim_clock_s = Tuning_config.Clock.now clock; reason });
   let tasks =
     List.map
       (fun st ->
-        let assignment, sketch =
-          match st.best_point with
-          | Some (pack, y) ->
-            (Pack.assignment pack y, (Pack.schedule pack).Schedule.sched_name)
-          | None -> ([], "-")
-        in
-        { task = st.t; best_latency_ms = st.best; best_assignment = assignment;
-          best_sketch = sketch; rounds_spent = st.rounds_spent; measurements = st.n_measured })
+        { task = st.t; best = best_of_state st; rounds_spent = st.rounds_spent;
+          measurements = st.n_measured })
       states
   in
+  let final_latency_ms = network_latency states in
+  let total_measurements = List.fold_left (fun acc st -> acc + st.n_measured) 0 states in
+  on_event
+    (Tuning_finished
+       { final_latency_ms; total_measurements;
+         sim_clock_s = Tuning_config.Clock.now clock });
+  Telemetry.span_end telemetry run_sp
+    ~attrs:
+      [ ("rounds", Telemetry.Int !round);
+        ("final_latency_ms", Telemetry.Float final_latency_ms);
+        ("measurements", Telemetry.Int total_measurements);
+        ("budget", Telemetry.Str (budget_reason_name reason));
+        ("sim_clock_s", Telemetry.Float (Tuning_config.Clock.now clock)) ];
   { network = graph.Graph.graph_name;
     device_name = device.Device.device_name;
     engine;
     curve = List.rev !curve;
-    final_latency_ms = network_latency states;
-    total_measurements = List.fold_left (fun acc st -> acc + st.n_measured) 0 states;
+    final_latency_ms;
+    total_measurements;
     tasks }
 
 type single_result = {
-  s_best_latency_ms : float;
-  s_curve : progress_point list;
-  s_predictions : float list;
+  best : best_candidate;
+  curve : progress_point list;
+  predictions : float list;
 }
 
-let tune_single ?(config = Tuning_config.default) ~seed ~rounds device base_model sg engine =
+let s_best_latency_ms r = r.best.latency_ms
+[@@deprecated "use (single_result).best.latency_ms"]
+
+let s_curve r = r.curve [@@deprecated "use (single_result).curve"]
+
+let s_predictions r = r.predictions [@@deprecated "use (single_result).predictions"]
+
+let tune_single ?(config = Tuning_config.default) ?(on_event = no_event)
+    ?(telemetry = Telemetry.global) ~seed ~rounds device base_model sg engine =
   let cfg = config in
   let rng = Rng.create seed in
   let model = Mlp.copy base_model in
@@ -235,12 +378,30 @@ let tune_single ?(config = Tuning_config.default) ~seed ~rounds device base_mode
   let clock = Tuning_config.Clock.create () in
   let task = { Partition.task_id = 0; subgraph = sg; weight = 1; node_ids = [] } in
   let st = make_state task in
+  on_event
+    (Tuning_started
+       { network = sg.Compute.sg_name; device_name = device.Device.device_name; engine;
+         n_tasks = 1 });
   initial_round cfg rng device clock [ st ];
   let curve = ref [ { time_s = Tuning_config.Clock.now clock; latency_ms = st.best } ] in
   let predictions = ref [] in
-  for _ = 1 to rounds do
-    let preds = tune_round cfg rng device engine model model_adam clock st in
+  for round = 1 to rounds do
+    let preds =
+      tune_round cfg rng device engine model model_adam clock ~telemetry ~emit:on_event
+        ~round st
+    in
     predictions := !predictions @ preds;
+    on_event
+      (Round_finished
+         { round; task_id = 0; best_task_ms = st.best; network_ms = st.best;
+           sim_clock_s = Tuning_config.Clock.now clock });
     curve := { time_s = Tuning_config.Clock.now clock; latency_ms = st.best } :: !curve
   done;
-  { s_best_latency_ms = st.best; s_curve = List.rev !curve; s_predictions = !predictions }
+  on_event
+    (Budget_exhausted
+       { rounds; sim_clock_s = Tuning_config.Clock.now clock; reason = Round_limit });
+  on_event
+    (Tuning_finished
+       { final_latency_ms = st.best; total_measurements = st.n_measured;
+         sim_clock_s = Tuning_config.Clock.now clock });
+  { best = best_of_state st; curve = List.rev !curve; predictions = !predictions }

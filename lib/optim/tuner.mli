@@ -10,7 +10,19 @@
 
     The same driver with [engine = Ansor] reproduces the Ansor-TenSet
     baseline: identical sketches, cost model, measurement budget accounting
-    and task scheduling — only the per-round search differs. *)
+    and task scheduling — only the per-round search differs.
+
+    {2 Observability}
+
+    The driver is event-driven: every phase of the loop is announced
+    through a caller-supplied [?on_event] callback, so progress streaming,
+    early-run dashboards and logging are all consumers of one event bus
+    rather than being baked into the driver. Independently, [?telemetry]
+    names the {!Telemetry} registry that receives per-round spans
+    (engine, task, candidate counts, best latency, model loss, simulated
+    vs. wall clock) and counters; it defaults to [Telemetry.global], which
+    is disabled unless a front end turns it on. Omitting both yields
+    exactly the behaviour (and result) of the un-instrumented driver. *)
 
 type engine =
   | Felix  (** gradient descent, Algorithm 1 *)
@@ -21,11 +33,17 @@ val engine_name : engine -> string
 
 type progress_point = { time_s : float; latency_ms : float }
 
+type best_candidate = {
+  latency_ms : float;  (** per occurrence *)
+  sketch : string;
+  assignment : (string * int) list;
+}
+(** The winning schedule of a search: latency, sketch name and concrete
+    variable assignment. Shared by {!task_result} and {!single_result}. *)
+
 type task_result = {
   task : Partition.task;
-  best_latency_ms : float;  (** per occurrence *)
-  best_assignment : (string * int) list;
-  best_sketch : string;
+  best : best_candidate;
   rounds_spent : int;
   measurements : int;
 }
@@ -42,8 +60,60 @@ type result = {
 
 val network_latency_ms : result -> float
 
+(** {2 Tuning events} *)
+
+type budget_reason =
+  | Round_limit  (** [max_rounds] reached *)
+  | Time_limit  (** simulated [time_budget_s] exhausted *)
+
+(** One tuning-loop occurrence, delivered to [?on_event] callbacks in
+    strict order: [Tuning_started], then per round [Round_started],
+    [Candidates_measured], optionally [Task_improved] and [Model_updated],
+    [Round_finished]; finally [Budget_exhausted] and [Tuning_finished].
+    [sim_clock_s] is the simulated tuning clock (seconds). *)
+type event =
+  | Tuning_started of {
+      network : string;
+      device_name : string;
+      engine : engine;
+      n_tasks : int;
+    }
+  | Round_started of { round : int; task_id : int; subgraph : string; sim_clock_s : float }
+  | Candidates_measured of {
+      round : int;
+      task_id : int;
+      proposed : int;  (** candidates returned by the engine's search *)
+      measured : int;  (** of those, newly measured on the simulator *)
+      sim_clock_s : float;
+    }
+  | Task_improved of {
+      round : int;
+      task_id : int;
+      subgraph : string;
+      before_ms : float;
+      after_ms : float;
+    }
+  | Model_updated of { round : int; samples : int; loss : float }
+  | Round_finished of {
+      round : int;
+      task_id : int;
+      best_task_ms : float;
+      network_ms : float;  (** whole-network latency after this round *)
+      sim_clock_s : float;
+    }
+  | Budget_exhausted of { rounds : int; sim_clock_s : float; reason : budget_reason }
+  | Tuning_finished of {
+      final_latency_ms : float;
+      total_measurements : int;
+      sim_clock_s : float;
+    }
+
+val budget_reason_name : budget_reason -> string
+
 val tune :
   ?config:Tuning_config.t ->
+  ?on_event:(event -> unit) ->
+  ?telemetry:Telemetry.t ->
   seed:int ->
   Device.t ->
   Mlp.t ->
@@ -51,18 +121,31 @@ val tune :
   engine ->
   result
 (** Tune a whole network. The cost model is copied and fine-tuned
-    privately; the caller's model is not modified. *)
+    privately; the caller's model is not modified. [on_event] defaults to
+    a no-op and [telemetry] to [Telemetry.global]; neither affects the
+    search itself. *)
 
 type single_result = {
-  s_best_latency_ms : float;
-  s_curve : progress_point list;
-  s_predictions : float list;
+  best : best_candidate;
+  curve : progress_point list;
+  predictions : float list;
       (** predicted score of every schedule the search evaluated, in search
           order (Figure 8's population data) *)
 }
 
+val s_best_latency_ms : single_result -> float
+[@@ocaml.deprecated "use (single_result).best.latency_ms"]
+
+val s_curve : single_result -> progress_point list
+[@@ocaml.deprecated "use (single_result).curve"]
+
+val s_predictions : single_result -> float list
+[@@ocaml.deprecated "use (single_result).predictions"]
+
 val tune_single :
   ?config:Tuning_config.t ->
+  ?on_event:(event -> unit) ->
+  ?telemetry:Telemetry.t ->
   seed:int ->
   rounds:int ->
   Device.t ->

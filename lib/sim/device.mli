@@ -28,3 +28,10 @@ val all : t list
 (** The three paper devices, in server/desktop/edge order. *)
 
 val by_name : string -> t option
+(** Exact match on [device_name]. *)
+
+val of_name : string -> (t, string) result
+(** Forgiving lookup accepting the paper's spellings (["a10g"],
+    ["rtx-a5000"]/["a5000"], ["xavier-nx"]), case-insensitively. The error
+    message lists the known names. This is the primary device-lookup API;
+    [Felix.cuda] is a thin raising wrapper over it. *)

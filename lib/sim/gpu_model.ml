@@ -146,6 +146,19 @@ let kernel_latency_ms (dev : Device.t) (ss : Loop_ir.scheduled_stage) env =
 let program_latency_ms dev (p : Loop_ir.t) env =
   Array.fold_left (fun acc ss -> acc +. kernel_latency_ms dev ss env) 0.0 p.Loop_ir.stages
 
+let c_measurements = Telemetry.counter Telemetry.global "sim.measurements"
+let c_invalid = Telemetry.counter Telemetry.global "sim.invalid_schedules"
+let h_measured = Telemetry.histogram Telemetry.global "sim.measured_ms"
+
 let measure_ms ?(noise = 0.015) rng dev p env =
   let base = program_latency_ms dev p env in
-  if Float.is_finite base then base *. (1.0 +. (noise *. Rng.gaussian rng)) else base
+  Telemetry.Counter.incr c_measurements;
+  if Float.is_finite base then begin
+    let lat = base *. (1.0 +. (noise *. Rng.gaussian rng)) in
+    Telemetry.Histogram.observe h_measured lat;
+    lat
+  end
+  else begin
+    Telemetry.Counter.incr c_invalid;
+    base
+  end

@@ -1,0 +1,595 @@
+(* Dependency-light tracing and metrics for the tuning pipeline.
+
+   Everything hangs off a registry: named counters, gauges and latency
+   histograms, plus wall-clock spans (with parent nesting) and instant
+   events that stream to attached sinks as they close. The [global]
+   registry starts disabled so library instrumentation costs one boolean
+   load until a front end (CLI flag, test, example) switches it on. *)
+
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+type attr = string * value
+
+let attr_int attrs k =
+  match List.assoc_opt k attrs with
+  | Some (Int i) -> Some i
+  | Some (Float f) -> Some (int_of_float f)
+  | _ -> None
+
+let attr_float attrs k =
+  match List.assoc_opt k attrs with
+  | Some (Float f) -> Some f
+  | Some (Int i) -> Some (float_of_int i)
+  | _ -> None
+
+let attr_str attrs k =
+  match List.assoc_opt k attrs with Some (Str s) -> Some s | _ -> None
+
+(* --- compact JSON (writer + parser, for the JSONL trace format) ---------- *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape s =
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let fmt_num v =
+    if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+    else if Float.is_finite v then Printf.sprintf "%.9g" v
+    else "null"
+
+  let to_string t =
+    let buf = Buffer.create 256 in
+    let rec go = function
+      | Null -> Buffer.add_string buf "null"
+      | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+      | Num v -> Buffer.add_string buf (fmt_num v)
+      | Str s ->
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape s);
+        Buffer.add_char buf '"'
+      | List items ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_char buf ',';
+            go item)
+          items;
+        Buffer.add_char buf ']'
+      | Obj fields ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            Buffer.add_char buf '"';
+            Buffer.add_string buf (escape k);
+            Buffer.add_string buf "\":";
+            go v)
+          fields;
+        Buffer.add_char buf '}'
+    in
+    go t;
+    Buffer.contents buf
+
+  exception Parse_error of string
+
+  let parse s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let skip_ws () =
+      while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+        advance ()
+      done
+    in
+    let expect c =
+      if !pos < n && s.[!pos] = c then advance ()
+      else fail (Printf.sprintf "expected %C" c)
+    in
+    let literal lit v =
+      let l = String.length lit in
+      if !pos + l <= n && String.sub s !pos l = lit then begin
+        pos := !pos + l;
+        v
+      end
+      else fail (Printf.sprintf "expected %s" lit)
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string"
+        else
+          match s.[!pos] with
+          | '"' -> advance ()
+          | '\\' ->
+            advance ();
+            (if !pos >= n then fail "unterminated escape"
+             else
+               match s.[!pos] with
+               | '"' -> Buffer.add_char buf '"'; advance ()
+               | '\\' -> Buffer.add_char buf '\\'; advance ()
+               | '/' -> Buffer.add_char buf '/'; advance ()
+               | 'n' -> Buffer.add_char buf '\n'; advance ()
+               | 'r' -> Buffer.add_char buf '\r'; advance ()
+               | 't' -> Buffer.add_char buf '\t'; advance ()
+               | 'b' -> Buffer.add_char buf '\b'; advance ()
+               | 'f' -> Buffer.add_char buf '\012'; advance ()
+               | 'u' ->
+                 advance ();
+                 if !pos + 4 > n then fail "short \\u escape";
+                 let code = int_of_string ("0x" ^ String.sub s !pos 4) in
+                 pos := !pos + 4;
+                 (* ASCII decodes exactly; anything above is replaced. *)
+                 if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                 else Buffer.add_char buf '?'
+               | c -> fail (Printf.sprintf "bad escape \\%c" c));
+            go ()
+          | c -> Buffer.add_char buf c; advance (); go ()
+      in
+      go ();
+      Buffer.contents buf
+    in
+    let parse_number () =
+      let start = !pos in
+      let num_char c =
+        match c with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while !pos < n && num_char s.[!pos] do advance () done;
+      if !pos = start then fail "expected number";
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some v -> v
+      | None -> fail "malformed number"
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '"' -> Str (parse_string ())
+      | Some 'n' -> literal "null" Null
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin advance (); List [] end
+        else begin
+          let items = ref [ parse_value () ] in
+          skip_ws ();
+          while peek () = Some ',' do
+            advance ();
+            items := parse_value () :: !items;
+            skip_ws ()
+          done;
+          expect ']';
+          List (List.rev !items)
+        end
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin advance (); Obj [] end
+        else begin
+          let field () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            (k, v)
+          in
+          let fields = ref [ field () ] in
+          skip_ws ();
+          while peek () = Some ',' do
+            advance ();
+            fields := field () :: !fields;
+            skip_ws ()
+          done;
+          expect '}';
+          Obj (List.rev !fields)
+        end
+      | Some _ -> Num (parse_number ())
+    in
+    match parse_value () with
+    | v ->
+      skip_ws ();
+      if !pos <> n then Error (Printf.sprintf "trailing input at offset %d" !pos)
+      else Ok v
+    | exception Parse_error msg -> Error msg
+end
+
+(* --- metric instruments --------------------------------------------------- *)
+
+module Counter = struct
+  type t = { name : string; mutable value : int; on : bool ref }
+
+  let incr ?(by = 1) c = if !(c.on) then c.value <- c.value + by
+  let value c = c.value
+  let name c = c.name
+end
+
+module Gauge = struct
+  type t = { name : string; mutable value : float; on : bool ref }
+
+  let set g v = if !(g.on) then g.value <- v
+  let value g = g.value
+  let name g = g.name
+end
+
+module Histogram = struct
+  type t = { name : string; mutable data : float array; mutable len : int; on : bool ref }
+
+  let observe h v =
+    if !(h.on) then begin
+      if h.len = Array.length h.data then begin
+        let bigger = Array.make (max 16 (2 * h.len)) 0.0 in
+        Array.blit h.data 0 bigger 0 h.len;
+        h.data <- bigger
+      end;
+      h.data.(h.len) <- v;
+      h.len <- h.len + 1
+    end
+
+  let count h = h.len
+  let name h = h.name
+  let sum h = Array.fold_left ( +. ) 0.0 (Array.sub h.data 0 h.len)
+  let mean h = if h.len = 0 then 0.0 else sum h /. float_of_int h.len
+
+  (* Linear-interpolated quantile over the sorted samples; [p] in [0,100]. *)
+  let quantile h p =
+    if h.len = 0 then 0.0
+    else begin
+      let arr = Array.sub h.data 0 h.len in
+      Array.sort compare arr;
+      let n = Array.length arr in
+      if n = 1 then arr.(0)
+      else begin
+        let rank = p /. 100.0 *. float_of_int (n - 1) in
+        let rank = if rank < 0.0 then 0.0 else rank in
+        let lo = min (n - 1) (int_of_float (floor rank)) in
+        let hi = min (n - 1) (lo + 1) in
+        let frac = rank -. float_of_int lo in
+        (arr.(lo) *. (1.0 -. frac)) +. (arr.(hi) *. frac)
+      end
+    end
+
+  let p50 h = quantile h 50.0
+  let p95 h = quantile h 95.0
+  let p99 h = quantile h 99.0
+end
+
+(* --- trace records -------------------------------------------------------- *)
+
+type kind = Span | Event | Metric
+
+type record = {
+  r_kind : kind;
+  r_name : string;
+  r_ts_s : float;  (** seconds since the registry's origin *)
+  r_dur_ms : float;  (** 0 for events and metrics *)
+  r_id : int;  (** 0 when absent *)
+  r_parent : int;  (** 0 when absent *)
+  r_attrs : attr list;
+}
+
+let kind_name = function Span -> "span" | Event -> "event" | Metric -> "metric"
+
+let json_of_value = function
+  | Int i -> Json.Num (float_of_int i)
+  | Float f -> Json.Num f
+  | Str s -> Json.Str s
+  | Bool b -> Json.Bool b
+
+let to_jsonl r =
+  let base =
+    [ ("type", Json.Str (kind_name r.r_kind));
+      ("name", Json.Str r.r_name);
+      ("ts", Json.Num r.r_ts_s) ]
+  in
+  let span_fields =
+    if r.r_kind = Span then
+      [ ("id", Json.Num (float_of_int r.r_id));
+        ("parent", if r.r_parent = 0 then Json.Null else Json.Num (float_of_int r.r_parent));
+        ("dur_ms", Json.Num r.r_dur_ms) ]
+    else []
+  in
+  let attrs =
+    if r.r_attrs = [] then []
+    else [ ("attrs", Json.Obj (List.map (fun (k, v) -> (k, json_of_value v)) r.r_attrs)) ]
+  in
+  Json.to_string (Json.Obj (base @ span_fields @ attrs))
+
+module Trace = struct
+  let value_of_json = function
+    | Json.Num v when Float.is_integer v && Float.abs v < 1e9 -> Int (int_of_float v)
+    | Json.Num v -> Float v
+    | Json.Str s -> Str s
+    | Json.Bool b -> Bool b
+    | Json.Null -> Str "null"
+    | Json.List _ | Json.Obj _ -> Str "<nested>"
+
+  let of_line line =
+    match Json.parse line with
+    | Error msg -> Error msg
+    | Ok (Json.Obj fields) ->
+      let str k = match List.assoc_opt k fields with Some (Json.Str s) -> Some s | _ -> None in
+      let num k = match List.assoc_opt k fields with Some (Json.Num v) -> Some v | _ -> None in
+      let kind =
+        match str "type" with
+        | Some "span" -> Some Span
+        | Some "event" -> Some Event
+        | Some "metric" -> Some Metric
+        | _ -> None
+      in
+      (match (kind, str "name") with
+      | Some kind, Some name ->
+        let attrs =
+          match List.assoc_opt "attrs" fields with
+          | Some (Json.Obj kvs) -> List.map (fun (k, v) -> (k, value_of_json v)) kvs
+          | _ -> []
+        in
+        Ok
+          { r_kind = kind;
+            r_name = name;
+            r_ts_s = Option.value ~default:0.0 (num "ts");
+            r_dur_ms = Option.value ~default:0.0 (num "dur_ms");
+            r_id = int_of_float (Option.value ~default:0.0 (num "id"));
+            r_parent = int_of_float (Option.value ~default:0.0 (num "parent"));
+            r_attrs = attrs }
+      | _ -> Error "record is missing \"type\" or \"name\"")
+    | Ok _ -> Error "trace line is not a JSON object"
+
+  let read_file path =
+    let ic = open_in path in
+    let records = ref [] in
+    (try
+       while true do
+         let line = String.trim (input_line ic) in
+         if line <> "" then
+           match of_line line with
+           | Ok r -> records := r :: !records
+           | Error _ -> ()
+       done
+     with End_of_file -> ());
+    close_in ic;
+    List.rev !records
+end
+
+(* --- registry ------------------------------------------------------------- *)
+
+type span = {
+  sp_name : string;
+  sp_id : int;
+  sp_parent : int;
+  sp_start : float;
+  mutable sp_attrs : attr list;
+  mutable sp_open : bool;
+}
+
+type t = {
+  on : bool ref;
+  clock : unit -> float;
+  mutable t0 : float;
+  counters : (string, Counter.t) Hashtbl.t;
+  gauges : (string, Gauge.t) Hashtbl.t;
+  histograms : (string, Histogram.t) Hashtbl.t;
+  mutable sinks : (record -> unit) list;
+  mutable next_id : int;
+  mutable stack : int list;  (* open span ids, innermost first *)
+}
+
+let monotonic_clock () =
+  (* gettimeofday can step backwards under NTP adjustment; never let the
+     trace see time run in reverse. *)
+  let last = ref (Unix.gettimeofday ()) in
+  fun () ->
+    let t = Unix.gettimeofday () in
+    if t > !last then last := t;
+    !last
+
+let create ?clock ?(enabled = true) () =
+  let clock = match clock with Some c -> c | None -> monotonic_clock () in
+  { on = ref enabled;
+    clock;
+    t0 = clock ();
+    counters = Hashtbl.create 16;
+    gauges = Hashtbl.create 16;
+    histograms = Hashtbl.create 16;
+    sinks = [];
+    next_id = 0;
+    stack = [] }
+
+let global = create ~enabled:false ()
+
+let enabled t = !(t.on)
+let enable t = t.on := true
+let disable t = t.on := false
+let now_s t = t.clock () -. t.t0
+
+let reset t =
+  (* Zero in place: instruments handed out to callers (hot-path counters are
+     resolved once at module load) stay registered across resets. *)
+  Hashtbl.iter (fun _ (c : Counter.t) -> c.Counter.value <- 0) t.counters;
+  Hashtbl.iter (fun _ (g : Gauge.t) -> g.Gauge.value <- 0.0) t.gauges;
+  Hashtbl.iter (fun _ (h : Histogram.t) -> h.Histogram.len <- 0) t.histograms;
+  t.sinks <- [];
+  t.next_id <- 0;
+  t.stack <- [];
+  t.t0 <- t.clock ()
+
+let find_or_add tbl name make =
+  match Hashtbl.find_opt tbl name with
+  | Some x -> x
+  | None ->
+    let x = make () in
+    Hashtbl.replace tbl name x;
+    x
+
+let counter t name =
+  find_or_add t.counters name (fun () -> { Counter.name; value = 0; on = t.on })
+
+let gauge t name =
+  find_or_add t.gauges name (fun () -> { Gauge.name; value = 0.0; on = t.on })
+
+let histogram t name =
+  find_or_add t.histograms name
+    (fun () -> { Histogram.name; data = [||]; len = 0; on = t.on })
+
+let add_sink t f = t.sinks <- f :: t.sinks
+let emit t r = List.iter (fun f -> f r) t.sinks
+
+let event t ?(attrs = []) name =
+  if !(t.on) then
+    emit t
+      { r_kind = Event; r_name = name; r_ts_s = now_s t; r_dur_ms = 0.0; r_id = 0;
+        r_parent = 0; r_attrs = attrs }
+
+let null_span = { sp_name = ""; sp_id = 0; sp_parent = 0; sp_start = 0.0; sp_attrs = []; sp_open = false }
+
+let span_begin t ?(attrs = []) name =
+  if not !(t.on) then null_span
+  else begin
+    t.next_id <- t.next_id + 1;
+    let parent = match t.stack with [] -> 0 | id :: _ -> id in
+    let sp =
+      { sp_name = name; sp_id = t.next_id; sp_parent = parent; sp_start = now_s t;
+        sp_attrs = attrs; sp_open = true }
+    in
+    t.stack <- sp.sp_id :: t.stack;
+    sp
+  end
+
+let span_add_attrs sp attrs = if sp.sp_open then sp.sp_attrs <- sp.sp_attrs @ attrs
+
+let span_end t ?(attrs = []) sp =
+  if sp.sp_open then begin
+    sp.sp_open <- false;
+    sp.sp_attrs <- sp.sp_attrs @ attrs;
+    (* Pop this span (and anything abandoned above it) off the stack. *)
+    let rec pop = function
+      | id :: rest when id = sp.sp_id -> rest
+      | _ :: rest -> pop rest
+      | [] -> []
+    in
+    t.stack <- pop t.stack;
+    let dur_ms = (now_s t -. sp.sp_start) *. 1000.0 in
+    Histogram.observe (histogram t ("span." ^ sp.sp_name ^ ".ms")) dur_ms;
+    emit t
+      { r_kind = Span; r_name = sp.sp_name; r_ts_s = sp.sp_start; r_dur_ms = dur_ms;
+        r_id = sp.sp_id; r_parent = sp.sp_parent; r_attrs = sp.sp_attrs }
+  end
+
+let with_span t ?attrs name f =
+  let sp = span_begin t ?attrs name in
+  match f () with
+  | x ->
+    span_end t sp;
+    x
+  | exception e ->
+    span_end t sp ~attrs:[ ("error", Bool true) ];
+    raise e
+
+(* --- reporters ------------------------------------------------------------ *)
+
+let jsonl_sink oc r =
+  output_string oc (to_jsonl r);
+  output_char oc '\n'
+
+let human_sink oc r =
+  (match r.r_kind with
+  | Span -> Printf.fprintf oc "[%8.3fs] %-32s %8.3f ms" r.r_ts_s r.r_name r.r_dur_ms
+  | Event -> Printf.fprintf oc "[%8.3fs] %-32s" r.r_ts_s r.r_name
+  | Metric -> Printf.fprintf oc "[%8.3fs] metric %-25s" r.r_ts_s r.r_name);
+  List.iter
+    (fun (k, v) ->
+      let s =
+        match v with
+        | Int i -> string_of_int i
+        | Float f -> Printf.sprintf "%g" f
+        | Str s -> s
+        | Bool b -> string_of_bool b
+      in
+      Printf.fprintf oc " %s=%s" k s)
+    r.r_attrs;
+  output_char oc '\n'
+
+let metric_records t =
+  let ts = now_s t in
+  let acc = ref [] in
+  Hashtbl.iter
+    (fun name (c : Counter.t) ->
+      acc :=
+        { r_kind = Metric; r_name = name; r_ts_s = ts; r_dur_ms = 0.0; r_id = 0; r_parent = 0;
+          r_attrs = [ ("metric", Str "counter"); ("value", Int c.Counter.value) ] }
+        :: !acc)
+    t.counters;
+  Hashtbl.iter
+    (fun name (g : Gauge.t) ->
+      acc :=
+        { r_kind = Metric; r_name = name; r_ts_s = ts; r_dur_ms = 0.0; r_id = 0; r_parent = 0;
+          r_attrs = [ ("metric", Str "gauge"); ("value", Float g.Gauge.value) ] }
+        :: !acc)
+    t.gauges;
+  Hashtbl.iter
+    (fun name h ->
+      if Histogram.count h > 0 then
+        acc :=
+          { r_kind = Metric; r_name = name; r_ts_s = ts; r_dur_ms = 0.0; r_id = 0; r_parent = 0;
+            r_attrs =
+              [ ("metric", Str "histogram"); ("count", Int (Histogram.count h));
+                ("mean", Float (Histogram.mean h)); ("p50", Float (Histogram.p50 h));
+                ("p95", Float (Histogram.p95 h)); ("p99", Float (Histogram.p99 h)) ] }
+          :: !acc)
+    t.histograms;
+  List.sort (fun a b -> compare a.r_name b.r_name) !acc
+
+let flush_metrics t = if !(t.on) then List.iter (emit t) (metric_records t)
+
+let report t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "telemetry metrics\n";
+  List.iter
+    (fun r ->
+      match List.assoc_opt "metric" r.r_attrs with
+      | Some (Str "counter") ->
+        Buffer.add_string buf
+          (Printf.sprintf "  counter    %-36s %d\n" r.r_name
+             (Option.value ~default:0 (attr_int r.r_attrs "value")))
+      | Some (Str "gauge") ->
+        Buffer.add_string buf
+          (Printf.sprintf "  gauge      %-36s %g\n" r.r_name
+             (Option.value ~default:0.0 (attr_float r.r_attrs "value")))
+      | Some (Str "histogram") ->
+        Buffer.add_string buf
+          (Printf.sprintf "  histogram  %-36s n=%-6d mean=%-10.4g p50=%-10.4g p95=%-10.4g p99=%.4g\n"
+             r.r_name
+             (Option.value ~default:0 (attr_int r.r_attrs "count"))
+             (Option.value ~default:0.0 (attr_float r.r_attrs "mean"))
+             (Option.value ~default:0.0 (attr_float r.r_attrs "p50"))
+             (Option.value ~default:0.0 (attr_float r.r_attrs "p95"))
+             (Option.value ~default:0.0 (attr_float r.r_attrs "p99")))
+      | _ -> ())
+    (metric_records t);
+  Buffer.contents buf

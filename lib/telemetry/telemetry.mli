@@ -1,0 +1,168 @@
+(** Dependency-light tracing and metrics for the tuning pipeline.
+
+    A registry owns named counters, gauges and latency histograms plus a
+    wall-clock span stack. Closed spans, instant events and flushed metric
+    snapshots stream to attached sinks as {!record} values; {!jsonl_sink}
+    writes them one JSON object per line (the [--trace] format of the CLI,
+    parsed back by {!Trace}).
+
+    Library code instruments against {!global}, which starts {e disabled}:
+    every operation on a disabled registry is a no-op costing one boolean
+    load, so the instrumented hot paths (simulator measurements, feature
+    evaluation, cost-model forwards) are unaffected unless a front end
+    enables collection. *)
+
+(** Attribute values attached to spans, events and metric records. *)
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+type attr = string * value
+
+val attr_int : attr list -> string -> int option
+val attr_float : attr list -> string -> float option
+val attr_str : attr list -> string -> string option
+
+(** Minimal compact JSON (public for tests and the trace parser). *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+  (** Single-line rendering, strings escaped per RFC 8259. *)
+
+  val parse : string -> (t, string) result
+end
+
+module Counter : sig
+  type t
+
+  val incr : ?by:int -> t -> unit
+  val value : t -> int
+  val name : t -> string
+end
+
+module Gauge : sig
+  type t
+
+  val set : t -> float -> unit
+  val value : t -> float
+  val name : t -> string
+end
+
+(** Latency histogram retaining every observation; quantiles are computed
+    on demand with linear interpolation between order statistics (the same
+    convention as [Stats.percentile]). *)
+module Histogram : sig
+  type t
+
+  val observe : t -> float -> unit
+  val count : t -> int
+  val sum : t -> float
+  val mean : t -> float
+
+  val quantile : t -> float -> float
+  (** [quantile h p] for [p] in [0, 100]; 0 on an empty histogram. *)
+
+  val p50 : t -> float
+  val p95 : t -> float
+  val p99 : t -> float
+  val name : t -> string
+end
+
+(** {2 Trace records} *)
+
+type kind = Span | Event | Metric
+
+type record = {
+  r_kind : kind;
+  r_name : string;
+  r_ts_s : float;  (** seconds since the registry's origin *)
+  r_dur_ms : float;  (** 0 for events and metrics *)
+  r_id : int;  (** span id; 0 when absent *)
+  r_parent : int;  (** enclosing span id; 0 when absent *)
+  r_attrs : attr list;
+}
+
+val to_jsonl : record -> string
+(** One compact JSON object, no trailing newline. *)
+
+module Trace : sig
+  val of_line : string -> (record, string) result
+  (** Parse one JSONL line back into a {!record}. *)
+
+  val read_file : string -> record list
+  (** All parseable records of a trace file, in file order; blank and
+      malformed lines are skipped. *)
+end
+
+(** {2 Registry} *)
+
+type t
+
+val create : ?clock:(unit -> float) -> ?enabled:bool -> unit -> t
+(** Fresh registry, enabled unless [~enabled:false]. [clock] defaults to a
+    monotonic wrapper over wall-clock time; timestamps are reported
+    relative to the registry's creation. *)
+
+val global : t
+(** The shared registry all library instrumentation records into. Starts
+    disabled; front ends call [enable global] to turn collection on. *)
+
+val enabled : t -> bool
+val enable : t -> unit
+val disable : t -> unit
+
+val now_s : t -> float
+(** Seconds since the registry's origin (its creation, or the last
+    {!reset}). *)
+
+val reset : t -> unit
+(** Zero every instrument in place (identities handed out by {!counter}
+    and friends stay registered), drop sinks and open spans, and restart
+    the clock origin; the enabled flag is preserved. *)
+
+val counter : t -> string -> Counter.t
+val gauge : t -> string -> Gauge.t
+val histogram : t -> string -> Histogram.t
+(** Find-or-create by name. *)
+
+val add_sink : t -> (record -> unit) -> unit
+val jsonl_sink : out_channel -> record -> unit
+val human_sink : out_channel -> record -> unit
+
+(** {2 Spans and events} *)
+
+type span
+
+val span_begin : t -> ?attrs:attr list -> string -> span
+(** Open a span; its parent is the innermost span currently open on this
+    registry. On a disabled registry returns an inert span. *)
+
+val span_add_attrs : span -> attr list -> unit
+
+val span_end : t -> ?attrs:attr list -> span -> unit
+(** Close the span: records its duration into the ["span.<name>.ms"]
+    histogram and emits a {!record} to the sinks. Idempotent. *)
+
+val with_span : t -> ?attrs:attr list -> string -> (unit -> 'a) -> 'a
+(** [with_span t name f] wraps [f ()] in a span; exceptions close the span
+    with an [error] attribute and re-raise. *)
+
+val event : t -> ?attrs:attr list -> string -> unit
+(** Instant (zero-duration) trace record. *)
+
+(** {2 Metric snapshots} *)
+
+val metric_records : t -> record list
+(** Current counters, gauges and non-empty histograms (with p50/p95/p99)
+    as {!Metric} records, sorted by name. *)
+
+val flush_metrics : t -> unit
+(** Emit {!metric_records} to the sinks (end-of-run summary lines). *)
+
+val report : t -> string
+(** Human-readable rendering of {!metric_records}. *)

@@ -108,6 +108,9 @@ let finish sg name acc plans =
   sched
 
 let generate sg =
+  Telemetry.with_span Telemetry.global "sketch.generate"
+    ~attrs:[ ("subgraph", Telemetry.Str sg.Compute.sg_name) ]
+  @@ fun () ->
   let anchor_stage = List.nth sg.Compute.stages sg.Compute.anchor in
   let has_reduction = Compute.num_reduce anchor_stage > 0 in
   let simple =
@@ -115,13 +118,18 @@ let generate sg =
     let plans = make_plans sg acc ~anchor_multi:false in
     finish sg "simple" acc plans
   in
-  if has_reduction then begin
-    let acc = { vars = []; constraints = []; div_groups = [] } in
-    let plans = make_plans sg acc ~anchor_multi:true in
-    let multi = finish sg "multitile" acc plans in
-    [ simple; multi ]
-  end
-  else [ simple ]
+  let sketches =
+    if has_reduction then begin
+      let acc = { vars = []; constraints = []; div_groups = [] } in
+      let plans = make_plans sg acc ~anchor_multi:true in
+      let multi = finish sg "multitile" acc plans in
+      [ simple; multi ]
+    end
+    else [ simple ]
+  in
+  Telemetry.Counter.incr ~by:(List.length sketches)
+    (Telemetry.counter Telemetry.global "sketch.generated");
+  sketches
 
 let generate_programs sg =
   List.map (fun sched -> (sched, Loop_ir.apply sg sched)) (generate sg)

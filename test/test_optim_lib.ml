@@ -160,18 +160,18 @@ let test_tune_single_improves () =
         Tuner.tune_single ~config:quick ~seed:4 ~rounds:4 Device.rtx_a5000 model (dense_sg ())
           engine
       in
-      let first = (List.hd r.Tuner.s_curve).Tuner.latency_ms in
+      let first = (List.hd r.Tuner.curve).Tuner.latency_ms in
       Alcotest.(check bool)
         (Tuner.engine_name engine ^ " improves")
         true
-        (r.Tuner.s_best_latency_ms < first);
+        (r.Tuner.best.Tuner.latency_ms < first);
       (* curve is monotone non-increasing *)
       let rec mono = function
         | (a : Tuner.progress_point) :: (b :: _ as rest) ->
           a.latency_ms >= b.latency_ms -. 1e-9 && mono rest
         | _ -> true
       in
-      Alcotest.(check bool) "monotone curve" true (mono r.Tuner.s_curve))
+      Alcotest.(check bool) "monotone curve" true (mono r.Tuner.curve))
     [ Tuner.Felix; Tuner.Ansor ]
 
 let test_tune_single_deterministic () =
@@ -181,7 +181,7 @@ let test_tune_single_deterministic () =
       Tuner.Felix
   in
   let a = run () and b = run () in
-  check_close "same final" a.Tuner.s_best_latency_ms b.Tuner.s_best_latency_ms
+  check_close "same final" a.Tuner.best.Tuner.latency_ms b.Tuner.best.Tuner.latency_ms
 
 let test_tune_network () =
   let model = Lazy.force shared_model in
@@ -196,7 +196,7 @@ let test_tune_network () =
   (* every tuned task reports a valid assignment *)
   List.iter
     (fun (tr : Tuner.task_result) ->
-      if Float.is_finite tr.best_latency_ms && tr.best_latency_ms > 0.0 then ()
+      if Float.is_finite tr.best.Tuner.latency_ms && tr.best.Tuner.latency_ms > 0.0 then ()
       else Alcotest.failf "task %s has no result" tr.task.Partition.subgraph.Compute.sg_name)
     r.Tuner.tasks
 
@@ -284,8 +284,8 @@ let test_random_engine () =
       Tuner.Random
   in
   Alcotest.(check bool) "random search improves over initial" true
-    (r.Tuner.s_best_latency_ms < (List.hd r.Tuner.s_curve).Tuner.latency_ms);
-  Alcotest.(check bool) "no cost-model predictions" true (r.Tuner.s_predictions = [])
+    (r.Tuner.best.Tuner.latency_ms < (List.hd r.Tuner.curve).Tuner.latency_ms);
+  Alcotest.(check bool) "no cost-model predictions" true (r.Tuner.predictions = [])
 
 let tests = tests @ [ Alcotest.test_case "random-search engine" `Slow test_random_engine ]
 
@@ -300,13 +300,13 @@ let test_headline_felix_faster_than_ansor () =
       engine
   in
   let felix = run Tuner.Felix and ansor = run Tuner.Ansor in
-  let target = ansor.Tuner.s_best_latency_ms /. 0.90 in
+  let target = ansor.Tuner.best.Tuner.latency_ms /. 0.90 in
   let time_to curve =
     List.find_map
       (fun (p : Tuner.progress_point) -> if p.latency_ms <= target then Some p.time_s else None)
       curve
   in
-  match (time_to felix.Tuner.s_curve, time_to ansor.Tuner.s_curve) with
+  match (time_to felix.Tuner.curve, time_to ansor.Tuner.curve) with
   | Some tf, Some ta ->
     Alcotest.(check bool)
       (Printf.sprintf "felix %.0fs <= ansor %.0fs to the 90%% milestone" tf ta)
@@ -318,3 +318,128 @@ let tests =
   tests
   @ [ Alcotest.test_case "headline: felix reaches 90% milestone before ansor" `Slow
         test_headline_felix_faster_than_ansor ]
+
+(* --- tuning events ---------------------------------------------------------- *)
+
+let run_with_events ?(seed = 31) ~max_rounds () =
+  let model = Lazy.force shared_model in
+  let g = Workload.graph Workload.Dcgan in
+  let cfg = { quick with Tuning_config.max_rounds } in
+  let events = ref [] in
+  let r =
+    Tuner.tune ~config:cfg ~on_event:(fun e -> events := e :: !events) ~seed
+      Device.rtx_a5000 model g Tuner.Felix
+  in
+  (r, List.rev !events)
+
+let test_event_sequence_well_formed () =
+  let _, events = run_with_events ~max_rounds:2 () in
+  (* Bracketing: one Tuning_started first, one Tuning_finished last. *)
+  (match events with
+  | Tuner.Tuning_started { n_tasks; _ } :: _ ->
+    Alcotest.(check bool) "tasks announced" true (n_tasks > 0)
+  | _ -> Alcotest.fail "first event is not Tuning_started");
+  (match List.rev events with
+  | Tuner.Tuning_finished _ :: Tuner.Budget_exhausted { reason; _ } :: _ ->
+    Alcotest.(check string) "stopped on round budget" "rounds"
+      (Tuner.budget_reason_name reason)
+  | _ -> Alcotest.fail "run does not end with Budget_exhausted; Tuning_finished");
+  (* Starts/finishes are paired per round, in order, covering every round. *)
+  let starts =
+    List.filter_map (function Tuner.Round_started { round; _ } -> Some round | _ -> None) events
+  in
+  let finishes =
+    List.filter_map
+      (function Tuner.Round_finished { round; _ } -> Some round | _ -> None)
+      events
+  in
+  Alcotest.(check (list int)) "every round started in order" [ 1; 2 ] starts;
+  Alcotest.(check (list int)) "every round finished in order" [ 1; 2 ] finishes;
+  (* Each round's interior events sit between its start and finish, and every
+     round reports one Candidates_measured. *)
+  let rec well_nested current = function
+    | [] -> Alcotest.(check (option int)) "all rounds closed" None current
+    | e :: rest -> (
+      match e with
+      | Tuner.Round_started { round; _ } ->
+        Alcotest.(check (option int)) "no nested round" None current;
+        well_nested (Some round) rest
+      | Tuner.Round_finished { round; _ } ->
+        Alcotest.(check (option int)) "finish matches open round" (Some round) current;
+        well_nested None rest
+      | Tuner.Candidates_measured { round; _ }
+      | Tuner.Task_improved { round; _ }
+      | Tuner.Model_updated { round; _ } ->
+        Alcotest.(check (option int)) "round event inside its round" (Some round) current;
+        well_nested current rest
+      | Tuner.Tuning_started _ | Tuner.Budget_exhausted _ | Tuner.Tuning_finished _ ->
+        well_nested current rest)
+  in
+  well_nested None events;
+  let measured_events =
+    List.filter (function Tuner.Candidates_measured _ -> true | _ -> false) events
+  in
+  Alcotest.(check int) "one measurement event per round" 2 (List.length measured_events)
+
+let test_event_clock_monotone () =
+  let _, events = run_with_events ~max_rounds:3 () in
+  let clocks =
+    List.filter_map
+      (function
+        | Tuner.Round_started { sim_clock_s; _ }
+        | Tuner.Candidates_measured { sim_clock_s; _ }
+        | Tuner.Round_finished { sim_clock_s; _ }
+        | Tuner.Budget_exhausted { sim_clock_s; _ }
+        | Tuner.Tuning_finished { sim_clock_s; _ } -> Some sim_clock_s
+        | _ -> None)
+      events
+  in
+  Alcotest.(check bool) "clock readings present" true (List.length clocks > 6);
+  let rec mono = function
+    | a :: (b :: _ as rest) -> a <= b +. 1e-9 && mono rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "simulated clock is monotone across events" true (mono clocks)
+
+let test_events_do_not_change_result () =
+  let plain, _ = run_with_events ~max_rounds:2 () in
+  let model = Lazy.force shared_model in
+  let g = Workload.graph Workload.Dcgan in
+  let cfg = { quick with Tuning_config.max_rounds = 2 } in
+  (* Same seed, no callback, private telemetry registry: identical result. *)
+  let bare =
+    Tuner.tune ~config:cfg ~telemetry:(Telemetry.create ()) ~seed:31 Device.rtx_a5000
+      model g Tuner.Felix
+  in
+  check_close "same final latency" plain.Tuner.final_latency_ms bare.Tuner.final_latency_ms;
+  Alcotest.(check int) "same measurement count" plain.Tuner.total_measurements
+    bare.Tuner.total_measurements;
+  Alcotest.(check int) "same curve length" (List.length plain.Tuner.curve)
+    (List.length bare.Tuner.curve)
+
+let test_round_spans_recorded () =
+  let model = Lazy.force shared_model in
+  let reg = Telemetry.create () in
+  let spans = ref [] in
+  Telemetry.add_sink reg (fun r ->
+      if r.Telemetry.r_kind = Telemetry.Span then spans := r :: !spans);
+  let _ =
+    Tuner.tune_single ~config:quick ~telemetry:reg ~seed:12 ~rounds:2 Device.rtx_a5000
+      model (dense_sg ()) Tuner.Felix
+  in
+  let rounds = List.filter (fun r -> r.Telemetry.r_name = "tuner.round") !spans in
+  Alcotest.(check int) "one span per round" 2 (List.length rounds);
+  List.iter
+    (fun r ->
+      let has k = List.mem_assoc k r.Telemetry.r_attrs in
+      Alcotest.(check bool) "span carries engine/task/counts/best" true
+        (has "engine" && has "task" && has "proposed" && has "measured" && has "best_ms"))
+    rounds
+
+let tests =
+  tests
+  @ [ Alcotest.test_case "event sequence is well-formed" `Slow test_event_sequence_well_formed;
+      Alcotest.test_case "event clock is monotone" `Slow test_event_clock_monotone;
+      Alcotest.test_case "events/telemetry leave the result unchanged" `Slow
+        test_events_do_not_change_result;
+      Alcotest.test_case "per-round telemetry spans" `Slow test_round_spans_recorded ]

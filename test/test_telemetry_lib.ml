@@ -1,0 +1,244 @@
+(* Tests for lib/telemetry: instruments, span nesting, histogram quantiles,
+   and the JSONL trace round-trip. *)
+
+let check_close ?(eps = 1e-9) msg expected got =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s (expected %g, got %g)" msg expected got)
+    true
+    (Float.abs (expected -. got) <= eps)
+
+(* A deterministic fake clock: each call advances by a scripted step. *)
+let scripted_clock steps =
+  let t = ref 0.0 and remaining = ref steps in
+  fun () ->
+    (match !remaining with
+    | [] -> ()
+    | dt :: rest ->
+      t := !t +. dt;
+      remaining := rest);
+    !t
+
+let collecting_registry ?clock () =
+  let reg = Telemetry.create ?clock () in
+  let records = ref [] in
+  Telemetry.add_sink reg (fun r -> records := r :: !records);
+  (reg, fun () -> List.rev !records)
+
+(* --- counters / gauges ------------------------------------------------------ *)
+
+let test_counter_and_gauge () =
+  let reg = Telemetry.create () in
+  let c = Telemetry.counter reg "widgets" in
+  Telemetry.Counter.incr c;
+  Telemetry.Counter.incr ~by:4 c;
+  Alcotest.(check int) "counter accumulates" 5 (Telemetry.Counter.value c);
+  let g = Telemetry.gauge reg "depth" in
+  Telemetry.Gauge.set g 2.5;
+  Telemetry.Gauge.set g 7.0;
+  check_close "gauge keeps last value" 7.0 (Telemetry.Gauge.value g);
+  (* Same name returns the same instrument. *)
+  let c' = Telemetry.counter reg "widgets" in
+  Telemetry.Counter.incr c';
+  Alcotest.(check int) "instruments are shared by name" 6 (Telemetry.Counter.value c)
+
+let test_disabled_registry_is_inert () =
+  let reg = Telemetry.create ~enabled:false () in
+  let c = Telemetry.counter reg "noop" in
+  Telemetry.Counter.incr ~by:10 c;
+  Alcotest.(check int) "disabled counter stays zero" 0 (Telemetry.Counter.value c);
+  let h = Telemetry.histogram reg "noop_ms" in
+  Telemetry.Histogram.observe h 1.0;
+  Alcotest.(check int) "disabled histogram records nothing" 0 (Telemetry.Histogram.count h);
+  let records = ref 0 in
+  Telemetry.add_sink reg (fun _ -> incr records);
+  let sp = Telemetry.span_begin reg "quiet" in
+  Telemetry.span_end reg sp;
+  Telemetry.event reg "silent";
+  Alcotest.(check int) "disabled registry emits no records" 0 !records;
+  (* Flipping the switch wakes every existing instrument. *)
+  Telemetry.enable reg;
+  Telemetry.Counter.incr ~by:3 c;
+  Alcotest.(check int) "re-enabled counter counts" 3 (Telemetry.Counter.value c)
+
+let test_reset_preserves_instrument_identity () =
+  let reg = Telemetry.create () in
+  let c = Telemetry.counter reg "hits" in
+  let h = Telemetry.histogram reg "lat_ms" in
+  Telemetry.Counter.incr ~by:9 c;
+  Telemetry.Histogram.observe h 1.0;
+  Telemetry.reset reg;
+  Alcotest.(check int) "reset zeroes counters in place" 0 (Telemetry.Counter.value c);
+  Alcotest.(check int) "reset empties histograms in place" 0 (Telemetry.Histogram.count h);
+  (* The pre-reset handle is still live: module-level instruments survive. *)
+  Telemetry.Counter.incr c;
+  Alcotest.(check int) "old handle still registered" 1
+    (Telemetry.Counter.value (Telemetry.counter reg "hits"))
+
+(* --- histogram quantiles ---------------------------------------------------- *)
+
+let test_histogram_quantiles_uniform () =
+  let reg = Telemetry.create () in
+  let h = Telemetry.histogram reg "u" in
+  (* Observe 1..100 in shuffled-ish order; quantiles must not depend on it. *)
+  for i = 0 to 99 do
+    Telemetry.Histogram.observe h (float_of_int (((i * 37) mod 100) + 1))
+  done;
+  Alcotest.(check int) "count" 100 (Telemetry.Histogram.count h);
+  check_close "sum" 5050.0 (Telemetry.Histogram.sum h);
+  check_close "mean" 50.5 (Telemetry.Histogram.mean h);
+  (* Linear interpolation between order statistics: rank = p/100 * (n-1). *)
+  check_close "p50 of 1..100" 50.5 (Telemetry.Histogram.p50 h);
+  check_close ~eps:1e-6 "p95 of 1..100" 95.05 (Telemetry.Histogram.p95 h);
+  check_close ~eps:1e-6 "p99 of 1..100" 99.01 (Telemetry.Histogram.p99 h);
+  check_close "p0 is the min" 1.0 (Telemetry.Histogram.quantile h 0.0);
+  check_close "p100 is the max" 100.0 (Telemetry.Histogram.quantile h 100.0)
+
+let test_histogram_quantiles_small_and_skewed () =
+  let reg = Telemetry.create () in
+  let h = Telemetry.histogram reg "s" in
+  Telemetry.Histogram.observe h 42.0;
+  check_close "single sample: every quantile is it" 42.0 (Telemetry.Histogram.p99 h);
+  let h2 = Telemetry.histogram reg "skew" in
+  (* 99 fast samples and one slow outlier: p50 stays low, p99 crosses over. *)
+  for _ = 1 to 99 do
+    Telemetry.Histogram.observe h2 1.0
+  done;
+  Telemetry.Histogram.observe h2 1000.0;
+  check_close "p50 ignores the outlier" 1.0 (Telemetry.Histogram.p50 h2);
+  Alcotest.(check bool) "p99 feels the outlier" true (Telemetry.Histogram.p99 h2 > 1.0)
+
+(* --- spans ------------------------------------------------------------------ *)
+
+let test_span_nesting_and_durations () =
+  (* Clock script: t0 probe, outer begin, inner begin, inner end, outer end. *)
+  let clock = scripted_clock [ 0.0; 1.0; 1.0; 2.0; 3.0 ] in
+  let reg, records = collecting_registry ~clock () in
+  let outer = Telemetry.span_begin reg "outer" in
+  let inner = Telemetry.span_begin reg "inner" ~attrs:[ ("depth", Telemetry.Int 2) ] in
+  Telemetry.span_end reg inner;
+  Telemetry.span_end reg outer;
+  match records () with
+  | [ r_inner; r_outer ] ->
+    Alcotest.(check string) "inner closes first" "inner" r_inner.Telemetry.r_name;
+    Alcotest.(check string) "outer closes last" "outer" r_outer.Telemetry.r_name;
+    Alcotest.(check int) "inner's parent is outer" r_outer.Telemetry.r_id
+      r_inner.Telemetry.r_parent;
+    Alcotest.(check int) "outer is a root span" 0 r_outer.Telemetry.r_parent;
+    check_close "inner lasted 2s" 2000.0 r_inner.Telemetry.r_dur_ms;
+    check_close "outer lasted 6s" 6000.0 r_outer.Telemetry.r_dur_ms;
+    (match Telemetry.attr_int r_inner.Telemetry.r_attrs "depth" with
+    | Some 2 -> ()
+    | _ -> Alcotest.fail "inner span lost its attrs")
+  | rs -> Alcotest.fail (Printf.sprintf "expected 2 span records, got %d" (List.length rs))
+
+let test_with_span_marks_errors () =
+  let reg, records = collecting_registry () in
+  (try Telemetry.with_span reg "boom" (fun () -> failwith "kaput") with Failure _ -> ());
+  match records () with
+  | [ r ] ->
+    Alcotest.(check string) "span still closed" "boom" r.Telemetry.r_name;
+    (match List.assoc_opt "error" r.Telemetry.r_attrs with
+    | Some (Telemetry.Bool true) -> ()
+    | _ -> Alcotest.fail "escaping exception should tag the span with error=true")
+  | rs -> Alcotest.fail (Printf.sprintf "expected 1 record, got %d" (List.length rs))
+
+let test_span_durations_feed_histograms () =
+  let clock = scripted_clock [ 0.0; 0.0; 0.005 ] in
+  let reg = Telemetry.create ~clock () in
+  Telemetry.with_span reg "step" (fun () -> ());
+  let h = Telemetry.histogram reg "span.step.ms" in
+  Alcotest.(check int) "one observation" 1 (Telemetry.Histogram.count h);
+  check_close ~eps:1e-6 "duration in ms" 5.0 (Telemetry.Histogram.mean h)
+
+(* --- JSONL round-trip ------------------------------------------------------- *)
+
+let roundtrip r =
+  match Telemetry.Trace.of_line (Telemetry.to_jsonl r) with
+  | Ok r' -> r'
+  | Error e -> Alcotest.fail ("round-trip parse failed: " ^ e)
+
+let test_jsonl_roundtrip () =
+  let r =
+    { Telemetry.r_kind = Telemetry.Span;
+      r_name = "tuner.round";
+      r_ts_s = 1.25;
+      r_dur_ms = 17.5;
+      r_id = 3;
+      r_parent = 1;
+      r_attrs =
+        [ ("engine", Telemetry.Str "felix");
+          ("round", Telemetry.Int 4);
+          ("best_ms", Telemetry.Float 0.875);
+          ("improved", Telemetry.Bool true)
+        ]
+    }
+  in
+  let r' = roundtrip r in
+  Alcotest.(check string) "name survives" r.Telemetry.r_name r'.Telemetry.r_name;
+  Alcotest.(check int) "ids survive" r.Telemetry.r_id r'.Telemetry.r_id;
+  Alcotest.(check int) "parent survives" r.Telemetry.r_parent r'.Telemetry.r_parent;
+  check_close "timestamp survives" r.Telemetry.r_ts_s r'.Telemetry.r_ts_s;
+  check_close "duration survives" r.Telemetry.r_dur_ms r'.Telemetry.r_dur_ms;
+  Alcotest.(check bool) "kind survives" true (r'.Telemetry.r_kind = Telemetry.Span);
+  (match Telemetry.attr_str r'.Telemetry.r_attrs "engine" with
+  | Some "felix" -> ()
+  | _ -> Alcotest.fail "string attr lost");
+  (match Telemetry.attr_int r'.Telemetry.r_attrs "round" with
+  | Some 4 -> ()
+  | _ -> Alcotest.fail "int attr lost");
+  match Telemetry.attr_float r'.Telemetry.r_attrs "best_ms" with
+  | Some f -> check_close "float attr survives" 0.875 f
+  | None -> Alcotest.fail "float attr lost"
+
+let test_jsonl_escaping () =
+  let r =
+    { Telemetry.r_kind = Telemetry.Event;
+      r_name = "odd \"name\"\nwith\tcontrol";
+      r_ts_s = 0.0;
+      r_dur_ms = 0.0;
+      r_id = 1;
+      r_parent = 0;
+      r_attrs = [ ("msg", Telemetry.Str "back\\slash and \"quotes\"") ]
+    }
+  in
+  let line = Telemetry.to_jsonl r in
+  Alcotest.(check bool) "one line per record" false (String.contains line '\n');
+  let r' = roundtrip r in
+  Alcotest.(check string) "escaped name survives" r.Telemetry.r_name r'.Telemetry.r_name;
+  match Telemetry.attr_str r'.Telemetry.r_attrs "msg" with
+  | Some s -> Alcotest.(check string) "escaped attr survives" "back\\slash and \"quotes\"" s
+  | None -> Alcotest.fail "escaped attr lost"
+
+let test_trace_read_file_skips_garbage () =
+  let reg, _ = collecting_registry () in
+  let path = Filename.temp_file "felix_trace" ".jsonl" in
+  let oc = open_out path in
+  let sink = Telemetry.jsonl_sink oc in
+  Telemetry.add_sink reg sink;
+  Telemetry.with_span reg "a" (fun () -> Telemetry.event reg "b");
+  output_string oc "this is not json\n";
+  output_string oc "{\"type\":\"span\"\n";
+  close_out oc;
+  let records = Telemetry.Trace.read_file path in
+  Sys.remove path;
+  Alcotest.(check int) "two well-formed records survive" 2 (List.length records);
+  Alcotest.(check (list string)) "in file order" [ "b"; "a" ]
+    (List.map (fun r -> r.Telemetry.r_name) records)
+
+let tests =
+  [ Alcotest.test_case "counter and gauge basics" `Quick test_counter_and_gauge;
+    Alcotest.test_case "disabled registry is inert" `Quick test_disabled_registry_is_inert;
+    Alcotest.test_case "reset keeps instrument identity" `Quick
+      test_reset_preserves_instrument_identity;
+    Alcotest.test_case "quantiles: uniform 1..100" `Quick test_histogram_quantiles_uniform;
+    Alcotest.test_case "quantiles: singleton and skew" `Quick
+      test_histogram_quantiles_small_and_skewed;
+    Alcotest.test_case "span nesting and durations" `Quick test_span_nesting_and_durations;
+    Alcotest.test_case "with_span tags escaping exceptions" `Quick test_with_span_marks_errors;
+    Alcotest.test_case "span durations feed histograms" `Quick
+      test_span_durations_feed_histograms;
+    Alcotest.test_case "jsonl round-trip" `Quick test_jsonl_roundtrip;
+    Alcotest.test_case "jsonl escaping" `Quick test_jsonl_escaping;
+    Alcotest.test_case "trace reader skips malformed lines" `Quick
+      test_trace_read_file_skips_garbage
+  ]
