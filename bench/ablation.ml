@@ -92,7 +92,11 @@ let run () =
   let sg = Compute.lower ~name:"dense" (List.assoc "Dense" Workload.single_operators) in
   List.iter
     (fun engine ->
-      let r = Tuner.tune_single ~seed:5 ~rounds:(rounds ()) ~config:base device model sg engine in
+      let r =
+        Tuner.run_single
+          Tuning_config.(builder |> with_search base |> with_seed 5)
+          ~rounds:(rounds ()) device model sg engine
+      in
       let final_t =
         match List.rev r.Tuner.curve with p :: _ -> p.Tuner.time_s | [] -> 0.0
       in

@@ -67,7 +67,8 @@ let tuned ?(seed = 1) ~batch net device engine : Tuner.result =
     let t0 = Unix.gettimeofday () in
     let model = cost_model device in
     let g = Workload.graph ~batch net in
-    let r = Tuner.tune ~config:(tuning_config ()) ~seed device model g engine in
+    let rc = Tuning_config.(builder |> with_search (tuning_config ()) |> with_seed seed) in
+    let r = Tuner.run rc device model g engine in
     Printf.printf "[tune]   done: %.3f ms final (%.0fs simulated, %.1fs cpu)\n%!"
       r.Tuner.final_latency_ms
       (match List.rev r.Tuner.curve with p :: _ -> p.Tuner.time_s | [] -> 0.0)

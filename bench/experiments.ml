@@ -292,7 +292,11 @@ let fig8 () =
       in
       List.iter
         (fun engine ->
-          let r = Tuner.tune_single ~seed:2 ~rounds device model sg engine in
+          let r =
+            Tuner.run_single
+              Tuning_config.(builder |> with_seed 2)
+              ~rounds device model sg engine
+          in
           let preds = Array.of_list r.Tuner.predictions in
           let n = Array.length preds in
           let checkpoints =
@@ -329,7 +333,10 @@ let fig9 () =
     (fun (name, op) ->
       let sg = Compute.lower ~name op in
       let tuned engine =
-        (Tuner.tune_single ~seed:3 ~rounds device model sg engine).Tuner.best.Tuner.latency_ms
+        (Tuner.run_single
+           Tuning_config.(builder |> with_seed 3)
+           ~rounds device model sg engine)
+          .Tuner.best.Tuner.latency_ms
       in
       let lats =
         [ Frameworks.operator_latency_ms device Frameworks.Pytorch op;

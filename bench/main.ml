@@ -18,7 +18,8 @@ let experiments =
     ("fig9", "single-operator performance", Experiments.fig9);
     ("fig10", "latency vs tuning time, batch 16", Experiments.fig10);
     ("tab2b", "milestone speedups, batch 16", Experiments.tab2b);
-    ("ablation", "design-choice ablations (width, lambda, budget, lr)", Ablation.run) ]
+    ("ablation", "design-choice ablations (width, lambda, budget, lr)", Ablation.run);
+    ("par", "sequential vs multi-domain tuning rounds", Parallel.run) ]
 
 (* --- bechamel micro-benchmarks: one per table/figure harness ----------------- *)
 

@@ -1,0 +1,90 @@
+(* Sequential vs. multi-domain tuning rounds: wall-clock comparison of the
+   runtime's parallel candidate measurement and search at 1, 2 and 4
+   domains, plus a verification that the results are bit-identical.
+
+   Speedup depends on the cores the host exposes; the harness prints the
+   recommended-domain count so single-core CI runs are honest about it. *)
+
+module C = Bench_common
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+let run () =
+  let device = Device.rtx_a5000 in
+  let model = C.cost_model device in
+  let sg = Compute.lower ~name:"dense" (List.assoc "Dense" Workload.single_operators) in
+  let rounds = match C.scale with C.Quick -> 3 | C.Standard -> 6 in
+  let cfg =
+    match C.scale with
+    | C.Quick -> Tuning_config.quick
+    | C.Standard -> Tuning_config.default
+  in
+  Printf.printf "host: %d recommended domains (Domain.recommended_domain_count)\n\n"
+    (Domain.recommended_domain_count ());
+  (* --- raw parallel_map over candidate measurement ------------------------- *)
+  let pack = Pack.prepare sg (List.nth (Sketch.generate sg) 1) in
+  let rng = Rng.create 3 in
+  let batch =
+    Array.init 256 (fun _ ->
+        match Dataset.sample_valid_point rng pack 200 with
+        | Some y -> y
+        | None -> failwith "no valid point")
+  in
+  let measure y = Gpu_model.program_latency_ms device (Pack.program pack) (Pack.env_of pack y) in
+  let t1 =
+    Table.create ~title:"candidate measurement batch (256 schedules)"
+      ~header:[ "domains"; "wall s"; "speedup"; "tasks"; "steals" ]
+  in
+  let baseline = ref nan in
+  let reference = ref [||] in
+  List.iter
+    (fun domains ->
+      Runtime.with_runtime ~domains (fun rt ->
+          let out, dt = time (fun () -> Runtime.parallel_map rt measure batch) in
+          if Float.is_nan !baseline then begin
+            baseline := dt;
+            reference := out
+          end
+          else if out <> !reference then failwith "parallel measurement diverged";
+          let stats = Runtime.stats rt in
+          let stat k = string_of_int (List.assoc k stats) in
+          Table.add_row t1
+            [ string_of_int domains; Printf.sprintf "%.3f" dt;
+              Printf.sprintf "%.2fx" (!baseline /. dt); stat "tasks"; stat "steals" ]))
+    [ 1; 2; 4 ];
+  Table.print t1;
+  (* --- whole tuning rounds -------------------------------------------------- *)
+  let t2 =
+    Table.create
+      ~title:(Printf.sprintf "tuning rounds on the Dense subgraph (%d rounds)" rounds)
+      ~header:[ "domains"; "wall s"; "speedup"; "best ms" ]
+  in
+  let baseline = ref nan in
+  let reference = ref nan in
+  List.iter
+    (fun jobs ->
+      let r, dt =
+        time (fun () ->
+            Tuner.run_single
+              Tuning_config.(
+                builder |> with_search cfg |> with_seed 17 |> with_jobs jobs)
+              ~rounds device model sg Tuner.Felix)
+      in
+      let best = r.Tuner.best.Tuner.latency_ms in
+      if Float.is_nan !baseline then begin
+        baseline := dt;
+        reference := best
+      end
+      else if best <> !reference then failwith "parallel tuning diverged";
+      Table.add_row t2
+        [ string_of_int jobs; Printf.sprintf "%.3f" dt;
+          Printf.sprintf "%.2fx" (!baseline /. dt); Table.fmt_ms best ])
+    [ 1; 2; 4 ];
+  Table.print t2;
+  Printf.printf
+    "\nbest latency identical at every domain count (determinism contract).\n\
+     speedup tracks available cores: expect ~Nx on an N-core host, ~1x here \
+     if the container pins a single core.\n"

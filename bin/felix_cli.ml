@@ -53,6 +53,18 @@ let config_of_quick quick rounds =
   let base = if quick then Tuning_config.quick else Tuning_config.default in
   { base with Tuning_config.max_rounds = rounds }
 
+let jobs_arg =
+  let default =
+    match Sys.getenv_opt "FELIX_JOBS" with
+    | Some s -> (try max 1 (int_of_string (String.trim s)) with _ -> 1)
+    | None -> 1
+  in
+  Arg.(value & opt int default
+       & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Run searches and measurements on $(docv) parallel domains. Defaults \
+                 to the FELIX_JOBS environment variable (else 1). Results are \
+                 bit-identical at any value.")
+
 let out_arg =
   Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"PREFIX"
          ~doc:"Write PREFIX.csv (progress curve) and PREFIX.json (summary).")
@@ -96,14 +108,16 @@ let with_telemetry ~trace ~metrics f =
     raise e
 
 let tune_cmd =
-  let run net device rounds batch seed quick engine out trace metrics =
+  let run net device rounds batch seed quick engine jobs out trace metrics =
     with_telemetry ~trace ~metrics @@ fun () ->
     let g = Workload.graph ~batch net in
     Printf.printf "%s\n\n" (Graph.summary g);
     let model = Felix.pretrained_cost_model device in
-    let result =
-      Tuner.tune ~config:(config_of_quick quick rounds) ~seed device model g engine
+    let search = config_of_quick quick rounds in
+    let rc =
+      Tuning_config.(builder |> with_search search |> with_seed seed |> with_jobs jobs)
     in
+    let result = Tuner.run rc device model g engine in
     Printf.printf "final latency: %.3f ms (%d measurements, %.0f simulated seconds)\n"
       result.Tuner.final_latency_ms result.Tuner.total_measurements
       (match List.rev result.Tuner.curve with p :: _ -> p.Tuner.time_s | [] -> 0.0);
@@ -124,7 +138,7 @@ let tune_cmd =
   in
   Cmd.v (Cmd.info "tune" ~doc:"Tune a network's schedules for a device.")
     Term.(const run $ network_arg $ device_arg $ rounds_arg $ batch_arg $ seed_arg
-          $ quick_arg $ engine_arg $ out_arg $ trace_arg $ metrics_arg)
+          $ quick_arg $ engine_arg $ jobs_arg $ out_arg $ trace_arg $ metrics_arg)
 
 let inspect_cmd =
   let run net batch =
@@ -155,12 +169,12 @@ let inspect_cmd =
     Term.(const run $ network_arg $ batch_arg)
 
 let compare_cmd =
-  let run net device rounds quick =
+  let run net device rounds quick jobs =
     let g = Workload.graph net in
     let model = Felix.pretrained_cost_model device in
-    let result =
-      Tuner.tune ~config:(config_of_quick quick rounds) ~seed:0 device model g Tuner.Felix
-    in
+    let search = config_of_quick quick rounds in
+    let rc = Tuning_config.(builder |> with_search search |> with_jobs jobs) in
+    let result = Tuner.run rc device model g Tuner.Felix in
     let t = Table.create ~title:"latency comparison" ~header:[ "framework"; "latency"; "vs Felix" ] in
     let felix = result.Tuner.final_latency_ms in
     List.iter
@@ -176,7 +190,7 @@ let compare_cmd =
     Table.print t
   in
   Cmd.v (Cmd.info "compare" ~doc:"Compare Felix against vendor frameworks.")
-    Term.(const run $ network_arg $ device_arg $ rounds_arg $ quick_arg)
+    Term.(const run $ network_arg $ device_arg $ rounds_arg $ quick_arg $ jobs_arg)
 
 let devices_cmd =
   let run () =

@@ -1,9 +1,12 @@
+module Runtime = Runtime
+module Tuning_config = Tuning_config
+
 type device = Device.t
 
 let cuda name =
   match Device.of_name name with
   | Ok d -> d
-  | Error msg -> invalid_arg ("Felix.cuda: " ^ msg)
+  | Error msg -> invalid_arg msg
 
 type progress_point = Tuner.progress_point = { time_s : float; latency_ms : float }
 
@@ -106,25 +109,43 @@ module Optimizer = struct
     subgraphs : subgraphs;
     model : Mlp.t;
     device : Device.t;
-    config : Tuning_config.t;
-    seed : int;
+    run : Tuning_config.run;
     mutable last_result : Tuner.result option;
   }
 
-  let create ?(config = Tuning_config.default) ?(seed = 0) subgraphs model device =
-    { subgraphs; model; device; config; seed; last_result = None }
+  let create ?config ?seed ?run subgraphs model device =
+    let rc =
+      match run with
+      | Some rc -> rc
+      | None ->
+        let rc = Tuning_config.builder in
+        let rc =
+          match config with Some c -> Tuning_config.with_search c rc | None -> rc
+        in
+        (match seed with Some s -> Tuning_config.with_seed s rc | None -> rc)
+    in
+    { subgraphs; model; device; run = rc; last_result = None }
 
-  let optimize_all t ~n_total_rounds ?measure_per_round ?save_res ?on_event ?telemetry () =
-    let config =
-      { t.config with
+  let optimize_all t ~n_total_rounds ?measure_per_round ?save_res ?on_event ?telemetry
+      ?runtime () =
+    let base = t.run.Tuning_config.search in
+    let search =
+      { base with
         Tuning_config.max_rounds = n_total_rounds;
         nmeasure_felix =
-          Option.value ~default:t.config.Tuning_config.nmeasure_felix measure_per_round }
+          Option.value ~default:base.Tuning_config.nmeasure_felix measure_per_round }
     in
-    let result =
-      Tuner.tune ~config ?on_event ?telemetry ~seed:t.seed t.device t.model
-        t.subgraphs.graph Tuner.Felix
+    let rc = Tuning_config.with_search search t.run in
+    let rc =
+      match on_event with Some f -> Tuning_config.with_on_event f rc | None -> rc
     in
+    let rc =
+      match telemetry with Some reg -> Tuning_config.with_telemetry reg rc | None -> rc
+    in
+    let rc =
+      match runtime with Some rt -> Tuning_config.with_runtime rt rc | None -> rc
+    in
+    let result = Tuner.run rc t.device t.model t.subgraphs.graph Tuner.Felix in
     t.last_result <- Some result;
     (match save_res with
     | Some path ->
@@ -145,7 +166,7 @@ module Optimizer = struct
               tr.best.Tuner.sketch,
               tr.best.Tuner.assignment ))
           r.Tuner.tasks;
-      c_seed = t.seed }
+      c_seed = t.run.Tuning_config.seed }
 
   let compile_with_best_configs ?configs_file t =
     let result =

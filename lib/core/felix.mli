@@ -18,12 +18,23 @@
     ([felix.tensor_ir], [felix.optim], ...), which remain available for
     advanced use. *)
 
+module Runtime = Runtime
+(** The parallel-execution runtime, re-exported so façade users can write
+    [Felix.Runtime.create ~domains:4 ()] without depending on
+    [felix.runtime] directly. *)
+
+module Tuning_config = Tuning_config
+(** Search-budget constants and the run-configuration builder
+    ([Tuning_config.(builder |> with_rounds 32 |> with_jobs 4)]),
+    re-exported for the same reason. *)
+
 type device = Device.t
 
 val cuda : string -> device
 (** Accepts the paper's spellings: ["a10g"], ["rtx-a5000"]/["a5000"],
-    ["xavier-nx"]. Raises [Invalid_argument] on unknown names. Thin
-    wrapper over {!Device.of_name}, the non-raising primary API. *)
+    ["xavier-nx"]. Raises [Invalid_argument] on unknown names, with the
+    same message {!Device.of_name} (the non-raising primary API) returns
+    in its [Error] — see {!Device.unknown_device_message}. *)
 
 (** {2 Shared result shapes}
 
@@ -120,7 +131,17 @@ module Optimizer : sig
   type t
 
   val create :
-    ?config:Tuning_config.t -> ?seed:int -> subgraphs -> Mlp.t -> device -> t
+    ?config:Tuning_config.t ->
+    ?seed:int ->
+    ?run:Tuning_config.run ->
+    subgraphs ->
+    Mlp.t ->
+    device ->
+    t
+  (** [run] is the preferred configuration: a builder-made
+      {!Tuning_config.run} carrying search budget, seed, jobs, event
+      callback and telemetry in one value. When given, it takes precedence
+      over [config]/[seed], which remain for compatibility. *)
 
   val optimize_all :
     t ->
@@ -129,6 +150,7 @@ module Optimizer : sig
     ?save_res:string ->
     ?on_event:(tuning_event -> unit) ->
     ?telemetry:Telemetry.t ->
+    ?runtime:Runtime.t ->
     unit ->
     Tuner.result
   (** Run the tuning rounds; optionally persist the result to [save_res].
@@ -138,8 +160,12 @@ module Optimizer : sig
       progress streaming, early stopping and dashboards are all consumers
       of this one event bus. [telemetry] selects the registry receiving
       per-round spans and counters (default [Telemetry.global], disabled
-      unless a front end enables it). Both default to no-ops: omitting
-      them leaves the result bit-for-bit identical. *)
+      unless a front end enables it). [runtime] (or [with_jobs] in the
+      optimizer's run configuration) fans the pure phases out across a
+      domain pool; results stay bit-identical to sequential. Each optional
+      argument overrides the corresponding field of the run configuration
+      given at {!create} time; omitting them all leaves the result
+      bit-for-bit identical to the un-instrumented sequential driver. *)
 
   val compile_with_best_configs : ?configs_file:string -> t -> Compiled.t
   (** Build a {!Compiled.t} from the optimizer's (or a saved run's) best

@@ -72,6 +72,14 @@ let forward t x =
   let acts = forward_acts t x in
   (acts.(Array.length acts - 1)).(0)
 
+let forward_batch ?runtime t xs =
+  (* forward reads [t.params] and allocates its own activations, so batch
+     elements can score on any domain; training writes must stay on the
+     caller's side of the join. *)
+  match runtime with
+  | None -> Array.map (forward t) xs
+  | Some rt -> Runtime.parallel_map rt (forward t) xs
+
 let input_gradient t x =
   let offs, _ = layer_offsets t.sizes in
   let n_layers = Array.length offs in

@@ -28,6 +28,12 @@ val set_normalizer : t -> mean:float array -> std:float array -> unit
 val forward : t -> float array -> float
 (** Predicted score (higher = better). *)
 
+val forward_batch : ?runtime:Runtime.t -> t -> float array array -> float array
+(** {!forward} over a batch, fanned out across the runtime's domains when
+    one is given. Inference only reads the parameters, so this is safe as
+    long as no concurrent [train_batch] mutates the same model; results are
+    identical to the sequential map. *)
+
 val input_gradient : t -> float array -> float * float array
 (** [(score, dscore/dinput)] in one forward + backward pass. *)
 

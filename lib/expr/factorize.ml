@@ -1,8 +1,19 @@
+(* The memo is shared across domains (schedule rounding runs inside
+   Runtime.parallel_map workers), so reads and writes are mutex-guarded;
+   a miss computes outside the lock — divisor lists are deterministic, so a
+   racing double-compute just stores the same value twice. *)
 let memo : (int, int list) Hashtbl.t = Hashtbl.create 64
+let memo_lock = Mutex.create ()
 
 let divisors n =
   if n < 1 then invalid_arg "Factorize.divisors: n must be >= 1";
-  match Hashtbl.find_opt memo n with
+  let cached =
+    Mutex.lock memo_lock;
+    let r = Hashtbl.find_opt memo n in
+    Mutex.unlock memo_lock;
+    r
+  in
+  match cached with
   | Some ds -> ds
   | None ->
     let small = ref [] and large = ref [] in
@@ -15,7 +26,9 @@ let divisors n =
       incr i
     done;
     let ds = List.rev_append !small !large in
+    Mutex.lock memo_lock;
     Hashtbl.replace memo n ds;
+    Mutex.unlock memo_lock;
     ds
 
 let is_divisor d n = d > 0 && n mod d = 0

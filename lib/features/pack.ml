@@ -87,11 +87,38 @@ let prepare ?(width = 1.0) sg sched =
     n_penalties = List.length margins; div_groups;
     raw_constraints = sched.Schedule.constraints }
 
+let c_pack_hits = Telemetry.counter Telemetry.global "features.pack_cache_hits"
+let c_pack_misses = Telemetry.counter Telemetry.global "features.pack_cache_misses"
+
+(* Compiled packs are immutable (tapes allocate fresh scratch per eval), so
+   a process-wide cache is safe to share across tuning runs and domains. *)
+let pack_cache : (string, t) Runtime.Lru.t = Runtime.Lru.create ~capacity:256 ()
+
+let prepare_cached ?(width = 1.0) sg sched =
+  let key =
+    Printf.sprintf "%s|%s|%.6g" (Compute.workload_key sg)
+      sched.Schedule.sched_name width
+  in
+  match Runtime.Lru.find_opt pack_cache key with
+  | Some t ->
+    Telemetry.Counter.incr c_pack_hits;
+    t
+  | None ->
+    Telemetry.Counter.incr c_pack_misses;
+    let t = prepare ~width sg sched in
+    Runtime.Lru.add pack_cache key t;
+    t
+
 let c_feature_evals = Telemetry.counter Telemetry.global "features.evals"
 
 let features_at t y =
   Telemetry.Counter.incr c_feature_evals;
   Autodiff.Tape.eval t.feature_tape y
+
+let features_batch ?runtime t ys =
+  match runtime with
+  | None -> Array.map (features_at t) ys
+  | Some rt -> Runtime.parallel_map rt (features_at t) ys
 let features_vjp t y adj = Autodiff.Tape.vjp t.feature_tape y adj
 
 let penalty_margins t y = Autodiff.Tape.eval t.penalty_tape y

@@ -22,6 +22,13 @@ val prepare : ?width:float -> Compute.subgraph -> Schedule.t -> t
 (** [width] is the smoothing-kernel width of Section 3.3 (default 1.0);
     exposed for the ablation benchmarks. *)
 
+val prepare_cached : ?width:float -> Compute.subgraph -> Schedule.t -> t
+(** {!prepare} memoised in a process-wide LRU keyed by
+    [Compute.workload_key], the sketch name and [width]. Packs are
+    immutable, so cached instances are safe to share across domains and
+    tuning runs; equal workloads (e.g. repeated operators in a network)
+    compile their tapes once. *)
+
 val schedule : t -> Schedule.t
 val program : t -> Loop_ir.t
 
@@ -35,6 +42,11 @@ val bounds_log : t -> (float * float) array
 
 val features_at : t -> float array -> float array
 (** Transformed (smoothed, log-scaled) feature vector at [y]; length 82. *)
+
+val features_batch : ?runtime:Runtime.t -> t -> float array array -> float array array
+(** [features_at] over a batch of points, fanned out across the runtime's
+    domains when one is given (tape evaluation is pure, so the result is
+    identical to the sequential map). *)
 
 val features_vjp : t -> float array -> float array -> float array * float array
 (** [(features, dy)] where [dy] is the gradient of [sum_k adj_k * feat_k]

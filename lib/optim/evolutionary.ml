@@ -55,7 +55,13 @@ let crossover rng pack ya yb =
     (groups_of pack);
   Pack.round_to_valid pack y
 
-let search_round (cfg : Tuning_config.t) rng model packs ~elites ~already_measured =
+(* Population construction draws from the RNG in the same order as the
+   historical sequential implementation, but cost-model scoring is deferred
+   to a batch at each phase boundary (initial population, each generation):
+   scoring is pure, so batching — and fanning the batch out across a
+   runtime's domains — leaves every RNG draw, prediction list and the final
+   ranking bit-identical to the sequential run. *)
+let search_round (cfg : Tuning_config.t) rng ?runtime model packs ~elites ~already_measured =
   Telemetry.with_span Telemetry.global "ansor.search_round"
     ~attrs:[ ("packs", Telemetry.Int (List.length packs)) ]
   @@ fun () ->
@@ -64,22 +70,42 @@ let search_round (cfg : Tuning_config.t) rng model packs ~elites ~already_measur
   let prediction_cache : (string, float) Hashtbl.t = Hashtbl.create 512 in
   let all_predictions = ref [] in
   let evaluated = ref 0 in
-  let score pack y key =
-    match Hashtbl.find_opt prediction_cache key with
-    | Some p -> p
-    | None ->
-      let p = Mlp.forward model (Pack.features_at pack y) in
-      Hashtbl.replace prediction_cache key p;
-      incr evaluated;
-      all_predictions := p :: !all_predictions;
-      p
+  (* [protos] in construction order; scores new keys and records their
+     predictions in that same order. *)
+  let score_batch protos =
+    let seen_in_batch = Hashtbl.create 64 in
+    let fresh = ref [] in
+    List.iter
+      (fun (pack, y, key) ->
+        if
+          (not (Hashtbl.mem prediction_cache key))
+          && not (Hashtbl.mem seen_in_batch key)
+        then begin
+          Hashtbl.replace seen_in_batch key ();
+          fresh := (pack, y, key) :: !fresh
+        end)
+      protos;
+    let fresh = Array.of_list (List.rev !fresh) in
+    let predict (pack, y, _key) = Mlp.forward model (Pack.features_at pack y) in
+    let preds =
+      match runtime with
+      | Some rt -> Runtime.parallel_map rt predict fresh
+      | None -> Array.map predict fresh
+    in
+    Array.iteri
+      (fun i (_pack, _y, key) ->
+        Hashtbl.replace prediction_cache key preds.(i);
+        incr evaluated;
+        all_predictions := preds.(i) :: !all_predictions)
+      fresh
   in
-  let make pack y =
-    let key = Pack.schedule_key pack y in
-    { pack; y; key; predicted = score pack y key }
+  let proto pack y = (pack, y, Pack.schedule_key pack y) in
+  let individual_of (pack, y, key) =
+    { pack; y; key; predicted = Hashtbl.find prediction_cache key }
   in
   (* --- initial population -------------------------------------------------- *)
-  let population = ref [] in
+  let protos = ref [] in
+  let n_protos = ref 0 in
   let elite_seeds =
     List.filter (fun (p, _) -> Array.exists (fun q -> q == p) packs) elites
   in
@@ -89,17 +115,23 @@ let search_round (cfg : Tuning_config.t) rng model packs ~elites ~already_measur
   for _ = 1 to n_from_elites do
     let pack, y = Rng.choose rng elite_arr in
     match mutate rng pack y with
-    | Some y' -> population := make pack y' :: !population
+    | Some y' ->
+      protos := proto pack y' :: !protos;
+      incr n_protos
     | None -> ()
   done;
   let attempts = ref 0 in
-  while List.length !population < target && !attempts < target * 8 do
+  while !n_protos < target && !attempts < target * 8 do
     incr attempts;
     let pack = Rng.choose rng packs in
     match Dataset.sample_valid_point rng pack 20 with
-    | Some y -> population := make pack y :: !population
+    | Some y ->
+      protos := proto pack y :: !protos;
+      incr n_protos
     | None -> ()
   done;
+  score_batch (List.rev !protos);
+  let population = ref (List.map individual_of !protos) in
   (* --- generations ----------------------------------------------------------- *)
   let best_seen : (string, individual) Hashtbl.t = Hashtbl.create 256 in
   let remember ind = if not (Hashtbl.mem best_seen ind.key) then Hashtbl.replace best_seen ind.key ind in
@@ -109,16 +141,19 @@ let search_round (cfg : Tuning_config.t) rng model packs ~elites ~already_measur
     if Array.length pop > 0 then begin
       Array.sort (fun a b -> compare b.predicted a.predicted) pop;
       let elite_count = max 1 (Array.length pop / 10) in
+      (* carried elites are already scored; children defer to the batch *)
       let next = ref [] in
+      let n_next = ref 0 in
       for i = 0 to elite_count - 1 do
-        next := pop.(i) :: !next
+        next := `Old pop.(i) :: !next;
+        incr n_next
       done;
       let tournament () =
         let a = Rng.choose rng pop and b = Rng.choose rng pop in
         if a.predicted >= b.predicted then a else b
       in
       let tries = ref 0 in
-      while List.length !next < Array.length pop && !tries < Array.length pop * 4 do
+      while !n_next < Array.length pop && !tries < Array.length pop * 4 do
         incr tries;
         let p1 = tournament () in
         let child =
@@ -130,11 +165,19 @@ let search_round (cfg : Tuning_config.t) rng model packs ~elites ~already_measur
           end
         in
         match child with
-        | Some y -> next := make p1.pack y :: !next
+        | Some y ->
+          next := `New (proto p1.pack y) :: !next;
+          incr n_next
         | None -> ()
       done;
-      List.iter remember !next;
-      population := !next
+      score_batch
+        (List.rev
+           (List.filter_map (function `New p -> Some p | `Old _ -> None) !next));
+      let next_inds =
+        List.map (function `Old ind -> ind | `New p -> individual_of p) !next
+      in
+      List.iter remember next_inds;
+      population := next_inds
     end
   done;
   let ranked =

@@ -19,6 +19,7 @@ type trace = { evaluated : int; predictions : float list }
 val search_round :
   Tuning_config.t ->
   Rng.t ->
+  ?runtime:Runtime.t ->
   Mlp.t ->
   Pack.t list ->
   elites:(Pack.t * float array) list ->
@@ -26,7 +27,10 @@ val search_round :
   individual list * trace
 (** One evolutionary round. [elites] seeds part of the initial population
     with the best schedules measured so far (Ansor's warm start). Returns
-    the top [nmeasure_ansor] unmeasured individuals, best first. *)
+    the top [nmeasure_ansor] unmeasured individuals, best first. With
+    [runtime], population scoring (the cost-model forwards) fans out across
+    domains; genetic operators keep drawing from [rng] in sequential order,
+    so the result is bit-identical to the sequential run. *)
 
 val mutate : Rng.t -> Pack.t -> float array -> float array option
 (** Divisor-respecting mutation of one variable group; [None] when the

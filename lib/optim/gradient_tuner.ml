@@ -35,40 +35,76 @@ let descend (cfg : Tuning_config.t) _rng model pack y0 =
   history := (Array.copy y, obj) :: !history;
   List.rev !history
 
-let search_round (cfg : Tuning_config.t) rng model packs ~already_measured =
+(* The round is staged so a runtime can fan out the pure phases without
+   perturbing the RNG stream: start points are sampled sequentially in the
+   exact order of the sequential loop (descents draw nothing from the RNG),
+   then descents + factor rounding run on any domain, then deduplication and
+   prediction happen in discovery order. Results are bit-identical to the
+   sequential implementation at any domain count. *)
+let search_round (cfg : Tuning_config.t) rng ?runtime model packs ~already_measured =
   Telemetry.with_span Telemetry.global "felix.search_round"
     ~attrs:[ ("packs", Telemetry.Int (List.length packs)) ]
   @@ fun () ->
   let npacks = max 1 (List.length packs) in
   let seeds_per_pack = max 1 (cfg.nseeds / npacks) in
+  (* Phase 1 (sequential): consume the RNG in legacy order. *)
+  let starts =
+    List.concat_map
+      (fun pack ->
+        List.filter_map
+          (fun _ -> Option.map (fun y0 -> (pack, y0)) (Dataset.sample_valid_point rng pack 100))
+          (List.init seeds_per_pack Fun.id))
+      packs
+  in
+  (* Phase 2 (parallel): pure gradient descents plus factor rounding. *)
+  let run_start (pack, y0) =
+    let trajectory = descend cfg rng model pack y0 in
+    let rounded =
+      List.filter_map
+        (fun (y, _obj) ->
+          Option.map (fun r -> (r, Pack.schedule_key pack r)) (Pack.round_to_valid pack y))
+        trajectory
+    in
+    (pack, List.length trajectory, rounded)
+  in
+  let per_start =
+    let arr = Array.of_list starts in
+    match runtime with
+    | Some rt -> Runtime.parallel_map rt run_start arr
+    | None -> Array.map run_start arr
+  in
+  (* Phase 3 (sequential): dedup trajectory points in discovery order. *)
   let seen : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let uniques = ref [] in
+  let steps = ref 0 in
+  Array.iter
+    (fun (pack, n_steps, rounded) ->
+      steps := !steps + n_steps;
+      List.iter
+        (fun (r, key) ->
+          if not (Hashtbl.mem seen key) then begin
+            Hashtbl.replace seen key ();
+            uniques := (pack, r, key) :: !uniques
+          end)
+        rounded)
+    per_start;
+  let uniques = Array.of_list (List.rev !uniques) in
+  (* Phase 4 (parallel): predict each unique point once. *)
+  let predict (pack, r, _key) = Mlp.forward model (Pack.features_at pack r) in
+  let preds =
+    match runtime with
+    | Some rt -> Runtime.parallel_map rt predict uniques
+    | None -> Array.map predict uniques
+  in
   let candidates = ref [] in
   let predictions = ref [] in
-  let steps = ref 0 in
-  List.iter
-    (fun pack ->
-      for _ = 1 to seeds_per_pack do
-        match Dataset.sample_valid_point rng pack 100 with
-        | None -> ()
-        | Some y0 ->
-          let trajectory = descend cfg rng model pack y0 in
-          steps := !steps + List.length trajectory;
-          List.iter
-            (fun (y, _obj) ->
-              match Pack.round_to_valid pack y with
-              | None -> ()
-              | Some r ->
-                let key = Pack.schedule_key pack r in
-                if not (Hashtbl.mem seen key) then begin
-                  Hashtbl.replace seen key ();
-                  let predicted = Mlp.forward model (Pack.features_at pack r) in
-                  predictions := predicted :: !predictions;
-                  if not (already_measured key) then
-                    candidates := { pack; y = r; key; predicted } :: !candidates
-                end)
-            trajectory
-      done)
-    packs;
+  Array.iteri
+    (fun i (pack, r, key) ->
+      let predicted = preds.(i) in
+      predictions := predicted :: !predictions;
+      if not (already_measured key) then
+        candidates := { pack; y = r; key; predicted } :: !candidates)
+    uniques;
   let sorted =
     List.sort (fun a b -> compare b.predicted a.predicted) !candidates
   in

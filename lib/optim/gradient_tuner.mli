@@ -26,13 +26,17 @@ type trace = {
 val search_round :
   Tuning_config.t ->
   Rng.t ->
+  ?runtime:Runtime.t ->
   Mlp.t ->
   Pack.t list ->
   already_measured:(string -> bool) ->
   candidate list * trace
 (** One Felix round over the subgraph's sketches. Returns the top
     [nmeasure_felix] new candidates sorted by predicted performance
-    (best first), plus the search trace. *)
+    (best first), plus the search trace. With [runtime], the pure phases
+    (descents, rounding, cost-model predictions) fan out across domains;
+    the RNG is consumed in the sequential order, so the result is
+    bit-identical to the sequential run. *)
 
 val descend :
   Tuning_config.t -> Rng.t -> Mlp.t -> Pack.t -> float array -> (float array * float) list

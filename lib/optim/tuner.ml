@@ -1,9 +1,10 @@
-type engine = Felix | Ansor | Random
+(* Engine and event types live in Tuning_config (so the run configuration
+   can carry an event callback); re-export them under the historical names
+   with type equations, so [Tuner.Felix] and friends keep working. *)
 
-let engine_name = function
-  | Felix -> "Felix"
-  | Ansor -> "Ansor-TenSet"
-  | Random -> "Random"
+type engine = Tuning_config.engine = Felix | Ansor | Random
+
+let engine_name = Tuning_config.engine_name
 
 type progress_point = { time_s : float; latency_ms : float }
 
@@ -34,9 +35,9 @@ let network_latency_ms r = r.final_latency_ms
 
 (* --- tuning events --------------------------------------------------------- *)
 
-type budget_reason = Round_limit | Time_limit
+type budget_reason = Tuning_config.budget_reason = Round_limit | Time_limit
 
-type event =
+type event = Tuning_config.event =
   | Tuning_started of {
       network : string;
       device_name : string;
@@ -73,11 +74,13 @@ type event =
       sim_clock_s : float;
     }
 
-let no_event : event -> unit = fun _ -> ()
+let no_event = Tuning_config.no_event
+let budget_reason_name = Tuning_config.budget_reason_name
 
 type task_state = {
   t : Partition.task;
   packs : Pack.t list;
+  key_prefix : string;  (* workload identity, prefixes sim-cache keys *)
   measured : (string, float) Hashtbl.t;
   mutable best : float;
   mutable best_point : (Pack.t * float array) option;
@@ -87,9 +90,17 @@ type task_state = {
   mutable n_measured : int;
 }
 
-let make_state task =
+let make_state ?runtime task =
+  let sg = task.Partition.subgraph in
+  let sketches = Sketch.generate sg in
+  let packs =
+    match runtime with
+    | None -> List.map (fun s -> Pack.prepare sg s) sketches
+    | Some rt -> Runtime.map_list rt (fun s -> Pack.prepare_cached sg s) sketches
+  in
   { t = task;
-    packs = List.map (fun s -> Pack.prepare task.Partition.subgraph s) (Sketch.generate task.Partition.subgraph);
+    packs;
+    key_prefix = Compute.workload_key sg ^ "|";
     measured = Hashtbl.create 64;
     best = Float.infinity;
     best_point = None;
@@ -113,25 +124,89 @@ let network_latency states =
     (fun acc st -> acc +. (float_of_int st.t.Partition.weight *. st.best))
     (graph_exec_overhead_ms states) states
 
+(* Bookkeeping for one measured latency; shared by the sequential and the
+   parallel measurement paths so both update best/elites identically. *)
+let note_measurement st pack y key lat =
+  Hashtbl.replace st.measured key lat;
+  st.n_measured <- st.n_measured + 1;
+  if Float.is_finite lat && lat < st.best then begin
+    st.best <- lat;
+    st.best_point <- Some (pack, Array.copy y)
+  end;
+  if Float.is_finite lat then
+    st.elites <-
+      (pack, Array.copy y, lat) :: st.elites
+      |> List.sort (fun (_, _, a) (_, _, b) -> compare a b)
+      |> List.filteri (fun i _ -> i < 8)
+
 let record_measurement rng device st pack y =
   let key = Pack.schedule_key pack y in
   if Hashtbl.mem st.measured key then None
   else begin
     let lat = Gpu_model.measure_ms rng device (Pack.program pack) (Pack.env_of pack y) in
-    Hashtbl.replace st.measured key lat;
-    st.n_measured <- st.n_measured + 1;
-    if Float.is_finite lat && lat < st.best then begin
-      st.best <- lat;
-      st.best_point <- Some (pack, Array.copy y)
-    end;
-    if Float.is_finite lat then begin
-      st.elites <-
-        (pack, Array.copy y, lat) :: st.elites
-        |> List.sort (fun (_, _, a) (_, _, b) -> compare a b)
-        |> List.filteri (fun i _ -> i < 8)
-    end;
+    note_measurement st pack y key lat;
     Some lat
   end
+
+(* Measure a round's candidates; returns (measured count, training pairs in
+   the reversed order the sequential loop accumulates them).
+
+   The parallel path computes the noiseless base latencies (and feature
+   vectors for the finite ones) on the pool, then applies measurement noise
+   from the tuning RNG in candidate order at the join — consuming exactly
+   the random values the sequential path would, so both paths are
+   bit-identical. *)
+let measure_candidates ?runtime rng device st candidates =
+  match runtime with
+  | None ->
+    let pairs = ref [] in
+    let n_measured = ref 0 in
+    List.iter
+      (fun (pack, y) ->
+        match record_measurement rng device st pack y with
+        | Some lat ->
+          incr n_measured;
+          if Float.is_finite lat then
+            pairs := (Pack.features_at pack y, -.log lat) :: !pairs
+        | None -> ())
+      candidates;
+    (!n_measured, !pairs)
+  | Some rt ->
+    let cache = Runtime.sim_cache rt in
+    let seen = Hashtbl.create 32 in
+    let fresh =
+      List.filter_map
+        (fun (pack, y) ->
+          let key = Pack.schedule_key pack y in
+          if Hashtbl.mem st.measured key || Hashtbl.mem seen key then None
+          else begin
+            Hashtbl.replace seen key ();
+            Some (pack, y, key)
+          end)
+        candidates
+      |> Array.of_list
+    in
+    let measure_base (pack, y, key) =
+      let cache_key = device.Device.device_name ^ "|" ^ st.key_prefix ^ key in
+      let base =
+        Gpu_model.measure_base_ms ~cache ~key:cache_key device (Pack.program pack)
+          (Pack.env_of pack y)
+      in
+      let feats = if Float.is_finite base then Some (Pack.features_at pack y) else None in
+      (base, feats)
+    in
+    let bases = Runtime.parallel_map rt measure_base fresh in
+    let pairs = ref [] in
+    Array.iteri
+      (fun i (pack, y, key) ->
+        let base, feats = bases.(i) in
+        let lat = Gpu_model.finish_measure_ms rng base in
+        note_measurement st pack y key lat;
+        match feats with
+        | Some f when Float.is_finite lat -> pairs := (f, -.log lat) :: !pairs
+        | _ -> ())
+      fresh;
+    (Array.length fresh, !pairs)
 
 (* Fine-tune the cost model on freshly measured pairs (Alg. 1 line 24);
    returns the last batch loss when an update happened. *)
@@ -146,6 +221,10 @@ let update_model model adam pairs =
     Some !loss
   end
 
+(* Sequential by design even when a runtime is available: each task's
+   rejection sampling and its measurement noise interleave on the one
+   tuning RNG, so reordering would change the stream. One measurement per
+   task is not a hot path. *)
 let initial_round cfg rng device clock states =
   List.iter
     (fun st ->
@@ -193,18 +272,20 @@ let random_round (cfg : Tuning_config.t) rng st ~already_measured =
   done;
   !out
 
-let run_engine_round cfg rng engine model st =
+let run_engine_round cfg rng ?runtime engine model st =
   let already_measured key = Hashtbl.mem st.measured key in
   match engine with
   | Felix ->
-    let cands, trace = Gradient_tuner.search_round cfg rng model st.packs ~already_measured in
+    let cands, trace =
+      Gradient_tuner.search_round cfg rng ?runtime model st.packs ~already_measured
+    in
     ( List.map (fun (c : Gradient_tuner.candidate) -> (c.pack, c.y)) cands,
       trace.Gradient_tuner.predictions,
       cfg.Tuning_config.felix_round_overhead )
   | Ansor ->
     let elites = List.map (fun (p, y, _) -> (p, y)) st.elites in
     let cands, trace =
-      Evolutionary.search_round cfg rng model st.packs ~elites ~already_measured
+      Evolutionary.search_round cfg rng ?runtime model st.packs ~elites ~already_measured
     in
     ( List.map (fun (c : Evolutionary.individual) -> (c.pack, c.y)) cands,
       trace.Evolutionary.predictions,
@@ -213,7 +294,8 @@ let run_engine_round cfg rng engine model st =
 
 let subgraph_name st = st.t.Partition.subgraph.Compute.sg_name
 
-let tune_round cfg rng device engine model model_adam clock ~telemetry ~emit ~round st =
+let tune_round cfg rng ?runtime device engine model model_adam clock ~telemetry ~emit
+    ~round st =
   let task_id = st.t.Partition.task_id in
   emit
     (Round_started
@@ -227,34 +309,25 @@ let tune_round cfg rng device engine model model_adam clock ~telemetry ~emit ~ro
           ("subgraph", Telemetry.Str (subgraph_name st));
           ("sim_clock_s", Telemetry.Float (Tuning_config.Clock.now clock)) ]
   in
-  let candidates, predictions, overhead = run_engine_round cfg rng engine model st in
+  let candidates, predictions, overhead = run_engine_round cfg rng ?runtime engine model st in
   let before = st.best in
-  let pairs = ref [] in
-  let n_measured = ref 0 in
-  List.iter
-    (fun (pack, y) ->
-      match record_measurement rng device st pack y with
-      | Some lat ->
-        incr n_measured;
-        if Float.is_finite lat then pairs := (Pack.features_at pack y, -.log lat) :: !pairs
-      | None -> ())
-    candidates;
+  let n_measured, pairs = measure_candidates ?runtime rng device st candidates in
   Tuning_config.Clock.advance clock
     ((float_of_int (List.length candidates) *. cfg.Tuning_config.measure_seconds)
     +. overhead +. cfg.Tuning_config.model_update_seconds);
   emit
     (Candidates_measured
-       { round; task_id; proposed = List.length candidates; measured = !n_measured;
+       { round; task_id; proposed = List.length candidates; measured = n_measured;
          sim_clock_s = Tuning_config.Clock.now clock });
   if Float.is_finite st.best && st.best < before then
     emit
       (Task_improved
          { round; task_id; subgraph = subgraph_name st; before_ms = before;
            after_ms = st.best });
-  let loss = update_model model model_adam !pairs in
+  let loss = update_model model model_adam pairs in
   (match loss with
   | Some l ->
-    emit (Model_updated { round; samples = List.length !pairs; loss = l });
+    emit (Model_updated { round; samples = List.length pairs; loss = l });
     Telemetry.Gauge.set (Telemetry.gauge telemetry "tuner.model_loss") l
   | None -> ());
   st.rounds_spent <- st.rounds_spent + 1;
@@ -262,11 +335,11 @@ let tune_round cfg rng device engine model model_adam clock ~telemetry ~emit ~ro
   st.improvement_factor <-
     (if improved then 1.0 else max 0.2 (st.improvement_factor *. 0.8));
   Telemetry.Counter.incr (Telemetry.counter telemetry "tuner.rounds");
-  Telemetry.Counter.incr ~by:!n_measured (Telemetry.counter telemetry "tuner.measurements");
+  Telemetry.Counter.incr ~by:n_measured (Telemetry.counter telemetry "tuner.measurements");
   Telemetry.span_end telemetry sp
     ~attrs:
       [ ("proposed", Telemetry.Int (List.length candidates));
-        ("measured", Telemetry.Int !n_measured); ("best_ms", Telemetry.Float st.best);
+        ("measured", Telemetry.Int n_measured); ("best_ms", Telemetry.Float st.best);
         ("model_loss", Telemetry.Float (Option.value ~default:0.0 loss));
         ("sim_clock_end_s", Telemetry.Float (Tuning_config.Clock.now clock)) ];
   predictions
@@ -279,12 +352,23 @@ let best_of_state st =
   in
   { latency_ms = st.best; sketch; assignment }
 
-let budget_reason_name = function Round_limit -> "rounds" | Time_limit -> "time"
+(* Materialise the runtime a run configuration asks for: an explicit
+   [runtime] wins; otherwise [jobs > 1] creates a temporary pool for the
+   duration of the call. *)
+let with_effective_runtime (rc : Tuning_config.run) f =
+  match rc.Tuning_config.runtime with
+  | Some rt -> f (Some rt)
+  | None ->
+    if rc.Tuning_config.jobs > 1 then
+      Runtime.with_runtime ~domains:rc.Tuning_config.jobs (fun rt -> f (Some rt))
+    else f None
 
-let tune ?(config = Tuning_config.default) ?(on_event = no_event)
-    ?(telemetry = Telemetry.global) ~seed device base_model graph engine =
-  let cfg = config in
-  let rng = Rng.create seed in
+let run (rc : Tuning_config.run) device base_model graph engine =
+  with_effective_runtime rc @@ fun runtime ->
+  let cfg = rc.Tuning_config.search in
+  let on_event = rc.Tuning_config.on_event in
+  let telemetry = Option.value rc.Tuning_config.telemetry ~default:Telemetry.global in
+  let rng = Rng.create rc.Tuning_config.seed in
   let model = Mlp.copy base_model in
   let model_adam = Mlp.adam_for ~lr:2e-4 model in
   let clock = Tuning_config.Clock.create () in
@@ -293,11 +377,15 @@ let tune ?(config = Tuning_config.default) ?(on_event = no_event)
       ~attrs:
         [ ("network", Telemetry.Str graph.Graph.graph_name);
           ("device", Telemetry.Str device.Device.device_name);
-          ("engine", Telemetry.Str (engine_name engine)) ]
+          ("engine", Telemetry.Str (engine_name engine));
+          ("domains", Telemetry.Int (match runtime with None -> 1 | Some rt -> Runtime.domains rt)) ]
   in
   let states =
     Telemetry.with_span telemetry "tuner.prepare_tasks" (fun () ->
-        List.map make_state (Partition.partition graph))
+        let tasks = Partition.partition graph in
+        match runtime with
+        | None -> List.map (fun t -> make_state t) tasks
+        | Some rt -> Runtime.map_list rt (fun t -> make_state ~runtime:rt t) tasks)
   in
   on_event
     (Tuning_started
@@ -314,8 +402,8 @@ let tune ?(config = Tuning_config.default) ?(on_event = no_event)
     incr round;
     let st = select_task states in
     ignore
-      (tune_round cfg rng device engine model model_adam clock ~telemetry ~emit:on_event
-         ~round:!round st);
+      (tune_round cfg rng ?runtime device engine model model_adam clock ~telemetry
+         ~emit:on_event ~round:!round st);
     let net_ms = network_latency states in
     Telemetry.Gauge.set (Telemetry.gauge telemetry "tuner.network_latency_ms") net_ms;
     on_event
@@ -362,22 +450,17 @@ type single_result = {
   predictions : float list;
 }
 
-let s_best_latency_ms r = r.best.latency_ms
-[@@deprecated "use (single_result).best.latency_ms"]
-
-let s_curve r = r.curve [@@deprecated "use (single_result).curve"]
-
-let s_predictions r = r.predictions [@@deprecated "use (single_result).predictions"]
-
-let tune_single ?(config = Tuning_config.default) ?(on_event = no_event)
-    ?(telemetry = Telemetry.global) ~seed ~rounds device base_model sg engine =
-  let cfg = config in
-  let rng = Rng.create seed in
+let run_single (rc : Tuning_config.run) ~rounds device base_model sg engine =
+  with_effective_runtime rc @@ fun runtime ->
+  let cfg = rc.Tuning_config.search in
+  let on_event = rc.Tuning_config.on_event in
+  let telemetry = Option.value rc.Tuning_config.telemetry ~default:Telemetry.global in
+  let rng = Rng.create rc.Tuning_config.seed in
   let model = Mlp.copy base_model in
   let model_adam = Mlp.adam_for ~lr:2e-4 model in
   let clock = Tuning_config.Clock.create () in
   let task = { Partition.task_id = 0; subgraph = sg; weight = 1; node_ids = [] } in
-  let st = make_state task in
+  let st = make_state ?runtime task in
   on_event
     (Tuning_started
        { network = sg.Compute.sg_name; device_name = device.Device.device_name; engine;
@@ -387,8 +470,8 @@ let tune_single ?(config = Tuning_config.default) ?(on_event = no_event)
   let predictions = ref [] in
   for round = 1 to rounds do
     let preds =
-      tune_round cfg rng device engine model model_adam clock ~telemetry ~emit:on_event
-        ~round st
+      tune_round cfg rng ?runtime device engine model model_adam clock ~telemetry
+        ~emit:on_event ~round st
     in
     predictions := !predictions @ preds;
     on_event
@@ -405,3 +488,26 @@ let tune_single ?(config = Tuning_config.default) ?(on_event = no_event)
        { final_latency_ms = st.best; total_measurements = st.n_measured;
          sim_clock_s = Tuning_config.Clock.now clock });
   { best = best_of_state st; curve = List.rev !curve; predictions = !predictions }
+
+(* --- deprecated labelled-argument shims ------------------------------------ *)
+
+let run_config ?(config = Tuning_config.default) ?(on_event = no_event)
+    ?(telemetry = Telemetry.global) ?runtime ~seed () =
+  let rc =
+    Tuning_config.(
+      builder |> with_search config |> with_seed seed |> with_on_event on_event
+      |> with_telemetry telemetry)
+  in
+  match runtime with
+  | Some rt -> Tuning_config.with_runtime rt rc
+  | None -> rc
+
+let tune ?config ?on_event ?telemetry ?runtime ~seed device base_model graph engine =
+  run (run_config ?config ?on_event ?telemetry ?runtime ~seed ()) device base_model
+    graph engine
+
+let tune_single ?config ?on_event ?telemetry ?runtime ~seed ~rounds device base_model
+    sg engine =
+  run_single
+    (run_config ?config ?on_event ?telemetry ?runtime ~seed ())
+    ~rounds device base_model sg engine

@@ -12,19 +12,40 @@
     baseline: identical sketches, cost model, measurement budget accounting
     and task scheduling — only the per-round search differs.
 
+    {2 Configuration}
+
+    {!run} and {!run_single} take one {!Tuning_config.run} value built with
+    the config builder:
+
+    {[
+      let rc = Tuning_config.(builder |> with_rounds 32 |> with_seed 7 |> with_jobs 4) in
+      let result = Tuner.run rc device model graph Tuner.Felix
+    ]}
+
+    With [jobs > 1] (or an explicit {!Tuning_config.with_runtime}) the pure
+    phases — schedule descents, feature packs, cost-model forwards,
+    simulator base latencies — fan out across a {!Runtime} domain pool.
+    The tuning RNG is always consumed in the sequential order, so the
+    result (curve, best candidate, every measured latency) is bit-identical
+    to the sequential run at any domain count.
+
     {2 Observability}
 
     The driver is event-driven: every phase of the loop is announced
-    through a caller-supplied [?on_event] callback, so progress streaming,
-    early-run dashboards and logging are all consumers of one event bus
-    rather than being baked into the driver. Independently, [?telemetry]
-    names the {!Telemetry} registry that receives per-round spans
-    (engine, task, candidate counts, best latency, model loss, simulated
-    vs. wall clock) and counters; it defaults to [Telemetry.global], which
-    is disabled unless a front end turns it on. Omitting both yields
-    exactly the behaviour (and result) of the un-instrumented driver. *)
+    through the run configuration's event callback
+    ({!Tuning_config.with_on_event}), so progress streaming, early-run
+    dashboards and logging are all consumers of one event bus rather than
+    being baked into the driver. Independently,
+    {!Tuning_config.with_telemetry} names the {!Telemetry} registry that
+    receives per-round spans (engine, task, candidate counts, best latency,
+    model loss, simulated vs. wall clock) and counters; it defaults to
+    [Telemetry.global], which is disabled unless a front end turns it on.
+    Omitting both yields exactly the behaviour (and result) of the
+    un-instrumented driver. *)
 
-type engine =
+(** The search engine. Defined in {!Tuning_config} (re-exported here), so
+    configuration values can reference it without a dependency cycle. *)
+type engine = Tuning_config.engine =
   | Felix  (** gradient descent, Algorithm 1 *)
   | Ansor  (** the evolutionary baseline *)
   | Random  (** uniform random valid schedules (ablation control) *)
@@ -60,18 +81,20 @@ type result = {
 
 val network_latency_ms : result -> float
 
-(** {2 Tuning events} *)
+(** {2 Tuning events}
 
-type budget_reason =
+    Re-exported from {!Tuning_config}. *)
+
+type budget_reason = Tuning_config.budget_reason =
   | Round_limit  (** [max_rounds] reached *)
   | Time_limit  (** simulated [time_budget_s] exhausted *)
 
-(** One tuning-loop occurrence, delivered to [?on_event] callbacks in
-    strict order: [Tuning_started], then per round [Round_started],
+(** One tuning-loop occurrence, delivered to the configured event callback
+    in strict order: [Tuning_started], then per round [Round_started],
     [Candidates_measured], optionally [Task_improved] and [Model_updated],
     [Round_finished]; finally [Budget_exhausted] and [Tuning_finished].
     [sim_clock_s] is the simulated tuning clock (seconds). *)
-type event =
+type event = Tuning_config.event =
   | Tuning_started of {
       network : string;
       device_name : string;
@@ -108,22 +131,14 @@ type event =
       sim_clock_s : float;
     }
 
+val no_event : event -> unit
 val budget_reason_name : budget_reason -> string
 
-val tune :
-  ?config:Tuning_config.t ->
-  ?on_event:(event -> unit) ->
-  ?telemetry:Telemetry.t ->
-  seed:int ->
-  Device.t ->
-  Mlp.t ->
-  Graph.t ->
-  engine ->
-  result
-(** Tune a whole network. The cost model is copied and fine-tuned
-    privately; the caller's model is not modified. [on_event] defaults to
-    a no-op and [telemetry] to [Telemetry.global]; neither affects the
-    search itself. *)
+val run : Tuning_config.run -> Device.t -> Mlp.t -> Graph.t -> engine -> result
+(** Tune a whole network under one run configuration. The cost model is
+    copied and fine-tuned privately; the caller's model is not modified.
+    When the configuration carries no explicit runtime but [jobs > 1], a
+    temporary domain pool is created for the duration of the call. *)
 
 type single_result = {
   best : best_candidate;
@@ -133,20 +148,8 @@ type single_result = {
           order (Figure 8's population data) *)
 }
 
-val s_best_latency_ms : single_result -> float
-[@@ocaml.deprecated "use (single_result).best.latency_ms"]
-
-val s_curve : single_result -> progress_point list
-[@@ocaml.deprecated "use (single_result).curve"]
-
-val s_predictions : single_result -> float list
-[@@ocaml.deprecated "use (single_result).predictions"]
-
-val tune_single :
-  ?config:Tuning_config.t ->
-  ?on_event:(event -> unit) ->
-  ?telemetry:Telemetry.t ->
-  seed:int ->
+val run_single :
+  Tuning_config.run ->
   rounds:int ->
   Device.t ->
   Mlp.t ->
@@ -154,3 +157,35 @@ val tune_single :
   engine ->
   single_result
 (** Tune one subgraph for a fixed number of rounds (Figures 8 and 9). *)
+
+(** {2 Deprecated labelled-argument entry points}
+
+    Thin shims over {!run} / {!run_single}; kept for one release. *)
+
+val tune :
+  ?config:Tuning_config.t ->
+  ?on_event:(event -> unit) ->
+  ?telemetry:Telemetry.t ->
+  ?runtime:Runtime.t ->
+  seed:int ->
+  Device.t ->
+  Mlp.t ->
+  Graph.t ->
+  engine ->
+  result
+[@@ocaml.deprecated "build a Tuning_config.run with the builder and call Tuner.run"]
+
+val tune_single :
+  ?config:Tuning_config.t ->
+  ?on_event:(event -> unit) ->
+  ?telemetry:Telemetry.t ->
+  ?runtime:Runtime.t ->
+  seed:int ->
+  rounds:int ->
+  Device.t ->
+  Mlp.t ->
+  Compute.subgraph ->
+  engine ->
+  single_result
+[@@ocaml.deprecated
+  "build a Tuning_config.run with the builder and call Tuner.run_single"]

@@ -33,3 +33,83 @@ module Clock = struct
   let now c = c.t
   let advance c dt = c.t <- c.t +. dt
 end
+
+(* --- engines and tuning events --------------------------------------------- *)
+
+type engine = Felix | Ansor | Random
+
+let engine_name = function
+  | Felix -> "Felix"
+  | Ansor -> "Ansor-TenSet"
+  | Random -> "Random"
+
+type budget_reason = Round_limit | Time_limit
+
+let budget_reason_name = function Round_limit -> "rounds" | Time_limit -> "time"
+
+type event =
+  | Tuning_started of {
+      network : string;
+      device_name : string;
+      engine : engine;
+      n_tasks : int;
+    }
+  | Round_started of { round : int; task_id : int; subgraph : string; sim_clock_s : float }
+  | Candidates_measured of {
+      round : int;
+      task_id : int;
+      proposed : int;
+      measured : int;
+      sim_clock_s : float;
+    }
+  | Task_improved of {
+      round : int;
+      task_id : int;
+      subgraph : string;
+      before_ms : float;
+      after_ms : float;
+    }
+  | Model_updated of { round : int; samples : int; loss : float }
+  | Round_finished of {
+      round : int;
+      task_id : int;
+      best_task_ms : float;
+      network_ms : float;
+      sim_clock_s : float;
+    }
+  | Budget_exhausted of { rounds : int; sim_clock_s : float; reason : budget_reason }
+  | Tuning_finished of {
+      final_latency_ms : float;
+      total_measurements : int;
+      sim_clock_s : float;
+    }
+
+let no_event : event -> unit = fun _ -> ()
+
+(* --- consolidated run configuration ---------------------------------------- *)
+
+type run = {
+  search : t;
+  seed : int;
+  jobs : int;
+  runtime : Runtime.t option;
+  on_event : event -> unit;
+  telemetry : Telemetry.t option;
+}
+
+let builder =
+  { search = default; seed = 0; jobs = 1; runtime = None; on_event = no_event;
+    telemetry = None }
+
+let with_search search r = { r with search }
+let with_rounds n r = { r with search = { r.search with max_rounds = n } }
+let with_time_budget s r = { r with search = { r.search with time_budget_s = s } }
+
+let with_measure_per_round n r =
+  { r with search = { r.search with nmeasure_felix = n; nmeasure_ansor = n } }
+
+let with_seed seed r = { r with seed }
+let with_jobs jobs r = { r with jobs = max 1 jobs }
+let with_runtime rt r = { r with runtime = Some rt }
+let with_on_event on_event r = { r with on_event }
+let with_telemetry reg r = { r with telemetry = Some reg }

@@ -1,4 +1,5 @@
-(** Search parameters and the simulated tuning-time accounting.
+(** Search parameters, the consolidated run configuration, and the simulated
+    tuning-time accounting.
 
     Search defaults follow the paper's Section 5: Felix runs 8 seeds x 200
     Adam steps and measures 16 candidates per round; Ansor runs an
@@ -49,3 +50,104 @@ module Clock : sig
   val now : clock -> float
   val advance : clock -> float -> unit
 end
+
+(** {1 Engines and tuning events}
+
+    Defined here (rather than in [Tuner]) so the run configuration can
+    carry an event callback; [Tuner] re-exports them under the same
+    constructor names. *)
+
+type engine = Felix | Ansor | Random
+
+val engine_name : engine -> string
+
+type budget_reason = Round_limit | Time_limit
+
+val budget_reason_name : budget_reason -> string
+
+type event =
+  | Tuning_started of {
+      network : string;
+      device_name : string;
+      engine : engine;
+      n_tasks : int;
+    }
+      (** Emitted once, before the initial measurement round. *)
+  | Round_started of { round : int; task_id : int; subgraph : string; sim_clock_s : float }
+  | Candidates_measured of {
+      round : int;
+      task_id : int;
+      proposed : int;  (** candidates the search engine proposed *)
+      measured : int;  (** actually measured (deduplicated) *)
+      sim_clock_s : float;
+    }
+  | Task_improved of {
+      round : int;
+      task_id : int;
+      subgraph : string;
+      before_ms : float;
+      after_ms : float;
+    }  (** The task's best latency improved this round. *)
+  | Model_updated of { round : int; samples : int; loss : float }
+      (** Cost model fine-tuned on freshly measured pairs. *)
+  | Round_finished of {
+      round : int;
+      task_id : int;
+      best_task_ms : float;
+      network_ms : float;
+      sim_clock_s : float;
+    }
+  | Budget_exhausted of { rounds : int; sim_clock_s : float; reason : budget_reason }
+  | Tuning_finished of {
+      final_latency_ms : float;
+      total_measurements : int;
+      sim_clock_s : float;
+    }
+
+val no_event : event -> unit
+(** Callback that ignores every event. *)
+
+(** {1 Consolidated run configuration}
+
+    One record carries everything a tuning entry point needs — search
+    parameters, seed, parallelism and observability hooks — built with
+    [|>]-style combinators:
+
+    {[
+      Tuning_config.(builder |> with_rounds 24 |> with_seed 7 |> with_jobs 4)
+      |> fun run -> Tuner.run run device model graph Tuner.Felix
+    ]} *)
+
+type run = {
+  search : t;  (** search parameters (see above) *)
+  seed : int;  (** RNG seed; every run is bit-reproducible from it *)
+  jobs : int;
+      (** domain parallelism; [> 1] without an explicit [runtime] makes the
+          tuner create (and shut down) a runtime of that many domains *)
+  runtime : Runtime.t option;
+      (** explicit runtime to share across runs; overrides [jobs] *)
+  on_event : event -> unit;
+  telemetry : Telemetry.t option;  (** defaults to [Telemetry.global] *)
+}
+
+val builder : run
+(** Starting point: [default] search, seed 0, sequential, no observers. *)
+
+val with_search : t -> run -> run
+val with_rounds : int -> run -> run
+(** Sets [search.max_rounds]. *)
+
+val with_time_budget : float -> run -> run
+(** Sets [search.time_budget_s]. *)
+
+val with_measure_per_round : int -> run -> run
+(** Sets the per-round measurement budget ([nmeasure_felix] and
+    [nmeasure_ansor]). *)
+
+val with_seed : int -> run -> run
+val with_jobs : int -> run -> run
+(** Clamped to [>= 1]. *)
+
+val with_runtime : Runtime.t -> run -> run
+val with_on_event : (event -> unit) -> run -> run
+val with_telemetry : Telemetry.t -> run -> run

@@ -1,0 +1,330 @@
+(* Fixed-size domain pool with a caller-helps work queue.
+
+   A map splits its array into chunks and pushes them on a shared queue;
+   spawned workers and the calling domain drain it together, writing results
+   into disjoint slots of a shared array. The mutex/condition pair that
+   protects the queue also publishes those writes to the caller at the join,
+   so no further synchronisation is needed on the result array. *)
+
+module Lru = struct
+  type ('k, 'v) node = {
+    key : 'k;
+    mutable value : 'v;
+    mutable prev : ('k, 'v) node option;  (* toward the MRU end *)
+    mutable next : ('k, 'v) node option;  (* toward the LRU end *)
+  }
+
+  type ('k, 'v) t = {
+    cap : int;
+    tbl : ('k, ('k, 'v) node) Hashtbl.t;
+    mutable mru : ('k, 'v) node option;
+    mutable lru : ('k, 'v) node option;
+    mutable n_hits : int;
+    mutable n_misses : int;
+    lock : Mutex.t;
+  }
+
+  let create ?(capacity = 4096) () =
+    if capacity < 1 then invalid_arg "Runtime.Lru.create: capacity must be >= 1";
+    { cap = capacity;
+      tbl = Hashtbl.create 64;
+      mru = None;
+      lru = None;
+      n_hits = 0;
+      n_misses = 0;
+      lock = Mutex.create () }
+
+  let capacity t = t.cap
+  let length t = Hashtbl.length t.tbl
+  let hits t = t.n_hits
+  let misses t = t.n_misses
+
+  let unlink t n =
+    (match n.prev with Some p -> p.next <- n.next | None -> t.mru <- n.next);
+    (match n.next with Some s -> s.prev <- n.prev | None -> t.lru <- n.prev);
+    n.prev <- None;
+    n.next <- None
+
+  let push_front t n =
+    n.next <- t.mru;
+    n.prev <- None;
+    (match t.mru with Some m -> m.prev <- Some n | None -> t.lru <- Some n);
+    t.mru <- Some n
+
+  let find_opt t k =
+    Mutex.lock t.lock;
+    let r =
+      match Hashtbl.find_opt t.tbl k with
+      | Some n ->
+        t.n_hits <- t.n_hits + 1;
+        unlink t n;
+        push_front t n;
+        Some n.value
+      | None ->
+        t.n_misses <- t.n_misses + 1;
+        None
+    in
+    Mutex.unlock t.lock;
+    r
+
+  let add t k v =
+    Mutex.lock t.lock;
+    (match Hashtbl.find_opt t.tbl k with
+    | Some n ->
+      n.value <- v;
+      unlink t n;
+      push_front t n
+    | None ->
+      let n = { key = k; value = v; prev = None; next = None } in
+      Hashtbl.replace t.tbl k n;
+      push_front t n;
+      if Hashtbl.length t.tbl > t.cap then (
+        match t.lru with
+        | Some victim ->
+          Hashtbl.remove t.tbl victim.key;
+          unlink t victim
+        | None -> ()));
+    Mutex.unlock t.lock
+
+  let find_or_add t k f =
+    match find_opt t k with
+    | Some v -> v
+    | None ->
+      let v = f () in
+      add t k v;
+      v
+
+  let clear t =
+    Mutex.lock t.lock;
+    Hashtbl.reset t.tbl;
+    t.mru <- None;
+    t.lru <- None;
+    Mutex.unlock t.lock
+end
+
+(* --- domain pool ---------------------------------------------------------- *)
+
+let c_tasks = Telemetry.counter Telemetry.global "runtime.tasks"
+let c_steals = Telemetry.counter Telemetry.global "runtime.steals"
+let c_maps = Telemetry.counter Telemetry.global "runtime.parallel_maps"
+let c_fallbacks = Telemetry.counter Telemetry.global "runtime.sequential_fallbacks"
+
+type pool = {
+  lock : Mutex.t;
+  work_available : Condition.t;
+  work_done : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable outstanding : int;  (* queued or running chunks of the active map *)
+  mutable stop : bool;
+  tasks : int Atomic.t;
+  steals : int Atomic.t;
+}
+
+type t = {
+  n_domains : int;
+  chunk_hint : int option;
+  pool : pool option;
+  workers : unit Domain.t list;
+  busy : bool Atomic.t;  (* a map is draining the pool; nested maps go sequential *)
+  fallbacks : int Atomic.t;
+  maps : int Atomic.t;
+  cache : (string, float) Lru.t;
+}
+
+let finish_chunk pool =
+  Mutex.lock pool.lock;
+  pool.outstanding <- pool.outstanding - 1;
+  if pool.outstanding = 0 then Condition.broadcast pool.work_done;
+  Mutex.unlock pool.lock
+
+let rec worker_loop pool =
+  Mutex.lock pool.lock;
+  while Queue.is_empty pool.queue && not pool.stop do
+    Condition.wait pool.work_available pool.lock
+  done;
+  match Queue.take_opt pool.queue with
+  | None ->
+    (* stop requested and the queue is drained *)
+    Mutex.unlock pool.lock
+  | Some task ->
+    Mutex.unlock pool.lock;
+    task ();
+    Atomic.incr pool.tasks;
+    Atomic.incr pool.steals;
+    Telemetry.Counter.incr c_tasks;
+    Telemetry.Counter.incr c_steals;
+    finish_chunk pool;
+    worker_loop pool
+
+let shutdown t =
+  match t.pool with
+  | None -> ()
+  | Some pool ->
+    let first =
+      Mutex.lock pool.lock;
+      let first = not pool.stop in
+      pool.stop <- true;
+      Condition.broadcast pool.work_available;
+      Mutex.unlock pool.lock;
+      first
+    in
+    if first then List.iter Domain.join t.workers
+
+let create ?chunk ?cache_capacity ~domains () =
+  let n_domains = max 1 domains in
+  let pool, workers =
+    if n_domains = 1 then (None, [])
+    else begin
+      let pool =
+        { lock = Mutex.create ();
+          work_available = Condition.create ();
+          work_done = Condition.create ();
+          queue = Queue.create ();
+          outstanding = 0;
+          stop = false;
+          tasks = Atomic.make 0;
+          steals = Atomic.make 0 }
+      in
+      let workers =
+        List.init (n_domains - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool))
+      in
+      (Some pool, workers)
+    end
+  in
+  let t =
+    { n_domains;
+      chunk_hint = chunk;
+      pool;
+      workers;
+      busy = Atomic.make false;
+      fallbacks = Atomic.make 0;
+      maps = Atomic.make 0;
+      cache = Lru.create ?capacity:cache_capacity () }
+  in
+  if pool <> None then at_exit (fun () -> shutdown t);
+  t
+
+let sequential () =
+  { n_domains = 1;
+    chunk_hint = None;
+    pool = None;
+    workers = [];
+    busy = Atomic.make false;
+    fallbacks = Atomic.make 0;
+    maps = Atomic.make 0;
+    cache = Lru.create () }
+
+let domains t = t.n_domains
+let sim_cache t = t.cache
+
+let with_runtime ?chunk ?cache_capacity ~domains f =
+  let t = create ?chunk ?cache_capacity ~domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let stats t =
+  let pool_stat get = match t.pool with None -> 0 | Some p -> Atomic.get (get p) in
+  [ ("domains", t.n_domains);
+    ("parallel_maps", Atomic.get t.maps);
+    ("tasks", pool_stat (fun p -> p.tasks));
+    ("steals", pool_stat (fun p -> p.steals));
+    ("sequential_fallbacks", Atomic.get t.fallbacks);
+    ("cache_hits", Lru.hits t.cache);
+    ("cache_misses", Lru.misses t.cache);
+    ("cache_entries", Lru.length t.cache) ]
+
+(* Drain the queue together with the workers, then wait for stragglers. *)
+let run_pooled t pool chunk_size f a =
+  let n = Array.length a in
+  let results = Array.make n None in
+  let first_exn = Atomic.make None in
+  let chunk =
+    match chunk_size with
+    | Some c -> max 1 c
+    | None -> max 1 (n / (4 * t.n_domains))
+  in
+  let n_chunks = (n + chunk - 1) / chunk in
+  let task_for ci () =
+    let lo = ci * chunk in
+    let hi = min n (lo + chunk) in
+    try
+      for i = lo to hi - 1 do
+        results.(i) <- Some (f i a.(i))
+      done
+    with e ->
+      let bt = Printexc.get_raw_backtrace () in
+      ignore (Atomic.compare_and_set first_exn None (Some (e, bt)))
+  in
+  Mutex.lock pool.lock;
+  for ci = 0 to n_chunks - 1 do
+    Queue.push (task_for ci) pool.queue
+  done;
+  pool.outstanding <- pool.outstanding + n_chunks;
+  Condition.broadcast pool.work_available;
+  let continue = ref true in
+  while !continue do
+    match Queue.take_opt pool.queue with
+    | Some task ->
+      Mutex.unlock pool.lock;
+      task ();
+      Atomic.incr pool.tasks;
+      Telemetry.Counter.incr c_tasks;
+      Mutex.lock pool.lock;
+      pool.outstanding <- pool.outstanding - 1;
+      if pool.outstanding = 0 then Condition.broadcast pool.work_done
+    | None -> continue := false
+  done;
+  while pool.outstanding > 0 do
+    Condition.wait pool.work_done pool.lock
+  done;
+  Mutex.unlock pool.lock;
+  (match Atomic.get first_exn with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ());
+  ( n_chunks,
+    Array.map (function Some v -> v | None -> assert false) results )
+
+let parallel_mapi t ?chunk f a =
+  let n = Array.length a in
+  Atomic.incr t.maps;
+  Telemetry.Counter.incr c_maps;
+  let sequentially () = Array.mapi f a in
+  match t.pool with
+  | None -> sequentially ()
+  | Some _ when n < 2 -> sequentially ()
+  | Some pool ->
+    if not (Atomic.compare_and_set t.busy false true) then begin
+      (* nested or concurrent map: degrade rather than deadlock *)
+      Atomic.incr t.fallbacks;
+      Telemetry.Counter.incr c_fallbacks;
+      sequentially ()
+    end
+    else
+      Fun.protect
+        ~finally:(fun () -> Atomic.set t.busy false)
+        (fun () ->
+          let chunk = match chunk with Some c -> Some c | None -> t.chunk_hint in
+          let sp =
+            Telemetry.span_begin Telemetry.global "runtime.parallel_map"
+              ~attrs:[ ("items", Int n); ("domains", Int t.n_domains) ]
+          in
+          match run_pooled t pool chunk f a with
+          | n_chunks, out ->
+            Telemetry.span_add_attrs sp [ ("chunks", Int n_chunks) ];
+            Telemetry.span_end Telemetry.global sp;
+            out
+          | exception e ->
+            Telemetry.span_end Telemetry.global sp ~attrs:[ ("error", Bool true) ];
+            raise e)
+
+let parallel_map t ?chunk f a = parallel_mapi t ?chunk (fun _ x -> f x) a
+
+let map_list t f l = Array.to_list (parallel_map t f (Array.of_list l))
+
+let split_rngs ~seed n =
+  if n < 0 then invalid_arg "Runtime.split_rngs: n must be >= 0";
+  let base = Rng.create seed in
+  Array.init n (fun i -> Rng.substream base i)
+
+let parallel_map_seeded t ~seed ?chunk f a =
+  let base = Rng.create seed in
+  parallel_mapi t ?chunk (fun i x -> f (Rng.substream base i) x) a

@@ -1,0 +1,93 @@
+(** Domain-based parallel execution layer.
+
+    A runtime owns a fixed-size pool of OCaml domains plus an LRU memo cache
+    for simulator measurements. Search code hands it arrays of pure work via
+    {!parallel_map}; the caller's domain participates in draining the chunk
+    queue, so [domains:n] means at most [n] domains total (the caller plus
+    [n - 1] spawned workers).
+
+    Design contract, relied on by the tuner's determinism guarantee:
+    - [parallel_map t f a] returns exactly [Array.map f a] for pure [f],
+      regardless of the domain count or scheduling.
+    - Exceptions raised by [f] are captured and the first one (by completion
+      order) is re-raised at the join point on the caller's domain.
+    - A nested or concurrent [parallel_map] on a busy pool degrades to
+      sequential [Array.map] rather than deadlocking.
+    - Per-worker RNG streams come from {!split_rngs}/{!Rng.substream}, so
+      stream [i] depends only on the caller's seed and [i], never on the
+      number of workers. *)
+
+(** Mutex-guarded LRU cache: safe to share across domains. On capacity
+    overflow the least-recently-used binding is evicted. *)
+module Lru : sig
+  type ('k, 'v) t
+
+  val create : ?capacity:int -> unit -> ('k, 'v) t
+  (** [capacity] defaults to 4096 entries. *)
+
+  val capacity : ('k, 'v) t -> int
+  val length : ('k, 'v) t -> int
+
+  val find_opt : ('k, 'v) t -> 'k -> 'v option
+  (** Counts a hit or a miss and refreshes recency on hit. *)
+
+  val add : ('k, 'v) t -> 'k -> 'v -> unit
+
+  val find_or_add : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
+  (** On miss, computes outside the lock — with a deterministic producer a
+      racing double-compute inserts the same value twice, which is safe. *)
+
+  val hits : ('k, 'v) t -> int
+  val misses : ('k, 'v) t -> int
+  val clear : ('k, 'v) t -> unit
+end
+
+type t
+
+val create : ?chunk:int -> ?cache_capacity:int -> domains:int -> unit -> t
+(** [create ~domains:n ()] spawns [n - 1] worker domains ([n <= 1] spawns
+    none and every map runs sequentially). [chunk] fixes the number of array
+    elements per queued task (default: split each map into roughly
+    [4 * domains] chunks). [cache_capacity] sizes {!sim_cache}. *)
+
+val sequential : unit -> t
+(** A runtime with no workers: [parallel_map] is [Array.map] plus the same
+    telemetry. Equivalent to [create ~domains:1 ()] but allocates no pool. *)
+
+val domains : t -> int
+(** Total domains participating in a map, including the caller (>= 1). *)
+
+val shutdown : t -> unit
+(** Joins the worker domains. Idempotent; also registered via [at_exit].
+    Maps after shutdown run sequentially. *)
+
+val with_runtime : ?chunk:int -> ?cache_capacity:int -> domains:int -> (t -> 'a) -> 'a
+(** [with_runtime ~domains f] runs [f] with a fresh runtime and shuts it
+    down afterwards, whether [f] returns or raises. *)
+
+val parallel_map : t -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Order-preserving map. See the module header for the contract. *)
+
+val parallel_mapi : t -> ?chunk:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [parallel_map] over a list, preserving order. *)
+
+val split_rngs : seed:int -> int -> Rng.t array
+(** [split_rngs ~seed n] derives [n] independent deterministic streams from
+    [seed]; stream [i] is the same for every [n >= i]. *)
+
+val parallel_map_seeded :
+  t -> seed:int -> ?chunk:int -> (Rng.t -> 'a -> 'b) -> 'a array -> 'b array
+(** Like {!parallel_map} but hands element [i] its own RNG,
+    [Rng.substream (Rng.create seed) i], so stochastic per-element work is
+    reproducible independent of scheduling. *)
+
+val sim_cache : t -> (string, float) Lru.t
+(** Memo cache for noiseless simulator latencies, keyed by canonical
+    device/workload/schedule strings (see [Gpu_model.measure_base_ms]). *)
+
+val stats : t -> (string * int) list
+(** Pool counters for reports/tests: tasks executed, steals (chunks run by
+    spawned workers rather than the caller), maps, sequential fallbacks,
+    cache hits/misses. *)

@@ -31,12 +31,13 @@ let all = [ a10g; rtx_a5000; xavier_nx ]
 
 let by_name name = List.find_opt (fun d -> String.equal d.device_name name) all
 
+let unknown_device_message name =
+  Printf.sprintf "unknown device %S (known: %s)" name
+    (String.concat ", " [ "a10g"; "rtx-a5000"; "xavier-nx" ])
+
 let of_name name =
   match String.lowercase_ascii name with
   | "a10g" -> Ok a10g
   | "a5000" | "rtx-a5000" | "rtx_a5000" | "rtx a5000" -> Ok rtx_a5000
   | "xavier-nx" | "xavier_nx" | "xaviernx" | "xavier nx" -> Ok xavier_nx
-  | _ ->
-    Error
-      (Printf.sprintf "unknown device %S (known: %s)" name
-         (String.concat ", " [ "a10g"; "rtx-a5000"; "xavier-nx" ]))
+  | _ -> Error (unknown_device_message name)

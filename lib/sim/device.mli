@@ -35,3 +35,8 @@ val of_name : string -> (t, string) result
     ["rtx-a5000"]/["a5000"], ["xavier-nx"]), case-insensitively. The error
     message lists the known names. This is the primary device-lookup API;
     [Felix.cuda] is a thin raising wrapper over it. *)
+
+val unknown_device_message : string -> string
+(** The exact error text [of_name] returns for an unknown name. [Felix.cuda]
+    raises [Invalid_argument] with this same text, so the result and the
+    raising APIs agree verbatim. *)

@@ -148,11 +148,32 @@ let program_latency_ms dev (p : Loop_ir.t) env =
 
 let c_measurements = Telemetry.counter Telemetry.global "sim.measurements"
 let c_invalid = Telemetry.counter Telemetry.global "sim.invalid_schedules"
+let c_cache_hits = Telemetry.counter Telemetry.global "sim.cache_hits"
+let c_cache_misses = Telemetry.counter Telemetry.global "sim.cache_misses"
 let h_measured = Telemetry.histogram Telemetry.global "sim.measured_ms"
 
-let measure_ms ?(noise = 0.015) rng dev p env =
-  let base = program_latency_ms dev p env in
+(* Measurement is split in two so the expensive, noiseless half can run on
+   any domain (and be memoised), while the noise draw stays on the caller's
+   RNG stream in candidate order — composing the halves consumes exactly the
+   random values [measure_ms] would. *)
+
+let measure_base_ms ?cache ?key dev p env =
   Telemetry.Counter.incr c_measurements;
+  let compute () = program_latency_ms dev p env in
+  match (cache, key) with
+  | Some cache, Some key ->
+    (match Runtime.Lru.find_opt cache key with
+    | Some base ->
+      Telemetry.Counter.incr c_cache_hits;
+      base
+    | None ->
+      Telemetry.Counter.incr c_cache_misses;
+      let base = compute () in
+      Runtime.Lru.add cache key base;
+      base)
+  | _ -> compute ()
+
+let finish_measure_ms ?(noise = 0.015) rng base =
   if Float.is_finite base then begin
     let lat = base *. (1.0 +. (noise *. Rng.gaussian rng)) in
     Telemetry.Histogram.observe h_measured lat;
@@ -162,3 +183,6 @@ let measure_ms ?(noise = 0.015) rng dev p env =
     Telemetry.Counter.incr c_invalid;
     base
   end
+
+let measure_ms ?noise rng dev p env =
+  finish_measure_ms ?noise rng (measure_base_ms dev p env)

@@ -35,4 +35,24 @@ val measure_ms :
 (** Empirical measurement: {!program_latency_ms} with multiplicative
     measurement noise of relative magnitude [noise] (default 0.015,
     matching run-to-run variation of the repeat-until-100ms protocol in
-    Section 5). *)
+    Section 5). Equivalent to
+    [finish_measure_ms rng (measure_base_ms dev p env)]. *)
+
+val measure_base_ms :
+  ?cache:(string, float) Runtime.Lru.t ->
+  ?key:string ->
+  Device.t ->
+  Loop_ir.t ->
+  Eval.env ->
+  float
+(** The noiseless half of {!measure_ms}: deterministic, RNG-free, safe to
+    run on any domain. When both [cache] and [key] are given the latency is
+    memoised under [key] — callers must make the key canonical over
+    everything the latency depends on (device, workload, schedule
+    assignment). Counts one [sim.measurements] regardless of cache hits. *)
+
+val finish_measure_ms : ?noise:float -> Rng.t -> float -> float
+(** The noise half of {!measure_ms}: draws one gaussian from [rng] when the
+    base latency is finite (infinite bases are counted invalid and returned
+    unchanged). Must be called in candidate order on the tuning RNG to keep
+    parallel runs bit-identical to sequential ones. *)

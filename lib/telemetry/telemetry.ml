@@ -222,46 +222,65 @@ end
 
 (* --- metric instruments --------------------------------------------------- *)
 
-module Counter = struct
-  type t = { name : string; mutable value : int; on : bool ref }
+(* Instruments may be hit concurrently from Runtime.parallel_map workers:
+   counters and gauges are atomics, histograms guard their growable buffer
+   with a private mutex. *)
 
-  let incr ?(by = 1) c = if !(c.on) then c.value <- c.value + by
-  let value c = c.value
+module Counter = struct
+  type t = { name : string; value : int Atomic.t; on : bool ref }
+
+  let incr ?(by = 1) c = if !(c.on) then ignore (Atomic.fetch_and_add c.value by)
+  let value c = Atomic.get c.value
   let name c = c.name
 end
 
 module Gauge = struct
-  type t = { name : string; mutable value : float; on : bool ref }
+  type t = { name : string; value : float Atomic.t; on : bool ref }
 
-  let set g v = if !(g.on) then g.value <- v
-  let value g = g.value
+  let set g v = if !(g.on) then Atomic.set g.value v
+  let value g = Atomic.get g.value
   let name g = g.name
 end
 
 module Histogram = struct
-  type t = { name : string; mutable data : float array; mutable len : int; on : bool ref }
+  type t = {
+    name : string;
+    mutable data : float array;
+    mutable len : int;
+    lock : Mutex.t;
+    on : bool ref;
+  }
 
   let observe h v =
     if !(h.on) then begin
+      Mutex.lock h.lock;
       if h.len = Array.length h.data then begin
         let bigger = Array.make (max 16 (2 * h.len)) 0.0 in
         Array.blit h.data 0 bigger 0 h.len;
         h.data <- bigger
       end;
       h.data.(h.len) <- v;
-      h.len <- h.len + 1
+      h.len <- h.len + 1;
+      Mutex.unlock h.lock
     end
 
   let count h = h.len
   let name h = h.name
-  let sum h = Array.fold_left ( +. ) 0.0 (Array.sub h.data 0 h.len)
+
+  let snapshot h =
+    Mutex.lock h.lock;
+    let arr = Array.sub h.data 0 h.len in
+    Mutex.unlock h.lock;
+    arr
+
+  let sum h = Array.fold_left ( +. ) 0.0 (snapshot h)
   let mean h = if h.len = 0 then 0.0 else sum h /. float_of_int h.len
 
   (* Linear-interpolated quantile over the sorted samples; [p] in [0,100]. *)
   let quantile h p =
-    if h.len = 0 then 0.0
+    let arr = snapshot h in
+    if Array.length arr = 0 then 0.0
     else begin
-      let arr = Array.sub h.data 0 h.len in
       Array.sort compare arr;
       let n = Array.length arr in
       if n = 1 then arr.(0)
@@ -392,6 +411,9 @@ type t = {
   on : bool ref;
   clock : unit -> float;
   mutable t0 : float;
+  (* Guards the instrument tables, sink list, span ids and the span stack;
+     individual instruments carry their own synchronisation. *)
+  lock : Mutex.t;
   counters : (string, Counter.t) Hashtbl.t;
   gauges : (string, Gauge.t) Hashtbl.t;
   histograms : (string, Histogram.t) Hashtbl.t;
@@ -414,6 +436,7 @@ let create ?clock ?(enabled = true) () =
   { on = ref enabled;
     clock;
     t0 = clock ();
+    lock = Mutex.create ();
     counters = Hashtbl.create 16;
     gauges = Hashtbl.create 16;
     histograms = Hashtbl.create 16;
@@ -431,34 +454,59 @@ let now_s t = t.clock () -. t.t0
 let reset t =
   (* Zero in place: instruments handed out to callers (hot-path counters are
      resolved once at module load) stay registered across resets. *)
-  Hashtbl.iter (fun _ (c : Counter.t) -> c.Counter.value <- 0) t.counters;
-  Hashtbl.iter (fun _ (g : Gauge.t) -> g.Gauge.value <- 0.0) t.gauges;
-  Hashtbl.iter (fun _ (h : Histogram.t) -> h.Histogram.len <- 0) t.histograms;
+  Mutex.lock t.lock;
+  Hashtbl.iter (fun _ (c : Counter.t) -> Atomic.set c.Counter.value 0) t.counters;
+  Hashtbl.iter (fun _ (g : Gauge.t) -> Atomic.set g.Gauge.value 0.0) t.gauges;
+  Hashtbl.iter
+    (fun _ (h : Histogram.t) ->
+      Mutex.lock h.Histogram.lock;
+      h.Histogram.len <- 0;
+      Mutex.unlock h.Histogram.lock)
+    t.histograms;
   t.sinks <- [];
   t.next_id <- 0;
   t.stack <- [];
-  t.t0 <- t.clock ()
+  t.t0 <- t.clock ();
+  Mutex.unlock t.lock
 
-let find_or_add tbl name make =
-  match Hashtbl.find_opt tbl name with
-  | Some x -> x
-  | None ->
-    let x = make () in
-    Hashtbl.replace tbl name x;
-    x
+let find_or_add t tbl name make =
+  Mutex.lock t.lock;
+  let x =
+    match Hashtbl.find_opt tbl name with
+    | Some x -> x
+    | None ->
+      let x = make () in
+      Hashtbl.replace tbl name x;
+      x
+  in
+  Mutex.unlock t.lock;
+  x
 
 let counter t name =
-  find_or_add t.counters name (fun () -> { Counter.name; value = 0; on = t.on })
+  find_or_add t t.counters name
+    (fun () -> { Counter.name; value = Atomic.make 0; on = t.on })
 
 let gauge t name =
-  find_or_add t.gauges name (fun () -> { Gauge.name; value = 0.0; on = t.on })
+  find_or_add t t.gauges name
+    (fun () -> { Gauge.name; value = Atomic.make 0.0; on = t.on })
 
 let histogram t name =
-  find_or_add t.histograms name
-    (fun () -> { Histogram.name; data = [||]; len = 0; on = t.on })
+  find_or_add t t.histograms name
+    (fun () -> { Histogram.name; data = [||]; len = 0; lock = Mutex.create (); on = t.on })
 
-let add_sink t f = t.sinks <- f :: t.sinks
-let emit t r = List.iter (fun f -> f r) t.sinks
+let add_sink t f =
+  Mutex.lock t.lock;
+  t.sinks <- f :: t.sinks;
+  Mutex.unlock t.lock
+
+let emit t r =
+  let sinks =
+    Mutex.lock t.lock;
+    let s = t.sinks in
+    Mutex.unlock t.lock;
+    s
+  in
+  List.iter (fun f -> f r) sinks
 
 let event t ?(attrs = []) name =
   if !(t.on) then
@@ -471,13 +519,16 @@ let null_span = { sp_name = ""; sp_id = 0; sp_parent = 0; sp_start = 0.0; sp_att
 let span_begin t ?(attrs = []) name =
   if not !(t.on) then null_span
   else begin
+    let start = now_s t in
+    Mutex.lock t.lock;
     t.next_id <- t.next_id + 1;
     let parent = match t.stack with [] -> 0 | id :: _ -> id in
     let sp =
-      { sp_name = name; sp_id = t.next_id; sp_parent = parent; sp_start = now_s t;
+      { sp_name = name; sp_id = t.next_id; sp_parent = parent; sp_start = start;
         sp_attrs = attrs; sp_open = true }
     in
     t.stack <- sp.sp_id :: t.stack;
+    Mutex.unlock t.lock;
     sp
   end
 
@@ -493,7 +544,9 @@ let span_end t ?(attrs = []) sp =
       | _ :: rest -> pop rest
       | [] -> []
     in
+    Mutex.lock t.lock;
     t.stack <- pop t.stack;
+    Mutex.unlock t.lock;
     let dur_ms = (now_s t -. sp.sp_start) *. 1000.0 in
     Histogram.observe (histogram t ("span." ^ sp.sp_name ^ ".ms")) dur_ms;
     emit t
@@ -538,18 +591,19 @@ let human_sink oc r =
 let metric_records t =
   let ts = now_s t in
   let acc = ref [] in
+  Mutex.lock t.lock;
   Hashtbl.iter
     (fun name (c : Counter.t) ->
       acc :=
         { r_kind = Metric; r_name = name; r_ts_s = ts; r_dur_ms = 0.0; r_id = 0; r_parent = 0;
-          r_attrs = [ ("metric", Str "counter"); ("value", Int c.Counter.value) ] }
+          r_attrs = [ ("metric", Str "counter"); ("value", Int (Counter.value c)) ] }
         :: !acc)
     t.counters;
   Hashtbl.iter
     (fun name (g : Gauge.t) ->
       acc :=
         { r_kind = Metric; r_name = name; r_ts_s = ts; r_dur_ms = 0.0; r_id = 0; r_parent = 0;
-          r_attrs = [ ("metric", Str "gauge"); ("value", Float g.Gauge.value) ] }
+          r_attrs = [ ("metric", Str "gauge"); ("value", Float (Gauge.value g)) ] }
         :: !acc)
     t.gauges;
   Hashtbl.iter
@@ -563,6 +617,7 @@ let metric_records t =
                 ("p95", Float (Histogram.p95 h)); ("p99", Float (Histogram.p99 h)) ] }
           :: !acc)
     t.histograms;
+  Mutex.unlock t.lock;
   List.sort (fun a b -> compare a.r_name b.r_name) !acc
 
 let flush_metrics t = if !(t.on) then List.iter (emit t) (metric_records t)

@@ -16,6 +16,12 @@ let next_int64 t =
 let split t = { state = next_int64 t }
 let copy t = { state = t.state }
 
+let substream t i =
+  if i < 0 then invalid_arg "Rng.substream: index must be >= 0";
+  (* Jump to a disjoint region of the gamma sequence without advancing [t],
+     so stream [i] is the same no matter how many siblings are derived. *)
+  { state = mix64 (Int64.add t.state (Int64.mul golden_gamma (Int64.of_int (i + 1)))) }
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* Keep 62 bits so the value stays a non-negative OCaml int. *)

@@ -18,6 +18,12 @@ val copy : t -> t
 (** [copy t] duplicates the current state (both copies produce the same
     subsequent values). *)
 
+val substream : t -> int -> t
+(** [substream t i] derives the [i]-th independent child stream without
+    advancing [t]: the result depends only on [t]'s current state and [i],
+    so a caller can hand stream [i] to worker [i] deterministically
+    regardless of how many workers exist. Raises on negative [i]. *)
+
 val int : t -> int -> int
 (** [int t bound] is uniform in [0, bound); raises [Invalid_argument] if
     [bound <= 0]. *)

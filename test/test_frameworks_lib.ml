@@ -75,11 +75,15 @@ let test_cuda_device_parsing () =
   Alcotest.(check string) "a10g" "A10G" (Felix.cuda "a10g").Device.device_name;
   Alcotest.(check string) "a5000" "RTX A5000" (Felix.cuda "rtx-a5000").Device.device_name;
   Alcotest.(check string) "xavier" "Xavier NX" (Felix.cuda "xavier-nx").Device.device_name;
-  Alcotest.(check bool) "unknown raises" true
-    (try
-       ignore (Felix.cuda "h100");
-       false
-     with Invalid_argument _ -> true)
+  (* the raising wrapper and the result API agree on the error text *)
+  let expected = Device.unknown_device_message "h100" in
+  (match Device.of_name "h100" with
+  | Ok _ -> Alcotest.fail "of_name accepted an unknown device"
+  | Error msg -> Alcotest.(check string) "of_name error text" expected msg);
+  match Felix.cuda "h100" with
+  | _ -> Alcotest.fail "Felix.cuda accepted an unknown device"
+  | exception Invalid_argument msg ->
+    Alcotest.(check string) "cuda raises the same text" expected msg
 
 let test_extract_subgraphs () =
   let sgs = Felix.extract_subgraphs (Workload.graph Workload.Dcgan) in

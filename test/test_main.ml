@@ -7,6 +7,7 @@ let () =
       ("graph", Test_graph_lib.tests);
       ("features", Test_features_lib.tests);
       ("sim", Test_sim_lib.tests);
+      ("runtime", Test_runtime_lib.tests);
       ("telemetry", Test_telemetry_lib.tests);
       ("cost_model", Test_cost_model_lib.tests);
       ("optim", Test_optim_lib.tests);

@@ -157,8 +157,9 @@ let test_tune_single_improves () =
   List.iter
     (fun engine ->
       let r =
-        Tuner.tune_single ~config:quick ~seed:4 ~rounds:4 Device.rtx_a5000 model (dense_sg ())
-          engine
+        Tuner.run_single
+          (with_test_runtime Tuning_config.(builder |> with_search quick |> with_seed 4))
+          ~rounds:4 Device.rtx_a5000 model (dense_sg ()) engine
       in
       let first = (List.hd r.Tuner.curve).Tuner.latency_ms in
       Alcotest.(check bool)
@@ -177,8 +178,9 @@ let test_tune_single_improves () =
 let test_tune_single_deterministic () =
   let model = Lazy.force shared_model in
   let run () =
-    Tuner.tune_single ~config:quick ~seed:7 ~rounds:2 Device.rtx_a5000 model (dense_sg ())
-      Tuner.Felix
+    Tuner.run_single
+      Tuning_config.(builder |> with_search quick |> with_seed 7)
+      ~rounds:2 Device.rtx_a5000 model (dense_sg ()) Tuner.Felix
   in
   let a = run () and b = run () in
   check_close "same final" a.Tuner.best.Tuner.latency_ms b.Tuner.best.Tuner.latency_ms
@@ -187,7 +189,11 @@ let test_tune_network () =
   let model = Lazy.force shared_model in
   let g = Workload.graph Workload.Dcgan in
   let cfg = { quick with Tuning_config.max_rounds = 10 } in
-  let r = Tuner.tune ~config:cfg ~seed:5 Device.rtx_a5000 model g Tuner.Felix in
+  let r =
+    Tuner.run
+      (with_test_runtime Tuning_config.(builder |> with_search cfg |> with_seed 5))
+      Device.rtx_a5000 model g Tuner.Felix
+  in
   Alcotest.(check bool) "finite latency" true (Float.is_finite r.Tuner.final_latency_ms);
   Alcotest.(check bool) "tasks reported" true (List.length r.Tuner.tasks = 5);
   Alcotest.(check bool) "clock advanced" true
@@ -204,7 +210,11 @@ let test_scheduler_prefers_heavy_tasks () =
   let model = Lazy.force shared_model in
   let g = Workload.graph Workload.Dcgan in
   let cfg = { quick with Tuning_config.max_rounds = 10 } in
-  let r = Tuner.tune ~config:cfg ~seed:6 Device.rtx_a5000 model g Tuner.Felix in
+  let r =
+    Tuner.run
+      Tuning_config.(builder |> with_search cfg |> with_seed 6)
+      Device.rtx_a5000 model g Tuner.Felix
+  in
   (* the most expensive task must have received at least one round *)
   let heaviest =
     Stats.argmax
@@ -250,7 +260,11 @@ let test_export_roundtrip () =
   let model = Lazy.force shared_model in
   let g = Workload.graph Workload.Dcgan in
   let cfg = { quick with Tuning_config.max_rounds = 4 } in
-  let r = Tuner.tune ~config:cfg ~seed:8 Device.rtx_a5000 model g Tuner.Felix in
+  let r =
+    Tuner.run
+      Tuning_config.(builder |> with_search cfg |> with_seed 8)
+      Device.rtx_a5000 model g Tuner.Felix
+  in
   let csv = Export.curve_to_csv r in
   Alcotest.(check bool) "csv header" true
     (Testutil.contains ~needle:"time_s,latency_ms" csv);
@@ -280,8 +294,9 @@ let tests = tests @ export_tests
 let test_random_engine () =
   let model = Lazy.force shared_model in
   let r =
-    Tuner.tune_single ~config:quick ~seed:9 ~rounds:3 Device.rtx_a5000 model (dense_sg ())
-      Tuner.Random
+    Tuner.run_single
+      Tuning_config.(builder |> with_search quick |> with_seed 9)
+      ~rounds:3 Device.rtx_a5000 model (dense_sg ()) Tuner.Random
   in
   Alcotest.(check bool) "random search improves over initial" true
     (r.Tuner.best.Tuner.latency_ms < (List.hd r.Tuner.curve).Tuner.latency_ms);
@@ -296,8 +311,9 @@ let test_headline_felix_faster_than_ansor () =
   let model = Lazy.force shared_model in
   let cfg = { quick with Tuning_config.max_rounds = 6 } in
   let run engine =
-    Tuner.tune_single ~config:cfg ~seed:21 ~rounds:6 Device.rtx_a5000 model (dense_sg ())
-      engine
+    Tuner.run_single
+      Tuning_config.(builder |> with_search cfg |> with_seed 21)
+      ~rounds:6 Device.rtx_a5000 model (dense_sg ()) engine
   in
   let felix = run Tuner.Felix and ansor = run Tuner.Ansor in
   let target = ansor.Tuner.best.Tuner.latency_ms /. 0.90 in
@@ -327,7 +343,10 @@ let run_with_events ?(seed = 31) ~max_rounds () =
   let cfg = { quick with Tuning_config.max_rounds } in
   let events = ref [] in
   let r =
-    Tuner.tune ~config:cfg ~on_event:(fun e -> events := e :: !events) ~seed
+    Tuner.run
+      Tuning_config.(
+        builder |> with_search cfg |> with_seed seed
+        |> with_on_event (fun e -> events := e :: !events))
       Device.rtx_a5000 model g Tuner.Felix
   in
   (r, List.rev !events)
@@ -408,8 +427,11 @@ let test_events_do_not_change_result () =
   let cfg = { quick with Tuning_config.max_rounds = 2 } in
   (* Same seed, no callback, private telemetry registry: identical result. *)
   let bare =
-    Tuner.tune ~config:cfg ~telemetry:(Telemetry.create ()) ~seed:31 Device.rtx_a5000
-      model g Tuner.Felix
+    Tuner.run
+      Tuning_config.(
+        builder |> with_search cfg |> with_seed 31
+        |> with_telemetry (Telemetry.create ()))
+      Device.rtx_a5000 model g Tuner.Felix
   in
   check_close "same final latency" plain.Tuner.final_latency_ms bare.Tuner.final_latency_ms;
   Alcotest.(check int) "same measurement count" plain.Tuner.total_measurements
@@ -424,8 +446,10 @@ let test_round_spans_recorded () =
   Telemetry.add_sink reg (fun r ->
       if r.Telemetry.r_kind = Telemetry.Span then spans := r :: !spans);
   let _ =
-    Tuner.tune_single ~config:quick ~telemetry:reg ~seed:12 ~rounds:2 Device.rtx_a5000
-      model (dense_sg ()) Tuner.Felix
+    Tuner.run_single
+      Tuning_config.(
+        builder |> with_search quick |> with_seed 12 |> with_telemetry reg)
+      ~rounds:2 Device.rtx_a5000 model (dense_sg ()) Tuner.Felix
   in
   let rounds = List.filter (fun r -> r.Telemetry.r_name = "tuner.round") !spans in
   Alcotest.(check int) "one span per round" 2 (List.length rounds);
@@ -443,3 +467,35 @@ let tests =
       Alcotest.test_case "events/telemetry leave the result unchanged" `Slow
         test_events_do_not_change_result;
       Alcotest.test_case "per-round telemetry spans" `Slow test_round_spans_recorded ]
+
+(* --- deprecated shims -------------------------------------------------------- *)
+
+(* The labelled-argument entry points are deprecated for one release; until
+   they go, they must produce exactly the result of the run API. *)
+module Shims = struct
+  [@@@alert "-deprecated"]
+
+  let tune_single = Tuner.tune_single
+end
+
+let test_shims_match_run_api () =
+  let model = Lazy.force shared_model in
+  let via_run =
+    Tuner.run_single
+      Tuning_config.(builder |> with_search quick |> with_seed 7)
+      ~rounds:2 Device.rtx_a5000 model (dense_sg ()) Tuner.Felix
+  in
+  let via_shim =
+    Shims.tune_single ~config:quick ~seed:7 ~rounds:2 Device.rtx_a5000 model
+      (dense_sg ()) Tuner.Felix
+  in
+  check_close "same final latency" via_run.Tuner.best.Tuner.latency_ms
+    via_shim.Tuner.best.Tuner.latency_ms;
+  Alcotest.(check int) "same curve length"
+    (List.length via_run.Tuner.curve)
+    (List.length via_shim.Tuner.curve)
+
+let tests =
+  tests
+  @ [ Alcotest.test_case "deprecated shims match the run API" `Slow
+        test_shims_match_run_api ]

@@ -1,0 +1,239 @@
+(* Tests for lib/runtime: domain pool, parallel_map, LRU cache, RNG
+   splitting, and the tuner's cross-domain determinism guarantee. *)
+
+open Testutil
+
+(* Shared pools, reused across tests (shutdown is exercised on private
+   runtimes only). *)
+let rt2 = lazy (Runtime.create ~domains:2 ())
+let rt4 = lazy (Runtime.create ~domains:4 ())
+
+let runtimes () =
+  [ (1, Runtime.sequential ()); (2, Lazy.force rt2); (4, Lazy.force rt4) ]
+
+let test_parallel_map_matches_map =
+  qtest ~count:40 "parallel_map = Array.map for pure f (domains 1, 2, 4)"
+    QCheck2.Gen.(list_size (int_range 0 300) int)
+    (fun xs ->
+      let a = Array.of_list xs in
+      let f x = (x * 1664525) + 1013904223 in
+      let expect = Array.map f a in
+      List.for_all (fun (_, rt) -> Runtime.parallel_map rt f a = expect) (runtimes ()))
+
+let test_parallel_mapi () =
+  let a = Array.init 257 (fun i -> i * 3) in
+  let f i x = (i, x + 1) in
+  List.iter
+    (fun (k, rt) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "mapi at %d domains" k)
+        true
+        (Runtime.parallel_mapi rt f a = Array.mapi f a))
+    (runtimes ())
+
+let test_map_list_preserves_order () =
+  let xs = List.init 100 (fun i -> i) in
+  let rt = Lazy.force rt4 in
+  Alcotest.(check (list int)) "order preserved" (List.map succ xs)
+    (Runtime.map_list rt succ xs)
+
+exception Boom of int
+
+let test_exception_propagates () =
+  let rt = Lazy.force rt4 in
+  let a = Array.init 200 Fun.id in
+  (match Runtime.parallel_map rt (fun x -> if x = 137 then raise (Boom x) else x) a with
+  | _ -> Alcotest.fail "expected Boom to re-raise at the join"
+  | exception Boom 137 -> ());
+  (* the pool survives the exception *)
+  Alcotest.(check bool) "pool usable after exception" true
+    (Runtime.parallel_map rt succ a = Array.map succ a)
+
+let test_nested_map_falls_back () =
+  let rt = Lazy.force rt4 in
+  let a = Array.init 8 Fun.id in
+  let inner = Array.init 50 Fun.id in
+  let nested x = Array.fold_left ( + ) x (Runtime.parallel_map rt succ inner) in
+  Alcotest.(check bool) "nested maps degrade without deadlock" true
+    (Runtime.parallel_map rt nested a = Array.map nested a)
+
+let test_shutdown_idempotent () =
+  let rt = Runtime.create ~domains:3 () in
+  let a = Array.init 64 Fun.id in
+  Alcotest.(check bool) "works before shutdown" true
+    (Runtime.parallel_map rt succ a = Array.map succ a);
+  Runtime.shutdown rt;
+  Runtime.shutdown rt;
+  Alcotest.(check bool) "sequential after shutdown" true
+    (Runtime.parallel_map rt succ a = Array.map succ a)
+
+let test_with_runtime_cleans_up () =
+  let out =
+    Runtime.with_runtime ~domains:2 (fun rt ->
+        Runtime.parallel_map rt (fun x -> x * x) (Array.init 33 Fun.id))
+  in
+  Alcotest.(check bool) "result correct" true (out = Array.init 33 (fun i -> i * i));
+  match
+    Runtime.with_runtime ~domains:2 (fun _ -> failwith "escape")
+  with
+  | _ -> Alcotest.fail "expected escape"
+  | exception Failure _ -> ()
+
+(* --- LRU -------------------------------------------------------------------- *)
+
+let test_lru_semantics () =
+  let c : (string, int) Runtime.Lru.t = Runtime.Lru.create ~capacity:3 () in
+  Alcotest.(check int) "capacity" 3 (Runtime.Lru.capacity c);
+  Runtime.Lru.add c "a" 1;
+  Runtime.Lru.add c "b" 2;
+  Runtime.Lru.add c "c" 3;
+  Alcotest.(check (option int)) "hit a" (Some 1) (Runtime.Lru.find_opt c "a");
+  (* "b" is now least recently used; adding "d" evicts it *)
+  Runtime.Lru.add c "d" 4;
+  Alcotest.(check int) "length capped" 3 (Runtime.Lru.length c);
+  Alcotest.(check (option int)) "b evicted" None (Runtime.Lru.find_opt c "b");
+  Alcotest.(check (option int)) "a survived (recently used)" (Some 1)
+    (Runtime.Lru.find_opt c "a");
+  Alcotest.(check int) "hits" 2 (Runtime.Lru.hits c);
+  Alcotest.(check int) "misses" 1 (Runtime.Lru.misses c);
+  let v = Runtime.Lru.find_or_add c "e" (fun () -> 5) in
+  Alcotest.(check int) "find_or_add computes" 5 v;
+  let v = Runtime.Lru.find_or_add c "e" (fun () -> Alcotest.fail "recompute") in
+  Alcotest.(check int) "find_or_add caches" 5 v;
+  Runtime.Lru.clear c;
+  Alcotest.(check int) "clear empties" 0 (Runtime.Lru.length c)
+
+let test_lru_parallel_access () =
+  let rt = Lazy.force rt4 in
+  let c : (string, int) Runtime.Lru.t = Runtime.Lru.create ~capacity:64 () in
+  let a = Array.init 500 (fun i -> i mod 40) in
+  let got =
+    Runtime.parallel_map rt
+      (fun k -> Runtime.Lru.find_or_add c (string_of_int k) (fun () -> k * 7))
+      a
+  in
+  Alcotest.(check bool) "values correct under concurrency" true
+    (got = Array.map (fun k -> k * 7) a)
+
+(* --- RNG splitting ----------------------------------------------------------- *)
+
+let test_split_rngs_deterministic () =
+  let draw rng = Array.init 5 (fun _ -> Rng.uniform rng) in
+  let a = Array.map draw (Runtime.split_rngs ~seed:42 4) in
+  let b = Array.map draw (Runtime.split_rngs ~seed:42 4) in
+  Alcotest.(check bool) "same seed, same streams" true (a = b);
+  (* stream i does not depend on how many streams were split *)
+  let c = Array.map draw (Runtime.split_rngs ~seed:42 8) in
+  Alcotest.(check bool) "prefix-stable" true (Array.sub c 0 4 = a);
+  let d = Array.map draw (Runtime.split_rngs ~seed:43 4) in
+  Alcotest.(check bool) "different seed differs" true (a <> d)
+
+let test_parallel_map_seeded_schedule_independent () =
+  let a = Array.init 64 Fun.id in
+  let f rng x = (x, Rng.uniform rng, Rng.uniform rng) in
+  let results =
+    List.map (fun (_, rt) -> Runtime.parallel_map_seeded rt ~seed:9 f a) (runtimes ())
+  in
+  match results with
+  | r1 :: rest ->
+    List.iter
+      (fun r -> Alcotest.(check bool) "same at every domain count" true (r = r1))
+      rest
+  | [] -> assert false
+
+(* --- pool telemetry ---------------------------------------------------------- *)
+
+let test_stats_reported () =
+  let rt = Lazy.force rt4 in
+  ignore (Runtime.parallel_map rt succ (Array.init 1000 Fun.id));
+  let stats = Runtime.stats rt in
+  List.iter
+    (fun key ->
+      Alcotest.(check bool) (key ^ " present") true (List.mem_assoc key stats))
+    [ "domains"; "parallel_maps"; "tasks"; "steals"; "sequential_fallbacks";
+      "cache_hits"; "cache_misses" ];
+  Alcotest.(check bool) "ran at least one map" true
+    (List.assoc "parallel_maps" stats >= 1)
+
+(* --- tuning determinism across domain counts --------------------------------- *)
+
+(* A tiny cost model: enough structure for search to act on, cheap to train. *)
+let small_model =
+  lazy
+    (let rng = Rng.create 200 in
+     let samples =
+       Dataset.generate rng Device.rtx_a5000 ~schedules_per_task:40 [ dense_sg () ]
+     in
+     let ds = Dataset.split rng samples in
+     let model, _ = Train.pretrain rng ~epochs:3 ~hidden:[ 32; 32 ] ds in
+     model)
+
+let curves_identical (a : Tuner.progress_point list) (b : Tuner.progress_point list) =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (p : Tuner.progress_point) (q : Tuner.progress_point) ->
+         p.time_s = q.time_s && p.latency_ms = q.latency_ms)
+       a b
+
+let test_tuning_bit_identical_across_jobs () =
+  let model = Lazy.force small_model in
+  List.iter
+    (fun engine ->
+      let run jobs =
+        Tuner.run_single
+          Tuning_config.(
+            builder |> with_search Tuning_config.quick |> with_seed 11
+            |> with_jobs jobs)
+          ~rounds:2 Device.rtx_a5000 model (dense_sg ()) engine
+      in
+      let seq = run 1 and par = run 4 in
+      let name = Tuner.engine_name engine in
+      Alcotest.(check bool) (name ^ ": same best latency") true
+        (seq.Tuner.best.Tuner.latency_ms = par.Tuner.best.Tuner.latency_ms);
+      Alcotest.(check bool) (name ^ ": identical trajectory") true
+        (curves_identical seq.Tuner.curve par.Tuner.curve);
+      Alcotest.(check bool) (name ^ ": identical predictions") true
+        (seq.Tuner.predictions = par.Tuner.predictions);
+      Alcotest.(check string) (name ^ ": same winning schedule")
+        seq.Tuner.best.Tuner.sketch par.Tuner.best.Tuner.sketch)
+    [ Tuner.Felix; Tuner.Ansor; Tuner.Random ]
+
+let test_network_tuning_bit_identical_with_shared_runtime () =
+  let model = Lazy.force small_model in
+  let g = Workload.graph Workload.Dcgan in
+  let cfg = { Tuning_config.quick with Tuning_config.max_rounds = 3 } in
+  let base = Tuning_config.(builder |> with_search cfg |> with_seed 13) in
+  let seq = Tuner.run base Device.rtx_a5000 model g Tuner.Felix in
+  let par =
+    Tuner.run
+      (Tuning_config.with_runtime (Lazy.force rt4) base)
+      Device.rtx_a5000 model g Tuner.Felix
+  in
+  Alcotest.(check bool) "same final latency" true
+    (seq.Tuner.final_latency_ms = par.Tuner.final_latency_ms);
+  Alcotest.(check int) "same measurement count" seq.Tuner.total_measurements
+    par.Tuner.total_measurements;
+  Alcotest.(check bool) "identical curve" true
+    (curves_identical seq.Tuner.curve par.Tuner.curve)
+
+let tests =
+  [ test_parallel_map_matches_map;
+    Alcotest.test_case "parallel_mapi matches Array.mapi" `Quick test_parallel_mapi;
+    Alcotest.test_case "map_list preserves order" `Quick test_map_list_preserves_order;
+    Alcotest.test_case "exceptions re-raise at the join" `Quick test_exception_propagates;
+    Alcotest.test_case "nested maps fall back sequentially" `Quick
+      test_nested_map_falls_back;
+    Alcotest.test_case "shutdown is idempotent" `Quick test_shutdown_idempotent;
+    Alcotest.test_case "with_runtime shuts down on exit" `Quick
+      test_with_runtime_cleans_up;
+    Alcotest.test_case "lru semantics" `Quick test_lru_semantics;
+    Alcotest.test_case "lru under parallel access" `Quick test_lru_parallel_access;
+    Alcotest.test_case "split_rngs deterministic and prefix-stable" `Quick
+      test_split_rngs_deterministic;
+    Alcotest.test_case "seeded map is schedule-independent" `Quick
+      test_parallel_map_seeded_schedule_independent;
+    Alcotest.test_case "pool stats reported" `Quick test_stats_reported;
+    Alcotest.test_case "tuning is bit-identical at 1 vs 4 domains (all engines)" `Slow
+      test_tuning_bit_identical_across_jobs;
+    Alcotest.test_case "network tuning matches with a shared runtime" `Slow
+      test_network_tuning_bit_identical_with_shared_runtime ]

@@ -67,3 +67,25 @@ let sample_valid rng pack =
   match Dataset.sample_valid_point rng pack 200 with
   | Some y -> y
   | None -> Alcotest.fail "could not sample a valid schedule point"
+
+(* --- FELIX_JOBS -------------------------------------------------------------
+
+   CI runs the suites twice, with FELIX_JOBS=1 and FELIX_JOBS=4. With jobs
+   > 1 a shared domain pool is threaded into the tuning tests; every
+   assertion must hold unchanged because parallel runs are bit-identical. *)
+
+let jobs =
+  match Sys.getenv_opt "FELIX_JOBS" with
+  | Some s -> (try max 1 (int_of_string (String.trim s)) with _ -> 1)
+  | None -> 1
+
+let shared_runtime =
+  lazy (if jobs > 1 then Some (Runtime.create ~domains:jobs ()) else None)
+
+let runtime () = Lazy.force shared_runtime
+
+(* Attach the FELIX_JOBS runtime (if any) to a tuning run configuration. *)
+let with_test_runtime rc =
+  match runtime () with
+  | Some rt -> Tuning_config.with_runtime rt rc
+  | None -> rc
