@@ -1,0 +1,148 @@
+(* hotpath: legacy vs fused objective-gradient inner loop.
+
+   Runs the same Adam descent twice — once through the historical
+   allocating composition (Objective.legacy_value_grad on an unoptimised
+   pack) and once through the fused workspace kernel (Objective.value_grad
+   on an optimised pack) — and reports steps/second plus minor-heap
+   allocation per step. The two trajectories must be bitwise identical;
+   any divergence, or a fused throughput below legacy, is a hard failure
+   (exit 1) so CI catches regressions of either kind. Results land in
+   BENCH_hotpath.json. *)
+
+let smoke = ref false
+
+type loop_stats = {
+  obj_trace : float array;  (* objective value at every step *)
+  y_final : float array;
+  steps_per_sec : float;
+  minor_words_per_step : float;
+}
+
+let clamp_into bounds y =
+  Array.iteri
+    (fun i (lo, hi) -> y.(i) <- Stats.clamp ~lo:(lo -. 0.7) ~hi:(hi +. 0.7) y.(i))
+    bounds
+
+(* Both loops mirror Gradient_tuner's descent exactly: objective/gradient,
+   Adam step, box clamp. Only the objective implementation differs. *)
+
+let run_legacy ~steps ~lambda ~lr model pack y0 =
+  let y = Array.copy y0 in
+  let adam = Adam.create ~lr (Array.length y) in
+  let bounds = Pack.bounds_log pack in
+  let trace = Array.make steps 0.0 in
+  let w0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  for s = 0 to steps - 1 do
+    let obj, grad = Objective.legacy_value_grad ~lambda model pack y in
+    trace.(s) <- obj;
+    Adam.step adam ~params:y ~grads:grad;
+    clamp_into bounds y
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  let dw = Gc.minor_words () -. w0 in
+  { obj_trace = trace; y_final = y;
+    steps_per_sec = float_of_int steps /. dt;
+    minor_words_per_step = dw /. float_of_int steps }
+
+let run_fused ~steps obj y0 =
+  let y = Array.copy y0 in
+  let adam = Adam.create ~lr:Tuning_config.default.gd_lr (Array.length y) in
+  let bounds = Pack.bounds_log (Objective.pack obj) in
+  let grad = Array.make (Array.length y) 0.0 in
+  let trace = Array.make steps 0.0 in
+  let w0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  for s = 0 to steps - 1 do
+    trace.(s) <- Objective.value_grad obj y ~grad;
+    Adam.step adam ~params:y ~grads:grad;
+    clamp_into bounds y
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  let dw = Gc.minor_words () -. w0 in
+  { obj_trace = trace; y_final = y;
+    steps_per_sec = float_of_int steps /. dt;
+    minor_words_per_step = dw /. float_of_int steps }
+
+let bits_equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun x y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y))
+       a b
+
+let run () =
+  let steps = if !smoke then 60 else 400 in
+  let reps = if !smoke then 2 else 3 in
+  let lambda = Tuning_config.default.lambda in
+  let lr = Tuning_config.default.gd_lr in
+  let sg =
+    Compute.lower ~name:"dense" (Op.Dense { batch = 50; in_dim = 768; out_dim = 3072 })
+  in
+  let sched = List.nth (Sketch.generate sg) 1 in
+  (* The legacy baseline also skips the tape optimiser — it reproduces the
+     pre-fusion pipeline end to end. The optimiser is bit-exact, so the
+     trajectories must still match bitwise. *)
+  let legacy_pack = Pack.prepare ~optimize:false sg sched in
+  let fused_pack = Pack.prepare sg sched in
+  let rng = Rng.create 1 in
+  let model = Mlp.create rng ~hidden:[ 192; 192; 192 ] ~n_inputs:82 () in
+  let y0 =
+    match Dataset.sample_valid_point rng fused_pack 200 with
+    | Some y -> y
+    | None -> failwith "hotpath: no valid start point"
+  in
+  let obj = Objective.create ~lambda model fused_pack in
+  (* Warm up both paths (tape caches, workspace pool, branch predictors). *)
+  ignore (run_legacy ~steps:5 ~lambda ~lr model legacy_pack y0);
+  ignore (run_fused ~steps:5 obj y0);
+  let legacy_runs =
+    List.init reps (fun _ -> run_legacy ~steps ~lambda ~lr model legacy_pack y0)
+  in
+  let fused_runs = List.init reps (fun _ -> run_fused ~steps obj y0) in
+  let best runs =
+    List.fold_left (fun acc r -> if r.steps_per_sec > acc.steps_per_sec then r else acc)
+      (List.hd runs) runs
+  in
+  let legacy = best legacy_runs and fused = best fused_runs in
+  let identical =
+    List.for_all
+      (fun r -> bits_equal r.obj_trace legacy.obj_trace && bits_equal r.y_final legacy.y_final)
+      (legacy_runs @ fused_runs)
+  in
+  let speedup = fused.steps_per_sec /. legacy.steps_per_sec in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf "objective-gradient hot path (%d Adam steps x %d reps)" steps reps)
+      ~header:[ "path"; "steps/s"; "minor words/step"; "bitwise" ]
+  in
+  let row name (r : loop_stats) =
+    Table.add_row t
+      [ name;
+        Printf.sprintf "%.0f" r.steps_per_sec;
+        Printf.sprintf "%.0f" r.minor_words_per_step;
+        (if identical then "identical" else "DIVERGED") ]
+  in
+  row "legacy" legacy;
+  row "fused" fused;
+  Table.print t;
+  Printf.printf "fused/legacy speedup: %.2fx\n%!" speedup;
+  let oc = open_out "BENCH_hotpath.json" in
+  Printf.fprintf oc
+    "{\n  \"experiment\": \"hotpath\",\n  \"smoke\": %b,\n  \"steps\": %d,\n  \
+     \"reps\": %d,\n  \"legacy\": { \"steps_per_sec\": %.1f, \"minor_words_per_step\": %.1f },\n  \
+     \"fused\": { \"steps_per_sec\": %.1f, \"minor_words_per_step\": %.1f },\n  \
+     \"speedup\": %.3f,\n  \"bitwise_identical\": %b\n}\n"
+    !smoke steps reps legacy.steps_per_sec legacy.minor_words_per_step
+    fused.steps_per_sec fused.minor_words_per_step speedup identical;
+  close_out oc;
+  print_endline "wrote BENCH_hotpath.json";
+  if not identical then begin
+    prerr_endline "hotpath: fused trajectory DIVERGED from legacy (bit-identity broken)";
+    exit 1
+  end;
+  if fused.steps_per_sec < legacy.steps_per_sec then begin
+    Printf.eprintf "hotpath: fused path regressed below legacy (%.0f < %.0f steps/s)\n"
+      fused.steps_per_sec legacy.steps_per_sec;
+    exit 1
+  end

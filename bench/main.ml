@@ -19,7 +19,8 @@ let experiments =
     ("fig10", "latency vs tuning time, batch 16", Experiments.fig10);
     ("tab2b", "milestone speedups, batch 16", Experiments.tab2b);
     ("ablation", "design-choice ablations (width, lambda, budget, lr)", Ablation.run);
-    ("par", "sequential vs multi-domain tuning rounds", Parallel.run) ]
+    ("par", "sequential vs multi-domain tuning rounds", Parallel.run);
+    ("hotpath", "legacy vs fused objective-gradient inner loop", Hotpath.run) ]
 
 (* --- bechamel micro-benchmarks: one per table/figure harness ----------------- *)
 
@@ -93,6 +94,17 @@ let micro () =
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  (* --smoke shrinks the hotpath experiment to a CI-sized run. *)
+  let args =
+    List.filter
+      (fun a ->
+        if a = "--smoke" then begin
+          Hotpath.smoke := true;
+          false
+        end
+        else true)
+      args
+  in
   let run_one (id, desc, f) =
     Printf.printf "\n### %s — %s\n\n%!" id desc;
     let t0 = Unix.gettimeofday () in

@@ -37,6 +37,26 @@ val forward_batch : ?runtime:Runtime.t -> t -> float array array -> float array
 val input_gradient : t -> float array -> float * float array
 (** [(score, dscore/dinput)] in one forward + backward pass. *)
 
+(** {2 Caller-owned workspaces}
+
+    Pre-sized activation/delta buffers for the fused objective path: the
+    [_into] variants below are bitwise-identical to {!forward} and
+    {!input_gradient} but allocation-free. A workspace must match the
+    model it was created from and must not be shared by concurrent
+    callers; reuse across calls is safe (buffers are fully rewritten
+    before being read). *)
+
+type workspace
+
+val workspace : t -> workspace
+
+val forward_into : t -> workspace -> float array -> float
+(** Predicted score, reusing the workspace buffers. *)
+
+val input_gradient_into : t -> workspace -> float array -> float array -> float
+(** [input_gradient_into t ws x grad] overwrites [grad] with
+    dscore/dinput and returns the score. *)
+
 val train_batch :
   t -> Adam.t -> (float array * float) array -> float
 (** One Adam step on the mean-squared-error of the batch

@@ -6,28 +6,41 @@ let ( - ) = Stdlib.( - )
 
 (* --- symbolic differentiation -------------------------------------------- *)
 
-let rec diff (e : Expr.t) (x : string) : Expr.t =
-  match e with
-  | Const _ -> zero
-  | Var v -> if String.equal v x then one else zero
-  | Binop (Add, a, b) -> add (diff a x) (diff b x)
-  | Binop (Sub, a, b) -> sub (diff a x) (diff b x)
-  | Binop (Mul, a, b) -> add (mul (diff a x) b) (mul a (diff b x))
-  | Binop (Div, a, b) -> div (sub (mul (diff a x) b) (mul a (diff b x))) (mul b b)
-  | Binop (Pow, a, b) ->
-    (* d(a^b) = a^b * (b' ln a + b a'/a); specialise constant exponents to
-       avoid introducing log of possibly-negative bases. *)
-    let da = diff a x and db = diff b x in
-    if equal db zero then mul (mul b (pow a (sub b one))) da
-    else mul (pow a b) (add (mul db (log_ a)) (div (mul b da) a))
-  | Binop (Min, a, b) -> select (le a b) (diff a x) (diff b x)
-  | Binop (Max, a, b) -> select (ge a b) (diff a x) (diff b x)
-  | Unop (Neg, a) -> neg (diff a x)
-  | Unop (Log, a) -> div (diff a x) a
-  | Unop (Exp, a) -> mul (exp_ a) (diff a x)
-  | Unop (Sqrt, a) -> div (diff a x) (mul (const 2.0) (sqrt_ a))
-  | Unop (Abs, a) -> mul (select (ge a zero) one (const (-1.0))) (diff a x)
-  | Select (c, a, b) -> select c (diff a x) (diff b x)
+let diff (e : Expr.t) (x : string) : Expr.t =
+  (* Memoised per call on node identity: hash-consed expressions are DAGs,
+     and a shared subterm has one derivative, not one per occurrence. *)
+  let memo : Expr.t Expr.Memo.t = Expr.Memo.create () in
+  let rec go (e : Expr.t) : Expr.t =
+    match Expr.Memo.find_opt memo e with
+    | Some d -> d
+    | None ->
+      let d =
+        match e with
+        | Const _ -> zero
+        | Var v -> if String.equal v x then one else zero
+        | Binop (Add, a, b) -> add (go a) (go b)
+        | Binop (Sub, a, b) -> sub (go a) (go b)
+        | Binop (Mul, a, b) -> add (mul (go a) b) (mul a (go b))
+        | Binop (Div, a, b) -> div (sub (mul (go a) b) (mul a (go b))) (mul b b)
+        | Binop (Pow, a, b) ->
+          (* d(a^b) = a^b * (b' ln a + b a'/a); specialise constant exponents to
+             avoid introducing log of possibly-negative bases. *)
+          let da = go a and db = go b in
+          if equal db zero then mul (mul b (pow a (sub b one))) da
+          else mul (pow a b) (add (mul db (log_ a)) (div (mul b da) a))
+        | Binop (Min, a, b) -> select (le a b) (go a) (go b)
+        | Binop (Max, a, b) -> select (ge a b) (go a) (go b)
+        | Unop (Neg, a) -> neg (go a)
+        | Unop (Log, a) -> div (go a) a
+        | Unop (Exp, a) -> mul (exp_ a) (go a)
+        | Unop (Sqrt, a) -> div (go a) (mul (const 2.0) (sqrt_ a))
+        | Unop (Abs, a) -> mul (select (ge a zero) one (const (-1.0))) (go a)
+        | Select (c, a, b) -> select c (go a) (go b)
+      in
+      Expr.Memo.add memo e d;
+      d
+  in
+  go e
 
 let gradient e = List.map (fun v -> (v, Simplify.simplify (diff e v))) (vars e)
 
@@ -51,20 +64,229 @@ module Tape = struct
   let num_outputs t = Array.length t.outputs
   let length t = Array.length t.instrs
 
-  (* Flatten boolean connectives so only Cmp conditions reach the tape. *)
-  let rec flatten_selects (e : Expr.t) : Expr.t =
-    let e = map_children flatten_selects e in
-    match e with
-    | Select (And (c1, c2), a, b) ->
-      flatten_selects (select c1 (select c2 a b) b)
-    | Select (Or (c1, c2), a, b) ->
-      flatten_selects (select c1 a (select c2 a b))
-    | Select (Not c, a, b) -> flatten_selects (select c b a)
-    | Select (Bconst true, a, _) -> a
-    | Select (Bconst false, _, b) -> b
-    | _ -> e
+  (* Flatten boolean connectives so only Cmp conditions reach the tape.
+     Memoised per call so shared subtrees are flattened once. *)
+  let flatten_selects (e : Expr.t) : Expr.t =
+    let memo : Expr.t Expr.Memo.t = Expr.Memo.create () in
+    let rec fs (e : Expr.t) : Expr.t =
+      match e with
+      | Const _ | Var _ -> e
+      | Binop _ | Unop _ | Select _ -> (
+        match Expr.Memo.find_opt memo e with
+        | Some e' -> e'
+        | None ->
+          let e' =
+            let e = map_children fs e in
+            match e with
+            | Select (And (c1, c2), a, b) -> fs (select c1 (select c2 a b) b)
+            | Select (Or (c1, c2), a, b) -> fs (select c1 a (select c2 a b))
+            | Select (Not c, a, b) -> fs (select c b a)
+            | Select (Bconst true, a, _) -> a
+            | Select (Bconst false, _, b) -> b
+            | _ -> e
+          in
+          Expr.Memo.add memo e e';
+          e')
+    in
+    fs e
 
-  let compile ~inputs exprs =
+  (* --- post-compile optimiser ---------------------------------------------
+
+     Every rewrite below is bit-exact for BOTH the forward values and the
+     reverse-mode adjoints: the tuner's contract is that an optimised tape
+     produces bitwise-identical results, so only transformations that
+     provably preserve IEEE-754 semantics and the adjoint accumulation
+     order are applied. Three families qualify:
+
+     - constant folding of instructions whose operands are all constants
+       (the fold performs the very float op the tape would have), plus
+       constant-condition / equal-branch select resolution;
+     - duplicate-constant merging, keyed by bit pattern so 0.0 and -0.0
+       (or distinct NaNs) are never conflated;
+     - copy propagation for identities that are bit-exact as values
+       (x*1, 1*x, x/1, x - (+0.0), min/max(x,x), select with equal
+       branches, -(-x)) — applied only when the copied-from slot has no
+       other consumer, because redirecting a consumer of a multiply-used
+       slot would reorder the (non-associative) float additions of the
+       adjoint sweep. Note x+0.0 is NOT rewritten: (-0.0)+0.0 = +0.0 ≠ -0.0.
+
+     Dead slots (never referenced by a live instruction or an output) carry
+     zero adjoint and are skipped by the backward guard, so removing and
+     renumbering them is exact; the forward order of surviving slots is
+     preserved. *)
+
+  type opt_report = {
+    slots_pre : int;
+    slots_post : int;
+    folded : int;  (* instructions that became constants *)
+    aliased : int;  (* copy-like instructions redirected to their source *)
+    dead : int;  (* slots removed by dead-code elimination *)
+  }
+
+  let optimize_report t =
+    let n = Array.length t.instrs in
+    let instrs = Array.copy t.instrs in
+    (* alias.(i) = the (earlier, already-final) slot standing in for i *)
+    let alias = Array.init n (fun i -> i) in
+    let resolve s = alias.(s) in
+    (* Reference counts (operand uses + output uses), kept current as
+       rewrites fire so the single-consumer guard stays sound. *)
+    let uses = Array.make n 0 in
+    let count s = uses.(s) <- Stdlib.( + ) uses.(s) 1 in
+    let drop s = uses.(s) <- uses.(s) - 1 in
+    Array.iter
+      (function
+        | Iconst _ | Iinput _ -> ()
+        | Ibin (_, a, b) ->
+          count a;
+          count b
+        | Iun (_, a) -> count a
+        | Isel (_, l, r, a, b) ->
+          count l;
+          count r;
+          count a;
+          count b)
+      instrs;
+    Array.iter count t.outputs;
+    let folded = ref 0 and aliased = ref 0 in
+    let const_of s = match instrs.(s) with Iconst c -> Some c | _ -> None in
+    let is_one s = match const_of s with Some c -> c = 1.0 | None -> false in
+    let is_pzero s =
+      match const_of s with Some c -> Int64.equal (Int64.bits_of_float c) 0L | None -> false
+    in
+    let const_slots : (int64, int) Hashtbl.t = Hashtbl.create 32 in
+    (* Slot [i] computes bit-exactly vals.(s) with [refs] operand references
+       to [s]; [extra] are i's other operands, dropped if the rewrite fires.
+       A constant source is always materialised in place; a computed source
+       is only aliased when [i] holds its every reference (see above). *)
+    let copy_of i s ~refs ~extra =
+      match instrs.(s) with
+      | Iconst c ->
+        instrs.(i) <- Iconst c;
+        uses.(s) <- uses.(s) - refs;
+        List.iter drop extra;
+        incr folded
+      | Iinput _ | Ibin _ | Iun _ | Isel _ ->
+        if uses.(s) = refs then begin
+          alias.(i) <- s;
+          uses.(s) <- uses.(i);
+          uses.(i) <- 0;
+          List.iter drop extra;
+          incr aliased
+        end
+    in
+    for i = 0 to n - 1 do
+      (match instrs.(i) with
+      | Iconst _ | Iinput _ -> ()
+      | Ibin (op, a, b) -> instrs.(i) <- Ibin (op, resolve a, resolve b)
+      | Iun (op, a) -> instrs.(i) <- Iun (op, resolve a)
+      | Isel (op, l, r, a, b) ->
+        instrs.(i) <- Isel (op, resolve l, resolve r, resolve a, resolve b));
+      (match instrs.(i) with
+      | Ibin (op, a, b) -> (
+        match (const_of a, const_of b) with
+        | Some x, Some y ->
+          instrs.(i) <- Iconst (apply_binop op x y);
+          drop a;
+          drop b;
+          incr folded
+        | _ -> ())
+      | Iun (op, a) -> (
+        match const_of a with
+        | Some x ->
+          instrs.(i) <- Iconst (apply_unop op x);
+          drop a;
+          incr folded
+        | None -> ())
+      | Iconst _ | Iinput _ | Isel _ -> ());
+      (match instrs.(i) with
+      | Ibin (Mul, a, b) when is_one b -> copy_of i a ~refs:1 ~extra:[ b ]
+      | Ibin (Mul, a, b) when is_one a -> copy_of i b ~refs:1 ~extra:[ a ]
+      | Ibin (Div, a, b) when is_one b -> copy_of i a ~refs:1 ~extra:[ b ]
+      | Ibin (Sub, a, b) when is_pzero b -> copy_of i a ~refs:1 ~extra:[ b ]
+      | Ibin ((Min | Max), a, b) when a = b -> copy_of i a ~refs:2 ~extra:[]
+      | Isel (_, l, r, a, b) when a = b -> copy_of i a ~refs:2 ~extra:[ l; r ]
+      | Isel (op, l, r, a, b) -> (
+        match (const_of l, const_of r) with
+        | Some x, Some y ->
+          let taken, untaken = if apply_cmpop op x y then (a, b) else (b, a) in
+          copy_of i taken ~refs:1 ~extra:[ l; r; untaken ]
+        | _ -> ())
+      | Iun (Neg, a) -> (
+        match instrs.(a) with
+        | Iun (Neg, x) when uses.(a) = 1 && uses.(x) = 1 ->
+          (* -(-x) = x bitwise (two sign flips); with both intermediate
+             slots single-use the adjoint reaching x is 0-(0-T) = T. *)
+          alias.(i) <- x;
+          uses.(x) <- uses.(i);
+          uses.(i) <- 0;
+          uses.(a) <- 0;
+          incr aliased
+        | _ -> ())
+      | Iconst _ | Iinput _ | Ibin _ | Iun _ -> ());
+      (* Duplicate constants merge by bit pattern. *)
+      match instrs.(i) with
+      | Iconst c when alias.(i) = i -> (
+        let bits = Int64.bits_of_float c in
+        match Hashtbl.find_opt const_slots bits with
+        | Some s when s <> i ->
+          alias.(i) <- s;
+          uses.(s) <- Stdlib.( + ) uses.(s) uses.(i);
+          uses.(i) <- 0;
+          incr aliased
+        | Some _ -> ()
+        | None -> Hashtbl.replace const_slots bits i)
+      | _ -> ()
+    done;
+    (* Liveness from the (resolved) outputs, then renumber. *)
+    let live = Array.make n false in
+    let rec mark s =
+      if not live.(s) then begin
+        live.(s) <- true;
+        match instrs.(s) with
+        | Iconst _ | Iinput _ -> ()
+        | Ibin (_, a, b) ->
+          mark a;
+          mark b
+        | Iun (_, a) -> mark a
+        | Isel (_, l, r, a, b) ->
+          mark l;
+          mark r;
+          mark a;
+          mark b
+      end
+    in
+    Array.iter (fun o -> mark (resolve o)) t.outputs;
+    let remap = Array.make n (-1) in
+    let n_live = ref 0 in
+    for i = 0 to n - 1 do
+      if live.(i) then begin
+        remap.(i) <- !n_live;
+        incr n_live
+      end
+    done;
+    let new_instrs = Array.make !n_live (Iconst 0.0) in
+    for i = 0 to n - 1 do
+      if live.(i) then
+        new_instrs.(remap.(i)) <-
+          (match instrs.(i) with
+          | (Iconst _ | Iinput _) as ins -> ins
+          | Ibin (op, a, b) -> Ibin (op, remap.(a), remap.(b))
+          | Iun (op, a) -> Iun (op, remap.(a))
+          | Isel (op, l, r, a, b) -> Isel (op, remap.(l), remap.(r), remap.(a), remap.(b)))
+    done;
+    let outputs = Array.map (fun o -> remap.(resolve o)) t.outputs in
+    ( { instrs = new_instrs; outputs; n_inputs = t.n_inputs },
+      { slots_pre = n;
+        slots_post = !n_live;
+        folded = !folded;
+        aliased = !aliased;
+        dead = n - !n_live
+      } )
+
+  let optimize t = fst (optimize_report t)
+
+  let compile ?(optimize = true) ~inputs exprs =
     let exprs = List.map flatten_selects exprs in
     let input_index = Hashtbl.create 16 in
     List.iteri (fun i v -> Hashtbl.replace input_index v i) inputs;
@@ -82,6 +304,10 @@ module Tape = struct
         Hashtbl.replace cse instr slot;
         slot
     in
+    (* Memoised on node identity: revisiting a shared subterm of a
+       hash-consed DAG is O(1) instead of a re-walk (the CSE table would
+       dedupe the instructions anyway, so the emitted tape is unchanged). *)
+    let memo : int Expr.Memo.t = Expr.Memo.create ~size:256 () in
     let rec go (e : Expr.t) : int =
       match e with
       | Const c -> emit (Iconst c)
@@ -89,35 +315,66 @@ module Tape = struct
         match Hashtbl.find_opt input_index v with
         | Some i -> emit (Iinput i)
         | None -> invalid_arg (Printf.sprintf "Tape.compile: unbound variable %s" v))
-      | Binop (op, a, b) ->
-        let sa = go a in
-        let sb = go b in
-        emit (Ibin (op, sa, sb))
-      | Unop (op, a) ->
-        let sa = go a in
-        emit (Iun (op, sa))
-      | Select (Cmp (op, l, r), a, b) ->
-        let sl = go l in
-        let sr = go r in
-        let sa = go a in
-        let sb = go b in
-        emit (Isel (op, sl, sr, sa, sb))
-      | Select ((And _ | Or _ | Not _ | Bconst _), _, _) ->
-        (* flatten_selects removed these *)
-        assert false
+      | Binop _ | Unop _ | Select _ -> (
+        match Expr.Memo.find_opt memo e with
+        | Some slot -> slot
+        | None ->
+          let slot =
+            match e with
+            | Binop (op, a, b) ->
+              let sa = go a in
+              let sb = go b in
+              emit (Ibin (op, sa, sb))
+            | Unop (op, a) ->
+              let sa = go a in
+              emit (Iun (op, sa))
+            | Select (Cmp (op, l, r), a, b) ->
+              let sl = go l in
+              let sr = go r in
+              let sa = go a in
+              let sb = go b in
+              emit (Isel (op, sl, sr, sa, sb))
+            | Select ((And _ | Or _ | Not _ | Bconst _), _, _) ->
+              (* flatten_selects removed these *)
+              assert false
+            | Const _ | Var _ -> assert false
+          in
+          Expr.Memo.add memo e slot;
+          slot)
     in
     let outputs = Array.of_list (List.map go exprs) in
-    { instrs = Array.of_list (List.rev !instrs); outputs; n_inputs = List.length inputs }
+    let t = { instrs = Array.of_list (List.rev !instrs); outputs; n_inputs = List.length inputs } in
+    if optimize then fst (optimize_report t) else t
 
   let forward t xs vals =
     let n = Array.length t.instrs in
     for i = 0 to n - 1 do
       vals.(i) <-
+        (* [apply_binop]/[apply_unop] are spelled out inline: the function
+           call would box its float result on every instruction, and this
+           sweep must stay allocation-free (externals like [log]/[exp] are
+           [@@unboxed], so only [Float.min]/[Float.max] still call out). *)
         (match t.instrs.(i) with
         | Iconst c -> c
         | Iinput k -> xs.(k)
-        | Ibin (op, a, b) -> apply_binop op vals.(a) vals.(b)
-        | Iun (op, a) -> apply_unop op vals.(a)
+        | Ibin (op, a, b) -> (
+          let va = vals.(a) and vb = vals.(b) in
+          match op with
+          | Add -> va +. vb
+          | Sub -> va -. vb
+          | Mul -> va *. vb
+          | Div -> va /. vb
+          | Pow -> va ** vb
+          | Min -> Float.min va vb
+          | Max -> Float.max va vb)
+        | Iun (op, a) -> (
+          let va = vals.(a) in
+          match op with
+          | Neg -> -.va
+          | Log -> log va
+          | Exp -> exp va
+          | Sqrt -> sqrt va
+          | Abs -> Float.abs va)
         | Isel (op, l, r, a, b) ->
           if apply_cmpop op vals.(l) vals.(r) then vals.(a) else vals.(b))
     done
@@ -128,7 +385,7 @@ module Tape = struct
     forward t xs vals;
     Array.map (fun slot -> vals.(slot)) t.outputs
 
-  let backward t xs vals adj grad =
+  let backward t vals adj grad =
     Array.fill grad 0 (Array.length grad) 0.0;
     for i = Array.length t.instrs - 1 downto 0 do
       let a = adj.(i) in
@@ -171,30 +428,92 @@ module Tape = struct
           if apply_cmpop op vals.(l) vals.(r) then adj.(ia) <- adj.(ia) +. a
           else adj.(ib) <- adj.(ib) +. a
       end
-    done;
-    ignore xs
+    done
+
+  (* --- caller-owned workspaces ---------------------------------------------
+
+     A workspace owns the value, adjoint and output buffers one
+     forward/backward sweep needs; reusing it across calls removes every
+     per-call allocation from the descent inner loop. Buffers are fully
+     (re)written before being read — vals in forward slot order, adj by the
+     zero-fill in [backward_into] — so results never depend on what a
+     previous call left behind. *)
+
+  type workspace = { w_vals : float array; w_adj : float array; w_out : float array }
+
+  let workspace t =
+    let n = max 1 (Array.length t.instrs) in
+    { w_vals = Array.make n 0.0;
+      w_adj = Array.make n 0.0;
+      w_out = Array.make (Array.length t.outputs) 0.0
+    }
+
+  let check_ws t ws name =
+    if
+      Array.length ws.w_vals <> max 1 (Array.length t.instrs)
+      || Array.length ws.w_out <> Array.length t.outputs
+    then invalid_arg (name ^ ": workspace does not match tape")
+
+  let forward_into t ws xs =
+    if Array.length xs <> t.n_inputs then
+      invalid_arg "Tape.forward_into: input arity mismatch";
+    check_ws t ws "Tape.forward_into";
+    forward t xs ws.w_vals;
+    let out = ws.w_out and vals = ws.w_vals in
+    Array.iteri (fun k slot -> out.(k) <- vals.(slot)) t.outputs;
+    out
+
+  let backward_into t ws v grad =
+    check_ws t ws "Tape.backward_into";
+    if Array.length v <> Array.length t.outputs then
+      invalid_arg "Tape.backward_into: adjoint arity mismatch";
+    if Array.length grad <> t.n_inputs then
+      invalid_arg "Tape.backward_into: gradient arity mismatch";
+    let adj = ws.w_adj in
+    Array.fill adj 0 (Array.length adj) 0.0;
+    Array.iteri (fun k slot -> adj.(slot) <- adj.(slot) +. v.(k)) t.outputs;
+    backward t ws.w_vals adj grad
+
+  let eval_vjp_into t ws xs v grad =
+    let out = forward_into t ws xs in
+    backward_into t ws v grad;
+    out
 
   let vjp t xs v =
     if Array.length xs <> t.n_inputs then invalid_arg "Tape.vjp: input arity mismatch";
     if Array.length v <> Array.length t.outputs then
       invalid_arg "Tape.vjp: adjoint arity mismatch";
-    let n = Array.length t.instrs in
-    let vals = Array.make (max 1 n) 0.0 in
-    forward t xs vals;
-    let adj = Array.make (max 1 n) 0.0 in
-    Array.iteri (fun k slot -> adj.(slot) <- adj.(slot) +. v.(k)) t.outputs;
+    let ws = workspace t in
     let grad = Array.make t.n_inputs 0.0 in
-    backward t xs vals adj grad;
-    (Array.map (fun slot -> vals.(slot)) t.outputs, grad)
+    let out = eval_vjp_into t ws xs v grad in
+    (Array.copy out, grad)
+
+  let vjp_with t xs f =
+    if Array.length xs <> t.n_inputs then invalid_arg "Tape.vjp_with: input arity mismatch";
+    let ws = workspace t in
+    let out = forward_into t ws xs in
+    let v = f out in
+    if Array.length v <> Array.length t.outputs then
+      invalid_arg "Tape.vjp_with: adjoint arity mismatch";
+    let grad = Array.make t.n_inputs 0.0 in
+    backward_into t ws v grad;
+    (Array.copy out, grad)
 
   let jacobian t xs =
+    if Array.length xs <> t.n_inputs then invalid_arg "Tape.jacobian: input arity mismatch";
     let m = Array.length t.outputs in
-    let outputs = eval t xs in
+    let ws = workspace t in
+    (* One forward pass shared by all m adjoint sweeps: the reverse sweep
+       only reads vals, never writes them. *)
+    let outputs = Array.copy (forward_into t ws xs) in
+    let v = Array.make m 0.0 in
     let jac =
       Array.init m (fun k ->
-          let v = Array.make m 0.0 in
           v.(k) <- 1.0;
-          snd (vjp t xs v))
+          let grad = Array.make t.n_inputs 0.0 in
+          backward_into t ws v grad;
+          v.(k) <- 0.0;
+          grad)
     in
     (outputs, jac)
 end

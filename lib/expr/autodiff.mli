@@ -26,11 +26,12 @@ val gradient : Expr.t -> (string * Expr.t) list
 module Tape : sig
   type t
 
-  val compile : inputs:string list -> Expr.t list -> t
+  val compile : ?optimize:bool -> inputs:string list -> Expr.t list -> t
   (** [compile ~inputs exprs] compiles the expressions against the given
       input ordering. Raises [Invalid_argument] if an expression mentions a
       variable not listed in [inputs]. Common subexpressions across all
-      [exprs] are shared. *)
+      [exprs] are shared. Unless [optimize:false], the post-compile
+      optimiser ({!optimize}) runs on the result. *)
 
   val num_inputs : t -> int
   val num_outputs : t -> int
@@ -38,18 +39,74 @@ module Tape : sig
   val length : t -> int
   (** Number of tape instructions (after CSE); exposed for tests. *)
 
+  (** {2 Post-compile optimiser}
+
+      Constant folding, duplicate-constant merging (keyed by bit pattern),
+      bit-exact copy propagation (x*1, x/1, x-(+0.0), min/max(x,x), selects
+      with constant conditions or equal branches, -(-x); each applied only
+      when the source slot has no other consumer), and dead-slot
+      elimination with liveness-based renumbering. Every rewrite preserves
+      {!eval} and {!vjp} results bitwise, including the order of float
+      adjoint accumulation. *)
+
+  type opt_report = {
+    slots_pre : int;
+    slots_post : int;
+    folded : int;  (** instructions that became constants *)
+    aliased : int;  (** copy-like instructions redirected to their source *)
+    dead : int;  (** slots removed by dead-code elimination *)
+  }
+
+  val optimize : t -> t
+  val optimize_report : t -> t * opt_report
+
   val eval : t -> float array -> float array
   (** [eval t xs] returns the outputs; [Array.length xs] must equal
       [num_inputs t]. *)
 
   val vjp : t -> float array -> float array -> float array * float array
   (** [vjp t xs v] returns [(outputs, grad)] where
-      [grad.(i) = d(sum_k v.(k) * out_k) / d xs.(i)] — a single reverse
-      sweep. *)
+      [grad.(i) = d(sum_k v.(k) * out_k) / d xs.(i)] — one forward plus one
+      reverse sweep. *)
+
+  val vjp_with : t -> float array -> (float array -> float array) -> float array * float array
+  (** [vjp_with t xs f] runs one forward sweep, computes the output adjoint
+      [v = f outputs], then runs one reverse sweep: [(outputs, grad)]
+      without a second forward pass for adjoints that depend on the
+      outputs. [f] receives a workspace-owned buffer it must not retain;
+      the returned outputs are a fresh copy. *)
 
   val jacobian : t -> float array -> float array * float array array
-  (** [(outputs, jac)] with [jac.(k).(i) = d out_k / d x_i]; implemented as
-      [num_outputs] reverse sweeps. *)
+  (** [(outputs, jac)] with [jac.(k).(i) = d out_k / d x_i]; one shared
+      forward pass followed by [num_outputs] reverse sweeps. *)
+
+  (** {2 Caller-owned workspaces}
+
+      A [workspace] owns the value/adjoint/output buffers of one
+      forward-backward sweep so the descent inner loop runs with zero
+      allocation. Buffers are fully rewritten before being read, so a
+      workspace may be reused across calls (and moved between points)
+      without affecting results; it must match the tape it was created
+      from and must not be shared by concurrent callers. *)
+
+  type workspace
+
+  val workspace : t -> workspace
+
+  val forward_into : t -> workspace -> float array -> float array
+  (** Runs the forward sweep, retaining all intermediate values in the
+      workspace; returns the workspace-owned output buffer (do not
+      retain). *)
+
+  val backward_into : t -> workspace -> float array -> float array -> unit
+  (** [backward_into t ws v grad] seeds the output adjoints from [v] and
+      runs one reverse sweep against the values left by the last
+      [forward_into], overwriting [grad] (length [num_inputs t]). *)
+
+  val eval_vjp_into : t -> workspace -> float array -> float array -> float array -> float array
+  (** [eval_vjp_into t ws xs v grad]: one forward + one backward sweep;
+      returns the workspace-owned outputs and overwrites [grad].
+      Bit-identical to {!vjp}, with zero allocation. *)
 end
 
 val check_gradient :

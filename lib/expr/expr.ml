@@ -16,11 +16,119 @@ and cond =
   | Not of cond
   | Bconst of bool
 
-let const f = Const f
-let int i = Const (float_of_int i)
-let var v = Var v
-let zero = Const 0.0
-let one = Const 1.0
+(* --- hash-consing ---------------------------------------------------------
+
+   Smart constructors intern every node they build in a per-domain unique
+   table, so two structurally equal terms built on the same domain share one
+   physical representation. That gives [equal]/[compare] an O(1) physical
+   fast path and lets callers memoise traversals by node identity ([Memo])
+   instead of re-walking shared subtrees.
+
+   Interning is an optimisation, never an invariant: terms assembled with
+   the raw data constructors (tests do this) or unmarshalled from disk
+   simply miss the fast paths and behave as before. The tables live in
+   domain-local storage, so workers interning concurrently under the
+   runtime never contend or race; a term crossing domains falls back to
+   structural equality. Tables are weak: unreferenced expressions stay
+   collectable. *)
+
+module Hnode = struct
+  type nonrec t = t
+
+  (* Children are compared physically: smart constructors only ever build a
+     node from already-interned children, so one level of [==] suffices.
+     Constants are compared by bit pattern — [=] would merge 0.0 with -0.0
+     (they hash alike and compare equal), silently flipping signs in
+     downstream arithmetic, and would never dedupe NaN. *)
+  let equal x y =
+    match (x, y) with
+    | Const a, Const b -> Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+    | Var a, Var b -> String.equal a b
+    | Binop (o1, a1, b1), Binop (o2, a2, b2) -> o1 = o2 && a1 == a2 && b1 == b2
+    | Unop (o1, a1), Unop (o2, a2) -> o1 = o2 && a1 == a2
+    | Select (c1, a1, b1), Select (c2, a2, b2) -> c1 == c2 && a1 == a2 && b1 == b2
+    | (Const _ | Var _ | Binop _ | Unop _ | Select _), _ -> false
+
+  let hash = Hashtbl.hash
+end
+
+module Hcond = struct
+  type t = cond
+
+  let equal x y =
+    match (x, y) with
+    | Cmp (o1, a1, b1), Cmp (o2, a2, b2) -> o1 = o2 && a1 == a2 && b1 == b2
+    | And (a1, b1), And (a2, b2) | Or (a1, b1), Or (a2, b2) -> a1 == a2 && b1 == b2
+    | Not a, Not b -> a == b
+    | Bconst a, Bconst b -> Bool.equal a b
+    | (Cmp _ | And _ | Or _ | Not _ | Bconst _), _ -> false
+
+  let hash = Hashtbl.hash
+end
+
+module Wnode = Weak.Make (Hnode)
+module Wcond = Weak.Make (Hcond)
+
+module Phys = struct
+  type nonrec t = t
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end
+
+module Id_tbl = Ephemeron.K1.Make (Phys)
+
+type interner = { nodes : Wnode.t; conds : Wcond.t; ids : int Id_tbl.t }
+
+(* Ids are drawn from one process-wide counter so two distinct nodes can
+   never share an id, even across domains. The node->id map itself is
+   per-domain (a node migrating between domains may receive a different id
+   on each, which is harmless: memo tables are per-call and single-domain). *)
+let fresh_id = Atomic.make 0
+
+let interner_key =
+  Domain.DLS.new_key (fun () ->
+      { nodes = Wnode.create 4096; conds = Wcond.create 512; ids = Id_tbl.create 4096 })
+
+let intern e = Wnode.merge (Domain.DLS.get interner_key).nodes e
+let intern_cond c = Wcond.merge (Domain.DLS.get interner_key).conds c
+
+let id e =
+  let it = Domain.DLS.get interner_key in
+  match Id_tbl.find_opt it.ids e with
+  | Some i -> i
+  | None ->
+    let i = Atomic.fetch_and_add fresh_id 1 in
+    Id_tbl.add it.ids e i;
+    i
+
+let hash (e : t) = Hashtbl.hash e
+
+module Memo = struct
+  type nonrec expr = t
+  type 'a t = (int, 'a) Hashtbl.t
+
+  let create ?(size = 64) () : 'a t = Hashtbl.create size
+  let find_opt (m : 'a t) e = Hashtbl.find_opt m (id e)
+  let add (m : 'a t) e v = Hashtbl.replace m (id e) v
+
+  let memo (m : 'a t) f e =
+    match find_opt m e with
+    | Some v -> v
+    | None ->
+      let v = f e in
+      add m e v;
+      v
+
+  let length = Hashtbl.length
+  let clear = Hashtbl.clear
+end
+
+let const f = intern (Const f)
+let int i = const (float_of_int i)
+let var v = intern (Var v)
+let zero = const 0.0
+let one = const 1.0
 
 let is_const = function Const _ -> true | Var _ | Binop _ | Unop _ | Select _ -> false
 let const_value = function Const c -> Some c | Var _ | Binop _ | Unop _ | Select _ -> None
@@ -53,6 +161,8 @@ let apply_cmpop op a b =
   | Ne -> a <> b
 
 let rec equal x y =
+  x == y
+  ||
   match (x, y) with
   | Const a, Const b -> a = b
   | Var a, Var b -> String.equal a b
@@ -62,6 +172,8 @@ let rec equal x y =
   | (Const _ | Var _ | Binop _ | Unop _ | Select _), _ -> false
 
 and equal_cond x y =
+  x == y
+  ||
   match (x, y) with
   | Cmp (o1, a1, b1), Cmp (o2, a2, b2) -> o1 = o2 && equal a1 a2 && equal b1 b2
   | And (a1, b1), And (a2, b2) | Or (a1, b1), Or (a2, b2) ->
@@ -70,81 +182,81 @@ and equal_cond x y =
   | Bconst a, Bconst b -> a = b
   | (Cmp _ | And _ | Or _ | Not _ | Bconst _), _ -> false
 
-let compare = Stdlib.compare
+let compare x y = if x == y then 0 else Stdlib.compare x y
 
 (* --- smart constructors -------------------------------------------------- *)
 
 let add a b =
   match (a, b) with
-  | Const x, Const y -> Const (x +. y)
+  | Const x, Const y -> const (x +. y)
   | Const 0.0, e | e, Const 0.0 -> e
-  | _ -> Binop (Add, a, b)
+  | _ -> intern (Binop (Add, a, b))
 
 let sub a b =
   match (a, b) with
-  | Const x, Const y -> Const (x -. y)
+  | Const x, Const y -> const (x -. y)
   | e, Const 0.0 -> e
-  | _ when equal a b -> Const 0.0
-  | _ -> Binop (Sub, a, b)
+  | _ when equal a b -> zero
+  | _ -> intern (Binop (Sub, a, b))
 
 let mul a b =
   match (a, b) with
-  | Const x, Const y -> Const (x *. y)
-  | Const 0.0, _ | _, Const 0.0 -> Const 0.0
+  | Const x, Const y -> const (x *. y)
+  | Const 0.0, _ | _, Const 0.0 -> zero
   | Const 1.0, e | e, Const 1.0 -> e
-  | _ -> Binop (Mul, a, b)
+  | _ -> intern (Binop (Mul, a, b))
 
 let div a b =
   match (a, b) with
-  | Const x, Const y when y <> 0.0 -> Const (x /. y)
-  | Const 0.0, _ -> Const 0.0
+  | Const x, Const y when y <> 0.0 -> const (x /. y)
+  | Const 0.0, _ -> zero
   | e, Const 1.0 -> e
-  | _ when equal a b && not (is_const a) -> Const 1.0
-  | _ -> Binop (Div, a, b)
+  | _ when equal a b && not (is_const a) -> one
+  | _ -> intern (Binop (Div, a, b))
 
 let pow a b =
   match (a, b) with
-  | Const x, Const y -> Const (x ** y)
-  | _, Const 0.0 -> Const 1.0
+  | Const x, Const y -> const (x ** y)
+  | _, Const 0.0 -> one
   | _, Const 1.0 -> a
-  | Const 1.0, _ -> Const 1.0
-  | _ -> Binop (Pow, a, b)
+  | Const 1.0, _ -> one
+  | _ -> intern (Binop (Pow, a, b))
 
 let powi a i = pow a (int i)
 
 let min_ a b =
   match (a, b) with
-  | Const x, Const y -> Const (Float.min x y)
+  | Const x, Const y -> const (Float.min x y)
   | _ when equal a b -> a
-  | _ -> Binop (Min, a, b)
+  | _ -> intern (Binop (Min, a, b))
 
 let max_ a b =
   match (a, b) with
-  | Const x, Const y -> Const (Float.max x y)
+  | Const x, Const y -> const (Float.max x y)
   | _ when equal a b -> a
-  | _ -> Binop (Max, a, b)
+  | _ -> intern (Binop (Max, a, b))
 
 let neg = function
-  | Const x -> Const (-.x)
+  | Const x -> const (-.x)
   | Unop (Neg, e) -> e
-  | e -> Unop (Neg, e)
+  | e -> intern (Unop (Neg, e))
 
 let log_ = function
-  | Const x when x > 0.0 -> Const (log x)
+  | Const x when x > 0.0 -> const (log x)
   | Unop (Exp, e) -> e
-  | e -> Unop (Log, e)
+  | e -> intern (Unop (Log, e))
 
 let exp_ = function
-  | Const x -> Const (exp x)
+  | Const x -> const (exp x)
   | Unop (Log, e) -> e
-  | e -> Unop (Exp, e)
+  | e -> intern (Unop (Exp, e))
 
-let sqrt_ = function Const x when x >= 0.0 -> Const (sqrt x) | e -> Unop (Sqrt, e)
+let sqrt_ = function Const x when x >= 0.0 -> const (sqrt x) | e -> intern (Unop (Sqrt, e))
 
 let abs_ = function
-  | Const x -> Const (Float.abs x)
-  | Unop (Abs, e) -> Unop (Abs, e)
-  | e -> Unop (Abs, e)
+  | Const x -> const (Float.abs x)
+  | Unop (Abs, _) as e -> e
+  | e -> intern (Unop (Abs, e))
 
 let select c a b =
   match c with
@@ -153,8 +265,8 @@ let select c a b =
   | _ when equal a b -> a
   | _ -> (
     match (a, b) with
-    | Const x, Const y when x = y -> Const x
-    | _ -> Select (c, a, b))
+    | Const x, Const y when x = y -> a
+    | _ -> intern (Select (c, a, b)))
 
 let ( + ) = add
 let ( - ) = sub
@@ -169,7 +281,7 @@ let product = function [] -> one | x :: rest -> List.fold_left mul x rest
 let cmp op a b =
   match (a, b) with
   | Const x, Const y -> Bconst (apply_cmpop op x y)
-  | _ -> Cmp (op, a, b)
+  | _ -> intern_cond (Cmp (op, a, b))
 
 let lt = cmp Lt
 let le = cmp Le
@@ -182,18 +294,18 @@ let and_ a b =
   match (a, b) with
   | Bconst true, c | c, Bconst true -> c
   | Bconst false, _ | _, Bconst false -> Bconst false
-  | _ -> And (a, b)
+  | _ -> intern_cond (And (a, b))
 
 let or_ a b =
   match (a, b) with
   | Bconst false, c | c, Bconst false -> c
   | Bconst true, _ | _, Bconst true -> Bconst true
-  | _ -> Or (a, b)
+  | _ -> intern_cond (Or (a, b))
 
 let not_ = function
   | Bconst b -> Bconst (not b)
   | Not c -> c
-  | c -> Not c
+  | c -> intern_cond (Not c)
 
 let btrue = Bconst true
 let bfalse = Bconst false
@@ -232,31 +344,55 @@ and size_cond = function
   | Not c -> Stdlib.( + ) 1 (size_cond c)
   | Bconst _ -> 1
 
-let rec subst f e =
-  match e with
-  | Const _ -> e
-  | Var v -> ( match f v with Some e' -> e' | None -> e)
-  | Binop (op, a, b) -> (
-    let a' = subst f a and b' = subst f b in
-    match op with
-    | Add -> add a' b'
-    | Sub -> sub a' b'
-    | Mul -> mul a' b'
-    | Div -> div a' b'
-    | Pow -> pow a' b'
-    | Min -> min_ a' b'
-    | Max -> max_ a' b')
-  | Unop (op, a) -> (
-    let a' = subst f a in
-    match op with
-    | Neg -> neg a'
-    | Log -> log_ a'
-    | Exp -> exp_ a'
-    | Sqrt -> sqrt_ a'
-    | Abs -> abs_ a')
-  | Select (c, a, b) -> select (subst_cond f c) (subst f a) (subst f b)
+let subst f e =
+  (* Memoised on node identity so shared (hash-consed) subtrees are
+     substituted once; the result is rebuilt with smart constructors and
+     therefore shared again. *)
+  let memo : t Memo.t = Memo.create () in
+  let rec go e =
+    match e with
+    | Const _ -> e
+    | Var v -> ( match f v with Some e' -> e' | None -> e)
+    | Binop _ | Unop _ | Select _ -> (
+      match Memo.find_opt memo e with
+      | Some r -> r
+      | None ->
+        let r =
+          match e with
+          | Binop (op, a, b) -> (
+            let a' = go a and b' = go b in
+            match op with
+            | Add -> add a' b'
+            | Sub -> sub a' b'
+            | Mul -> mul a' b'
+            | Div -> div a' b'
+            | Pow -> pow a' b'
+            | Min -> min_ a' b'
+            | Max -> max_ a' b')
+          | Unop (op, a) -> (
+            let a' = go a in
+            match op with
+            | Neg -> neg a'
+            | Log -> log_ a'
+            | Exp -> exp_ a'
+            | Sqrt -> sqrt_ a'
+            | Abs -> abs_ a')
+          | Select (c, a, b) -> select (go_cond c) (go a) (go b)
+          | Const _ | Var _ -> assert false
+        in
+        Memo.add memo e r;
+        r)
+  and go_cond c =
+    match c with
+    | Cmp (op, a, b) -> cmp op (go a) (go b)
+    | And (a, b) -> and_ (go_cond a) (go_cond b)
+    | Or (a, b) -> or_ (go_cond a) (go_cond b)
+    | Not a -> not_ (go_cond a)
+    | Bconst _ -> c
+  in
+  go e
 
-and subst_cond f c =
+let rec subst_cond f c =
   match c with
   | Cmp (op, a, b) -> cmp op (subst f a) (subst f b)
   | And (a, b) -> and_ (subst_cond f a) (subst_cond f b)

@@ -10,7 +10,14 @@
     Boolean conditions are a separate syntactic class ([cond]) embedded only
     under [select]; after the smoothing pass ({!module:Smooth}) no [cond],
     [min], [max], [select] or [abs] node remains, making the result
-    differentiable everywhere. *)
+    differentiable everywhere.
+
+    Smart constructors hash-cons the nodes they build in a per-domain unique
+    table: structurally equal terms constructed on the same domain are
+    physically equal, so [equal] and [compare] short-circuit on identity and
+    traversals can be memoised per node ({!module:Memo}). Hash-consing is an
+    optimisation, not an invariant — terms built with the raw data
+    constructors or unmarshalled from disk merely miss the fast paths. *)
 
 type binop = Add | Sub | Mul | Div | Pow | Min | Max
 
@@ -91,9 +98,40 @@ val is_const : t -> bool
 val const_value : t -> float option
 
 val equal : t -> t -> bool
-(** Structural equality. *)
+(** Structural equality, with an O(1) physical-identity fast path for
+    hash-consed terms. *)
 
 val compare : t -> t -> int
+(** Total structural order compatible with [equal] ([compare a b = 0] iff
+    [equal a b]), with the same physical fast path. *)
+
+val hash : t -> int
+(** Structural hash, consistent with [equal] (bounded-depth, O(1)-ish). *)
+
+val id : t -> int
+(** A small integer identifying this physical node on the current domain.
+    Distinct nodes never share an id; on one domain a node's id is stable
+    for its lifetime. Hash-consed construction makes structurally equal
+    terms share a node and hence an id. *)
+
+(** Memo tables keyed by node identity (via {!id}). Intended for
+    single-traversal caches: create one per pass so shared subtrees of a
+    hash-consed DAG are visited once instead of once per occurrence. *)
+module Memo : sig
+  type expr = t
+  type 'a t
+
+  val create : ?size:int -> unit -> 'a t
+  val find_opt : 'a t -> expr -> 'a option
+  val add : 'a t -> expr -> 'a -> unit
+
+  val memo : 'a t -> (expr -> 'a) -> expr -> 'a
+  (** [memo m f e] returns the cached value for [e] or computes, caches and
+      returns [f e]. *)
+
+  val length : 'a t -> int
+  val clear : 'a t -> unit
+end
 
 val vars : t -> string list
 (** Sorted, de-duplicated free variables. *)

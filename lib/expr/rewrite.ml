@@ -16,17 +16,27 @@ let try_rules rules e fired =
 
 let rewrite_once rules e =
   let fired = ref 0 in
+  (* Memoised on node identity: a hash-consed term is a DAG, and a shared
+     subterm rewrites to the same result every time (rules are pure), so it
+     is walked once per pass. A memo hit does not re-count firings — the
+     miss that populated it already did. *)
+  let memo : Expr.t Expr.Memo.t = Expr.Memo.create () in
   let rec walk e =
-    (* Rewrite children first, then the node itself (possibly repeatedly,
-       since one firing can enable another at the same node). *)
-    let e = Expr.map_children walk e in
-    let rec stabilise e budget =
-      if budget = 0 then e
-      else
-        let e' = try_rules rules e fired in
-        if Expr.equal e' e then e else stabilise (Expr.map_children walk e') (budget - 1)
-    in
-    stabilise e 8
+    match Expr.Memo.find_opt memo e with
+    | Some e' -> e'
+    | None ->
+      (* Rewrite children first, then the node itself (possibly repeatedly,
+         since one firing can enable another at the same node). *)
+      let e0 = Expr.map_children walk e in
+      let rec stabilise e budget =
+        if budget = 0 then e
+        else
+          let e' = try_rules rules e fired in
+          if Expr.equal e' e then e else stabilise (Expr.map_children walk e') (budget - 1)
+      in
+      let e' = stabilise e0 8 in
+      Expr.Memo.add memo e e';
+      e'
   in
   let e' = walk e in
   (e', !fired)

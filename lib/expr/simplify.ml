@@ -97,6 +97,27 @@ let rules =
   [ const_assoc_fold; add_sub_fold; neg_to_sub; div_collapse; log_expand; exp_log_cancel;
     sqrt_pow; pow_merge; select_same; min_max_abs ]
 
-let simplify e = Rewrite.apply_fixpoint rules e
+(* Top-level results are memoised across calls in a per-domain, size-capped
+   table: feature extraction simplifies many margin/feature formulas that
+   share large subterms, and gradient generation re-simplifies derivatives
+   of the same expression once per variable. Per-domain storage makes the
+   cache safe under the runtime's worker domains without locking. *)
+let memo_cap = 8192
+
+let memo_key : Expr.t Expr.Memo.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Expr.Memo.create ~size:256 ())
+
+let simplify e =
+  match e with
+  | Expr.Const _ | Expr.Var _ -> e
+  | Expr.Binop _ | Expr.Unop _ | Expr.Select _ ->
+    let memo = Domain.DLS.get memo_key in
+    (match Expr.Memo.find_opt memo e with
+    | Some r -> r
+    | None ->
+      let r = Rewrite.apply_fixpoint rules e in
+      if Expr.Memo.length memo >= memo_cap then Expr.Memo.clear memo;
+      Expr.Memo.add memo e r;
+      r)
 
 let simplify_cond c = Expr.map_cond simplify c

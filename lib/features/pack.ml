@@ -45,7 +45,10 @@ let rec margins_of_cond (c : Expr.cond) : Expr.t list =
     | _ -> [])
   | Not _ | Bconst _ -> []
 
-let prepare ?(width = 1.0) sg sched =
+let c_slots_pre = Telemetry.counter Telemetry.global "features.tape_slots_pre"
+let c_slots_post = Telemetry.counter Telemetry.global "features.tape_slots_post"
+
+let prepare ?(width = 1.0) ?(optimize = true) sg sched =
   Telemetry.with_span Telemetry.global "pack.prepare"
     ~attrs:
       [ ("subgraph", Telemetry.Str sg.Compute.sg_name);
@@ -65,15 +68,31 @@ let prepare ?(width = 1.0) sg sched =
     |> exp_subst name_list
     |> fun e' -> Expr.log_ (Expr.add Expr.one e')
   in
+  (* Tapes are compiled raw, then (unless [optimize:false]) run through the
+     bit-exact tape optimiser; the before/after slot counts feed the
+     features.tape_slots_{pre,post} telemetry counters. *)
+  let optimize_tape tape =
+    if not optimize then tape
+    else begin
+      let tape', report = Autodiff.Tape.optimize_report tape in
+      Telemetry.Counter.incr ~by:report.Autodiff.Tape.slots_pre c_slots_pre;
+      Telemetry.Counter.incr ~by:report.Autodiff.Tape.slots_post c_slots_post;
+      tape'
+    end
+  in
   let features = Extract.extract prog |> Array.map transform |> Array.to_list in
-  let feature_tape = Autodiff.Tape.compile ~inputs:name_list features in
+  let feature_tape =
+    optimize_tape (Autodiff.Tape.compile ~optimize:false ~inputs:name_list features)
+  in
   let margins =
     List.concat_map margins_of_cond sched.Schedule.constraints
     |> List.map (fun g ->
            let g = exp_subst name_list (Smooth.smooth ~width g) in
            Simplify.simplify g)
   in
-  let penalty_tape = Autodiff.Tape.compile ~inputs:name_list margins in
+  let penalty_tape =
+    optimize_tape (Autodiff.Tape.compile ~optimize:false ~inputs:name_list margins)
+  in
   let index_of name =
     let rec go i = if names.(i) = name then i else go (i + 1) in
     go 0
@@ -122,14 +141,62 @@ let features_batch ?runtime t ys =
 let features_vjp t y adj = Autodiff.Tape.vjp t.feature_tape y adj
 
 let penalty_margins t y = Autodiff.Tape.eval t.penalty_tape y
+let penalty_vjp t y adj = Autodiff.Tape.vjp t.penalty_tape y adj
+
+let penalty_adjoint g = 2.0 *. max g 0.0
 
 let penalty_value_grad t y =
-  let margins = Autodiff.Tape.eval t.penalty_tape y in
+  (* One forward + one backward: the adjoint 2·max(g,0) depends on the
+     margins, so it is computed from the forward sweep's outputs via
+     [vjp_with] instead of a separate [eval]. *)
+  let margins, grad =
+    Autodiff.Tape.vjp_with t.penalty_tape y (fun margins -> Array.map penalty_adjoint margins)
+  in
   let value = Array.fold_left (fun acc g -> acc +. (max g 0.0 ** 2.0)) 0.0 margins in
-  (* d/dg sum max(g,0)^2 = 2 max(g,0); one VJP gives the y-gradient. *)
-  let adj = Array.map (fun g -> 2.0 *. max g 0.0) margins in
-  let _, grad = Autodiff.Tape.vjp t.penalty_tape y adj in
   (value, grad)
+
+(* --- fused-kernel workspaces ----------------------------------------------
+
+   A workspace owns every buffer the fused objective path needs for this
+   pack's two tapes; allocate one per descent (or reuse a pooled one) and
+   the whole forward/backward inner loop runs allocation-free. Buffer
+   contents never leak between calls: each sweep fully rewrites what it
+   reads (see {!Autodiff.Tape.workspace}). *)
+
+type workspace = {
+  ws_feat : Autodiff.Tape.workspace;
+  ws_pen : Autodiff.Tape.workspace;
+  ws_pen_adj : float array;  (* n_penalties *)
+}
+
+let workspace t =
+  { ws_feat = Autodiff.Tape.workspace t.feature_tape;
+    ws_pen = Autodiff.Tape.workspace t.penalty_tape;
+    ws_pen_adj = Array.make t.n_penalties 0.0
+  }
+
+let features_forward t ws y =
+  Telemetry.Counter.incr c_feature_evals;
+  Autodiff.Tape.forward_into t.feature_tape ws.ws_feat y
+
+let features_backward t ws adj grad =
+  Autodiff.Tape.backward_into t.feature_tape ws.ws_feat adj grad
+
+let penalty_value_grad_into t ws y grad =
+  let margins = Autodiff.Tape.forward_into t.penalty_tape ws.ws_pen y in
+  let adj = ws.ws_pen_adj in
+  (* Same left-to-right accumulation as the fold in [penalty_value_grad],
+     written as a plain loop — and with [max g 0.0] spelled out as its
+     definition [if g >= 0.0 then g else 0.0] — so no float is boxed. *)
+  let value = ref 0.0 in
+  for k = 0 to Array.length adj - 1 do
+    let g = margins.(k) in
+    let m = if g >= 0.0 then g else 0.0 in
+    value := !value +. (m ** 2.0);
+    adj.(k) <- 2.0 *. m
+  done;
+  Autodiff.Tape.backward_into t.penalty_tape ws.ws_pen adj grad;
+  !value
 
 let round_to_valid t y =
   let n = Array.length t.names in
@@ -182,6 +249,15 @@ let env_of t y =
     match Hashtbl.find_opt tbl v with Some x -> x | None -> raise (Eval.Unbound_variable v)
 
 let schedule_key t y =
-  t.sched.Schedule.sched_name ^ ":"
-  ^ String.concat ","
-      (List.map (fun (_, v) -> string_of_int v) (assignment t y))
+  (* Single-buffer construction of "<sketch>:v0,v1,..." — called once per
+     candidate per dedup in both search engines, so it skips [assignment]'s
+     intermediate pair list and [String.concat]'s second pass. *)
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf t.sched.Schedule.sched_name;
+  Buffer.add_char buf ':';
+  Array.iteri
+    (fun i _ ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (string_of_int (int_of_float (Float.round (exp y.(i))))))
+    t.names;
+  Buffer.contents buf

@@ -18,9 +18,13 @@
 
 type t
 
-val prepare : ?width:float -> Compute.subgraph -> Schedule.t -> t
+val prepare : ?width:float -> ?optimize:bool -> Compute.subgraph -> Schedule.t -> t
 (** [width] is the smoothing-kernel width of Section 3.3 (default 1.0);
-    exposed for the ablation benchmarks. *)
+    exposed for the ablation benchmarks. [optimize] (default [true]) runs
+    the bit-exact tape optimiser on the compiled tapes and reports the
+    before/after slot counts on the [features.tape_slots_{pre,post}]
+    telemetry counters; disabling it reproduces the raw tapes (same
+    results bitwise, more instructions — kept for benchmark baselines). *)
 
 val prepare_cached : ?width:float -> Compute.subgraph -> Schedule.t -> t
 (** {!prepare} memoised in a process-wide LRU keyed by
@@ -58,9 +62,43 @@ val penalty_margins : t -> float array -> float array
 
 val penalty_value_grad : t -> float array -> float * float array
 (** [(sum_r max(g_r, 0)^2, gradient)] — the penalty term of Equation 4
-    (without the lambda factor). *)
+    (without the lambda factor). One forward + one backward sweep. *)
+
+val penalty_vjp : t -> float array -> float array -> float array * float array
+(** [(margins, dy)] for an explicit margin adjoint — the building block of
+    {!penalty_value_grad}, exposed so callers can reproduce the legacy
+    (pre-fusion) objective composition exactly. *)
 
 val num_penalties : t -> int
+
+(** {2 Fused-kernel workspaces}
+
+    A [workspace] owns the tape value/adjoint buffers for this pack's
+    feature and penalty tapes. Ownership rules: one workspace per
+    concurrent evaluator (never shared across domains mid-call); arrays
+    returned by [features_forward] are workspace-owned and valid until the
+    next call on the same workspace; reuse across points/calls is safe
+    because every buffer is fully rewritten before it is read. *)
+
+type workspace
+
+val workspace : t -> workspace
+
+val features_forward : t -> workspace -> float array -> float array
+(** As {!features_at}, but allocation-free: runs the forward sweep into
+    the workspace and returns the workspace-owned feature vector. The
+    intermediate values are retained for {!features_backward}. *)
+
+val features_backward : t -> workspace -> float array -> float array -> unit
+(** [features_backward t ws adj grad] runs one reverse sweep against the
+    values of the last {!features_forward} on [ws], overwriting [grad]
+    with the y-gradient of [sum_k adj_k * feat_k]. Together with
+    {!features_forward} this is {!features_vjp} without the second
+    forward pass or any allocation. *)
+
+val penalty_value_grad_into : t -> workspace -> float array -> float array -> float
+(** [penalty_value_grad_into t ws y grad] is {!penalty_value_grad} with
+    zero allocation: overwrites [grad] and returns the penalty value. *)
 
 val round_to_valid : t -> float array -> float array option
 (** Round log-space values to the nearest divisor assignment (Section 3.3's

@@ -67,6 +67,13 @@ let search_round (cfg : Tuning_config.t) rng ?runtime model packs ~elites ~alrea
   @@ fun () ->
   let packs = Array.of_list packs in
   if Array.length packs = 0 then invalid_arg "Evolutionary.search_round: no sketches";
+  (* Fused predictors, one per pack; scoring goes through their pooled
+     workspaces (bitwise-equal to Mlp.forward over Pack.features_at). *)
+  let objs = Array.map (fun pack -> Objective.create ~lambda:cfg.lambda model pack) packs in
+  let obj_of pack =
+    let rec go i = if packs.(i) == pack then objs.(i) else go (i + 1) in
+    go 0
+  in
   let prediction_cache : (string, float) Hashtbl.t = Hashtbl.create 512 in
   let all_predictions = ref [] in
   let evaluated = ref 0 in
@@ -86,7 +93,7 @@ let search_round (cfg : Tuning_config.t) rng ?runtime model packs ~elites ~alrea
         end)
       protos;
     let fresh = Array.of_list (List.rev !fresh) in
-    let predict (pack, y, _key) = Mlp.forward model (Pack.features_at pack y) in
+    let predict (pack, y, _key) = Objective.predict (obj_of pack) y in
     let preds =
       match runtime with
       | Some rt -> Runtime.parallel_map rt predict fresh

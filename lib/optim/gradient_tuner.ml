@@ -2,38 +2,38 @@ type candidate = { pack : Pack.t; y : float array; key : string; predicted : flo
 
 type trace = { steps_done : int; predictions : float list }
 
-let objective_grad (cfg : Tuning_config.t) model pack y =
-  (* O(y) = -C(Feat(y)) + lambda * sum_r max(g_r(y), 0)^2, with its gradient
-     assembled from one MLP backward, one feature-tape VJP and one
-     penalty-tape VJP. *)
-  let feats = Pack.features_at pack y in
-  let score, dscore_dfeat = Mlp.input_gradient model feats in
-  let adj = Array.map (fun d -> -.d) dscore_dfeat in
-  let _, dy_model = Pack.features_vjp pack y adj in
-  let pval, pgrad = Pack.penalty_value_grad pack y in
-  let obj = -.score +. (cfg.lambda *. pval) in
-  let grad = Array.mapi (fun i g -> g +. (cfg.lambda *. pgrad.(i))) dy_model in
-  (obj, grad)
+let h_gd_step = Telemetry.histogram Telemetry.global "felix.gd_step_ms"
 
-let descend (cfg : Tuning_config.t) _rng model pack y0 =
+(* Adam descent on O(y) through a fused {!Objective}: one reused gradient
+   buffer, zero allocation per step beyond the trajectory snapshots. *)
+let descend_obj (cfg : Tuning_config.t) obj y0 =
   let n = Array.length y0 in
   let y = Array.copy y0 in
   let adam = Adam.create ~lr:cfg.gd_lr n in
-  let bounds = Pack.bounds_log pack in
+  let bounds = Pack.bounds_log (Objective.pack obj) in
+  let grad = Array.make n 0.0 in
   let history = ref [] in
+  let timed = Telemetry.enabled Telemetry.global in
   for _ = 1 to cfg.nsteps do
-    let obj, grad = objective_grad cfg model pack y in
-    history := (Array.copy y, obj) :: !history;
+    let t0 = if timed then Telemetry.now_s Telemetry.global else 0.0 in
+    let o = Objective.value_grad obj y ~grad in
+    history := (Array.copy y, o) :: !history;
     Adam.step adam ~params:y ~grads:grad;
     (* Keep iterates near the relaxed box; the penalties do the fine
        enforcement, the clamp prevents numeric runaway. *)
     Array.iteri
       (fun i (lo, hi) -> y.(i) <- Stats.clamp ~lo:(lo -. 0.7) ~hi:(hi +. 0.7) y.(i))
-      bounds
+      bounds;
+    if timed then
+      Telemetry.Histogram.observe h_gd_step
+        ((Telemetry.now_s Telemetry.global -. t0) *. 1000.0)
   done;
-  let obj, _ = objective_grad cfg model pack y in
-  history := (Array.copy y, obj) :: !history;
+  let o = Objective.value_grad obj y ~grad in
+  history := (Array.copy y, o) :: !history;
   List.rev !history
+
+let descend (cfg : Tuning_config.t) _rng model pack y0 =
+  descend_obj cfg (Objective.create ~lambda:cfg.lambda model pack) y0
 
 (* The round is staged so a runtime can fan out the pure phases without
    perturbing the RNG stream: start points are sampled sequentially in the
@@ -47,25 +47,31 @@ let search_round (cfg : Tuning_config.t) rng ?runtime model packs ~already_measu
   @@ fun () ->
   let npacks = max 1 (List.length packs) in
   let seeds_per_pack = max 1 (cfg.nseeds / npacks) in
+  (* One fused objective per pack; its workspace pool is shared by every
+     descent on that pack (including parallel ones — the pool hands each
+     concurrent caller a private workspace). *)
+  let objs = List.map (fun pack -> Objective.create ~lambda:cfg.lambda model pack) packs in
   (* Phase 1 (sequential): consume the RNG in legacy order. *)
   let starts =
     List.concat_map
-      (fun pack ->
+      (fun obj ->
+        let pack = Objective.pack obj in
         List.filter_map
-          (fun _ -> Option.map (fun y0 -> (pack, y0)) (Dataset.sample_valid_point rng pack 100))
+          (fun _ -> Option.map (fun y0 -> (obj, y0)) (Dataset.sample_valid_point rng pack 100))
           (List.init seeds_per_pack Fun.id))
-      packs
+      objs
   in
   (* Phase 2 (parallel): pure gradient descents plus factor rounding. *)
-  let run_start (pack, y0) =
-    let trajectory = descend cfg rng model pack y0 in
+  let run_start (obj, y0) =
+    let pack = Objective.pack obj in
+    let trajectory = descend_obj cfg obj y0 in
     let rounded =
       List.filter_map
         (fun (y, _obj) ->
           Option.map (fun r -> (r, Pack.schedule_key pack r)) (Pack.round_to_valid pack y))
         trajectory
     in
-    (pack, List.length trajectory, rounded)
+    (obj, List.length trajectory, rounded)
   in
   let per_start =
     let arr = Array.of_list starts in
@@ -78,19 +84,20 @@ let search_round (cfg : Tuning_config.t) rng ?runtime model packs ~already_measu
   let uniques = ref [] in
   let steps = ref 0 in
   Array.iter
-    (fun (pack, n_steps, rounded) ->
+    (fun (obj, n_steps, rounded) ->
       steps := !steps + n_steps;
       List.iter
         (fun (r, key) ->
           if not (Hashtbl.mem seen key) then begin
             Hashtbl.replace seen key ();
-            uniques := (pack, r, key) :: !uniques
+            uniques := (obj, r, key) :: !uniques
           end)
         rounded)
     per_start;
   let uniques = Array.of_list (List.rev !uniques) in
-  (* Phase 4 (parallel): predict each unique point once. *)
-  let predict (pack, r, _key) = Mlp.forward model (Pack.features_at pack r) in
+  (* Phase 4 (parallel): predict each unique point once, through the fused
+     workspaces (bitwise-equal to Mlp.forward over Pack.features_at). *)
+  let predict (obj, r, _key) = Objective.predict obj r in
   let preds =
     match runtime with
     | Some rt -> Runtime.parallel_map rt predict uniques
@@ -99,11 +106,11 @@ let search_round (cfg : Tuning_config.t) rng ?runtime model packs ~already_measu
   let candidates = ref [] in
   let predictions = ref [] in
   Array.iteri
-    (fun i (pack, r, key) ->
+    (fun i (obj, r, key) ->
       let predicted = preds.(i) in
       predictions := predicted :: !predictions;
       if not (already_measured key) then
-        candidates := { pack; y = r; key; predicted } :: !candidates)
+        candidates := { pack = Objective.pack obj; y = r; key; predicted } :: !candidates)
     uniques;
   let sorted =
     List.sort (fun a b -> compare b.predicted a.predicted) !candidates

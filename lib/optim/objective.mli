@@ -1,0 +1,39 @@
+(** Fused evaluation of the descent objective (Equation 4)
+
+    [O(y) = -C(Feat(y)) + lambda * sum_r max(g_r(y), 0)^2]
+
+    and its gradient. An [Objective.t] binds a cost model to one pack and
+    owns a pool of pre-sized workspaces (tape value/adjoint buffers, MLP
+    activations, gradient accumulators), so each {!value_grad} runs
+    exactly two tape forwards, two tape backwards and one MLP
+    forward/backward with zero inner-loop allocation.
+
+    Thread safety: one [t] may be shared across domains — concurrent
+    calls borrow distinct workspaces from the pool (mutex-guarded free
+    list). Results are bitwise-identical to {!legacy_value_grad}
+    regardless of reuse or domain count, because every workspace buffer
+    is fully rewritten before it is read. *)
+
+type t
+
+val create : lambda:float -> Mlp.t -> Pack.t -> t
+
+val pack : t -> Pack.t
+val lambda : t -> float
+
+val value_grad : t -> float array -> grad:float array -> float
+(** [value_grad t y ~grad] overwrites [grad] with dO/dy and returns
+    O(y). [grad] must have {!Pack.num_vars} elements and is caller-owned
+    (pass a fresh or reused array per call site, not one shared across
+    concurrent callers). *)
+
+val predict : t -> float array -> float
+(** Model score C(Feat(y)) through the pooled workspaces — the fused,
+    allocation-free equivalent of
+    [Mlp.forward model (Pack.features_at pack y)]. *)
+
+val legacy_value_grad :
+  lambda:float -> Mlp.t -> Pack.t -> float array -> float * float array
+(** The historical allocating composition ([features_at] +
+    [input_gradient] + [features_vjp] + [penalty_value_grad]), preserved
+    as the bit-exactness reference for tests and the hotpath benchmark. *)

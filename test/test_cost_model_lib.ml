@@ -153,6 +153,45 @@ let test_evaluate_empty () =
   let metrics = Train.evaluate m [||] in
   Alcotest.(check int) "no samples" 0 metrics.Train.n_samples
 
+let test_mlp_workspace_bitwise () =
+  let rng = Rng.create 7 in
+  (* Widths that are not multiples of 4 exercise both the blocked and the
+     remainder paths of the workspace kernels. *)
+  let model = Mlp.create rng ~hidden:[ 13; 9; 6 ] ~n_inputs:11 () in
+  Mlp.set_normalizer model
+    ~mean:(Array.init 11 (fun _ -> Rng.gaussian rng))
+    ~std:(Array.init 11 (fun _ -> 0.5 +. Float.abs (Rng.gaussian rng)));
+  let ws = Mlp.workspace model in
+  let bits = Int64.bits_of_float in
+  for trial = 1 to 25 do
+    let x = Array.init 11 (fun _ -> 3.0 *. Rng.gaussian rng) in
+    let s1 = Mlp.forward model x in
+    let s2 = Mlp.forward_into model ws x in
+    if not (Int64.equal (bits s1) (bits s2)) then
+      Alcotest.failf "trial %d: forward_into diverged (%h vs %h)" trial s1 s2;
+    let s3, g = Mlp.input_gradient model x in
+    let g' = Array.make 11 0.0 in
+    let s4 = Mlp.input_gradient_into model ws x g' in
+    if not (Int64.equal (bits s3) (bits s4)) then
+      Alcotest.failf "trial %d: input_gradient_into score diverged" trial;
+    Array.iteri
+      (fun i gi ->
+        if not (Int64.equal (bits gi) (bits g'.(i))) then
+          Alcotest.failf "trial %d: gradient diverged at %d (%h vs %h)" trial i gi g'.(i))
+      g
+  done
+
+let test_mlp_workspace_mismatch () =
+  let rng = Rng.create 8 in
+  let m1 = Mlp.create rng ~hidden:[ 4 ] ~n_inputs:3 () in
+  let m2 = Mlp.create rng ~hidden:[ 5 ] ~n_inputs:3 () in
+  let ws = Mlp.workspace m1 in
+  Alcotest.(check bool) "workspace shape checked" true
+    (try
+       ignore (Mlp.forward_into m2 ws [| 0.1; 0.2; 0.3 |]);
+       false
+     with Invalid_argument _ -> true)
+
 let tests =
   [ Alcotest.test_case "adam minimises a quadratic" `Quick test_adam_minimises_quadratic;
     Alcotest.test_case "adam arity check" `Quick test_adam_arity;
@@ -163,6 +202,9 @@ let tests =
     Alcotest.test_case "mlp input normalisation" `Quick test_mlp_normalizer;
     Alcotest.test_case "mlp copy independence" `Quick test_mlp_copy_independent;
     Alcotest.test_case "mlp save/load roundtrip" `Quick test_mlp_save_load;
+    Alcotest.test_case "mlp workspace kernels bitwise-equal legacy" `Quick
+      test_mlp_workspace_bitwise;
+    Alcotest.test_case "mlp workspace shape mismatch" `Quick test_mlp_workspace_mismatch;
     Alcotest.test_case "dataset generation" `Slow test_dataset_generation;
     Alcotest.test_case "dataset split fractions" `Quick test_dataset_split;
     Alcotest.test_case "task collection deduplicates" `Slow test_collect_tasks_dedup;

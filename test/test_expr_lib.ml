@@ -246,6 +246,78 @@ let test_tape_select_subgradient () =
   check_close "taken branch hi" 3.0 g_hi.(0);
   check_close "taken branch lo" 5.0 g_lo.(0)
 
+(* --- hash-consing ----------------------------------------------------------- *)
+
+let test_hashcons_sharing () =
+  let mk () = Expr.(add (mul (var "a") (var "b")) (const 2.0)) in
+  let e1 = mk () and e2 = mk () in
+  Alcotest.(check bool) "same construction is shared" true (e1 == e2);
+  Alcotest.(check int) "same id" (Expr.id e1) (Expr.id e2);
+  (* Constants are interned by bit pattern, so the signed zeros stay
+     distinct nodes (merging them would flip signs downstream). *)
+  Alcotest.(check bool) "signed zeros distinct" false (Expr.const 0.0 == Expr.const (-0.0))
+
+let test_hashcons_equal_ids =
+  qtest ~count:300 "hash-consed equal/compare/hash agree with ids"
+    QCheck2.Gen.(pair gen_expr gen_expr)
+    (fun (x, y) ->
+      let eq = Expr.equal x y in
+      eq = (Expr.id x = Expr.id y)
+      && eq = (x == y)
+      && eq = (Expr.compare x y = 0)
+      && ((not eq) || Expr.hash x = Expr.hash y))
+
+let test_expr_memo () =
+  let m = Expr.Memo.create () in
+  let e = Expr.(add (var "a") (var "b")) in
+  Alcotest.(check bool) "miss" true (Expr.Memo.find_opt m e = None);
+  Expr.Memo.add m e 42;
+  Alcotest.(check bool) "hit" true (Expr.Memo.find_opt m e = Some 42);
+  Alcotest.(check int) "length" 1 (Expr.Memo.length m);
+  Alcotest.(check int) "memo reuses" 42 (Expr.Memo.memo m (fun _ -> Alcotest.fail "recomputed") e);
+  Expr.Memo.clear m;
+  Alcotest.(check int) "cleared" 0 (Expr.Memo.length m)
+
+(* --- tape optimiser and workspaces ------------------------------------------ *)
+
+let bits = Int64.bits_of_float
+let bits_eq a b = Array.for_all2 (fun x y -> Int64.equal (bits x) (bits y)) a b
+
+let test_tape_optimize_exact =
+  qtest ~count:300 "tape optimiser preserves eval and vjp bitwise"
+    QCheck2.Gen.(pair gen_expr gen_env)
+    (fun (expr, env) ->
+      let raw =
+        Autodiff.Tape.compile ~optimize:false ~inputs:expr_vars [ expr; Smooth.smooth expr ]
+      in
+      let opt, report = Autodiff.Tape.optimize_report raw in
+      let xs = Array.of_list (List.map (fun v -> List.assoc v env) expr_vars) in
+      let adj = [| 1.0; 0.5 |] in
+      let o1, g1 = Autodiff.Tape.vjp raw xs adj in
+      let o2, g2 = Autodiff.Tape.vjp opt xs adj in
+      Autodiff.Tape.length opt <= Autodiff.Tape.length raw
+      && report.Autodiff.Tape.slots_pre = Autodiff.Tape.length raw
+      && report.Autodiff.Tape.slots_post = Autodiff.Tape.length opt
+      && bits_eq o1 o2 && bits_eq g1 g2)
+
+let test_tape_workspace_reuse =
+  qtest ~count:200 "workspace reuse and vjp_with are bit-identical to vjp"
+    QCheck2.Gen.(pair gen_expr gen_env)
+    (fun (expr, env) ->
+      let tape = Autodiff.Tape.compile ~inputs:expr_vars [ expr ] in
+      let xs = Array.of_list (List.map (fun v -> List.assoc v env) expr_vars) in
+      let outs, grad = Autodiff.Tape.vjp tape xs [| 2.5 |] in
+      (* Same workspace reused twice: the second call must not see the
+         first one's leftovers. *)
+      let ws = Autodiff.Tape.workspace tape in
+      let g1 = Array.make 3 0.0 and g2 = Array.make 3 0.0 in
+      let o1 = Array.copy (Autodiff.Tape.eval_vjp_into tape ws xs [| 2.5 |] g1) in
+      let o2 = Array.copy (Autodiff.Tape.eval_vjp_into tape ws xs [| 2.5 |] g2) in
+      (* vjp_with computes the adjoint from the forward outputs. *)
+      let o3, g3 = Autodiff.Tape.vjp_with tape xs (fun _ -> [| 2.5 |]) in
+      bits_eq o1 outs && bits_eq o2 outs && bits_eq o3 outs
+      && bits_eq g1 grad && bits_eq g2 grad && bits_eq g3 grad)
+
 (* --- factorize ------------------------------------------------------------- *)
 
 let test_divisors () =
@@ -312,6 +384,11 @@ let tests =
     Alcotest.test_case "tape rejects unbound variables" `Quick test_tape_unbound_var;
     Alcotest.test_case "tape select subgradient follows taken branch" `Quick
       test_tape_select_subgradient;
+    Alcotest.test_case "hash-consing shares identical constructions" `Quick test_hashcons_sharing;
+    test_hashcons_equal_ids;
+    Alcotest.test_case "expression memo table" `Quick test_expr_memo;
+    test_tape_optimize_exact;
+    test_tape_workspace_reuse;
     Alcotest.test_case "divisors" `Quick test_divisors;
     Alcotest.test_case "nearest divisor (log-space)" `Quick test_nearest_divisor;
     Alcotest.test_case "round log to divisor" `Quick test_round_log_to_divisor;

@@ -154,6 +154,87 @@ let test_pack_schedule_key_stability () =
   (* collisions possible but assignments must then match *)
   else Alcotest.(check bool) "different points differ" true true
 
+let test_pack_schedule_key_format () =
+  (* The single-buffer construction must produce exactly the historical
+     "<sketch>:v0,v1,..." string derived from [assignment]. *)
+  let rng = Rng.create 29 in
+  let sg = dense_sg () in
+  List.iter
+    (fun sched ->
+      let pack = Pack.prepare sg sched in
+      for _ = 1 to 5 do
+        let y = sample_valid rng pack in
+        let legacy =
+          (Pack.schedule pack).Schedule.sched_name ^ ":"
+          ^ String.concat ","
+              (List.map (fun (_, v) -> string_of_int v) (Pack.assignment pack y))
+        in
+        Alcotest.(check string) "legacy key format" legacy (Pack.schedule_key pack y)
+      done)
+    (Sketch.generate sg)
+
+let test_pack_unoptimized_tapes_bitwise () =
+  (* prepare ~optimize:false must reproduce the optimised pack's features,
+     penalties and VJPs bitwise — the tape optimiser is exact. *)
+  let rng = Rng.create 31 in
+  let sg = dense_sg () in
+  let bits_eq a b =
+    Array.for_all2
+      (fun x y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y))
+      a b
+  in
+  List.iter
+    (fun sched ->
+      let p_opt = Pack.prepare sg sched in
+      let p_raw = Pack.prepare ~optimize:false sg sched in
+      for _ = 1 to 3 do
+        let y = sample_valid rng p_opt in
+        Alcotest.(check bool) "features bitwise" true
+          (bits_eq (Pack.features_at p_opt y) (Pack.features_at p_raw y));
+        let adj = Array.init 82 (fun i -> float_of_int (i - 41) /. 10.0) in
+        let f1, g1 = Pack.features_vjp p_opt y adj in
+        let f2, g2 = Pack.features_vjp p_raw y adj in
+        Alcotest.(check bool) "vjp bitwise" true (bits_eq f1 f2 && bits_eq g1 g2);
+        let v1, pg1 = Pack.penalty_value_grad p_opt y in
+        let v2, pg2 = Pack.penalty_value_grad p_raw y in
+        Alcotest.(check bool) "penalty bitwise" true
+          (Int64.equal (Int64.bits_of_float v1) (Int64.bits_of_float v2) && bits_eq pg1 pg2)
+      done)
+    (Sketch.generate sg)
+
+let test_pack_workspace_bitwise () =
+  (* The fused workspace sweeps must match the allocating entry points
+     bitwise, including across reuse of the same workspace. *)
+  let rng = Rng.create 37 in
+  let sg = conv_sg () in
+  let pack = Pack.prepare sg (List.nth (Sketch.generate sg) 1) in
+  let ws = Pack.workspace pack in
+  let n = Pack.num_vars pack in
+  let bits_eq a b =
+    Array.for_all2
+      (fun x y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y))
+      a b
+  in
+  for _ = 1 to 8 do
+    let y = sample_valid rng pack in
+    let feats = Pack.features_at pack y in
+    Alcotest.(check bool) "forward bitwise" true
+      (bits_eq feats (Pack.features_forward pack ws y));
+    let adj = Array.init 82 (fun i -> sin (float_of_int i)) in
+    let _, dy = Pack.features_vjp pack y adj in
+    let dy' = Array.make n 0.0 in
+    (* backward against the retained forward values *)
+    ignore (Pack.features_forward pack ws y);
+    Pack.features_backward pack ws adj dy';
+    Alcotest.(check bool) "backward bitwise" true (bits_eq dy dy');
+    let v, pg = Pack.penalty_value_grad pack y in
+    let pg' = Array.make n 0.0 in
+    let v' = Pack.penalty_value_grad_into pack ws y pg' in
+    Alcotest.(check bool) "penalty value bitwise" true
+      (Int64.equal (Int64.bits_of_float v) (Int64.bits_of_float v'));
+    Alcotest.(check bool) "penalty grad bitwise" true (bits_eq pg pg')
+  done
+
 let test_pack_env_matches_assignment () =
   let rng = Rng.create 23 in
   let sg = dense_sg () in
@@ -177,4 +258,8 @@ let tests =
     Alcotest.test_case "penalty positive when violated" `Quick test_pack_penalty_positive_when_violated;
     Alcotest.test_case "rounding rejects infeasible corner" `Quick test_pack_round_infeasible_returns_none;
     Alcotest.test_case "schedule key stability" `Quick test_pack_schedule_key_stability;
+    Alcotest.test_case "schedule key matches legacy format" `Quick test_pack_schedule_key_format;
+    Alcotest.test_case "tape optimiser exact on pack tapes" `Quick
+      test_pack_unoptimized_tapes_bitwise;
+    Alcotest.test_case "pack workspace sweeps bitwise-equal" `Quick test_pack_workspace_bitwise;
     Alcotest.test_case "env matches integer assignment" `Quick test_pack_env_matches_assignment ]

@@ -224,10 +224,115 @@ let test_scheduler_prefers_heavy_tasks () =
   in
   Alcotest.(check bool) "heaviest task tuned" true (heaviest.rounds_spent >= 1)
 
+(* --- fused objective kernel -------------------------------------------------- *)
+
+let bits_eq a b =
+  Array.for_all2
+    (fun x y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y))
+    a b
+
+let test_objective_fused_matches_legacy () =
+  let model = Lazy.force shared_model in
+  let rng = Rng.create 41 in
+  List.iter
+    (fun sg ->
+      List.iter
+        (fun sched ->
+          let pack = Pack.prepare sg sched in
+          let obj = Objective.create ~lambda:quick.Tuning_config.lambda model pack in
+          let grad = Array.make (Pack.num_vars pack) 0.0 in
+          for _ = 1 to 5 do
+            let y = sample_valid rng pack in
+            let o_legacy, g_legacy =
+              Objective.legacy_value_grad ~lambda:quick.Tuning_config.lambda model pack y
+            in
+            let o_fused = Objective.value_grad obj y ~grad in
+            if not (Int64.equal (Int64.bits_of_float o_legacy) (Int64.bits_of_float o_fused))
+            then Alcotest.failf "objective diverged: %h vs %h" o_legacy o_fused;
+            Alcotest.(check bool) "gradient bitwise" true (bits_eq g_legacy grad);
+            (* predict goes through the same pooled workspaces *)
+            let p_legacy = Mlp.forward model (Pack.features_at pack y) in
+            let p_fused = Objective.predict obj y in
+            Alcotest.(check bool) "predict bitwise" true
+              (Int64.equal (Int64.bits_of_float p_legacy) (Int64.bits_of_float p_fused))
+          done)
+        (Sketch.generate sg))
+    [ dense_sg (); conv_sg () ]
+
+let test_objective_parallel_bitwise () =
+  (* One shared Objective across 4 domains: the workspace pool hands each
+     concurrent caller a private workspace, so parallel evaluation is
+     bit-identical to the sequential map. *)
+  let model = Lazy.force shared_model in
+  let rng = Rng.create 43 in
+  let sg = dense_sg () in
+  let pack = Pack.prepare sg (List.nth (Sketch.generate sg) 1) in
+  let obj = Objective.create ~lambda:10.0 model pack in
+  let n = Pack.num_vars pack in
+  let points = Array.init 64 (fun _ -> sample_valid rng pack) in
+  let eval y =
+    let grad = Array.make n 0.0 in
+    let o = Objective.value_grad obj y ~grad in
+    (o, grad)
+  in
+  let seq = Array.map eval points in
+  Runtime.with_runtime ~domains:4 (fun rt ->
+      let par = Runtime.parallel_map rt eval points in
+      Array.iteri
+        (fun i (o_s, g_s) ->
+          let o_p, g_p = par.(i) in
+          if not (Int64.equal (Int64.bits_of_float o_s) (Int64.bits_of_float o_p)) then
+            Alcotest.failf "point %d: parallel objective diverged" i;
+          Alcotest.(check bool) "parallel gradient bitwise" true (bits_eq g_s g_p))
+        seq)
+
+let test_descend_matches_manual_legacy_loop () =
+  (* The reworked descend (fused objective, reused gradient buffer, step
+     telemetry) must retrace the historical Adam loop bit for bit. *)
+  let model = Lazy.force shared_model in
+  let rng = Rng.create 47 in
+  let sg = dense_sg () in
+  let pack = Pack.prepare sg (List.nth (Sketch.generate sg) 1) in
+  let cfg = { quick with Tuning_config.nsteps = 40 } in
+  let y0 = sample_valid rng pack in
+  let fused = Gradient_tuner.descend cfg rng model pack y0 in
+  let manual =
+    let y = Array.copy y0 in
+    let adam = Adam.create ~lr:cfg.Tuning_config.gd_lr (Array.length y) in
+    let bounds = Pack.bounds_log pack in
+    let history = ref [] in
+    for _ = 1 to cfg.Tuning_config.nsteps do
+      let obj, grad =
+        Objective.legacy_value_grad ~lambda:cfg.Tuning_config.lambda model pack y
+      in
+      history := (Array.copy y, obj) :: !history;
+      Adam.step adam ~params:y ~grads:grad;
+      Array.iteri
+        (fun i (lo, hi) -> y.(i) <- Stats.clamp ~lo:(lo -. 0.7) ~hi:(hi +. 0.7) y.(i))
+        bounds
+    done;
+    let obj, _ = Objective.legacy_value_grad ~lambda:cfg.Tuning_config.lambda model pack y in
+    history := (Array.copy y, obj) :: !history;
+    List.rev !history
+  in
+  Alcotest.(check int) "trajectory length" (List.length manual) (List.length fused);
+  List.iteri
+    (fun i ((y_m, o_m), (y_f, o_f)) ->
+      if not (Int64.equal (Int64.bits_of_float o_m) (Int64.bits_of_float o_f)) then
+        Alcotest.failf "step %d: objective diverged (%h vs %h)" i o_m o_f;
+      Alcotest.(check bool) "iterate bitwise" true (bits_eq y_m y_f))
+    (List.combine manual fused)
+
 let tests =
   [ Alcotest.test_case "clock" `Quick test_clock;
     Alcotest.test_case "defaults match the paper" `Quick test_config_defaults_match_paper;
     Alcotest.test_case "gradient descent reduces the objective" `Slow test_descend_reduces_objective;
+    Alcotest.test_case "fused objective bitwise-equals legacy" `Slow
+      test_objective_fused_matches_legacy;
+    Alcotest.test_case "shared objective is parallel-deterministic" `Slow
+      test_objective_parallel_bitwise;
+    Alcotest.test_case "descend retraces the legacy Adam loop" `Slow
+      test_descend_matches_manual_legacy_loop;
     Alcotest.test_case "felix round respects measurement budget" `Slow
       test_search_round_respects_budget;
     Alcotest.test_case "felix round excludes measured schedules" `Slow

@@ -13,8 +13,19 @@ let contains ~needle haystack =
   let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
   nl = 0 || go 0
 
+(* Property tests run against a fixed generator seed (overridable with
+   QCHECK_SEED) so the tier-1 suite is deterministic: a loose numeric bound
+   on a pathological random instance fails every run or none, instead of
+   flaking once per few dozen CI runs. *)
+let qcheck_seed =
+  match Sys.getenv_opt "QCHECK_SEED" with
+  | Some s -> (try int_of_string (String.trim s) with _ -> 0x5f3759df)
+  | None -> 0x5f3759df
+
 let qtest ?(count = 100) name gen prop =
-  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+  QCheck_alcotest.to_alcotest
+    ~rand:(Random.State.make [| qcheck_seed |])
+    (QCheck2.Test.make ~count ~name gen prop)
 
 (* --- random expression generator over a fixed variable set --------------- *)
 
