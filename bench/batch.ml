@@ -1,0 +1,227 @@
+(* batch: scalar vs lockstep (structure-of-arrays) descent across the
+   candidate population.
+
+   Descends the same 128 valid seeds twice — once as 128 independent
+   scalar Adam loops through the fused objective kernel, and once in
+   lockstep tiles of B in {8, 32, 128} through the batched SoA kernels
+   (Objective.value_grad_batch + Adam.step_batch) — and reports
+   steps/second per lane. Every lane's objective trajectory and final
+   point must be bitwise identical to the scalar run, and the best rounded
+   candidate must be byte-identical; any divergence, or a batched
+   throughput below scalar, is a hard failure (exit 1) so CI catches both
+   kinds of regression. Results land in BENCH_batch.json. *)
+
+let smoke = ref false
+
+type run_stats = {
+  traces : float array array;  (* per lane: objective at every step *)
+  finals : float array array;  (* per lane: final y *)
+  steps_per_sec : float;  (* lane-steps per second *)
+  minor_words_per_step : float;
+}
+
+let lr = Tuning_config.default.gd_lr
+
+let clamp_into bounds y =
+  Array.iteri
+    (fun i (lo, hi) -> y.(i) <- Stats.clamp ~lo:(lo -. 0.7) ~hi:(hi +. 0.7) y.(i))
+    bounds
+
+(* Both loops mirror Gradient_tuner's descent exactly (objective/gradient,
+   Adam step, box clamp, final evaluation); only the batching differs. *)
+
+let run_scalar ~steps obj y0s =
+  let lanes = Array.length y0s in
+  let bounds = Pack.bounds_log (Objective.pack obj) in
+  let traces = Array.init lanes (fun _ -> Array.make (steps + 1) 0.0) in
+  let finals = Array.make lanes [||] in
+  let w0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  for l = 0 to lanes - 1 do
+    let y = Array.copy y0s.(l) in
+    let n = Array.length y in
+    let adam = Adam.create ~lr n in
+    let grad = Array.make n 0.0 in
+    let trace = traces.(l) in
+    for s = 0 to steps - 1 do
+      trace.(s) <- Objective.value_grad obj y ~grad;
+      Adam.step adam ~params:y ~grads:grad;
+      clamp_into bounds y
+    done;
+    trace.(steps) <- Objective.value_grad obj y ~grad;
+    finals.(l) <- y
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  let dw = Gc.minor_words () -. w0 in
+  let total = float_of_int (lanes * (steps + 1)) in
+  { traces; finals; steps_per_sec = total /. dt; minor_words_per_step = dw /. total }
+
+let run_batched ~steps ~b obj y0s =
+  let lanes = Array.length y0s in
+  let n = Array.length y0s.(0) in
+  let bounds = Pack.bounds_log (Objective.pack obj) in
+  let traces = Array.init lanes (fun _ -> Array.make (steps + 1) 0.0) in
+  let finals = Array.make lanes [||] in
+  let w0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  let off = ref 0 in
+  while !off < lanes do
+    let bt = min b (lanes - !off) in
+    let ys = Array.make (bt * n) 0.0 in
+    for l = 0 to bt - 1 do
+      Array.blit y0s.(!off + l) 0 ys (l * n) n
+    done;
+    let adam = Adam.create_batch ~lr ~batch:bt n in
+    let grads = Array.make (bt * n) 0.0 in
+    let objs = Array.make bt 0.0 in
+    for s = 0 to steps - 1 do
+      Objective.value_grad_batch obj ~batch:bt ys ~grads ~objs;
+      for l = 0 to bt - 1 do
+        traces.(!off + l).(s) <- objs.(l)
+      done;
+      Adam.step_batch adam ~batch:bt ~params:ys ~grads;
+      for l = 0 to bt - 1 do
+        let base = l * n in
+        Array.iteri
+          (fun i (lo, hi) ->
+            ys.(base + i) <- Stats.clamp ~lo:(lo -. 0.7) ~hi:(hi +. 0.7) ys.(base + i))
+          bounds
+      done
+    done;
+    Objective.value_grad_batch obj ~batch:bt ys ~grads ~objs;
+    for l = 0 to bt - 1 do
+      traces.(!off + l).(steps) <- objs.(l);
+      finals.(!off + l) <- Array.sub ys (l * n) n
+    done;
+    off := !off + bt
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  let dw = Gc.minor_words () -. w0 in
+  let total = float_of_int (lanes * (steps + 1)) in
+  { traces; finals; steps_per_sec = total /. dt; minor_words_per_step = dw /. total }
+
+let bits_equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun x y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y))
+       a b
+
+let identical_to scalar r =
+  let lanes = Array.length scalar.traces in
+  let ok = ref (Array.length r.traces = lanes) in
+  for l = 0 to lanes - 1 do
+    if !ok then
+      ok := bits_equal scalar.traces.(l) r.traces.(l) && bits_equal scalar.finals.(l) r.finals.(l)
+  done;
+  !ok
+
+(* Best rounded candidate: the valid-rounding of the lane with the lowest
+   final objective (ties keep the earlier lane, deterministically). *)
+let best_key obj stats =
+  let pack = Objective.pack obj in
+  let best = ref None in
+  Array.iteri
+    (fun l y ->
+      let o = stats.traces.(l).(Array.length stats.traces.(l) - 1) in
+      match Pack.round_to_valid pack y with
+      | Some r -> (
+        let key = Pack.schedule_key pack r in
+        match !best with
+        | Some (_, bo) when bo <= o -> ()
+        | _ -> best := Some (key, o))
+      | None -> ())
+    stats.finals;
+  match !best with Some (k, _) -> k | None -> "-"
+
+let run () =
+  let steps = if !smoke then 40 else 200 in
+  let reps = if !smoke then 1 else 2 in
+  let lanes = 128 in
+  let widths = [ 8; 32; 128 ] in
+  let sg =
+    Compute.lower ~name:"dense" (Op.Dense { batch = 50; in_dim = 768; out_dim = 3072 })
+  in
+  let sched = List.nth (Sketch.generate sg) 1 in
+  let pack = Pack.prepare sg sched in
+  let rng = Rng.create 1 in
+  let model = Mlp.create rng ~hidden:[ 192; 192; 192 ] ~n_inputs:82 () in
+  let y0s =
+    Array.init lanes (fun _ ->
+        match Dataset.sample_valid_point rng pack 200 with
+        | Some y -> y
+        | None -> failwith "batch: no valid start point")
+  in
+  let obj = Objective.create ~lambda:Tuning_config.default.lambda model pack in
+  (* Warm up both paths (workspace pools, branch predictors). *)
+  ignore (run_scalar ~steps:3 obj (Array.sub y0s 0 4));
+  ignore (run_batched ~steps:3 ~b:8 obj (Array.sub y0s 0 16));
+  let best_of runs =
+    List.fold_left
+      (fun acc r -> if r.steps_per_sec > acc.steps_per_sec then r else acc)
+      (List.hd runs) runs
+  in
+  let scalar = best_of (List.init reps (fun _ -> run_scalar ~steps obj y0s)) in
+  let scalar_key = best_key obj scalar in
+  let per_width =
+    List.map
+      (fun b ->
+        let runs = List.init reps (fun _ -> run_batched ~steps ~b obj y0s) in
+        let r = best_of runs in
+        let ok = List.for_all (identical_to scalar) runs && best_key obj r = scalar_key in
+        (b, r, ok))
+      widths
+  in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf "lockstep descent, %d lanes x %d Adam steps (best of %d reps)"
+           lanes steps reps)
+      ~header:[ "path"; "lane-steps/s"; "minor words/step"; "speedup"; "bitwise" ]
+  in
+  Table.add_row t
+    [ "scalar"; Printf.sprintf "%.0f" scalar.steps_per_sec;
+      Printf.sprintf "%.0f" scalar.minor_words_per_step; "1.00x"; "reference" ];
+  List.iter
+    (fun (b, r, ok) ->
+      Table.add_row t
+        [ Printf.sprintf "batch %d" b;
+          Printf.sprintf "%.0f" r.steps_per_sec;
+          Printf.sprintf "%.0f" r.minor_words_per_step;
+          Printf.sprintf "%.2fx" (r.steps_per_sec /. scalar.steps_per_sec);
+          (if ok then "identical" else "DIVERGED") ])
+    per_width;
+  Table.print t;
+  Printf.printf "best candidate: %s\n%!" scalar_key;
+  let oc = open_out "BENCH_batch.json" in
+  Printf.fprintf oc
+    "{\n  \"experiment\": \"batch\",\n  \"smoke\": %b,\n  \"lanes\": %d,\n  \
+     \"steps\": %d,\n  \"reps\": %d,\n  \"scalar\": { \"steps_per_sec\": %.1f, \
+     \"minor_words_per_step\": %.1f },\n  \"batched\": [\n%s  ]\n}\n"
+    !smoke lanes steps reps scalar.steps_per_sec scalar.minor_words_per_step
+    (String.concat ",\n"
+       (List.map
+          (fun (b, r, ok) ->
+            Printf.sprintf
+              "    { \"batch\": %d, \"steps_per_sec\": %.1f, \
+               \"minor_words_per_step\": %.1f, \"speedup\": %.3f, \
+               \"bitwise_identical\": %b }"
+              b r.steps_per_sec r.minor_words_per_step
+              (r.steps_per_sec /. scalar.steps_per_sec)
+              ok)
+          per_width)
+     ^ "\n");
+  close_out oc;
+  print_endline "wrote BENCH_batch.json";
+  List.iter
+    (fun (b, r, ok) ->
+      if not ok then begin
+        Printf.eprintf
+          "batch: B=%d trajectories DIVERGED from scalar (bit-identity broken)\n" b;
+        exit 1
+      end;
+      if r.steps_per_sec < scalar.steps_per_sec then begin
+        Printf.eprintf "batch: B=%d regressed below scalar (%.0f < %.0f lane-steps/s)\n"
+          b r.steps_per_sec scalar.steps_per_sec;
+        exit 1
+      end)
+    per_width

@@ -20,7 +20,8 @@ let experiments =
     ("tab2b", "milestone speedups, batch 16", Experiments.tab2b);
     ("ablation", "design-choice ablations (width, lambda, budget, lr)", Ablation.run);
     ("par", "sequential vs multi-domain tuning rounds", Parallel.run);
-    ("hotpath", "legacy vs fused objective-gradient inner loop", Hotpath.run) ]
+    ("hotpath", "legacy vs fused objective-gradient inner loop", Hotpath.run);
+    ("batch", "scalar vs lockstep SoA descent across the population", Batch.run) ]
 
 (* --- bechamel micro-benchmarks: one per table/figure harness ----------------- *)
 
@@ -94,12 +95,13 @@ let micro () =
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  (* --smoke shrinks the hotpath experiment to a CI-sized run. *)
+  (* --smoke shrinks the hotpath and batch experiments to CI-sized runs. *)
   let args =
     List.filter
       (fun a ->
         if a = "--smoke" then begin
           Hotpath.smoke := true;
+          Batch.smoke := true;
           false
         end
         else true)

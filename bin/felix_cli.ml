@@ -65,6 +65,19 @@ let jobs_arg =
                  to the FELIX_JOBS environment variable (else 1). Results are \
                  bit-identical at any value.")
 
+let gd_batch_arg =
+  let default =
+    match Sys.getenv_opt "FELIX_BATCH" with
+    | Some s -> (try max 1 (int_of_string (String.trim s)) with _ -> 1)
+    | None -> 1
+  in
+  Arg.(value & opt int default
+       & info [ "gd-batch" ] ~docv:"B"
+           ~doc:"Descend $(docv) candidate schedules in lockstep through the \
+                 batched structure-of-arrays kernels (1 = scalar path). Defaults \
+                 to the FELIX_BATCH environment variable (else 1). Results are \
+                 bit-identical at any value.")
+
 let out_arg =
   Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"PREFIX"
          ~doc:"Write PREFIX.csv (progress curve) and PREFIX.json (summary).")
@@ -108,14 +121,16 @@ let with_telemetry ~trace ~metrics f =
     raise e
 
 let tune_cmd =
-  let run net device rounds batch seed quick engine jobs out trace metrics =
+  let run net device rounds batch seed quick engine jobs gd_batch out trace metrics =
     with_telemetry ~trace ~metrics @@ fun () ->
     let g = Workload.graph ~batch net in
     Printf.printf "%s\n\n" (Graph.summary g);
     let model = Felix.pretrained_cost_model device in
     let search = config_of_quick quick rounds in
     let rc =
-      Tuning_config.(builder |> with_search search |> with_seed seed |> with_jobs jobs)
+      Tuning_config.(
+        builder |> with_search search |> with_seed seed |> with_jobs jobs
+        |> with_batch gd_batch)
     in
     let result = Tuner.run rc device model g engine in
     Printf.printf "final latency: %.3f ms (%d measurements, %.0f simulated seconds)\n"
@@ -138,7 +153,8 @@ let tune_cmd =
   in
   Cmd.v (Cmd.info "tune" ~doc:"Tune a network's schedules for a device.")
     Term.(const run $ network_arg $ device_arg $ rounds_arg $ batch_arg $ seed_arg
-          $ quick_arg $ engine_arg $ jobs_arg $ out_arg $ trace_arg $ metrics_arg)
+          $ quick_arg $ engine_arg $ jobs_arg $ gd_batch_arg $ out_arg $ trace_arg
+          $ metrics_arg)
 
 let inspect_cmd =
   let run net batch =
@@ -169,11 +185,14 @@ let inspect_cmd =
     Term.(const run $ network_arg $ batch_arg)
 
 let compare_cmd =
-  let run net device rounds quick jobs =
+  let run net device rounds quick jobs gd_batch =
     let g = Workload.graph net in
     let model = Felix.pretrained_cost_model device in
     let search = config_of_quick quick rounds in
-    let rc = Tuning_config.(builder |> with_search search |> with_jobs jobs) in
+    let rc =
+      Tuning_config.(
+        builder |> with_search search |> with_jobs jobs |> with_batch gd_batch)
+    in
     let result = Tuner.run rc device model g Tuner.Felix in
     let t = Table.create ~title:"latency comparison" ~header:[ "framework"; "latency"; "vs Felix" ] in
     let felix = result.Tuner.final_latency_ms in
@@ -190,7 +209,8 @@ let compare_cmd =
     Table.print t
   in
   Cmd.v (Cmd.info "compare" ~doc:"Compare Felix against vendor frameworks.")
-    Term.(const run $ network_arg $ device_arg $ rounds_arg $ quick_arg $ jobs_arg)
+    Term.(const run $ network_arg $ device_arg $ rounds_arg $ quick_arg $ jobs_arg
+          $ gd_batch_arg)
 
 let devices_cmd =
   let run () =

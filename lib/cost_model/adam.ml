@@ -12,23 +12,51 @@ let create ?(lr = 1e-3) ?(beta1 = 0.9) ?(beta2 = 0.999) ?(eps = 1e-8) n =
   if n < 0 then invalid_arg "Adam.create: negative size";
   { lr; beta1; beta2; eps; m = Array.make n 0.0; v = Array.make n 0.0; steps = 0 }
 
+let create_batch ?lr ?beta1 ?beta2 ?eps ~batch n =
+  if batch < 1 then invalid_arg "Adam.create_batch: batch must be >= 1";
+  if n < 0 then invalid_arg "Adam.create_batch: negative size";
+  create ?lr ?beta1 ?beta2 ?eps (batch * n)
+
 let lr t = t.lr
 let set_lr t lr = t.lr <- lr
+
+(* The fused elementwise sweep shared by [step] and [step_batch]. Hoisting
+   the per-step constants and using unchecked accesses changes no float:
+   every element's update is the exact expression sequence of the
+   historical per-element loop. *)
+let sweep t ~params ~grads =
+  t.steps <- t.steps + 1;
+  let bc1 = 1.0 -. (t.beta1 ** float_of_int t.steps) in
+  let bc2 = 1.0 -. (t.beta2 ** float_of_int t.steps) in
+  let b1 = t.beta1 and b2 = t.beta2 in
+  let c1 = 1.0 -. t.beta1 and c2 = 1.0 -. t.beta2 in
+  let lr = t.lr and eps = t.eps in
+  let m = t.m and v = t.v in
+  for i = 0 to Array.length m - 1 do
+    let g = Array.unsafe_get grads i in
+    let mi = (b1 *. Array.unsafe_get m i) +. (c1 *. g) in
+    let vi = (b2 *. Array.unsafe_get v i) +. (c2 *. g *. g) in
+    Array.unsafe_set m i mi;
+    Array.unsafe_set v i vi;
+    let mh = mi /. bc1 and vh = vi /. bc2 in
+    Array.unsafe_set params i
+      (Array.unsafe_get params i -. (lr *. mh /. (sqrt vh +. eps)))
+  done
 
 let step t ~params ~grads =
   let n = Array.length t.m in
   if Array.length params <> n || Array.length grads <> n then
     invalid_arg "Adam.step: arity mismatch";
-  t.steps <- t.steps + 1;
-  let bc1 = 1.0 -. (t.beta1 ** float_of_int t.steps) in
-  let bc2 = 1.0 -. (t.beta2 ** float_of_int t.steps) in
-  for i = 0 to n - 1 do
-    let g = grads.(i) in
-    t.m.(i) <- (t.beta1 *. t.m.(i)) +. ((1.0 -. t.beta1) *. g);
-    t.v.(i) <- (t.beta2 *. t.v.(i)) +. ((1.0 -. t.beta2) *. g *. g);
-    let mh = t.m.(i) /. bc1 and vh = t.v.(i) /. bc2 in
-    params.(i) <- params.(i) -. (t.lr *. mh /. (sqrt vh +. t.eps))
-  done
+  sweep t ~params ~grads
+
+let step_batch t ~batch ~params ~grads =
+  let n = Array.length t.m in
+  if batch < 1 then invalid_arg "Adam.step_batch: batch must be >= 1";
+  if n mod batch <> 0 then
+    invalid_arg "Adam.step_batch: batch does not divide the state size";
+  if Array.length params <> n || Array.length grads <> n then
+    invalid_arg "Adam.step_batch: arity mismatch";
+  sweep t ~params ~grads
 
 let reset t =
   Array.fill t.m 0 (Array.length t.m) 0.0;

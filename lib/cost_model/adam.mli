@@ -16,5 +16,24 @@ val set_lr : t -> float -> unit
 val step : t -> params:float array -> grads:float array -> unit
 (** One in-place update. Raises [Invalid_argument] on arity mismatch. *)
 
+(** {2 Batched lockstep descent}
+
+    The update is purely elementwise with one shared step counter, so
+    descending [batch] candidates of [n] parameters each is a single
+    fused sweep over flat lane-major [batch * n] arrays. Lane [l] of
+    {!step_batch} is bitwise-identical to an independent scalar optimiser
+    stepping that candidate alone (the lanes share nothing but the
+    hyperparameters and the step count). *)
+
+val create_batch :
+  ?lr:float -> ?beta1:float -> ?beta2:float -> ?eps:float -> batch:int -> int -> t
+(** [create_batch ~batch n] sizes the moment vectors for [batch]
+    candidates of [n] parameters each. *)
+
+val step_batch : t -> batch:int -> params:float array -> grads:float array -> unit
+(** One lockstep update of all lanes; [params] and [grads] are lane-major
+    [batch * n] arrays. Raises [Invalid_argument] when [batch] does not
+    divide the state size or on arity mismatch. *)
+
 val reset : t -> unit
 (** Clear moments and the step counter. *)

@@ -72,13 +72,8 @@ let forward t x =
   let acts = forward_acts t x in
   (acts.(Array.length acts - 1)).(0)
 
-let forward_batch ?runtime t xs =
-  (* forward reads [t.params] and allocates its own activations, so batch
-     elements can score on any domain; training writes must stay on the
-     caller's side of the join. *)
-  match runtime with
-  | None -> Array.map (forward t) xs
-  | Some rt -> Runtime.parallel_map rt (forward t) xs
+(* [forward_batch] (deprecated) is defined below on top of the batched
+   workspace kernels. *)
 
 (* --- caller-owned workspaces ----------------------------------------------
 
@@ -252,6 +247,418 @@ let input_gradient_into t ws x grad =
   done;
   score
 
+(* --- batched (structure-of-arrays) workspaces ------------------------------
+
+   One batch workspace runs the forward / input-gradient / parameter-
+   gradient sweeps over up to [b_cap] feature rows in lockstep. Caller
+   inputs and outputs keep the lane-major row convention ([xs]/[grads]
+   row [l] is candidate [l]'s vector), but the internal activation and
+   delta planes are feature-major with row stride equal to the current
+   batch — [b_acts.(l).((j * batch) + lane)] — so the lanes of one neuron
+   are contiguous: the layer sweep loads each weight once per batch and
+   walks unit-stride lane strips, a GEMM-shaped kernel that the C stubs
+   below vectorise across lanes. Each lane's accumulation order is exactly
+   the scalar kernels' (bias first, then inputs ascending; reverse-sweep
+   contributions in ascending active-output order, zero-delta outputs
+   skipped), so lane [l] of every batched sweep is bitwise-identical to
+   the scalar [_into] call on that row alone, at any batch size, on both
+   the OCaml and the C kernels. *)
+
+(* The C kernels (mlp_stubs.c) run the same per-lane IEEE operation
+   sequence packed across lanes; they are compiled with contraction and
+   value-changing optimisations disabled, so vectorisation cannot change
+   any lane's bits. [FELIX_NO_SIMD=1] (or [set_vector_kernels false])
+   selects the portable OCaml loops instead — the equivalence tests
+   exercise both. *)
+external c_forward_layers :
+  float array -> int array -> int array -> float array array -> int -> unit
+  = "felix_mlp_forward_batch" [@@noalloc]
+
+external c_forward_backward_layers :
+  float array -> int array -> int array -> float array array -> float array array -> int
+  -> unit
+  = "felix_mlp_forward_backward_batch_byte" "felix_mlp_forward_backward_batch" [@@noalloc]
+
+let vector_kernels =
+  ref
+    (match Sys.getenv_opt "FELIX_NO_SIMD" with
+    | Some ("1" | "true" | "yes") -> false
+    | _ -> true)
+
+let set_vector_kernels on = vector_kernels := on
+let using_vector_kernels () = !vector_kernels
+
+type batch_workspace = {
+  b_cap : int;
+  b_offs : int array;
+  b_acts : float array array;  (* per layer: cap * sizes.(l), feature-major *)
+  b_delta : float array array;
+  b_lidx : int array;  (* per-output active-lane compression, cap wide *)
+  b_ldval : float array;
+  b_x : float array;  (* cap * n_inputs staging rows (train/forward batch) *)
+  b_t : float array;  (* cap staging targets *)
+}
+
+let batch_workspace t ~batch =
+  if batch < 1 then invalid_arg "Mlp.batch_workspace: batch must be >= 1";
+  let offs, _ = layer_offsets t.sizes in
+  { b_cap = batch;
+    b_offs = offs;
+    b_acts = Array.map (fun n -> Array.make (batch * n) 0.0) t.sizes;
+    b_delta = Array.map (fun n -> Array.make (batch * n) 0.0) t.sizes;
+    b_lidx = Array.make batch 0;
+    b_ldval = Array.make batch 0.0;
+    b_x = Array.make (batch * t.sizes.(0)) 0.0;
+    b_t = Array.make batch 0.0
+  }
+
+let batch_capacity bws = bws.b_cap
+
+let check_bws t bws ~batch name =
+  if batch < 1 || batch > bws.b_cap then invalid_arg (name ^ ": batch exceeds capacity");
+  if
+    Array.length bws.b_acts <> Array.length t.sizes
+    || not
+         (Array.for_all2
+            (fun (row : float array) n -> Array.length row = bws.b_cap * n)
+            bws.b_acts t.sizes)
+  then invalid_arg (name ^ ": workspace does not match model")
+
+(* Normalise the lane-major caller rows into the feature-major input plane
+   — the only transpose on the batched path (a few KB against the MB-scale
+   layer sweeps it feeds). *)
+let normalize_batch t bws ~batch xs =
+  let ni = t.sizes.(0) in
+  let a0 = bws.b_acts.(0) in
+  let mean = t.mean and std = t.std in
+  for l = 0 to batch - 1 do
+    let xb = l * ni in
+    for i = 0 to ni - 1 do
+      Array.unsafe_set a0 ((i * batch) + l)
+        ((Array.unsafe_get xs (xb + i) -. Array.unsafe_get mean i)
+        /. Array.unsafe_get std i)
+    done
+  done
+
+(* Portable layer sweep: blocked over 2 output neurons x 4 lanes, so each
+   weight load feeds 4 multiply-adds and each activation load 2, with the
+   lane quad a contiguous strip of the feature-major plane. Every
+   (lane, output) accumulator still sums bias-first then i-ascending,
+   keeping each lane bit-identical to [forward_acts_into]. *)
+let forward_layers_ocaml t bws ~batch =
+  let offs = bws.b_offs in
+  let n_layers = Array.length offs in
+  let p = t.params in
+  for layer = 0 to n_layers - 1 do
+    let n_in = t.sizes.(layer) and n_out = t.sizes.(layer + 1) in
+    let off = offs.(layer) in
+    let prev = bws.b_acts.(layer) and out = bws.b_acts.(layer + 1) in
+    let relu = layer < n_layers - 1 in
+    let bias = off + (n_in * n_out) in
+    let o = ref 0 in
+    while !o + 1 < n_out do
+      let o0 = !o in
+      let r0 = off + (o0 * n_in) in
+      let r1 = r0 + n_in in
+      let b0 = Array.unsafe_get p (bias + o0) and b1 = Array.unsafe_get p (bias + o0 + 1) in
+      let l = ref 0 in
+      while !l + 3 < batch do
+        let l0 = !l in
+        let s00 = ref b0 and s01 = ref b0 and s02 = ref b0 and s03 = ref b0 in
+        let s10 = ref b1 and s11 = ref b1 and s12 = ref b1 and s13 = ref b1 in
+        for i = 0 to n_in - 1 do
+          let w0 = Array.unsafe_get p (r0 + i) and w1 = Array.unsafe_get p (r1 + i) in
+          let xb = (i * batch) + l0 in
+          let x0 = Array.unsafe_get prev xb
+          and x1 = Array.unsafe_get prev (xb + 1)
+          and x2 = Array.unsafe_get prev (xb + 2)
+          and x3 = Array.unsafe_get prev (xb + 3) in
+          s00 := !s00 +. (w0 *. x0);
+          s01 := !s01 +. (w0 *. x1);
+          s02 := !s02 +. (w0 *. x2);
+          s03 := !s03 +. (w0 *. x3);
+          s10 := !s10 +. (w1 *. x0);
+          s11 := !s11 +. (w1 *. x1);
+          s12 := !s12 +. (w1 *. x2);
+          s13 := !s13 +. (w1 *. x3)
+        done;
+        let oa = (o0 * batch) + l0 in
+        let ob = oa + batch in
+        Array.unsafe_set out oa (if relu && 0.0 >= !s00 then 0.0 else !s00);
+        Array.unsafe_set out (oa + 1) (if relu && 0.0 >= !s01 then 0.0 else !s01);
+        Array.unsafe_set out (oa + 2) (if relu && 0.0 >= !s02 then 0.0 else !s02);
+        Array.unsafe_set out (oa + 3) (if relu && 0.0 >= !s03 then 0.0 else !s03);
+        Array.unsafe_set out ob (if relu && 0.0 >= !s10 then 0.0 else !s10);
+        Array.unsafe_set out (ob + 1) (if relu && 0.0 >= !s11 then 0.0 else !s11);
+        Array.unsafe_set out (ob + 2) (if relu && 0.0 >= !s12 then 0.0 else !s12);
+        Array.unsafe_set out (ob + 3) (if relu && 0.0 >= !s13 then 0.0 else !s13);
+        l := l0 + 4
+      done;
+      while !l < batch do
+        let l0 = !l in
+        let s0 = ref b0 and s1 = ref b1 in
+        for i = 0 to n_in - 1 do
+          let x = Array.unsafe_get prev ((i * batch) + l0) in
+          s0 := !s0 +. (Array.unsafe_get p (r0 + i) *. x);
+          s1 := !s1 +. (Array.unsafe_get p (r1 + i) *. x)
+        done;
+        let oa = (o0 * batch) + l0 in
+        Array.unsafe_set out oa (if relu && 0.0 >= !s0 then 0.0 else !s0);
+        Array.unsafe_set out (oa + batch) (if relu && 0.0 >= !s1 then 0.0 else !s1);
+        l := l0 + 1
+      done;
+      o := o0 + 2
+    done;
+    while !o < n_out do
+      let o0 = !o in
+      let r0 = off + (o0 * n_in) in
+      let b0 = Array.unsafe_get p (bias + o0) in
+      let l = ref 0 in
+      while !l + 3 < batch do
+        let l0 = !l in
+        let s0 = ref b0 and s1 = ref b0 and s2 = ref b0 and s3 = ref b0 in
+        for i = 0 to n_in - 1 do
+          let w = Array.unsafe_get p (r0 + i) in
+          let xb = (i * batch) + l0 in
+          s0 := !s0 +. (w *. Array.unsafe_get prev xb);
+          s1 := !s1 +. (w *. Array.unsafe_get prev (xb + 1));
+          s2 := !s2 +. (w *. Array.unsafe_get prev (xb + 2));
+          s3 := !s3 +. (w *. Array.unsafe_get prev (xb + 3))
+        done;
+        let oa = (o0 * batch) + l0 in
+        Array.unsafe_set out oa (if relu && 0.0 >= !s0 then 0.0 else !s0);
+        Array.unsafe_set out (oa + 1) (if relu && 0.0 >= !s1 then 0.0 else !s1);
+        Array.unsafe_set out (oa + 2) (if relu && 0.0 >= !s2 then 0.0 else !s2);
+        Array.unsafe_set out (oa + 3) (if relu && 0.0 >= !s3 then 0.0 else !s3);
+        l := l0 + 4
+      done;
+      while !l < batch do
+        let l0 = !l in
+        let s = ref b0 in
+        for i = 0 to n_in - 1 do
+          s :=
+            !s +. (Array.unsafe_get p (r0 + i) *. Array.unsafe_get prev ((i * batch) + l0))
+        done;
+        Array.unsafe_set out ((o0 * batch) + l0) (if relu && 0.0 >= !s then 0.0 else !s);
+        l := l0 + 1
+      done;
+      o := o0 + 1
+    done
+  done
+
+let forward_acts_batch t bws ~batch xs =
+  normalize_batch t bws ~batch xs;
+  if !vector_kernels then c_forward_layers t.params t.sizes bws.b_offs bws.b_acts batch
+  else forward_layers_ocaml t bws ~batch;
+  Array.length bws.b_offs
+
+let forward_batch_into t bws ~batch xs ~scores =
+  check_bws t bws ~batch "Mlp.forward_batch_into";
+  if Array.length xs < batch * n_inputs t then
+    invalid_arg "Mlp.forward_batch_into: input arity mismatch";
+  if Array.length scores < batch then
+    invalid_arg "Mlp.forward_batch_into: scores arity mismatch";
+  Telemetry.Counter.incr ~by:batch c_forwards;
+  let n_layers = forward_acts_batch t bws ~batch xs in
+  let top = bws.b_acts.(n_layers) in
+  for l = 0 to batch - 1 do
+    Array.unsafe_set scores l (Array.unsafe_get top l)
+  done
+
+(* Portable reverse sweep, output-major: per output, compress the lanes
+   where it is active (per-lane ReLU masks), then stream its weight row
+   once for the whole batch, updating every active lane's cell of the
+   feature-major d_in plane (a contiguous strip per input). Each d_in cell
+   receives its o-contributions in ascending-o order with zero-delta
+   outputs skipped — exactly the order of the compressed per-lane loop in
+   [input_gradient_into] — so every lane is bit-identical to the scalar
+   path while weights load once per batch instead of once per lane. *)
+let backward_layers_ocaml t bws ~batch =
+  let n_layers = Array.length bws.b_offs in
+  let top = bws.b_delta.(n_layers) in
+  Array.fill top 0 (batch * t.sizes.(n_layers)) 0.0;
+  for l = 0 to batch - 1 do
+    top.(l) <- 1.0
+  done;
+  let p = t.params in
+  let lidx = bws.b_lidx and ldval = bws.b_ldval in
+  for layer = n_layers - 1 downto 0 do
+    let n_in = t.sizes.(layer) and n_out = t.sizes.(layer + 1) in
+    let off = bws.b_offs.(layer) in
+    let d_in = bws.b_delta.(layer) in
+    Array.fill d_in 0 (batch * n_in) 0.0;
+    let cur = bws.b_delta.(layer + 1) in
+    let nxt = bws.b_acts.(layer + 1) in
+    let relu = layer < n_layers - 1 in
+    for o = 0 to n_out - 1 do
+      let ob = o * batch in
+      let nact = ref 0 in
+      for lane = 0 to batch - 1 do
+        let d =
+          if relu && Array.unsafe_get nxt (ob + lane) <= 0.0 then 0.0
+          else Array.unsafe_get cur (ob + lane)
+        in
+        if d <> 0.0 then begin
+          Array.unsafe_set lidx !nact lane;
+          Array.unsafe_set ldval !nact d;
+          incr nact
+        end
+      done;
+      let nact = !nact in
+      if nact > 0 then begin
+        let row = off + (o * n_in) in
+        for i = 0 to n_in - 1 do
+          let w = Array.unsafe_get p (row + i) in
+          let ib = i * batch in
+          for k = 0 to nact - 1 do
+            let pi = ib + Array.unsafe_get lidx k in
+            Array.unsafe_set d_in pi
+              (Array.unsafe_get d_in pi +. (Array.unsafe_get ldval k *. w))
+          done
+        done
+      end
+    done
+  done
+
+let input_gradient_batch_into t bws ~batch xs ~grads ~scores =
+  check_bws t bws ~batch "Mlp.input_gradient_batch_into";
+  if Array.length xs < batch * n_inputs t then
+    invalid_arg "Mlp.input_gradient_batch_into: input arity mismatch";
+  if Array.length grads < batch * n_inputs t then
+    invalid_arg "Mlp.input_gradient_batch_into: gradient arity mismatch";
+  if Array.length scores < batch then
+    invalid_arg "Mlp.input_gradient_batch_into: scores arity mismatch";
+  normalize_batch t bws ~batch xs;
+  let n_layers = Array.length bws.b_offs in
+  if !vector_kernels then
+    c_forward_backward_layers t.params t.sizes bws.b_offs bws.b_acts bws.b_delta batch
+  else begin
+    forward_layers_ocaml t bws ~batch;
+    backward_layers_ocaml t bws ~batch
+  end;
+  (* Lane-major caller outputs: scores from the top activations, gradients
+     un-normalised back through the input scaling. *)
+  let d0 = bws.b_delta.(0) in
+  let ni = t.sizes.(0) in
+  let topacts = bws.b_acts.(n_layers) in
+  for lane = 0 to batch - 1 do
+    Array.unsafe_set scores lane (Array.unsafe_get topacts lane);
+    let gb = lane * ni in
+    for i = 0 to ni - 1 do
+      Array.unsafe_set grads (gb + i)
+        (Array.unsafe_get d0 ((i * batch) + lane) /. Array.unsafe_get t.std i)
+    done
+  done
+
+let param_gradient_batch_into t bws ~batch ~xs ~targets grads =
+  check_bws t bws ~batch "Mlp.param_gradient_batch_into";
+  if Array.length xs < batch * n_inputs t then
+    invalid_arg "Mlp.param_gradient_batch_into: input arity mismatch";
+  if Array.length targets < batch then
+    invalid_arg "Mlp.param_gradient_batch_into: target arity mismatch";
+  if Array.length grads <> num_params t then
+    invalid_arg "Mlp.param_gradient_batch_into: gradient arity mismatch";
+  let n_layers = forward_acts_batch t bws ~batch xs in
+  Array.fill grads 0 (Array.length grads) 0.0;
+  (* Loss and top deltas in lane order — the example order of the scalar
+     [param_gradient] loop, so the running loss sum sees the same
+     additions in the same sequence. *)
+  let top = bws.b_acts.(n_layers) in
+  let dtop = bws.b_delta.(n_layers) in
+  let loss = ref 0.0 in
+  let bsz = float_of_int batch in
+  for lane = 0 to batch - 1 do
+    let err = Array.unsafe_get top lane -. Array.unsafe_get targets lane in
+    loss := !loss +. (err *. err);
+    Array.unsafe_set dtop lane (2.0 *. err /. bsz)
+  done;
+  (* Per layer (descending) and output, compress the lanes where the
+     output is active, then sweep the inputs once: each weight cell
+     accumulates its active lanes in lane-ascending order — exactly the
+     example order of the scalar loop — and each lane's d_in cell gains
+     its o-contributions in the same ascending-o order. The weight and
+     gradient cells load once per (o, i) instead of once per example. *)
+  let p = t.params in
+  let lidx = bws.b_lidx and ldval = bws.b_ldval in
+  for layer = n_layers - 1 downto 0 do
+    let n_in = t.sizes.(layer) and n_out = t.sizes.(layer + 1) in
+    let off = bws.b_offs.(layer) in
+    let d_in = bws.b_delta.(layer) in
+    Array.fill d_in 0 (batch * n_in) 0.0;
+    let cur = bws.b_delta.(layer + 1) in
+    let nxt = bws.b_acts.(layer + 1) in
+    let prev = bws.b_acts.(layer) in
+    let relu = layer < n_layers - 1 in
+    let bias = off + (n_in * n_out) in
+    for o = 0 to n_out - 1 do
+      let ob = o * batch in
+      let nact = ref 0 in
+      for lane = 0 to batch - 1 do
+        let d =
+          if relu && Array.unsafe_get nxt (ob + lane) <= 0.0 then 0.0
+          else Array.unsafe_get cur (ob + lane)
+        in
+        if d <> 0.0 then begin
+          Array.unsafe_set lidx !nact lane;
+          Array.unsafe_set ldval !nact d;
+          incr nact
+        end
+      done;
+      let nact = !nact in
+      if nact > 0 then begin
+        let row = off + (o * n_in) in
+        for i = 0 to n_in - 1 do
+          let w = Array.unsafe_get p (row + i) in
+          let ib = i * batch in
+          let g = ref (Array.unsafe_get grads (row + i)) in
+          for k = 0 to nact - 1 do
+            let lane = Array.unsafe_get lidx k in
+            let d = Array.unsafe_get ldval k in
+            let pi = ib + lane in
+            g := !g +. (d *. Array.unsafe_get prev pi);
+            Array.unsafe_set d_in pi (Array.unsafe_get d_in pi +. (d *. w))
+          done;
+          Array.unsafe_set grads (row + i) !g
+        done;
+        let gb = ref (Array.unsafe_get grads (bias + o)) in
+        for k = 0 to nact - 1 do
+          gb := !gb +. Array.unsafe_get ldval k
+        done;
+        Array.unsafe_set grads (bias + o) !gb
+      end
+    done
+  done;
+  !loss /. bsz
+
+(* Deprecated allocating batch scorer, now a thin chunked wrapper over the
+   workspace kernel (bitwise-identical: each lane is the scalar forward). *)
+let forward_batch ?runtime t xs =
+  match runtime with
+  | Some rt -> Runtime.parallel_map rt (forward t) xs
+  | None ->
+    let n = Array.length xs in
+    if n = 0 then [||]
+    else begin
+      let ni = n_inputs t in
+      let b = min n 64 in
+      let bws = batch_workspace t ~batch:b in
+      let out = Array.make n 0.0 in
+      let scores = Array.make b 0.0 in
+      let i = ref 0 in
+      while !i < n do
+        let len = min b (n - !i) in
+        for l = 0 to len - 1 do
+          let x = xs.(!i + l) in
+          if Array.length x <> ni then invalid_arg "Mlp.forward_batch: arity mismatch";
+          Array.blit x 0 bws.b_x (l * ni) ni
+        done;
+        forward_batch_into t bws ~batch:len bws.b_x ~scores;
+        Array.blit scores 0 out !i len;
+        i := !i + len
+      done;
+      out
+    end
+
 let input_gradient t x =
   let offs, _ = layer_offsets t.sizes in
   let n_layers = Array.length offs in
@@ -323,11 +730,24 @@ let param_gradient t batch grads =
 let c_updates = Telemetry.counter Telemetry.global "model.updates"
 let g_last_loss = Telemetry.gauge Telemetry.global "model.last_loss"
 
-let train_batch t adam batch =
-  if Array.length batch = 0 then 0.0
+let train_batch ?ws t adam batch =
+  let bsz = Array.length batch in
+  if bsz = 0 then 0.0
   else begin
+    let bws =
+      match ws with Some w when w.b_cap >= bsz -> w | _ -> batch_workspace t ~batch:bsz
+    in
+    let ni = n_inputs t in
+    Array.iteri
+      (fun l (x, target) ->
+        if Array.length x <> ni then invalid_arg "Mlp.train_batch: arity mismatch";
+        Array.blit x 0 bws.b_x (l * ni) ni;
+        bws.b_t.(l) <- target)
+      batch;
     let grads = Array.make (num_params t) 0.0 in
-    let loss = param_gradient t batch grads in
+    let loss =
+      param_gradient_batch_into t bws ~batch:bsz ~xs:bws.b_x ~targets:bws.b_t grads
+    in
     Adam.step adam ~params:t.params ~grads;
     Telemetry.Counter.incr c_updates;
     Telemetry.Gauge.set g_last_loss loss;

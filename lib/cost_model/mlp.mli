@@ -29,13 +29,24 @@ val forward : t -> float array -> float
 (** Predicted score (higher = better). *)
 
 val forward_batch : ?runtime:Runtime.t -> t -> float array array -> float array
+  [@@ocaml.deprecated
+    "Use a batch_workspace with forward_batch_into (zero-allocation, lane-major rows)."]
 (** {!forward} over a batch, fanned out across the runtime's domains when
     one is given. Inference only reads the parameters, so this is safe as
     long as no concurrent [train_batch] mutates the same model; results are
-    identical to the sequential map. *)
+    identical to the sequential map.
+
+    @deprecated allocates per call; use {!batch_workspace} +
+    {!forward_batch_into}. *)
 
 val input_gradient : t -> float array -> float * float array
 (** [(score, dscore/dinput)] in one forward + backward pass. *)
+
+val param_gradient : t -> (float array * float) array -> float array -> float
+(** [param_gradient t batch grads] overwrites [grads] (length
+    {!num_params}) with dMSE/dparams of the batch and returns the loss.
+    The scalar reference implementation for the batched trainer; exposed
+    for the bitwise-equivalence tests. *)
 
 (** {2 Caller-owned workspaces}
 
@@ -57,11 +68,72 @@ val input_gradient_into : t -> workspace -> float array -> float array -> float
 (** [input_gradient_into t ws x grad] overwrites [grad] with
     dscore/dinput and returns the score. *)
 
+(** {2 Batched (structure-of-arrays) kernels}
+
+    A [batch_workspace] holds feature-major activation/delta planes for up
+    to its capacity of feature rows (caller rows stay lane-major), turning
+    the per-candidate layer loops into GEMM-shaped kernels that stream
+    each weight once per batch instead of once per candidate and run
+    vectorised across lanes by default (strict-IEEE C kernels — see
+    mlp_stubs.c). Lane [l] of every batched sweep is bitwise-identical to
+    the corresponding scalar [_into] call on that row alone, at any batch
+    size, on either kernel set. Same ownership rules as {!workspace}. *)
+
+val set_vector_kernels : bool -> unit
+(** Select the vectorised C kernels ([true], the default) or the portable
+    OCaml loops ([false]) for the batched sweeps — both are bit-identical
+    per lane; the switch exists for testing and triage. The initial value
+    honours [FELIX_NO_SIMD=1] (forces the OCaml loops). *)
+
+val using_vector_kernels : unit -> bool
+(** Which batched kernel set is currently selected. *)
+
+type batch_workspace
+
+val batch_workspace : t -> batch:int -> batch_workspace
+(** Buffers for up to [batch] lanes ([batch >= 1]). *)
+
+val batch_capacity : batch_workspace -> int
+
+val forward_batch_into :
+  t -> batch_workspace -> batch:int -> float array -> scores:float array -> unit
+(** [forward_batch_into t bws ~batch xs ~scores] scores lanes
+    [0..batch-1]; [xs] holds the feature rows lane-major
+    ([xs.(l * n_inputs + i)]), predictions land in [scores.(l)]. *)
+
+val input_gradient_batch_into :
+  t ->
+  batch_workspace ->
+  batch:int ->
+  float array ->
+  grads:float array ->
+  scores:float array ->
+  unit
+(** Lockstep {!input_gradient_into}: overwrites the first [batch]
+    lane-major rows of [grads] with each lane's dscore/dinput and
+    [scores.(l)] with its prediction. *)
+
+val param_gradient_batch_into :
+  t ->
+  batch_workspace ->
+  batch:int ->
+  xs:float array ->
+  targets:float array ->
+  float array ->
+  float
+(** Lockstep {!param_gradient} over lane-major rows: overwrites the
+    (flat, {!num_params}-wide) gradient and returns the MSE loss.
+    Bitwise-identical to the scalar example loop — weight cells accumulate
+    their active lanes in example order, input deltas their outputs in
+    ascending order. *)
+
 val train_batch :
-  t -> Adam.t -> (float array * float) array -> float
+  ?ws:batch_workspace -> t -> Adam.t -> (float array * float) array -> float
 (** One Adam step on the mean-squared-error of the batch
     [(features, target_score)]; returns the batch loss (before the
-    step). *)
+    step). Runs on the batched kernels; pass [?ws] (capacity >= batch
+    size) to reuse buffers across steps, otherwise one is allocated per
+    call. *)
 
 val adam_for : ?lr:float -> t -> Adam.t
 (** Fresh optimiser state sized for this model's parameters. *)

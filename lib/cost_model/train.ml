@@ -25,7 +25,24 @@ let evaluate model samples =
   let n = Array.length samples in
   if n = 0 then { mse = 0.0; spearman = 0.0; per_task_spearman = 0.0; n_samples = 0 }
   else begin
-    let preds = Array.map (fun (s : Dataset.sample) -> Mlp.forward model s.features) samples in
+    (* Scoring runs through the batched SoA forward in fixed-size chunks;
+       each lane is bitwise the scalar [Mlp.forward] on that sample. *)
+    let preds = Array.make n 0.0 in
+    let ni = Mlp.n_inputs model in
+    let chunk = min n 256 in
+    let bws = Mlp.batch_workspace model ~batch:chunk in
+    let xs = Array.make (chunk * ni) 0.0 in
+    let scores = Array.make chunk 0.0 in
+    let i = ref 0 in
+    while !i < n do
+      let len = min chunk (n - !i) in
+      for l = 0 to len - 1 do
+        Array.blit samples.(!i + l).Dataset.features 0 xs (l * ni) ni
+      done;
+      Mlp.forward_batch_into model bws ~batch:len xs ~scores;
+      Array.blit scores 0 preds !i len;
+      i := !i + len
+    done;
     let targets = Array.map (fun (s : Dataset.sample) -> s.Dataset.target) samples in
     let mse =
       Array.fold_left ( +. ) 0.0
@@ -69,6 +86,10 @@ let pretrain rng ?(hidden = [ 192; 192; 192 ]) ?(epochs = 8) ?(batch_size = 256)
   let adam = Mlp.adam_for ~lr model in
   let n = Array.length ds.train in
   let order = Array.init n (fun i -> i) in
+  (* One batch workspace reused across every minibatch of every epoch:
+     the whole pretraining loss/gradient path runs on the SoA kernels
+     with no per-step allocation beyond the gradient vector. *)
+  let ws = Mlp.batch_workspace model ~batch:(min batch_size n) in
   for _epoch = 1 to epochs do
     Rng.shuffle rng order;
     let i = ref 0 in
@@ -79,7 +100,7 @@ let pretrain rng ?(hidden = [ 192; 192; 192 ]) ?(epochs = 8) ?(batch_size = 256)
             let s = ds.train.(order.(!i + j)) in
             (s.Dataset.features, s.Dataset.target))
       in
-      ignore (Mlp.train_batch model adam batch);
+      ignore (Mlp.train_batch ~ws model adam batch);
       i := !i + bsz
     done
   done;

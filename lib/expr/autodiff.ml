@@ -499,6 +499,311 @@ module Tape = struct
     backward_into t ws v grad;
     (Array.copy out, grad)
 
+  (* --- batched (structure-of-arrays) workspaces -----------------------------
+
+     One batch workspace evaluates the tape over up to [cap] points in
+     lockstep. Values and adjoints are laid out slot-major —
+     [b_vals.(slot * cap + lane)] — so one instruction's dispatch is paid
+     once and its arithmetic runs over a contiguous strip of lanes;
+     outputs are lane-major rows — [b_out.(lane * num_outputs + k)] — so a
+     lane's output vector is contiguous for downstream consumers. Every
+     lane executes exactly the scalar instruction sequence of [forward] /
+     [backward] (including the zero-adjoint skip), so each lane's results
+     are bitwise-identical to a scalar sweep over that lane alone. *)
+
+  (* Index arithmetic below needs the integer operators back ([open Expr]
+     rebinds them to expression builders). *)
+  let ( + ) = Stdlib.( + )
+  let ( * ) = Stdlib.( * )
+
+  type batch_workspace = {
+    b_cap : int;
+    b_vals : float array;  (* n_slots * cap, slot-major *)
+    b_adj : float array;  (* n_slots * cap, slot-major *)
+    b_out : float array;  (* cap * n_outputs, lane-major *)
+  }
+
+  let batch_capacity bws = bws.b_cap
+
+  let batch_workspace t ~batch =
+    if batch < 1 then invalid_arg "Tape.batch_workspace: batch must be >= 1";
+    let n = max 1 (Array.length t.instrs) in
+    { b_cap = batch;
+      b_vals = Array.make (n * batch) 0.0;
+      b_adj = Array.make (n * batch) 0.0;
+      b_out = Array.make (max 1 (Array.length t.outputs * batch)) 0.0
+    }
+
+  let check_bws t bws ~batch name =
+    if batch < 1 || batch > bws.b_cap then invalid_arg (name ^ ": batch exceeds capacity");
+    if Array.length bws.b_vals <> max 1 (Array.length t.instrs) * bws.b_cap then
+      invalid_arg (name ^ ": workspace does not match tape")
+
+  let forward_batch_into t bws ~batch xs =
+    check_bws t bws ~batch "Tape.forward_batch_into";
+    if Array.length xs < batch * t.n_inputs then
+      invalid_arg "Tape.forward_batch_into: input arity mismatch";
+    let cap = bws.b_cap in
+    let vals = bws.b_vals in
+    let ni = t.n_inputs in
+    let n = Array.length t.instrs in
+    for i = 0 to n - 1 do
+      let base = i * cap in
+      match Array.unsafe_get t.instrs i with
+      | Iconst c ->
+        for l = 0 to batch - 1 do
+          Array.unsafe_set vals (base + l) c
+        done
+      | Iinput k ->
+        for l = 0 to batch - 1 do
+          Array.unsafe_set vals (base + l) (Array.unsafe_get xs ((l * ni) + k))
+        done
+      | Ibin (op, a, b) -> (
+        let ab = a * cap and bb = b * cap in
+        (* Op dispatch hoisted out of the lane loop; the per-lane float op
+           is exactly the scalar [forward]'s, so each lane is bit-exact. *)
+        match op with
+        | Add ->
+          for l = 0 to batch - 1 do
+            Array.unsafe_set vals (base + l)
+              (Array.unsafe_get vals (ab + l) +. Array.unsafe_get vals (bb + l))
+          done
+        | Sub ->
+          for l = 0 to batch - 1 do
+            Array.unsafe_set vals (base + l)
+              (Array.unsafe_get vals (ab + l) -. Array.unsafe_get vals (bb + l))
+          done
+        | Mul ->
+          for l = 0 to batch - 1 do
+            Array.unsafe_set vals (base + l)
+              (Array.unsafe_get vals (ab + l) *. Array.unsafe_get vals (bb + l))
+          done
+        | Div ->
+          for l = 0 to batch - 1 do
+            Array.unsafe_set vals (base + l)
+              (Array.unsafe_get vals (ab + l) /. Array.unsafe_get vals (bb + l))
+          done
+        | Pow ->
+          for l = 0 to batch - 1 do
+            Array.unsafe_set vals (base + l)
+              (Array.unsafe_get vals (ab + l) ** Array.unsafe_get vals (bb + l))
+          done
+        | Min ->
+          for l = 0 to batch - 1 do
+            Array.unsafe_set vals (base + l)
+              (Float.min (Array.unsafe_get vals (ab + l)) (Array.unsafe_get vals (bb + l)))
+          done
+        | Max ->
+          for l = 0 to batch - 1 do
+            Array.unsafe_set vals (base + l)
+              (Float.max (Array.unsafe_get vals (ab + l)) (Array.unsafe_get vals (bb + l)))
+          done)
+      | Iun (op, a) -> (
+        let ab = a * cap in
+        match op with
+        | Neg ->
+          for l = 0 to batch - 1 do
+            Array.unsafe_set vals (base + l) (-.Array.unsafe_get vals (ab + l))
+          done
+        | Log ->
+          for l = 0 to batch - 1 do
+            Array.unsafe_set vals (base + l) (log (Array.unsafe_get vals (ab + l)))
+          done
+        | Exp ->
+          for l = 0 to batch - 1 do
+            Array.unsafe_set vals (base + l) (exp (Array.unsafe_get vals (ab + l)))
+          done
+        | Sqrt ->
+          for l = 0 to batch - 1 do
+            Array.unsafe_set vals (base + l) (sqrt (Array.unsafe_get vals (ab + l)))
+          done
+        | Abs ->
+          for l = 0 to batch - 1 do
+            Array.unsafe_set vals (base + l) (Float.abs (Array.unsafe_get vals (ab + l)))
+          done)
+      | Isel (op, sl, sr, a, b) ->
+        let lb = sl * cap and rb = sr * cap and ab = a * cap and bb = b * cap in
+        for l = 0 to batch - 1 do
+          let src =
+            if apply_cmpop op (Array.unsafe_get vals (lb + l)) (Array.unsafe_get vals (rb + l))
+            then ab
+            else bb
+          in
+          Array.unsafe_set vals (base + l) (Array.unsafe_get vals (src + l))
+        done
+    done;
+    let out = bws.b_out in
+    let nout = Array.length t.outputs in
+    for k = 0 to nout - 1 do
+      let sb = t.outputs.(k) * cap in
+      for l = 0 to batch - 1 do
+        Array.unsafe_set out ((l * nout) + k) (Array.unsafe_get vals (sb + l))
+      done
+    done;
+    out
+
+  let backward_batch_into t bws ~batch v grad =
+    check_bws t bws ~batch "Tape.backward_batch_into";
+    let nout = Array.length t.outputs in
+    if Array.length v < batch * nout then
+      invalid_arg "Tape.backward_batch_into: adjoint arity mismatch";
+    if Array.length grad < batch * t.n_inputs then
+      invalid_arg "Tape.backward_batch_into: gradient arity mismatch";
+    let cap = bws.b_cap in
+    let vals = bws.b_vals and adj = bws.b_adj in
+    let ni = t.n_inputs in
+    let n = Array.length t.instrs in
+    Array.fill grad 0 (batch * ni) 0.0;
+    for i = 0 to n - 1 do
+      Array.fill adj (i * cap) batch 0.0
+    done;
+    (* Output-adjoint seeding in the scalar order: for each lane, outputs
+       ascending, accumulated into the output's slot. *)
+    for k = 0 to nout - 1 do
+      let sb = t.outputs.(k) * cap in
+      for l = 0 to batch - 1 do
+        Array.unsafe_set adj (sb + l)
+          (Array.unsafe_get adj (sb + l) +. Array.unsafe_get v ((l * nout) + k))
+      done
+    done;
+    for i = n - 1 downto 0 do
+      let base = i * cap in
+      match Array.unsafe_get t.instrs i with
+      | Iconst _ -> ()
+      | Iinput k ->
+        for l = 0 to batch - 1 do
+          let a = Array.unsafe_get adj (base + l) in
+          if a <> 0.0 then begin
+            let gi = (l * ni) + k in
+            Array.unsafe_set grad gi (Array.unsafe_get grad gi +. a)
+          end
+        done
+      | Ibin (op, ia, ib) -> (
+        let ab = ia * cap and bb = ib * cap in
+        (* Per lane: the scalar [backward]'s update, guard included — a lane
+           with zero adjoint must skip (adding 0.0 can change bits). *)
+        match op with
+        | Add ->
+          for l = 0 to batch - 1 do
+            let a = Array.unsafe_get adj (base + l) in
+            if a <> 0.0 then begin
+              Array.unsafe_set adj (ab + l) (Array.unsafe_get adj (ab + l) +. a);
+              Array.unsafe_set adj (bb + l) (Array.unsafe_get adj (bb + l) +. a)
+            end
+          done
+        | Sub ->
+          for l = 0 to batch - 1 do
+            let a = Array.unsafe_get adj (base + l) in
+            if a <> 0.0 then begin
+              Array.unsafe_set adj (ab + l) (Array.unsafe_get adj (ab + l) +. a);
+              Array.unsafe_set adj (bb + l) (Array.unsafe_get adj (bb + l) -. a)
+            end
+          done
+        | Mul ->
+          for l = 0 to batch - 1 do
+            let a = Array.unsafe_get adj (base + l) in
+            if a <> 0.0 then begin
+              let va = Array.unsafe_get vals (ab + l) and vb = Array.unsafe_get vals (bb + l) in
+              Array.unsafe_set adj (ab + l) (Array.unsafe_get adj (ab + l) +. (a *. vb));
+              Array.unsafe_set adj (bb + l) (Array.unsafe_get adj (bb + l) +. (a *. va))
+            end
+          done
+        | Div ->
+          for l = 0 to batch - 1 do
+            let a = Array.unsafe_get adj (base + l) in
+            if a <> 0.0 then begin
+              let va = Array.unsafe_get vals (ab + l) and vb = Array.unsafe_get vals (bb + l) in
+              Array.unsafe_set adj (ab + l) (Array.unsafe_get adj (ab + l) +. (a /. vb));
+              Array.unsafe_set adj (bb + l)
+                (Array.unsafe_get adj (bb + l) -. (a *. va /. (vb *. vb)))
+            end
+          done
+        | Pow ->
+          for l = 0 to batch - 1 do
+            let a = Array.unsafe_get adj (base + l) in
+            if a <> 0.0 then begin
+              let va = Array.unsafe_get vals (ab + l) and vb = Array.unsafe_get vals (bb + l) in
+              let v0 = Array.unsafe_get vals (base + l) in
+              if va <> 0.0 then
+                Array.unsafe_set adj (ab + l)
+                  (Array.unsafe_get adj (ab + l) +. (a *. vb *. v0 /. va))
+              else
+                Array.unsafe_set adj (ab + l)
+                  (Array.unsafe_get adj (ab + l) +. (a *. vb *. (va ** (vb -. 1.0))));
+              if va > 0.0 then
+                Array.unsafe_set adj (bb + l)
+                  (Array.unsafe_get adj (bb + l) +. (a *. v0 *. log va))
+            end
+          done
+        | Min ->
+          for l = 0 to batch - 1 do
+            let a = Array.unsafe_get adj (base + l) in
+            if a <> 0.0 then begin
+              if Array.unsafe_get vals (ab + l) <= Array.unsafe_get vals (bb + l) then
+                Array.unsafe_set adj (ab + l) (Array.unsafe_get adj (ab + l) +. a)
+              else Array.unsafe_set adj (bb + l) (Array.unsafe_get adj (bb + l) +. a)
+            end
+          done
+        | Max ->
+          for l = 0 to batch - 1 do
+            let a = Array.unsafe_get adj (base + l) in
+            if a <> 0.0 then begin
+              if Array.unsafe_get vals (ab + l) >= Array.unsafe_get vals (bb + l) then
+                Array.unsafe_set adj (ab + l) (Array.unsafe_get adj (ab + l) +. a)
+              else Array.unsafe_set adj (bb + l) (Array.unsafe_get adj (bb + l) +. a)
+            end
+          done)
+      | Iun (op, ia) -> (
+        let ab = ia * cap in
+        match op with
+        | Neg ->
+          for l = 0 to batch - 1 do
+            let a = Array.unsafe_get adj (base + l) in
+            if a <> 0.0 then
+              Array.unsafe_set adj (ab + l) (Array.unsafe_get adj (ab + l) -. a)
+          done
+        | Log ->
+          for l = 0 to batch - 1 do
+            let a = Array.unsafe_get adj (base + l) in
+            if a <> 0.0 then
+              Array.unsafe_set adj (ab + l)
+                (Array.unsafe_get adj (ab + l) +. (a /. Array.unsafe_get vals (ab + l)))
+          done
+        | Exp ->
+          for l = 0 to batch - 1 do
+            let a = Array.unsafe_get adj (base + l) in
+            if a <> 0.0 then
+              Array.unsafe_set adj (ab + l)
+                (Array.unsafe_get adj (ab + l) +. (a *. Array.unsafe_get vals (base + l)))
+          done
+        | Sqrt ->
+          for l = 0 to batch - 1 do
+            let a = Array.unsafe_get adj (base + l) in
+            if a <> 0.0 then
+              Array.unsafe_set adj (ab + l)
+                (Array.unsafe_get adj (ab + l)
+                +. (a /. (2.0 *. Array.unsafe_get vals (base + l))))
+          done
+        | Abs ->
+          for l = 0 to batch - 1 do
+            let a = Array.unsafe_get adj (base + l) in
+            if a <> 0.0 then
+              Array.unsafe_set adj (ab + l)
+                (Array.unsafe_get adj (ab + l)
+                +. (if Array.unsafe_get vals (ab + l) >= 0.0 then a else -.a))
+          done)
+      | Isel (op, sl, sr, ia, ib) ->
+        let lb = sl * cap and rb = sr * cap and ab = ia * cap and bb = ib * cap in
+        for l = 0 to batch - 1 do
+          let a = Array.unsafe_get adj (base + l) in
+          if a <> 0.0 then begin
+            if apply_cmpop op (Array.unsafe_get vals (lb + l)) (Array.unsafe_get vals (rb + l))
+            then Array.unsafe_set adj (ab + l) (Array.unsafe_get adj (ab + l) +. a)
+            else Array.unsafe_set adj (bb + l) (Array.unsafe_get adj (bb + l) +. a)
+          end
+        done
+    done
+
   let jacobian t xs =
     if Array.length xs <> t.n_inputs then invalid_arg "Tape.jacobian: input arity mismatch";
     let m = Array.length t.outputs in

@@ -107,6 +107,39 @@ module Tape : sig
   (** [eval_vjp_into t ws xs v grad]: one forward + one backward sweep;
       returns the workspace-owned outputs and overwrites [grad].
       Bit-identical to {!vjp}, with zero allocation. *)
+
+  (** {2 Batched (structure-of-arrays) sweeps}
+
+      A [batch_workspace] evaluates the tape over up to its capacity of
+      points in lockstep: instruction dispatch is paid once per slot
+      instead of once per point, and the per-slot arithmetic runs over a
+      contiguous strip of lanes. Each lane executes exactly the scalar
+      instruction sequence (including the zero-adjoint skip of the reverse
+      sweep), so lane [l] of a batched sweep is bitwise-identical to a
+      scalar {!forward_into}/{!backward_into} over that point alone, at
+      any batch size. Same ownership rules as {!workspace}: one batch
+      workspace per concurrent evaluator, reuse across calls is safe. *)
+
+  type batch_workspace
+
+  val batch_workspace : t -> batch:int -> batch_workspace
+  (** Buffers for up to [batch] lanes ([batch >= 1]). *)
+
+  val batch_capacity : batch_workspace -> int
+
+  val forward_batch_into : t -> batch_workspace -> batch:int -> float array -> float array
+  (** [forward_batch_into t bws ~batch xs] evaluates lanes [0..batch-1];
+      [xs] holds the points as lane-major rows ([xs.(l * num_inputs + i)];
+      rows beyond [batch] are ignored). Returns the workspace-owned
+      lane-major output matrix [out.(l * num_outputs + k)] (do not
+      retain); intermediate values are kept for {!backward_batch_into}. *)
+
+  val backward_batch_into : t -> batch_workspace -> batch:int -> float array -> float array -> unit
+  (** [backward_batch_into t bws ~batch v grad] seeds each lane's output
+      adjoints from the lane-major rows of [v] and runs one reverse sweep
+      per lane against the values of the last {!forward_batch_into},
+      overwriting the first [batch] lane-major rows of [grad]
+      ([grad.(l * num_inputs + i)]). *)
 end
 
 val check_gradient :

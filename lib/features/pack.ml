@@ -113,6 +113,15 @@ let c_pack_misses = Telemetry.counter Telemetry.global "features.pack_cache_miss
    a process-wide cache is safe to share across tuning runs and domains. *)
 let pack_cache : (string, t) Runtime.Lru.t = Runtime.Lru.create ~capacity:256 ()
 
+let g_pack_entries = Telemetry.gauge Telemetry.global "features.pack_cache_entries"
+let g_pack_evictions = Telemetry.gauge Telemetry.global "features.pack_cache_evictions"
+
+let cache_stats () =
+  [ ("hits", Runtime.Lru.hits pack_cache);
+    ("misses", Runtime.Lru.misses pack_cache);
+    ("evictions", Runtime.Lru.evictions pack_cache);
+    ("entries", Runtime.Lru.length pack_cache) ]
+
 let prepare_cached ?(width = 1.0) sg sched =
   let key =
     Printf.sprintf "%s|%s|%.6g" (Compute.workload_key sg)
@@ -126,6 +135,9 @@ let prepare_cached ?(width = 1.0) sg sched =
     Telemetry.Counter.incr c_pack_misses;
     let t = prepare ~width sg sched in
     Runtime.Lru.add pack_cache key t;
+    Telemetry.Gauge.set g_pack_entries (float_of_int (Runtime.Lru.length pack_cache));
+    Telemetry.Gauge.set g_pack_evictions
+      (float_of_int (Runtime.Lru.evictions pack_cache));
     t
 
 let c_feature_evals = Telemetry.counter Telemetry.global "features.evals"
@@ -134,10 +146,9 @@ let features_at t y =
   Telemetry.Counter.incr c_feature_evals;
   Autodiff.Tape.eval t.feature_tape y
 
-let features_batch ?runtime t ys =
-  match runtime with
-  | None -> Array.map (features_at t) ys
-  | Some rt -> Runtime.parallel_map rt (features_at t) ys
+(* [features_batch] (deprecated) is defined below on top of the batched
+   tape workspaces. *)
+
 let features_vjp t y adj = Autodiff.Tape.vjp t.feature_tape y adj
 
 let penalty_margins t y = Autodiff.Tape.eval t.penalty_tape y
@@ -197,6 +208,95 @@ let penalty_value_grad_into t ws y grad =
   done;
   Autodiff.Tape.backward_into t.penalty_tape ws.ws_pen adj grad;
   !value
+
+(* --- batched (structure-of-arrays) workspaces ------------------------------
+
+   One batch workspace runs both tapes over up to its capacity of
+   candidates in lockstep (see {!Autodiff.Tape.batch_workspace}); each
+   lane is bitwise-identical to the scalar kernels above on that candidate
+   alone. All matrices are lane-major: row [l] of a [batch * k] array is
+   candidate [l]'s vector. *)
+
+type batch_workspace = {
+  bws_cap : int;
+  bws_feat : Autodiff.Tape.batch_workspace;
+  bws_pen : Autodiff.Tape.batch_workspace;
+  bws_pen_adj : float array;  (* cap * n_penalties, lane-major *)
+}
+
+let batch_workspace t ~batch =
+  if batch < 1 then invalid_arg "Pack.batch_workspace: batch must be >= 1";
+  { bws_cap = batch;
+    bws_feat = Autodiff.Tape.batch_workspace t.feature_tape ~batch;
+    bws_pen = Autodiff.Tape.batch_workspace t.penalty_tape ~batch;
+    bws_pen_adj = Array.make (max 1 (batch * t.n_penalties)) 0.0
+  }
+
+let batch_capacity bws = bws.bws_cap
+
+let features_forward_batch t bws ~batch ys =
+  Telemetry.Counter.incr ~by:batch c_feature_evals;
+  Autodiff.Tape.forward_batch_into t.feature_tape bws.bws_feat ~batch ys
+
+let features_backward_batch t bws ~batch adj grads =
+  Autodiff.Tape.backward_batch_into t.feature_tape bws.bws_feat ~batch adj grads
+
+let penalty_value_grad_batch_into t bws ~batch ys ~grads ~values =
+  if batch < 1 || batch > bws.bws_cap then
+    invalid_arg "Pack.penalty_value_grad_batch_into: batch exceeds capacity";
+  if Array.length values < batch then
+    invalid_arg "Pack.penalty_value_grad_batch_into: values arity mismatch";
+  let np = t.n_penalties in
+  let margins = Autodiff.Tape.forward_batch_into t.penalty_tape bws.bws_pen ~batch ys in
+  let adj = bws.bws_pen_adj in
+  (* Per lane, the exact loop of [penalty_value_grad_into]: left-to-right
+     accumulation with [max g 0.0] spelled as its branch so no float is
+     boxed. *)
+  for l = 0 to batch - 1 do
+    let base = l * np in
+    let value = ref 0.0 in
+    for k = 0 to np - 1 do
+      let g = Array.unsafe_get margins (base + k) in
+      let m = if g >= 0.0 then g else 0.0 in
+      value := !value +. (m ** 2.0);
+      Array.unsafe_set adj (base + k) (2.0 *. m)
+    done;
+    values.(l) <- !value
+  done;
+  Autodiff.Tape.backward_batch_into t.penalty_tape bws.bws_pen ~batch adj grads
+
+(* Deprecated allocating batch evaluator, now a thin chunked wrapper over
+   the batched tape (bitwise-identical: each lane is the scalar eval). *)
+let features_batch ?runtime t ys =
+  match runtime with
+  | Some rt -> Runtime.parallel_map rt (features_at t) ys
+  | None ->
+    let n = Array.length ys in
+    if n = 0 then [||]
+    else begin
+      let nv = num_vars t in
+      let nf = Autodiff.Tape.num_outputs t.feature_tape in
+      let b = min n 64 in
+      let bws = batch_workspace t ~batch:b in
+      let xs = Array.make (b * nv) 0.0 in
+      let out = Array.make n [||] in
+      let i = ref 0 in
+      while !i < n do
+        let len = min b (n - !i) in
+        for l = 0 to len - 1 do
+          let y = ys.(!i + l) in
+          if Array.length y <> nv then
+            invalid_arg "Pack.features_batch: arity mismatch";
+          Array.blit y 0 xs (l * nv) nv
+        done;
+        let feats = features_forward_batch t bws ~batch:len xs in
+        for l = 0 to len - 1 do
+          out.(!i + l) <- Array.sub feats (l * nf) nf
+        done;
+        i := !i + len
+      done;
+      out
+    end
 
 let round_to_valid t y =
   let n = Array.length t.names in

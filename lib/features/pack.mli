@@ -48,9 +48,14 @@ val features_at : t -> float array -> float array
 (** Transformed (smoothed, log-scaled) feature vector at [y]; length 82. *)
 
 val features_batch : ?runtime:Runtime.t -> t -> float array array -> float array array
+  [@@ocaml.deprecated
+    "Use a batch_workspace with features_forward_batch (zero-allocation, lane-major rows)."]
 (** [features_at] over a batch of points, fanned out across the runtime's
     domains when one is given (tape evaluation is pure, so the result is
-    identical to the sequential map). *)
+    identical to the sequential map).
+
+    @deprecated allocates per point; use {!batch_workspace} +
+    {!features_forward_batch}. *)
 
 val features_vjp : t -> float array -> float array -> float array * float array
 (** [(features, dy)] where [dy] is the gradient of [sum_k adj_k * feat_k]
@@ -99,6 +104,52 @@ val features_backward : t -> workspace -> float array -> float array -> unit
 val penalty_value_grad_into : t -> workspace -> float array -> float array -> float
 (** [penalty_value_grad_into t ws y grad] is {!penalty_value_grad} with
     zero allocation: overwrites [grad] and returns the penalty value. *)
+
+(** {2 Batched (structure-of-arrays) workspaces}
+
+    A [batch_workspace] runs both tapes over up to its capacity of
+    candidates in lockstep; lane [l] of every batched sweep is
+    bitwise-identical to the scalar workspace kernel on that candidate
+    alone, at any batch size. All matrices are lane-major rows
+    ([a.(l * k + i)] is component [i] of candidate [l]). Same ownership
+    rules as {!workspace}. *)
+
+type batch_workspace
+
+val batch_workspace : t -> batch:int -> batch_workspace
+(** Buffers for up to [batch] lanes ([batch >= 1]). *)
+
+val batch_capacity : batch_workspace -> int
+
+val features_forward_batch :
+  t -> batch_workspace -> batch:int -> float array -> float array
+(** Lockstep {!features_forward} over the lane-major point rows of [ys];
+    returns the workspace-owned [batch * 82] lane-major feature matrix
+    (do not retain). Intermediate values are kept for
+    {!features_backward_batch}. *)
+
+val features_backward_batch :
+  t -> batch_workspace -> batch:int -> float array -> float array -> unit
+(** [features_backward_batch t bws ~batch adj grads] seeds each lane's
+    feature adjoints from the lane-major rows of [adj] and overwrites the
+    first [batch] lane-major rows of [grads] with the y-gradients. *)
+
+val penalty_value_grad_batch_into :
+  t ->
+  batch_workspace ->
+  batch:int ->
+  float array ->
+  grads:float array ->
+  values:float array ->
+  unit
+(** Lockstep {!penalty_value_grad_into}: per lane, overwrites row [l] of
+    [grads] with the penalty gradient and [values.(l)] with the penalty
+    value. *)
+
+val cache_stats : unit -> (string * int) list
+(** Counters of the process-wide {!prepare_cached} LRU:
+    [["hits"; "misses"; "evictions"; "entries"]]. The same numbers are
+    exported through the [features.pack_cache_*] telemetry instruments. *)
 
 val round_to_valid : t -> float array -> float array option
 (** Round log-space values to the nearest divisor assignment (Section 3.3's

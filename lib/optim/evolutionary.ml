@@ -61,7 +61,8 @@ let crossover rng pack ya yb =
    scoring is pure, so batching — and fanning the batch out across a
    runtime's domains — leaves every RNG draw, prediction list and the final
    ranking bit-identical to the sequential run. *)
-let search_round (cfg : Tuning_config.t) rng ?runtime model packs ~elites ~already_measured =
+let search_round (cfg : Tuning_config.t) rng ?runtime ?batch model packs ~elites
+    ~already_measured =
   Telemetry.with_span Telemetry.global "ansor.search_round"
     ~attrs:[ ("packs", Telemetry.Int (List.length packs)) ]
   @@ fun () ->
@@ -95,9 +96,61 @@ let search_round (cfg : Tuning_config.t) rng ?runtime model packs ~elites ~alrea
     let fresh = Array.of_list (List.rev !fresh) in
     let predict (pack, y, _key) = Objective.predict (obj_of pack) y in
     let preds =
-      match runtime with
-      | Some rt -> Runtime.parallel_map rt predict fresh
-      | None -> Array.map predict fresh
+      match batch with
+      | Some b when b > 1 && Array.length fresh > 0 ->
+        (* Batched population scoring: group fresh individuals by physical
+           pack (population order within each group), tile each group into
+           lockstep batches and score tiles through the SoA kernels. Each
+           lane is bitwise the scalar predict, and write-back goes by
+           original index, so predictions land exactly as the scalar
+           map's. *)
+        let preds = Array.make (Array.length fresh) 0.0 in
+        let groups = ref [] in
+        Array.iteri
+          (fun i (pack, _, _) ->
+            match List.find_opt (fun (p, _) -> p == pack) !groups with
+            | Some (_, l) -> l := i :: !l
+            | None -> groups := (pack, ref [ i ]) :: !groups)
+          fresh;
+        let tiles =
+          List.concat_map
+            (fun (pack, l) ->
+              let idxs = Array.of_list (List.rev !l) in
+              let n = Array.length idxs in
+              List.init ((n + b - 1) / b) (fun ti ->
+                  let off = ti * b in
+                  (pack, Array.sub idxs off (min b (n - off)))))
+            (List.rev !groups)
+          |> Array.of_list
+        in
+        let run_tile (pack, idxs) =
+          let nt = Array.length idxs in
+          let nv = Pack.num_vars pack in
+          let ys = Array.make (nt * nv) 0.0 in
+          Array.iteri
+            (fun l i ->
+              let _, y, _ = fresh.(i) in
+              Array.blit y 0 ys (l * nv) nv)
+            idxs;
+          let scores = Array.make nt 0.0 in
+          Objective.predict_batch (obj_of pack) ~batch:nt ys ~scores;
+          scores
+        in
+        let per_tile =
+          match runtime with
+          | Some rt -> Runtime.parallel_map rt run_tile tiles
+          | None -> Array.map run_tile tiles
+        in
+        Array.iteri
+          (fun ti scores ->
+            let _, idxs = tiles.(ti) in
+            Array.iteri (fun l i -> preds.(i) <- scores.(l)) idxs)
+          per_tile;
+        preds
+      | _ -> (
+        match runtime with
+        | Some rt -> Runtime.parallel_map rt predict fresh
+        | None -> Array.map predict fresh)
     in
     Array.iteri
       (fun i (_pack, _y, key) ->

@@ -20,6 +20,7 @@ val search_round :
   Tuning_config.t ->
   Rng.t ->
   ?runtime:Runtime.t ->
+  ?batch:int ->
   Mlp.t ->
   Pack.t list ->
   elites:(Pack.t * float array) list ->
@@ -30,7 +31,10 @@ val search_round :
     the top [nmeasure_ansor] unmeasured individuals, best first. With
     [runtime], population scoring (the cost-model forwards) fans out across
     domains; genetic operators keep drawing from [rng] in sequential order,
-    so the result is bit-identical to the sequential run. *)
+    so the result is bit-identical to the sequential run. With [batch] > 1,
+    population scoring runs through the batched structure-of-arrays
+    kernels in per-pack tiles of up to [batch] individuals — each lane is
+    bitwise the scalar predict, so results are again unchanged. *)
 
 val mutate : Rng.t -> Pack.t -> float array -> float array option
 (** Divisor-respecting mutation of one variable group; [None] when the

@@ -27,6 +27,7 @@ val search_round :
   Tuning_config.t ->
   Rng.t ->
   ?runtime:Runtime.t ->
+  ?batch:int ->
   Mlp.t ->
   Pack.t list ->
   already_measured:(string -> bool) ->
@@ -36,9 +37,28 @@ val search_round :
     (best first), plus the search trace. With [runtime], the pure phases
     (descents, rounding, cost-model predictions) fan out across domains;
     the RNG is consumed in the sequential order, so the result is
-    bit-identical to the sequential run. *)
+    bit-identical to the sequential run. With [batch] > 1, descents and
+    predictions run through the batched lockstep kernels in tiles of up
+    to [batch] same-pack seeds — each lane is bitwise the scalar sweep,
+    so results are unchanged at any batch size and domain count (tiles
+    fan out across the runtime's domains when both are given). *)
 
 val descend :
   Tuning_config.t -> Rng.t -> Mlp.t -> Pack.t -> float array -> (float array * float) list
 (** Expose a single seed's Adam trajectory [(y, objective)] for tests and
     the ablation benchmarks. *)
+
+val descend_batch :
+  Tuning_config.t ->
+  ?runtime:Runtime.t ->
+  ?batch:int ->
+  Mlp.t ->
+  Pack.t ->
+  float array array ->
+  (float array * float) list array
+(** Lockstep {!descend} over a population of seeds of one pack:
+    [descend_batch cfg model pack y0s] returns one trajectory per seed,
+    in order. Seeds are descended in tiles of up to [batch] lanes
+    (default: all at once) through the structure-of-arrays kernels;
+    trajectory [l] is bitwise-identical to [descend] on seed [l]. With
+    [runtime], tiles fan out across domains. *)

@@ -18,6 +18,19 @@ type ws = {
   w_gpen : float array;  (* y-gradient of the penalty term *)
 }
 
+(* Batched counterpart of [ws]: lane-major matrices sized for [b_cap]
+   candidates, backing one lockstep sweep over a whole tile of seeds. *)
+type bws = {
+  b_cap : int;
+  b_pws : Pack.batch_workspace;
+  b_mws : Mlp.batch_workspace;
+  b_adj : float array;  (* cap * n_model_inputs feature adjoints *)
+  b_gmodel : float array;  (* cap * n_vars *)
+  b_gpen : float array;
+  b_scores : float array;  (* cap *)
+  b_pvals : float array;
+}
+
 type t = {
   pack : Pack.t;
   model : Mlp.t;
@@ -25,13 +38,15 @@ type t = {
   (* Workspace pool: descents running on worker domains borrow one each.
      A free list under a mutex (rather than Domain.DLS keys, which are
      never reclaimed) bounds live workspaces by the number of concurrent
-     callers. *)
+     callers. Batch workspaces get their own pool, keyed by nothing but
+     capacity (a too-small pooled one is simply replaced). *)
   lock : Mutex.t;
   mutable pool : ws list;
+  mutable bpool : bws list;
 }
 
 let create ~lambda model pack =
-  { pack; model; lambda; lock = Mutex.create (); pool = [] }
+  { pack; model; lambda; lock = Mutex.create (); pool = []; bpool = [] }
 
 let pack t = t.pack
 let lambda t = t.lambda
@@ -87,6 +102,84 @@ let value_grad t y ~grad =
 let predict t y =
   with_ws t @@ fun ws ->
   Mlp.forward_into t.model ws.mws (Pack.features_forward t.pack ws.pws y)
+
+(* --- batched lockstep evaluation ------------------------------------------- *)
+
+let fresh_bws t ~batch =
+  let nv = Pack.num_vars t.pack and ni = Mlp.n_inputs t.model in
+  { b_cap = batch;
+    b_pws = Pack.batch_workspace t.pack ~batch;
+    b_mws = Mlp.batch_workspace t.model ~batch;
+    b_adj = Array.make (batch * ni) 0.0;
+    b_gmodel = Array.make (batch * nv) 0.0;
+    b_gpen = Array.make (batch * nv) 0.0;
+    b_scores = Array.make batch 0.0;
+    b_pvals = Array.make batch 0.0
+  }
+
+let acquire_batch t ~batch =
+  if batch < 1 then invalid_arg "Objective: batch must be >= 1";
+  Mutex.lock t.lock;
+  let got =
+    match t.bpool with
+    | bws :: rest ->
+      t.bpool <- rest;
+      Some bws
+    | [] -> None
+  in
+  Mutex.unlock t.lock;
+  match got with
+  | Some bws when bws.b_cap >= batch -> bws
+  | Some _ | None -> fresh_bws t ~batch
+
+let release_batch t bws =
+  Mutex.lock t.lock;
+  t.bpool <- bws :: t.bpool;
+  Mutex.unlock t.lock
+
+let with_bws t ~batch f =
+  let bws = acquire_batch t ~batch in
+  Fun.protect ~finally:(fun () -> release_batch t bws) (fun () -> f bws)
+
+let value_grad_batch t ~batch ys ~grads ~objs =
+  let nv = Pack.num_vars t.pack in
+  if Array.length ys < batch * nv then
+    invalid_arg "Objective.value_grad_batch: point arity mismatch";
+  if Array.length grads < batch * nv then
+    invalid_arg "Objective.value_grad_batch: gradient arity mismatch";
+  if Array.length objs < batch then
+    invalid_arg "Objective.value_grad_batch: objective arity mismatch";
+  with_bws t ~batch @@ fun bws ->
+  (* The scalar [value_grad] composition, one batched kernel per stage;
+     each lane runs the exact scalar sweeps, so lane [l] is bitwise the
+     scalar call on row [l]. *)
+  let feats = Pack.features_forward_batch t.pack bws.b_pws ~batch ys in
+  Mlp.input_gradient_batch_into t.model bws.b_mws ~batch feats ~grads:bws.b_adj
+    ~scores:bws.b_scores;
+  let adj = bws.b_adj in
+  for i = 0 to (batch * Mlp.n_inputs t.model) - 1 do
+    Array.unsafe_set adj i (-.Array.unsafe_get adj i)
+  done;
+  Pack.features_backward_batch t.pack bws.b_pws ~batch adj bws.b_gmodel;
+  Pack.penalty_value_grad_batch_into t.pack bws.b_pws ~batch ys ~grads:bws.b_gpen
+    ~values:bws.b_pvals;
+  let lambda = t.lambda in
+  for l = 0 to batch - 1 do
+    objs.(l) <- -.Array.unsafe_get bws.b_scores l +. (lambda *. Array.unsafe_get bws.b_pvals l)
+  done;
+  let gm = bws.b_gmodel and gp = bws.b_gpen in
+  for j = 0 to (batch * nv) - 1 do
+    Array.unsafe_set grads j (Array.unsafe_get gm j +. (lambda *. Array.unsafe_get gp j))
+  done
+
+let predict_batch t ~batch ys ~scores =
+  if Array.length ys < batch * Pack.num_vars t.pack then
+    invalid_arg "Objective.predict_batch: point arity mismatch";
+  if Array.length scores < batch then
+    invalid_arg "Objective.predict_batch: scores arity mismatch";
+  with_bws t ~batch @@ fun bws ->
+  let feats = Pack.features_forward_batch t.pack bws.b_pws ~batch ys in
+  Mlp.forward_batch_into t.model bws.b_mws ~batch feats ~scores
 
 (* The pre-fusion composition, kept verbatim as the reference the fused
    kernel is tested (and benchmarked) against — including the separate

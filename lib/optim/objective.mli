@@ -32,6 +32,27 @@ val predict : t -> float array -> float
     allocation-free equivalent of
     [Mlp.forward model (Pack.features_at pack y)]. *)
 
+(** {2 Batched lockstep evaluation}
+
+    The batched variants run one whole tile of candidates through the
+    structure-of-arrays kernels ({!Pack.batch_workspace},
+    {!Mlp.batch_workspace}): tape dispatch and MLP weight streaming are
+    paid once per tile instead of once per candidate. All matrices are
+    lane-major rows. Lane [l] is bitwise-identical to the scalar call on
+    that candidate alone, at any batch size and domain count. Batch
+    workspaces are pooled like the scalar ones; one [t] may serve
+    concurrent batched callers. *)
+
+val value_grad_batch :
+  t -> batch:int -> float array -> grads:float array -> objs:float array -> unit
+(** [value_grad_batch t ~batch ys ~grads ~objs]: [ys] holds the points as
+    lane-major [batch * num_vars] rows; overwrites row [l] of [grads]
+    with dO/dy of lane [l] and [objs.(l)] with O(y_l). *)
+
+val predict_batch : t -> batch:int -> float array -> scores:float array -> unit
+(** Lockstep {!predict} over lane-major point rows; fills
+    [scores.(l)]. *)
+
 val legacy_value_grad :
   lambda:float -> Mlp.t -> Pack.t -> float array -> float * float array
 (** The historical allocating composition ([features_at] +

@@ -272,12 +272,13 @@ let random_round (cfg : Tuning_config.t) rng st ~already_measured =
   done;
   !out
 
-let run_engine_round cfg rng ?runtime engine model st =
+let run_engine_round cfg rng ?runtime ?batch engine model st =
   let already_measured key = Hashtbl.mem st.measured key in
   match engine with
   | Felix ->
     let cands, trace =
-      Gradient_tuner.search_round cfg rng ?runtime model st.packs ~already_measured
+      Gradient_tuner.search_round cfg rng ?runtime ?batch model st.packs
+        ~already_measured
     in
     ( List.map (fun (c : Gradient_tuner.candidate) -> (c.pack, c.y)) cands,
       trace.Gradient_tuner.predictions,
@@ -285,7 +286,8 @@ let run_engine_round cfg rng ?runtime engine model st =
   | Ansor ->
     let elites = List.map (fun (p, y, _) -> (p, y)) st.elites in
     let cands, trace =
-      Evolutionary.search_round cfg rng ?runtime model st.packs ~elites ~already_measured
+      Evolutionary.search_round cfg rng ?runtime ?batch model st.packs ~elites
+        ~already_measured
     in
     ( List.map (fun (c : Evolutionary.individual) -> (c.pack, c.y)) cands,
       trace.Evolutionary.predictions,
@@ -294,8 +296,8 @@ let run_engine_round cfg rng ?runtime engine model st =
 
 let subgraph_name st = st.t.Partition.subgraph.Compute.sg_name
 
-let tune_round cfg rng ?runtime device engine model model_adam clock ~telemetry ~emit
-    ~round st =
+let tune_round cfg rng ?runtime ?batch device engine model model_adam clock ~telemetry
+    ~emit ~round st =
   let task_id = st.t.Partition.task_id in
   emit
     (Round_started
@@ -309,7 +311,9 @@ let tune_round cfg rng ?runtime device engine model model_adam clock ~telemetry 
           ("subgraph", Telemetry.Str (subgraph_name st));
           ("sim_clock_s", Telemetry.Float (Tuning_config.Clock.now clock)) ]
   in
-  let candidates, predictions, overhead = run_engine_round cfg rng ?runtime engine model st in
+  let candidates, predictions, overhead =
+    run_engine_round cfg rng ?runtime ?batch engine model st
+  in
   let before = st.best in
   let n_measured, pairs = measure_candidates ?runtime rng device st candidates in
   Tuning_config.Clock.advance clock
@@ -363,8 +367,13 @@ let with_effective_runtime (rc : Tuning_config.run) f =
       Runtime.with_runtime ~domains:rc.Tuning_config.jobs (fun rt -> f (Some rt))
     else f None
 
+(* rc.batch = 1 means the scalar path; only widths > 1 reach the engines. *)
+let batch_of_run (rc : Tuning_config.run) =
+  if rc.Tuning_config.batch > 1 then Some rc.Tuning_config.batch else None
+
 let run (rc : Tuning_config.run) device base_model graph engine =
   with_effective_runtime rc @@ fun runtime ->
+  let batch = batch_of_run rc in
   let cfg = rc.Tuning_config.search in
   let on_event = rc.Tuning_config.on_event in
   let telemetry = Option.value rc.Tuning_config.telemetry ~default:Telemetry.global in
@@ -402,8 +411,8 @@ let run (rc : Tuning_config.run) device base_model graph engine =
     incr round;
     let st = select_task states in
     ignore
-      (tune_round cfg rng ?runtime device engine model model_adam clock ~telemetry
-         ~emit:on_event ~round:!round st);
+      (tune_round cfg rng ?runtime ?batch device engine model model_adam clock
+         ~telemetry ~emit:on_event ~round:!round st);
     let net_ms = network_latency states in
     Telemetry.Gauge.set (Telemetry.gauge telemetry "tuner.network_latency_ms") net_ms;
     on_event
@@ -452,6 +461,7 @@ type single_result = {
 
 let run_single (rc : Tuning_config.run) ~rounds device base_model sg engine =
   with_effective_runtime rc @@ fun runtime ->
+  let batch = batch_of_run rc in
   let cfg = rc.Tuning_config.search in
   let on_event = rc.Tuning_config.on_event in
   let telemetry = Option.value rc.Tuning_config.telemetry ~default:Telemetry.global in
@@ -470,8 +480,8 @@ let run_single (rc : Tuning_config.run) ~rounds device base_model sg engine =
   let predictions = ref [] in
   for round = 1 to rounds do
     let preds =
-      tune_round cfg rng ?runtime device engine model model_adam clock ~telemetry
-        ~emit:on_event ~round st
+      tune_round cfg rng ?runtime ?batch device engine model model_adam clock
+        ~telemetry ~emit:on_event ~round st
     in
     predictions := !predictions @ preds;
     on_event

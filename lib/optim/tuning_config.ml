@@ -92,14 +92,22 @@ type run = {
   search : t;
   seed : int;
   jobs : int;
+  batch : int;
   runtime : Runtime.t option;
   on_event : event -> unit;
   telemetry : Telemetry.t option;
 }
 
+(* FELIX_BATCH seeds the builder's descent batch width, mirroring how the
+   CLI reads FELIX_JOBS: unset, empty or unparsable means 1 (scalar). *)
+let batch_from_env () =
+  match Sys.getenv_opt "FELIX_BATCH" with
+  | None -> 1
+  | Some s -> ( try max 1 (int_of_string (String.trim s)) with _ -> 1)
+
 let builder =
-  { search = default; seed = 0; jobs = 1; runtime = None; on_event = no_event;
-    telemetry = None }
+  { search = default; seed = 0; jobs = 1; batch = batch_from_env (); runtime = None;
+    on_event = no_event; telemetry = None }
 
 let with_search search r = { r with search }
 let with_rounds n r = { r with search = { r.search with max_rounds = n } }
@@ -110,6 +118,7 @@ let with_measure_per_round n r =
 
 let with_seed seed r = { r with seed }
 let with_jobs jobs r = { r with jobs = max 1 jobs }
+let with_batch batch r = { r with batch = max 1 batch }
 let with_runtime rt r = { r with runtime = Some rt }
 let with_on_event on_event r = { r with on_event }
 let with_telemetry reg r = { r with telemetry = Some reg }

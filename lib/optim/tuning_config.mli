@@ -124,6 +124,12 @@ type run = {
   jobs : int;
       (** domain parallelism; [> 1] without an explicit [runtime] makes the
           tuner create (and shut down) a runtime of that many domains *)
+  batch : int;
+      (** lockstep descent batch width; [> 1] routes gradient descents and
+          population scoring through the structure-of-arrays kernels in
+          tiles of this many candidates. Results are bitwise-identical to
+          the scalar path at any width (and any [jobs]); this knob trades
+          nothing but memory for speed. *)
   runtime : Runtime.t option;
       (** explicit runtime to share across runs; overrides [jobs] *)
   on_event : event -> unit;
@@ -131,7 +137,9 @@ type run = {
 }
 
 val builder : run
-(** Starting point: [default] search, seed 0, sequential, no observers. *)
+(** Starting point: [default] search, seed 0, sequential, no observers.
+    The initial [batch] honours the [FELIX_BATCH] environment variable
+    (default 1 = scalar). *)
 
 val with_search : t -> run -> run
 val with_rounds : int -> run -> run
@@ -147,6 +155,9 @@ val with_measure_per_round : int -> run -> run
 val with_seed : int -> run -> run
 val with_jobs : int -> run -> run
 (** Clamped to [>= 1]. *)
+
+val with_batch : int -> run -> run
+(** Lockstep descent batch width; clamped to [>= 1] (1 = scalar path). *)
 
 val with_runtime : Runtime.t -> run -> run
 val with_on_event : (event -> unit) -> run -> run

@@ -21,6 +21,7 @@ module Lru = struct
     mutable lru : ('k, 'v) node option;
     mutable n_hits : int;
     mutable n_misses : int;
+    mutable n_evictions : int;
     lock : Mutex.t;
   }
 
@@ -32,12 +33,14 @@ module Lru = struct
       lru = None;
       n_hits = 0;
       n_misses = 0;
+      n_evictions = 0;
       lock = Mutex.create () }
 
   let capacity t = t.cap
   let length t = Hashtbl.length t.tbl
   let hits t = t.n_hits
   let misses t = t.n_misses
+  let evictions t = t.n_evictions
 
   let unlink t n =
     (match n.prev with Some p -> p.next <- n.next | None -> t.mru <- n.next);
@@ -82,7 +85,8 @@ module Lru = struct
         match t.lru with
         | Some victim ->
           Hashtbl.remove t.tbl victim.key;
-          unlink t victim
+          unlink t victim;
+          t.n_evictions <- t.n_evictions + 1
         | None -> ()));
     Mutex.unlock t.lock
 

@@ -39,6 +39,11 @@ module Lru : sig
 
   val hits : ('k, 'v) t -> int
   val misses : ('k, 'v) t -> int
+
+  val evictions : ('k, 'v) t -> int
+  (** Entries displaced by capacity pressure since creation ([clear] does
+      not count and does not reset the counter). *)
+
   val clear : ('k, 'v) t -> unit
 end
 

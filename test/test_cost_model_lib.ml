@@ -181,6 +181,128 @@ let test_mlp_workspace_bitwise () =
       g
   done
 
+(* --- batched (structure-of-arrays) kernels -------------------------------- *)
+
+let bits = Int64.bits_of_float
+let bits_eq a b = Array.for_all2 (fun x y -> Int64.equal (bits x) (bits y)) a b
+
+(* Run [f] once on the vectorised C kernels and once on the portable OCaml
+   loops; both must agree with the scalar reference bitwise. *)
+let on_both_kernel_sets f =
+  let saved = Mlp.using_vector_kernels () in
+  Fun.protect
+    ~finally:(fun () -> Mlp.set_vector_kernels saved)
+    (fun () ->
+      List.iter
+        (fun vec ->
+          Mlp.set_vector_kernels vec;
+          f (if vec then "simd" else "ocaml"))
+        [ true; false ])
+
+let batch_test_model rng =
+  (* Odd widths exercise the remainder paths of the blocked kernels. *)
+  let model = Mlp.create rng ~hidden:[ 13; 9; 6 ] ~n_inputs:11 () in
+  Mlp.set_normalizer model
+    ~mean:(Array.init 11 (fun _ -> Rng.gaussian rng))
+    ~std:(Array.init 11 (fun _ -> 0.5 +. Float.abs (Rng.gaussian rng)));
+  model
+
+let test_mlp_batch_bitwise () =
+  let rng = Rng.create 77 in
+  let model = batch_test_model rng in
+  let ws = Mlp.workspace model in
+  let ni = 11 in
+  on_both_kernel_sets (fun kset ->
+      List.iter
+        (fun batch ->
+          let bws = Mlp.batch_workspace model ~batch in
+          let xs = Array.init (batch * ni) (fun _ -> 3.0 *. Rng.gaussian rng) in
+          let scores = Array.make batch 0.0 in
+          Mlp.forward_batch_into model bws ~batch xs ~scores;
+          for l = 0 to batch - 1 do
+            let x = Array.sub xs (l * ni) ni in
+            let s = Mlp.forward_into model ws x in
+            if not (Int64.equal (bits s) (bits scores.(l))) then
+              Alcotest.failf "%s batch %d lane %d: forward diverged (%h vs %h)" kset
+                batch l s scores.(l)
+          done;
+          let grads = Array.make (batch * ni) 0.0 in
+          Mlp.input_gradient_batch_into model bws ~batch xs ~grads ~scores;
+          for l = 0 to batch - 1 do
+            let x = Array.sub xs (l * ni) ni in
+            let g = Array.make ni 0.0 in
+            let s = Mlp.input_gradient_into model ws x g in
+            if not (Int64.equal (bits s) (bits scores.(l))) then
+              Alcotest.failf "%s batch %d lane %d: batched score diverged" kset batch l;
+            if not (bits_eq g (Array.sub grads (l * ni) ni)) then
+              Alcotest.failf "%s batch %d lane %d: batched gradient diverged" kset
+                batch l
+          done)
+        [ 1; 2; 7; 32; 128 ])
+
+let test_mlp_param_gradient_batch_bitwise () =
+  let rng = Rng.create 78 in
+  let model = batch_test_model rng in
+  let ni = 11 in
+  let np = Mlp.num_params model in
+  on_both_kernel_sets (fun kset ->
+      List.iter
+        (fun batch ->
+          let examples =
+            Array.init batch (fun _ ->
+                (Array.init ni (fun _ -> Rng.gaussian rng), Rng.gaussian rng))
+          in
+          let g_ref = Array.make np 0.0 in
+          let loss_ref = Mlp.param_gradient model examples g_ref in
+          let bws = Mlp.batch_workspace model ~batch in
+          let xs = Array.make (batch * ni) 0.0 in
+          let targets = Array.make batch 0.0 in
+          Array.iteri
+            (fun l (x, t) ->
+              Array.blit x 0 xs (l * ni) ni;
+              targets.(l) <- t)
+            examples;
+          let g = Array.make np 0.0 in
+          let loss = Mlp.param_gradient_batch_into model bws ~batch ~xs ~targets g in
+          if not (Int64.equal (bits loss_ref) (bits loss)) then
+            Alcotest.failf "%s batch %d: loss diverged (%h vs %h)" kset batch loss_ref
+              loss;
+          if not (bits_eq g_ref g) then
+            Alcotest.failf "%s batch %d: parameter gradient diverged" kset batch)
+        [ 1; 3; 16 ])
+
+let test_adam_step_batch_bitwise () =
+  let n = 7 and batch = 5 in
+  let rng = Rng.create 79 in
+  let params = Array.init (batch * n) (fun _ -> Rng.gaussian rng) in
+  let scalar_params = Array.init batch (fun l -> Array.sub params (l * n) n) in
+  let batched = Adam.create_batch ~lr:0.02 ~batch n in
+  let scalars = Array.init batch (fun _ -> Adam.create ~lr:0.02 n) in
+  for step = 1 to 6 do
+    (* A deterministic, lane- and step-dependent gradient. *)
+    let grads =
+      Array.init (batch * n) (fun j -> sin ((float_of_int (j + step) /. 3.0) +. 0.1))
+    in
+    Adam.step_batch batched ~batch ~params ~grads;
+    Array.iteri
+      (fun l p ->
+        Adam.step scalars.(l) ~params:p ~grads:(Array.sub grads (l * n) n);
+        if not (bits_eq p (Array.sub params (l * n) n)) then
+          Alcotest.failf "step %d lane %d: batched Adam diverged" step l)
+      scalar_params
+  done
+
+let test_mlp_deprecated_forward_batch () =
+  let rng = Rng.create 80 in
+  let model = batch_test_model rng in
+  let rows = Array.init 9 (fun _ -> Array.init 11 (fun _ -> Rng.gaussian rng)) in
+  let scores = (Mlp.forward_batch model rows [@warning "-3"]) in
+  Array.iteri
+    (fun l row ->
+      if not (Int64.equal (bits (Mlp.forward model row)) (bits scores.(l))) then
+        Alcotest.failf "lane %d: deprecated forward_batch diverged" l)
+    rows
+
 let test_mlp_workspace_mismatch () =
   let rng = Rng.create 8 in
   let m1 = Mlp.create rng ~hidden:[ 4 ] ~n_inputs:3 () in
@@ -202,6 +324,14 @@ let tests =
     Alcotest.test_case "mlp input normalisation" `Quick test_mlp_normalizer;
     Alcotest.test_case "mlp copy independence" `Quick test_mlp_copy_independent;
     Alcotest.test_case "mlp save/load roundtrip" `Quick test_mlp_save_load;
+    Alcotest.test_case "mlp batched kernels bitwise-equal scalar (both kernel sets)" `Quick
+      test_mlp_batch_bitwise;
+    Alcotest.test_case "mlp batched parameter gradient bitwise" `Quick
+      test_mlp_param_gradient_batch_bitwise;
+    Alcotest.test_case "batched adam retraces independent optimisers" `Quick
+      test_adam_step_batch_bitwise;
+    Alcotest.test_case "deprecated forward_batch matches forward" `Quick
+      test_mlp_deprecated_forward_batch;
     Alcotest.test_case "mlp workspace kernels bitwise-equal legacy" `Quick
       test_mlp_workspace_bitwise;
     Alcotest.test_case "mlp workspace shape mismatch" `Quick test_mlp_workspace_mismatch;

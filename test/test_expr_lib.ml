@@ -318,6 +318,41 @@ let test_tape_workspace_reuse =
       bits_eq o1 outs && bits_eq o2 outs && bits_eq o3 outs
       && bits_eq g1 grad && bits_eq g2 grad && bits_eq g3 grad)
 
+let test_tape_batch_bitwise =
+  qtest ~count:60 "batched tape sweeps are bitwise the scalar kernels"
+    QCheck2.Gen.(triple gen_expr gen_env (int_range 1 128))
+    (fun (expr, env, batch) ->
+      let tape =
+        Autodiff.Tape.compile ~inputs:expr_vars [ expr; Smooth.smooth expr ]
+      in
+      let n_in = 3 and n_out = 2 in
+      let base = Array.of_list (List.map (fun v -> List.assoc v env) expr_vars) in
+      (* Distinct per-lane inputs and adjoints, derived deterministically. *)
+      let xs =
+        Array.init (batch * n_in) (fun j ->
+            base.(j mod n_in) *. (1.0 +. (0.125 *. float_of_int (j / n_in mod 7))))
+      in
+      let adj = Array.init (batch * n_out) (fun j -> sin (float_of_int j)) in
+      let bws = Autodiff.Tape.batch_workspace tape ~batch in
+      let outs =
+        Array.sub (Autodiff.Tape.forward_batch_into tape bws ~batch xs) 0 (batch * n_out)
+      in
+      let grads = Array.make (batch * n_in) 0.0 in
+      Autodiff.Tape.backward_batch_into tape bws ~batch adj grads;
+      let ws = Autodiff.Tape.workspace tape in
+      let ok = ref true in
+      for l = 0 to batch - 1 do
+        let x = Array.sub xs (l * n_in) n_in in
+        let a = Array.sub adj (l * n_out) n_out in
+        let g = Array.make n_in 0.0 in
+        let o = Autodiff.Tape.eval_vjp_into tape ws x a g in
+        ok :=
+          !ok
+          && bits_eq o (Array.sub outs (l * n_out) n_out)
+          && bits_eq g (Array.sub grads (l * n_in) n_in)
+      done;
+      !ok)
+
 (* --- factorize ------------------------------------------------------------- *)
 
 let test_divisors () =
@@ -389,6 +424,7 @@ let tests =
     Alcotest.test_case "expression memo table" `Quick test_expr_memo;
     test_tape_optimize_exact;
     test_tape_workspace_reuse;
+    test_tape_batch_bitwise;
     Alcotest.test_case "divisors" `Quick test_divisors;
     Alcotest.test_case "nearest divisor (log-space)" `Quick test_nearest_divisor;
     Alcotest.test_case "round log to divisor" `Quick test_round_log_to_divisor;

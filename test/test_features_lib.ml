@@ -235,6 +235,66 @@ let test_pack_workspace_bitwise () =
     Alcotest.(check bool) "penalty grad bitwise" true (bits_eq pg pg')
   done
 
+let test_pack_batch_bitwise () =
+  (* The structure-of-arrays sweeps must reproduce the scalar workspace
+     kernels bitwise on every lane, at any batch size. *)
+  let rng = Rng.create 41 in
+  let sg = conv_sg () in
+  let pack = Pack.prepare sg (List.nth (Sketch.generate sg) 1) in
+  let ws = Pack.workspace pack in
+  let n = Pack.num_vars pack in
+  let bits = Int64.bits_of_float in
+  let bits_eq a b = Array.for_all2 (fun x y -> Int64.equal (bits x) (bits y)) a b in
+  List.iter
+    (fun batch ->
+      let bws = Pack.batch_workspace pack ~batch in
+      let points = Array.init batch (fun _ -> sample_valid rng pack) in
+      let ys = Array.make (batch * n) 0.0 in
+      Array.iteri (fun l y -> Array.blit y 0 ys (l * n) n) points;
+      let feats =
+        Array.sub (Pack.features_forward_batch pack bws ~batch ys) 0 (batch * 82)
+      in
+      let adj = Array.init (batch * 82) (fun j -> sin (float_of_int j)) in
+      let grads = Array.make (batch * n) 0.0 in
+      Pack.features_backward_batch pack bws ~batch adj grads;
+      let pgrads = Array.make (batch * n) 0.0 in
+      let pvals = Array.make batch 0.0 in
+      Pack.penalty_value_grad_batch_into pack bws ~batch ys ~grads:pgrads ~values:pvals;
+      Array.iteri
+        (fun l y ->
+          Alcotest.(check bool) "features bitwise" true
+            (bits_eq (Pack.features_forward pack ws y) (Array.sub feats (l * 82) 82));
+          let dy = Array.make n 0.0 in
+          Pack.features_backward pack ws (Array.sub adj (l * 82) 82) dy;
+          Alcotest.(check bool) "backward bitwise" true
+            (bits_eq dy (Array.sub grads (l * n) n));
+          let pg = Array.make n 0.0 in
+          let v = Pack.penalty_value_grad_into pack ws y pg in
+          Alcotest.(check bool) "penalty value bitwise" true
+            (Int64.equal (bits v) (bits pvals.(l)));
+          Alcotest.(check bool) "penalty grad bitwise" true
+            (bits_eq pg (Array.sub pgrads (l * n) n)))
+        points)
+    [ 1; 4; 13 ]
+
+let test_pack_cache_stats () =
+  let get k stats = List.assoc k stats in
+  let sg = dense_sg () in
+  let sched = List.hd (Sketch.generate sg) in
+  let before = Pack.cache_stats () in
+  (* An unseen (or evicted) schedule is one miss; repeating it is a hit. *)
+  let p1 = Pack.prepare_cached sg sched in
+  let mid = Pack.cache_stats () in
+  let p2 = Pack.prepare_cached sg sched in
+  let after = Pack.cache_stats () in
+  Alcotest.(check bool) "same pack returned" true (p1 == p2);
+  Alcotest.(check bool) "first lookup counted" true
+    (get "hits" mid + get "misses" mid = get "hits" before + get "misses" before + 1);
+  Alcotest.(check int) "repeat is a hit" (get "hits" mid + 1) (get "hits" after);
+  Alcotest.(check bool) "entries positive" true (get "entries" after >= 1);
+  Alcotest.(check bool) "evictions monotone" true
+    (get "evictions" after >= get "evictions" before)
+
 let test_pack_env_matches_assignment () =
   let rng = Rng.create 23 in
   let sg = dense_sg () in
@@ -262,4 +322,7 @@ let tests =
     Alcotest.test_case "tape optimiser exact on pack tapes" `Quick
       test_pack_unoptimized_tapes_bitwise;
     Alcotest.test_case "pack workspace sweeps bitwise-equal" `Quick test_pack_workspace_bitwise;
+    Alcotest.test_case "pack batched sweeps bitwise-equal scalar" `Quick
+      test_pack_batch_bitwise;
+    Alcotest.test_case "prepare_cached exposes LRU counters" `Quick test_pack_cache_stats;
     Alcotest.test_case "env matches integer assignment" `Quick test_pack_env_matches_assignment ]

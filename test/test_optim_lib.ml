@@ -323,6 +323,125 @@ let test_descend_matches_manual_legacy_loop () =
       Alcotest.(check bool) "iterate bitwise" true (bits_eq y_m y_f))
     (List.combine manual fused)
 
+let test_objective_batch_bitwise () =
+  (* Lane l of the batched lockstep evaluation must be bitwise the scalar
+     call on that candidate alone, at any batch size. *)
+  let model = Lazy.force shared_model in
+  let rng = Rng.create 59 in
+  let sg = dense_sg () in
+  let pack = Pack.prepare sg (List.nth (Sketch.generate sg) 1) in
+  let obj = Objective.create ~lambda:10.0 model pack in
+  let n = Pack.num_vars pack in
+  List.iter
+    (fun batch ->
+      let points = Array.init batch (fun _ -> sample_valid rng pack) in
+      let ys = Array.make (batch * n) 0.0 in
+      Array.iteri (fun l y -> Array.blit y 0 ys (l * n) n) points;
+      let grads = Array.make (batch * n) 0.0 in
+      let objs = Array.make batch 0.0 in
+      Objective.value_grad_batch obj ~batch ys ~grads ~objs;
+      let scores = Array.make batch 0.0 in
+      Objective.predict_batch obj ~batch ys ~scores;
+      Array.iteri
+        (fun l y ->
+          let g = Array.make n 0.0 in
+          let o = Objective.value_grad obj y ~grad:g in
+          if not (Int64.equal (Int64.bits_of_float o) (Int64.bits_of_float objs.(l)))
+          then Alcotest.failf "batch %d lane %d: objective diverged" batch l;
+          Alcotest.(check bool) "gradient bitwise" true
+            (bits_eq g (Array.sub grads (l * n) n));
+          let p = Objective.predict obj y in
+          if not
+               (Int64.equal (Int64.bits_of_float p) (Int64.bits_of_float scores.(l)))
+          then Alcotest.failf "batch %d lane %d: prediction diverged" batch l)
+        points)
+    [ 1; 5; 32 ]
+
+let test_descend_batch_bitwise () =
+  (* Every lane of the lockstep descent must retrace the scalar descent on
+     its seed, regardless of tile width or domain count. *)
+  let model = Lazy.force shared_model in
+  let rng = Rng.create 61 in
+  let sg = dense_sg () in
+  let pack = Pack.prepare sg (List.nth (Sketch.generate sg) 1) in
+  let cfg = { quick with Tuning_config.nsteps = 25 } in
+  let seeds = Array.init 5 (fun _ -> sample_valid rng pack) in
+  let scalar =
+    Array.map (fun y0 -> Gradient_tuner.descend cfg (Rng.create 0) model pack y0) seeds
+  in
+  let check label batched =
+    Array.iteri
+      (fun l traj ->
+        let traj' = batched.(l) in
+        Alcotest.(check int) "trajectory length" (List.length traj) (List.length traj');
+        List.iteri
+          (fun i ((y_s, o_s), (y_b, o_b)) ->
+            if not (Int64.equal (Int64.bits_of_float o_s) (Int64.bits_of_float o_b))
+            then Alcotest.failf "%s seed %d step %d: objective diverged" label l i;
+            Alcotest.(check bool) "iterate bitwise" true (bits_eq y_s y_b))
+          (List.combine traj traj'))
+      scalar
+  in
+  check "tile 2" (Gradient_tuner.descend_batch cfg ~batch:2 model pack seeds);
+  check "one tile" (Gradient_tuner.descend_batch cfg model pack seeds);
+  Runtime.with_runtime ~domains:4 (fun rt ->
+      check "tile 2 x 4 domains"
+        (Gradient_tuner.descend_batch cfg ~runtime:rt ~batch:2 model pack seeds))
+
+let test_search_round_batch_bitwise () =
+  (* search_round with batched descents (any tile width, any domain count)
+     must return the scalar round's candidates, bit for bit. *)
+  let model = Lazy.force shared_model in
+  let packs = List.map (Pack.prepare (dense_sg ())) (Sketch.generate (dense_sg ())) in
+  let run ?runtime ?batch () =
+    Gradient_tuner.search_round quick (Rng.create 17) ?runtime ?batch model packs
+      ~already_measured:(fun _ -> false)
+  in
+  let reference, ref_trace = run () in
+  let check label (cands, (trace : Gradient_tuner.trace)) =
+    Alcotest.(check int)
+      (label ^ ": candidate count")
+      (List.length reference) (List.length cands);
+    List.iteri
+      (fun i ((a : Gradient_tuner.candidate), (b : Gradient_tuner.candidate)) ->
+        Alcotest.(check string) (Printf.sprintf "%s: key %d" label i) a.key b.key;
+        if
+          not
+            (Int64.equal
+               (Int64.bits_of_float a.predicted)
+               (Int64.bits_of_float b.predicted))
+        then Alcotest.failf "%s: prediction %d diverged" label i;
+        Alcotest.(check bool) "rounded point bitwise" true (bits_eq a.y b.y))
+      (List.combine reference cands);
+    Alcotest.(check int)
+      (label ^ ": steps done")
+      ref_trace.Gradient_tuner.steps_done trace.Gradient_tuner.steps_done
+  in
+  check "batch 8" (run ~batch:8 ());
+  Runtime.with_runtime ~domains:4 (fun rt -> check "batch 8 x 4 domains" (run ~runtime:rt ~batch:8 ()))
+
+let test_evolutionary_batch_bitwise () =
+  let model = Lazy.force shared_model in
+  let packs = [ Pack.prepare (dense_sg ()) (List.hd (Sketch.generate (dense_sg ()))) ] in
+  let run ?batch () =
+    Evolutionary.search_round quick (Rng.create 19) ?batch model packs ~elites:[]
+      ~already_measured:(fun _ -> false)
+  in
+  let reference, _ = run () in
+  let batched, _ = run ~batch:8 () in
+  Alcotest.(check int) "population size" (List.length reference) (List.length batched);
+  List.iteri
+    (fun i ((a : Evolutionary.individual), (b : Evolutionary.individual)) ->
+      Alcotest.(check string) (Printf.sprintf "key %d" i) a.Evolutionary.key
+        b.Evolutionary.key;
+      if
+        not
+          (Int64.equal
+             (Int64.bits_of_float a.Evolutionary.predicted)
+             (Int64.bits_of_float b.Evolutionary.predicted))
+      then Alcotest.failf "individual %d: prediction diverged" i)
+    (List.combine reference batched)
+
 let tests =
   [ Alcotest.test_case "clock" `Quick test_clock;
     Alcotest.test_case "defaults match the paper" `Quick test_config_defaults_match_paper;
@@ -333,6 +452,14 @@ let tests =
       test_objective_parallel_bitwise;
     Alcotest.test_case "descend retraces the legacy Adam loop" `Slow
       test_descend_matches_manual_legacy_loop;
+    Alcotest.test_case "batched objective bitwise-equals scalar" `Slow
+      test_objective_batch_bitwise;
+    Alcotest.test_case "lockstep descent retraces scalar descents" `Slow
+      test_descend_batch_bitwise;
+    Alcotest.test_case "batched search round is bit-identical" `Slow
+      test_search_round_batch_bitwise;
+    Alcotest.test_case "batched evolutionary scoring is bit-identical" `Slow
+      test_evolutionary_batch_bitwise;
     Alcotest.test_case "felix round respects measurement budget" `Slow
       test_search_round_respects_budget;
     Alcotest.test_case "felix round excludes measured schedules" `Slow

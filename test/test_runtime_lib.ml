@@ -96,6 +96,7 @@ let test_lru_semantics () =
     (Runtime.Lru.find_opt c "a");
   Alcotest.(check int) "hits" 2 (Runtime.Lru.hits c);
   Alcotest.(check int) "misses" 1 (Runtime.Lru.misses c);
+  Alcotest.(check int) "evictions" 1 (Runtime.Lru.evictions c);
   let v = Runtime.Lru.find_or_add c "e" (fun () -> 5) in
   Alcotest.(check int) "find_or_add computes" 5 v;
   let v = Runtime.Lru.find_or_add c "e" (fun () -> Alcotest.fail "recompute") in
