@@ -41,27 +41,45 @@ let cost_model device =
 
 let safe name = String.map (fun c -> if c = ' ' || c = '/' then '_' else c) name
 
-(* --- tuning-run cache ------------------------------------------------------- *)
+(* --- tuning-run cache -------------------------------------------------------
+
+   Cached runs are stored as the versioned result artifact
+   ([Export.save_result]) rather than a Marshal blob: the files are
+   diffable, survive compiler upgrades, and every float round-trips
+   bit-exactly. Live [Partition.task] values are not serialised, so a
+   cache hit carries the per-run summary (curve, final latency,
+   measurement count) with [tasks = []] — which is everything the
+   harness consumes. *)
 
 let run_cache_path ~net ~device ~batch ~engine ~seed =
   Filename.concat artifacts_dir
-    (Printf.sprintf "tune_%s_%s_b%d_%s_s%d_%s.bin" (safe net)
+    (Printf.sprintf "tune_%s_%s_b%d_%s_s%d_%s.json" (safe net)
        (safe device.Device.device_name) batch
        (match engine with Tuner.Felix -> "felix" | Tuner.Ansor -> "ansor" | Tuner.Random -> "random")
        seed
        (match scale with Quick -> "q" | Standard -> "std"))
 
+let result_of_saved (s : Export.saved_result) : Tuner.result =
+  { Tuner.network = s.Export.sr_network;
+    device_name = s.Export.sr_device;
+    engine =
+      (match s.Export.sr_engine with
+      | "Ansor-TenSet" -> Tuner.Ansor
+      | "Random" -> Tuner.Random
+      | _ -> Tuner.Felix);
+    curve =
+      List.map (fun (t, l) -> { Tuner.time_s = t; latency_ms = l }) s.Export.sr_curve;
+    final_latency_ms = s.Export.sr_final_latency_ms;
+    total_measurements = s.Export.sr_total_measurements;
+    tasks = [] }
+
 let tuned ?(seed = 1) ~batch net device engine : Tuner.result =
   ensure_artifacts ();
   let name = Workload.network_name net in
   let path = run_cache_path ~net:name ~device ~batch ~engine ~seed in
-  if Sys.file_exists path then begin
-    let ic = open_in_bin path in
-    let r : Tuner.result = Marshal.from_channel ic in
-    close_in ic;
-    r
-  end
-  else begin
+  match Export.load_result path with
+  | Ok saved -> result_of_saved saved
+  | Error _ ->
     Printf.printf "[tune] %s on %s (batch %d, %s, seed %d)...\n%!" name
       device.Device.device_name batch (Tuner.engine_name engine) seed;
     let t0 = Unix.gettimeofday () in
@@ -73,13 +91,11 @@ let tuned ?(seed = 1) ~batch net device engine : Tuner.result =
       r.Tuner.final_latency_ms
       (match List.rev r.Tuner.curve with p :: _ -> p.Tuner.time_s | [] -> 0.0)
       (Unix.gettimeofday () -. t0);
-    let oc = open_out_bin path in
-    Marshal.to_channel oc r [];
-    close_out oc;
+    (match Export.save_result r path with
+    | Ok () -> ()
+    | Error e -> Printf.eprintf "[tune] cache write failed: %s\n%!" (Store.error_message e));
     Export.write_curve_csv r (Filename.remove_extension path ^ ".csv");
-    Export.write_result_json r (Filename.remove_extension path ^ ".json");
     r
-  end
 
 (* --- curve utilities --------------------------------------------------------- *)
 

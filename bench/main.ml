@@ -21,7 +21,8 @@ let experiments =
     ("ablation", "design-choice ablations (width, lambda, budget, lr)", Ablation.run);
     ("par", "sequential vs multi-domain tuning rounds", Parallel.run);
     ("hotpath", "legacy vs fused objective-gradient inner loop", Hotpath.run);
-    ("batch", "scalar vs lockstep SoA descent across the population", Batch.run) ]
+    ("batch", "scalar vs lockstep SoA descent across the population", Batch.run);
+    ("warmstart", "time-to-target with and without a warm tuning store", Warmstart.run) ]
 
 (* --- bechamel micro-benchmarks: one per table/figure harness ----------------- *)
 
@@ -102,6 +103,7 @@ let () =
         if a = "--smoke" then begin
           Hotpath.smoke := true;
           Batch.smoke := true;
+          Warmstart.smoke := true;
           false
         end
         else true)

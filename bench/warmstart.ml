@@ -1,0 +1,121 @@
+(* warmstart: time-to-target with and without a warm tuning store.
+
+   Tunes the same network twice through a durable store: a cold run over
+   an empty store, then a warm run over the records the cold run left
+   behind. The warm run's dedup caches, bests, elites and cost model are
+   seeded from the store before its first round, and re-proposals of
+   stored schedules cost zero simulated time — so the warm progress
+   curve must dominate the cold one. Three properties are asserted (hard
+   failure, exit 1, so CI catches regressions):
+
+   - the warm run performs strictly fewer new measurements;
+   - the warm final latency is no worse than the cold final latency;
+   - the warm run reaches the cold run's final latency no later (in
+     simulated tuning time) than the cold run did.
+
+   Results land in BENCH_warmstart.json. *)
+
+module C = Bench_common
+
+let smoke = ref false
+
+let rec remove_tree path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> remove_tree (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+type leg = {
+  final_ms : float;
+  measurements : int;
+  sim_s : float;
+  curve : (float * float) list;
+}
+
+let leg_of (r : Tuner.result) =
+  { final_ms = r.Tuner.final_latency_ms;
+    measurements = r.Tuner.total_measurements;
+    sim_s = (match List.rev r.Tuner.curve with p :: _ -> p.Tuner.time_s | [] -> 0.0);
+    curve = List.map (fun (p : Tuner.progress_point) -> (p.time_s, p.latency_ms)) r.Tuner.curve }
+
+let tune_with_store ~dir ~rounds device model g =
+  match Store.open_dir dir with
+  | Error e -> failwith (Store.error_message e)
+  | Ok store ->
+    let search = { (C.tuning_config ()) with Tuning_config.max_rounds = rounds } in
+    let rc =
+      Tuning_config.(
+        builder |> with_search search |> with_seed 11 |> with_store store)
+    in
+    let r = Tuner.run rc device model g Tuner.Felix in
+    Store.close store;
+    r
+
+let run () =
+  C.ensure_artifacts ();
+  let rounds = if !smoke then 10 else 24 in
+  let device = Device.rtx_a5000 in
+  let model = C.cost_model device in
+  let g = Workload.graph Workload.Dcgan in
+  let dir = Filename.concat C.artifacts_dir "warmstart_store" in
+  remove_tree dir;
+  Printf.printf "[warmstart] cold run (%d rounds, empty store)...\n%!" rounds;
+  let cold = leg_of (tune_with_store ~dir ~rounds device model g) in
+  Printf.printf "[warmstart] warm run (%d rounds, %s)...\n%!" rounds dir;
+  let warm_r = tune_with_store ~dir ~rounds device model g in
+  let warm = leg_of warm_r in
+  let time_to tgt curve =
+    List.find_map (fun (t, l) -> if l <= tgt then Some t else None) curve
+  in
+  let cold_to_final = time_to cold.final_ms cold.curve in
+  let warm_to_cold_final = time_to cold.final_ms warm.curve in
+  let t =
+    Table.create ~title:"warm-start: time-to-target"
+      ~header:[ "run"; "final ms"; "measurements"; "sim s"; "s to cold final" ]
+  in
+  let fmt_opt = function Some s -> Printf.sprintf "%.0f" s | None -> "never" in
+  Table.add_row t
+    [ "cold"; Table.fmt_ms cold.final_ms; string_of_int cold.measurements;
+      Printf.sprintf "%.0f" cold.sim_s; fmt_opt cold_to_final ];
+  Table.add_row t
+    [ "warm"; Table.fmt_ms warm.final_ms; string_of_int warm.measurements;
+      Printf.sprintf "%.0f" warm.sim_s; fmt_opt warm_to_cold_final ];
+  Table.print t;
+  (* Machine-readable results for the CI artifact. *)
+  let leg_json l =
+    Json.Obj
+      [ ("final_ms", Json.Num l.final_ms);
+        ("measurements", Json.Num (float_of_int l.measurements));
+        ("sim_s", Json.Num l.sim_s);
+        ("curve", Json.List (List.map (fun (t, l) -> Json.List [ Json.Num t; Json.Num l ]) l.curve)) ]
+  in
+  let oc = open_out "BENCH_warmstart.json" in
+  output_string oc
+    (Json.to_string
+       (Json.Obj
+          [ ("rounds", Json.Num (float_of_int rounds));
+            ("network", Json.Str (Workload.network_name Workload.Dcgan));
+            ("device", Json.Str device.Device.device_name);
+            ("cold", leg_json cold);
+            ("warm", leg_json warm);
+            ("warm_s_to_cold_final",
+             match warm_to_cold_final with None -> Json.Null | Some s -> Json.Num s) ]));
+  output_string oc "\n";
+  close_out oc;
+  print_endline "wrote BENCH_warmstart.json";
+  let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("FAIL: " ^ m); exit 1) fmt in
+  if warm.measurements >= cold.measurements then
+    fail "warm run did not save measurements (%d vs cold %d)" warm.measurements
+      cold.measurements;
+  if warm.final_ms > cold.final_ms then
+    fail "warm final %.4f ms worse than cold %.4f ms" warm.final_ms cold.final_ms;
+  (match (warm_to_cold_final, cold_to_final) with
+  | None, _ -> fail "warm run never reached the cold final latency"
+  | Some w, Some c when w > c ->
+    fail "warm run reached the cold final at %.0f s, cold needed only %.0f s" w c
+  | _ -> ());
+  Printf.printf
+    "[warmstart] OK: warm saved %d measurements and reached the cold final no later\n%!"
+    (cold.measurements - warm.measurements)

@@ -2,10 +2,12 @@
 
    Subcommands:
      tune     — tune one of the paper's networks on a device
+     resume   — continue an interrupted tune from its --store directory
      inspect  — print a network's tuning tasks and search-space statistics
      compare  — compare a tuned network against the vendor frameworks
      devices  — list device models
-     stats    — summarize a JSONL telemetry trace written by tune --trace *)
+     stats    — summarize a JSONL telemetry trace written by tune --trace
+     store    — inspect a durable tuning store (store stats DIR) *)
 
 open Cmdliner
 
@@ -120,41 +122,200 @@ let with_telemetry ~trace ~metrics f =
     finish ();
     raise e
 
+let store_arg =
+  Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR"
+         ~doc:"Durable tuning store: journal every measurement to $(docv), \
+               checkpoint each round, and warm-start from completed prior runs. \
+               An interrupted run is continued bit-identically by \
+               $(b,felix-tune resume) $(docv).")
+
+(* The invocation artifact written into a store directory; [resume] reads it
+   back so the continued run is the exact invocation that was interrupted. *)
+let cli_run_kind = "felix-cli-run"
+let cli_run_version = 1
+
+let engine_names =
+  [ ("felix", Tuner.Felix); ("ansor", Tuner.Ansor); ("random", Tuner.Random) ]
+
+let engine_to_name e = fst (List.find (fun (_, e') -> e' = e) engine_names)
+
+let invocation_json ~net ~device ~rounds ~batch ~seed ~quick ~engine =
+  Json.Obj
+    [ ("network", Json.Str (Workload.network_name net));
+      ("device", Json.Str device.Device.device_name);
+      ("rounds", Json.Num (float_of_int rounds));
+      ("batch", Json.Num (float_of_int batch));
+      ("seed", Json.Num (float_of_int seed));
+      ("quick", Json.Bool quick);
+      ("engine", Json.Str (engine_to_name engine)) ]
+
+let invocation_of_json j =
+  let ( let* ) = Option.bind in
+  let* net_name = Option.bind (Json.find j "network") Json.as_string in
+  let* net =
+    List.find_opt
+      (fun n ->
+        String.lowercase_ascii (Workload.network_name n)
+        = String.lowercase_ascii net_name)
+      Workload.all_networks
+  in
+  let* device_name = Option.bind (Json.find j "device") Json.as_string in
+  let* device = Result.to_option (Device.of_name device_name) in
+  let* rounds = Option.bind (Json.find j "rounds") Json.as_int in
+  let* batch = Option.bind (Json.find j "batch") Json.as_int in
+  let* seed = Option.bind (Json.find j "seed") Json.as_int in
+  let* quick = Option.bind (Json.find j "quick") Json.as_bool in
+  let* engine =
+    Option.bind (Json.find j "engine") (fun e ->
+        Option.bind (Json.as_string e) (fun n -> List.assoc_opt n engine_names))
+  in
+  Some (net, device, rounds, batch, seed, quick, engine)
+
+let invocation_path dir = Filename.concat dir "run.json"
+
+let exit_store_error what e =
+  Printf.eprintf "felix-tune: %s: %s\n" what (Store.error_message e);
+  exit 1
+
+let print_store_summary store =
+  let st = Store.stats store in
+  Printf.printf "store: %d records, %d runs (%d completed)%s\n"
+    st.Store.records st.Store.runs_started st.Store.runs_completed
+    (if st.Store.recovered_bytes > 0 then
+       Printf.sprintf " — recovered a torn journal tail (%d bytes dropped)"
+         st.Store.recovered_bytes
+     else "")
+
+let run_tune ?store_dir net device rounds batch seed quick engine jobs gd_batch out
+    trace metrics =
+  with_telemetry ~trace ~metrics @@ fun () ->
+  let store =
+    Option.map
+      (fun dir ->
+        match Store.open_dir dir with
+        | Error e -> exit_store_error dir e
+        | Ok store ->
+          (match
+             Store.Artifact.save ~path:(invocation_path dir) ~kind:cli_run_kind
+               ~version:cli_run_version
+               (invocation_json ~net ~device ~rounds ~batch ~seed ~quick ~engine)
+           with
+          | Ok () -> ()
+          | Error e -> exit_store_error "cannot record invocation" e);
+          store)
+      store_dir
+  in
+  let g = Workload.graph ~batch net in
+  Printf.printf "%s\n\n" (Graph.summary g);
+  let model = Felix.pretrained_cost_model device in
+  let search = config_of_quick quick rounds in
+  let rc =
+    Tuning_config.(
+      builder |> with_search search |> with_seed seed |> with_jobs jobs
+      |> with_batch gd_batch)
+  in
+  let rc = match store with Some s -> Tuning_config.with_store s rc | None -> rc in
+  let result = Tuner.run rc device model g engine in
+  Printf.printf "final latency: %.3f ms (%d measurements, %.0f simulated seconds)\n"
+    result.Tuner.final_latency_ms result.Tuner.total_measurements
+    (match List.rev result.Tuner.curve with p :: _ -> p.Tuner.time_s | [] -> 0.0);
+  let t = Table.create ~title:"tasks" ~header:[ "subgraph"; "x"; "best ms"; "sketch" ] in
+  List.iter
+    (fun (tr : Tuner.task_result) ->
+      Table.add_row t
+        [ tr.task.Partition.subgraph.Compute.sg_name; string_of_int tr.task.Partition.weight;
+          Table.fmt_ms tr.best.Tuner.latency_ms; tr.best.Tuner.sketch ])
+    result.Tuner.tasks;
+  Table.print t;
+  Option.iter
+    (fun s ->
+      print_store_summary s;
+      Store.close s)
+    store;
+  match out with
+  | None -> ()
+  | Some prefix ->
+    Export.write_curve_csv result (prefix ^ ".csv");
+    (match Export.save_result result (prefix ^ ".json") with
+    | Ok () -> ()
+    | Error e -> failwith (Store.error_message e));
+    Printf.printf "wrote %s.csv and %s.json\n" prefix prefix
+
 let tune_cmd =
-  let run net device rounds batch seed quick engine jobs gd_batch out trace metrics =
-    with_telemetry ~trace ~metrics @@ fun () ->
-    let g = Workload.graph ~batch net in
-    Printf.printf "%s\n\n" (Graph.summary g);
-    let model = Felix.pretrained_cost_model device in
-    let search = config_of_quick quick rounds in
-    let rc =
-      Tuning_config.(
-        builder |> with_search search |> with_seed seed |> with_jobs jobs
-        |> with_batch gd_batch)
-    in
-    let result = Tuner.run rc device model g engine in
-    Printf.printf "final latency: %.3f ms (%d measurements, %.0f simulated seconds)\n"
-      result.Tuner.final_latency_ms result.Tuner.total_measurements
-      (match List.rev result.Tuner.curve with p :: _ -> p.Tuner.time_s | [] -> 0.0);
-    let t = Table.create ~title:"tasks" ~header:[ "subgraph"; "x"; "best ms"; "sketch" ] in
-    List.iter
-      (fun (tr : Tuner.task_result) ->
-        Table.add_row t
-          [ tr.task.Partition.subgraph.Compute.sg_name; string_of_int tr.task.Partition.weight;
-            Table.fmt_ms tr.best.Tuner.latency_ms; tr.best.Tuner.sketch ])
-      result.Tuner.tasks;
-    Table.print t;
-    match out with
-    | None -> ()
-    | Some prefix ->
-      Export.write_curve_csv result (prefix ^ ".csv");
-      Export.write_result_json result (prefix ^ ".json");
-      Printf.printf "wrote %s.csv and %s.json\n" prefix prefix
+  let run net device rounds batch seed quick engine jobs gd_batch store_dir out trace
+      metrics =
+    run_tune ?store_dir net device rounds batch seed quick engine jobs gd_batch out
+      trace metrics
   in
   Cmd.v (Cmd.info "tune" ~doc:"Tune a network's schedules for a device.")
     Term.(const run $ network_arg $ device_arg $ rounds_arg $ batch_arg $ seed_arg
-          $ quick_arg $ engine_arg $ jobs_arg $ gd_batch_arg $ out_arg $ trace_arg
+          $ quick_arg $ engine_arg $ jobs_arg $ gd_batch_arg $ store_arg $ out_arg
+          $ trace_arg $ metrics_arg)
+
+let resume_cmd =
+  let dir_arg =
+    Arg.(required & pos 0 (some dir) None & info [] ~docv:"DIR"
+           ~doc:"Store directory of the interrupted $(b,tune --store) run.")
+  in
+  let run dir jobs gd_batch out trace metrics =
+    match
+      Store.Artifact.load ~path:(invocation_path dir) ~kind:cli_run_kind
+        ~version:cli_run_version
+    with
+    | Error e -> exit_store_error dir e
+    | Ok j -> (
+      match invocation_of_json j with
+      | None ->
+        Printf.eprintf "felix-tune: %s: malformed invocation record\n"
+          (invocation_path dir);
+        exit 1
+      | Some (net, device, rounds, batch, seed, quick, engine) ->
+        Printf.printf "resuming: %s on %s (%d rounds, seed %d, %s)\n\n"
+          (Workload.network_name net) device.Device.device_name rounds seed
+          (engine_to_name engine);
+        run_tune ~store_dir:dir net device rounds batch seed quick engine jobs
+          gd_batch out trace metrics)
+  in
+  Cmd.v
+    (Cmd.info "resume"
+       ~doc:
+         "Continue an interrupted tuning run from its store directory, \
+          bit-identically to the uninterrupted run. Parallelism flags may \
+          differ from the original invocation; results do not depend on them.")
+    Term.(const run $ dir_arg $ jobs_arg $ gd_batch_arg $ out_arg $ trace_arg
           $ metrics_arg)
+
+let store_cmd =
+  let dir_arg =
+    Arg.(required & pos 0 (some dir) None & info [] ~docv:"DIR"
+           ~doc:"Store directory written by tune --store.")
+  in
+  let stats_sub =
+    let run dir =
+      match Store.open_dir dir with
+      | Error e -> exit_store_error dir e
+      | Ok store ->
+        let st = Store.stats store in
+        let t = Table.create ~title:("store " ^ dir) ~header:[ "field"; "value" ] in
+        Table.add_row t [ "records"; string_of_int st.Store.records ];
+        Table.add_row t [ "runs started"; string_of_int st.Store.runs_started ];
+        Table.add_row t [ "runs completed"; string_of_int st.Store.runs_completed ];
+        Table.add_row t [ "devices"; String.concat ", " st.Store.devices ];
+        Table.add_row t [ "tasks"; string_of_int st.Store.tasks ];
+        Table.add_row t [ "journal bytes"; string_of_int st.Store.journal_bytes ];
+        Table.add_row t
+          [ "recovered bytes";
+            (if st.Store.recovered_bytes > 0 then
+               Printf.sprintf "%d (torn tail truncated)" st.Store.recovered_bytes
+             else "0") ];
+        Table.add_row t [ "checkpoint"; (if st.Store.has_checkpoint then "yes" else "no") ];
+        Table.print t;
+        Store.close store
+    in
+    Cmd.v (Cmd.info "stats" ~doc:"Summarize a store's journal and checkpoint.")
+      Term.(const run $ dir_arg)
+  in
+  Cmd.group (Cmd.info "store" ~doc:"Inspect a durable tuning store.") [ stats_sub ]
 
 let inspect_cmd =
   let run net batch =
@@ -339,4 +500,8 @@ let stats_cmd =
 
 let () =
   let info = Cmd.info "felix-tune" ~doc:"Gradient-based tensor program optimisation (Felix)." in
-  exit (Cmd.eval (Cmd.group info [ tune_cmd; inspect_cmd; compare_cmd; devices_cmd; stats_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ tune_cmd; resume_cmd; inspect_cmd; compare_cmd; devices_cmd; stats_cmd;
+            store_cmd ]))

@@ -34,7 +34,7 @@ let () =
   in
   (* Run the search. *)
   let result =
-    Felix.Optimizer.optimize_all opt ~n_total_rounds:15 ~save_res:"dcgan.bin" ~on_event ()
+    Felix.Optimizer.optimize_all opt ~n_total_rounds:15 ~save_res:"dcgan.json" ~on_event ()
   in
   Printf.printf "tuned latency: %.3f ms after %.0f simulated seconds (%d measurements)\n"
     result.Tuner.final_latency_ms
@@ -44,6 +44,7 @@ let () =
   let compiled = Felix.Optimizer.compile_with_best_configs opt in
   Printf.printf "compiled latency: %.3f ms; one simulated run: %.3f ms\n"
     (Felix.Compiled.latency_ms compiled) (Felix.Compiled.run compiled);
-  (* The module can be saved to a file and loaded later. *)
-  Felix.Compiled.save compiled "dcgan_a5000.bin";
-  Printf.printf "saved compiled module to dcgan_a5000.bin\n"
+  (* The module can be saved as a versioned artifact and loaded later. *)
+  (match Felix.Compiled.save_file compiled "dcgan_a5000.json" with
+  | Ok () -> Printf.printf "saved compiled module to dcgan_a5000.json\n"
+  | Error e -> Printf.printf "save failed: %s\n" (Felix.Store.error_message e))

@@ -1,5 +1,6 @@
 module Runtime = Runtime
 module Tuning_config = Tuning_config
+module Store = Store
 
 type device = Device.t
 
@@ -89,19 +90,76 @@ module Compiled = struct
   let device_name t = t.c_device
   let best_schedules t = t.c_schedules
 
-  let save t path =
-    let oc = open_out_bin path in
-    Marshal.to_channel oc t [];
-    close_out oc
+  let artifact_kind = "felix-compiled"
+  let artifact_version = 1
 
-  let load path =
-    if Sys.file_exists path then begin
-      let ic = open_in_bin path in
-      let t : t = Marshal.from_channel ic in
-      close_in ic;
-      Some t
-    end
-    else None
+  let to_json t =
+    let open Json in
+    Obj
+      [ ("network", Str t.c_network);
+        ("device", Str t.c_device);
+        ("latency_ms", Num t.c_latency_ms);
+        ("seed", Num (float_of_int t.c_seed));
+        ("schedules",
+         List
+           (List.map
+              (fun (sg, sketch, assignment) ->
+                Obj
+                  [ ("subgraph", Str sg);
+                    ("sketch", Str sketch);
+                    ("assignment",
+                     Obj (List.map (fun (k, v) -> (k, Num (float_of_int v))) assignment)) ])
+              t.c_schedules)) ]
+
+  let of_json j =
+    let module J = Json in
+    let ( let* ) = Option.bind in
+    let* c_network = Option.bind (J.find j "network") J.as_string in
+    let* c_device = Option.bind (J.find j "device") J.as_string in
+    let* c_latency_ms = Option.bind (J.find j "latency_ms") J.as_float in
+    let* c_seed = Option.bind (J.find j "seed") J.as_int in
+    let* schedules = Option.bind (J.find j "schedules") J.as_list in
+    let* c_schedules =
+      List.fold_left
+        (fun acc sj ->
+          let* acc = acc in
+          let* sg = Option.bind (J.find sj "subgraph") J.as_string in
+          let* sketch = Option.bind (J.find sj "sketch") J.as_string in
+          let* kvs =
+            match J.find sj "assignment" with Some (J.Obj kvs) -> Some kvs | _ -> None
+          in
+          let* assignment =
+            List.fold_left
+              (fun acc (k, v) ->
+                let* acc = acc in
+                let* i = J.as_int v in
+                Some ((k, i) :: acc))
+              (Some []) kvs
+            |> Option.map List.rev
+          in
+          Some ((sg, sketch, assignment) :: acc))
+        (Some []) schedules
+      |> Option.map List.rev
+    in
+    Some { c_network; c_device; c_latency_ms; c_schedules; c_seed }
+
+  let save_file t path =
+    Store.Artifact.save ~path ~kind:artifact_kind ~version:artifact_version (to_json t)
+
+  let load_file path =
+    match Store.Artifact.load ~path ~kind:artifact_kind ~version:artifact_version with
+    | Error e -> Error e
+    | Ok j -> (
+      match of_json j with
+      | Some t -> Ok t
+      | None -> Error (Store.Corrupt (path ^ ": malformed compiled-network payload")))
+
+  let save t path =
+    match save_file t path with
+    | Ok () -> ()
+    | Error e -> raise (Sys_error (Store.error_message e))
+
+  let load path = match load_file path with Ok t -> Some t | Error _ -> None
 end
 
 module Optimizer = struct
@@ -148,10 +206,10 @@ module Optimizer = struct
     let result = Tuner.run rc t.device t.model t.subgraphs.graph Tuner.Felix in
     t.last_result <- Some result;
     (match save_res with
-    | Some path ->
-      let oc = open_out_bin path in
-      Marshal.to_channel oc result [];
-      close_out oc
+    | Some path -> (
+      match Export.save_result result path with
+      | Ok () -> ()
+      | Error e -> raise (Sys_error (Store.error_message e)))
     | None -> ());
     result
 
@@ -168,18 +226,29 @@ module Optimizer = struct
           r.Tuner.tasks;
       c_seed = t.run.Tuning_config.seed }
 
+  let saved_to_compiled t (s : Export.saved_result) =
+    { Compiled.c_network = s.Export.sr_network;
+      c_device = s.Export.sr_device;
+      c_latency_ms = s.Export.sr_final_latency_ms;
+      c_schedules =
+        List.map
+          (fun (st : Export.saved_task) ->
+            (st.Export.st_subgraph, st.Export.st_sketch, st.Export.st_assignment))
+          s.Export.sr_tasks;
+      c_seed = t.run.Tuning_config.seed }
+
   let compile_with_best_configs ?configs_file t =
-    let result =
-      match configs_file with
-      | Some path when Sys.file_exists path ->
-        let ic = open_in_bin path in
-        let r : Tuner.result = Marshal.from_channel ic in
-        close_in ic;
-        Some r
-      | Some _ | None -> t.last_result
-    in
-    match result with
-    | Some r -> result_to_compiled t r
-    | None ->
-      failwith "Felix.Optimizer.compile_with_best_configs: run optimize_all first"
+    match configs_file with
+    | Some path when Sys.file_exists path -> (
+      match Export.load_result path with
+      | Ok s -> saved_to_compiled t s
+      | Error e ->
+        failwith
+          (Printf.sprintf "Felix.Optimizer.compile_with_best_configs: %s"
+             (Store.error_message e)))
+    | Some _ | None -> (
+      match t.last_result with
+      | Some r -> result_to_compiled t r
+      | None ->
+        failwith "Felix.Optimizer.compile_with_best_configs: run optimize_all first")
 end

@@ -28,6 +28,12 @@ module Tuning_config = Tuning_config
     ([Tuning_config.(builder |> with_rounds 32 |> with_jobs 4)]),
     re-exported for the same reason. *)
 
+module Store = Store
+(** The durable tuning store (journal + checkpoints + versioned
+    artifacts), re-exported so façade users can write
+    [Felix.Store.open_dir dir] and
+    [Felix.Tuning_config.with_store store]. *)
+
 type device = Device.t
 
 val cuda : string -> device
@@ -122,8 +128,17 @@ module Compiled : sig
   val best_schedules : t -> (string * string * (string * int) list) list
   (** [(subgraph, sketch, variable assignment)] per task. *)
 
+  val save_file : t -> string -> (unit, Store.error) result
+  (** Atomically persist as a versioned JSON artifact (kind
+      ["felix-compiled"]); the reloaded latency is bit-identical. *)
+
+  val load_file : string -> (t, Store.error) result
+
   val save : t -> string -> unit
+  [@@ocaml.deprecated "use Compiled.save_file, which reports errors instead of raising"]
+
   val load : string -> t option
+  [@@ocaml.deprecated "use Compiled.load_file, which distinguishes error causes"]
 end
 
 (** The schedule search driver (Algorithm 2). *)
@@ -153,8 +168,12 @@ module Optimizer : sig
     ?runtime:Runtime.t ->
     unit ->
     Tuner.result
-  (** Run the tuning rounds; optionally persist the result to [save_res].
-      Returns the full tuning log (curve, per-task bests).
+  (** Run the tuning rounds; optionally persist the result to [save_res]
+      as a versioned {!Export.save_result} artifact (raises [Sys_error]
+      if that write fails). Returns the full tuning log (curve, per-task
+      bests). Attach a durable store — journaling, crash-safe resume,
+      warm start — via the run configuration given at {!create} time:
+      [Tuning_config.with_store].
 
       [on_event] observes every {!tuning_event} of the run in order —
       progress streaming, early stopping and dashboards are all consumers
@@ -169,6 +188,8 @@ module Optimizer : sig
 
   val compile_with_best_configs : ?configs_file:string -> t -> Compiled.t
   (** Build a {!Compiled.t} from the optimizer's (or a saved run's) best
-      schedules. Raises [Failure] if called before [optimize_all] and no
-      [configs_file] is given. *)
+      schedules. [configs_file] names a {!Export.save_result} artifact
+      (as written by [optimize_all ~save_res]). Raises [Failure] if
+      called before [optimize_all] and no [configs_file] is given, or if
+      [configs_file] exists but cannot be read as a result artifact. *)
 end

@@ -58,6 +58,33 @@ let step_batch t ~batch ~params ~grads =
     invalid_arg "Adam.step_batch: arity mismatch";
   sweep t ~params ~grads
 
+(* Bit-exact optimizer-state codec for the tuning-store checkpoints. *)
+let to_json t =
+  Json.Obj
+    [ ("lr", Json.Str (Store.Bits.of_float t.lr));
+      ("beta1", Json.Str (Store.Bits.of_float t.beta1));
+      ("beta2", Json.Str (Store.Bits.of_float t.beta2));
+      ("eps", Json.Str (Store.Bits.of_float t.eps));
+      ("m", Json.Str (Store.Bits.of_floats t.m));
+      ("v", Json.Str (Store.Bits.of_floats t.v));
+      ("steps", Json.Num (float_of_int t.steps)) ]
+
+let of_json j =
+  let bits k =
+    Option.bind (Option.bind (Json.find j k) Json.as_string) Store.Bits.to_float
+  in
+  let arr k =
+    Option.bind (Option.bind (Json.find j k) Json.as_string) Store.Bits.to_floats
+  in
+  match
+    ( bits "lr", bits "beta1", bits "beta2", bits "eps", arr "m", arr "v",
+      Option.bind (Json.find j "steps") Json.as_int )
+  with
+  | Some lr, Some beta1, Some beta2, Some eps, Some m, Some v, Some steps
+    when Array.length m = Array.length v ->
+    Some { lr; beta1; beta2; eps; m; v; steps }
+  | _ -> None
+
 let reset t =
   Array.fill t.m 0 (Array.length t.m) 0.0;
   Array.fill t.v 0 (Array.length t.v) 0.0;

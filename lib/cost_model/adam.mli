@@ -37,3 +37,8 @@ val step_batch : t -> batch:int -> params:float array -> grads:float array -> un
 
 val reset : t -> unit
 (** Clear moments and the step counter. *)
+
+val to_json : t -> Json.t
+val of_json : Json.t -> t option
+(** Bit-exact state codec (moments, step counter, hyperparameters) for
+    the tuning-store checkpoints. *)

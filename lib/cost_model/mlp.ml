@@ -72,9 +72,6 @@ let forward t x =
   let acts = forward_acts t x in
   (acts.(Array.length acts - 1)).(0)
 
-(* [forward_batch] (deprecated) is defined below on top of the batched
-   workspace kernels. *)
-
 (* --- caller-owned workspaces ----------------------------------------------
 
    Pre-sized per-layer activation and delta buffers plus the layer offset
@@ -630,35 +627,6 @@ let param_gradient_batch_into t bws ~batch ~xs ~targets grads =
   done;
   !loss /. bsz
 
-(* Deprecated allocating batch scorer, now a thin chunked wrapper over the
-   workspace kernel (bitwise-identical: each lane is the scalar forward). *)
-let forward_batch ?runtime t xs =
-  match runtime with
-  | Some rt -> Runtime.parallel_map rt (forward t) xs
-  | None ->
-    let n = Array.length xs in
-    if n = 0 then [||]
-    else begin
-      let ni = n_inputs t in
-      let b = min n 64 in
-      let bws = batch_workspace t ~batch:b in
-      let out = Array.make n 0.0 in
-      let scores = Array.make b 0.0 in
-      let i = ref 0 in
-      while !i < n do
-        let len = min b (n - !i) in
-        for l = 0 to len - 1 do
-          let x = xs.(!i + l) in
-          if Array.length x <> ni then invalid_arg "Mlp.forward_batch: arity mismatch";
-          Array.blit x 0 bws.b_x (l * ni) ni
-        done;
-        forward_batch_into t bws ~batch:len bws.b_x ~scores;
-        Array.blit scores 0 out !i len;
-        i := !i + len
-      done;
-      out
-    end
-
 let input_gradient t x =
   let offs, _ = layer_offsets t.sizes in
   let n_layers = Array.length offs in
@@ -760,16 +728,61 @@ let copy t =
   { sizes = Array.copy t.sizes; params = Array.copy t.params; mean = Array.copy t.mean;
     std = Array.copy t.std }
 
-let save t path =
-  let oc = open_out_bin path in
-  Marshal.to_channel oc t [];
-  close_out oc
+(* --- versioned persistence -------------------------------------------------
 
-let load path =
-  if Sys.file_exists path then begin
-    let ic = open_in_bin path in
-    let t : t = Marshal.from_channel ic in
-    close_in ic;
-    Some t
-  end
-  else None
+   Weights and the input normaliser are stored as IEEE-754 bit strings in
+   the one [Store.Artifact] envelope format, so a saved model reloads
+   bit-identically and a load can tell "wrong file" from "old schema". *)
+
+let artifact_kind = "felix-mlp"
+let artifact_version = 1
+
+let to_json t =
+  Json.Obj
+    [ ("sizes",
+       Json.List
+         (Array.to_list (Array.map (fun n -> Json.Num (float_of_int n)) t.sizes)));
+      ("params", Json.Str (Store.Bits.of_floats t.params));
+      ("mean", Json.Str (Store.Bits.of_floats t.mean));
+      ("std", Json.Str (Store.Bits.of_floats t.std)) ]
+
+let of_json j =
+  let arr k =
+    Option.bind (Option.bind (Json.find j k) Json.as_string) Store.Bits.to_floats
+  in
+  let sizes =
+    match Json.find j "sizes" with
+    | Some (Json.List l) ->
+      let ints = List.filter_map Json.as_int l in
+      if List.length ints = List.length l then Some (Array.of_list ints) else None
+    | _ -> None
+  in
+  match (sizes, arr "params", arr "mean", arr "std") with
+  | Some sizes, Some params, Some mean, Some std when Array.length sizes >= 2 ->
+    let _, total = layer_offsets sizes in
+    if
+      total = Array.length params
+      && Array.length mean = sizes.(0)
+      && Array.length std = sizes.(0)
+    then Some { sizes; params; mean; std }
+    else None
+  | _ -> None
+
+let save_file t path =
+  Store.Artifact.save ~path ~kind:artifact_kind ~version:artifact_version (to_json t)
+
+let load_file path =
+  match Store.Artifact.load ~path ~kind:artifact_kind ~version:artifact_version with
+  | Error e -> Error e
+  | Ok payload -> (
+    match of_json payload with
+    | Some t -> Ok t
+    | None -> Error (Store.Corrupt (path ^ ": invalid cost-model payload")))
+
+(* Deprecated shims over the versioned API. *)
+let save t path =
+  match save_file t path with
+  | Ok () -> ()
+  | Error e -> raise (Sys_error (Store.error_message e))
+
+let load path = match load_file path with Ok t -> Some t | Error _ -> None

@@ -28,17 +28,6 @@ val set_normalizer : t -> mean:float array -> std:float array -> unit
 val forward : t -> float array -> float
 (** Predicted score (higher = better). *)
 
-val forward_batch : ?runtime:Runtime.t -> t -> float array array -> float array
-  [@@ocaml.deprecated
-    "Use a batch_workspace with forward_batch_into (zero-allocation, lane-major rows)."]
-(** {!forward} over a batch, fanned out across the runtime's domains when
-    one is given. Inference only reads the parameters, so this is safe as
-    long as no concurrent [train_batch] mutates the same model; results are
-    identical to the sequential map.
-
-    @deprecated allocates per call; use {!batch_workspace} +
-    {!forward_batch_into}. *)
-
 val input_gradient : t -> float array -> float * float array
 (** [(score, dscore/dinput)] in one forward + backward pass. *)
 
@@ -141,6 +130,21 @@ val adam_for : ?lr:float -> t -> Adam.t
 val copy : t -> t
 (** Deep copy (the tuners fine-tune a private copy per run). *)
 
+(** {2 Versioned persistence}
+
+    One [Store.Artifact] envelope (kind ["felix-mlp"], schema version 1);
+    weights and the input normaliser are IEEE-754 bit strings, so a saved
+    model reloads bit-identically. *)
+
+val to_json : t -> Json.t
+val of_json : Json.t -> t option
+(** Payload codec, shared with the tuning-store checkpoints. *)
+
+val save_file : t -> string -> (unit, Store.error) result
+val load_file : string -> (t, Store.error) result
+
 val save : t -> string -> unit
+[@@ocaml.deprecated "use Mlp.save_file (versioned artifact, returns result)"]
+
 val load : string -> t option
-(** Marshal-based persistence for caching pretrained models. *)
+[@@ocaml.deprecated "use Mlp.load_file (versioned artifact, returns result)"]

@@ -115,13 +115,13 @@ let pretrained_for_device ?(cache_dir = "_artifacts") ?(seed = 1234) (device : D
   let safe_name =
     String.map (fun c -> if c = ' ' || c = '/' then '_' else c) device.device_name
   in
-  let path = Filename.concat cache_dir (Printf.sprintf "costmodel_%s.bin" safe_name) in
-  match Mlp.load path with
-  | Some m ->
+  let path = Filename.concat cache_dir (Printf.sprintf "costmodel_%s.json" safe_name) in
+  match Mlp.load_file path with
+  | Ok m ->
     Telemetry.event Telemetry.global "cost_model.cache_hit"
       ~attrs:[ ("device", Telemetry.Str device.device_name) ];
     m
-  | None ->
+  | Error _ ->
     Telemetry.with_span Telemetry.global "cost_model.train_from_scratch"
       ~attrs:[ ("device", Telemetry.Str device.device_name) ]
     @@ fun () ->
@@ -136,6 +136,6 @@ let pretrained_for_device ?(cache_dir = "_artifacts") ?(seed = 1234) (device : D
           metrics.n_samples);
     (try
        if not (Sys.file_exists cache_dir) then Sys.mkdir cache_dir 0o755;
-       Mlp.save model path
+       ignore (Mlp.save_file model path)
      with Sys_error _ -> ());
     model

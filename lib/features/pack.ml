@@ -146,9 +146,6 @@ let features_at t y =
   Telemetry.Counter.incr c_feature_evals;
   Autodiff.Tape.eval t.feature_tape y
 
-(* [features_batch] (deprecated) is defined below on top of the batched
-   tape workspaces. *)
-
 let features_vjp t y adj = Autodiff.Tape.vjp t.feature_tape y adj
 
 let penalty_margins t y = Autodiff.Tape.eval t.penalty_tape y
@@ -264,39 +261,6 @@ let penalty_value_grad_batch_into t bws ~batch ys ~grads ~values =
     values.(l) <- !value
   done;
   Autodiff.Tape.backward_batch_into t.penalty_tape bws.bws_pen ~batch adj grads
-
-(* Deprecated allocating batch evaluator, now a thin chunked wrapper over
-   the batched tape (bitwise-identical: each lane is the scalar eval). *)
-let features_batch ?runtime t ys =
-  match runtime with
-  | Some rt -> Runtime.parallel_map rt (features_at t) ys
-  | None ->
-    let n = Array.length ys in
-    if n = 0 then [||]
-    else begin
-      let nv = num_vars t in
-      let nf = Autodiff.Tape.num_outputs t.feature_tape in
-      let b = min n 64 in
-      let bws = batch_workspace t ~batch:b in
-      let xs = Array.make (b * nv) 0.0 in
-      let out = Array.make n [||] in
-      let i = ref 0 in
-      while !i < n do
-        let len = min b (n - !i) in
-        for l = 0 to len - 1 do
-          let y = ys.(!i + l) in
-          if Array.length y <> nv then
-            invalid_arg "Pack.features_batch: arity mismatch";
-          Array.blit y 0 xs (l * nv) nv
-        done;
-        let feats = features_forward_batch t bws ~batch:len xs in
-        for l = 0 to len - 1 do
-          out.(!i + l) <- Array.sub feats (l * nf) nf
-        done;
-        i := !i + len
-      done;
-      out
-    end
 
 let round_to_valid t y =
   let n = Array.length t.names in

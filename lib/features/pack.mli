@@ -47,16 +47,6 @@ val bounds_log : t -> (float * float) array
 val features_at : t -> float array -> float array
 (** Transformed (smoothed, log-scaled) feature vector at [y]; length 82. *)
 
-val features_batch : ?runtime:Runtime.t -> t -> float array array -> float array array
-  [@@ocaml.deprecated
-    "Use a batch_workspace with features_forward_batch (zero-allocation, lane-major rows)."]
-(** [features_at] over a batch of points, fanned out across the runtime's
-    domains when one is given (tape evaluation is pure, so the result is
-    identical to the sequential map).
-
-    @deprecated allocates per point; use {!batch_workspace} +
-    {!features_forward_batch}. *)
-
 val features_vjp : t -> float array -> float array -> float array * float array
 (** [(features, dy)] where [dy] is the gradient of [sum_k adj_k * feat_k]
     with respect to [y]. *)

@@ -82,6 +82,9 @@ type task_state = {
   packs : Pack.t list;
   key_prefix : string;  (* workload identity, prefixes sim-cache keys *)
   measured : (string, float) Hashtbl.t;
+  seeded : (string, unit) Hashtbl.t;
+      (* keys warm-started from the store; a dedup hit here is a paid
+         measurement the store saved us *)
   mutable best : float;
   mutable best_point : (Pack.t * float array) option;
   mutable elites : (Pack.t * float array * float) list;  (* best few, latency-sorted *)
@@ -102,6 +105,7 @@ let make_state ?runtime task =
     packs;
     key_prefix = Compute.workload_key sg ^ "|";
     measured = Hashtbl.create 64;
+    seeded = Hashtbl.create 16;
     best = Float.infinity;
     best_point = None;
     elites = [];
@@ -125,10 +129,13 @@ let network_latency states =
     (graph_exec_overhead_ms states) states
 
 (* Bookkeeping for one measured latency; shared by the sequential and the
-   parallel measurement paths so both update best/elites identically. *)
-let note_measurement st pack y key lat =
+   parallel measurement paths so both update best/elites identically.
+   [count = false] replays a store record: the dedup cache, best and
+   elites learn about the schedule, but it is not a new measurement of
+   this run. *)
+let note_measurement ?(count = true) st pack y key lat =
   Hashtbl.replace st.measured key lat;
-  st.n_measured <- st.n_measured + 1;
+  if count then st.n_measured <- st.n_measured + 1;
   if Float.is_finite lat && lat < st.best then begin
     st.best <- lat;
     st.best_point <- Some (pack, Array.copy y)
@@ -139,12 +146,24 @@ let note_measurement st pack y key lat =
       |> List.sort (fun (_, _, a) (_, _, b) -> compare a b)
       |> List.filteri (fun i _ -> i < 8)
 
-let record_measurement rng device st pack y =
+(* A dedup hit on a store-seeded key is a measurement the warm start paid
+   for in a previous run; it costs zero simulated time and is counted as a
+   store hit. [journal] (when a store is attached) records every latency
+   actually measured. *)
+let note_store_hit ~telemetry st key =
+  if Hashtbl.mem st.seeded key then
+    Telemetry.Counter.incr (Telemetry.counter telemetry "store.hits")
+
+let record_measurement ?journal ~telemetry rng device st pack y =
   let key = Pack.schedule_key pack y in
-  if Hashtbl.mem st.measured key then None
+  if Hashtbl.mem st.measured key then begin
+    note_store_hit ~telemetry st key;
+    None
+  end
   else begin
     let lat = Gpu_model.measure_ms rng device (Pack.program pack) (Pack.env_of pack y) in
     note_measurement st pack y key lat;
+    (match journal with Some f -> f st pack y key lat | None -> ());
     Some lat
   end
 
@@ -156,14 +175,14 @@ let record_measurement rng device st pack y =
    from the tuning RNG in candidate order at the join — consuming exactly
    the random values the sequential path would, so both paths are
    bit-identical. *)
-let measure_candidates ?runtime rng device st candidates =
+let measure_candidates ?runtime ?journal ~telemetry rng device st candidates =
   match runtime with
   | None ->
     let pairs = ref [] in
     let n_measured = ref 0 in
     List.iter
       (fun (pack, y) ->
-        match record_measurement rng device st pack y with
+        match record_measurement ?journal ~telemetry rng device st pack y with
         | Some lat ->
           incr n_measured;
           if Float.is_finite lat then
@@ -178,7 +197,11 @@ let measure_candidates ?runtime rng device st candidates =
       List.filter_map
         (fun (pack, y) ->
           let key = Pack.schedule_key pack y in
-          if Hashtbl.mem st.measured key || Hashtbl.mem seen key then None
+          if Hashtbl.mem st.measured key then begin
+            note_store_hit ~telemetry st key;
+            None
+          end
+          else if Hashtbl.mem seen key then None
           else begin
             Hashtbl.replace seen key ();
             Some (pack, y, key)
@@ -202,6 +225,7 @@ let measure_candidates ?runtime rng device st candidates =
         let base, feats = bases.(i) in
         let lat = Gpu_model.finish_measure_ms rng base in
         note_measurement st pack y key lat;
+        (match journal with Some f -> f st pack y key lat | None -> ());
         match feats with
         | Some f when Float.is_finite lat -> pairs := (f, -.log lat) :: !pairs
         | _ -> ())
@@ -225,20 +249,26 @@ let update_model model adam pairs =
    rejection sampling and its measurement noise interleave on the one
    tuning RNG, so reordering would change the stream. One measurement per
    task is not a hot path. *)
-let initial_round cfg rng device clock states =
+let initial_round cfg ?journal ~telemetry rng device clock states =
   List.iter
     (fun st ->
-      (match
-         List.find_map
-           (fun pack ->
-             match Dataset.sample_valid_point rng pack 200 with
-             | Some y -> Some (pack, y)
-             | None -> None)
-           st.packs
-       with
-      | Some (pack, y) -> ignore (record_measurement rng device st pack y)
-      | None -> ());
-      Tuning_config.Clock.advance clock cfg.Tuning_config.measure_seconds)
+      match
+        List.find_map
+          (fun pack ->
+            match Dataset.sample_valid_point rng pack 200 with
+            | Some y -> Some (pack, y)
+            | None -> None)
+          st.packs
+      with
+      | Some (pack, y) ->
+        (* Only an actual measurement costs simulated time: a dedup hit on
+           a warm-started key is free, which is what makes warm curves
+           strictly dominate cold ones. *)
+        (match record_measurement ?journal ~telemetry rng device st pack y with
+        | Some _ ->
+          Tuning_config.Clock.advance clock cfg.Tuning_config.measure_seconds
+        | None -> ())
+      | None -> ())
     states
 
 let select_task states =
@@ -296,8 +326,8 @@ let run_engine_round cfg rng ?runtime ?batch engine model st =
 
 let subgraph_name st = st.t.Partition.subgraph.Compute.sg_name
 
-let tune_round cfg rng ?runtime ?batch device engine model model_adam clock ~telemetry
-    ~emit ~round st =
+let tune_round cfg rng ?runtime ?batch ?journal device engine model model_adam clock
+    ~telemetry ~emit ~round st =
   let task_id = st.t.Partition.task_id in
   emit
     (Round_started
@@ -315,9 +345,14 @@ let tune_round cfg rng ?runtime ?batch device engine model model_adam clock ~tel
     run_engine_round cfg rng ?runtime ?batch engine model st
   in
   let before = st.best in
-  let n_measured, pairs = measure_candidates ?runtime rng device st candidates in
+  let n_measured, pairs =
+    measure_candidates ?runtime ?journal ~telemetry rng device st candidates
+  in
+  (* Time accounting follows measurements actually paid for: deduplicated
+     proposals — in particular re-proposals of store-seeded schedules —
+     advance the simulated clock by zero. *)
   Tuning_config.Clock.advance clock
-    ((float_of_int (List.length candidates) *. cfg.Tuning_config.measure_seconds)
+    ((float_of_int n_measured *. cfg.Tuning_config.measure_seconds)
     +. overhead +. cfg.Tuning_config.model_update_seconds);
   emit
     (Candidates_measured
@@ -356,6 +391,262 @@ let best_of_state st =
   in
   { latency_ms = st.best; sketch; assignment }
 
+(* --- durable store integration ---------------------------------------------
+
+   Checkpoints are self-contained: run identity (so a resume refuses a
+   different configuration), the RNG stream position, the simulated
+   clock, cost-model weights and optimizer state, the progress curve and
+   the full per-task scheduler state. Every float crosses the disk as
+   IEEE-754 bits, and packs are referenced by sketch name — they are
+   regenerated deterministically by [make_state] — so a resumed run
+   continues the exact float sequence of the uninterrupted one. *)
+
+exception Decode
+
+let req = function Some x -> x | None -> raise Decode
+let jfind j k = req (Json.find j k)
+let jstr j k = req (Option.bind (Json.find j k) Json.as_string)
+let jint j k = req (Option.bind (Json.find j k) Json.as_int)
+let jlist j k = req (Option.bind (Json.find j k) Json.as_list)
+
+let jbits j k =
+  req (Option.bind (Option.bind (Json.find j k) Json.as_string) Store.Bits.to_float)
+
+let jbits_arr j k =
+  req (Option.bind (Option.bind (Json.find j k) Json.as_string) Store.Bits.to_floats)
+
+let task_key_of st = String.sub st.key_prefix 0 (String.length st.key_prefix - 1)
+let sketch_name pack = (Pack.schedule pack).Schedule.sched_name
+
+let search_to_json (cfg : Tuning_config.t) =
+  let f v = Json.Str (Store.Bits.of_float v) in
+  let i v = Json.Num (float_of_int v) in
+  Json.Obj
+    [ ("nseeds", i cfg.Tuning_config.nseeds); ("nsteps", i cfg.nsteps);
+      ("nmeasure_felix", i cfg.nmeasure_felix); ("lambda", f cfg.lambda);
+      ("gd_lr", f cfg.gd_lr); ("population", i cfg.population);
+      ("generations", i cfg.generations); ("nmeasure_ansor", i cfg.nmeasure_ansor);
+      ("mutation_prob", f cfg.mutation_prob);
+      ("measure_seconds", f cfg.measure_seconds);
+      ("felix_round_overhead", f cfg.felix_round_overhead);
+      ("ansor_round_overhead", f cfg.ansor_round_overhead);
+      ("model_update_seconds", f cfg.model_update_seconds);
+      ("max_rounds", i cfg.max_rounds); ("time_budget_s", f cfg.time_budget_s) ]
+
+(* jobs and batch are deliberately not part of the identity: results are
+   invariant to both, so a run may be resumed at any parallelism. *)
+let identity_json (rc : Tuning_config.run) ~network ~device_name engine =
+  Json.Obj
+    [ ("network", Json.Str network); ("device", Json.Str device_name);
+      ("engine", Json.Str (engine_name engine));
+      ("seed", Json.Num (float_of_int rc.Tuning_config.seed));
+      ("search", search_to_json rc.Tuning_config.search) ]
+
+let point_to_json pack y =
+  Json.Obj
+    [ ("sketch", Json.Str (sketch_name pack));
+      ("y", Json.Str (Store.Bits.of_floats y)) ]
+
+let state_to_json st =
+  let measured =
+    Hashtbl.fold (fun k lat acc -> (k, lat) :: acc) st.measured []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let seeded =
+    Hashtbl.fold (fun k () acc -> k :: acc) st.seeded [] |> List.sort compare
+  in
+  Json.Obj
+    [ ("task_id", Json.Num (float_of_int st.t.Partition.task_id));
+      ("subgraph", Json.Str st.t.Partition.subgraph.Compute.sg_name);
+      ("best", Json.Str (Store.Bits.of_float st.best));
+      ("best_point",
+       (match st.best_point with None -> Json.Null | Some (p, y) -> point_to_json p y));
+      ("elites",
+       Json.List
+         (List.map
+            (fun (p, y, lat) ->
+              Json.Obj
+                [ ("sketch", Json.Str (sketch_name p));
+                  ("y", Json.Str (Store.Bits.of_floats y));
+                  ("lat", Json.Str (Store.Bits.of_float lat)) ])
+            st.elites));
+      ("improvement", Json.Str (Store.Bits.of_float st.improvement_factor));
+      ("rounds_spent", Json.Num (float_of_int st.rounds_spent));
+      ("n_measured", Json.Num (float_of_int st.n_measured));
+      ("measured",
+       Json.List
+         (List.map
+            (fun (k, lat) -> Json.List [ Json.Str k; Json.Str (Store.Bits.of_float lat) ])
+            measured));
+      ("seeded", Json.List (List.map (fun k -> Json.Str k) seeded)) ]
+
+(* Decode one task entry against the freshly built state; returns the
+   mutation to run once the whole checkpoint has decoded (so a corrupt
+   checkpoint never leaves states half-restored). *)
+let state_restorer st j =
+  if
+    jint j "task_id" <> st.t.Partition.task_id
+    || jstr j "subgraph" <> st.t.Partition.subgraph.Compute.sg_name
+  then raise Decode;
+  let by_name = List.map (fun p -> (sketch_name p, p)) st.packs in
+  let point pj =
+    let pack = req (List.assoc_opt (jstr pj "sketch") by_name) in
+    let y = jbits_arr pj "y" in
+    if Array.length y <> Pack.num_vars pack then raise Decode;
+    (pack, y)
+  in
+  let best = jbits j "best" in
+  let best_point =
+    match jfind j "best_point" with Json.Null -> None | pj -> Some (point pj)
+  in
+  let elites =
+    List.map
+      (fun ej ->
+        let p, y = point ej in
+        (p, y, jbits ej "lat"))
+      (jlist j "elites")
+  in
+  let improvement = jbits j "improvement" in
+  let rounds_spent = jint j "rounds_spent" in
+  let n_measured = jint j "n_measured" in
+  let measured =
+    List.map
+      (function
+        | Json.List [ Json.Str k; Json.Str lat ] -> (k, req (Store.Bits.to_float lat))
+        | _ -> raise Decode)
+      (jlist j "measured")
+  in
+  let seeded = List.map (fun x -> req (Json.as_string x)) (jlist j "seeded") in
+  fun () ->
+    st.best <- best;
+    st.best_point <- best_point;
+    st.elites <- elites;
+    st.improvement_factor <- improvement;
+    st.rounds_spent <- rounds_spent;
+    st.n_measured <- n_measured;
+    Hashtbl.reset st.measured;
+    List.iter (fun (k, lat) -> Hashtbl.replace st.measured k lat) measured;
+    Hashtbl.reset st.seeded;
+    List.iter (fun k -> Hashtbl.replace st.seeded k ()) seeded
+
+let checkpoint_json ~identity ~run_id ~completed ~round ~rng ~clock ~curve ~model
+    ~adam states =
+  Json.Obj
+    [ ("identity", identity);
+      ("run_id", Json.Str run_id);
+      ("completed", Json.Bool completed);
+      ("round", Json.Num (float_of_int round));
+      ("rng", Json.Str (Printf.sprintf "%016Lx" (Rng.state_bits rng)));
+      ("clock", Json.Str (Store.Bits.of_float (Tuning_config.Clock.now clock)));
+      ("curve",
+       Json.List
+         (List.map
+            (fun p ->
+              Json.List
+                [ Json.Str (Store.Bits.of_float p.time_s);
+                  Json.Str (Store.Bits.of_float p.latency_ms) ])
+            curve));
+      ("model", Mlp.to_json model);
+      ("adam", Adam.to_json adam);
+      ("tasks", Json.List (List.map state_to_json states)) ]
+
+type resume_state = {
+  rs_run_id : string;
+  rs_round : int;
+  rs_rng : Rng.t;
+  rs_clock : float;
+  rs_curve : progress_point list;  (* chronological *)
+  rs_model : Mlp.t;
+  rs_adam : Adam.t;
+  rs_restore : (unit -> unit) list;
+  rs_entries : int;  (* measured-table entries restored, for telemetry *)
+}
+
+let decode_checkpoint cp ~identity states =
+  try
+    if Json.find cp "identity" <> Some identity then None
+    else if req (Option.bind (Json.find cp "completed") Json.as_bool) then
+      (* The stored run already finished; a new run warm-starts instead. *)
+      None
+    else begin
+      let rng_bits =
+        let s = jstr cp "rng" in
+        if String.length s <> 16 then raise Decode
+        else req (Int64.of_string_opt ("0x" ^ s))
+      in
+      let curve =
+        List.map
+          (function
+            | Json.List [ Json.Str ts; Json.Str lat ] ->
+              { time_s = req (Store.Bits.to_float ts);
+                latency_ms = req (Store.Bits.to_float lat) }
+            | _ -> raise Decode)
+          (jlist cp "curve")
+      in
+      let model = req (Mlp.of_json (jfind cp "model")) in
+      let adam = req (Adam.of_json (jfind cp "adam")) in
+      let tasks = jlist cp "tasks" in
+      if List.length tasks <> List.length states then raise Decode;
+      let restore = List.map2 state_restorer states tasks in
+      let entries =
+        List.fold_left
+          (fun acc tj -> acc + List.length (jlist tj "measured"))
+          0 tasks
+      in
+      Some
+        { rs_run_id = jstr cp "run_id";
+          rs_round = jint cp "round";
+          rs_rng = Rng.of_state_bits rng_bits;
+          rs_clock = jbits cp "clock";
+          rs_curve = curve;
+          rs_model = model;
+          rs_adam = adam;
+          rs_restore = restore;
+          rs_entries = entries }
+    end
+  with Decode -> None
+
+(* Seed dedup caches, bests and elites from completed prior runs; returns
+   the replay count and the (features, target) pairs for the one-shot
+   model fine-tune. Consumes no RNG, so a run over an empty store is
+   bit-identical to a run without a store. *)
+let warm_finetune_cap = 512
+
+let warm_seed store ~device_name states =
+  let total = ref 0 in
+  let pairs = ref [] in
+  let n_pairs = ref 0 in
+  List.iter
+    (fun st ->
+      let by_name = List.map (fun p -> (sketch_name p, p)) st.packs in
+      let records =
+        Store.completed_records store ~device:device_name ~task_key:(task_key_of st)
+      in
+      List.iter
+        (fun (r : Store.Record.t) ->
+          match List.assoc_opt r.Store.Record.sketch by_name with
+          | None -> () (* sketch no longer generated; skip the record *)
+          | Some pack ->
+            if
+              Array.length r.Store.Record.y = Pack.num_vars pack
+              && not (Hashtbl.mem st.measured r.Store.Record.key)
+            then begin
+              note_measurement ~count:false st pack r.Store.Record.y
+                r.Store.Record.key r.Store.Record.latency_ms;
+              Hashtbl.replace st.seeded r.Store.Record.key ();
+              incr total;
+              if Float.is_finite r.Store.Record.latency_ms && !n_pairs < warm_finetune_cap
+              then begin
+                incr n_pairs;
+                pairs :=
+                  (Pack.features_at pack r.Store.Record.y, -.log r.Store.Record.latency_ms)
+                  :: !pairs
+              end
+            end)
+        records)
+    states;
+  (!total, !pairs)
+
 (* Materialise the runtime a run configuration asks for: an explicit
    [runtime] wins; otherwise [jobs > 1] creates a temporary pool for the
    duration of the call. *)
@@ -377,9 +668,7 @@ let run (rc : Tuning_config.run) device base_model graph engine =
   let cfg = rc.Tuning_config.search in
   let on_event = rc.Tuning_config.on_event in
   let telemetry = Option.value rc.Tuning_config.telemetry ~default:Telemetry.global in
-  let rng = Rng.create rc.Tuning_config.seed in
-  let model = Mlp.copy base_model in
-  let model_adam = Mlp.adam_for ~lr:2e-4 model in
+  let store = rc.Tuning_config.store in
   let clock = Tuning_config.Clock.create () in
   let run_sp =
     Telemetry.span_begin telemetry "tuner.tune"
@@ -400,10 +689,94 @@ let run (rc : Tuning_config.run) device base_model graph engine =
     (Tuning_started
        { network = graph.Graph.graph_name; device_name = device.Device.device_name;
          engine; n_tasks = List.length states });
-  Telemetry.with_span telemetry "tuner.initial_round" (fun () ->
-      initial_round cfg rng device clock states);
-  let curve = ref [ { time_s = Tuning_config.Clock.now clock; latency_ms = network_latency states } ] in
+  let identity =
+    identity_json rc ~network:graph.Graph.graph_name
+      ~device_name:device.Device.device_name engine
+  in
+  (* An unfinished checkpoint of this exact configuration resumes it;
+     anything else (no store, no checkpoint, finished or foreign
+     checkpoint) starts a fresh — possibly warm — run. *)
+  let resume =
+    match store with
+    | None -> None
+    | Some s -> (
+      match Store.load_checkpoint s with
+      | Error _ -> None
+      | Ok cp -> decode_checkpoint cp ~identity states)
+  in
+  let rng, model, model_adam =
+    match resume with
+    | Some rs -> (rs.rs_rng, rs.rs_model, rs.rs_adam)
+    | None ->
+      let model = Mlp.copy base_model in
+      (Rng.create rc.Tuning_config.seed, model, Mlp.adam_for ~lr:2e-4 model)
+  in
   let round = ref 0 in
+  let curve = ref [] in
+  let run_id = ref None in
+  let journal =
+    match store with
+    | None -> None
+    | Some s ->
+      let c_records = Telemetry.counter telemetry "store.records" in
+      Some
+        (fun st pack y key lat ->
+          Store.append s
+            { Store.Record.network = graph.Graph.graph_name;
+              device = device.Device.device_name;
+              task_key = task_key_of st;
+              sketch = sketch_name pack;
+              key;
+              y = Array.copy y;
+              latency_ms = lat;
+              round = !round };
+          Telemetry.Counter.incr c_records)
+  in
+  (* Journal lines of the round are made durable before the checkpoint
+     that says the round happened, so a kill at any instant resumes from
+     a state the journal fully covers. *)
+  let save_ckpt ~completed =
+    match (store, !run_id) with
+    | Some s, Some id ->
+      Store.sync s;
+      let cp =
+        checkpoint_json ~identity ~run_id:id ~completed ~round:!round ~rng ~clock
+          ~curve:(List.rev !curve) ~model ~adam:model_adam states
+      in
+      (match Store.save_checkpoint s cp with
+      | Ok () -> ()
+      | Error e ->
+        Logs.warn (fun m -> m "tuning store checkpoint failed: %s" (Store.error_message e)))
+    | _ -> ()
+  in
+  (match resume with
+  | Some rs ->
+    List.iter (fun f -> f ()) rs.rs_restore;
+    Tuning_config.Clock.set clock rs.rs_clock;
+    round := rs.rs_round;
+    curve := List.rev rs.rs_curve;
+    run_id := Some rs.rs_run_id;
+    (match store with Some s -> Store.resume_run s ~id:rs.rs_run_id | None -> ());
+    Telemetry.Counter.incr ~by:rs.rs_entries (Telemetry.counter telemetry "store.replays")
+  | None ->
+    (match store with
+    | Some s ->
+      let replayed, warm_pairs =
+        warm_seed s ~device_name:device.Device.device_name states
+      in
+      if replayed > 0 then begin
+        Telemetry.Counter.incr ~by:replayed (Telemetry.counter telemetry "store.replays");
+        ignore (update_model model model_adam warm_pairs)
+      end;
+      let id = Store.fresh_run_id s in
+      run_id := Some id;
+      Store.begin_run s ~id
+    | None -> ());
+    Telemetry.with_span telemetry "tuner.initial_round" (fun () ->
+        initial_round cfg ?journal ~telemetry rng device clock states);
+    curve :=
+      [ { time_s = Tuning_config.Clock.now clock; latency_ms = network_latency states } ];
+    save_ckpt ~completed:false);
   while
     !round < cfg.max_rounds
     && Tuning_config.Clock.now clock < cfg.time_budget_s
@@ -411,15 +784,18 @@ let run (rc : Tuning_config.run) device base_model graph engine =
     incr round;
     let st = select_task states in
     ignore
-      (tune_round cfg rng ?runtime ?batch device engine model model_adam clock
+      (tune_round cfg rng ?runtime ?batch ?journal device engine model model_adam clock
          ~telemetry ~emit:on_event ~round:!round st);
     let net_ms = network_latency states in
     Telemetry.Gauge.set (Telemetry.gauge telemetry "tuner.network_latency_ms") net_ms;
+    curve := { time_s = Tuning_config.Clock.now clock; latency_ms = net_ms } :: !curve;
+    (* Checkpoint before announcing the round: once an observer hears
+       [Round_finished n], a kill resumes from round n, not n-1. *)
+    save_ckpt ~completed:false;
     on_event
       (Round_finished
          { round = !round; task_id = st.t.Partition.task_id; best_task_ms = st.best;
-           network_ms = net_ms; sim_clock_s = Tuning_config.Clock.now clock });
-    curve := { time_s = Tuning_config.Clock.now clock; latency_ms = net_ms } :: !curve
+           network_ms = net_ms; sim_clock_s = Tuning_config.Clock.now clock })
   done;
   let reason = if !round >= cfg.max_rounds then Round_limit else Time_limit in
   on_event
@@ -434,6 +810,11 @@ let run (rc : Tuning_config.run) device base_model graph engine =
   in
   let final_latency_ms = network_latency states in
   let total_measurements = List.fold_left (fun acc st -> acc + st.n_measured) 0 states in
+  (match (store, !run_id) with
+  | Some s, Some id ->
+    save_ckpt ~completed:true;
+    Store.complete_run s ~id
+  | _ -> ());
   on_event
     (Tuning_finished
        { final_latency_ms; total_measurements;
@@ -475,7 +856,7 @@ let run_single (rc : Tuning_config.run) ~rounds device base_model sg engine =
     (Tuning_started
        { network = sg.Compute.sg_name; device_name = device.Device.device_name; engine;
          n_tasks = 1 });
-  initial_round cfg rng device clock [ st ];
+  initial_round cfg ~telemetry rng device clock [ st ];
   let curve = ref [ { time_s = Tuning_config.Clock.now clock; latency_ms = st.best } ] in
   let predictions = ref [] in
   for round = 1 to rounds do
@@ -498,26 +879,3 @@ let run_single (rc : Tuning_config.run) ~rounds device base_model sg engine =
        { final_latency_ms = st.best; total_measurements = st.n_measured;
          sim_clock_s = Tuning_config.Clock.now clock });
   { best = best_of_state st; curve = List.rev !curve; predictions = !predictions }
-
-(* --- deprecated labelled-argument shims ------------------------------------ *)
-
-let run_config ?(config = Tuning_config.default) ?(on_event = no_event)
-    ?(telemetry = Telemetry.global) ?runtime ~seed () =
-  let rc =
-    Tuning_config.(
-      builder |> with_search config |> with_seed seed |> with_on_event on_event
-      |> with_telemetry telemetry)
-  in
-  match runtime with
-  | Some rt -> Tuning_config.with_runtime rt rc
-  | None -> rc
-
-let tune ?config ?on_event ?telemetry ?runtime ~seed device base_model graph engine =
-  run (run_config ?config ?on_event ?telemetry ?runtime ~seed ()) device base_model
-    graph engine
-
-let tune_single ?config ?on_event ?telemetry ?runtime ~seed ~rounds device base_model
-    sg engine =
-  run_single
-    (run_config ?config ?on_event ?telemetry ?runtime ~seed ())
-    ~rounds device base_model sg engine

@@ -138,7 +138,26 @@ val run : Tuning_config.run -> Device.t -> Mlp.t -> Graph.t -> engine -> result
 (** Tune a whole network under one run configuration. The cost model is
     copied and fine-tuned privately; the caller's model is not modified.
     When the configuration carries no explicit runtime but [jobs > 1], a
-    temporary domain pool is created for the duration of the call. *)
+    temporary domain pool is created for the duration of the call.
+
+    With {!Tuning_config.with_store} the run is durable:
+
+    - every measurement is appended to the store's journal and made
+      durable (fsync) at the end of each round, followed by an atomic
+      checkpoint of the complete tuning state — scheduler state, RNG
+      stream position, cost-model weights, optimizer state and the
+      simulated clock;
+    - if the store holds an unfinished checkpoint of the {e same}
+      configuration (network, device, engine, seed and search
+      parameters — parallelism is excluded, results are invariant to
+      it), the run resumes from it and produces a result bit-identical
+      to the uninterrupted run;
+    - otherwise, records of {e completed} prior runs for the same
+      device and tasks warm-start this one: their schedules seed the
+      dedup caches, bests and elites (a re-proposal of a seeded
+      schedule costs zero simulated time), and the cost model is
+      fine-tuned once on the replayed pairs before the first round.
+      A run over an empty store is bit-identical to a run without one. *)
 
 type single_result = {
   best : best_candidate;
@@ -157,35 +176,3 @@ val run_single :
   engine ->
   single_result
 (** Tune one subgraph for a fixed number of rounds (Figures 8 and 9). *)
-
-(** {2 Deprecated labelled-argument entry points}
-
-    Thin shims over {!run} / {!run_single}; kept for one release. *)
-
-val tune :
-  ?config:Tuning_config.t ->
-  ?on_event:(event -> unit) ->
-  ?telemetry:Telemetry.t ->
-  ?runtime:Runtime.t ->
-  seed:int ->
-  Device.t ->
-  Mlp.t ->
-  Graph.t ->
-  engine ->
-  result
-[@@ocaml.deprecated "build a Tuning_config.run with the builder and call Tuner.run"]
-
-val tune_single :
-  ?config:Tuning_config.t ->
-  ?on_event:(event -> unit) ->
-  ?telemetry:Telemetry.t ->
-  ?runtime:Runtime.t ->
-  seed:int ->
-  rounds:int ->
-  Device.t ->
-  Mlp.t ->
-  Compute.subgraph ->
-  engine ->
-  single_result
-[@@ocaml.deprecated
-  "build a Tuning_config.run with the builder and call Tuner.run_single"]

@@ -32,6 +32,7 @@ module Clock = struct
   let create () = { t = 0.0 }
   let now c = c.t
   let advance c dt = c.t <- c.t +. dt
+  let set c v = c.t <- v
 end
 
 (* --- engines and tuning events --------------------------------------------- *)
@@ -96,6 +97,7 @@ type run = {
   runtime : Runtime.t option;
   on_event : event -> unit;
   telemetry : Telemetry.t option;
+  store : Store.t option;
 }
 
 (* FELIX_BATCH seeds the builder's descent batch width, mirroring how the
@@ -107,7 +109,7 @@ let batch_from_env () =
 
 let builder =
   { search = default; seed = 0; jobs = 1; batch = batch_from_env (); runtime = None;
-    on_event = no_event; telemetry = None }
+    on_event = no_event; telemetry = None; store = None }
 
 let with_search search r = { r with search }
 let with_rounds n r = { r with search = { r.search with max_rounds = n } }
@@ -122,3 +124,4 @@ let with_batch batch r = { r with batch = max 1 batch }
 let with_runtime rt r = { r with runtime = Some rt }
 let with_on_event on_event r = { r with on_event }
 let with_telemetry reg r = { r with telemetry = Some reg }
+let with_store store r = { r with store = Some store }

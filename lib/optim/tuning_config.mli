@@ -49,6 +49,9 @@ module Clock : sig
   val create : unit -> clock
   val now : clock -> float
   val advance : clock -> float -> unit
+
+  val set : clock -> float -> unit
+  (** Restore an absolute clock value (tuning-store resume). *)
 end
 
 (** {1 Engines and tuning events}
@@ -134,6 +137,11 @@ type run = {
       (** explicit runtime to share across runs; overrides [jobs] *)
   on_event : event -> unit;
   telemetry : Telemetry.t option;  (** defaults to [Telemetry.global] *)
+  store : Store.t option;
+      (** durable tuning store: measurements are journaled and the run
+          checkpointed every round; an interrupted matching run resumes
+          bit-identically and completed prior runs warm-start this one
+          (see {!Tuner.run}) *)
 }
 
 val builder : run
@@ -162,3 +170,8 @@ val with_batch : int -> run -> run
 val with_runtime : Runtime.t -> run -> run
 val with_on_event : (event -> unit) -> run -> run
 val with_telemetry : Telemetry.t -> run -> run
+
+val with_store : Store.t -> run -> run
+(** Journal every measurement to [store], checkpoint each round, resume
+    an interrupted matching run bit-identically, and warm-start fresh
+    runs from completed prior records. *)

@@ -21,9 +21,10 @@ val attr_int : attr list -> string -> int option
 val attr_float : attr list -> string -> float option
 val attr_str : attr list -> string -> string option
 
-(** Minimal compact JSON (public for tests and the trace parser). *)
+(** The shared JSON type (defined in [lib/util]) specialised to the
+    compact single-line rendering of the trace format. *)
 module Json : sig
-  type t =
+  type t = Json.t =
     | Null
     | Bool of bool
     | Num of float

@@ -1,0 +1,313 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Shortest decimal expansion that survives [float_of_string]; integers up
+   to 2^53 print without a point so counters stay readable. *)
+let fmt_num v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else if Float.is_finite v then begin
+    let s = Printf.sprintf "%.15g" v in
+    if float_of_string s = v then s
+    else
+      let s = Printf.sprintf "%.16g" v in
+      if float_of_string s = v then s else Printf.sprintf "%.17g" v
+  end
+  else "null" (* JSON has no infinity *)
+
+let to_string ?(indent = 2) t =
+  let buf = Buffer.create 256 in
+  let pad depth = String.make (indent * depth) ' ' in
+  let rec go depth t =
+    match t with
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Num v -> Buffer.add_string buf (fmt_num v)
+    | Str s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape s);
+      Buffer.add_char buf '"'
+    | List [] -> Buffer.add_string buf "[]"
+    | List items ->
+      Buffer.add_string buf "[\n";
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          Buffer.add_string buf (pad (depth + 1));
+          go (depth + 1) item)
+        items;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (pad depth);
+      Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj fields ->
+      Buffer.add_string buf "{\n";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          Buffer.add_string buf (pad (depth + 1));
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (escape k);
+          Buffer.add_string buf "\": ";
+          go (depth + 1) v)
+        fields;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (pad depth);
+      Buffer.add_char buf '}'
+  in
+  go 0 t;
+  Buffer.contents buf
+
+let to_line t =
+  let buf = Buffer.create 256 in
+  let rec go = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Num v -> Buffer.add_string buf (fmt_num v)
+    | Str s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape s);
+      Buffer.add_char buf '"'
+    | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          go item)
+        items;
+      Buffer.add_char buf ']'
+    | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (escape k);
+          Buffer.add_string buf "\":";
+          go v)
+        fields;
+      Buffer.add_char buf '}'
+  in
+  go t;
+  Buffer.contents buf
+
+(* --- parser ---------------------------------------------------------------- *)
+
+exception Parse_error of string
+
+let add_utf8 buf cp =
+  if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else if cp < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      advance ()
+    done
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then advance ()
+    else fail (Printf.sprintf "expected %C" c)
+  in
+  let literal lit v =
+    let l = String.length lit in
+    if !pos + l <= n && String.sub s !pos l = lit then begin
+      pos := !pos + l;
+      v
+    end
+    else fail (Printf.sprintf "expected %s" lit)
+  in
+  let hex4 () =
+    if !pos + 4 > n then fail "short \\u escape";
+    let code =
+      match int_of_string_opt ("0x" ^ String.sub s !pos 4) with
+      | Some c -> c
+      | None -> fail "bad \\u escape"
+    in
+    pos := !pos + 4;
+    code
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' -> advance ()
+        | '\\' ->
+          advance ();
+          (if !pos >= n then fail "unterminated escape"
+           else
+             match s.[!pos] with
+             | '"' -> Buffer.add_char buf '"'; advance ()
+             | '\\' -> Buffer.add_char buf '\\'; advance ()
+             | '/' -> Buffer.add_char buf '/'; advance ()
+             | 'n' -> Buffer.add_char buf '\n'; advance ()
+             | 'r' -> Buffer.add_char buf '\r'; advance ()
+             | 't' -> Buffer.add_char buf '\t'; advance ()
+             | 'b' -> Buffer.add_char buf '\b'; advance ()
+             | 'f' -> Buffer.add_char buf '\012'; advance ()
+             | 'u' ->
+               advance ();
+               let code = hex4 () in
+               if code >= 0xD800 && code <= 0xDBFF then begin
+                 (* High surrogate: a low surrogate must follow. *)
+                 if !pos + 2 <= n && s.[!pos] = '\\' && s.[!pos + 1] = 'u' then begin
+                   pos := !pos + 2;
+                   let lo = hex4 () in
+                   if lo >= 0xDC00 && lo <= 0xDFFF then
+                     add_utf8 buf
+                       (0x10000 + ((code - 0xD800) lsl 10) + (lo - 0xDC00))
+                   else fail "invalid low surrogate"
+                 end
+                 else fail "unpaired surrogate"
+               end
+               else if code >= 0xDC00 && code <= 0xDFFF then
+                 fail "unpaired low surrogate"
+               else add_utf8 buf code
+             | c -> fail (Printf.sprintf "bad escape \\%c" c));
+          go ()
+        | c when Char.code c < 0x20 -> fail "unescaped control character"
+        | c -> Buffer.add_char buf c; advance (); go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    (* RFC 8259 number grammar: an optional minus, then "0" or a non-zero
+       digit run, an optional ".digits" fraction and an optional exponent —
+       stricter than [float_of_string] (no leading zeros, hex, or "1."). *)
+    let start = !pos in
+    let digit () =
+      match peek () with Some '0' .. '9' -> advance (); true | _ -> false
+    in
+    let digits1 () = if not (digit ()) then fail "malformed number" else while digit () do () done in
+    if peek () = Some '-' then advance ();
+    (match peek () with
+    | Some '0' -> advance ()
+    | Some '1' .. '9' -> while digit () do () done
+    | _ -> fail "malformed number");
+    if peek () = Some '.' then begin advance (); digits1 () end;
+    (match peek () with
+    | Some ('e' | 'E') ->
+      advance ();
+      (match peek () with Some ('-' | '+') -> advance () | _ -> ());
+      digits1 ()
+    | _ -> ());
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some v -> v
+    | None -> fail "malformed number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> Str (parse_string ())
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        List []
+      end
+      else begin
+        let items = ref [ parse_value () ] in
+        skip_ws ();
+        while peek () = Some ',' do
+          advance ();
+          items := parse_value () :: !items;
+          skip_ws ()
+        done;
+        expect ']';
+        List (List.rev !items)
+      end
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let field () =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          (k, v)
+        in
+        let fields = ref [ field () ] in
+        skip_ws ();
+        while peek () = Some ',' do
+          advance ();
+          fields := field () :: !fields;
+          skip_ws ()
+        done;
+        expect '}';
+        Obj (List.rev !fields)
+      end
+    | Some _ -> Num (parse_number ())
+  in
+  match parse_value () with
+  | v ->
+    skip_ws ();
+    if !pos <> n then Error (Printf.sprintf "trailing input at offset %d" !pos)
+    else Ok v
+  | exception Parse_error msg -> Error msg
+
+(* --- accessors ------------------------------------------------------------- *)
+
+let find t k = match t with Obj fields -> List.assoc_opt k fields | _ -> None
+let as_string = function Str s -> Some s | _ -> None
+let as_float = function Num v -> Some v | _ -> None
+
+let as_int = function
+  | Num v when Float.is_integer v -> Some (int_of_float v)
+  | _ -> None
+
+let as_bool = function Bool b -> Some b | _ -> None
+let as_list = function List l -> Some l | _ -> None

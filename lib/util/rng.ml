@@ -15,6 +15,8 @@ let next_int64 t =
 
 let split t = { state = next_int64 t }
 let copy t = { state = t.state }
+let state_bits t = t.state
+let of_state_bits state = { state }
 
 let substream t i =
   if i < 0 then invalid_arg "Rng.substream: index must be >= 0";

@@ -18,6 +18,13 @@ val copy : t -> t
 (** [copy t] duplicates the current state (both copies produce the same
     subsequent values). *)
 
+val state_bits : t -> int64
+(** The full internal state; [of_state_bits (state_bits t)] continues
+    [t]'s stream exactly. Used by the tuning store's checkpoints to make
+    resumed runs bit-identical. *)
+
+val of_state_bits : int64 -> t
+
 val substream : t -> int -> t
 (** [substream t i] derives the [i]-th independent child stream without
     advancing [t]: the result depends only on [t]'s current state and [i],

@@ -96,13 +96,29 @@ let test_mlp_copy_independent () =
 let test_mlp_save_load () =
   let rng = Rng.create 6 in
   let m = Mlp.create rng ~hidden:[ 8 ] ~n_inputs:2 () in
-  let path = Filename.temp_file "felix_mlp" ".bin" in
-  Mlp.save m path;
-  (match Mlp.load path with
-  | Some m2 -> check_close "roundtrip" (Mlp.forward m [| 0.5; 0.7 |]) (Mlp.forward m2 [| 0.5; 0.7 |])
-  | None -> Alcotest.fail "load failed");
+  let path = Filename.temp_file "felix_mlp" ".json" in
+  (match Mlp.save_file m path with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Store.error_message e));
+  (match Mlp.load_file path with
+  | Ok m2 ->
+    (* The artifact stores IEEE-754 bits: the reload is exact, not close. *)
+    Alcotest.(check bool) "bit-identical forward" true
+      (Int64.equal
+         (Int64.bits_of_float (Mlp.forward m [| 0.5; 0.7 |]))
+         (Int64.bits_of_float (Mlp.forward m2 [| 0.5; 0.7 |])))
+  | Error e -> Alcotest.fail (Store.error_message e));
+  (* A wrong-kind artifact is rejected with a typed error, not a crash. *)
+  (match Store.Artifact.save ~path ~kind:"felix-other" ~version:1 Json.Null with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Store.error_message e));
+  (match Mlp.load_file path with
+  | Error (Store.Kind_mismatch _) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected Kind_mismatch");
   Sys.remove path;
-  Alcotest.(check bool) "missing file -> None" true (Mlp.load path = None)
+  (match Mlp.load_file path with
+  | Error (Store.Not_found _) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected Not_found")
 
 let small_tasks () = [ dense_sg (); conv_sg () ]
 
@@ -292,17 +308,6 @@ let test_adam_step_batch_bitwise () =
       scalar_params
   done
 
-let test_mlp_deprecated_forward_batch () =
-  let rng = Rng.create 80 in
-  let model = batch_test_model rng in
-  let rows = Array.init 9 (fun _ -> Array.init 11 (fun _ -> Rng.gaussian rng)) in
-  let scores = (Mlp.forward_batch model rows [@warning "-3"]) in
-  Array.iteri
-    (fun l row ->
-      if not (Int64.equal (bits (Mlp.forward model row)) (bits scores.(l))) then
-        Alcotest.failf "lane %d: deprecated forward_batch diverged" l)
-    rows
-
 let test_mlp_workspace_mismatch () =
   let rng = Rng.create 8 in
   let m1 = Mlp.create rng ~hidden:[ 4 ] ~n_inputs:3 () in
@@ -330,8 +335,6 @@ let tests =
       test_mlp_param_gradient_batch_bitwise;
     Alcotest.test_case "batched adam retraces independent optimisers" `Quick
       test_adam_step_batch_bitwise;
-    Alcotest.test_case "deprecated forward_batch matches forward" `Quick
-      test_mlp_deprecated_forward_batch;
     Alcotest.test_case "mlp workspace kernels bitwise-equal legacy" `Quick
       test_mlp_workspace_bitwise;
     Alcotest.test_case "mlp workspace shape mismatch" `Quick test_mlp_workspace_mismatch;

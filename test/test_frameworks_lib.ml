@@ -103,7 +103,7 @@ let test_end_to_end_api () =
   let ds = Dataset.split rng samples in
   let cost_model, _ = Train.pretrain rng ~epochs:4 ~hidden:[ 48; 48 ] ds in
   let opt = Felix.Optimizer.create ~config:Tuning_config.quick ~seed:1 graphs cost_model device in
-  let save = Filename.temp_file "felix_res" ".bin" in
+  let save = Filename.temp_file "felix_res" ".json" in
   let res = Felix.Optimizer.optimize_all opt ~n_total_rounds:6 ~save_res:save () in
   Alcotest.(check bool) "tuning produced a latency" true
     (Float.is_finite res.Tuner.final_latency_ms);
@@ -111,13 +111,23 @@ let test_end_to_end_api () =
   check_close "compiled latency matches" res.Tuner.final_latency_ms
     (Felix.Compiled.latency_ms compiled);
   Alcotest.(check int) "schedules per task" 5 (List.length (Felix.Compiled.best_schedules compiled));
-  (* save / reload a compiled module *)
-  let path = Filename.temp_file "felix_compiled" ".bin" in
-  Felix.Compiled.save compiled path;
-  (match Felix.Compiled.load path with
-  | Some c2 -> check_close "compiled roundtrip" (Felix.Compiled.latency_ms compiled)
-                 (Felix.Compiled.latency_ms c2)
-  | None -> Alcotest.fail "compiled load failed");
+  (* save / reload a compiled module through the versioned artifact *)
+  let path = Filename.temp_file "felix_compiled" ".json" in
+  (match Felix.Compiled.save_file compiled path with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "compiled save: %s" (Felix.Store.error_message e));
+  (match Felix.Compiled.load_file path with
+  | Ok c2 ->
+    Alcotest.(check bool) "compiled roundtrip is bit-exact" true
+      (Int64.bits_of_float (Felix.Compiled.latency_ms compiled)
+      = Int64.bits_of_float (Felix.Compiled.latency_ms c2));
+    Alcotest.(check bool) "schedules round-trip" true
+      (Felix.Compiled.best_schedules compiled = Felix.Compiled.best_schedules c2)
+  | Error e -> Alcotest.failf "compiled load: %s" (Felix.Store.error_message e));
+  (match Felix.Compiled.load_file "/nonexistent/compiled.json" with
+  | Error (Felix.Store.Not_found _) -> ()
+  | Error e -> Alcotest.failf "expected Not_found, got %s" (Felix.Store.error_message e)
+  | Ok _ -> Alcotest.fail "loaded a missing file");
   Sys.remove path;
   (* reload the optimizer result from the saved file *)
   let c3 = Felix.Optimizer.compile_with_best_configs ~configs_file:save opt in

@@ -9,6 +9,7 @@ let () =
       ("sim", Test_sim_lib.tests);
       ("runtime", Test_runtime_lib.tests);
       ("telemetry", Test_telemetry_lib.tests);
+      ("store", Test_store_lib.tests);
       ("cost_model", Test_cost_model_lib.tests);
       ("optim", Test_optim_lib.tests);
       ("frameworks_api", Test_frameworks_lib.tests) ]

@@ -508,12 +508,37 @@ let test_export_roundtrip () =
     (Testutil.contains ~needle:"\"network\"" json);
   Alcotest.(check bool) "json has tasks" true (Testutil.contains ~needle:"\"tasks\"" json);
   Alcotest.(check bool) "json has engine" true (Testutil.contains ~needle:"Felix" json);
-  (* files *)
+  (* files: CSV plus the versioned result artifact, reloaded bit-exactly *)
   let p1 = Filename.temp_file "felix_curve" ".csv" in
   let p2 = Filename.temp_file "felix_res" ".json" in
   Export.write_curve_csv r p1;
-  Export.write_result_json r p2;
-  Alcotest.(check bool) "files written" true (Sys.file_exists p1 && Sys.file_exists p2);
+  (match Export.save_result r p2 with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "save_result: %s" (Store.error_message e));
+  (match Export.load_result p2 with
+  | Error e -> Alcotest.failf "load_result: %s" (Store.error_message e)
+  | Ok s ->
+    Alcotest.(check string) "network round-trips" r.Tuner.network s.Export.sr_network;
+    Alcotest.(check int) "tasks round-trip"
+      (List.length r.Tuner.tasks)
+      (List.length s.Export.sr_tasks);
+    Alcotest.(check bool) "final latency bit-exact" true
+      (Int64.bits_of_float r.Tuner.final_latency_ms
+      = Int64.bits_of_float s.Export.sr_final_latency_ms);
+    Alcotest.(check bool) "curve bit-exact" true
+      (List.for_all2
+         (fun (p : Tuner.progress_point) (t, l) ->
+           Int64.bits_of_float p.Tuner.time_s = Int64.bits_of_float t
+           && Int64.bits_of_float p.Tuner.latency_ms = Int64.bits_of_float l)
+         r.Tuner.curve s.Export.sr_curve));
+  (* a foreign artifact is refused with a typed error *)
+  (match Mlp.save_file (Lazy.force shared_model) p2 with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "mlp save: %s" (Store.error_message e));
+  (match Export.load_result p2 with
+  | Error (Store.Kind_mismatch _) -> ()
+  | Error e -> Alcotest.failf "expected kind mismatch, got %s" (Store.error_message e)
+  | Ok _ -> Alcotest.fail "loaded an MLP artifact as a result");
   Sys.remove p1;
   Sys.remove p2
 
@@ -699,35 +724,3 @@ let tests =
       Alcotest.test_case "events/telemetry leave the result unchanged" `Slow
         test_events_do_not_change_result;
       Alcotest.test_case "per-round telemetry spans" `Slow test_round_spans_recorded ]
-
-(* --- deprecated shims -------------------------------------------------------- *)
-
-(* The labelled-argument entry points are deprecated for one release; until
-   they go, they must produce exactly the result of the run API. *)
-module Shims = struct
-  [@@@alert "-deprecated"]
-
-  let tune_single = Tuner.tune_single
-end
-
-let test_shims_match_run_api () =
-  let model = Lazy.force shared_model in
-  let via_run =
-    Tuner.run_single
-      Tuning_config.(builder |> with_search quick |> with_seed 7)
-      ~rounds:2 Device.rtx_a5000 model (dense_sg ()) Tuner.Felix
-  in
-  let via_shim =
-    Shims.tune_single ~config:quick ~seed:7 ~rounds:2 Device.rtx_a5000 model
-      (dense_sg ()) Tuner.Felix
-  in
-  check_close "same final latency" via_run.Tuner.best.Tuner.latency_ms
-    via_shim.Tuner.best.Tuner.latency_ms;
-  Alcotest.(check int) "same curve length"
-    (List.length via_run.Tuner.curve)
-    (List.length via_shim.Tuner.curve)
-
-let tests =
-  tests
-  @ [ Alcotest.test_case "deprecated shims match the run API" `Slow
-        test_shims_match_run_api ]

@@ -184,3 +184,108 @@ let tests =
     test_toposort_random;
     Alcotest.test_case "table render" `Quick test_table_render;
     Alcotest.test_case "table formats" `Quick test_table_formats ]
+
+(* --- json parser/writer ------------------------------------------------------ *)
+
+let ok = function Ok j -> j | Error e -> Alcotest.failf "parse error: %s" e
+
+let test_json_parse_scalars () =
+  Alcotest.(check bool) "null" true (Json.parse "null" = Ok Json.Null);
+  Alcotest.(check bool) "true" true (Json.parse " true " = Ok (Json.Bool true));
+  Alcotest.(check bool) "int" true (Json.parse "42" = Ok (Json.Num 42.0));
+  Alcotest.(check bool) "neg exp" true (Json.parse "-1.5e3" = Ok (Json.Num (-1500.0)));
+  Alcotest.(check bool) "string" true (Json.parse "\"hi\"" = Ok (Json.Str "hi"));
+  Alcotest.(check bool) "nested" true
+    (Json.parse "{\"a\":[1,{\"b\":null}]}"
+    = Ok (Json.Obj [ ("a", Json.List [ Json.Num 1.0; Json.Obj [ ("b", Json.Null) ] ]) ]))
+
+let test_json_parse_escapes () =
+  (* RFC 8259 escapes, including \uXXXX and surrogate pairs -> UTF-8. *)
+  Alcotest.(check bool) "simple escapes" true
+    (Json.parse {|"a\"b\\c\/d\b\f\n\r\t"|} = Ok (Json.Str "a\"b\\c/d\b\012\n\r\t"));
+  Alcotest.(check bool) "bmp escape" true
+    (Json.parse {|"caf\u00e9"|} = Ok (Json.Str "caf\xc3\xa9"));
+  Alcotest.(check bool) "ascii escape" true
+    (Json.parse {|"\u0041"|} = Ok (Json.Str "A"));
+  Alcotest.(check bool) "3-byte utf8" true
+    (Json.parse {|"\u20ac"|} = Ok (Json.Str "\xe2\x82\xac"));
+  Alcotest.(check bool) "surrogate pair" true
+    (Json.parse {|"\ud83d\ude00"|} = Ok (Json.Str "\xf0\x9f\x98\x80"))
+
+let test_json_parse_rejects () =
+  let bad s =
+    match Json.parse s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "accepted malformed input %S" s
+  in
+  bad "";
+  bad "{";
+  bad "[1,2";
+  bad "[1,]";
+  bad "{\"a\" 1}";
+  bad "nul";
+  bad "1 2";          (* trailing input *)
+  bad "\"a\nb\"";     (* unescaped control character *)
+  bad "\"\\ud83d\"";  (* unpaired high surrogate *)
+  bad "\"\\ude00\"";  (* lone low surrogate *)
+  bad "\"\\x41\"";    (* unknown escape *)
+  bad "{\"a\":}";
+  bad "01"            (* leading zero *)
+
+let test_json_escape_writer () =
+  Alcotest.(check string) "control chars as \\u" "\"\\u0001\\u001f\""
+    (Json.to_string (Json.Str "\x01\x1f"));
+  Alcotest.(check string) "quote backslash newline" "\"a\\\"b\\\\c\\n\""
+    (Json.to_string (Json.Str "a\"b\\c\n"))
+
+let test_json_number_bits () =
+  (* The writer emits shortest-round-trip numbers: every finite float
+     survives a print/parse cycle bit-exactly. *)
+  List.iter
+    (fun v ->
+      match ok (Json.parse (Json.to_string (Json.Num v))) with
+      | Json.Num v' ->
+        if Int64.bits_of_float v <> Int64.bits_of_float v' then
+          Alcotest.failf "float %h did not round-trip (got %h)" v v'
+      | _ -> Alcotest.fail "not a number")
+    [ 0.0; -0.0; 0.1; 1.0 /. 3.0; Float.pi; 1e-308; 4.9e-324;
+      1.7976931348623157e308; -2.5e-15; 123456789.123456789 ]
+
+let json_gen =
+  let open QCheck2.Gen in
+  let str_g = string_size ~gen:(map Char.chr (int_range 0 127)) (int_range 0 10) in
+  let scalar =
+    oneof
+      [ return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        map (fun f -> Json.Num f) (float_range (-1e12) 1e12);
+        map (fun s -> Json.Str s) str_g ]
+  in
+  sized_size (int_range 0 4)
+  @@ QCheck2.Gen.fix (fun self n ->
+         if n <= 0 then scalar
+         else
+           oneof
+             [ scalar;
+               map (fun l -> Json.List l) (list_size (int_range 0 4) (self (n - 1)));
+               map
+                 (fun kvs -> Json.Obj kvs)
+                 (list_size (int_range 0 4) (pair str_g (self (n - 1)))) ])
+
+let test_json_roundtrip_pretty =
+  Testutil.qtest ~count:300 "json parse (to_string j) = j" json_gen (fun j ->
+      Json.parse (Json.to_string j) = Ok j)
+
+let test_json_roundtrip_line =
+  Testutil.qtest ~count:300 "json parse (to_line j) = j" json_gen (fun j ->
+      Json.parse (Json.to_line j) = Ok j)
+
+let tests =
+  tests
+  @ [ Alcotest.test_case "json parse scalars" `Quick test_json_parse_scalars;
+      Alcotest.test_case "json parse escapes (RFC 8259)" `Quick test_json_parse_escapes;
+      Alcotest.test_case "json parse rejects malformed input" `Quick test_json_parse_rejects;
+      Alcotest.test_case "json writer escapes" `Quick test_json_escape_writer;
+      Alcotest.test_case "json numbers round-trip bit-exactly" `Quick test_json_number_bits;
+      test_json_roundtrip_pretty;
+      test_json_roundtrip_line ]
