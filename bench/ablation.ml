@@ -93,7 +93,7 @@ let run () =
   List.iter
     (fun engine ->
       let r =
-        Tuner.run_single
+        C.run_tuner_single
           Tuning_config.(builder |> with_search base |> with_seed 5)
           ~rounds:(rounds ()) device model sg engine
       in

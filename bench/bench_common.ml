@@ -73,6 +73,17 @@ let result_of_saved (s : Export.saved_result) : Tuner.result =
     total_measurements = s.Export.sr_total_measurements;
     tasks = [] }
 
+(* Benchmarks treat a tuner configuration error as fatal. *)
+let run_tuner rc device model g engine =
+  match Tuner.run rc device model g engine with
+  | Ok r -> r
+  | Error e -> failwith (Tuner.error_message e)
+
+let run_tuner_single rc ~rounds device model sg engine =
+  match Tuner.run_single rc ~rounds device model sg engine with
+  | Ok r -> r
+  | Error e -> failwith (Tuner.error_message e)
+
 let tuned ?(seed = 1) ~batch net device engine : Tuner.result =
   ensure_artifacts ();
   let name = Workload.network_name net in
@@ -86,7 +97,7 @@ let tuned ?(seed = 1) ~batch net device engine : Tuner.result =
     let model = cost_model device in
     let g = Workload.graph ~batch net in
     let rc = Tuning_config.(builder |> with_search (tuning_config ()) |> with_seed seed) in
-    let r = Tuner.run rc device model g engine in
+    let r = run_tuner rc device model g engine in
     Printf.printf "[tune]   done: %.3f ms final (%.0fs simulated, %.1fs cpu)\n%!"
       r.Tuner.final_latency_ms
       (match List.rev r.Tuner.curve with p :: _ -> p.Tuner.time_s | [] -> 0.0)

@@ -293,7 +293,7 @@ let fig8 () =
       List.iter
         (fun engine ->
           let r =
-            Tuner.run_single
+            C.run_tuner_single
               Tuning_config.(builder |> with_seed 2)
               ~rounds device model sg engine
           in
@@ -333,7 +333,7 @@ let fig9 () =
     (fun (name, op) ->
       let sg = Compute.lower ~name op in
       let tuned engine =
-        (Tuner.run_single
+        (C.run_tuner_single
            Tuning_config.(builder |> with_seed 3)
            ~rounds device model sg engine)
           .Tuner.best.Tuner.latency_ms

@@ -68,7 +68,7 @@ let run () =
     (fun jobs ->
       let r, dt =
         time (fun () ->
-            Tuner.run_single
+            C.run_tuner_single
               Tuning_config.(
                 builder |> with_search cfg |> with_seed 17 |> with_jobs jobs)
               ~rounds device model sg Tuner.Felix)

@@ -49,7 +49,7 @@ let tune_with_store ~dir ~rounds device model g =
       Tuning_config.(
         builder |> with_search search |> with_seed 11 |> with_store store)
     in
-    let r = Tuner.run rc device model g Tuner.Felix in
+    let r = C.run_tuner rc device model g Tuner.Felix in
     Store.close store;
     r
 

@@ -3,6 +3,11 @@
    Subcommands:
      tune     — tune one of the paper's networks on a device
      resume   — continue an interrupted tune from its --store directory
+     serve    — run the tuning service daemon on a Unix-domain socket
+     submit   — send a tuning job to a running service
+     status   — query a job's state on a running service
+     result   — fetch a finished job's result from a running service
+     cancel   — cancel a queued or running job on a running service
      inspect  — print a network's tuning tasks and search-space statistics
      compare  — compare a tuned network against the vendor frameworks
      devices  — list device models
@@ -47,7 +52,12 @@ let quick_arg =
   Arg.(value & flag & info [ "quick" ] ~doc:"Use the reduced-effort search configuration.")
 
 let engine_arg =
-  let engine_conv = Arg.enum [ ("felix", Tuner.Felix); ("ansor", Tuner.Ansor); ("random", Tuner.Random) ] in
+  let engine_conv =
+    Arg.enum
+      (List.map
+         (fun e -> (Tuning_config.engine_id e, e))
+         [ Tuner.Felix; Tuner.Ansor; Tuner.Random ])
+  in
   Arg.(value & opt engine_conv Tuner.Felix
        & info [ "engine" ] ~doc:"Search engine: felix, ansor or random.")
 
@@ -129,49 +139,19 @@ let store_arg =
                An interrupted run is continued bit-identically by \
                $(b,felix-tune resume) $(docv).")
 
-(* The invocation artifact written into a store directory; [resume] reads it
-   back so the continued run is the exact invocation that was interrupted. *)
-let cli_run_kind = "felix-cli-run"
-let cli_run_version = 1
-
-let engine_names =
-  [ ("felix", Tuner.Felix); ("ansor", Tuner.Ansor); ("random", Tuner.Random) ]
-
-let engine_to_name e = fst (List.find (fun (_, e') -> e' = e) engine_names)
-
-let invocation_json ~net ~device ~rounds ~batch ~seed ~quick ~engine =
-  Json.Obj
-    [ ("network", Json.Str (Workload.network_name net));
-      ("device", Json.Str device.Device.device_name);
-      ("rounds", Json.Num (float_of_int rounds));
-      ("batch", Json.Num (float_of_int batch));
-      ("seed", Json.Num (float_of_int seed));
-      ("quick", Json.Bool quick);
-      ("engine", Json.Str (engine_to_name engine)) ]
-
-let invocation_of_json j =
-  let ( let* ) = Option.bind in
-  let* net_name = Option.bind (Json.find j "network") Json.as_string in
-  let* net =
-    List.find_opt
-      (fun n ->
-        String.lowercase_ascii (Workload.network_name n)
-        = String.lowercase_ascii net_name)
-      Workload.all_networks
+(* One job specification drives [tune], [submit] and the [run.json]
+   invocation record that [resume] replays: the shared Serve.Job codec
+   means the three paths cannot drift apart. *)
+let spec_of ~net ~device ~rounds ~batch ~seed ~quick ~engine ~jobs ~gd_batch
+    ~deadline ~store_dir =
+  let search = config_of_quick quick rounds in
+  let run =
+    Tuning_config.(
+      builder |> with_search search |> with_seed seed |> with_jobs jobs
+      |> with_batch gd_batch)
   in
-  let* device_name = Option.bind (Json.find j "device") Json.as_string in
-  let* device = Result.to_option (Device.of_name device_name) in
-  let* rounds = Option.bind (Json.find j "rounds") Json.as_int in
-  let* batch = Option.bind (Json.find j "batch") Json.as_int in
-  let* seed = Option.bind (Json.find j "seed") Json.as_int in
-  let* quick = Option.bind (Json.find j "quick") Json.as_bool in
-  let* engine =
-    Option.bind (Json.find j "engine") (fun e ->
-        Option.bind (Json.as_string e) (fun n -> List.assoc_opt n engine_names))
-  in
-  Some (net, device, rounds, batch, seed, quick, engine)
-
-let invocation_path dir = Filename.concat dir "run.json"
+  { Serve.Job.network = net; inference_batch = batch; device; engine; run;
+    deadline_s = deadline; store_dir }
 
 let exit_store_error what e =
   Printf.eprintf "felix-tune: %s: %s\n" what (Store.error_message e);
@@ -186,8 +166,10 @@ let print_store_summary store =
          st.Store.recovered_bytes
      else "")
 
-let run_tune ?store_dir net device rounds batch seed quick engine jobs gd_batch out
-    trace metrics =
+(* Run one job spec in-process (the [tune] and [resume] paths). The store
+   directory, when given, gets the spec recorded as [run.json] so the run
+   can be resumed or re-submitted with the exact same configuration. *)
+let execute_tune ?store_dir (spec : Serve.Job.spec) out trace metrics =
   with_telemetry ~trace ~metrics @@ fun () ->
   let store =
     Option.map
@@ -195,62 +177,75 @@ let run_tune ?store_dir net device rounds batch seed quick engine jobs gd_batch 
         match Store.open_dir dir with
         | Error e -> exit_store_error dir e
         | Ok store ->
-          (match
-             Store.Artifact.save ~path:(invocation_path dir) ~kind:cli_run_kind
-               ~version:cli_run_version
-               (invocation_json ~net ~device ~rounds ~batch ~seed ~quick ~engine)
-           with
+          (match Serve.Job.save_invocation spec ~dir with
           | Ok () -> ()
           | Error e -> exit_store_error "cannot record invocation" e);
           store)
       store_dir
   in
-  let g = Workload.graph ~batch net in
+  let g = Workload.graph ~batch:spec.Serve.Job.inference_batch spec.Serve.Job.network in
   Printf.printf "%s\n\n" (Graph.summary g);
-  let model = Felix.pretrained_cost_model device in
-  let search = config_of_quick quick rounds in
-  let rc =
-    Tuning_config.(
-      builder |> with_search search |> with_seed seed |> with_jobs jobs
-      |> with_batch gd_batch)
-  in
+  let model = Felix.pretrained_cost_model spec.Serve.Job.device in
+  let rc = spec.Serve.Job.run in
   let rc = match store with Some s -> Tuning_config.with_store s rc | None -> rc in
-  let result = Tuner.run rc device model g engine in
-  Printf.printf "final latency: %.3f ms (%d measurements, %.0f simulated seconds)\n"
-    result.Tuner.final_latency_ms result.Tuner.total_measurements
-    (match List.rev result.Tuner.curve with p :: _ -> p.Tuner.time_s | [] -> 0.0);
-  let t = Table.create ~title:"tasks" ~header:[ "subgraph"; "x"; "best ms"; "sketch" ] in
-  List.iter
-    (fun (tr : Tuner.task_result) ->
-      Table.add_row t
-        [ tr.task.Partition.subgraph.Compute.sg_name; string_of_int tr.task.Partition.weight;
-          Table.fmt_ms tr.best.Tuner.latency_ms; tr.best.Tuner.sketch ])
-    result.Tuner.tasks;
-  Table.print t;
-  Option.iter
-    (fun s ->
-      print_store_summary s;
-      Store.close s)
-    store;
-  match out with
-  | None -> ()
-  | Some prefix ->
-    Export.write_curve_csv result (prefix ^ ".csv");
-    (match Export.save_result result (prefix ^ ".json") with
-    | Ok () -> ()
-    | Error e -> failwith (Store.error_message e));
-    Printf.printf "wrote %s.csv and %s.json\n" prefix prefix
+  match Tuner.run rc spec.Serve.Job.device model g spec.Serve.Job.engine with
+  | Error e ->
+    Option.iter Store.close store;
+    Printf.eprintf "felix-tune: %s\n" (Tuner.error_message e);
+    exit 1
+  | Ok result ->
+    Printf.printf "final latency: %.3f ms (%d measurements, %.0f simulated seconds)\n"
+      result.Tuner.final_latency_ms result.Tuner.total_measurements
+      (match List.rev result.Tuner.curve with p :: _ -> p.Tuner.time_s | [] -> 0.0);
+    let t = Table.create ~title:"tasks" ~header:[ "subgraph"; "x"; "best ms"; "sketch" ] in
+    List.iter
+      (fun (tr : Tuner.task_result) ->
+        Table.add_row t
+          [ tr.task.Partition.subgraph.Compute.sg_name; string_of_int tr.task.Partition.weight;
+            Table.fmt_ms tr.best.Tuner.latency_ms; tr.best.Tuner.sketch ])
+      result.Tuner.tasks;
+    Table.print t;
+    Option.iter
+      (fun s ->
+        print_store_summary s;
+        Store.close s)
+      store;
+    match out with
+    | None -> ()
+    | Some prefix ->
+      Export.write_curve_csv result (prefix ^ ".csv");
+      (match Export.save_result result (prefix ^ ".json") with
+      | Ok () -> ()
+      | Error e -> exit_store_error (prefix ^ ".json") e);
+      Printf.printf "wrote %s.csv and %s.json\n" prefix prefix
 
 let tune_cmd =
   let run net device rounds batch seed quick engine jobs gd_batch store_dir out trace
       metrics =
-    run_tune ?store_dir net device rounds batch seed quick engine jobs gd_batch out
-      trace metrics
+    let spec =
+      spec_of ~net ~device ~rounds ~batch ~seed ~quick ~engine ~jobs ~gd_batch
+        ~deadline:None ~store_dir:None
+    in
+    execute_tune ?store_dir spec out trace metrics
   in
   Cmd.v (Cmd.info "tune" ~doc:"Tune a network's schedules for a device.")
     Term.(const run $ network_arg $ device_arg $ rounds_arg $ batch_arg $ seed_arg
           $ quick_arg $ engine_arg $ jobs_arg $ gd_batch_arg $ store_arg $ out_arg
           $ trace_arg $ metrics_arg)
+
+(* Optional parallelism overrides for [resume]: omitted flags keep the
+   recorded invocation's values (results are invariant either way). *)
+let jobs_override_arg =
+  Arg.(value & opt (some int) None
+       & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Override the recorded domain parallelism. Results are \
+                 bit-identical at any value.")
+
+let gd_batch_override_arg =
+  Arg.(value & opt (some int) None
+       & info [ "gd-batch" ] ~docv:"B"
+           ~doc:"Override the recorded lockstep descent batch width. Results \
+                 are bit-identical at any value.")
 
 let resume_cmd =
   let dir_arg =
@@ -258,23 +253,23 @@ let resume_cmd =
            ~doc:"Store directory of the interrupted $(b,tune --store) run.")
   in
   let run dir jobs gd_batch out trace metrics =
-    match
-      Store.Artifact.load ~path:(invocation_path dir) ~kind:cli_run_kind
-        ~version:cli_run_version
-    with
+    match Serve.Job.load_invocation ~dir with
     | Error e -> exit_store_error dir e
-    | Ok j -> (
-      match invocation_of_json j with
-      | None ->
-        Printf.eprintf "felix-tune: %s: malformed invocation record\n"
-          (invocation_path dir);
-        exit 1
-      | Some (net, device, rounds, batch, seed, quick, engine) ->
-        Printf.printf "resuming: %s on %s (%d rounds, seed %d, %s)\n\n"
-          (Workload.network_name net) device.Device.device_name rounds seed
-          (engine_to_name engine);
-        run_tune ~store_dir:dir net device rounds batch seed quick engine jobs
-          gd_batch out trace metrics)
+    | Ok spec ->
+      let rc = spec.Serve.Job.run in
+      let rc =
+        match jobs with Some j -> Tuning_config.with_jobs j rc | None -> rc
+      in
+      let rc =
+        match gd_batch with Some b -> Tuning_config.with_batch b rc | None -> rc
+      in
+      let spec = { spec with Serve.Job.run = rc } in
+      Printf.printf "resuming: %s on %s (%d rounds, seed %d, %s)\n\n"
+        (Workload.network_name spec.Serve.Job.network)
+        spec.Serve.Job.device.Device.device_name
+        rc.Tuning_config.search.Tuning_config.max_rounds rc.Tuning_config.seed
+        (Tuning_config.engine_id spec.Serve.Job.engine);
+      execute_tune ~store_dir:dir spec out trace metrics
   in
   Cmd.v
     (Cmd.info "resume"
@@ -282,8 +277,188 @@ let resume_cmd =
          "Continue an interrupted tuning run from its store directory, \
           bit-identically to the uninterrupted run. Parallelism flags may \
           differ from the original invocation; results do not depend on them.")
-    Term.(const run $ dir_arg $ jobs_arg $ gd_batch_arg $ out_arg $ trace_arg
-          $ metrics_arg)
+    Term.(const run $ dir_arg $ jobs_override_arg $ gd_batch_override_arg $ out_arg
+          $ trace_arg $ metrics_arg)
+
+(* --- the tuning service ----------------------------------------------------- *)
+
+let socket_arg =
+  Arg.(value & opt string "felix.sock"
+       & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Unix-domain socket path of the tuning service.")
+
+let with_client socket f =
+  match Serve.Client.connect socket with
+  | Error m ->
+    Printf.eprintf "felix-tune: %s\n" m;
+    exit 1
+  | Ok c ->
+    let finish () = Serve.Client.close c in
+    (match f c with
+    | v ->
+      finish ();
+      v
+    | exception e ->
+      finish ();
+      raise e)
+
+let exit_client_error m =
+  Printf.eprintf "felix-tune: %s\n" m;
+  exit 1
+
+let print_status j =
+  let field k = Option.bind (Json.find j k) Json.as_string in
+  let num k = Option.bind (Json.find j k) Json.as_float in
+  Printf.printf "%s: %s"
+    (Option.value ~default:"?" (field "id"))
+    (Option.value ~default:"?" (field "state"));
+  (match num "rounds" with
+  | Some r when r > 0.0 -> Printf.printf " (round %.0f" r;
+    (match num "latency_ms" with
+    | Some l -> Printf.printf ", %.3f ms)" l
+    | None -> Printf.printf ")")
+  | _ -> ());
+  (match field "error" with Some m -> Printf.printf " — %s" m | None -> ());
+  print_newline ()
+
+(* Fetch a finished job's result payload and persist it exactly as
+   [tune -o] would: the artifact envelope and the bit-exact JSON writer
+   make the file byte-identical to a local run of the same spec. *)
+let write_result_artifact path payload =
+  match
+    Store.Artifact.save ~path ~kind:Export.result_kind ~version:Export.result_version
+      payload
+  with
+  | Ok () -> Printf.printf "wrote %s\n" path
+  | Error e -> exit_store_error path e
+
+let serve_cmd =
+  let workers_arg =
+    Arg.(value & opt int 2
+         & info [ "workers" ] ~docv:"N" ~doc:"Worker domains running jobs in parallel.")
+  in
+  let queue_arg =
+    Arg.(value & opt int 16
+         & info [ "queue" ] ~docv:"N"
+             ~doc:"Bounded queue capacity; submits beyond it are rejected as overloaded.")
+  in
+  let run socket workers queue trace metrics =
+    with_telemetry ~trace ~metrics @@ fun () ->
+    match Serve.create ~workers ~queue_capacity:queue ~socket () with
+    | Error m ->
+      Printf.eprintf "felix-tune: %s\n" m;
+      exit 1
+    | Ok srv ->
+      Serve.handle_signals srv;
+      Printf.printf "felix serve: listening on %s (%d workers, queue %d)\n%!" socket
+        workers queue;
+      Serve.run srv;
+      Printf.printf "felix serve: drained\n"
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the tuning service: accept jobs over a Unix-domain socket, run \
+          them on a bounded worker pool, drain gracefully on SIGTERM.")
+    Term.(const run $ socket_arg $ workers_arg $ queue_arg $ trace_arg $ metrics_arg)
+
+let submit_cmd =
+  let deadline_arg =
+    Arg.(value & opt (some float) None
+         & info [ "deadline" ] ~docv:"SECONDS"
+             ~doc:"Wall-clock deadline; the job stops (state expired) at the first \
+                   round boundary past it.")
+  in
+  let wait_arg =
+    Arg.(value & flag
+         & info [ "wait" ] ~doc:"Block until the job reaches a terminal state.")
+  in
+  let result_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out"; "o" ] ~docv:"FILE"
+             ~doc:"With $(b,--wait): write the finished job's result artifact to \
+                   $(docv) (byte-identical to $(b,tune -o)'s JSON).")
+  in
+  let run net device rounds batch seed quick engine jobs gd_batch store_dir deadline
+      socket wait out =
+    let spec =
+      spec_of ~net ~device ~rounds ~batch ~seed ~quick ~engine ~jobs ~gd_batch
+        ~deadline ~store_dir
+    in
+    with_client socket @@ fun c ->
+    match Serve.Client.submit c spec with
+    | Error m -> exit_client_error m
+    | Ok id ->
+      Printf.printf "submitted %s\n%!" id;
+      if wait then begin
+        match Serve.Client.wait c id with
+        | Error m -> exit_client_error m
+        | Ok status ->
+          print_status status;
+          let state = Option.bind (Json.find status "state") Json.as_string in
+          if state <> Some "done" then exit 1;
+          match out with
+          | None -> ()
+          | Some path -> (
+            match Serve.Client.result c id with
+            | Error m -> exit_client_error m
+            | Ok payload -> write_result_artifact path payload)
+      end
+  in
+  Cmd.v
+    (Cmd.info "submit" ~doc:"Submit a tuning job to a running service.")
+    Term.(const run $ network_arg $ device_arg $ rounds_arg $ batch_arg $ seed_arg
+          $ quick_arg $ engine_arg $ jobs_arg $ gd_batch_arg $ store_arg
+          $ deadline_arg $ socket_arg $ wait_arg $ result_out_arg)
+
+let job_id_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"JOB"
+         ~doc:"Job id returned by submit.")
+
+let status_cmd =
+  let run id socket =
+    with_client socket @@ fun c ->
+    match Serve.Client.status c id with
+    | Error m -> exit_client_error m
+    | Ok j -> print_status j
+  in
+  Cmd.v (Cmd.info "status" ~doc:"Query a job's state on a running service.")
+    Term.(const run $ job_id_arg $ socket_arg)
+
+let result_cmd =
+  let out_file_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out"; "o" ] ~docv:"FILE"
+             ~doc:"Write the result artifact to $(docv) instead of printing a summary.")
+  in
+  let run id socket out =
+    with_client socket @@ fun c ->
+    match Serve.Client.result c id with
+    | Error m -> exit_client_error m
+    | Ok payload -> (
+      match out with
+      | Some path -> write_result_artifact path payload
+      | None ->
+        (match Option.bind (Json.find payload "final_latency_ms") Json.as_float with
+        | Some l -> Printf.printf "%s: final latency %.3f ms\n" id l
+        | None -> print_endline (Json.to_string payload)))
+  in
+  Cmd.v (Cmd.info "result" ~doc:"Fetch a finished job's result from a running service.")
+    Term.(const run $ job_id_arg $ socket_arg $ out_file_arg)
+
+let cancel_cmd =
+  let run id socket =
+    with_client socket @@ fun c ->
+    match Serve.Client.cancel c id with
+    | Error m -> exit_client_error m
+    | Ok j -> print_status j
+  in
+  Cmd.v
+    (Cmd.info "cancel"
+       ~doc:
+         "Cancel a job: a queued job stops immediately, a running one \
+          checkpoints its store at the next round boundary and stops.")
+    Term.(const run $ job_id_arg $ socket_arg)
 
 let store_cmd =
   let dir_arg =
@@ -354,7 +529,13 @@ let compare_cmd =
       Tuning_config.(
         builder |> with_search search |> with_jobs jobs |> with_batch gd_batch)
     in
-    let result = Tuner.run rc device model g Tuner.Felix in
+    let result =
+      match Tuner.run rc device model g Tuner.Felix with
+      | Ok r -> r
+      | Error e ->
+        Printf.eprintf "felix-tune: %s\n" (Tuner.error_message e);
+        exit 1
+    in
     let t = Table.create ~title:"latency comparison" ~header:[ "framework"; "latency"; "vs Felix" ] in
     let felix = result.Tuner.final_latency_ms in
     List.iter
@@ -503,5 +684,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ tune_cmd; resume_cmd; inspect_cmd; compare_cmd; devices_cmd; stats_cmd;
-            store_cmd ]))
+          [ tune_cmd; resume_cmd; serve_cmd; submit_cmd; status_cmd; result_cmd;
+            cancel_cmd; inspect_cmd; compare_cmd; devices_cmd; stats_cmd; store_cmd ]))

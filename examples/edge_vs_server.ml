@@ -28,7 +28,13 @@ let () =
       let opt =
         Felix.Optimizer.create ~config:Tuning_config.quick ~seed:11 graphs cost_model device
       in
-      let result = Felix.Optimizer.optimize_all opt ~n_total_rounds:20 () in
+      let result =
+        match Felix.Optimizer.optimize_all opt ~n_total_rounds:20 () with
+        | Ok r -> r
+        | Error e ->
+          Printf.eprintf "tuning failed: %s\n" (Tuner.error_message e);
+          exit 1
+      in
       let felix = result.Tuner.final_latency_ms in
       let best_lib =
         List.filter_map Fun.id [ pytorch; tensorflow; tensorrt ]

@@ -28,7 +28,13 @@ let () =
       Printf.printf " done (%.0f simulated seconds)\n" sim_clock_s
     | _ -> ()
   in
-  let result = Felix.Optimizer.optimize_all opt ~n_total_rounds:30 ~on_event () in
+  let result =
+    match Felix.Optimizer.optimize_all opt ~n_total_rounds:30 ~on_event () with
+    | Ok r -> r
+    | Error e ->
+      Printf.eprintf "tuning failed: %s\n" (Tuner.error_message e);
+      exit 1
+  in
   Printf.printf "tuned network latency: %.3f ms\n\n" result.Tuner.final_latency_ms;
 
   (* Per-task report: what won where. *)

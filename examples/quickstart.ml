@@ -34,7 +34,11 @@ let () =
   in
   (* Run the search. *)
   let result =
-    Felix.Optimizer.optimize_all opt ~n_total_rounds:15 ~save_res:"dcgan.json" ~on_event ()
+    match Felix.Optimizer.optimize_all opt ~n_total_rounds:15 ~save_res:"dcgan.json" ~on_event () with
+    | Ok r -> r
+    | Error e ->
+      Printf.eprintf "tuning failed: %s\n" (Tuner.error_message e);
+      exit 1
   in
   Printf.printf "tuned latency: %.3f ms after %.0f simulated seconds (%d measurements)\n"
     result.Tuner.final_latency_ms

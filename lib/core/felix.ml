@@ -1,6 +1,7 @@
 module Runtime = Runtime
 module Tuning_config = Tuning_config
 module Store = Store
+module Serve = Serve
 
 type device = Device.t
 
@@ -154,12 +155,6 @@ module Compiled = struct
       | Some t -> Ok t
       | None -> Error (Store.Corrupt (path ^ ": malformed compiled-network payload")))
 
-  let save t path =
-    match save_file t path with
-    | Ok () -> ()
-    | Error e -> raise (Sys_error (Store.error_message e))
-
-  let load path = match load_file path with Ok t -> Some t | Error _ -> None
 end
 
 module Optimizer = struct
@@ -203,15 +198,16 @@ module Optimizer = struct
     let rc =
       match runtime with Some rt -> Tuning_config.with_runtime rt rc | None -> rc
     in
-    let result = Tuner.run rc t.device t.model t.subgraphs.graph Tuner.Felix in
-    t.last_result <- Some result;
-    (match save_res with
-    | Some path -> (
-      match Export.save_result result path with
-      | Ok () -> ()
-      | Error e -> raise (Sys_error (Store.error_message e)))
-    | None -> ());
-    result
+    match Tuner.run rc t.device t.model t.subgraphs.graph Tuner.Felix with
+    | Error _ as e -> e
+    | Ok result -> (
+      t.last_result <- Some result;
+      match save_res with
+      | None -> Ok result
+      | Some path -> (
+        match Export.save_result result path with
+        | Ok () -> Ok result
+        | Error e -> Error (Tuner.Store_error e)))
 
   let result_to_compiled t (r : Tuner.result) =
     { Compiled.c_network = r.Tuner.network;

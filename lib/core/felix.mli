@@ -34,6 +34,11 @@ module Store = Store
     [Felix.Store.open_dir dir] and
     [Felix.Tuning_config.with_store store]. *)
 
+module Serve = Serve
+(** The tuning service: a concurrent daemon accepting jobs over a
+    Unix-domain socket ([Serve.create]/[Serve.run]), its job codec
+    ([Serve.Job]) and the matching client ([Serve.Client]). *)
+
 type device = Device.t
 
 val cuda : string -> device
@@ -133,12 +138,6 @@ module Compiled : sig
       ["felix-compiled"]); the reloaded latency is bit-identical. *)
 
   val load_file : string -> (t, Store.error) result
-
-  val save : t -> string -> unit
-  [@@ocaml.deprecated "use Compiled.save_file, which reports errors instead of raising"]
-
-  val load : string -> t option
-  [@@ocaml.deprecated "use Compiled.load_file, which distinguishes error causes"]
 end
 
 (** The schedule search driver (Algorithm 2). *)
@@ -167,13 +166,13 @@ module Optimizer : sig
     ?telemetry:Telemetry.t ->
     ?runtime:Runtime.t ->
     unit ->
-    Tuner.result
+    (Tuner.result, Tuner.error) result
   (** Run the tuning rounds; optionally persist the result to [save_res]
-      as a versioned {!Export.save_result} artifact (raises [Sys_error]
-      if that write fails). Returns the full tuning log (curve, per-task
-      bests). Attach a durable store — journaling, crash-safe resume,
-      warm start — via the run configuration given at {!create} time:
-      [Tuning_config.with_store].
+      as a versioned {!Export.save_result} artifact (a failed write
+      reports [Error (Tuner.Store_error _)]). Returns the full tuning
+      log (curve, per-task bests). Attach a durable store — journaling,
+      crash-safe resume, warm start — via the run configuration given at
+      {!create} time: [Tuning_config.with_store].
 
       [on_event] observes every {!tuning_event} of the run in order —
       progress streaming, early stopping and dashboards are all consumers

@@ -778,11 +778,3 @@ let load_file path =
     match of_json payload with
     | Some t -> Ok t
     | None -> Error (Store.Corrupt (path ^ ": invalid cost-model payload")))
-
-(* Deprecated shims over the versioned API. *)
-let save t path =
-  match save_file t path with
-  | Ok () -> ()
-  | Error e -> raise (Sys_error (Store.error_message e))
-
-let load path = match load_file path with Ok t -> Some t | Error _ -> None

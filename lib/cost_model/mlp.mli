@@ -142,9 +142,3 @@ val of_json : Json.t -> t option
 
 val save_file : t -> string -> (unit, Store.error) result
 val load_file : string -> (t, Store.error) result
-
-val save : t -> string -> unit
-[@@ocaml.deprecated "use Mlp.save_file (versioned artifact, returns result)"]
-
-val load : string -> t option
-[@@ocaml.deprecated "use Mlp.load_file (versioned artifact, returns result)"]

@@ -10,6 +10,12 @@ let network_name = function
   | Vit_b32 -> "ViT-B/32"
   | Llama -> "LLaMA"
 
+let of_name s =
+  let wanted = String.lowercase_ascii (String.trim s) in
+  List.find_opt
+    (fun n -> String.lowercase_ascii (network_name n) = wanted)
+    all_networks
+
 let graph ?(batch = 1) = function
   | Resnet50 -> Models_resnet.graph ~batch ()
   | Mobilenet_v2 -> Models_mobilenet.graph ~batch ()

@@ -8,6 +8,10 @@ val all_networks : network list
 val network_name : network -> string
 (** Paper display name, e.g. ["ResNet-50"]. *)
 
+val of_name : string -> network option
+(** Inverse of {!network_name} (case-insensitive, whitespace-trimmed);
+    shared by CLI argument parsing and the tuning service's job codec. *)
+
 val graph : ?batch:int -> network -> Graph.t
 
 val fits_on_edge : network -> bool

@@ -143,8 +143,3 @@ let write_file path contents =
   close_out oc
 
 let write_curve_csv r path = write_file path (curve_to_csv r)
-
-let write_result_json r path =
-  match save_result r path with
-  | Ok () -> ()
-  | Error e -> raise (Sys_error (Store.error_message e))

@@ -57,10 +57,6 @@ val save_result : Tuner.result -> string -> (unit, Store.error) result
 
 val load_result : string -> (saved_result, Store.error) result
 
-val write_result_json : Tuner.result -> string -> unit
-[@@ocaml.deprecated "use Export.save_result, which reports errors instead of raising"]
-(** Shim over {!save_result}; raises [Sys_error] on failure. *)
-
 (** The shared JSON writer/parser, re-exported from [lib/util] under the
     historical [Export.Json] path. *)
 module Json = Json

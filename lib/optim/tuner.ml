@@ -418,29 +418,16 @@ let jbits_arr j k =
 let task_key_of st = String.sub st.key_prefix 0 (String.length st.key_prefix - 1)
 let sketch_name pack = (Pack.schedule pack).Schedule.sched_name
 
-let search_to_json (cfg : Tuning_config.t) =
-  let f v = Json.Str (Store.Bits.of_float v) in
-  let i v = Json.Num (float_of_int v) in
-  Json.Obj
-    [ ("nseeds", i cfg.Tuning_config.nseeds); ("nsteps", i cfg.nsteps);
-      ("nmeasure_felix", i cfg.nmeasure_felix); ("lambda", f cfg.lambda);
-      ("gd_lr", f cfg.gd_lr); ("population", i cfg.population);
-      ("generations", i cfg.generations); ("nmeasure_ansor", i cfg.nmeasure_ansor);
-      ("mutation_prob", f cfg.mutation_prob);
-      ("measure_seconds", f cfg.measure_seconds);
-      ("felix_round_overhead", f cfg.felix_round_overhead);
-      ("ansor_round_overhead", f cfg.ansor_round_overhead);
-      ("model_update_seconds", f cfg.model_update_seconds);
-      ("max_rounds", i cfg.max_rounds); ("time_budget_s", f cfg.time_budget_s) ]
-
 (* jobs and batch are deliberately not part of the identity: results are
-   invariant to both, so a run may be resumed at any parallelism. *)
+   invariant to both, so a run may be resumed at any parallelism. The
+   search codec lives in Tuning_config and is shared with the CLI
+   invocation record and the service wire protocol. *)
 let identity_json (rc : Tuning_config.run) ~network ~device_name engine =
   Json.Obj
     [ ("network", Json.Str network); ("device", Json.Str device_name);
       ("engine", Json.Str (engine_name engine));
       ("seed", Json.Num (float_of_int rc.Tuning_config.seed));
-      ("search", search_to_json rc.Tuning_config.search) ]
+      ("search", Tuning_config.search_to_json rc.Tuning_config.search) ]
 
 let point_to_json pack y =
   Json.Obj
@@ -662,7 +649,61 @@ let with_effective_runtime (rc : Tuning_config.run) f =
 let batch_of_run (rc : Tuning_config.run) =
   if rc.Tuning_config.batch > 1 then Some rc.Tuning_config.batch else None
 
-let run (rc : Tuning_config.run) device base_model graph engine =
+(* --- typed failure reporting ------------------------------------------------
+
+   The public entry points validate the configuration up front and map the
+   two failure modes that used to escape as exceptions — bad configuration
+   values (Invalid_argument from deep layers) and store I/O (Sys_error) —
+   into a typed result. Exceptions raised by the caller's own event
+   callback (the service's cancellation signal, tests' abort-for-resume)
+   propagate unchanged: they are control flow, not failures. *)
+
+type error = Invalid_config of string | Store_error of Store.error
+
+let error_message = function
+  | Invalid_config m -> Printf.sprintf "invalid tuning configuration: %s" m
+  | Store_error e -> Printf.sprintf "tuning store error: %s" (Store.error_message e)
+
+let validate (rc : Tuning_config.run) =
+  let cfg = rc.Tuning_config.search in
+  let pos_finite v = Float.is_finite v && v > 0.0 in
+  let nonneg_finite v = Float.is_finite v && v >= 0.0 in
+  let checks =
+    [ (cfg.nseeds >= 1, "nseeds must be >= 1");
+      (cfg.nsteps >= 1, "nsteps must be >= 1");
+      (cfg.nmeasure_felix >= 1, "nmeasure_felix must be >= 1");
+      (cfg.nmeasure_ansor >= 1, "nmeasure_ansor must be >= 1");
+      (cfg.population >= 2, "population must be >= 2");
+      (cfg.generations >= 1, "generations must be >= 1");
+      ( Float.is_finite cfg.mutation_prob
+        && cfg.mutation_prob >= 0.0
+        && cfg.mutation_prob <= 1.0,
+        "mutation_prob must be in [0, 1]" );
+      (nonneg_finite cfg.lambda, "lambda must be finite and >= 0");
+      (pos_finite cfg.gd_lr, "gd_lr must be finite and > 0");
+      (nonneg_finite cfg.measure_seconds, "measure_seconds must be finite and >= 0");
+      ( nonneg_finite cfg.felix_round_overhead,
+        "felix_round_overhead must be finite and >= 0" );
+      ( nonneg_finite cfg.ansor_round_overhead,
+        "ansor_round_overhead must be finite and >= 0" );
+      ( nonneg_finite cfg.model_update_seconds,
+        "model_update_seconds must be finite and >= 0" );
+      (cfg.max_rounds >= 0, "max_rounds must be >= 0");
+      (pos_finite cfg.time_budget_s, "time_budget_s must be finite and > 0");
+      (rc.Tuning_config.jobs >= 1, "jobs must be >= 1");
+      (rc.Tuning_config.batch >= 1, "batch must be >= 1") ]
+  in
+  match List.find_opt (fun (ok, _) -> not ok) checks with
+  | Some (_, msg) -> Error (Invalid_config msg)
+  | None -> Ok ()
+
+let reporting f =
+  match f () with
+  | r -> Ok r
+  | exception Sys_error m -> Error (Store_error (Store.Io m))
+  | exception Invalid_argument m -> Error (Invalid_config m)
+
+let run_raw (rc : Tuning_config.run) device base_model graph engine =
   with_effective_runtime rc @@ fun runtime ->
   let batch = batch_of_run rc in
   let cfg = rc.Tuning_config.search in
@@ -834,13 +875,18 @@ let run (rc : Tuning_config.run) device base_model graph engine =
     total_measurements;
     tasks }
 
+let run rc device base_model graph engine =
+  match validate rc with
+  | Error _ as e -> e
+  | Ok () -> reporting (fun () -> run_raw rc device base_model graph engine)
+
 type single_result = {
   best : best_candidate;
   curve : progress_point list;
   predictions : float list;
 }
 
-let run_single (rc : Tuning_config.run) ~rounds device base_model sg engine =
+let run_single_raw (rc : Tuning_config.run) ~rounds device base_model sg engine =
   with_effective_runtime rc @@ fun runtime ->
   let batch = batch_of_run rc in
   let cfg = rc.Tuning_config.search in
@@ -879,3 +925,10 @@ let run_single (rc : Tuning_config.run) ~rounds device base_model sg engine =
        { final_latency_ms = st.best; total_measurements = st.n_measured;
          sim_clock_s = Tuning_config.Clock.now clock });
   { best = best_of_state st; curve = List.rev !curve; predictions = !predictions }
+
+let run_single rc ~rounds device base_model sg engine =
+  match validate rc with
+  | Error _ as e -> e
+  | Ok () ->
+    if rounds < 0 then Error (Invalid_config "rounds must be >= 0")
+    else reporting (fun () -> run_single_raw rc ~rounds device base_model sg engine)

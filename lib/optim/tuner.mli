@@ -134,7 +134,25 @@ type event = Tuning_config.event =
 val no_event : event -> unit
 val budget_reason_name : budget_reason -> string
 
-val run : Tuning_config.run -> Device.t -> Mlp.t -> Graph.t -> engine -> result
+(** {2 Typed failure reporting}
+
+    The entry points validate the run configuration up front and report
+    failures as values instead of raising out of deep library code:
+
+    - [Invalid_config] — a search or parallelism field is out of range
+      (checked before any work starts), or a deeper layer rejected the
+      configuration with [Invalid_argument];
+    - [Store_error] — the durable store failed with an I/O error.
+
+    Exceptions raised by the caller's own event callback propagate
+    unchanged — they are the caller's control flow (cooperative
+    cancellation, abort-for-resume tests), not tuner failures. *)
+type error = Invalid_config of string | Store_error of Store.error
+
+val error_message : error -> string
+
+val run :
+  Tuning_config.run -> Device.t -> Mlp.t -> Graph.t -> engine -> (result, error) Stdlib.result
 (** Tune a whole network under one run configuration. The cost model is
     copied and fine-tuned privately; the caller's model is not modified.
     When the configuration carries no explicit runtime but [jobs > 1], a
@@ -174,5 +192,7 @@ val run_single :
   Mlp.t ->
   Compute.subgraph ->
   engine ->
-  single_result
-(** Tune one subgraph for a fixed number of rounds (Figures 8 and 9). *)
+  (single_result, error) Stdlib.result
+(** Tune one subgraph for a fixed number of rounds (Figures 8 and 9).
+    Fails with [Invalid_config] when the configuration or [rounds] is out
+    of range, like {!run}. *)

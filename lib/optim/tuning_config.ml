@@ -44,6 +44,18 @@ let engine_name = function
   | Ansor -> "Ansor-TenSet"
   | Random -> "Random"
 
+(* Stable lowercase identifiers for the wire protocol, CLI flags and the
+   invocation/checkpoint artifacts; [engine_name] stays the paper's display
+   spelling. *)
+let engine_id = function Felix -> "felix" | Ansor -> "ansor" | Random -> "random"
+
+let engine_of_id s =
+  match String.lowercase_ascii (String.trim s) with
+  | "felix" -> Some Felix
+  | "ansor" -> Some Ansor
+  | "random" -> Some Random
+  | _ -> None
+
 type budget_reason = Round_limit | Time_limit
 
 let budget_reason_name = function Round_limit -> "rounds" | Time_limit -> "time"
@@ -125,3 +137,78 @@ let with_runtime rt r = { r with runtime = Some rt }
 let with_on_event on_event r = { r with on_event }
 let with_telemetry reg r = { r with telemetry = Some reg }
 let with_store store r = { r with store = Some store }
+
+(* --- JSON codec -------------------------------------------------------------
+
+   One codec shared by the CLI invocation record (run.json), the tuning
+   service's wire protocol and the checkpoint identity. Floats cross as
+   IEEE-754 bit strings (Store.Bits): a decoded configuration is
+   bit-identical to the encoded one, which is what lets a resumed or
+   re-submitted run match its checkpoint identity exactly. *)
+
+let search_to_json (cfg : t) =
+  let f v = Json.Str (Store.Bits.of_float v) in
+  let i v = Json.Num (float_of_int v) in
+  Json.Obj
+    [ ("nseeds", i cfg.nseeds); ("nsteps", i cfg.nsteps);
+      ("nmeasure_felix", i cfg.nmeasure_felix); ("lambda", f cfg.lambda);
+      ("gd_lr", f cfg.gd_lr); ("population", i cfg.population);
+      ("generations", i cfg.generations); ("nmeasure_ansor", i cfg.nmeasure_ansor);
+      ("mutation_prob", f cfg.mutation_prob);
+      ("measure_seconds", f cfg.measure_seconds);
+      ("felix_round_overhead", f cfg.felix_round_overhead);
+      ("ansor_round_overhead", f cfg.ansor_round_overhead);
+      ("model_update_seconds", f cfg.model_update_seconds);
+      ("max_rounds", i cfg.max_rounds); ("time_budget_s", f cfg.time_budget_s) ]
+
+(* Decoders thread the first missing/mistyped field name out as the error. *)
+exception Codec of string
+
+let field j k = match Json.find j k with Some v -> v | None -> raise (Codec k)
+let int_field j k = match Json.as_int (field j k) with Some v -> v | None -> raise (Codec k)
+
+let bits_field j k =
+  match Option.bind (Json.as_string (field j k)) Store.Bits.to_float with
+  | Some v -> v
+  | None -> raise (Codec k)
+
+let search_of_json j =
+  try
+    let i = int_field j and f = bits_field j in
+    Ok
+      { nseeds = i "nseeds"; nsteps = i "nsteps";
+        nmeasure_felix = i "nmeasure_felix"; lambda = f "lambda";
+        gd_lr = f "gd_lr"; population = i "population";
+        generations = i "generations"; nmeasure_ansor = i "nmeasure_ansor";
+        mutation_prob = f "mutation_prob"; measure_seconds = f "measure_seconds";
+        felix_round_overhead = f "felix_round_overhead";
+        ansor_round_overhead = f "ansor_round_overhead";
+        model_update_seconds = f "model_update_seconds";
+        max_rounds = i "max_rounds"; time_budget_s = f "time_budget_s" }
+  with Codec k -> Error (Printf.sprintf "search config: missing or malformed field %S" k)
+
+let to_json (r : run) =
+  Json.Obj
+    [ ("search", search_to_json r.search);
+      ("seed", Json.Num (float_of_int r.seed));
+      ("jobs", Json.Num (float_of_int r.jobs));
+      ("batch", Json.Num (float_of_int r.batch)) ]
+
+(* The process-local fields (runtime, callback, telemetry, store) have no
+   serialised form; a decoded run carries the builder defaults for them and
+   the front end re-attaches what it needs. *)
+let of_json j =
+  match Json.find j "search" with
+  | None -> Error "run config: missing field \"search\""
+  | Some sj -> (
+    match search_of_json sj with
+    | Error m -> Error m
+    | Ok search ->
+      (try
+         let seed = int_field j "seed" in
+         let jobs = int_field j "jobs" in
+         let batch = int_field j "batch" in
+         Ok
+           (builder |> with_search search |> with_seed seed |> with_jobs jobs
+           |> with_batch batch)
+       with Codec k -> Error (Printf.sprintf "run config: missing or malformed field %S" k)))

@@ -63,6 +63,14 @@ end
 type engine = Felix | Ansor | Random
 
 val engine_name : engine -> string
+(** Paper display name, e.g. ["Ansor-TenSet"]. *)
+
+val engine_id : engine -> string
+(** Stable lowercase identifier (["felix"], ["ansor"], ["random"]) used by
+    CLI flags, invocation records and the tuning service's wire protocol. *)
+
+val engine_of_id : string -> engine option
+(** Inverse of {!engine_id} (case-insensitive, whitespace-trimmed). *)
 
 type budget_reason = Round_limit | Time_limit
 
@@ -175,3 +183,25 @@ val with_store : Store.t -> run -> run
 (** Journal every measurement to [store], checkpoint each round, resume
     an interrupted matching run bit-identically, and warm-start fresh
     runs from completed prior records. *)
+
+(** {1 JSON codec}
+
+    One serialised form of a run configuration, shared by the CLI's
+    invocation record ([run.json] in a store directory), the tuning
+    service's wire protocol and the tuner's checkpoint identity. Floats
+    are encoded as IEEE-754 bit strings ([Store.Bits]), so
+    [of_json (to_json r)] reconstructs [search], [seed], [jobs] and
+    [batch] bit-identically — which is what lets a resumed or
+    re-submitted run match its checkpoint identity exactly.
+
+    The process-local fields ([runtime], [on_event], [telemetry],
+    [store]) have no serialised form: [to_json] omits them and [of_json]
+    leaves them at the {!builder} defaults for the front end to
+    re-attach. *)
+
+val search_to_json : t -> Json.t
+val search_of_json : Json.t -> (t, string) result
+(** [Error] names the first missing or malformed field. *)
+
+val to_json : run -> Json.t
+val of_json : Json.t -> (run, string) result

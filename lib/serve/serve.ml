@@ -1,0 +1,780 @@
+(* The tuning service daemon.
+
+   Concurrency layout: the accept loop runs on the caller of [run],
+   multiplexing the listen socket against a self-pipe so a signal can
+   wake it. Each accepted connection gets a lightweight systhread doing
+   blocking line I/O; tuning jobs run on [workers] spawned domains so
+   they execute in parallel (systhreads share one runtime lock — only
+   domains buy CPU parallelism). One mutex guards all shared state; two
+   conditions fan out: [work_cond] wakes workers when the queue moves,
+   [event_cond] wakes watchers when a job emits an event or changes
+   state.
+
+   Cancellation is cooperative and round-grained: the halt check runs
+   inside the job's event callback, only on [Round_finished] — the one
+   point where the tuner has already fsync'd the round's journal lines
+   and written its checkpoint, so a halted job's store resumes
+   bit-identically. *)
+
+module Job = struct
+  type spec = {
+    network : Workload.network;
+    inference_batch : int;
+    device : Device.t;
+    engine : Tuning_config.engine;
+    run : Tuning_config.run;
+    deadline_s : float option;
+    store_dir : string option;
+  }
+
+  let network_id n = String.lowercase_ascii (Workload.network_name n)
+  let device_id (d : Device.t) = String.lowercase_ascii d.Device.device_name
+
+  let to_json (s : spec) =
+    Json.Obj
+      [ ("network", Json.Str (network_id s.network));
+        ("inference_batch", Json.Num (float_of_int s.inference_batch));
+        ("device", Json.Str (device_id s.device));
+        ("engine", Json.Str (Tuning_config.engine_id s.engine));
+        ("run", Tuning_config.to_json s.run);
+        ("deadline_s",
+         (match s.deadline_s with None -> Json.Null | Some d -> Json.Num d));
+        ("store", (match s.store_dir with None -> Json.Null | Some d -> Json.Str d)) ]
+
+  let of_json j =
+    let ( let* ) = Result.bind in
+    let str k =
+      match Option.bind (Json.find j k) Json.as_string with
+      | Some s -> Ok s
+      | None -> Error (Printf.sprintf "job: missing or malformed field %S" k)
+    in
+    let* net_name = str "network" in
+    let* network =
+      match Workload.of_name net_name with
+      | Some n -> Ok n
+      | None -> Error (Printf.sprintf "job: unknown network %S" net_name)
+    in
+    let* inference_batch =
+      match Option.bind (Json.find j "inference_batch") Json.as_int with
+      | Some b when b >= 1 -> Ok b
+      | Some _ -> Error "job: inference_batch must be >= 1"
+      | None -> Error "job: missing or malformed field \"inference_batch\""
+    in
+    let* device_name = str "device" in
+    let* device = Result.map_error (fun m -> "job: " ^ m) (Device.of_name device_name) in
+    let* engine_name = str "engine" in
+    let* engine =
+      match Tuning_config.engine_of_id engine_name with
+      | Some e -> Ok e
+      | None -> Error (Printf.sprintf "job: unknown engine %S" engine_name)
+    in
+    let* run =
+      match Json.find j "run" with
+      | None -> Error "job: missing field \"run\""
+      | Some rj -> Result.map_error (fun m -> "job: " ^ m) (Tuning_config.of_json rj)
+    in
+    let* deadline_s =
+      match Json.find j "deadline_s" with
+      | None | Some Json.Null -> Ok None
+      | Some v -> (
+        match Json.as_float v with
+        | Some d when Float.is_finite d && d > 0.0 -> Ok (Some d)
+        | _ -> Error "job: deadline_s must be a positive number")
+    in
+    let* store_dir =
+      match Json.find j "store" with
+      | None | Some Json.Null -> Ok None
+      | Some v -> (
+        match Json.as_string v with
+        | Some d -> Ok (Some d)
+        | None -> Error "job: store must be a string")
+    in
+    Ok { network; inference_batch; device; engine; run; deadline_s; store_dir }
+
+  (* run.json, version 2: the payload is the job spec itself, so the CLI's
+     resume, the service's submit and the store's record are one format.
+     (Version 1 recorded raw CLI flags and was re-parsed by hand.) *)
+  let invocation_kind = "felix-cli-run"
+  let invocation_version = 2
+  let invocation_path dir = Filename.concat dir "run.json"
+
+  let save_invocation (s : spec) ~dir =
+    Store.Artifact.save ~path:(invocation_path dir) ~kind:invocation_kind
+      ~version:invocation_version
+      (to_json { s with store_dir = None })
+
+  let load_invocation ~dir =
+    match
+      Store.Artifact.load ~path:(invocation_path dir) ~kind:invocation_kind
+        ~version:invocation_version
+    with
+    | Error e -> Error e
+    | Ok j -> (
+      match of_json j with
+      | Ok s -> Ok s
+      | Error m -> Error (Store.Corrupt (invocation_path dir ^ ": " ^ m)))
+end
+
+(* --- server state ----------------------------------------------------------- *)
+
+type job_state = Queued | Running | Done | Cancelled | Expired | Failed
+
+let state_name = function
+  | Queued -> "queued"
+  | Running -> "running"
+  | Done -> "done"
+  | Cancelled -> "cancelled"
+  | Expired -> "expired"
+  | Failed -> "failed"
+
+let terminal = function
+  | Done | Cancelled | Expired | Failed -> true
+  | Queued | Running -> false
+
+type job = {
+  id : string;
+  spec : Job.spec;
+  expires_at : float;  (* absolute wall clock; +inf without a deadline *)
+  cancel : bool Atomic.t;
+  mutable state : job_state;
+  mutable halt_state : job_state;  (* what a mid-run halt should become *)
+  mutable rounds_done : int;
+  mutable latency_ms : float option;
+  mutable result : Tuner.result option;
+  mutable error : string option;
+  mutable events_rev : Json.t list;  (* newest first; watch replays them *)
+  mutable n_events : int;
+}
+
+type t = {
+  socket : string;
+  listen_fd : Unix.file_descr;
+  workers : int;
+  queue_capacity : int;
+  telemetry : Telemetry.t;
+  model_for : Device.t -> Mlp.t;
+  mu : Mutex.t;
+  work_cond : Condition.t;
+  event_cond : Condition.t;
+  jobs : (string, job) Hashtbl.t;
+  queue : job Queue.t;
+  mutable order : string list;  (* submission order, newest first *)
+  mutable next_id : int;
+  mutable draining : bool;
+  stopping : bool Atomic.t;
+  stop_r : Unix.file_descr;
+  stop_w : Unix.file_descr;
+  mutable conns : (Unix.file_descr * Thread.t) list;
+  mutable worker_domains : unit Domain.t list;
+  models : (string, Mlp.t) Hashtbl.t;
+  model_mu : Mutex.t;
+  (* lifetime counters, mirrored into serve.* telemetry *)
+  mutable n_submitted : int;
+  mutable n_rejected : int;
+  mutable n_done : int;
+  mutable n_cancelled : int;
+  mutable n_expired : int;
+  mutable n_failed : int;
+}
+
+let socket_path t = t.socket
+
+let with_lock mu f =
+  Mutex.lock mu;
+  match f () with
+  | v ->
+    Mutex.unlock mu;
+    v
+  | exception e ->
+    Mutex.unlock mu;
+    raise e
+
+let counter t name = Telemetry.counter t.telemetry name
+let gauge t name = Telemetry.gauge t.telemetry name
+
+let set_queue_gauges t =
+  Telemetry.Gauge.set (gauge t "serve.queue_depth") (float_of_int (Queue.length t.queue));
+  let active =
+    Hashtbl.fold (fun _ j acc -> if j.state = Running then acc + 1 else acc) t.jobs 0
+  in
+  Telemetry.Gauge.set (gauge t "serve.active") (float_of_int active)
+
+(* Under [t.mu]. *)
+let push_event t job ev =
+  job.events_rev <- ev :: job.events_rev;
+  job.n_events <- job.n_events + 1;
+  Condition.broadcast t.event_cond
+
+(* Under [t.mu]. *)
+let set_state t job st =
+  job.state <- st;
+  (match st with
+  | Done ->
+    t.n_done <- t.n_done + 1;
+    Telemetry.Counter.incr (counter t "serve.completed")
+  | Cancelled ->
+    t.n_cancelled <- t.n_cancelled + 1;
+    Telemetry.Counter.incr (counter t "serve.cancelled")
+  | Expired ->
+    t.n_expired <- t.n_expired + 1;
+    Telemetry.Counter.incr (counter t "serve.expired")
+  | Failed ->
+    t.n_failed <- t.n_failed + 1;
+    Telemetry.Counter.incr (counter t "serve.failed")
+  | Queued | Running -> ());
+  set_queue_gauges t;
+  push_event t job
+    (Json.Obj [ ("event", Json.Str "state"); ("state", Json.Str (state_name st)) ])
+
+(* --- job execution ---------------------------------------------------------- *)
+
+exception Halt
+
+let model_for_memo t (device : Device.t) =
+  with_lock t.model_mu @@ fun () ->
+  match Hashtbl.find_opt t.models device.Device.device_name with
+  | Some m -> m
+  | None ->
+    let m = t.model_for device in
+    Hashtbl.replace t.models device.Device.device_name m;
+    m
+
+let job_on_event t job ev =
+  (match ev with
+  | Tuning_config.Tuning_started { n_tasks; _ } ->
+    with_lock t.mu (fun () ->
+        push_event t job
+          (Json.Obj
+             [ ("event", Json.Str "started"); ("n_tasks", Json.Num (float_of_int n_tasks)) ]))
+  | Tuning_config.Round_finished { round; network_ms; sim_clock_s; _ } ->
+    with_lock t.mu (fun () ->
+        job.rounds_done <- round;
+        job.latency_ms <- Some network_ms;
+        push_event t job
+          (Json.Obj
+             [ ("event", Json.Str "round"); ("round", Json.Num (float_of_int round));
+               ("latency_ms", Json.Num network_ms);
+               ("sim_clock_s", Json.Num sim_clock_s) ]))
+  | _ -> ());
+  (* Halt only at a round boundary: the tuner has just fsync'd the
+     journal and written the round's checkpoint, so stopping here leaves
+     a store that resumes bit-identically. Never halt on the finish
+     events — the run is already complete. *)
+  match ev with
+  | Tuning_config.Round_finished _ ->
+    if Atomic.get job.cancel || Atomic.get t.stopping then begin
+      job.halt_state <- Cancelled;
+      raise Halt
+    end
+    else if Unix.gettimeofday () > job.expires_at then begin
+      job.halt_state <- Expired;
+      raise Halt
+    end
+  | _ -> ()
+
+let exec t job =
+  let spec = job.spec in
+  let finish st = with_lock t.mu (fun () -> set_state t job st) in
+  let fail m =
+    job.error <- Some m;
+    finish Failed
+  in
+  match
+    let graph = Workload.graph ~batch:spec.Job.inference_batch spec.Job.network in
+    let model = model_for_memo t spec.Job.device in
+    (graph, model)
+  with
+  | exception e -> fail (Printexc.to_string e)
+  | graph, model -> (
+    let store =
+      match spec.Job.store_dir with
+      | None -> Ok None
+      | Some dir -> (
+        match Store.open_dir dir with
+        | Error e -> Error (Store.error_message e)
+        | Ok s -> (
+          (* Record the invocation so the CLI can resume this store. *)
+          match Job.save_invocation spec ~dir with
+          | Ok () -> Ok (Some s)
+          | Error e ->
+            Store.close s;
+            Error (Store.error_message e)))
+    in
+    match store with
+    | Error m -> fail m
+    | Ok store -> (
+      let rc =
+        spec.Job.run
+        |> Tuning_config.with_on_event (job_on_event t job)
+        |> Tuning_config.with_telemetry t.telemetry
+      in
+      let rc =
+        match store with Some s -> Tuning_config.with_store s rc | None -> rc
+      in
+      let cleanup () = Option.iter Store.close store in
+      match Tuner.run rc spec.Job.device model graph spec.Job.engine with
+      | Ok r ->
+        cleanup ();
+        job.result <- Some r;
+        job.latency_ms <- Some r.Tuner.final_latency_ms;
+        finish Done
+      | Error e ->
+        cleanup ();
+        fail (Tuner.error_message e)
+      | exception Halt ->
+        cleanup ();
+        finish job.halt_state
+      | exception e ->
+        cleanup ();
+        fail (Printexc.to_string e)))
+
+let worker_loop t =
+  let rec loop () =
+    let next =
+      with_lock t.mu @@ fun () ->
+      while Queue.is_empty t.queue && not t.draining do
+        Condition.wait t.work_cond t.mu
+      done;
+      if Queue.is_empty t.queue then None
+      else begin
+        let job = Queue.pop t.queue in
+        (* A job may have been cancelled, or its deadline passed, while
+           it sat in the queue. *)
+        if job.state <> Queued then None (* already resolved; take next *)
+        else if Atomic.get job.cancel then begin
+          set_state t job Cancelled;
+          Some None
+        end
+        else if Unix.gettimeofday () > job.expires_at then begin
+          set_state t job Expired;
+          Some None
+        end
+        else begin
+          set_state t job Running;
+          Some (Some job)
+        end
+      end
+    in
+    match next with
+    | None -> () (* draining and the queue is dry: worker exits *)
+    | Some None -> loop ()
+    | Some (Some job) ->
+      exec t job;
+      loop ()
+  in
+  loop ()
+
+(* --- protocol --------------------------------------------------------------- *)
+
+let ok fields = Json.Obj (("ok", Json.Bool true) :: fields)
+
+let err code msg =
+  Json.Obj
+    [ ("ok", Json.Bool false); ("error", Json.Str code); ("message", Json.Str msg) ]
+
+let job_status_json job =
+  [ ("id", Json.Str job.id);
+    ("state", Json.Str (state_name job.state));
+    ("rounds", Json.Num (float_of_int job.rounds_done));
+    ("latency_ms",
+     (match job.latency_ms with None -> Json.Null | Some l -> Json.Num l));
+    ("error", (match job.error with None -> Json.Null | Some m -> Json.Str m)) ]
+
+(* Store directories are single-writer: refuse a submit whose store is
+   already attached to a live job. *)
+let store_busy t dir =
+  Hashtbl.fold
+    (fun _ j acc ->
+      acc || (j.spec.Job.store_dir = Some dir && not (terminal j.state)))
+    t.jobs false
+
+let do_submit t j =
+  match Json.find j "job" with
+  | None -> err "bad_request" "submit: missing field \"job\""
+  | Some sj -> (
+    match Job.of_json sj with
+    | Error m -> err "bad_request" m
+    | Ok spec -> (
+      with_lock t.mu @@ fun () ->
+      if t.draining || Atomic.get t.stopping then err "draining" "server is shutting down"
+      else if Queue.length t.queue >= t.queue_capacity then begin
+        t.n_rejected <- t.n_rejected + 1;
+        Telemetry.Counter.incr (counter t "serve.rejected");
+        err "overloaded"
+          (Printf.sprintf "queue is full (%d jobs)" t.queue_capacity)
+      end
+      else
+        match spec.Job.store_dir with
+        | Some dir when store_busy t dir ->
+          err "bad_request" (Printf.sprintf "store %S is in use by a live job" dir)
+        | _ ->
+          t.next_id <- t.next_id + 1;
+          let id = Printf.sprintf "job%04d" t.next_id in
+          let now = Unix.gettimeofday () in
+          let job =
+            { id; spec;
+              expires_at =
+                (match spec.Job.deadline_s with
+                | None -> Float.infinity
+                | Some d -> now +. d);
+              cancel = Atomic.make false;
+              state = Queued;
+              halt_state = Cancelled;
+              rounds_done = 0;
+              latency_ms = None;
+              result = None;
+              error = None;
+              events_rev = [];
+              n_events = 0 }
+          in
+          Hashtbl.replace t.jobs id job;
+          t.order <- id :: t.order;
+          Queue.push job t.queue;
+          t.n_submitted <- t.n_submitted + 1;
+          Telemetry.Counter.incr (counter t "serve.submitted");
+          set_queue_gauges t;
+          Condition.signal t.work_cond;
+          ok [ ("id", Json.Str id) ]))
+
+let with_job t j f =
+  match Option.bind (Json.find j "id") Json.as_string with
+  | None -> err "bad_request" "missing or malformed field \"id\""
+  | Some id -> (
+    match with_lock t.mu (fun () -> Hashtbl.find_opt t.jobs id) with
+    | None -> err "unknown_id" (Printf.sprintf "no such job %S" id)
+    | Some job -> f job)
+
+let do_status t j =
+  with_job t j (fun job -> with_lock t.mu (fun () -> ok (job_status_json job)))
+
+let do_result t j =
+  with_job t j @@ fun job ->
+  let state, result, error =
+    with_lock t.mu (fun () -> (job.state, job.result, job.error))
+  in
+  match (state, result) with
+  | Done, Some r ->
+    ok
+      [ ("id", Json.Str job.id);
+        ("kind", Json.Str Export.result_kind);
+        ("version", Json.Num (float_of_int Export.result_version));
+        ("result", Export.result_json r) ]
+  | Failed, _ ->
+    err "not_done"
+      (Printf.sprintf "job %s failed: %s" job.id (Option.value ~default:"?" error))
+  | st, _ ->
+    err "not_done" (Printf.sprintf "job %s is %s" job.id (state_name st))
+
+let do_cancel t j =
+  with_job t j @@ fun job ->
+  with_lock t.mu @@ fun () ->
+  Atomic.set job.cancel true;
+  (* A queued job resolves immediately; a running one halts (and
+     checkpoints) at its next round boundary. *)
+  if job.state = Queued then set_state t job Cancelled;
+  ok (job_status_json job)
+
+let do_stats t =
+  with_lock t.mu @@ fun () ->
+  let active =
+    Hashtbl.fold (fun _ j acc -> if j.state = Running then acc + 1 else acc) t.jobs 0
+  in
+  ok
+    [ ("workers", Json.Num (float_of_int t.workers));
+      ("queue_capacity", Json.Num (float_of_int t.queue_capacity));
+      ("queue_depth", Json.Num (float_of_int (Queue.length t.queue)));
+      ("active", Json.Num (float_of_int active));
+      ("submitted", Json.Num (float_of_int t.n_submitted));
+      ("rejected", Json.Num (float_of_int t.n_rejected));
+      ("completed", Json.Num (float_of_int t.n_done));
+      ("cancelled", Json.Num (float_of_int t.n_cancelled));
+      ("expired", Json.Num (float_of_int t.n_expired));
+      ("failed", Json.Num (float_of_int t.n_failed));
+      ("draining", Json.Bool (t.draining || Atomic.get t.stopping)) ]
+
+let send_line oc j =
+  output_string oc (Json.to_line j);
+  output_char oc '\n';
+  flush oc
+
+let rec take n = function
+  | x :: tl when n > 0 -> x :: take (n - 1) tl
+  | _ -> []
+
+(* Stream job events to [oc] until the job is terminal (or the server
+   drains). The watcher holds a cursor into the job's event log and
+   sleeps on [event_cond] between batches. *)
+let do_watch t j oc =
+  with_job t j @@ fun job ->
+  let cursor = ref 0 in
+  let rec stream () =
+    let fresh, st, finished =
+      with_lock t.mu @@ fun () ->
+      while
+        job.n_events <= !cursor
+        && (not (terminal job.state))
+        && not (Atomic.get t.stopping)
+      do
+        Condition.wait t.event_cond t.mu
+      done;
+      let fresh = List.rev (take (job.n_events - !cursor) job.events_rev) in
+      cursor := job.n_events;
+      (fresh, job.state, terminal job.state || Atomic.get t.stopping)
+    in
+    List.iter (fun e -> send_line oc e) fresh;
+    if finished then
+      Json.Obj [ ("done", Json.Bool true); ("state", Json.Str (state_name st)) ]
+    else stream ()
+  in
+  send_line oc (ok [ ("id", Json.Str job.id); ("watch", Json.Bool true) ]);
+  stream ()
+
+let initiate_shutdown t =
+  if not (Atomic.exchange t.stopping true) then
+    (* One byte down the self-pipe wakes the accept loop's select. *)
+    try ignore (Unix.write t.stop_w (Bytes.of_string "!") 0 1)
+    with Unix.Unix_error _ -> ()
+
+let handle_request t oc line =
+  match Json.parse line with
+  | Error m -> send_line oc (err "parse" m)
+  | Ok j -> (
+    match Option.bind (Json.find j "verb") Json.as_string with
+    | None -> send_line oc (err "bad_request" "missing field \"verb\"")
+    | Some "submit" -> send_line oc (do_submit t j)
+    | Some "status" -> send_line oc (do_status t j)
+    | Some "result" -> send_line oc (do_result t j)
+    | Some "cancel" -> send_line oc (do_cancel t j)
+    | Some "stats" -> send_line oc (do_stats t)
+    | Some "watch" -> send_line oc (do_watch t j oc)
+    | Some "shutdown" ->
+      send_line oc (ok []);
+      initiate_shutdown t
+    | Some v -> send_line oc (err "unknown_verb" (Printf.sprintf "unknown verb %S" v)))
+
+let handle_conn t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  (try
+     let rec loop () =
+       match input_line ic with
+       | exception (End_of_file | Sys_error _) -> ()
+       | "" -> loop ()
+       | line ->
+         handle_request t oc line;
+         loop ()
+     in
+     loop ()
+   with Unix.Unix_error _ | Sys_error _ -> ());
+  (* Deregister before closing so the drain path never calls shutdown on
+     a descriptor number the kernel may have already reused. *)
+  with_lock t.mu (fun () -> t.conns <- List.filter (fun (f, _) -> f <> fd) t.conns);
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* --- lifecycle -------------------------------------------------------------- *)
+
+let unlink_quiet path = try Unix.unlink path with Unix.Unix_error _ -> ()
+
+let create ?(workers = 2) ?(queue_capacity = 16) ?(telemetry = Telemetry.global)
+    ?model_for ?(cache_dir = "_artifacts") ~socket () =
+  let model_for =
+    match model_for with
+    | Some f -> f
+    | None -> fun device -> Train.pretrained_for_device ~cache_dir device
+  in
+  if workers < 1 then Error "workers must be >= 1"
+  else if queue_capacity < 1 then Error "queue capacity must be >= 1"
+  else
+    let stale_ok =
+      (* A leftover socket file from a dead daemon is unlinked; a live
+         daemon (something accepts our probe) makes create fail. *)
+      if not (Sys.file_exists socket) then Ok ()
+      else
+        let probe = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        let live =
+          match Unix.connect probe (Unix.ADDR_UNIX socket) with
+          | () -> true
+          | exception Unix.Unix_error _ -> false
+        in
+        (try Unix.close probe with Unix.Unix_error _ -> ());
+        if live then Error (Printf.sprintf "socket %S is already in use" socket)
+        else begin
+          unlink_quiet socket;
+          Ok ()
+        end
+    in
+    match stale_ok with
+    | Error m -> Error m
+    | Ok () -> (
+      match
+        let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        (try
+           Unix.bind fd (Unix.ADDR_UNIX socket);
+           Unix.listen fd 64
+         with e ->
+           (try Unix.close fd with Unix.Unix_error _ -> ());
+           raise e);
+        fd
+      with
+      | exception Unix.Unix_error (e, _, _) ->
+        Error
+          (Printf.sprintf "cannot bind socket %S: %s" socket (Unix.error_message e))
+      | listen_fd ->
+        let stop_r, stop_w = Unix.pipe ~cloexec:true () in
+        let t =
+          { socket; listen_fd; workers; queue_capacity; telemetry; model_for;
+            mu = Mutex.create (); work_cond = Condition.create ();
+            event_cond = Condition.create (); jobs = Hashtbl.create 32;
+            queue = Queue.create (); order = []; next_id = 0; draining = false;
+            stopping = Atomic.make false; stop_r; stop_w; conns = [];
+            worker_domains = []; models = Hashtbl.create 4;
+            model_mu = Mutex.create (); n_submitted = 0; n_rejected = 0; n_done = 0;
+            n_cancelled = 0; n_expired = 0; n_failed = 0 }
+        in
+        t.worker_domains <-
+          List.init workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+        Ok t)
+
+let handle_signals t =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let stop = Sys.Signal_handle (fun _ -> initiate_shutdown t) in
+  Sys.set_signal Sys.sigterm stop;
+  Sys.set_signal Sys.sigint stop
+
+let drain t =
+  Logs.info (fun m -> m "serve: draining (%d jobs queued)" (Queue.length t.queue));
+  with_lock t.mu (fun () ->
+      t.draining <- true;
+      (* Queued jobs cannot run anymore; resolve them as cancelled so
+         their watchers and status pollers see a terminal state. *)
+      Queue.iter (fun job -> if job.state = Queued then set_state t job Cancelled) t.queue;
+      Queue.clear t.queue;
+      Condition.broadcast t.work_cond;
+      Condition.broadcast t.event_cond);
+  (* Running jobs observe [stopping] at their next round boundary, after
+     checkpointing; joining the workers waits for exactly that. *)
+  List.iter Domain.join t.worker_domains;
+  (* Wake blocked client reads: a shutdown makes their next read EOF. *)
+  let conns =
+    with_lock t.mu (fun () ->
+        List.iter
+          (fun (fd, _) -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+          t.conns;
+        t.conns)
+  in
+  List.iter (fun (_, th) -> try Thread.join th with _ -> ()) conns;
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (try Unix.close t.stop_r with Unix.Unix_error _ -> ());
+  (try Unix.close t.stop_w with Unix.Unix_error _ -> ());
+  unlink_quiet t.socket;
+  Logs.info (fun m -> m "serve: drained")
+
+let run t =
+  let rec accept_loop () =
+    if Atomic.get t.stopping then ()
+    else
+      match Unix.select [ t.listen_fd; t.stop_r ] [] [] (-1.0) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+      | ready, _, _ ->
+        if List.mem t.stop_r ready || Atomic.get t.stopping then ()
+        else begin
+          (match Unix.accept ~cloexec:true t.listen_fd with
+          | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) -> ()
+          | fd, _ ->
+            with_lock t.mu (fun () ->
+                let th = Thread.create (handle_conn t) fd in
+                t.conns <- (fd, th) :: t.conns));
+          accept_loop ()
+        end
+  in
+  accept_loop ();
+  drain t
+
+(* --- client ----------------------------------------------------------------- *)
+
+module Client = struct
+  type conn = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+  let connect path =
+    let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () ->
+      Ok { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error
+        (Printf.sprintf "cannot connect to %S: %s" path (Unix.error_message e))
+
+  let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+  let read_reply c =
+    match input_line c.ic with
+    | exception (End_of_file | Sys_error _) -> Error "connection closed by server"
+    | line -> (
+      match Json.parse line with
+      | Error m -> Error ("malformed reply: " ^ m)
+      | Ok j -> Ok j)
+
+  let request c j =
+    match send_line c.oc j with
+    | () -> read_reply c
+    | exception (Sys_error _ | Unix.Unix_error _) -> Error "connection closed by server"
+
+  (* Collapse protocol-level failures to ["code: message"] strings so
+     callers can match on the code prefix. *)
+  let checked reply =
+    match reply with
+    | Error _ as e -> e
+    | Ok j -> (
+      match Option.bind (Json.find j "ok") Json.as_bool with
+      | Some true -> Ok j
+      | _ ->
+        let code =
+          Option.value ~default:"error"
+            (Option.bind (Json.find j "error") Json.as_string)
+        in
+        let msg =
+          Option.value ~default:""
+            (Option.bind (Json.find j "message") Json.as_string)
+        in
+        Error (Printf.sprintf "%s: %s" code msg))
+
+  let verb ?(fields = []) c v =
+    checked (request c (Json.Obj (("verb", Json.Str v) :: fields)))
+
+  let submit c spec =
+    match verb c "submit" ~fields:[ ("job", Job.to_json spec) ] with
+    | Error _ as e -> e
+    | Ok j -> (
+      match Option.bind (Json.find j "id") Json.as_string with
+      | Some id -> Ok id
+      | None -> Error "malformed reply: missing job id")
+
+  let status c id = verb c "status" ~fields:[ ("id", Json.Str id) ]
+
+  let result c id =
+    match verb c "result" ~fields:[ ("id", Json.Str id) ] with
+    | Error _ as e -> e
+    | Ok j -> (
+      match Json.find j "result" with
+      | Some payload -> Ok payload
+      | None -> Error "malformed reply: missing result payload")
+
+  let cancel c id = verb c "cancel" ~fields:[ ("id", Json.Str id) ]
+  let stats c = verb c "stats"
+  let shutdown c = verb c "shutdown"
+
+  let wait ?(poll_s = 0.02) c id =
+    let rec loop () =
+      match status c id with
+      | Error _ as e -> e
+      | Ok j -> (
+        match Option.bind (Json.find j "state") Json.as_string with
+        | Some ("done" | "cancelled" | "expired" | "failed") -> Ok j
+        | Some _ ->
+          Unix.sleepf poll_s;
+          loop ()
+        | None -> Error "malformed reply: missing state")
+    in
+    loop ()
+end

@@ -1,0 +1,159 @@
+(** Felix as a service: a concurrent tuning daemon over a Unix-domain
+    socket.
+
+    The daemon accepts jobs over a line-delimited JSON protocol — one
+    request object per line, one response object per line — and runs them
+    on a bounded pool of worker domains. A job is a complete tuning run:
+    network, inference batch, device, engine and a full
+    {!Tuning_config.run} carried by the shared {!Tuning_config.of_json}
+    codec, plus an optional wall-clock deadline and an optional durable
+    store directory.
+
+    {2 Protocol}
+
+    Requests are [{"verb": v, ...}]; responses are [{"ok": true, ...}] or
+    [{"ok": false, "error": code, "message": m}]. Verbs:
+
+    - [submit] — [{"verb":"submit","job":SPEC}] enqueues a job; replies
+      [{"ok":true,"id":ID}]. Rejected with code [overloaded] when the
+      bounded queue is full and [draining] during shutdown.
+    - [status] — [{"verb":"status","id":ID}] replies with the job's
+      state ([queued], [running], [done], [cancelled], [expired],
+      [failed]), rounds finished and current network latency.
+    - [result] — replies with the finished job's result payload (the
+      {!Export.result_json} object, floats bit-exact on the wire); code
+      [not_done] until the job reaches [done].
+    - [cancel] — requests cooperative cancellation: a queued job is
+      cancelled immediately, a running one checkpoints its store at the
+      next round boundary and stops.
+    - [watch] — streams one JSON line per job event (started, each
+      round, state changes) until the job reaches a terminal state.
+    - [stats] — queue depth, active workers and lifetime counters.
+    - [shutdown] — initiates the same graceful drain as SIGTERM.
+
+    Unknown verbs get [unknown_verb]; unparsable lines get [parse];
+    unknown job ids get [unknown_id].
+
+    {2 Cancellation, deadlines and drain}
+
+    Cancellation is cooperative and round-grained: the server threads a
+    check through the tuner's event callback and stops a run by raising
+    out of the [Round_finished] event — which the tuner emits only after
+    the round's journal lines are fsync'd and its checkpoint is written.
+    A cancelled (or deadline-expired, or drained) job with a store
+    therefore resumes bit-identically when the same spec is submitted
+    again. Deadlines are wall-clock, measured from submission; an
+    expired-in-queue job never starts. SIGTERM (or the [shutdown] verb)
+    stops accepting, rejects new submits, cancels queued jobs, lets
+    running jobs checkpoint and halt at the next round boundary, joins
+    the workers and closes the socket — then {!run} returns. *)
+
+(** A job specification and its JSON codec, shared by the wire protocol
+    and the CLI's [run.json] invocation record. *)
+module Job : sig
+  type spec = {
+    network : Workload.network;
+    inference_batch : int;
+    device : Device.t;
+    engine : Tuning_config.engine;
+    run : Tuning_config.run;
+        (** full run configuration; the process-local fields (callback,
+            runtime, telemetry, store) are attached server-side *)
+    deadline_s : float option;
+        (** wall-clock seconds from submission; the job stops (state
+            [expired]) at the first round boundary past the deadline *)
+    store_dir : string option;
+        (** durable store for the job: journal, checkpoints, resume *)
+  }
+
+  val to_json : spec -> Json.t
+  val of_json : Json.t -> (spec, string) result
+  (** [Error] names the first missing or malformed field. *)
+
+  (** {2 Invocation record}
+
+      The versioned artifact a tuning front end drops into a store
+      directory so [felix-tune resume] (and a re-submit) replays the
+      exact recorded configuration. Version 2: the payload is
+      {!to_json} (version 1 recorded raw CLI flags). *)
+
+  val invocation_kind : string
+  val invocation_version : int
+  val save_invocation : spec -> dir:string -> (unit, Store.error) result
+  (** Saves the spec (with [store_dir] cleared — the directory itself is
+      the store) as [run.json] in [dir]. *)
+
+  val load_invocation : dir:string -> (spec, Store.error) result
+end
+
+(** {1 The daemon} *)
+
+type t
+
+val create :
+  ?workers:int ->
+  ?queue_capacity:int ->
+  ?telemetry:Telemetry.t ->
+  ?model_for:(Device.t -> Mlp.t) ->
+  ?cache_dir:string ->
+  socket:string ->
+  unit ->
+  (t, string) result
+(** Binds the Unix-domain socket and spawns [workers] (default 2) worker
+    domains draining a queue bounded at [queue_capacity] (default 16).
+    A stale socket file left by a dead daemon is unlinked and rebound; a
+    live one makes [create] fail. [model_for] resolves the per-device
+    cost model (default: the pretrained model cached under [cache_dir],
+    default ["_artifacts"]) and is memoised per device. [telemetry]
+    (default [Telemetry.global]) receives [serve.*] counters and
+    gauges: queue depth, active jobs, submissions, rejects and per-state
+    completions. *)
+
+val run : t -> unit
+(** Serve until {!initiate_shutdown} (or a handled signal, or the
+    [shutdown] verb), then drain gracefully and return. Connections are
+    handled on lightweight threads; jobs run on the worker domains. *)
+
+val initiate_shutdown : t -> unit
+(** Async-signal-safe: flags the drain and wakes the accept loop. Safe
+    to call from a signal handler or any thread; idempotent. *)
+
+val handle_signals : t -> unit
+(** Installs SIGTERM and SIGINT handlers that call
+    {!initiate_shutdown}, and ignores SIGPIPE (client disconnects must
+    not kill the daemon). *)
+
+val socket_path : t -> string
+
+(** {1 Client}
+
+    A thin blocking client for the protocol; the CLI subcommands and the
+    service tests are both built on it. Protocol-level failures are
+    reported as [Error "code: message"] with the error codes listed
+    above, so callers can match on the prefix. *)
+
+module Client : sig
+  type conn
+
+  val connect : string -> (conn, string) result
+  val close : conn -> unit
+
+  val request : conn -> Json.t -> (Json.t, string) result
+  (** One request line out, one response line in. [Error] is a transport
+      failure (daemon gone, malformed reply). *)
+
+  val submit : conn -> Job.spec -> (string, string) result
+  (** Returns the job id. *)
+
+  val status : conn -> string -> (Json.t, string) result
+  val result : conn -> string -> (Json.t, string) result
+  (** The result payload object ({!Export.result_json} shape). *)
+
+  val cancel : conn -> string -> (Json.t, string) result
+  val stats : conn -> (Json.t, string) result
+  val shutdown : conn -> (Json.t, string) result
+
+  val wait : ?poll_s:float -> conn -> string -> (Json.t, string) result
+  (** Poll [status] until the job reaches a terminal state; returns the
+      final status object. *)
+end

@@ -104,7 +104,11 @@ let test_end_to_end_api () =
   let cost_model, _ = Train.pretrain rng ~epochs:4 ~hidden:[ 48; 48 ] ds in
   let opt = Felix.Optimizer.create ~config:Tuning_config.quick ~seed:1 graphs cost_model device in
   let save = Filename.temp_file "felix_res" ".json" in
-  let res = Felix.Optimizer.optimize_all opt ~n_total_rounds:6 ~save_res:save () in
+  let res =
+    match Felix.Optimizer.optimize_all opt ~n_total_rounds:6 ~save_res:save () with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "optimize_all: %s" (Tuner.error_message e)
+  in
   Alcotest.(check bool) "tuning produced a latency" true
     (Float.is_finite res.Tuner.final_latency_ms);
   let compiled = Felix.Optimizer.compile_with_best_configs opt in

@@ -12,4 +12,5 @@ let () =
       ("store", Test_store_lib.tests);
       ("cost_model", Test_cost_model_lib.tests);
       ("optim", Test_optim_lib.tests);
-      ("frameworks_api", Test_frameworks_lib.tests) ]
+      ("frameworks_api", Test_frameworks_lib.tests);
+      ("serve", Test_serve_lib.tests) ]

@@ -157,7 +157,7 @@ let test_tune_single_improves () =
   List.iter
     (fun engine ->
       let r =
-        Tuner.run_single
+        run_tuner_single
           (with_test_runtime Tuning_config.(builder |> with_search quick |> with_seed 4))
           ~rounds:4 Device.rtx_a5000 model (dense_sg ()) engine
       in
@@ -178,7 +178,7 @@ let test_tune_single_improves () =
 let test_tune_single_deterministic () =
   let model = Lazy.force shared_model in
   let run () =
-    Tuner.run_single
+    run_tuner_single
       Tuning_config.(builder |> with_search quick |> with_seed 7)
       ~rounds:2 Device.rtx_a5000 model (dense_sg ()) Tuner.Felix
   in
@@ -190,7 +190,7 @@ let test_tune_network () =
   let g = Workload.graph Workload.Dcgan in
   let cfg = { quick with Tuning_config.max_rounds = 10 } in
   let r =
-    Tuner.run
+    run_tuner
       (with_test_runtime Tuning_config.(builder |> with_search cfg |> with_seed 5))
       Device.rtx_a5000 model g Tuner.Felix
   in
@@ -211,7 +211,7 @@ let test_scheduler_prefers_heavy_tasks () =
   let g = Workload.graph Workload.Dcgan in
   let cfg = { quick with Tuning_config.max_rounds = 10 } in
   let r =
-    Tuner.run
+    run_tuner
       Tuning_config.(builder |> with_search cfg |> with_seed 6)
       Device.rtx_a5000 model g Tuner.Felix
   in
@@ -493,7 +493,7 @@ let test_export_roundtrip () =
   let g = Workload.graph Workload.Dcgan in
   let cfg = { quick with Tuning_config.max_rounds = 4 } in
   let r =
-    Tuner.run
+    run_tuner
       Tuning_config.(builder |> with_search cfg |> with_seed 8)
       Device.rtx_a5000 model g Tuner.Felix
   in
@@ -551,7 +551,7 @@ let tests = tests @ export_tests
 let test_random_engine () =
   let model = Lazy.force shared_model in
   let r =
-    Tuner.run_single
+    run_tuner_single
       Tuning_config.(builder |> with_search quick |> with_seed 9)
       ~rounds:3 Device.rtx_a5000 model (dense_sg ()) Tuner.Random
   in
@@ -568,7 +568,7 @@ let test_headline_felix_faster_than_ansor () =
   let model = Lazy.force shared_model in
   let cfg = { quick with Tuning_config.max_rounds = 6 } in
   let run engine =
-    Tuner.run_single
+    run_tuner_single
       Tuning_config.(builder |> with_search cfg |> with_seed 21)
       ~rounds:6 Device.rtx_a5000 model (dense_sg ()) engine
   in
@@ -600,7 +600,7 @@ let run_with_events ?(seed = 31) ~max_rounds () =
   let cfg = { quick with Tuning_config.max_rounds } in
   let events = ref [] in
   let r =
-    Tuner.run
+    run_tuner
       Tuning_config.(
         builder |> with_search cfg |> with_seed seed
         |> with_on_event (fun e -> events := e :: !events))
@@ -684,7 +684,7 @@ let test_events_do_not_change_result () =
   let cfg = { quick with Tuning_config.max_rounds = 2 } in
   (* Same seed, no callback, private telemetry registry: identical result. *)
   let bare =
-    Tuner.run
+    run_tuner
       Tuning_config.(
         builder |> with_search cfg |> with_seed 31
         |> with_telemetry (Telemetry.create ()))
@@ -703,7 +703,7 @@ let test_round_spans_recorded () =
   Telemetry.add_sink reg (fun r ->
       if r.Telemetry.r_kind = Telemetry.Span then spans := r :: !spans);
   let _ =
-    Tuner.run_single
+    run_tuner_single
       Tuning_config.(
         builder |> with_search quick |> with_seed 12 |> with_telemetry reg)
       ~rounds:2 Device.rtx_a5000 model (dense_sg ()) Tuner.Felix

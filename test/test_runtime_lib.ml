@@ -181,7 +181,7 @@ let test_tuning_bit_identical_across_jobs () =
   List.iter
     (fun engine ->
       let run jobs =
-        Tuner.run_single
+        run_tuner_single
           Tuning_config.(
             builder |> with_search Tuning_config.quick |> with_seed 11
             |> with_jobs jobs)
@@ -204,9 +204,9 @@ let test_network_tuning_bit_identical_with_shared_runtime () =
   let g = Workload.graph Workload.Dcgan in
   let cfg = { Tuning_config.quick with Tuning_config.max_rounds = 3 } in
   let base = Tuning_config.(builder |> with_search cfg |> with_seed 13) in
-  let seq = Tuner.run base Device.rtx_a5000 model g Tuner.Felix in
+  let seq = run_tuner base Device.rtx_a5000 model g Tuner.Felix in
   let par =
-    Tuner.run
+    run_tuner
       (Tuning_config.with_runtime (Lazy.force rt4) base)
       Device.rtx_a5000 model g Tuner.Felix
   in

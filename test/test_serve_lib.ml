@@ -1,0 +1,384 @@
+(* Tests for lib/serve: the job codec, the daemon protocol, concurrent
+   sessions, queue backpressure, deadlines, cooperative cancellation with
+   bit-identical resume, and graceful drain. Each test runs a real daemon
+   on a Unix socket in a temporary path, with the accept loop on a thread
+   and the tuning jobs on the daemon's worker domains. *)
+
+open Testutil
+
+let quick = Tuning_config.quick
+
+(* A lightweight cost model shared across the service tests: submitted
+   jobs and direct [Tuner.run] calls must use the same weights for the
+   bit-identity checks. *)
+let shared_model =
+  lazy
+    (let rng = Rng.create 310 in
+     let samples =
+       Dataset.generate rng Device.rtx_a5000 ~schedules_per_task:50
+         [ dense_sg (); conv_sg () ]
+     in
+     let ds = Dataset.split rng samples in
+     let model, _ = Train.pretrain rng ~epochs:4 ~hidden:[ 48; 48 ] ds in
+     model)
+
+let search rounds = { quick with Tuning_config.max_rounds = rounds }
+
+let spec ?(rounds = 4) ?(seed = 21) ?deadline_s ?store_dir () =
+  { Serve.Job.network = Workload.Dcgan;
+    inference_batch = 1;
+    device = Device.rtx_a5000;
+    engine = Tuner.Felix;
+    run = Tuning_config.(builder |> with_search (search rounds) |> with_seed seed);
+    deadline_s;
+    store_dir }
+
+let direct_result ?(rounds = 4) ?(seed = 21) () =
+  let rc = Tuning_config.(builder |> with_search (search rounds) |> with_seed seed) in
+  run_tuner rc Device.rtx_a5000 (Lazy.force shared_model) (Workload.graph Workload.Dcgan)
+    Tuner.Felix
+
+let fresh_dir () =
+  let path = Filename.temp_file "felix_serve_store" "" in
+  Sys.remove path;
+  path
+
+let rec remove_tree path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> remove_tree (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+(* --- daemon / client harness ------------------------------------------------- *)
+
+let with_server ?(workers = 2) ?(queue_capacity = 16) f =
+  let socket = Filename.temp_file "felix_serve" ".sock" in
+  match
+    Serve.create ~workers ~queue_capacity
+      ~telemetry:(Telemetry.create ~enabled:true ())
+      ~model_for:(fun _ -> Lazy.force shared_model)
+      ~socket ()
+  with
+  | Error m -> Alcotest.failf "Serve.create: %s" m
+  | Ok srv ->
+    let th = Thread.create Serve.run srv in
+    Fun.protect
+      ~finally:(fun () ->
+        Serve.initiate_shutdown srv;
+        Thread.join th)
+      (fun () -> f srv socket)
+
+let with_client socket f =
+  match Serve.Client.connect socket with
+  | Error m -> Alcotest.failf "Client.connect: %s" m
+  | Ok c -> Fun.protect ~finally:(fun () -> Serve.Client.close c) (fun () -> f c)
+
+let unwrap what = function
+  | Ok v -> v
+  | Error m -> Alcotest.failf "%s: %s" what m
+
+let state_of j =
+  match Option.bind (Json.find j "state") Json.as_string with
+  | Some s -> s
+  | None -> Alcotest.fail "status reply without a state"
+
+let rounds_of j =
+  match Option.bind (Json.find j "rounds") Json.as_int with Some r -> r | None -> 0
+
+let is_terminal st = List.mem st [ "done"; "cancelled"; "expired"; "failed" ]
+
+(* Poll [status] until [pred] holds or the job is terminal; returns the
+   last status reply. *)
+let poll_until c id pred =
+  let rec loop () =
+    let j = unwrap "status" (Serve.Client.status c id) in
+    if pred j || is_terminal (state_of j) then j
+    else begin
+      Unix.sleepf 0.01;
+      loop ()
+    end
+  in
+  loop ()
+
+(* --- job codec --------------------------------------------------------------- *)
+
+let test_job_codec_roundtrip () =
+  let s =
+    { (spec ~rounds:7 ~seed:5 ()) with
+      Serve.Job.deadline_s = Some 12.5;
+      store_dir = Some "/tmp/some-store" }
+  in
+  match Serve.Job.of_json (Serve.Job.to_json s) with
+  | Error m -> Alcotest.failf "of_json: %s" m
+  | Ok s' ->
+    Alcotest.(check bool) "network" true (s'.Serve.Job.network = Workload.Dcgan);
+    Alcotest.(check int) "batch" 1 s'.Serve.Job.inference_batch;
+    Alcotest.(check string) "device" "RTX A5000" s'.Serve.Job.device.Device.device_name;
+    Alcotest.(check bool) "engine" true (s'.Serve.Job.engine = Tuner.Felix);
+    Alcotest.(check bool) "deadline" true (s'.Serve.Job.deadline_s = Some 12.5);
+    Alcotest.(check bool) "store" true (s'.Serve.Job.store_dir = Some "/tmp/some-store");
+    (* the decoded spec re-encodes to the same bytes: the codec is stable *)
+    Alcotest.(check string) "stable encoding"
+      (Json.to_line (Serve.Job.to_json s))
+      (Json.to_line (Serve.Job.to_json s'))
+
+let test_job_codec_rejects () =
+  let reject msg j =
+    match Serve.Job.of_json j with
+    | Ok _ -> Alcotest.failf "%s: accepted" msg
+    | Error m ->
+      Alcotest.(check bool) (msg ^ ": error mentions job") true (contains ~needle:"job" m)
+  in
+  let base = Serve.Job.to_json (spec ()) in
+  let drop k =
+    match base with
+    | Json.Obj fields -> Json.Obj (List.remove_assoc k fields)
+    | _ -> Alcotest.fail "spec did not encode to an object"
+  in
+  let set k v =
+    match base with
+    | Json.Obj fields -> Json.Obj ((k, v) :: List.remove_assoc k fields)
+    | _ -> Alcotest.fail "spec did not encode to an object"
+  in
+  reject "missing network" (drop "network");
+  reject "unknown network" (set "network" (Json.Str "alexnet"));
+  reject "missing run" (drop "run");
+  reject "unknown engine" (set "engine" (Json.Str "grid"));
+  reject "bad deadline" (set "deadline_s" (Json.Num (-1.0)));
+  reject "bad batch" (set "inference_batch" (Json.Num 0.))
+
+let test_invocation_roundtrip () =
+  let dir = fresh_dir () in
+  Fun.protect
+    ~finally:(fun () -> remove_tree dir)
+    (fun () ->
+      Unix.mkdir dir 0o755;
+      let s = { (spec ~rounds:9 ~seed:3 ()) with Serve.Job.store_dir = Some dir } in
+      (match Serve.Job.save_invocation s ~dir with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "save_invocation: %s" (Store.error_message e));
+      match Serve.Job.load_invocation ~dir with
+      | Error e -> Alcotest.failf "load_invocation: %s" (Store.error_message e)
+      | Ok s' ->
+        (* the directory itself is the store; the record must not pin it *)
+        Alcotest.(check bool) "store_dir cleared" true (s'.Serve.Job.store_dir = None);
+        Alcotest.(check bool) "search survives" true
+          (s'.Serve.Job.run.Tuning_config.search = s.Serve.Job.run.Tuning_config.search);
+        Alcotest.(check int) "seed survives" s.Serve.Job.run.Tuning_config.seed
+          s'.Serve.Job.run.Tuning_config.seed)
+
+(* --- end-to-end: served result is bit-identical to a direct run -------------- *)
+
+let test_submit_matches_direct () =
+  with_server @@ fun _srv socket ->
+  with_client socket @@ fun c ->
+  let id = unwrap "submit" (Serve.Client.submit c (spec ())) in
+  let final = unwrap "wait" (Serve.Client.wait c id) in
+  Alcotest.(check string) "terminal state" "done" (state_of final);
+  let payload = unwrap "result" (Serve.Client.result c id) in
+  let direct = Export.result_json (direct_result ()) in
+  Alcotest.(check string) "wire payload is bit-identical to the direct run"
+    (Json.to_line direct) (Json.to_line payload)
+
+let test_concurrent_clients () =
+  with_server ~workers:2 @@ fun _srv socket ->
+  with_client socket @@ fun c1 ->
+  with_client socket @@ fun c2 ->
+  (* Two sessions submit from separate connections; the two-worker pool
+     runs them in parallel domains. *)
+  let id1 = unwrap "submit 1" (Serve.Client.submit c1 (spec ~seed:71 ())) in
+  let id2 = unwrap "submit 2" (Serve.Client.submit c2 (spec ~seed:72 ())) in
+  Alcotest.(check bool) "distinct ids" true (id1 <> id2);
+  (* Each client can also observe the other client's job. *)
+  let s1 = unwrap "wait 1" (Serve.Client.wait c2 id1) in
+  let s2 = unwrap "wait 2" (Serve.Client.wait c1 id2) in
+  Alcotest.(check string) "job 1 done" "done" (state_of s1);
+  Alcotest.(check string) "job 2 done" "done" (state_of s2);
+  let stats = unwrap "stats" (Serve.Client.stats c1) in
+  let n k =
+    match Option.bind (Json.find stats k) Json.as_int with
+    | Some v -> v
+    | None -> Alcotest.failf "stats missing %s" k
+  in
+  Alcotest.(check int) "submitted" 2 (n "submitted");
+  Alcotest.(check int) "completed" 2 (n "completed");
+  Alcotest.(check int) "queue drained" 0 (n "queue_depth")
+
+(* --- backpressure ------------------------------------------------------------ *)
+
+let test_queue_full_reject () =
+  with_server ~workers:1 ~queue_capacity:1 @@ fun _srv socket ->
+  with_client socket @@ fun c ->
+  (* Occupy the single worker with a long job, then fill the one queue
+     slot; the next submit must be rejected, not blocked. *)
+  let running = unwrap "submit long" (Serve.Client.submit c (spec ~rounds:60 ~seed:81 ())) in
+  let st = poll_until c running (fun j -> state_of j = "running") in
+  Alcotest.(check string) "first job is running" "running" (state_of st);
+  let queued = unwrap "submit queued" (Serve.Client.submit c (spec ~seed:82 ())) in
+  (match Serve.Client.submit c (spec ~seed:83 ()) with
+  | Ok id -> Alcotest.failf "expected overloaded, got job %s" id
+  | Error m ->
+    Alcotest.(check bool) "rejected with overloaded" true
+      (String.length m >= 10 && String.sub m 0 10 = "overloaded"));
+  let stats = unwrap "stats" (Serve.Client.stats c) in
+  Alcotest.(check bool) "reject counted" true
+    (Option.bind (Json.find stats "rejected") Json.as_int = Some 1);
+  (* Cancel both so the harness drains quickly: the queued job resolves
+     immediately, the running one at its next round boundary. *)
+  let q = unwrap "cancel queued" (Serve.Client.cancel c queued) in
+  Alcotest.(check string) "queued job cancels immediately" "cancelled" (state_of q);
+  ignore (unwrap "cancel running" (Serve.Client.cancel c running));
+  let final = unwrap "wait" (Serve.Client.wait c running) in
+  Alcotest.(check string) "running job cancelled" "cancelled" (state_of final)
+
+(* --- deadlines --------------------------------------------------------------- *)
+
+let test_deadline_expiry () =
+  with_server ~workers:1 @@ fun _srv socket ->
+  with_client socket @@ fun c ->
+  (* A job that would run for hundreds of rounds against a deadline of a
+     fraction of a second: it must stop at the first round boundary past
+     the deadline, not run to completion. *)
+  let huge =
+    { (spec ~rounds:500 ~seed:91 ()) with
+      Serve.Job.run =
+        Tuning_config.(
+          builder
+          |> with_search { (search 500) with Tuning_config.time_budget_s = 1e9 }
+          |> with_seed 91);
+      deadline_s = Some 0.15 }
+  in
+  let id = unwrap "submit" (Serve.Client.submit c huge) in
+  let final = unwrap "wait" (Serve.Client.wait c id) in
+  Alcotest.(check string) "expired" "expired" (state_of final);
+  Alcotest.(check bool) "stopped early" true (rounds_of final < 500);
+  match Serve.Client.result c id with
+  | Ok _ -> Alcotest.fail "result of an expired job"
+  | Error m ->
+    Alcotest.(check bool) "not_done" true
+      (String.length m >= 8 && String.sub m 0 8 = "not_done")
+
+(* --- cancel, then resume bit-identically from the checkpointed store --------- *)
+
+let test_cancel_then_resume_bit_identical () =
+  let dir = fresh_dir () in
+  Fun.protect
+    ~finally:(fun () -> remove_tree dir)
+    (fun () ->
+      let job = { (spec ~rounds:6 ~seed:41 ()) with Serve.Job.store_dir = Some dir } in
+      with_server ~workers:1 @@ fun _srv socket ->
+      with_client socket @@ fun c ->
+      let id = unwrap "submit" (Serve.Client.submit c job) in
+      (* Let it checkpoint at least one round, then cancel mid-flight. *)
+      let _ = poll_until c id (fun j -> rounds_of j >= 2) in
+      ignore (unwrap "cancel" (Serve.Client.cancel c id));
+      let halted = unwrap "wait" (Serve.Client.wait c id) in
+      (* The cancel races round boundaries; on a slow machine the job may
+         already have finished, which only makes the resume a no-op. *)
+      Alcotest.(check bool) "cancelled (or already done)" true
+        (List.mem (state_of halted) [ "cancelled"; "done" ]);
+      (* Resubmitting the same spec resumes the store's checkpoint; the
+         completed run must be bit-identical to a direct uninterrupted
+         run of the same configuration. *)
+      let id2 = unwrap "resubmit" (Serve.Client.submit c job) in
+      let final = unwrap "wait resumed" (Serve.Client.wait c id2) in
+      Alcotest.(check string) "resumed to done" "done" (state_of final);
+      let payload = unwrap "result" (Serve.Client.result c id2) in
+      let direct = Export.result_json (direct_result ~rounds:6 ~seed:41 ()) in
+      Alcotest.(check string) "resumed result is bit-identical"
+        (Json.to_line direct) (Json.to_line payload);
+      (* The store recorded the invocation for the CLI's resume. *)
+      match Serve.Job.load_invocation ~dir with
+      | Error e -> Alcotest.failf "load_invocation: %s" (Store.error_message e)
+      | Ok s ->
+        Alcotest.(check int) "recorded seed" 41 s.Serve.Job.run.Tuning_config.seed)
+
+(* --- protocol errors ---------------------------------------------------------- *)
+
+let raw_request socket line =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_UNIX socket);
+      let oc = Unix.out_channel_of_descr fd in
+      output_string oc (line ^ "\n");
+      flush oc;
+      input_line (Unix.in_channel_of_descr fd))
+
+let error_code reply =
+  match Json.parse reply with
+  | Error m -> Alcotest.failf "unparsable reply %S: %s" reply m
+  | Ok j ->
+    (match Option.bind (Json.find j "ok") Json.as_bool with
+    | Some false -> ()
+    | _ -> Alcotest.failf "expected an error reply, got %s" reply);
+    (match Option.bind (Json.find j "error") Json.as_string with
+    | Some c -> c
+    | None -> Alcotest.failf "error reply without code: %s" reply)
+
+let test_malformed_requests () =
+  with_server @@ fun _srv socket ->
+  Alcotest.(check string) "unparsable line" "parse" (error_code (raw_request socket "not json"));
+  Alcotest.(check string) "missing verb" "bad_request"
+    (error_code (raw_request socket {|{"x":1}|}));
+  Alcotest.(check string) "unknown verb" "unknown_verb"
+    (error_code (raw_request socket {|{"verb":"frobnicate"}|}));
+  Alcotest.(check string) "submit without job" "bad_request"
+    (error_code (raw_request socket {|{"verb":"submit"}|}));
+  Alcotest.(check string) "submit with malformed job" "bad_request"
+    (error_code (raw_request socket {|{"verb":"submit","job":{"network":"dcgan"}}|}));
+  Alcotest.(check string) "status without id" "bad_request"
+    (error_code (raw_request socket {|{"verb":"status"}|}));
+  with_client socket @@ fun c ->
+  match Serve.Client.status c "job9999" with
+  | Ok _ -> Alcotest.fail "status of an unknown id"
+  | Error m ->
+    Alcotest.(check bool) "unknown_id" true
+      (String.length m >= 10 && String.sub m 0 10 = "unknown_id");
+    (* The daemon survives all of the above: a well-formed request still
+       gets a well-formed answer on a fresh connection. *)
+    let stats = unwrap "stats" (Serve.Client.stats c) in
+    Alcotest.(check bool) "still serving" true
+      (Option.bind (Json.find stats "workers") Json.as_int = Some 2)
+
+(* --- lifecycle ---------------------------------------------------------------- *)
+
+let test_create_rejects_bad_arguments () =
+  (match Serve.create ~workers:0 ~socket:"/tmp/never.sock" () with
+  | Ok _ -> Alcotest.fail "accepted workers = 0"
+  | Error _ -> ());
+  match Serve.create ~queue_capacity:0 ~socket:"/tmp/never.sock" () with
+  | Ok _ -> Alcotest.fail "accepted queue capacity = 0"
+  | Error _ -> ()
+
+let test_live_socket_refused_and_drain_unlinks () =
+  with_server (fun _srv socket ->
+      (* A second daemon on the same socket must refuse, not steal it. *)
+      (match Serve.create ~socket () with
+      | Ok _ -> Alcotest.fail "bound a live socket"
+      | Error m ->
+        Alcotest.(check bool) "says in use" true (contains ~needle:"in use" m));
+      (* The drain must observe the shutdown verb, not just the API. *)
+      with_client socket (fun c -> ignore (unwrap "shutdown" (Serve.Client.shutdown c)));
+      (* with_server's finally joins the accept thread. *)
+      ());
+  ()
+
+let tests =
+  [ Alcotest.test_case "job codec round-trip" `Quick test_job_codec_roundtrip;
+    Alcotest.test_case "job codec rejects malformed specs" `Quick test_job_codec_rejects;
+    Alcotest.test_case "invocation record round-trip" `Quick test_invocation_roundtrip;
+    Alcotest.test_case "create rejects bad arguments" `Quick test_create_rejects_bad_arguments;
+    Alcotest.test_case "served result bit-identical to direct run" `Slow
+      test_submit_matches_direct;
+    Alcotest.test_case "concurrent clients, two workers" `Slow test_concurrent_clients;
+    Alcotest.test_case "bounded queue rejects when full" `Slow test_queue_full_reject;
+    Alcotest.test_case "deadline expires a run mid-flight" `Slow test_deadline_expiry;
+    Alcotest.test_case "cancel then resume is bit-identical" `Slow
+      test_cancel_then_resume_bit_identical;
+    Alcotest.test_case "malformed requests get error replies" `Slow test_malformed_requests;
+    Alcotest.test_case "live socket refused; drain unlinks" `Slow
+      test_live_socket_refused_and_drain_unlinks ]

@@ -202,7 +202,7 @@ let run_plain ?(jobs = 1) ?on_event ~rounds ~seed engine =
   let rc =
     match on_event with Some f -> Tuning_config.with_on_event f rc | None -> rc
   in
-  Tuner.run rc Device.rtx_a5000 (Lazy.force shared_model) (dcgan ()) engine
+  run_tuner rc Device.rtx_a5000 (Lazy.force shared_model) (dcgan ()) engine
 
 let run_stored ?(jobs = 1) ?on_event ~dir ~rounds ~seed engine =
   let s = ok_store (Store.open_dir dir) in
@@ -217,9 +217,12 @@ let run_stored ?(jobs = 1) ?on_event ~dir ~rounds ~seed engine =
   in
   let finish () = Store.close s in
   match Tuner.run rc Device.rtx_a5000 (Lazy.force shared_model) (dcgan ()) engine with
-  | r ->
+  | Ok r ->
     finish ();
     r
+  | Error e ->
+    finish ();
+    Alcotest.failf "Tuner.run: %s" (Tuner.error_message e)
   | exception e ->
     finish ();
     raise e
@@ -356,7 +359,7 @@ let test_warm_start_saves_measurements () =
       builder |> with_search (search 2) |> with_seed 61 |> with_store s
       |> with_telemetry reg)
   in
-  ignore (Tuner.run rc Device.rtx_a5000 (Lazy.force shared_model) (dcgan ()) Tuner.Felix);
+  ignore (run_tuner rc Device.rtx_a5000 (Lazy.force shared_model) (dcgan ()) Tuner.Felix);
   Store.close s;
   Alcotest.(check bool) "store.replays counted" true
     (Telemetry.Counter.value (Telemetry.counter reg "store.replays") > 0);

@@ -100,3 +100,15 @@ let with_test_runtime rc =
   match runtime () with
   | Some rt -> Tuning_config.with_runtime rt rc
   | None -> rc
+
+(* Unwrap the typed tuner results; a configuration error in a test is a
+   test bug, not a scenario under test. *)
+let run_tuner rc device model graph engine =
+  match Tuner.run rc device model graph engine with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "Tuner.run: %s" (Tuner.error_message e)
+
+let run_tuner_single rc ~rounds device model sg engine =
+  match Tuner.run_single rc ~rounds device model sg engine with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "Tuner.run_single: %s" (Tuner.error_message e)
