@@ -22,7 +22,8 @@ let experiments =
     ("par", "sequential vs multi-domain tuning rounds", Parallel.run);
     ("hotpath", "legacy vs fused objective-gradient inner loop", Hotpath.run);
     ("batch", "scalar vs lockstep SoA descent across the population", Batch.run);
-    ("warmstart", "time-to-target with and without a warm tuning store", Warmstart.run) ]
+    ("warmstart", "time-to-target with and without a warm tuning store", Warmstart.run);
+    ("prepare", "cold-parallel and warm-disk pack compilation", Prepare.run) ]
 
 (* --- bechamel micro-benchmarks: one per table/figure harness ----------------- *)
 
@@ -104,6 +105,7 @@ let () =
           Hotpath.smoke := true;
           Batch.smoke := true;
           Warmstart.smoke := true;
+          Prepare.smoke := true;
           false
         end
         else true)

@@ -1,0 +1,204 @@
+(* prepare: the symbolic compilation front-end, three ways.
+
+   Measures the sketch -> smooth -> simplify -> extract -> tape pipeline
+   (Pack.prepare) as the tuner pays for it:
+
+   - cold serial: every pack compiled from scratch on one domain;
+   - cold parallel: the same packs through Pack.prepare_all on a 4-domain
+     Runtime pool (worker domains start with cold rewriter memos);
+   - warm disk: single-pack latency against a populated persistent cache
+     versus the cold compile of the same pack.
+
+   Every pack must be bitwise-identical across all paths (compared via
+   Pack.digest), and a small end-to-end tuning run must produce
+   byte-identical results with the cache disabled, cold and warm. Any
+   divergence is a hard failure (exit 1); so is a warm-disk speedup below
+   threshold, or — on hosts with enough cores — a parallel speedup below
+   threshold. Results land in BENCH_prepare.json. *)
+
+let smoke = ref false
+
+let rec remove_tree path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> remove_tree (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+(* The worker domains of a fresh Runtime are cold by construction; the
+   caller (bench) domain keeps per-domain rewrite memos across arms unless
+   dropped here. *)
+let clear_caller_memos () =
+  Rewrite.clear_memo Simplify.compiled;
+  Smooth.clear_memo ()
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let subgraph_set () =
+  let dense name batch in_dim out_dim =
+    Compute.lower ~name (Op.Dense { batch; in_dim; out_dim })
+  in
+  let conv =
+    Compute.lower ~name:"conv"
+      (Op.Conv2d
+         { batch = 1; in_chan = 32; out_chan = 64; in_h = 14; in_w = 14;
+           kernel_h = 3; kernel_w = 3; stride = 1; pad = 1; groups = 1 })
+  in
+  if !smoke then [ dense "dense_a" 50 768 3072; conv ]
+  else
+    [ dense "dense_a" 50 768 3072; dense "dense_b" 16 1024 1024;
+      dense "dense_c" 1 4096 4096; conv ]
+
+let run () =
+  let domains = 4 in
+  let pairs =
+    List.concat_map
+      (fun sg -> List.map (fun s -> (sg, s)) (Sketch.generate sg))
+      (subgraph_set ())
+  in
+  let n_packs = List.length pairs in
+  Printf.printf "[prepare] %d (subgraph, sketch) pairs\n%!" n_packs;
+
+  (* --- cold compile throughput: serial vs 4 domains ----------------------- *)
+  Pack.clear_memory_cache ();
+  clear_caller_memos ();
+  let per_pack_s = Array.make n_packs 0.0 in
+  let serial_packs, serial_s =
+    time (fun () ->
+        List.mapi
+          (fun i (sg, s) ->
+            let p, dt = time (fun () -> Pack.prepare sg s) in
+            per_pack_s.(i) <- dt;
+            p)
+          pairs)
+  in
+  Pack.clear_memory_cache ();
+  clear_caller_memos ();
+  let parallel_packs, parallel_s =
+    Runtime.with_runtime ~domains (fun rt ->
+        time (fun () -> Pack.prepare_all ~runtime:rt pairs))
+  in
+  let serial_digests = List.map Pack.digest serial_packs in
+  let parallel_identical = List.map Pack.digest parallel_packs = serial_digests in
+  let parallel_speedup = serial_s /. parallel_s in
+
+  (* --- disk cache: warm single-pack latency vs cold compile ---------------
+
+     Measured on the most expensive pack of the set: that is the pack whose
+     compile the cache is amortizing, and the one a tuner round waits on. *)
+  let dir = Filename.concat "_artifacts" "bench_pack_cache" in
+  remove_tree dir;
+  let slowest = ref 0 in
+  Array.iteri (fun i dt -> if dt > per_pack_s.(!slowest) then slowest := i) per_pack_s;
+  let sg1, sched1 = List.nth pairs !slowest in
+  let reps = if !smoke then 3 else 5 in
+  let best f arg =
+    List.fold_left min Float.max_float
+      (List.init reps (fun _ ->
+           clear_caller_memos ();
+           snd (time (fun () -> ignore (f arg)))))
+  in
+  let cold_pack_s = best (fun () -> Pack.prepare sg1 sched1) () in
+  (* Populate the entry once, then time pure hits. *)
+  let warm_pack = Pack.prepare ~cache_dir:dir sg1 sched1 in
+  let warm_pack_s = best (fun () -> Pack.prepare ~cache_dir:dir sg1 sched1) () in
+  let reference = Pack.digest (List.nth serial_packs !slowest) in
+  let warm_identical =
+    Pack.digest warm_pack = reference
+    && Pack.digest (Pack.prepare ~cache_dir:dir sg1 sched1) = reference
+  in
+  let warm_speedup = cold_pack_s /. warm_pack_s in
+
+  (* --- a full tuning run: cache-less, cache-cold, cache-warm -------------- *)
+  let tune_dir = Filename.concat "_artifacts" "bench_pack_cache_tune" in
+  remove_tree tune_dir;
+  let rounds = if !smoke then 2 else 4 in
+  let device = Device.rtx_a5000 in
+  let model = Mlp.create (Rng.create 1) ~hidden:[ 64; 64 ] ~n_inputs:82 () in
+  let g = Workload.graph Workload.Dcgan in
+  let tune rc =
+    Pack.clear_memory_cache ();
+    match Tuner.run rc device model g Tuner.Felix with
+    | Ok r -> Json.to_line (Export.result_json r)
+    | Error e -> failwith (Tuner.error_message e)
+  in
+  let search = { Tuning_config.quick with Tuning_config.max_rounds = rounds } in
+  let rc = Tuning_config.(builder |> with_search search |> with_seed 7) in
+  let rc_cached = Tuning_config.with_pack_cache tune_dir rc in
+  let tune_plain = tune rc in
+  let tune_cold = tune rc_cached in
+  let tune_warm = tune rc_cached in
+  let tune_identical = tune_plain = tune_cold && tune_cold = tune_warm in
+
+  (* --- report -------------------------------------------------------------- *)
+  let cores = Domain.recommended_domain_count () in
+  let t =
+    Table.create
+      ~title:(Printf.sprintf "pack compilation front-end (%d packs)" n_packs)
+      ~header:[ "path"; "wall s"; "packs/s"; "speedup"; "bitwise" ]
+  in
+  let bit ok = if ok then "identical" else "DIVERGED" in
+  Table.add_row t
+    [ "cold serial"; Printf.sprintf "%.3f" serial_s;
+      Printf.sprintf "%.1f" (float_of_int n_packs /. serial_s); "1.00x";
+      "identical" ];
+  Table.add_row t
+    [ Printf.sprintf "cold %d domains" domains; Printf.sprintf "%.3f" parallel_s;
+      Printf.sprintf "%.1f" (float_of_int n_packs /. parallel_s);
+      Printf.sprintf "%.2fx" parallel_speedup; bit parallel_identical ];
+  Table.add_row t
+    [ "warm disk (1 pack)"; Printf.sprintf "%.5f" warm_pack_s; "-";
+      Printf.sprintf "%.2fx" warm_speedup; bit warm_identical ];
+  Table.print t;
+  Printf.printf
+    "host: %d recommended domains; tune cold/warm/cache-less byte-identical: %b\n%!"
+    cores tune_identical;
+
+  let disk = Pack.disk_counters () in
+  let oc = open_out "BENCH_prepare.json" in
+  Printf.fprintf oc
+    "{\n  \"experiment\": \"prepare\",\n  \"smoke\": %b,\n  \"packs\": %d,\n  \
+     \"domains\": %d,\n  \"recommended_domains\": %d,\n  \
+     \"serial_s\": %.4f,\n  \"parallel_s\": %.4f,\n  \
+     \"parallel_speedup\": %.3f,\n  \"cold_pack_s\": %.6f,\n  \
+     \"warm_pack_s\": %.6f,\n  \"warm_speedup\": %.3f,\n  \
+     \"disk_hits\": %d,\n  \"disk_misses\": %d,\n  \"disk_writes\": %d,\n  \
+     \"bitwise_identical_parallel\": %b,\n  \"bitwise_identical_warm\": %b,\n  \
+     \"tune_byte_identical\": %b\n}\n"
+    !smoke n_packs domains cores serial_s parallel_s parallel_speedup cold_pack_s
+    warm_pack_s warm_speedup
+    (List.assoc "disk_hits" disk)
+    (List.assoc "disk_misses" disk)
+    (List.assoc "disk_writes" disk)
+    parallel_identical warm_identical tune_identical;
+  close_out oc;
+  print_endline "wrote BENCH_prepare.json";
+  remove_tree dir;
+  remove_tree tune_dir;
+
+  let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("FAIL: " ^ m); exit 1) fmt in
+  if not parallel_identical then
+    fail "parallel packs DIVERGED from serial (bit-identity broken)";
+  if not warm_identical then
+    fail "disk-warm pack DIVERGED from cold compile (bit-identity broken)";
+  if not tune_identical then
+    fail "tuning results differ across cache-less/cold/warm runs";
+  let warm_floor = if !smoke then 2.0 else 5.0 in
+  if warm_speedup < warm_floor then
+    fail "warm-disk speedup %.2fx below %.1fx floor" warm_speedup warm_floor;
+  (* Parallel throughput scales with physical cores; only gate it where the
+     host can express it (mirrors bench/parallel.ml's expectation note). *)
+  if cores >= domains then begin
+    let par_floor = if !smoke then 1.3 else 2.0 in
+    if parallel_speedup < par_floor then
+      fail "cold-parallel speedup %.2fx below %.1fx floor on a %d-core host"
+        parallel_speedup par_floor cores
+  end
+  else
+    Printf.printf
+      "note: parallel floor waived (%d recommended domains < %d benchmark domains)\n%!"
+      cores domains

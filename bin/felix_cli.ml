@@ -12,7 +12,8 @@
      compare  — compare a tuned network against the vendor frameworks
      devices  — list device models
      stats    — summarize a JSONL telemetry trace written by tune --trace
-     store    — inspect a durable tuning store (store stats DIR) *)
+     store    — inspect a durable tuning store (store stats DIR)
+     cache    — inspect or clear a persistent compilation cache *)
 
 open Cmdliner
 
@@ -139,16 +140,30 @@ let store_arg =
                An interrupted run is continued bit-identically by \
                $(b,felix-tune resume) $(docv).")
 
+let pack_cache_arg =
+  Arg.(value & opt (some string) (Sys.getenv_opt "FELIX_PACK_CACHE")
+       & info [ "pack-cache" ] ~docv:"DIR"
+           ~doc:"Persistent compilation cache: store compiled feature/penalty \
+                 packs content-addressed under $(docv) (created on demand) and \
+                 reuse them across runs and processes. Defaults to the \
+                 FELIX_PACK_CACHE environment variable (else disabled). Results \
+                 are bit-identical with the cache cold, warm or disabled.")
+
 (* One job specification drives [tune], [submit] and the [run.json]
    invocation record that [resume] replays: the shared Serve.Job codec
    means the three paths cannot drift apart. *)
 let spec_of ~net ~device ~rounds ~batch ~seed ~quick ~engine ~jobs ~gd_batch
-    ~deadline ~store_dir =
+    ~deadline ~store_dir ~pack_cache =
   let search = config_of_quick quick rounds in
   let run =
     Tuning_config.(
       builder |> with_search search |> with_seed seed |> with_jobs jobs
       |> with_batch gd_batch)
+  in
+  let run =
+    match pack_cache with
+    | Some dir -> Tuning_config.with_pack_cache dir run
+    | None -> run
   in
   { Serve.Job.network = net; inference_batch = batch; device; engine; run;
     deadline_s = deadline; store_dir }
@@ -220,18 +235,18 @@ let execute_tune ?store_dir (spec : Serve.Job.spec) out trace metrics =
       Printf.printf "wrote %s.csv and %s.json\n" prefix prefix
 
 let tune_cmd =
-  let run net device rounds batch seed quick engine jobs gd_batch store_dir out trace
-      metrics =
+  let run net device rounds batch seed quick engine jobs gd_batch store_dir pack_cache
+      out trace metrics =
     let spec =
       spec_of ~net ~device ~rounds ~batch ~seed ~quick ~engine ~jobs ~gd_batch
-        ~deadline:None ~store_dir:None
+        ~deadline:None ~store_dir:None ~pack_cache
     in
     execute_tune ?store_dir spec out trace metrics
   in
   Cmd.v (Cmd.info "tune" ~doc:"Tune a network's schedules for a device.")
     Term.(const run $ network_arg $ device_arg $ rounds_arg $ batch_arg $ seed_arg
-          $ quick_arg $ engine_arg $ jobs_arg $ gd_batch_arg $ store_arg $ out_arg
-          $ trace_arg $ metrics_arg)
+          $ quick_arg $ engine_arg $ jobs_arg $ gd_batch_arg $ store_arg
+          $ pack_cache_arg $ out_arg $ trace_arg $ metrics_arg)
 
 (* Optional parallelism overrides for [resume]: omitted flags keep the
    recorded invocation's values (results are invariant either way). *)
@@ -252,7 +267,7 @@ let resume_cmd =
     Arg.(required & pos 0 (some dir) None & info [] ~docv:"DIR"
            ~doc:"Store directory of the interrupted $(b,tune --store) run.")
   in
-  let run dir jobs gd_batch out trace metrics =
+  let run dir jobs gd_batch pack_cache out trace metrics =
     match Serve.Job.load_invocation ~dir with
     | Error e -> exit_store_error dir e
     | Ok spec ->
@@ -262,6 +277,11 @@ let resume_cmd =
       in
       let rc =
         match gd_batch with Some b -> Tuning_config.with_batch b rc | None -> rc
+      in
+      let rc =
+        match pack_cache with
+        | Some d -> Tuning_config.with_pack_cache d rc
+        | None -> rc
       in
       let spec = { spec with Serve.Job.run = rc } in
       Printf.printf "resuming: %s on %s (%d rounds, seed %d, %s)\n\n"
@@ -277,8 +297,8 @@ let resume_cmd =
          "Continue an interrupted tuning run from its store directory, \
           bit-identically to the uninterrupted run. Parallelism flags may \
           differ from the original invocation; results do not depend on them.")
-    Term.(const run $ dir_arg $ jobs_override_arg $ gd_batch_override_arg $ out_arg
-          $ trace_arg $ metrics_arg)
+    Term.(const run $ dir_arg $ jobs_override_arg $ gd_batch_override_arg
+          $ pack_cache_arg $ out_arg $ trace_arg $ metrics_arg)
 
 (* --- the tuning service ----------------------------------------------------- *)
 
@@ -342,9 +362,9 @@ let serve_cmd =
          & info [ "queue" ] ~docv:"N"
              ~doc:"Bounded queue capacity; submits beyond it are rejected as overloaded.")
   in
-  let run socket workers queue trace metrics =
+  let run socket workers queue pack_cache trace metrics =
     with_telemetry ~trace ~metrics @@ fun () ->
-    match Serve.create ~workers ~queue_capacity:queue ~socket () with
+    match Serve.create ~workers ~queue_capacity:queue ?pack_cache ~socket () with
     | Error m ->
       Printf.eprintf "felix-tune: %s\n" m;
       exit 1
@@ -360,7 +380,8 @@ let serve_cmd =
        ~doc:
          "Run the tuning service: accept jobs over a Unix-domain socket, run \
           them on a bounded worker pool, drain gracefully on SIGTERM.")
-    Term.(const run $ socket_arg $ workers_arg $ queue_arg $ trace_arg $ metrics_arg)
+    Term.(const run $ socket_arg $ workers_arg $ queue_arg $ pack_cache_arg
+          $ trace_arg $ metrics_arg)
 
 let submit_cmd =
   let deadline_arg =
@@ -381,9 +402,11 @@ let submit_cmd =
   in
   let run net device rounds batch seed quick engine jobs gd_batch store_dir deadline
       socket wait out =
+    (* The pack cache is daemon-side state (serve --pack-cache), not part of
+       the job spec: submitted jobs share whatever cache the daemon mounts. *)
     let spec =
       spec_of ~net ~device ~rounds ~batch ~seed ~quick ~engine ~jobs ~gd_batch
-        ~deadline ~store_dir
+        ~deadline ~store_dir ~pack_cache:None
     in
     with_client socket @@ fun c ->
     match Serve.Client.submit c spec with
@@ -491,6 +514,61 @@ let store_cmd =
       Term.(const run $ dir_arg)
   in
   Cmd.group (Cmd.info "store" ~doc:"Inspect a durable tuning store.") [ stats_sub ]
+
+let cache_cmd =
+  let dir_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR"
+           ~doc:"Pack-cache directory (as given to --pack-cache or \
+                 FELIX_PACK_CACHE).")
+  in
+  let stats_sub =
+    let run dir =
+      let t =
+        Table.create ~title:("pack cache " ^ dir) ~header:[ "field"; "value" ]
+      in
+      List.iter
+        (fun (k, v) -> Table.add_row t [ k; string_of_int v ])
+        (Pack.disk_cache_stats dir);
+      (* Activity counters are process-lifetime; in this freshly started
+         process they reflect only work done by this invocation. *)
+      List.iter
+        (fun (k, v) -> Table.add_row t [ k ^ " (this process)"; string_of_int v ])
+        (Pack.disk_counters ());
+      List.iter
+        (fun (k, v) -> Table.add_row t [ "lru " ^ k ^ " (this process)"; string_of_int v ])
+        (Pack.cache_stats ());
+      Table.print t
+    in
+    Cmd.v
+      (Cmd.info "stats"
+         ~doc:"Show a pack cache's entry count and size, plus this process's \
+               hit/miss/evict counters.")
+      Term.(const run $ dir_arg)
+  in
+  let clear_sub =
+    let yes_arg =
+      Arg.(value & flag
+           & info [ "yes" ] ~doc:"Confirm deletion; without it nothing is removed.")
+    in
+    let run dir yes =
+      if not yes then begin
+        Printf.eprintf
+          "felix-tune: cache clear %s would delete its entries; re-run with --yes\n"
+          dir;
+        exit 1
+      end
+      else
+        let n = Pack.clear_disk_cache dir in
+        Printf.printf "removed %d cache entries from %s\n" n dir
+    in
+    Cmd.v
+      (Cmd.info "clear"
+         ~doc:"Delete every pack-* cache entry in the directory (needs --yes).")
+      Term.(const run $ dir_arg $ yes_arg)
+  in
+  Cmd.group
+    (Cmd.info "cache" ~doc:"Inspect or clear a persistent compilation cache.")
+    [ stats_sub; clear_sub ]
 
 let inspect_cmd =
   let run net batch =
@@ -685,4 +763,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ tune_cmd; resume_cmd; serve_cmd; submit_cmd; status_cmd; result_cmd;
-            cancel_cmd; inspect_cmd; compare_cmd; devices_cmd; stats_cmd; store_cmd ]))
+            cancel_cmd; inspect_cmd; compare_cmd; devices_cmd; stats_cmd; store_cmd;
+            cache_cmd ]))

@@ -180,7 +180,7 @@ module Optimizer = struct
     { subgraphs; model; device; run = rc; last_result = None }
 
   let optimize_all t ~n_total_rounds ?measure_per_round ?save_res ?on_event ?telemetry
-      ?runtime () =
+      ?runtime ?pack_cache () =
     let base = t.run.Tuning_config.search in
     let search =
       { base with
@@ -197,6 +197,11 @@ module Optimizer = struct
     in
     let rc =
       match runtime with Some rt -> Tuning_config.with_runtime rt rc | None -> rc
+    in
+    let rc =
+      match pack_cache with
+      | Some dir -> Tuning_config.with_pack_cache dir rc
+      | None -> rc
     in
     match Tuner.run rc t.device t.model t.subgraphs.graph Tuner.Felix with
     | Error _ as e -> e

@@ -165,6 +165,7 @@ module Optimizer : sig
     ?on_event:(tuning_event -> unit) ->
     ?telemetry:Telemetry.t ->
     ?runtime:Runtime.t ->
+    ?pack_cache:string ->
     unit ->
     (Tuner.result, Tuner.error) result
   (** Run the tuning rounds; optionally persist the result to [save_res]
@@ -172,7 +173,11 @@ module Optimizer : sig
       reports [Error (Tuner.Store_error _)]). Returns the full tuning
       log (curve, per-task bests). Attach a durable store — journaling,
       crash-safe resume, warm start — via the run configuration given at
-      {!create} time: [Tuning_config.with_store].
+      {!create} time: [Tuning_config.with_store]. [pack_cache] points the
+      persistent compilation cache at a directory (shorthand for
+      [Tuning_config.with_pack_cache]): compiled feature/penalty packs
+      are reused across runs and processes, bitwise-identically to a
+      cold compile.
 
       [on_event] observes every {!tuning_event} of the run in order —
       progress streaming, early stopping and dashboards are all consumers

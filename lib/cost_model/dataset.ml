@@ -33,12 +33,15 @@ let sample_valid_point rng pack attempts =
   in
   go attempts
 
-let generate rng device ?(schedules_per_task = 256) tasks =
+let generate rng device ?(schedules_per_task = 256) ?runtime ?cache_dir tasks =
   let out = ref [] in
   List.iter
     (fun sg ->
       let key = Compute.workload_key sg in
-      let packs = List.map (fun s -> Pack.prepare sg s) (Sketch.generate sg) in
+      let packs =
+        Pack.prepare_all ?runtime ?cache_dir
+          (List.map (fun s -> (sg, s)) (Sketch.generate sg))
+      in
       let per_sketch = max 1 (schedules_per_task / List.length packs) in
       List.iter
         (fun pack ->

@@ -26,10 +26,20 @@ val sample_valid_point : Rng.t -> Pack.t -> int -> float array option
     number of attempts). *)
 
 val generate :
-  Rng.t -> Device.t -> ?schedules_per_task:int -> Compute.subgraph list -> sample array
+  Rng.t ->
+  Device.t ->
+  ?schedules_per_task:int ->
+  ?runtime:Runtime.t ->
+  ?cache_dir:string ->
+  Compute.subgraph list ->
+  sample array
 (** Labelled samples for one device; [schedules_per_task] (default 256) is
     split across the task's sketches, mirroring the paper's 512-per-task
-    selection at our scale. *)
+    selection at our scale. [runtime] parallelises the per-task pack
+    compilation across domains and [cache_dir] reuses compiled packs from
+    the persistent cache (see [Pack.prepare_all]); sampling itself stays
+    sequential and deterministic, so the output is identical either
+    way. *)
 
 val split : Rng.t -> ?train_frac:float -> sample array -> t
 (** Shuffle and split (default 90% train, Section 5). *)

@@ -346,6 +346,125 @@ module Tape = struct
     let t = { instrs = Array.of_list (List.rev !instrs); outputs; n_inputs = List.length inputs } in
     if optimize then fst (optimize_report t) else t
 
+  (* --- bit-exact serialization ---------------------------------------------
+
+     The persistent pack cache stores compiled tapes on disk. Constants
+     cross as 16-hex-char IEEE-754 bit strings (the [Store.Bits]
+     convention), so a loaded tape evaluates bitwise-identically to the
+     one that was saved — including signed zeros and NaN payloads, which
+     decimal text would destroy. [of_json] validates the topological
+     order (an instruction only references earlier slots) and every index
+     range, so a corrupt cache entry yields [None], never a crash. *)
+
+  let bin_name = function
+    | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Div -> "div"
+    | Pow -> "pow" | Min -> "min" | Max -> "max"
+
+  let bin_of_name = function
+    | "add" -> Some Add | "sub" -> Some Sub | "mul" -> Some Mul
+    | "div" -> Some Div | "pow" -> Some Pow | "min" -> Some Min
+    | "max" -> Some Max | _ -> None
+
+  let un_name = function
+    | Neg -> "neg" | Log -> "log" | Exp -> "exp" | Sqrt -> "sqrt" | Abs -> "abs"
+
+  let un_of_name = function
+    | "neg" -> Some Neg | "log" -> Some Log | "exp" -> Some Exp
+    | "sqrt" -> Some Sqrt | "abs" -> Some Abs | _ -> None
+
+  let cmp_name = function
+    | Lt -> "lt" | Le -> "le" | Gt -> "gt" | Ge -> "ge" | Eq -> "eq" | Ne -> "ne"
+
+  let cmp_of_name = function
+    | "lt" -> Some Lt | "le" -> Some Le | "gt" -> Some Gt
+    | "ge" -> Some Ge | "eq" -> Some Eq | "ne" -> Some Ne | _ -> None
+
+  let float_bits f = Printf.sprintf "%016Lx" (Int64.bits_of_float f)
+
+  let float_of_bits s =
+    if String.length s <> 16 then None
+    else
+      match Int64.of_string ("0x" ^ s) with
+      | bits -> Some (Int64.float_of_bits bits)
+      | exception _ -> None
+
+  let to_json t =
+    let num i = Json.Num (float_of_int i) in
+    let instr_json = function
+      | Iconst c -> Json.List [ Json.Str "c"; Json.Str (float_bits c) ]
+      | Iinput k -> Json.List [ Json.Str "i"; num k ]
+      | Ibin (op, a, b) -> Json.List [ Json.Str "b"; Json.Str (bin_name op); num a; num b ]
+      | Iun (op, a) -> Json.List [ Json.Str "u"; Json.Str (un_name op); num a ]
+      | Isel (op, l, r, a, b) ->
+        Json.List [ Json.Str "s"; Json.Str (cmp_name op); num l; num r; num a; num b ]
+    in
+    Json.Obj
+      [ ("n_inputs", num t.n_inputs);
+        ("outputs", Json.List (Array.to_list (Array.map num t.outputs)));
+        ("instrs", Json.List (Array.to_list (Array.map instr_json t.instrs))) ]
+
+  let of_json j =
+    let ( let* ) = Option.bind in
+    let* n_inputs = Option.bind (Json.find j "n_inputs") Json.as_int in
+    let* outputs_j = Option.bind (Json.find j "outputs") Json.as_list in
+    let* instrs_j = Option.bind (Json.find j "instrs") Json.as_list in
+    if n_inputs < 0 then None
+    else
+      let n = List.length instrs_j in
+      (* [slot i lim] accepts only references to already-defined slots, so
+         a decoded tape is topologically ordered by construction. *)
+      let slot lim v =
+        match Json.as_int v with
+        | Some s when s >= 0 && s < lim -> Some s
+        | Some _ | None -> None
+      in
+      let instr_of i = function
+        | Json.List [ Json.Str "c"; Json.Str bits ] ->
+          let* c = float_of_bits bits in
+          Some (Iconst c)
+        | Json.List [ Json.Str "i"; k ] ->
+          let* k = slot n_inputs k in
+          Some (Iinput k)
+        | Json.List [ Json.Str "b"; Json.Str op; a; b ] ->
+          let* op = bin_of_name op in
+          let* a = slot i a in
+          let* b = slot i b in
+          Some (Ibin (op, a, b))
+        | Json.List [ Json.Str "u"; Json.Str op; a ] ->
+          let* op = un_of_name op in
+          let* a = slot i a in
+          Some (Iun (op, a))
+        | Json.List [ Json.Str "s"; Json.Str op; l; r; a; b ] ->
+          let* op = cmp_of_name op in
+          let* l = slot i l in
+          let* r = slot i r in
+          let* a = slot i a in
+          let* b = slot i b in
+          Some (Isel (op, l, r, a, b))
+        | _ -> None
+      in
+      let* instrs =
+        let i = ref 0 in
+        List.fold_left
+          (fun acc ij ->
+            let* acc = acc in
+            let* ins = instr_of !i ij in
+            incr i;
+            Some (ins :: acc))
+          (Some []) instrs_j
+        |> Option.map (fun l -> Array.of_list (List.rev l))
+      in
+      let* outputs =
+        List.fold_left
+          (fun acc oj ->
+            let* acc = acc in
+            let* s = slot n oj in
+            Some (s :: acc))
+          (Some []) outputs_j
+        |> Option.map (fun l -> Array.of_list (List.rev l))
+      in
+      Some { instrs; outputs; n_inputs }
+
   let forward t xs vals =
     let n = Array.length t.instrs in
     for i = 0 to n - 1 do

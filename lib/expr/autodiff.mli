@@ -60,6 +60,19 @@ module Tape : sig
   val optimize : t -> t
   val optimize_report : t -> t * opt_report
 
+  (** {2 Bit-exact serialization}
+
+      Codec for the persistent pack cache: constants cross as 16-hex-char
+      IEEE-754 bit strings, so a decoded tape evaluates bitwise-identically
+      to the encoded one (signed zeros and NaN payloads included). *)
+
+  val to_json : t -> Json.t
+
+  val of_json : Json.t -> t option
+  (** [None] on any malformed or structurally invalid payload (bad opcode,
+      out-of-range or forward slot reference, bad float bits) — a corrupt
+      cache entry decodes to [None], never a crash. *)
+
   val eval : t -> float array -> float array
   (** [eval t xs] returns the outputs; [Array.length xs] must equal
       [num_inputs t]. *)

@@ -1,6 +1,150 @@
-type rule = { name : string; apply : Expr.t -> Expr.t option }
+type head =
+  | Hconst
+  | Hvar
+  | Hbinop of Expr.binop
+  | Hunop of Expr.unop
+  | Hselect
 
-let rule name apply = { name; apply }
+type rule = {
+  name : string;
+  heads : head list option;  (* None = may fire on any head *)
+  apply : Expr.t -> Expr.t option;
+}
+
+let rule ?heads name apply = { name; heads; apply }
+
+(* --- head-constructor rule index -------------------------------------------
+
+   A rule whose [heads] exclude a node's top constructor can only return
+   [None] (or an equal term) on it, so skipping it is observationally
+   identical to trying it. The index keeps, per head, the applicable rules
+   in their original list order — the first-firing-rule tie-break is
+   therefore exactly that of a naive linear scan. *)
+
+let all_binops = [| Expr.Add; Sub; Mul; Div; Pow; Min; Max |]
+let all_unops = [| Expr.Neg; Log; Exp; Sqrt; Abs |]
+
+let bin_tag : Expr.binop -> int = function
+  | Add -> 0 | Sub -> 1 | Mul -> 2 | Div -> 3 | Pow -> 4 | Min -> 5 | Max -> 6
+
+let un_tag : Expr.unop -> int = function
+  | Neg -> 0 | Log -> 1 | Exp -> 2 | Sqrt -> 3 | Abs -> 4
+
+type index = {
+  ix_const : rule array;
+  ix_var : rule array;
+  ix_bin : rule array array;  (* by bin_tag *)
+  ix_un : rule array array;  (* by un_tag *)
+  ix_select : rule array;
+}
+
+let index_of_rules rules =
+  let covers h r =
+    match r.heads with None -> true | Some hs -> List.mem h hs
+  in
+  let bucket h = Array.of_list (List.filter (covers h) rules) in
+  { ix_const = bucket Hconst;
+    ix_var = bucket Hvar;
+    ix_bin = Array.map (fun op -> bucket (Hbinop op)) all_binops;
+    ix_un = Array.map (fun op -> bucket (Hunop op)) all_unops;
+    ix_select = bucket Hselect }
+
+let rules_for ix (e : Expr.t) =
+  match e with
+  | Const _ -> ix.ix_const
+  | Var _ -> ix.ix_var
+  | Binop (op, _, _) -> ix.ix_bin.(bin_tag op)
+  | Unop (op, _) -> ix.ix_un.(un_tag op)
+  | Select _ -> ix.ix_select
+
+(* First rule (in list order) that produces a different term wins; the new
+   term is re-dispatched by its own head on the next round. *)
+let try_rules_indexed ix e fired =
+  let rs = rules_for ix e in
+  let n = Array.length rs in
+  let rec go i =
+    if i = n then e
+    else
+      match (Array.unsafe_get rs i).apply e with
+      | Some e' when not (Expr.equal e' e) ->
+        incr fired;
+        e'
+      | Some _ | None -> go (i + 1)
+  in
+  go 0
+
+(* --- memoised fixpoint ------------------------------------------------------
+
+   [normalize] drives the fixpoint off hash-consed node ids: the memo maps
+   a node to its normal form under the rule set, and a normal form is
+   registered as its own image, so shared subterms — and subterms already
+   normalised by an earlier call through the same [compiled] handle — are
+   skipped in O(1). The strategy is the same innermost one the historical
+   pass loop converged to (children first, then the root repeatedly, the
+   per-root budget matching the old 8-per-pass x 64-pass fuel), so the
+   normal forms are identical; [apply_fixpoint_naive] keeps the historical
+   pass loop alive for the equivalence tests. *)
+
+type compiled = {
+  c_index : index;
+  c_memo : Expr.t Expr.Memo.t Domain.DLS.key;  (* per-domain persistent memo *)
+  c_cap : int;
+}
+
+let compile ?(memo_cap = 8192) rules =
+  { c_index = index_of_rules rules;
+    c_memo = Domain.DLS.new_key (fun () -> Expr.Memo.create ~size:256 ());
+    c_cap = memo_cap }
+
+let root_budget max_iters = 8 * max_iters
+
+let normalize_with ~memo ~index ~budget e0 =
+  let fired = ref 0 in
+  let rec norm e =
+    match Expr.Memo.find_opt memo e with
+    | Some r -> r
+    | None ->
+      let e1 = Expr.map_children norm e in
+      let rec stabilise e n =
+        if n = 0 then e
+        else
+          let e' = try_rules_indexed index e fired in
+          if Expr.equal e' e then e
+          else stabilise (Expr.map_children norm e') (n - 1)
+      in
+      let r = stabilise e1 budget in
+      Expr.Memo.add memo e r;
+      if not (Expr.equal r e) then Expr.Memo.add memo r r;
+      r
+  in
+  let r = norm e0 in
+  (r, !fired)
+
+let normalize ?(max_iters = 64) c e =
+  match e with
+  | Expr.Const _ | Expr.Var _ -> e
+  | Expr.Binop _ | Expr.Unop _ | Expr.Select _ ->
+    let memo = Domain.DLS.get c.c_memo in
+    if Expr.Memo.length memo >= c.c_cap then Expr.Memo.clear memo;
+    fst (normalize_with ~memo ~index:c.c_index ~budget:(root_budget max_iters) e)
+
+let clear_memo c = Expr.Memo.clear (Domain.DLS.get c.c_memo)
+
+let apply_fixpoint ?(max_iters = 64) rules e =
+  match e with
+  | Expr.Const _ | Expr.Var _ -> e
+  | Expr.Binop _ | Expr.Unop _ | Expr.Select _ ->
+    let memo : Expr.t Expr.Memo.t = Expr.Memo.create () in
+    fst
+      (normalize_with ~memo ~index:(index_of_rules rules)
+         ~budget:(root_budget max_iters) e)
+
+(* --- historical implementation ---------------------------------------------
+
+   The pre-index, pass-based engine: every rule tried at every node, a
+   fresh walk per pass, whole-tree passes iterated until no rule fires.
+   Kept verbatim as the reference the property tests compare the indexed,
+   memoised engine against (same normal forms, bit for bit). *)
 
 let try_rules rules e fired =
   let rec go = function
@@ -41,7 +185,7 @@ let rewrite_once rules e =
   let e' = walk e in
   (e', !fired)
 
-let apply_fixpoint ?(max_iters = 64) rules e =
+let apply_fixpoint_naive ?(max_iters = 64) rules e =
   let rec go e iters =
     if iters = 0 then e
     else

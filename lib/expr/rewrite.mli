@@ -7,20 +7,75 @@
     Because our rules form a terminating, confluence-enough set (each
     strictly reduces a measure or eliminates a non-differentiable operator),
     a fixpoint pass reaches the same normal forms the paper's saturation
-    would pick out. *)
+    would pick out.
 
-type rule = { name : string; apply : Expr.t -> Expr.t option }
+    Two engine-level optimisations keep the front-end hot path cheap, both
+    observationally identical to the naive engine (verified by property
+    tests against {!apply_fixpoint_naive}):
 
-val rule : string -> (Expr.t -> Expr.t option) -> rule
+    - rules are indexed by the head constructor they can fire on
+      ({!head}), so a node only tries the rules that could match it;
+    - the fixpoint is driven off hash-consed node ids through an id-keyed
+      memo ({!compile}/{!normalize}), so shared subterms — and, across
+      calls on the same compiled handle, previously normalised terms — are
+      skipped in O(1). *)
 
-val rewrite_once : rule list -> Expr.t -> Expr.t * int
-(** One bottom-up pass; returns the rewritten term and the number of rule
-    firings. *)
+type head =
+  | Hconst
+  | Hvar
+  | Hbinop of Expr.binop
+  | Hunop of Expr.unop
+  | Hselect
+
+type rule = {
+  name : string;
+  heads : head list option;
+      (** Top constructors the rule can fire on; [None] means "any". A rule
+          must list every head on which [apply] can return a changed term —
+          skipping an unlisted head is assumed observationally identical. *)
+  apply : Expr.t -> Expr.t option;
+}
+
+val rule : ?heads:head list -> string -> (Expr.t -> Expr.t option) -> rule
+
+(** {2 Compiled rule sets} *)
+
+type compiled
+(** A head-indexed rule set plus a per-domain persistent normal-form memo
+    (capped; domain-local storage makes it safe under the runtime's worker
+    domains without locking, exactly like [Factorize]'s memo). *)
+
+val compile : ?memo_cap:int -> rule list -> compiled
+(** [memo_cap] (default 8192) bounds the per-domain memo; on overflow it is
+    cleared, not LRU-trimmed. *)
+
+val normalize : ?max_iters:int -> compiled -> Expr.t -> Expr.t
+(** Normal form of the term under the rule set: children first, then the
+    root repeatedly until stable. Reuses (and extends) the handle's
+    per-domain memo, so repeated or shared subterms normalise once.
+    [max_iters] mirrors {!apply_fixpoint}'s fuel (the per-root rewrite
+    budget is [8 * max_iters], matching the historical pass engine). *)
+
+val clear_memo : compiled -> unit
+(** Drop the calling domain's memo (benchmark hygiene: lets a cold-compile
+    measurement start without warm normal forms). *)
 
 val apply_fixpoint : ?max_iters:int -> rule list -> Expr.t -> Expr.t
-(** Iterate {!rewrite_once} until no rule fires. [max_iters] (default 64)
-    bounds the number of passes; the pass is safe to truncate early because
-    every intermediate term is semantically equal to the input. *)
+(** One-shot {!normalize}: indexes [rules] and runs with a fresh (per-call)
+    memo. [max_iters] (default 64) bounds the work; the result is safe to
+    truncate early because every intermediate term is semantically equal to
+    the input. *)
+
+(** {2 Historical engine (reference for tests)} *)
+
+val rewrite_once : rule list -> Expr.t -> Expr.t * int
+(** One bottom-up pass of the pass-based engine; returns the rewritten term
+    and the number of rule firings. *)
+
+val apply_fixpoint_naive : ?max_iters:int -> rule list -> Expr.t -> Expr.t
+(** The historical engine: linear rule scan at every node, whole-tree
+    passes iterated to a fixpoint. The property tests assert
+    [apply_fixpoint] returns exactly its normal forms. *)
 
 val count_firings : rule list -> Expr.t -> (string * int) list
 (** Diagnostic: which rules fire (once) on the term, for tests. *)

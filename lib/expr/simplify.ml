@@ -2,12 +2,16 @@ open Expr
 
 (* Each rule either strictly reduces the number of operator nodes or pushes
    [log] below [mul]/[div]/[pow] (which can happen only finitely often), so
-   the set terminates; [Rewrite.apply_fixpoint]'s fuel is a belt too. *)
+   the set terminates; [Rewrite.apply_fixpoint]'s fuel is a belt too.
 
-let r name f = Rewrite.rule name f
+   The [heads] annotations drive {!Rewrite}'s rule index: a rule lists every
+   top constructor its patterns can match, so nodes with other heads skip it
+   without calling [apply]. *)
+
+let r heads name f = Rewrite.rule ~heads name f
 
 let const_assoc_fold =
-  r "const-assoc-fold" (function
+  r [ Rewrite.Hbinop Add; Hbinop Mul ] "const-assoc-fold" (function
     (* c1 op (c2 op x) and mirror images, for op in {+, *}. *)
     | Binop (Add, Const c1, Binop (Add, Const c2, x))
     | Binop (Add, Const c1, Binop (Add, x, Const c2))
@@ -22,7 +26,7 @@ let const_assoc_fold =
     | _ -> None)
 
 let add_sub_fold =
-  r "add-sub-fold" (function
+  r [ Rewrite.Hbinop Add; Hbinop Sub ] "add-sub-fold" (function
     (* c1 + (x - c2) and mirrors -> x + (c1 - c2). *)
     | Binop (Add, Const c1, Binop (Sub, x, Const c2))
     | Binop (Add, Binop (Sub, x, Const c2), Const c1) ->
@@ -33,7 +37,7 @@ let add_sub_fold =
     | _ -> None)
 
 let neg_to_sub =
-  r "neg-to-sub" (function
+  r [ Rewrite.Hbinop Add; Hbinop Sub; Hunop Neg ] "neg-to-sub" (function
     | Binop (Add, a, Unop (Neg, b)) -> Some (sub a b)
     | Binop (Sub, a, Unop (Neg, b)) -> Some (add a b)
     | Unop (Neg, Const c) -> Some (const (-.c))
@@ -41,7 +45,7 @@ let neg_to_sub =
     | _ -> None)
 
 let div_collapse =
-  r "div-collapse" (function
+  r [ Rewrite.Hbinop Div; Hbinop Mul ] "div-collapse" (function
     | Binop (Div, Binop (Div, a, b), c) -> Some (div a (mul b c))
     | Binop (Div, a, Binop (Div, b, c)) -> Some (div (mul a c) b)
     | Binop (Div, Binop (Mul, a, b), c) when equal b c -> Some a
@@ -51,7 +55,7 @@ let div_collapse =
     | _ -> None)
 
 let log_expand =
-  r "log-expand" (function
+  r [ Rewrite.Hunop Log ] "log-expand" (function
     | Unop (Log, Binop (Mul, a, b)) -> Some (add (log_ a) (log_ b))
     | Unop (Log, Binop (Div, a, b)) -> Some (sub (log_ a) (log_ b))
     | Unop (Log, Binop (Pow, a, b)) -> Some (mul b (log_ a))
@@ -59,20 +63,20 @@ let log_expand =
     | _ -> None)
 
 let exp_log_cancel =
-  r "exp-log-cancel" (function
+  r [ Rewrite.Hunop Exp; Hunop Log ] "exp-log-cancel" (function
     | Unop (Exp, Unop (Log, x)) -> Some x
     | Unop (Log, Unop (Exp, x)) -> Some x
     | _ -> None)
 
 let sqrt_pow =
-  r "sqrt-pow" (function
+  r [ Rewrite.Hbinop Pow; Hunop Sqrt ] "sqrt-pow" (function
     | Binop (Pow, Unop (Sqrt, x), Const 2.0) -> Some x
     | Unop (Sqrt, Binop (Pow, x, Const 2.0)) -> Some (abs_ x)
     | Unop (Sqrt, Binop (Mul, a, b)) when equal a b -> Some (abs_ a)
     | _ -> None)
 
 let pow_merge =
-  r "pow-merge" (function
+  r [ Rewrite.Hbinop Mul; Hbinop Pow ] "pow-merge" (function
     | Binop (Mul, Binop (Pow, a, m), Binop (Pow, b, n)) when equal a b ->
       Some (pow a (add m n))
     | Binop (Pow, Binop (Pow, a, m), n) -> Some (pow a (mul m n))
@@ -80,13 +84,13 @@ let pow_merge =
     | _ -> None)
 
 let select_same =
-  r "select-same" (function
+  r [ Rewrite.Hselect ] "select-same" (function
     | Select (_, a, b) when equal a b -> Some a
     | Select (Not c, a, b) -> Some (select c b a)
     | _ -> None)
 
 let min_max_abs =
-  r "min-max-abs" (function
+  r [ Rewrite.Hbinop Max; Hunop Abs ] "min-max-abs" (function
     | Binop (Max, Unop (Neg, x), y) when equal x y -> Some (abs_ x)
     | Binop (Max, x, Unop (Neg, y)) when equal x y -> Some (abs_ x)
     | Unop (Abs, Unop (Abs, x)) -> Some (abs_ x)
@@ -97,27 +101,36 @@ let rules =
   [ const_assoc_fold; add_sub_fold; neg_to_sub; div_collapse; log_expand; exp_log_cancel;
     sqrt_pow; pow_merge; select_same; min_max_abs ]
 
-(* Top-level results are memoised across calls in a per-domain, size-capped
-   table: feature extraction simplifies many margin/feature formulas that
-   share large subterms, and gradient generation re-simplifies derivatives
-   of the same expression once per variable. Per-domain storage makes the
-   cache safe under the runtime's worker domains without locking. *)
-let memo_cap = 8192
+(* One compiled (head-indexed) handle for the whole process. Its normal-form
+   memo is per-domain, size-capped and keyed by hash-consed node ids, which
+   is what makes [simplify] safe under the runtime's worker domains and
+   cheap on the shared subterms of feature/margin formulas — the previous
+   per-call pass loop plus separate top-level memo are folded into the one
+   memoised walk. *)
+let compiled = Rewrite.compile ~memo_cap:8192 rules
 
-let memo_key : Expr.t Expr.Memo.t Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> Expr.Memo.create ~size:256 ())
-
-let simplify e =
-  match e with
-  | Expr.Const _ | Expr.Var _ -> e
-  | Expr.Binop _ | Expr.Unop _ | Expr.Select _ ->
-    let memo = Domain.DLS.get memo_key in
-    (match Expr.Memo.find_opt memo e with
-    | Some r -> r
-    | None ->
-      let r = Rewrite.apply_fixpoint rules e in
-      if Expr.Memo.length memo >= memo_cap then Expr.Memo.clear memo;
-      Expr.Memo.add memo e r;
-      r)
+let simplify e = Rewrite.normalize compiled e
 
 let simplify_cond c = Expr.map_cond simplify c
+
+(* Fused substitute-and-simplify: one bottom-up walk replaces variables and
+   normalises every rebuilt node in place (its children are already normal,
+   so [Rewrite.normalize] memo-hits below the root). Equal to
+   [simplify (Expr.subst f e)] bit for bit — innermost normalisation is
+   compositional — which the property tests assert on random terms. *)
+let simplify_subst f e =
+  let memo : Expr.t Expr.Memo.t = Expr.Memo.create () in
+  let rec go e =
+    match e with
+    | Const _ -> e
+    | Var v -> (
+      match f v with Some r -> Rewrite.normalize compiled r | None -> e)
+    | Binop _ | Unop _ | Select _ -> (
+      match Expr.Memo.find_opt memo e with
+      | Some r -> r
+      | None ->
+        let r = Rewrite.normalize compiled (Expr.map_children go e) in
+        Expr.Memo.add memo e r;
+        r)
+  in
+  go e

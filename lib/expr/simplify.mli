@@ -10,7 +10,20 @@ val rules : Rewrite.rule list
 (** The default simplification rule set. *)
 
 val simplify : Expr.t -> Expr.t
-(** Apply {!rules} to fixpoint. *)
+(** Apply {!rules} to fixpoint, through one process-wide head-indexed
+    handle whose per-domain memo makes repeated and shared subterms
+    normalise once (see {!Rewrite.compile}). *)
 
 val simplify_cond : Expr.cond -> Expr.cond
 (** Simplify the expressions inside a condition. *)
+
+val simplify_subst : (string -> Expr.t option) -> Expr.t -> Expr.t
+(** [simplify_subst f e] is [simplify (Expr.subst f e)] — bit for bit — in
+    a single bottom-up walk: variables are replaced and every rebuilt node
+    is normalised in place, so the separate simplify pass over the
+    substituted tree disappears. Used by the feature front-end for the
+    [x = e^y] substitution on constraint margins. *)
+
+val compiled : Rewrite.compiled
+(** The process-wide handle behind {!simplify}; exposed so benchmarks can
+    {!Rewrite.clear_memo} it between cold-compile measurements. *)

@@ -37,20 +37,40 @@ let smooth_abs ?(width = 1.0) a = sqrt_ (add (mul a a) (const (width *. width)))
 let smooth_select ?(width = 1.0) c a b = add b (mul (sub a b) (indicator ~width c))
 
 let rules ?(width = 1.0) () =
-  [ Rewrite.rule "smooth-select" (function
+  [ Rewrite.rule ~heads:[ Rewrite.Hselect ] "smooth-select" (function
       | Select (c, a, b) -> Some (smooth_select ~width c a b)
       | _ -> None);
-    Rewrite.rule "smooth-max" (function
+    Rewrite.rule ~heads:[ Rewrite.Hbinop Max ] "smooth-max" (function
       | Binop (Max, a, b) -> Some (smooth_max ~width a b)
       | _ -> None);
-    Rewrite.rule "smooth-min" (function
+    Rewrite.rule ~heads:[ Rewrite.Hbinop Min ] "smooth-min" (function
       | Binop (Min, a, b) -> Some (smooth_min ~width a b)
       | _ -> None);
-    Rewrite.rule "smooth-abs" (function
+    Rewrite.rule ~heads:[ Rewrite.Hunop Abs ] "smooth-abs" (function
       | Unop (Abs, a) -> Some (smooth_abs ~width a)
       | _ -> None) ]
 
+(* One compiled handle per kernel width, cached per domain (the handle's
+   normal-form memo is per-domain anyway, so a domain-local cache costs no
+   sharing). Widths are few — the default plus the ablation sweep — and
+   the cap guards against a pathological caller. *)
+let compiled_key : (int64, Rewrite.compiled) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 4)
+
+let compiled_for width =
+  let cache = Domain.DLS.get compiled_key in
+  let key = Int64.bits_of_float width in
+  match Hashtbl.find_opt cache key with
+  | Some c -> c
+  | None ->
+    if Hashtbl.length cache >= 32 then Hashtbl.reset cache;
+    let c = Rewrite.compile (rules ~width ()) in
+    Hashtbl.replace cache key c;
+    c
+
+let clear_memo ?(width = 1.0) () = Rewrite.clear_memo (compiled_for width)
+
 let smooth ?(width = 1.0) e =
-  let e' = Rewrite.apply_fixpoint (rules ~width ()) e in
+  let e' = Rewrite.normalize (compiled_for width) e in
   assert (not (Expr.contains_nondiff e'));
   e'

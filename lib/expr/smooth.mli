@@ -31,5 +31,10 @@ val rules : ?width:float -> unit -> Rewrite.rule list
 (** Rewrite rules eliminating [Select], [Min], [Max], [Abs]. *)
 
 val smooth : ?width:float -> Expr.t -> Expr.t
-(** Apply {!rules} to fixpoint. Postcondition:
-    [Expr.contains_nondiff (smooth e) = false]. *)
+(** Apply {!rules} to fixpoint, through a per-width compiled handle whose
+    per-domain memo is shared across calls (see {!Rewrite.compile}).
+    Postcondition: [Expr.contains_nondiff (smooth e) = false]. *)
+
+val clear_memo : ?width:float -> unit -> unit
+(** Drop the calling domain's memo for the given width's handle (benchmark
+    hygiene before a cold-compile measurement). *)

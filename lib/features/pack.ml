@@ -48,20 +48,43 @@ let rec margins_of_cond (c : Expr.cond) : Expr.t list =
 let c_slots_pre = Telemetry.counter Telemetry.global "features.tape_slots_pre"
 let c_slots_post = Telemetry.counter Telemetry.global "features.tape_slots_post"
 
-let prepare ?(width = 1.0) ?(optimize = true) sg sched =
-  Telemetry.with_span Telemetry.global "pack.prepare"
+(* The cheap, deterministic part of a pack: everything recomputable from
+   (subgraph, schedule) without touching the rewriter or the tape compiler.
+   Both the compile path and the disk-cache load path start here. *)
+type skeleton = {
+  sk_prog : Loop_ir.t;
+  sk_names : string array;
+  sk_bounds : (float * float) array;
+  sk_div_groups : (int * int list) list;
+}
+
+let skeleton sg sched =
+  let prog = Loop_ir.apply sg sched in
+  let names = Array.of_list (Schedule.var_names sched) in
+  let bounds =
+    Array.of_list
+      (List.map (fun (v : Schedule.var) -> (log v.lo, log v.hi)) sched.Schedule.vars)
+  in
+  let index_of name =
+    let rec go i = if names.(i) = name then i else go (i + 1) in
+    go 0
+  in
+  let div_groups =
+    List.map
+      (fun (extent, vars) -> (extent, List.map index_of vars))
+      sched.Schedule.div_groups
+  in
+  { sk_prog = prog; sk_names = names; sk_bounds = bounds; sk_div_groups = div_groups }
+
+let compile_pack ~width ~optimize sg sched sk =
+  Telemetry.with_span Telemetry.global "pack.compile"
     ~attrs:
       [ ("subgraph", Telemetry.Str sg.Compute.sg_name);
         ("sketch", Telemetry.Str sched.Schedule.sched_name) ]
   @@ fun () ->
   Telemetry.Counter.incr (Telemetry.counter Telemetry.global "features.tapes_compiled");
-  let prog = Loop_ir.apply sg sched in
-  let names = Array.of_list (Schedule.var_names sched) in
+  let names = sk.sk_names in
   let name_list = Array.to_list names in
-  let bounds =
-    Array.of_list
-      (List.map (fun (v : Schedule.var) -> (log v.lo, log v.hi)) sched.Schedule.vars)
-  in
   let transform e =
     e
     |> Smooth.smooth ~width
@@ -80,31 +103,265 @@ let prepare ?(width = 1.0) ?(optimize = true) sg sched =
       tape'
     end
   in
-  let features = Extract.extract prog |> Array.map transform |> Array.to_list in
+  let features = Extract.extract sk.sk_prog |> Array.map transform |> Array.to_list in
   let feature_tape =
     optimize_tape (Autodiff.Tape.compile ~optimize:false ~inputs:name_list features)
   in
+  (* The x = e^y substitution and the simplify pass run as one fused walk
+     (Simplify.simplify_subst): bit-identical to substituting first and
+     simplifying after, one tree traversal instead of two. *)
+  let subst_env =
+    let tbl = Hashtbl.create 16 in
+    List.iter (fun v -> Hashtbl.replace tbl v ()) name_list;
+    fun v -> if Hashtbl.mem tbl v then Some (Expr.exp_ (Expr.var v)) else None
+  in
   let margins =
     List.concat_map margins_of_cond sched.Schedule.constraints
-    |> List.map (fun g ->
-           let g = exp_subst name_list (Smooth.smooth ~width g) in
-           Simplify.simplify g)
+    |> List.map (fun g -> Simplify.simplify_subst subst_env (Smooth.smooth ~width g))
   in
   let penalty_tape =
     optimize_tape (Autodiff.Tape.compile ~optimize:false ~inputs:name_list margins)
   in
-  let index_of name =
-    let rec go i = if names.(i) = name then i else go (i + 1) in
-    go 0
-  in
-  let div_groups =
-    List.map
-      (fun (extent, vars) -> (extent, List.map index_of vars))
-      sched.Schedule.div_groups
-  in
-  { sched; prog; names; bounds; feature_tape; penalty_tape;
-    n_penalties = List.length margins; div_groups;
+  { sched; prog = sk.sk_prog; names; bounds = sk.sk_bounds; feature_tape; penalty_tape;
+    n_penalties = List.length margins; div_groups = sk.sk_div_groups;
     raw_constraints = sched.Schedule.constraints }
+
+(* --- persistent (disk) cache ------------------------------------------------
+
+   Compiled packs are content-addressed on disk: the key digests the
+   subgraph's canonical form, the schedule's fingerprint (name, variable
+   boxes, divisibility groups, constraint count), the smoothing width and
+   optimize flag (both part of the compiled artifact's semantics) and the
+   schema version below. The value is only what is expensive to recompute —
+   the two compiled tapes, floats as IEEE-754 bit strings — wrapped in the
+   store's versioned Artifact envelope and written atomically (temp file +
+   fsync + rename); the skeleton is rebuilt from the schedule on load, so a
+   cache hit is bitwise-identical to a fresh compile. Any unreadable or
+   invalid entry falls back to recompiling (and rewriting the entry), never
+   to a crash. Concurrent writers of one key race benignly: they write
+   identical bytes and the rename is atomic. *)
+
+let pack_artifact_kind = "felix-pack"
+
+(* Bump whenever the pack pipeline changes results or the payload layout
+   changes: the version lives in the artifact envelope AND the key digest,
+   so stale entries are simply never addressed again. *)
+let pack_schema_version = 1
+
+let c_disk_hits = Telemetry.counter Telemetry.global "features.pack_cache_disk_hits"
+let c_disk_misses = Telemetry.counter Telemetry.global "features.pack_cache_disk_misses"
+let c_disk_writes = Telemetry.counter Telemetry.global "features.pack_cache_disk_writes"
+let c_disk_errors = Telemetry.counter Telemetry.global "features.pack_cache_disk_errors"
+
+(* Process-local mirrors of the disk counters: telemetry instruments are
+   no-ops while the global registry is disabled, but cache behaviour must
+   stay observable (CLI [cache], the serve tests) regardless. *)
+let a_disk_hits = Atomic.make 0
+let a_disk_misses = Atomic.make 0
+let a_disk_writes = Atomic.make 0
+let a_disk_errors = Atomic.make 0
+
+let bump atomic counter =
+  Atomic.incr atomic;
+  Telemetry.Counter.incr counter
+
+let disk_counters () =
+  [ ("disk_hits", Atomic.get a_disk_hits);
+    ("disk_misses", Atomic.get a_disk_misses);
+    ("disk_writes", Atomic.get a_disk_writes);
+    ("disk_errors", Atomic.get a_disk_errors) ]
+
+let env_cache_dir () =
+  match Sys.getenv_opt "FELIX_PACK_CACHE" with
+  | Some d when String.trim d <> "" -> Some (String.trim d)
+  | Some _ | None -> None
+
+let disk_dir_ref : string option Atomic.t = Atomic.make (env_cache_dir ())
+
+let set_disk_cache d = Atomic.set disk_dir_ref d
+let disk_cache () = Atomic.get disk_dir_ref
+
+let effective_dir cache_dir =
+  match cache_dir with Some _ -> cache_dir | None -> Atomic.get disk_dir_ref
+
+let sched_fingerprint (sched : Schedule.t) =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf sched.Schedule.sched_name;
+  List.iter
+    (fun (v : Schedule.var) ->
+      Printf.bprintf buf "|%s:%016Lx:%016Lx" v.Schedule.v_name
+        (Int64.bits_of_float v.Schedule.lo) (Int64.bits_of_float v.Schedule.hi))
+    sched.Schedule.vars;
+  List.iter
+    (fun (extent, vars) ->
+      Printf.bprintf buf "|d%d=" extent;
+      List.iter (fun v -> Printf.bprintf buf "%s," v) vars)
+    sched.Schedule.div_groups;
+  Printf.bprintf buf "|c%d" (List.length sched.Schedule.constraints);
+  Buffer.contents buf
+
+let disk_key ~width ~optimize sg sched =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\n"
+          [ string_of_int pack_schema_version;
+            Compute.workload_key sg;
+            sched_fingerprint sched;
+            Printf.sprintf "%016Lx" (Int64.bits_of_float width);
+            string_of_bool optimize ]))
+
+let entry_path dir key = Filename.concat dir ("pack-" ^ key ^ ".json")
+
+let rec mkdir_p d =
+  if d <> "" && not (Sys.file_exists d) then begin
+    let parent = Filename.dirname d in
+    if parent <> d then mkdir_p parent;
+    try Sys.mkdir d 0o755 with Sys_error _ -> ()
+  end
+
+let payload_of_pack t =
+  Json.Obj
+    [ ("n_vars", Json.Num (float_of_int (Array.length t.names)));
+      ("n_penalties", Json.Num (float_of_int t.n_penalties));
+      ("feature_tape", Autodiff.Tape.to_json t.feature_tape);
+      ("penalty_tape", Autodiff.Tape.to_json t.penalty_tape) ]
+
+(* [None] on any structural mismatch — including a payload whose input
+   arity disagrees with the schedule in hand, which would mean a key
+   collision or foreign file. *)
+let pack_of_payload sched sk payload =
+  let ( let* ) = Option.bind in
+  let* n_vars = Option.bind (Json.find payload "n_vars") Json.as_int in
+  let* n_penalties = Option.bind (Json.find payload "n_penalties") Json.as_int in
+  let* feature_tape =
+    Option.bind (Json.find payload "feature_tape") Autodiff.Tape.of_json
+  in
+  let* penalty_tape =
+    Option.bind (Json.find payload "penalty_tape") Autodiff.Tape.of_json
+  in
+  let n = Array.length sk.sk_names in
+  if
+    n_vars = n
+    && Autodiff.Tape.num_inputs feature_tape = n
+    && Autodiff.Tape.num_inputs penalty_tape = n
+    && n_penalties >= 0
+    && Autodiff.Tape.num_outputs penalty_tape = n_penalties
+  then
+    Some
+      { sched; prog = sk.sk_prog; names = sk.sk_names; bounds = sk.sk_bounds;
+        feature_tape; penalty_tape; n_penalties; div_groups = sk.sk_div_groups;
+        raw_constraints = sched.Schedule.constraints }
+  else None
+
+let h_prepare_ms = Telemetry.histogram Telemetry.global "felix.prepare_ms"
+
+let prepare ?(width = 1.0) ?(optimize = true) ?cache_dir sg sched =
+  Telemetry.with_span Telemetry.global "pack.prepare"
+    ~attrs:
+      [ ("subgraph", Telemetry.Str sg.Compute.sg_name);
+        ("sketch", Telemetry.Str sched.Schedule.sched_name) ]
+  @@ fun () ->
+  let t0 = Telemetry.now_s Telemetry.global in
+  let sk = skeleton sg sched in
+  let result =
+    match effective_dir cache_dir with
+    | None -> compile_pack ~width ~optimize sg sched sk
+    | Some dir ->
+      let path = entry_path dir (disk_key ~width ~optimize sg sched) in
+      let compile_and_store () =
+        let t = compile_pack ~width ~optimize sg sched sk in
+        mkdir_p dir;
+        (match
+           Store.Artifact.save ~path ~kind:pack_artifact_kind
+             ~version:pack_schema_version (payload_of_pack t)
+         with
+        | Ok () -> bump a_disk_writes c_disk_writes
+        | Error _ -> bump a_disk_errors c_disk_errors);
+        t
+      in
+      (match
+         Store.Artifact.load ~path ~kind:pack_artifact_kind
+           ~version:pack_schema_version
+       with
+      | Ok payload -> (
+        match pack_of_payload sched sk payload with
+        | Some t ->
+          bump a_disk_hits c_disk_hits;
+          t
+        | None ->
+          bump a_disk_errors c_disk_errors;
+          compile_and_store ())
+      | Error (Store.Not_found _) ->
+        bump a_disk_misses c_disk_misses;
+        compile_and_store ()
+      | Error _ ->
+        bump a_disk_errors c_disk_errors;
+        compile_and_store ())
+  in
+  Telemetry.Histogram.observe h_prepare_ms
+    ((Telemetry.now_s Telemetry.global -. t0) *. 1000.0);
+  result
+
+(* Stable identity of a compiled pack's observable content: the serialized
+   tapes plus everything the skeleton contributes. Two packs with equal
+   digests evaluate bitwise-identically everywhere; the bench and the
+   property tests use this to prove cold / parallel / disk-warm packs
+   equal. *)
+let digest t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Json.to_line (payload_of_pack t));
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf t.sched.Schedule.sched_name;
+  Array.iter (fun n -> Printf.bprintf buf "|%s" n) t.names;
+  Array.iter
+    (fun (lo, hi) ->
+      Printf.bprintf buf "|%016Lx:%016Lx" (Int64.bits_of_float lo)
+        (Int64.bits_of_float hi))
+    t.bounds;
+  List.iter
+    (fun (extent, idxs) ->
+      Printf.bprintf buf "|d%d=" extent;
+      List.iter (fun i -> Printf.bprintf buf "%d," i) idxs)
+    t.div_groups;
+  Printf.bprintf buf "|c%d" (List.length t.raw_constraints);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* --- disk-cache maintenance (CLI [cache] subcommand) ----------------------- *)
+
+let is_entry name =
+  String.length name > 10
+  && String.sub name 0 5 = "pack-"
+  && Filename.check_suffix name ".json"
+
+let disk_cache_entries dir =
+  if Sys.file_exists dir && Sys.is_directory dir then
+    Array.to_list (Sys.readdir dir)
+    |> List.filter is_entry
+    |> List.map (fun f -> Filename.concat dir f)
+  else []
+
+let disk_cache_stats dir =
+  let entries = disk_cache_entries dir in
+  let bytes =
+    List.fold_left
+      (fun acc path ->
+        match open_in_bin path with
+        | ic ->
+          let n = in_channel_length ic in
+          close_in_noerr ic;
+          acc + n
+        | exception Sys_error _ -> acc)
+      0 entries
+  in
+  [ ("entries", List.length entries); ("bytes", bytes) ]
+
+let clear_disk_cache dir =
+  List.fold_left
+    (fun acc path ->
+      match Sys.remove path with () -> acc + 1 | exception Sys_error _ -> acc)
+    0 (disk_cache_entries dir)
+
+(* --- in-memory (LRU) cache -------------------------------------------------- *)
 
 let c_pack_hits = Telemetry.counter Telemetry.global "features.pack_cache_hits"
 let c_pack_misses = Telemetry.counter Telemetry.global "features.pack_cache_misses"
@@ -122,10 +379,15 @@ let cache_stats () =
     ("evictions", Runtime.Lru.evictions pack_cache);
     ("entries", Runtime.Lru.length pack_cache) ]
 
-let prepare_cached ?(width = 1.0) sg sched =
+let clear_memory_cache () = Runtime.Lru.clear pack_cache
+
+let prepare_cached ?(width = 1.0) ?(optimize = true) ?cache_dir sg sched =
+  (* The key carries every parameter that changes the compiled result —
+     including [optimize], which [prepare] has always taken but the LRU
+     key used to omit, silently conflating optimised and raw tapes. *)
   let key =
-    Printf.sprintf "%s|%s|%.6g" (Compute.workload_key sg)
-      sched.Schedule.sched_name width
+    Printf.sprintf "%s|%s|%016Lx|%b" (Compute.workload_key sg)
+      sched.Schedule.sched_name (Int64.bits_of_float width) optimize
   in
   match Runtime.Lru.find_opt pack_cache key with
   | Some t ->
@@ -133,12 +395,18 @@ let prepare_cached ?(width = 1.0) sg sched =
     t
   | None ->
     Telemetry.Counter.incr c_pack_misses;
-    let t = prepare ~width sg sched in
+    let t = prepare ~width ~optimize ?cache_dir sg sched in
     Runtime.Lru.add pack_cache key t;
     Telemetry.Gauge.set g_pack_entries (float_of_int (Runtime.Lru.length pack_cache));
     Telemetry.Gauge.set g_pack_evictions
       (float_of_int (Runtime.Lru.evictions pack_cache));
     t
+
+let prepare_all ?(width = 1.0) ?(optimize = true) ?cache_dir ?runtime pairs =
+  let one (sg, sched) = prepare_cached ~width ~optimize ?cache_dir sg sched in
+  match runtime with
+  | Some rt when List.compare_length_with pairs 1 > 0 -> Runtime.map_list rt one pairs
+  | Some _ | None -> List.map one pairs
 
 let c_feature_evals = Telemetry.counter Telemetry.global "features.evals"
 

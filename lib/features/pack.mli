@@ -18,20 +18,90 @@
 
 type t
 
-val prepare : ?width:float -> ?optimize:bool -> Compute.subgraph -> Schedule.t -> t
+val prepare :
+  ?width:float ->
+  ?optimize:bool ->
+  ?cache_dir:string ->
+  Compute.subgraph ->
+  Schedule.t ->
+  t
 (** [width] is the smoothing-kernel width of Section 3.3 (default 1.0);
     exposed for the ablation benchmarks. [optimize] (default [true]) runs
     the bit-exact tape optimiser on the compiled tapes and reports the
     before/after slot counts on the [features.tape_slots_{pre,post}]
     telemetry counters; disabling it reproduces the raw tapes (same
-    results bitwise, more instructions — kept for benchmark baselines). *)
+    results bitwise, more instructions — kept for benchmark baselines).
 
-val prepare_cached : ?width:float -> Compute.subgraph -> Schedule.t -> t
+    [cache_dir] (default {!disk_cache}, i.e. the [FELIX_PACK_CACHE]
+    environment variable) enables the persistent compilation cache: the
+    compiled tapes are stored content-addressed under the directory, keyed
+    by the subgraph's canonical workload key, the schedule fingerprint,
+    [width]/[optimize] (exact bits) and the pack schema version. A hit
+    skips the rewrite/compile pipeline and is bitwise-identical to a fresh
+    compile; a corrupt or foreign entry is recompiled (and rewritten),
+    never a crash. Wall-clock per call is observed on the
+    [felix.prepare_ms] telemetry histogram either way. *)
+
+val prepare_cached :
+  ?width:float ->
+  ?optimize:bool ->
+  ?cache_dir:string ->
+  Compute.subgraph ->
+  Schedule.t ->
+  t
 (** {!prepare} memoised in a process-wide LRU keyed by
-    [Compute.workload_key], the sketch name and [width]. Packs are
-    immutable, so cached instances are safe to share across domains and
-    tuning runs; equal workloads (e.g. repeated operators in a network)
-    compile their tapes once. *)
+    [Compute.workload_key], the sketch name, [width] (exact bits) and
+    [optimize]. Packs are immutable, so cached instances are safe to share
+    across domains and tuning runs; equal workloads (e.g. repeated
+    operators in a network) compile their tapes once. LRU misses fall
+    through to {!prepare} (and hence the disk cache, when enabled). *)
+
+val prepare_all :
+  ?width:float ->
+  ?optimize:bool ->
+  ?cache_dir:string ->
+  ?runtime:Runtime.t ->
+  (Compute.subgraph * Schedule.t) list ->
+  t list
+(** Batch {!prepare_cached} over independent (subgraph, sketch) pairs, in
+    order. With [runtime], cold compilations fan out across the pool's
+    domains (the rewriter and simplifier keep per-domain state, so this is
+    safe); results are position-stable and bitwise-identical to the
+    sequential path. *)
+
+val clear_memory_cache : unit -> unit
+(** Drop every entry of the process-wide LRU (disk entries are untouched).
+    Tests use this to simulate a fresh process against a warm disk
+    cache. *)
+
+(** {2 Persistent disk cache} *)
+
+val set_disk_cache : string option -> unit
+(** Set (or disable, with [None]) the process-default cache directory used
+    when [?cache_dir] is not passed. Initialised from the
+    [FELIX_PACK_CACHE] environment variable. *)
+
+val disk_cache : unit -> string option
+
+val disk_counters : unit -> (string * int) list
+(** Process-lifetime disk-cache activity:
+    [["disk_hits"; "disk_misses"; "disk_writes"; "disk_errors"]]. The same
+    numbers are exported as [features.pack_cache_disk_*] telemetry
+    counters when the global registry is enabled. *)
+
+val disk_cache_stats : string -> (string * int) list
+(** [["entries"; "bytes"]] for the cache entries currently in a
+    directory. A missing directory counts as empty. *)
+
+val clear_disk_cache : string -> int
+(** Delete every cache entry in the directory (only files matching the
+    [pack-*.json] naming scheme); returns how many were removed. *)
+
+val digest : t -> string
+(** Stable hex digest of the pack's observable content (serialized tapes,
+    variable order, bounds bits, divisibility groups). Two packs with
+    equal digests evaluate bitwise-identically; the benchmarks and tests
+    use this to prove cold, parallel and disk-warm compilations equal. *)
 
 val schedule : t -> Schedule.t
 val program : t -> Loop_ir.t

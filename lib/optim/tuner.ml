@@ -93,13 +93,11 @@ type task_state = {
   mutable n_measured : int;
 }
 
-let make_state ?runtime task =
+let make_state ?runtime ?cache_dir task =
   let sg = task.Partition.subgraph in
   let sketches = Sketch.generate sg in
   let packs =
-    match runtime with
-    | None -> List.map (fun s -> Pack.prepare sg s) sketches
-    | Some rt -> Runtime.map_list rt (fun s -> Pack.prepare_cached sg s) sketches
+    Pack.prepare_all ?cache_dir ?runtime (List.map (fun s -> (sg, s)) sketches)
   in
   { t = task;
     packs;
@@ -722,9 +720,11 @@ let run_raw (rc : Tuning_config.run) device base_model graph engine =
   let states =
     Telemetry.with_span telemetry "tuner.prepare_tasks" (fun () ->
         let tasks = Partition.partition graph in
+        let cache_dir = rc.Tuning_config.pack_cache in
         match runtime with
-        | None -> List.map (fun t -> make_state t) tasks
-        | Some rt -> Runtime.map_list rt (fun t -> make_state ~runtime:rt t) tasks)
+        | None -> List.map (fun t -> make_state ?cache_dir t) tasks
+        | Some rt ->
+          Runtime.map_list rt (fun t -> make_state ~runtime:rt ?cache_dir t) tasks)
   in
   on_event
     (Tuning_started
@@ -897,7 +897,7 @@ let run_single_raw (rc : Tuning_config.run) ~rounds device base_model sg engine 
   let model_adam = Mlp.adam_for ~lr:2e-4 model in
   let clock = Tuning_config.Clock.create () in
   let task = { Partition.task_id = 0; subgraph = sg; weight = 1; node_ids = [] } in
-  let st = make_state ?runtime task in
+  let st = make_state ?runtime ?cache_dir:rc.Tuning_config.pack_cache task in
   on_event
     (Tuning_started
        { network = sg.Compute.sg_name; device_name = device.Device.device_name; engine;

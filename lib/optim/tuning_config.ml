@@ -110,6 +110,7 @@ type run = {
   on_event : event -> unit;
   telemetry : Telemetry.t option;
   store : Store.t option;
+  pack_cache : string option;
 }
 
 (* FELIX_BATCH seeds the builder's descent batch width, mirroring how the
@@ -121,7 +122,7 @@ let batch_from_env () =
 
 let builder =
   { search = default; seed = 0; jobs = 1; batch = batch_from_env (); runtime = None;
-    on_event = no_event; telemetry = None; store = None }
+    on_event = no_event; telemetry = None; store = None; pack_cache = None }
 
 let with_search search r = { r with search }
 let with_rounds n r = { r with search = { r.search with max_rounds = n } }
@@ -137,6 +138,12 @@ let with_runtime rt r = { r with runtime = Some rt }
 let with_on_event on_event r = { r with on_event }
 let with_telemetry reg r = { r with telemetry = Some reg }
 let with_store store r = { r with store = Some store }
+
+(* Like runtime/telemetry/store, the pack-cache directory is process-local
+   deployment state, not search identity: it stays out of the JSON codec so
+   checkpoints and job specs are unaffected by where (or whether) a host
+   caches compiled packs. *)
+let with_pack_cache dir r = { r with pack_cache = Some dir }
 
 (* --- JSON codec -------------------------------------------------------------
 

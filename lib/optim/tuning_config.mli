@@ -150,6 +150,11 @@ type run = {
           checkpointed every round; an interrupted matching run resumes
           bit-identically and completed prior runs warm-start this one
           (see {!Tuner.run}) *)
+  pack_cache : string option;
+      (** persistent compilation-cache directory handed to
+          [Pack.prepare]: compiled packs are stored content-addressed and
+          reused across runs and processes, bitwise-identically to a cold
+          compile *)
 }
 
 val builder : run
@@ -183,6 +188,12 @@ val with_store : Store.t -> run -> run
 (** Journal every measurement to [store], checkpoint each round, resume
     an interrupted matching run bit-identically, and warm-start fresh
     runs from completed prior records. *)
+
+val with_pack_cache : string -> run -> run
+(** Cache compiled feature/penalty packs under this directory (see
+    [Pack.prepare]). Process-local deployment state like [store] and
+    [runtime]: not part of the JSON codec, so checkpoint identity and job
+    specs are unchanged by it. *)
 
 (** {1 JSON codec}
 

@@ -153,6 +153,7 @@ type t = {
   queue_capacity : int;
   telemetry : Telemetry.t;
   model_for : Device.t -> Mlp.t;
+  pack_cache : string option;  (* compiled-pack cache shared by all jobs *)
   mu : Mutex.t;
   work_cond : Condition.t;
   event_cond : Condition.t;
@@ -310,6 +311,11 @@ let exec t job =
       in
       let rc =
         match store with Some s -> Tuning_config.with_store s rc | None -> rc
+      in
+      let rc =
+        match t.pack_cache with
+        | Some dir -> Tuning_config.with_pack_cache dir rc
+        | None -> rc
       in
       let cleanup () = Option.iter Store.close store in
       match Tuner.run rc spec.Job.device model graph spec.Job.engine with
@@ -576,7 +582,7 @@ let handle_conn t fd =
 let unlink_quiet path = try Unix.unlink path with Unix.Unix_error _ -> ()
 
 let create ?(workers = 2) ?(queue_capacity = 16) ?(telemetry = Telemetry.global)
-    ?model_for ?(cache_dir = "_artifacts") ~socket () =
+    ?model_for ?(cache_dir = "_artifacts") ?pack_cache ~socket () =
   let model_for =
     match model_for with
     | Some f -> f
@@ -623,6 +629,7 @@ let create ?(workers = 2) ?(queue_capacity = 16) ?(telemetry = Telemetry.global)
         let stop_r, stop_w = Unix.pipe ~cloexec:true () in
         let t =
           { socket; listen_fd; workers; queue_capacity; telemetry; model_for;
+            pack_cache;
             mu = Mutex.create (); work_cond = Condition.create ();
             event_cond = Condition.create (); jobs = Hashtbl.create 32;
             queue = Queue.create (); order = []; next_id = 0; draining = false;

@@ -96,6 +96,7 @@ val create :
   ?telemetry:Telemetry.t ->
   ?model_for:(Device.t -> Mlp.t) ->
   ?cache_dir:string ->
+  ?pack_cache:string ->
   socket:string ->
   unit ->
   (t, string) result
@@ -107,7 +108,10 @@ val create :
     default ["_artifacts"]) and is memoised per device. [telemetry]
     (default [Telemetry.global]) receives [serve.*] counters and
     gauges: queue depth, active jobs, submissions, rejects and per-state
-    completions. *)
+    completions. [pack_cache] points every job's [Tuning_config] at one
+    shared persistent compilation-cache directory, so repeated workloads
+    across jobs skip symbolic compilation (results are
+    bitwise-identical). *)
 
 val run : t -> unit
 (** Serve until {!initiate_shutdown} (or a handled signal, or the

@@ -113,6 +113,43 @@ let test_rewrite_count_firings () =
   Alcotest.(check bool) "log-expand fired" true
     (List.exists (fun (name, n) -> name = "log-expand" && n > 0) firings)
 
+(* --- indexed, memoised rewrite engine -------------------------------------
+
+   The head-indexed engine with the per-domain normal-form memo must be an
+   observationally exact replacement for the historical scan-every-rule
+   pass loop: same normal forms (hash-consed, so Expr.equal is physical),
+   and a fixpoint, so running it twice changes nothing. *)
+
+let test_rewrite_indexed_matches_naive_simplify =
+  qtest ~count:400 "indexed engine = naive scan (simplify rules)" gen_expr
+    (fun expr ->
+      Expr.equal
+        (Rewrite.apply_fixpoint Simplify.rules expr)
+        (Rewrite.apply_fixpoint_naive Simplify.rules expr))
+
+let test_rewrite_indexed_matches_naive_smooth =
+  qtest ~count:400 "indexed engine = naive scan (smooth rules)" gen_expr
+    (fun expr ->
+      Expr.equal (Smooth.smooth expr)
+        (Rewrite.apply_fixpoint_naive (Smooth.rules ()) expr))
+
+let test_rewrite_fixpoint_idempotent =
+  qtest ~count:400 "normalization is idempotent (f (f x) = f x)" gen_expr
+    (fun expr ->
+      let s = Simplify.simplify expr in
+      Expr.equal s (Simplify.simplify s)
+      &&
+      let m = Smooth.smooth expr in
+      Expr.equal m (Smooth.smooth m))
+
+let test_simplify_subst_fused =
+  qtest ~count:400 "fused subst+simplify = subst then simplify" gen_expr
+    (fun expr ->
+      let f v = if v = "a" || v = "c" then Some (Expr.exp_ (Expr.var v)) else None in
+      Expr.equal
+        (Simplify.simplify_subst f expr)
+        (Simplify.simplify (Expr.subst f expr)))
+
 (* --- smoothing ------------------------------------------------------------ *)
 
 let test_smooth_removes_nondiff =
@@ -403,6 +440,10 @@ let tests =
     test_simplify_shrinks;
     Alcotest.test_case "rewrite fixpoint terminates" `Quick test_rewrite_fixpoint_terminates;
     Alcotest.test_case "rewrite firing counts" `Quick test_rewrite_count_firings;
+    test_rewrite_indexed_matches_naive_simplify;
+    test_rewrite_indexed_matches_naive_smooth;
+    test_rewrite_fixpoint_idempotent;
+    test_simplify_subst_fused;
     test_smooth_removes_nondiff;
     Alcotest.test_case "smooth select matches Figure 4 (left)" `Quick test_smooth_figure4_select;
     Alcotest.test_case "smooth max matches Figure 4 (right)" `Quick test_smooth_figure4_relu;

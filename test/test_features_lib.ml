@@ -295,6 +295,117 @@ let test_pack_cache_stats () =
   Alcotest.(check bool) "evictions monotone" true
     (get "evictions" after >= get "evictions" before)
 
+(* --- persistent disk cache -------------------------------------------------- *)
+
+let fresh_cache_dir () =
+  let path = Filename.temp_file "felix_pack_cache" "" in
+  Sys.remove path;
+  path
+
+let rec remove_tree path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> remove_tree (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let counters () = Pack.disk_counters ()
+let get k l = List.assoc k l
+
+let test_pack_disk_cache_bitwise () =
+  let dir = fresh_cache_dir () in
+  Fun.protect ~finally:(fun () -> remove_tree dir) @@ fun () ->
+  let sg = dense_sg () in
+  let sched = List.hd (Sketch.generate sg) in
+  let cold = Pack.prepare sg sched in
+  let before = counters () in
+  let miss = Pack.prepare ~cache_dir:dir sg sched in
+  let mid = counters () in
+  let warm = Pack.prepare ~cache_dir:dir sg sched in
+  let after = counters () in
+  Alcotest.(check string) "cold = miss-path" (Pack.digest cold) (Pack.digest miss);
+  Alcotest.(check string) "cold = disk-warm" (Pack.digest cold) (Pack.digest warm);
+  Alcotest.(check int) "first touch missed" (get "disk_misses" before + 1)
+    (get "disk_misses" mid);
+  Alcotest.(check int) "first touch wrote" (get "disk_writes" before + 1)
+    (get "disk_writes" mid);
+  Alcotest.(check int) "second touch hit" (get "disk_hits" mid + 1)
+    (get "disk_hits" after);
+  let st = Pack.disk_cache_stats dir in
+  Alcotest.(check int) "one entry" 1 (get "entries" st);
+  Alcotest.(check bool) "entry has bytes" true (get "bytes" st > 0);
+  Alcotest.(check int) "clear removes it" 1 (Pack.clear_disk_cache dir);
+  Alcotest.(check int) "empty after clear" 0 (get "entries" (Pack.disk_cache_stats dir))
+
+let test_pack_disk_cache_corruption () =
+  let dir = fresh_cache_dir () in
+  Fun.protect ~finally:(fun () -> remove_tree dir) @@ fun () ->
+  let sg = dense_sg () in
+  let sched = List.hd (Sketch.generate sg) in
+  let cold = Pack.prepare ~cache_dir:dir sg sched in
+  (* Truncate every entry to garbage: a corrupt cache must fall back to a
+     recompile (bitwise-identical result), never crash. *)
+  Array.iter
+    (fun f ->
+      let oc = open_out (Filename.concat dir f) in
+      output_string oc "{not json";
+      close_out oc)
+    (Sys.readdir dir);
+  let before = counters () in
+  let recompiled = Pack.prepare ~cache_dir:dir sg sched in
+  let after = counters () in
+  Alcotest.(check string) "recompile matches" (Pack.digest cold)
+    (Pack.digest recompiled);
+  Alcotest.(check bool) "corruption counted" true
+    (get "disk_errors" after > get "disk_errors" before);
+  (* The poisoned entry was rewritten: the next load is a clean hit. *)
+  let mid = counters () in
+  let warm = Pack.prepare ~cache_dir:dir sg sched in
+  Alcotest.(check string) "rewritten entry hits" (Pack.digest cold) (Pack.digest warm);
+  Alcotest.(check int) "hit counted" (get "disk_hits" mid + 1)
+    (get "disk_hits" (counters ()))
+
+let test_prepare_all_parallel_identity () =
+  let dir = fresh_cache_dir () in
+  Fun.protect ~finally:(fun () -> remove_tree dir) @@ fun () ->
+  let pairs =
+    List.concat_map
+      (fun sg -> List.map (fun s -> (sg, s)) (Sketch.generate sg))
+      [ dense_sg (); conv_sg () ]
+  in
+  Pack.clear_memory_cache ();
+  let serial = List.map Pack.digest (Pack.prepare_all pairs) in
+  Pack.clear_memory_cache ();
+  let parallel =
+    Runtime.with_runtime ~domains:4 (fun rt ->
+        List.map Pack.digest (Pack.prepare_all ~runtime:rt pairs))
+  in
+  Pack.clear_memory_cache ();
+  let parallel_disk_cold =
+    Runtime.with_runtime ~domains:4 (fun rt ->
+        List.map Pack.digest (Pack.prepare_all ~runtime:rt ~cache_dir:dir pairs))
+  in
+  Pack.clear_memory_cache ();
+  let disk_warm = List.map Pack.digest (Pack.prepare_all ~cache_dir:dir pairs) in
+  Alcotest.(check (list string)) "4 domains = serial" serial parallel;
+  Alcotest.(check (list string)) "4 domains + cold disk = serial" serial
+    parallel_disk_cold;
+  Alcotest.(check (list string)) "1 domain + warm disk = serial" serial disk_warm
+
+let test_prepare_cached_optimize_key () =
+  Pack.clear_memory_cache ();
+  let sg = dense_sg () in
+  let sched = List.hd (Sketch.generate sg) in
+  let opt = Pack.prepare_cached sg sched in
+  let raw = Pack.prepare_cached ~optimize:false sg sched in
+  let opt' = Pack.prepare_cached sg sched in
+  let raw' = Pack.prepare_cached ~optimize:false sg sched in
+  Alcotest.(check bool) "optimize=true memoised" true (opt == opt');
+  Alcotest.(check bool) "optimize=false memoised" true (raw == raw');
+  (* The flag is part of the key: the two entries never alias. *)
+  Alcotest.(check bool) "flags do not collide" true (not (opt == raw))
+
 let test_pack_env_matches_assignment () =
   let rng = Rng.create 23 in
   let sg = dense_sg () in
@@ -325,4 +436,10 @@ let tests =
     Alcotest.test_case "pack batched sweeps bitwise-equal scalar" `Quick
       test_pack_batch_bitwise;
     Alcotest.test_case "prepare_cached exposes LRU counters" `Quick test_pack_cache_stats;
+    Alcotest.test_case "disk cache round-trips bitwise" `Quick test_pack_disk_cache_bitwise;
+    Alcotest.test_case "disk cache survives corruption" `Quick test_pack_disk_cache_corruption;
+    Alcotest.test_case "prepare_all identical at 1/4 domains, cold/warm disk" `Quick
+      test_prepare_all_parallel_identity;
+    Alcotest.test_case "prepare_cached keys include optimize" `Quick
+      test_prepare_cached_optimize_key;
     Alcotest.test_case "env matches integer assignment" `Quick test_pack_env_matches_assignment ]

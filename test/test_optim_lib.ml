@@ -717,10 +717,53 @@ let test_round_spans_recorded () =
         (has "engine" && has "task" && has "proposed" && has "measured" && has "best_ms"))
     rounds
 
+(* Pack's prepare-time instruments live on Telemetry.global (like its LRU
+   counters), so this test enables the global registry around a full run
+   and checks deltas; disabled again afterwards so other tests see the
+   default-inert registry. *)
+let test_prepare_telemetry_through_run () =
+  let model = Lazy.force shared_model in
+  let dir = Filename.temp_file "felix_pack_cache" "" in
+  Sys.remove dir;
+  let reg = Telemetry.global in
+  let h = Telemetry.histogram reg "felix.prepare_ms" in
+  let c_hits = Telemetry.counter reg "features.pack_cache_disk_hits" in
+  let c_misses = Telemetry.counter reg "features.pack_cache_disk_misses" in
+  Telemetry.enable reg;
+  let finally () =
+    Telemetry.disable reg;
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  in
+  Fun.protect ~finally @@ fun () ->
+  let observations_before = Telemetry.Histogram.count h in
+  let misses_before = Telemetry.Counter.value c_misses in
+  let hits_before = Telemetry.Counter.value c_hits in
+  let run () =
+    Pack.clear_memory_cache ();
+    run_tuner_single
+      Tuning_config.(
+        builder |> with_search quick |> with_seed 12 |> with_pack_cache dir)
+      ~rounds:1 Device.rtx_a5000 model (dense_sg ()) Tuner.Felix
+  in
+  let _ = run () in
+  Alcotest.(check bool) "prepare_ms histogram observed" true
+    (Telemetry.Histogram.count h > observations_before);
+  Alcotest.(check bool) "cold run missed the disk cache" true
+    (Telemetry.Counter.value c_misses > misses_before);
+  let hits_mid = Telemetry.Counter.value c_hits in
+  let _ = run () in
+  Alcotest.(check bool) "second run hit the disk cache" true
+    (Telemetry.Counter.value c_hits > hits_mid);
+  Alcotest.(check bool) "no hits before the cache was warm" true
+    (hits_mid = hits_before)
+
 let tests =
   tests
   @ [ Alcotest.test_case "event sequence is well-formed" `Slow test_event_sequence_well_formed;
       Alcotest.test_case "event clock is monotone" `Slow test_event_clock_monotone;
       Alcotest.test_case "events/telemetry leave the result unchanged" `Slow
         test_events_do_not_change_result;
-      Alcotest.test_case "per-round telemetry spans" `Slow test_round_spans_recorded ]
+      Alcotest.test_case "per-round telemetry spans" `Slow test_round_spans_recorded;
+      Alcotest.test_case "prepare telemetry and disk counters through a run" `Slow
+        test_prepare_telemetry_through_run ]

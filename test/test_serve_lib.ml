@@ -53,13 +53,13 @@ let rec remove_tree path =
 
 (* --- daemon / client harness ------------------------------------------------- *)
 
-let with_server ?(workers = 2) ?(queue_capacity = 16) f =
+let with_server ?(workers = 2) ?(queue_capacity = 16) ?pack_cache f =
   let socket = Filename.temp_file "felix_serve" ".sock" in
   match
     Serve.create ~workers ~queue_capacity
       ~telemetry:(Telemetry.create ~enabled:true ())
       ~model_for:(fun _ -> Lazy.force shared_model)
-      ~socket ()
+      ?pack_cache ~socket ()
   with
   | Error m -> Alcotest.failf "Serve.create: %s" m
   | Ok srv ->
@@ -205,6 +205,35 @@ let test_concurrent_clients () =
   Alcotest.(check int) "submitted" 2 (n "submitted");
   Alcotest.(check int) "completed" 2 (n "completed");
   Alcotest.(check int) "queue drained" 0 (n "queue_depth")
+
+(* Two jobs over the same workload share the daemon's disk cache: the
+   in-process LRU is cleared between them (as a daemon restart would), so
+   the second job's packs must come from disk — observably (disk_hits
+   grows) and bit-identically (same result bytes as a cache-less run). *)
+let test_shared_pack_cache_across_jobs () =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> remove_tree dir) @@ fun () ->
+  let baseline = Export.result_json (direct_result ()) in
+  with_server ~workers:1 ~pack_cache:dir @@ fun _srv socket ->
+  with_client socket @@ fun c ->
+  let run_job () =
+    Pack.clear_memory_cache ();
+    let id = unwrap "submit" (Serve.Client.submit c (spec ())) in
+    let final = unwrap "wait" (Serve.Client.wait c id) in
+    Alcotest.(check string) "job done" "done" (state_of final);
+    unwrap "result" (Serve.Client.result c id)
+  in
+  let p1 = run_job () in
+  let hits_before = List.assoc "disk_hits" (Pack.disk_counters ()) in
+  let p2 = run_job () in
+  let hits_after = List.assoc "disk_hits" (Pack.disk_counters ()) in
+  Alcotest.(check bool) "second job read the shared disk cache" true
+    (hits_after > hits_before);
+  Alcotest.(check bool) "cache populated on disk" true
+    (List.assoc "entries" (Pack.disk_cache_stats dir) > 0);
+  Alcotest.(check string) "both jobs byte-identical" (Json.to_line p1) (Json.to_line p2);
+  Alcotest.(check string) "byte-identical to the cache-less run"
+    (Json.to_line baseline) (Json.to_line p1)
 
 (* --- backpressure ------------------------------------------------------------ *)
 
@@ -375,6 +404,8 @@ let tests =
     Alcotest.test_case "served result bit-identical to direct run" `Slow
       test_submit_matches_direct;
     Alcotest.test_case "concurrent clients, two workers" `Slow test_concurrent_clients;
+    Alcotest.test_case "jobs share the persistent pack cache" `Slow
+      test_shared_pack_cache_across_jobs;
     Alcotest.test_case "bounded queue rejects when full" `Slow test_queue_full_reject;
     Alcotest.test_case "deadline expires a run mid-flight" `Slow test_deadline_expiry;
     Alcotest.test_case "cancel then resume is bit-identical" `Slow
