@@ -22,6 +22,7 @@ let experiments =
     ("par", "sequential vs multi-domain tuning rounds", Parallel.run);
     ("hotpath", "legacy vs fused objective-gradient inner loop", Hotpath.run);
     ("batch", "scalar vs lockstep SoA descent across the population", Batch.run);
+    ("tape", "interpreted vs compiled superop tape sweeps", Tape.run);
     ("warmstart", "time-to-target with and without a warm tuning store", Warmstart.run);
     ("prepare", "cold-parallel and warm-disk pack compilation", Prepare.run) ]
 
@@ -104,6 +105,7 @@ let () =
         if a = "--smoke" then begin
           Hotpath.smoke := true;
           Batch.smoke := true;
+          Tape.smoke := true;
           Warmstart.smoke := true;
           Prepare.smoke := true;
           false

@@ -1,0 +1,236 @@
+(* tape: interpreted vs compiled (superop plan) batched tape sweeps.
+
+   Times the exact tape inner loop of the batched descent — features
+   forward + features backward + penalty value/grad — over the same 128
+   candidate points, once through the interpreted SoA tape kernels and
+   once through the compiled superop plans, at tile widths B in
+   {1, 32, 128}. Every lane must be bitwise identical across the two
+   execution strategies, across both plan kernel sets (SIMD C and
+   portable OCaml) and across 1 vs 4 domains; any divergence, or a
+   compiled speedup below the floor at B=32, is a hard failure (exit 1)
+   so CI catches both kinds of regression. Results land in
+   BENCH_tape.json. *)
+
+let smoke = ref false
+
+type stats = { sweeps_per_sec : float; minor_words_per_sweep : float }
+
+type capture = {
+  c_feats : float array;  (* lanes * 82 *)
+  c_grads : float array;  (* lanes * n *)
+  c_pgrads : float array;  (* lanes * n *)
+  c_pvals : float array;  (* lanes *)
+}
+
+(* One population pass, tiled at width [b], on a caller-supplied workspace:
+   the per-tile layout (resident tile points, per-tile adjoint pattern)
+   mirrors how descend_batch holds its state, so the timing is the pure
+   sweep cost. Appends the final sweep's results into [cap] at [off0]. *)
+let sweep_lanes pack bws ~b ~off0 ~lanes ~sweeps y0s cap =
+  let n = Pack.num_vars pack in
+  let tys = Array.make (b * n) 0.0 in
+  let adj = Array.init (b * 82) (fun j -> cos (float_of_int j)) in
+  let grads = Array.make (b * n) 0.0 in
+  let pgrads = Array.make (b * n) 0.0 in
+  let pvals = Array.make b 0.0 in
+  let off = ref 0 in
+  while !off < lanes do
+    let bt = min b (lanes - !off) in
+    for l = 0 to bt - 1 do
+      Array.blit y0s.(off0 + !off + l) 0 tys (l * n) n
+    done;
+    for _ = 1 to sweeps do
+      ignore (Pack.features_forward_batch pack bws ~batch:bt tys : float array);
+      Pack.features_backward_batch pack bws ~batch:bt adj grads;
+      Pack.penalty_value_grad_batch_into pack bws ~batch:bt tys ~grads:pgrads
+        ~values:pvals
+    done;
+    let f = Pack.features_forward_batch pack bws ~batch:bt tys in
+    Array.blit f 0 cap.c_feats ((off0 + !off) * 82) (bt * 82);
+    Pack.features_backward_batch pack bws ~batch:bt adj grads;
+    Array.blit grads 0 cap.c_grads ((off0 + !off) * n) (bt * n);
+    Pack.penalty_value_grad_batch_into pack bws ~batch:bt tys ~grads:pgrads
+      ~values:pvals;
+    Array.blit pgrads 0 cap.c_pgrads ((off0 + !off) * n) (bt * n);
+    Array.blit pvals 0 cap.c_pvals (off0 + !off) bt;
+    off := !off + bt
+  done
+
+let run_config pack ~planned ~vec ~b ~lanes ~sweeps y0s =
+  Pack.set_plan_execution planned;
+  Autodiff.Tape.set_vector_kernels vec;
+  let n = Pack.num_vars pack in
+  let cap =
+    { c_feats = Array.make (lanes * 82) 0.0;
+      c_grads = Array.make (lanes * n) 0.0;
+      c_pgrads = Array.make (lanes * n) 0.0;
+      c_pvals = Array.make lanes 0.0 }
+  in
+  let bws = Pack.batch_workspace pack ~batch:b in
+  let w0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  sweep_lanes pack bws ~b ~off0:0 ~lanes ~sweeps y0s cap;
+  let dt = Unix.gettimeofday () -. t0 in
+  let dw = Gc.minor_words () -. w0 in
+  let total = float_of_int (lanes * (sweeps + 1)) in
+  ({ sweeps_per_sec = total /. dt; minor_words_per_sweep = dw /. total }, cap)
+
+(* The planned path split across 4 domains, each with its own workspace
+   over a 32-lane slice: per-lane results must not depend on which domain
+   (or how many) ran the sweep. *)
+let run_domains pack ~b ~lanes ~sweeps y0s =
+  Pack.set_plan_execution true;
+  Autodiff.Tape.set_vector_kernels true;
+  let n = Pack.num_vars pack in
+  let cap =
+    { c_feats = Array.make (lanes * 82) 0.0;
+      c_grads = Array.make (lanes * n) 0.0;
+      c_pgrads = Array.make (lanes * n) 0.0;
+      c_pvals = Array.make lanes 0.0 }
+  in
+  let chunk = lanes / 4 in
+  Runtime.with_runtime ~domains:4 (fun rt ->
+      ignore
+        (Runtime.map_list rt
+           (fun off0 ->
+             let bws = Pack.batch_workspace pack ~batch:b in
+             sweep_lanes pack bws ~b ~off0 ~lanes:chunk ~sweeps y0s cap)
+           [ 0; chunk; 2 * chunk; 3 * chunk ]));
+  cap
+
+let captures_equal a b =
+  let bits_eq x y =
+    Array.length x = Array.length y
+    && Array.for_all2
+         (fun u v -> Int64.equal (Int64.bits_of_float u) (Int64.bits_of_float v))
+         x y
+  in
+  bits_eq a.c_feats b.c_feats && bits_eq a.c_grads b.c_grads
+  && bits_eq a.c_pgrads b.c_pgrads && bits_eq a.c_pvals b.c_pvals
+
+let run () =
+  let lanes = 128 in
+  let sweeps = if !smoke then 60 else 400 in
+  let reps = if !smoke then 1 else 2 in
+  let widths = [ 1; 32; 128 ] in
+  let floor_b32 = if !smoke then 1.15 else 1.5 in
+  let sg =
+    Compute.lower ~name:"dense" (Op.Dense { batch = 50; in_dim = 768; out_dim = 3072 })
+  in
+  let sched = List.nth (Sketch.generate sg) 1 in
+  let pack = Pack.prepare sg sched in
+  let rng = Rng.create 1 in
+  let y0s =
+    Array.init lanes (fun _ ->
+        match Dataset.sample_valid_point rng pack 200 with
+        | Some y -> y
+        | None -> failwith "tape: no valid start point")
+  in
+  let was_plan = Pack.using_plan_execution () in
+  let was_vec = Autodiff.Tape.using_vector_kernels () in
+  Fun.protect ~finally:(fun () ->
+      Pack.set_plan_execution was_plan;
+      Autodiff.Tape.set_vector_kernels was_vec)
+  @@ fun () ->
+  (* Warm up both paths. *)
+  ignore (run_config pack ~planned:false ~vec:true ~b:8 ~lanes:16 ~sweeps:3 y0s);
+  ignore (run_config pack ~planned:true ~vec:true ~b:8 ~lanes:16 ~sweeps:3 y0s);
+  let fp = Pack.feature_plan pack and pp = Pack.penalty_plan pack in
+  let module P = Autodiff.Tape.Plan in
+  Printf.printf
+    "superops: feature %d -> %d (%d fused), penalty %d -> %d (%d fused)\n%!"
+    (P.source_ops fp) (P.superops fp) (P.fused_pairs fp) (P.source_ops pp)
+    (P.superops pp) (P.fused_pairs pp);
+  let best_of runs =
+    List.fold_left
+      (fun (acc, c) (r, c') ->
+        if r.sweeps_per_sec > acc.sweeps_per_sec then (r, c') else (acc, c))
+      (List.hd runs) (List.tl runs)
+  in
+  let results =
+    List.map
+      (fun b ->
+        let time ~planned ~vec =
+          best_of
+            (List.init reps (fun _ -> run_config pack ~planned ~vec ~b ~lanes ~sweeps y0s))
+        in
+        let interp, c_interp = time ~planned:false ~vec:true in
+        let planned, c_planned = time ~planned:true ~vec:true in
+        let _, c_portable =
+          run_config pack ~planned:true ~vec:false ~b ~lanes ~sweeps:1 y0s
+        in
+        let domains_ok =
+          if b = 32 then captures_equal c_interp (run_domains pack ~b ~lanes ~sweeps:1 y0s)
+          else true
+        in
+        let ok =
+          captures_equal c_interp c_planned
+          && captures_equal c_interp c_portable
+          && domains_ok
+        in
+        (b, interp, planned, ok))
+      widths
+  in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "batched tape sweeps (fwd+bwd+penalty), %d lanes x %d sweeps (best of %d)"
+           lanes sweeps reps)
+      ~header:
+        [ "tile"; "interp sweeps/s"; "compiled sweeps/s"; "speedup"; "words/sweep";
+          "bitwise" ]
+  in
+  List.iter
+    (fun (b, i, p, ok) ->
+      Table.add_row t
+        [ Printf.sprintf "B=%d" b;
+          Printf.sprintf "%.0f" i.sweeps_per_sec;
+          Printf.sprintf "%.0f" p.sweeps_per_sec;
+          Printf.sprintf "%.2fx" (p.sweeps_per_sec /. i.sweeps_per_sec);
+          Printf.sprintf "%.0f -> %.0f" i.minor_words_per_sweep p.minor_words_per_sweep;
+          (if ok then "identical" else "DIVERGED") ])
+    results;
+  Table.print t;
+  let all_ok = List.for_all (fun (_, _, _, ok) -> ok) results in
+  let oc = open_out "BENCH_tape.json" in
+  Printf.fprintf oc
+    "{\n  \"experiment\": \"tape\",\n  \"smoke\": %b,\n  \"lanes\": %d,\n  \
+     \"sweeps\": %d,\n  \"reps\": %d,\n  \"superops\": {\n    \"feature\": { \
+     \"source_ops\": %d, \"superops\": %d, \"fused_pairs\": %d },\n    \
+     \"penalty\": { \"source_ops\": %d, \"superops\": %d, \"fused_pairs\": %d }\n  \
+     },\n  \"bitwise_identical\": %b,\n  \"tiles\": [\n%s  ]\n}\n"
+    !smoke lanes sweeps reps (P.source_ops fp) (P.superops fp) (P.fused_pairs fp)
+    (P.source_ops pp) (P.superops pp) (P.fused_pairs pp) all_ok
+    (String.concat ",\n"
+       (List.map
+          (fun (b, i, p, ok) ->
+            Printf.sprintf
+              "    { \"batch\": %d, \"interpreted_sweeps_per_sec\": %.1f, \
+               \"compiled_sweeps_per_sec\": %.1f, \"speedup\": %.3f, \
+               \"interpreted_minor_words_per_sweep\": %.1f, \
+               \"compiled_minor_words_per_sweep\": %.1f, \
+               \"bitwise_identical\": %b }"
+              b i.sweeps_per_sec p.sweeps_per_sec
+              (p.sweeps_per_sec /. i.sweeps_per_sec)
+              i.minor_words_per_sweep p.minor_words_per_sweep ok)
+          results)
+     ^ "\n");
+  close_out oc;
+  print_endline "wrote BENCH_tape.json";
+  List.iter
+    (fun (b, i, p, ok) ->
+      if not ok then begin
+        Printf.eprintf "tape: B=%d DIVERGED from the interpreter (bit-identity broken)\n"
+          b;
+        exit 1
+      end;
+      if b = 32 && p.sweeps_per_sec < floor_b32 *. i.sweeps_per_sec then begin
+        Printf.eprintf
+          "tape: B=32 compiled speedup %.2fx below the %.2fx floor (%.0f vs %.0f \
+           sweeps/s)\n"
+          (p.sweeps_per_sec /. i.sweeps_per_sec)
+          floor_b32 p.sweeps_per_sec i.sweeps_per_sec;
+        exit 1
+      end)
+    results

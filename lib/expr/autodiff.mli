@@ -153,6 +153,84 @@ module Tape : sig
       per lane against the values of the last {!forward_batch_into},
       overwriting the first [batch] lane-major rows of [grad]
       ([grad.(l * num_inputs + i)]). *)
+
+  (** {2 Compiled superop plans}
+
+      {!compile_plan} lowers a tape into a flat superop program: chains of
+      two adjacent elementwise ops fused into single superops, constants
+      pooled into pre-broadcast arena planes, and slot lifetimes analysed
+      so values reuse a compact register arena. {!plan_forward_batch_into}
+      and {!plan_backward_batch_into} execute one whole superop across all
+      lanes per dispatch — through strict-IEEE C kernels (tape_stubs.c) or
+      the portable OCaml kernels ({!set_vector_kernels}) — and are
+      bitwise-identical, lane for lane, to {!forward_batch_into} /
+      {!backward_batch_into} at every batch size: operand order, the
+      zero-adjoint guard and the order of adjoint accumulation are part of
+      the plan, not of the kernel. *)
+
+  module Plan : sig
+    type t
+
+    val num_inputs : t -> int
+    val num_outputs : t -> int
+
+    val source_ops : t -> int
+    (** Non-constant, non-input tape instructions before fusion. *)
+
+    val superops : t -> int
+    (** Superops after fusion ([source_ops - fused_pairs]). *)
+
+    val fused_pairs : t -> int
+
+    (** Bit-exact serialization for the persistent pack cache — same
+        contract as {!Tape.to_json}/{!Tape.of_json}: constants cross as
+        16-hex-char IEEE-754 bit strings, [of_json] returns [None] on any
+        malformed or structurally invalid payload (bad opcode,
+        out-of-range register), never a crash. *)
+
+    val to_json : t -> Json.t
+    val of_json : Json.t -> t option
+  end
+
+  val compile_plan : t -> Plan.t
+
+  val plan_compiles : unit -> int
+  (** Process-lifetime count of {!compile_plan} calls (tests use this to
+      prove a warm cache hit skipped plan compilation). *)
+
+  val set_vector_kernels : bool -> unit
+  (** Select the C superop kernels ([true], the default) or the portable
+      OCaml kernels ([false]). Initialised to [false] when the
+      [FELIX_NO_SIMD] environment variable is [1]/[true]/[yes]. Both
+      produce bit-identical results; the toggle exists for platforms
+      without the stubs' ISA assumptions and for differential testing. *)
+
+  val using_vector_kernels : unit -> bool
+
+  type plan_batch_workspace
+  (** Register arena (value, adjoint and output planes) for one plan; same
+      ownership rules as {!batch_workspace}. Constant planes are broadcast
+      once at creation. *)
+
+  val plan_batch_workspace : Plan.t -> batch:int -> plan_batch_workspace
+  (** Buffers for up to [batch] lanes ([batch >= 1]). *)
+
+  val plan_batch_capacity : plan_batch_workspace -> int
+
+  val plan_forward_batch_into :
+    Plan.t -> plan_batch_workspace -> batch:int -> float array -> float array
+  (** As {!forward_batch_into}, over the compiled plan: lane-major input
+      rows in, workspace-owned lane-major output matrix back (do not
+      retain). Pinned intermediate planes are kept for
+      {!plan_backward_batch_into}. *)
+
+  val plan_backward_batch_into :
+    Plan.t -> plan_batch_workspace -> batch:int -> float array -> float array -> unit
+  (** As {!backward_batch_into}: seeds each lane's output adjoints from
+      the lane-major rows of [v], sweeps the superops in reverse against
+      the values of the last {!plan_forward_batch_into}, and overwrites
+      the first [batch] lane-major rows of [grad]. Zero-adjoint lanes are
+      skipped exactly as the interpreter's guard does. *)
 end
 
 val check_gradient :

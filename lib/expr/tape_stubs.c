@@ -1,0 +1,527 @@
+/* Compiled tape superop kernels, vectorised across candidate lanes.
+ *
+ * A plan (autodiff.ml, module Plan) is a flat array of stride-12 superop
+ * rows over a register arena of batch planes: plane[reg * cap + lane].
+ * Each row is [op; dst_v; dst_a; o1_v; o1_a; o2_v; o2_a; o3_v; o3_a;
+ * o4_v; o4_a; 0]. The forward entry runs the rows in order, the backward
+ * entry in reverse; both execute one whole superop across all lanes per
+ * dispatch. Every lane's per-operation sequence — operand order, the
+ * zero-adjoint guard, the order of adjoint accumulation (dst-local, then
+ * third operand, then first, then second), the 0.0 + x normalisation of a
+ * fused intermediate's adjoint — is exactly the tape interpreter's, so
+ * each lane is bit-identical to the scalar OCaml sweep. The build flags
+ * (dune: -O3 -ffp-contract=off -fno-trapping-math) keep IEEE semantics
+ * exact (no FMA contraction, no reassociation, signed zeros honoured)
+ * while letting GCC if-convert guards into lane blends.
+ *
+ * Value planes may alias: the register allocator reuses a dead operand's
+ * register for the destination, and an instruction may use one slot for
+ * both operands — so arena/adjoint pointers are deliberately NOT restrict-
+ * qualified, and stores follow interpreter program order per lane.
+ *
+ * libm calls (log/exp/sqrt/pow) stay scalar calls into the same glibc
+ * libm the OCaml primitives use; GCC does not vectorise them without
+ * -ffast-math, which is exactly what bit-identity needs.
+ *
+ * These functions allocate nothing and never call back into the runtime,
+ * so they are declared [@@noalloc] on the OCaml side.
+ */
+
+#include <caml/mlvalues.h>
+#include <math.h>
+#include <string.h>
+
+#if defined(__GNUC__) && !defined(__clang__) && defined(__x86_64__) && defined(__gnu_linux__)
+#define LANE_CLONES __attribute__((target_clones("avx512f", "avx2", "default")))
+#else
+#define LANE_CLONES
+#endif
+
+/* OCaml's Float.min / Float.max, bit for bit (NaN-propagating, -0 < +0) —
+ * NOT C fmin/fmax, which differ on NaN. */
+static inline double ocaml_fmin(double x, double y)
+{
+  if (y > x || (!signbit(y) && signbit(x))) return isnan(y) ? y : x;
+  return isnan(x) ? x : y;
+}
+
+static inline double ocaml_fmax(double x, double y)
+{
+  if (y > x || (!signbit(y) && signbit(x))) return isnan(x) ? x : y;
+  return isnan(y) ? y : x;
+}
+
+/* ---- forward kernels ----------------------------------------------------- */
+
+LANE_CLONES static void fwd_bin(int k, double *d, const double *a,
+                                const double *b, long n)
+{
+  switch (k) {
+  case 0: for (long l = 0; l < n; l++) d[l] = a[l] + b[l]; break;
+  case 1: for (long l = 0; l < n; l++) d[l] = a[l] - b[l]; break;
+  case 2: for (long l = 0; l < n; l++) d[l] = a[l] * b[l]; break;
+  case 3: for (long l = 0; l < n; l++) d[l] = a[l] / b[l]; break;
+  case 4: for (long l = 0; l < n; l++) d[l] = pow(a[l], b[l]); break;
+  case 5: for (long l = 0; l < n; l++) d[l] = ocaml_fmin(a[l], b[l]); break;
+  default: for (long l = 0; l < n; l++) d[l] = ocaml_fmax(a[l], b[l]); break;
+  }
+}
+
+LANE_CLONES static void fwd_un(int k, double *d, const double *a, long n)
+{
+  switch (k) {
+  case 0: for (long l = 0; l < n; l++) d[l] = -a[l]; break;
+  case 1: for (long l = 0; l < n; l++) d[l] = log(a[l]); break;
+  case 2: for (long l = 0; l < n; l++) d[l] = exp(a[l]); break;
+  case 3: for (long l = 0; l < n; l++) d[l] = sqrt(a[l]); break;
+  default: for (long l = 0; l < n; l++) d[l] = fabs(a[l]); break;
+  }
+}
+
+LANE_CLONES static void fwd_sel(int k, double *d, const double *lv,
+                                const double *rv, const double *av,
+                                const double *bv, long n)
+{
+  switch (k) {
+  case 0: for (long l = 0; l < n; l++) d[l] = lv[l] < rv[l] ? av[l] : bv[l]; break;
+  case 1: for (long l = 0; l < n; l++) d[l] = lv[l] <= rv[l] ? av[l] : bv[l]; break;
+  case 2: for (long l = 0; l < n; l++) d[l] = lv[l] > rv[l] ? av[l] : bv[l]; break;
+  case 3: for (long l = 0; l < n; l++) d[l] = lv[l] >= rv[l] ? av[l] : bv[l]; break;
+  case 4: for (long l = 0; l < n; l++) d[l] = lv[l] == rv[l] ? av[l] : bv[l]; break;
+  default: for (long l = 0; l < n; l++) d[l] = lv[l] != rv[l] ? av[l] : bv[l]; break;
+  }
+}
+
+/* Fused v = (a OP1 b) OP2 c. The intermediate t never touches memory; the
+ * two IEEE operations happen in the interpreter's order per lane. */
+#define F2(OP1, OP2)                                                     \
+  for (long l = 0; l < n; l++) {                                         \
+    const double t = a[l] OP1 b[l];                                      \
+    d[l] = t OP2 c[l];                                                   \
+  }                                                                      \
+  break;
+
+LANE_CLONES static void fwd_bin2(int k, double *d, const double *a,
+                                 const double *b, const double *c, long n)
+{
+  switch (k) {
+  case 0:  F2(+, +) case 1:  F2(+, -) case 2:  F2(+, *) case 3:  F2(+, /)
+  case 4:  F2(-, +) case 5:  F2(-, -) case 6:  F2(-, *) case 7:  F2(-, /)
+  case 8:  F2(*, +) case 9:  F2(*, -) case 10: F2(*, *) case 11: F2(*, /)
+  case 12: F2(/, +) case 13: F2(/, -) case 14: F2(/, *) default: F2(/, /)
+  }
+}
+
+/* Fused v = c OP2 (a OP1 b). */
+#define F2R(OP1, OP2)                                                    \
+  for (long l = 0; l < n; l++) {                                         \
+    const double t = a[l] OP1 b[l];                                      \
+    d[l] = c[l] OP2 t;                                                   \
+  }                                                                      \
+  break;
+
+LANE_CLONES static void fwd_bin2r(int k, double *d, const double *a,
+                                  const double *b, const double *c, long n)
+{
+  switch (k) {
+  case 0:  F2R(+, +) case 1:  F2R(+, -) case 2:  F2R(+, *) case 3:  F2R(+, /)
+  case 4:  F2R(-, +) case 5:  F2R(-, -) case 6:  F2R(-, *) case 7:  F2R(-, /)
+  case 8:  F2R(*, +) case 9:  F2R(*, -) case 10: F2R(*, *) case 11: F2R(*, /)
+  case 12: F2R(/, +) case 13: F2R(/, -) case 14: F2R(/, *) default: F2R(/, /)
+  }
+}
+
+/* Fused v = un(a OP1 b), un in {log, exp, sqrt}. */
+#define FU(UN, OP1)                                                      \
+  for (long l = 0; l < n; l++) d[l] = UN(a[l] OP1 b[l]);                 \
+  break;
+
+LANE_CLONES static void fwd_unbin(int k, double *d, const double *a,
+                                  const double *b, long n)
+{
+  switch (k) {
+  case 0:  FU(log, +) case 1:  FU(log, -) case 2:  FU(log, *) case 3:  FU(log, /)
+  case 4:  FU(exp, +) case 5:  FU(exp, -) case 6:  FU(exp, *) case 7:  FU(exp, /)
+  case 8:  FU(sqrt, +) case 9:  FU(sqrt, -) case 10: FU(sqrt, *) default: FU(sqrt, /)
+  }
+}
+
+/* ---- backward kernels -----------------------------------------------------
+ *
+ * Per lane: g = dst adjoint; if g != 0.0 apply the interpreter's rule.
+ * Adjoint planes of distinct slots are distinct, but a == b is possible,
+ * so the two operand stores keep interpreter order (a then b). */
+
+LANE_CLONES static void bwd_bin(int k, const double *dv, const double *dj,
+                                const double *av, double *aj,
+                                const double *bv, double *bj, long n)
+{
+  switch (k) {
+  case 0: /* add */
+    for (long l = 0; l < n; l++) {
+      const double g = dj[l];
+      if (g != 0.0) {
+        aj[l] = aj[l] + g;
+        bj[l] = bj[l] + g;
+      }
+    }
+    break;
+  case 1: /* sub */
+    for (long l = 0; l < n; l++) {
+      const double g = dj[l];
+      if (g != 0.0) {
+        aj[l] = aj[l] + g;
+        bj[l] = bj[l] - g;
+      }
+    }
+    break;
+  case 2: /* mul */
+    for (long l = 0; l < n; l++) {
+      const double g = dj[l];
+      if (g != 0.0) {
+        const double va = av[l], vb = bv[l];
+        aj[l] = aj[l] + g * vb;
+        bj[l] = bj[l] + g * va;
+      }
+    }
+    break;
+  case 3: /* div */
+    for (long l = 0; l < n; l++) {
+      const double g = dj[l];
+      if (g != 0.0) {
+        const double va = av[l], vb = bv[l];
+        aj[l] = aj[l] + g / vb;
+        bj[l] = bj[l] - g * va / (vb * vb);
+      }
+    }
+    break;
+  case 4: /* pow */
+    for (long l = 0; l < n; l++) {
+      const double g = dj[l];
+      if (g != 0.0) {
+        const double va = av[l], vb = bv[l], v = dv[l];
+        if (va != 0.0) aj[l] = aj[l] + g * vb * v / va;
+        else aj[l] = aj[l] + g * vb * pow(va, vb - 1.0);
+        if (va > 0.0) bj[l] = bj[l] + g * v * log(va);
+      }
+    }
+    break;
+  case 5: /* min */
+    for (long l = 0; l < n; l++) {
+      const double g = dj[l];
+      if (g != 0.0) {
+        if (av[l] <= bv[l]) aj[l] = aj[l] + g;
+        else bj[l] = bj[l] + g;
+      }
+    }
+    break;
+  default: /* max */
+    for (long l = 0; l < n; l++) {
+      const double g = dj[l];
+      if (g != 0.0) {
+        if (av[l] >= bv[l]) aj[l] = aj[l] + g;
+        else bj[l] = bj[l] + g;
+      }
+    }
+    break;
+  }
+}
+
+LANE_CLONES static void bwd_un(int k, const double *dv, const double *dj,
+                               const double *av, double *aj, long n)
+{
+  switch (k) {
+  case 0: /* neg */
+    for (long l = 0; l < n; l++) {
+      const double g = dj[l];
+      if (g != 0.0) aj[l] = aj[l] - g;
+    }
+    break;
+  case 1: /* log */
+    for (long l = 0; l < n; l++) {
+      const double g = dj[l];
+      if (g != 0.0) aj[l] = aj[l] + g / av[l];
+    }
+    break;
+  case 2: /* exp: derivative is the stored result */
+    for (long l = 0; l < n; l++) {
+      const double g = dj[l];
+      if (g != 0.0) aj[l] = aj[l] + g * dv[l];
+    }
+    break;
+  case 3: /* sqrt */
+    for (long l = 0; l < n; l++) {
+      const double g = dj[l];
+      if (g != 0.0) aj[l] = aj[l] + g / (2.0 * dv[l]);
+    }
+    break;
+  default: /* abs */
+    for (long l = 0; l < n; l++) {
+      const double g = dj[l];
+      if (g != 0.0) aj[l] = aj[l] + (av[l] >= 0.0 ? g : -g);
+    }
+    break;
+  }
+}
+
+LANE_CLONES static void bwd_sel(int k, const double *dj, const double *lv,
+                                const double *rv, double *aj, double *bj,
+                                long n)
+{
+#define BSEL(CMP)                                                        \
+  for (long l = 0; l < n; l++) {                                         \
+    const double g = dj[l];                                              \
+    if (g != 0.0) {                                                      \
+      if (lv[l] CMP rv[l]) aj[l] = aj[l] + g;                            \
+      else bj[l] = bj[l] + g;                                            \
+    }                                                                    \
+  }                                                                      \
+  break;
+  switch (k) {
+  case 0: BSEL(<) case 1: BSEL(<=) case 2: BSEL(>)
+  case 3: BSEL(>=) case 4: BSEL(==) default: BSEL(!=)
+  }
+#undef BSEL
+}
+
+/* Propagation of the fused intermediate's adjoint gt into a and b — the
+ * interpreter's Ibin rule behind t's own zero-adjoint guard. */
+#define PROP_ADD                                                         \
+  if (gt != 0.0) {                                                       \
+    aj[l] = aj[l] + gt;                                                  \
+    bj[l] = bj[l] + gt;                                                  \
+  }
+#define PROP_SUB                                                         \
+  if (gt != 0.0) {                                                       \
+    aj[l] = aj[l] + gt;                                                  \
+    bj[l] = bj[l] - gt;                                                  \
+  }
+#define PROP_MUL                                                         \
+  if (gt != 0.0) {                                                       \
+    aj[l] = aj[l] + gt * vb;                                             \
+    bj[l] = bj[l] + gt * va;                                             \
+  }
+#define PROP_DIV                                                         \
+  if (gt != 0.0) {                                                       \
+    aj[l] = aj[l] + gt / vb;                                             \
+    bj[l] = bj[l] - gt * va / (vb * vb);                                 \
+  }
+
+/* v = t OP2 c (t left): the interpreter accumulates t's adjoint into a
+ * zero cell first (re-materialised as the 0.0 + x normalisation), then
+ * updates adj[c], then runs t's own rule. Store order: c, a, b. */
+#define GTC2_ADD const double gt = 0.0 + g; cj[l] = cj[l] + g;
+#define GTC2_SUB const double gt = 0.0 + g; cj[l] = cj[l] - g;
+#define GTC2_MUL const double gt = 0.0 + g * vc; cj[l] = cj[l] + g * vt;
+#define GTC2_DIV const double gt = 0.0 + g / vc; cj[l] = cj[l] - g * vt / (vc * vc);
+
+#define B2(OP1, GTC, PROP)                                               \
+  for (long l = 0; l < n; l++) {                                         \
+    const double g = dj[l];                                              \
+    if (g != 0.0) {                                                      \
+      const double va = av[l], vb = bv[l], vc = cv[l];                   \
+      const double vt = va OP1 vb;                                       \
+      (void)vt;                                                          \
+      (void)vc;                                                          \
+      GTC;                                                               \
+      PROP;                                                              \
+    }                                                                    \
+  }                                                                      \
+  break;
+
+LANE_CLONES static void bwd_bin2(int k, const double *dj, const double *av,
+                                 double *aj, const double *bv, double *bj,
+                                 const double *cv, double *cj, long n)
+{
+  switch (k) {
+  case 0:  B2(+, GTC2_ADD, PROP_ADD) case 1:  B2(+, GTC2_SUB, PROP_ADD)
+  case 2:  B2(+, GTC2_MUL, PROP_ADD) case 3:  B2(+, GTC2_DIV, PROP_ADD)
+  case 4:  B2(-, GTC2_ADD, PROP_SUB) case 5:  B2(-, GTC2_SUB, PROP_SUB)
+  case 6:  B2(-, GTC2_MUL, PROP_SUB) case 7:  B2(-, GTC2_DIV, PROP_SUB)
+  case 8:  B2(*, GTC2_ADD, PROP_MUL) case 9:  B2(*, GTC2_SUB, PROP_MUL)
+  case 10: B2(*, GTC2_MUL, PROP_MUL) case 11: B2(*, GTC2_DIV, PROP_MUL)
+  case 12: B2(/, GTC2_ADD, PROP_DIV) case 13: B2(/, GTC2_SUB, PROP_DIV)
+  case 14: B2(/, GTC2_MUL, PROP_DIV) default: B2(/, GTC2_DIV, PROP_DIV)
+  }
+}
+
+/* v = c OP2 t (t right): interpreter updates adj[c] (the left operand)
+ * first, then t's adjoint, then t's own rule. Same store order. */
+#define GTC2R_ADD cj[l] = cj[l] + g; const double gt = 0.0 + g;
+#define GTC2R_SUB cj[l] = cj[l] + g; const double gt = 0.0 - g;
+#define GTC2R_MUL cj[l] = cj[l] + g * vt; const double gt = 0.0 + g * vc;
+#define GTC2R_DIV cj[l] = cj[l] + g / vt; const double gt = 0.0 - g * vc / (vt * vt);
+
+LANE_CLONES static void bwd_bin2r(int k, const double *dj, const double *av,
+                                  double *aj, const double *bv, double *bj,
+                                  const double *cv, double *cj, long n)
+{
+  switch (k) {
+  case 0:  B2(+, GTC2R_ADD, PROP_ADD) case 1:  B2(+, GTC2R_SUB, PROP_ADD)
+  case 2:  B2(+, GTC2R_MUL, PROP_ADD) case 3:  B2(+, GTC2R_DIV, PROP_ADD)
+  case 4:  B2(-, GTC2R_ADD, PROP_SUB) case 5:  B2(-, GTC2R_SUB, PROP_SUB)
+  case 6:  B2(-, GTC2R_MUL, PROP_SUB) case 7:  B2(-, GTC2R_DIV, PROP_SUB)
+  case 8:  B2(*, GTC2R_ADD, PROP_MUL) case 9:  B2(*, GTC2R_SUB, PROP_MUL)
+  case 10: B2(*, GTC2R_MUL, PROP_MUL) case 11: B2(*, GTC2R_DIV, PROP_MUL)
+  case 12: B2(/, GTC2R_ADD, PROP_DIV) case 13: B2(/, GTC2R_SUB, PROP_DIV)
+  case 14: B2(/, GTC2R_MUL, PROP_DIV) default: B2(/, GTC2R_DIV, PROP_DIV)
+  }
+}
+
+/* v = un(a OP1 b): t's adjoint from the unop rule (exp/sqrt read the
+ * stored result dv; log recomputes t bit-identically), then OP1's rule. */
+#define BU(GT_EXPR, PROP)                                                \
+  for (long l = 0; l < n; l++) {                                         \
+    const double g = dj[l];                                              \
+    if (g != 0.0) {                                                      \
+      const double va = av[l], vb = bv[l];                               \
+      (void)va;                                                          \
+      (void)vb;                                                          \
+      const double gt = GT_EXPR;                                         \
+      PROP;                                                              \
+    }                                                                    \
+  }                                                                      \
+  break;
+
+LANE_CLONES static void bwd_unbin(int k, const double *dv, const double *dj,
+                                  const double *av, double *aj,
+                                  const double *bv, double *bj, long n)
+{
+  switch (k) {
+  case 0:  BU(0.0 + g / (va + vb), PROP_ADD)
+  case 1:  BU(0.0 + g / (va - vb), PROP_SUB)
+  case 2:  BU(0.0 + g / (va * vb), PROP_MUL)
+  case 3:  BU(0.0 + g / (va / vb), PROP_DIV)
+  case 4:  BU(0.0 + g * dv[l], PROP_ADD)
+  case 5:  BU(0.0 + g * dv[l], PROP_SUB)
+  case 6:  BU(0.0 + g * dv[l], PROP_MUL)
+  case 7:  BU(0.0 + g * dv[l], PROP_DIV)
+  case 8:  BU(0.0 + g / (2.0 * dv[l]), PROP_ADD)
+  case 9:  BU(0.0 + g / (2.0 * dv[l]), PROP_SUB)
+  case 10: BU(0.0 + g / (2.0 * dv[l]), PROP_MUL)
+  default: BU(0.0 + g / (2.0 * dv[l]), PROP_DIV)
+  }
+}
+
+/* ---- entry points ---------------------------------------------------------
+ *
+ * value layout: a float array is a pointer to its unboxed doubles; an int
+ * array stores tagged immediates read with Long_val. */
+
+CAMLprim value felix_tape_fwd(value vcode, value varena, value vxs, value vout,
+                              value vinmap, value voutregs, value vcap,
+                              value vbatch, value vnin, value vnout)
+{
+  double *const arena = (double *)varena;
+  const double *xs = (const double *)vxs;
+  double *out = (double *)vout;
+  const long cap = Long_val(vcap), batch = Long_val(vbatch);
+  const long nin = Long_val(vnin), nout = Long_val(vnout);
+
+  const long nm = (long)Wosize_val(vinmap) / 2;
+  for (long j = 0; j < nm; j++) {
+    const long k = Long_val(Field(vinmap, 2 * j));
+    double *dst = arena + Long_val(Field(vinmap, 2 * j + 1)) * cap;
+    for (long l = 0; l < batch; l++) dst[l] = xs[l * nin + k];
+  }
+
+  const long nsup = (long)Wosize_val(vcode) / 12;
+  for (long s = 0; s < nsup; s++) {
+    const long w = s * 12;
+    const int op = (int)Long_val(Field(vcode, w));
+    double *d = arena + Long_val(Field(vcode, w + 1)) * cap;
+    const double *a = arena + Long_val(Field(vcode, w + 3)) * cap;
+    const double *b = arena + Long_val(Field(vcode, w + 5)) * cap;
+    if (op < 16) fwd_bin(op, d, a, b, batch);
+    else if (op < 32) fwd_un(op - 16, d, a, batch);
+    else if (op < 64)
+      fwd_sel(op - 32, d, a, b, arena + Long_val(Field(vcode, w + 7)) * cap,
+              arena + Long_val(Field(vcode, w + 9)) * cap, batch);
+    else if (op < 96)
+      fwd_bin2(op - 64, d, a, b, arena + Long_val(Field(vcode, w + 7)) * cap,
+               batch);
+    else if (op < 128)
+      fwd_bin2r(op - 96, d, a, b, arena + Long_val(Field(vcode, w + 7)) * cap,
+                batch);
+    else fwd_unbin(op - 128, d, a, b, batch);
+  }
+
+  for (long k = 0; k < nout; k++) {
+    const double *src = arena + Long_val(Field(voutregs, k)) * cap;
+    for (long l = 0; l < batch; l++) out[l * nout + k] = src[l];
+  }
+  return Val_unit;
+}
+
+CAMLprim value felix_tape_fwd_byte(value *argv, int argn)
+{
+  (void)argn;
+  return felix_tape_fwd(argv[0], argv[1], argv[2], argv[3], argv[4], argv[5],
+                        argv[6], argv[7], argv[8], argv[9]);
+}
+
+CAMLprim value felix_tape_bwd(value vcode, value varena, value vadj, value vv,
+                              value vgrad, value vinmap, value voutaregs,
+                              value vcap, value vbatch, value vnin, value vnout)
+{
+  double *const arena = (double *)varena;
+  double *const adj = (double *)vadj;
+  const double *v = (const double *)vv;
+  double *grad = (double *)vgrad;
+  const long cap = Long_val(vcap), batch = Long_val(vbatch);
+  const long nin = Long_val(vnin), nout = Long_val(vnout);
+
+  /* +0.0 is all-zero bytes: whole-arena memset equals the interpreter's
+   * per-slot Array.fill with 0.0. */
+  memset(adj, 0, (size_t)Wosize_val(vadj) * sizeof(double));
+  memset(grad, 0, (size_t)(batch * nin) * sizeof(double));
+
+  for (long k = 0; k < nout; k++) {
+    double *dst = adj + Long_val(Field(voutaregs, k)) * cap;
+    for (long l = 0; l < batch; l++) dst[l] = dst[l] + v[l * nout + k];
+  }
+
+  const long nsup = (long)Wosize_val(vcode) / 12;
+  for (long s = nsup - 1; s >= 0; s--) {
+    const long w = s * 12;
+    const int op = (int)Long_val(Field(vcode, w));
+    const double *dv = arena + Long_val(Field(vcode, w + 1)) * cap;
+    const double *dj = adj + Long_val(Field(vcode, w + 2)) * cap;
+    const double *av = arena + Long_val(Field(vcode, w + 3)) * cap;
+    double *aj = adj + Long_val(Field(vcode, w + 4)) * cap;
+    const double *bv = arena + Long_val(Field(vcode, w + 5)) * cap;
+    double *bj = adj + Long_val(Field(vcode, w + 6)) * cap;
+    if (op < 16) bwd_bin(op, dv, dj, av, aj, bv, bj, batch);
+    else if (op < 32) bwd_un(op - 16, dv, dj, av, aj, batch);
+    else if (op < 64)
+      bwd_sel(op - 32, dj, av, bv, adj + Long_val(Field(vcode, w + 8)) * cap,
+              adj + Long_val(Field(vcode, w + 10)) * cap, batch);
+    else if (op < 96)
+      bwd_bin2(op - 64, dj, av, aj, bv, bj,
+               arena + Long_val(Field(vcode, w + 7)) * cap,
+               adj + Long_val(Field(vcode, w + 8)) * cap, batch);
+    else if (op < 128)
+      bwd_bin2r(op - 96, dj, av, aj, bv, bj,
+                arena + Long_val(Field(vcode, w + 7)) * cap,
+                adj + Long_val(Field(vcode, w + 8)) * cap, batch);
+    else bwd_unbin(op - 128, dv, dj, av, aj, bv, bj, batch);
+  }
+
+  const long nm = (long)Wosize_val(vinmap) / 2;
+  for (long j = 0; j < nm; j++) {
+    const long k = Long_val(Field(vinmap, 2 * j));
+    const double *src = adj + Long_val(Field(vinmap, 2 * j + 1)) * cap;
+    for (long l = 0; l < batch; l++) {
+      const double g = src[l];
+      if (g != 0.0) grad[l * nin + k] = grad[l * nin + k] + g;
+    }
+  }
+  return Val_unit;
+}
+
+CAMLprim value felix_tape_bwd_byte(value *argv, int argn)
+{
+  (void)argn;
+  return felix_tape_bwd(argv[0], argv[1], argv[2], argv[3], argv[4], argv[5],
+                        argv[6], argv[7], argv[8], argv[9], argv[10]);
+}

@@ -5,6 +5,8 @@ type t = {
   bounds : (float * float) array;  (* log-space box *)
   feature_tape : Autodiff.Tape.t;
   penalty_tape : Autodiff.Tape.t;
+  feature_plan : Autodiff.Tape.Plan.t;  (* compiled superop plans of the *)
+  penalty_plan : Autodiff.Tape.Plan.t;  (* two tapes, compiled once here *)
   n_penalties : int;
   div_groups : (int * int list) list;  (* extent, var indices *)
   raw_constraints : Expr.cond list;
@@ -16,6 +18,8 @@ let var_names t = t.names
 let num_vars t = Array.length t.names
 let bounds_log t = t.bounds
 let num_penalties t = t.n_penalties
+let feature_plan t = t.feature_plan
+let penalty_plan t = t.penalty_plan
 
 (* x = e^y: replace every schedule variable by exp of itself; tape inputs
    are then interpreted as log-space values. *)
@@ -47,6 +51,38 @@ let rec margins_of_cond (c : Expr.cond) : Expr.t list =
 
 let c_slots_pre = Telemetry.counter Telemetry.global "features.tape_slots_pre"
 let c_slots_post = Telemetry.counter Telemetry.global "features.tape_slots_post"
+
+(* --- compiled superop plans -------------------------------------------------
+
+   Every pack eagerly carries the compiled superop plans of its two tapes
+   (Autodiff.Tape.compile_plan): descent workspaces pick the plan or the
+   interpreter at creation time via the toggle below, and plans travel with
+   the tapes through both caches so a warm hit never re-runs the plan
+   compiler. The toggle changes execution strategy only — results are
+   bitwise-identical either way — so pack digests and tuner checkpoints do
+   not depend on it. *)
+
+let plan_execution =
+  ref
+    (match Sys.getenv_opt "FELIX_NO_TAPE_PLAN" with
+    | Some ("1" | "true" | "yes") -> false
+    | Some _ | None -> true)
+
+let set_plan_execution b = plan_execution := b
+let using_plan_execution () = !plan_execution
+
+let h_tape_compile_ms = Telemetry.histogram Telemetry.global "felix.tape_compile_ms"
+let c_superops_pre = Telemetry.counter Telemetry.global "features.tape_superops_pre"
+let c_superops_post = Telemetry.counter Telemetry.global "features.tape_superops_post"
+
+let compile_plan_timed tape =
+  let t0 = Telemetry.now_s Telemetry.global in
+  let plan = Autodiff.Tape.compile_plan tape in
+  Telemetry.Histogram.observe h_tape_compile_ms
+    ((Telemetry.now_s Telemetry.global -. t0) *. 1000.0);
+  Telemetry.Counter.incr ~by:(Autodiff.Tape.Plan.source_ops plan) c_superops_pre;
+  Telemetry.Counter.incr ~by:(Autodiff.Tape.Plan.superops plan) c_superops_post;
+  plan
 
 (* The cheap, deterministic part of a pack: everything recomputable from
    (subgraph, schedule) without touching the rewriter or the tape compiler.
@@ -122,9 +158,11 @@ let compile_pack ~width ~optimize sg sched sk =
   let penalty_tape =
     optimize_tape (Autodiff.Tape.compile ~optimize:false ~inputs:name_list margins)
   in
+  let feature_plan = compile_plan_timed feature_tape in
+  let penalty_plan = compile_plan_timed penalty_tape in
   { sched; prog = sk.sk_prog; names; bounds = sk.sk_bounds; feature_tape; penalty_tape;
-    n_penalties = List.length margins; div_groups = sk.sk_div_groups;
-    raw_constraints = sched.Schedule.constraints }
+    feature_plan; penalty_plan; n_penalties = List.length margins;
+    div_groups = sk.sk_div_groups; raw_constraints = sched.Schedule.constraints }
 
 (* --- persistent (disk) cache ------------------------------------------------
 
@@ -146,7 +184,7 @@ let pack_artifact_kind = "felix-pack"
 (* Bump whenever the pack pipeline changes results or the payload layout
    changes: the version lives in the artifact envelope AND the key digest,
    so stale entries are simply never addressed again. *)
-let pack_schema_version = 1
+let pack_schema_version = 2
 
 let c_disk_hits = Telemetry.counter Telemetry.global "features.pack_cache_disk_hits"
 let c_disk_misses = Telemetry.counter Telemetry.global "features.pack_cache_disk_misses"
@@ -224,7 +262,9 @@ let payload_of_pack t =
     [ ("n_vars", Json.Num (float_of_int (Array.length t.names)));
       ("n_penalties", Json.Num (float_of_int t.n_penalties));
       ("feature_tape", Autodiff.Tape.to_json t.feature_tape);
-      ("penalty_tape", Autodiff.Tape.to_json t.penalty_tape) ]
+      ("penalty_tape", Autodiff.Tape.to_json t.penalty_tape);
+      ("feature_plan", Autodiff.Tape.Plan.to_json t.feature_plan);
+      ("penalty_plan", Autodiff.Tape.Plan.to_json t.penalty_plan) ]
 
 (* [None] on any structural mismatch — including a payload whose input
    arity disagrees with the schedule in hand, which would mean a key
@@ -239,6 +279,18 @@ let pack_of_payload sched sk payload =
   let* penalty_tape =
     Option.bind (Json.find payload "penalty_tape") Autodiff.Tape.of_json
   in
+  (* Plans ride the cache so a warm hit skips the plan compiler too; each
+     plan must agree with its tape's arity or the whole entry is rejected. *)
+  let* feature_plan =
+    Option.bind (Json.find payload "feature_plan") Autodiff.Tape.Plan.of_json
+  in
+  let* penalty_plan =
+    Option.bind (Json.find payload "penalty_plan") Autodiff.Tape.Plan.of_json
+  in
+  let plan_matches plan tape =
+    Autodiff.Tape.Plan.num_inputs plan = Autodiff.Tape.num_inputs tape
+    && Autodiff.Tape.Plan.num_outputs plan = Autodiff.Tape.num_outputs tape
+  in
   let n = Array.length sk.sk_names in
   if
     n_vars = n
@@ -246,11 +298,13 @@ let pack_of_payload sched sk payload =
     && Autodiff.Tape.num_inputs penalty_tape = n
     && n_penalties >= 0
     && Autodiff.Tape.num_outputs penalty_tape = n_penalties
+    && plan_matches feature_plan feature_tape
+    && plan_matches penalty_plan penalty_tape
   then
     Some
       { sched; prog = sk.sk_prog; names = sk.sk_names; bounds = sk.sk_bounds;
-        feature_tape; penalty_tape; n_penalties; div_groups = sk.sk_div_groups;
-        raw_constraints = sched.Schedule.constraints }
+        feature_tape; penalty_tape; feature_plan; penalty_plan; n_penalties;
+        div_groups = sk.sk_div_groups; raw_constraints = sched.Schedule.constraints }
   else None
 
 let h_prepare_ms = Telemetry.histogram Telemetry.global "felix.prepare_ms"
@@ -482,29 +536,54 @@ let penalty_value_grad_into t ws y grad =
    alone. All matrices are lane-major: row [l] of a [batch * k] array is
    candidate [l]'s vector. *)
 
+(* A batch workspace is bound to an execution strategy at creation: the
+   interpreted tape sweeps, or the compiled superop plans (the default —
+   see [plan_execution] above). Both strategies are bitwise-identical lane
+   for lane, so callers never observe which one a workspace carries. *)
+type batch_impl =
+  | Interp of Autodiff.Tape.batch_workspace * Autodiff.Tape.batch_workspace
+  | Planned of Autodiff.Tape.plan_batch_workspace * Autodiff.Tape.plan_batch_workspace
+
 type batch_workspace = {
   bws_cap : int;
-  bws_feat : Autodiff.Tape.batch_workspace;
-  bws_pen : Autodiff.Tape.batch_workspace;
+  bws_impl : batch_impl;  (* (feature, penalty) buffers *)
   bws_pen_adj : float array;  (* cap * n_penalties, lane-major *)
 }
 
 let batch_workspace t ~batch =
   if batch < 1 then invalid_arg "Pack.batch_workspace: batch must be >= 1";
-  { bws_cap = batch;
-    bws_feat = Autodiff.Tape.batch_workspace t.feature_tape ~batch;
-    bws_pen = Autodiff.Tape.batch_workspace t.penalty_tape ~batch;
+  let impl =
+    if !plan_execution then
+      Planned
+        ( Autodiff.Tape.plan_batch_workspace t.feature_plan ~batch,
+          Autodiff.Tape.plan_batch_workspace t.penalty_plan ~batch )
+    else
+      Interp
+        ( Autodiff.Tape.batch_workspace t.feature_tape ~batch,
+          Autodiff.Tape.batch_workspace t.penalty_tape ~batch )
+  in
+  { bws_cap = batch; bws_impl = impl;
     bws_pen_adj = Array.make (max 1 (batch * t.n_penalties)) 0.0
   }
 
 let batch_capacity bws = bws.bws_cap
 
+let batch_workspace_planned bws =
+  match bws.bws_impl with Planned _ -> true | Interp _ -> false
+
 let features_forward_batch t bws ~batch ys =
   Telemetry.Counter.incr ~by:batch c_feature_evals;
-  Autodiff.Tape.forward_batch_into t.feature_tape bws.bws_feat ~batch ys
+  match bws.bws_impl with
+  | Interp (feat, _) -> Autodiff.Tape.forward_batch_into t.feature_tape feat ~batch ys
+  | Planned (feat, _) ->
+    Autodiff.Tape.plan_forward_batch_into t.feature_plan feat ~batch ys
 
 let features_backward_batch t bws ~batch adj grads =
-  Autodiff.Tape.backward_batch_into t.feature_tape bws.bws_feat ~batch adj grads
+  match bws.bws_impl with
+  | Interp (feat, _) ->
+    Autodiff.Tape.backward_batch_into t.feature_tape feat ~batch adj grads
+  | Planned (feat, _) ->
+    Autodiff.Tape.plan_backward_batch_into t.feature_plan feat ~batch adj grads
 
 let penalty_value_grad_batch_into t bws ~batch ys ~grads ~values =
   if batch < 1 || batch > bws.bws_cap then
@@ -512,7 +591,12 @@ let penalty_value_grad_batch_into t bws ~batch ys ~grads ~values =
   if Array.length values < batch then
     invalid_arg "Pack.penalty_value_grad_batch_into: values arity mismatch";
   let np = t.n_penalties in
-  let margins = Autodiff.Tape.forward_batch_into t.penalty_tape bws.bws_pen ~batch ys in
+  let margins =
+    match bws.bws_impl with
+    | Interp (_, pen) -> Autodiff.Tape.forward_batch_into t.penalty_tape pen ~batch ys
+    | Planned (_, pen) ->
+      Autodiff.Tape.plan_forward_batch_into t.penalty_plan pen ~batch ys
+  in
   let adj = bws.bws_pen_adj in
   (* Per lane, the exact loop of [penalty_value_grad_into]: left-to-right
      accumulation with [max g 0.0] spelled as its branch so no float is
@@ -528,7 +612,11 @@ let penalty_value_grad_batch_into t bws ~batch ys ~grads ~values =
     done;
     values.(l) <- !value
   done;
-  Autodiff.Tape.backward_batch_into t.penalty_tape bws.bws_pen ~batch adj grads
+  match bws.bws_impl with
+  | Interp (_, pen) ->
+    Autodiff.Tape.backward_batch_into t.penalty_tape pen ~batch adj grads
+  | Planned (_, pen) ->
+    Autodiff.Tape.plan_backward_batch_into t.penalty_plan pen ~batch adj grads
 
 let round_to_valid t y =
   let n = Array.length t.names in

@@ -34,7 +34,8 @@ val prepare :
 
     [cache_dir] (default {!disk_cache}, i.e. the [FELIX_PACK_CACHE]
     environment variable) enables the persistent compilation cache: the
-    compiled tapes are stored content-addressed under the directory, keyed
+    compiled tapes and their superop plans ({!Autodiff.Tape.compile_plan})
+    are stored content-addressed under the directory, keyed
     by the subgraph's canonical workload key, the schedule fingerprint,
     [width]/[optimize] (exact bits) and the pack schema version. A hit
     skips the rewrite/compile pipeline and is bitwise-identical to a fresh
@@ -136,6 +137,12 @@ val penalty_vjp : t -> float array -> float array -> float array * float array
 
 val num_penalties : t -> int
 
+val feature_plan : t -> Autodiff.Tape.Plan.t
+(** The compiled superop plan of the feature tape (fusion statistics for
+    the bench harness; the batched workspaces execute it by default). *)
+
+val penalty_plan : t -> Autodiff.Tape.Plan.t
+
 (** {2 Fused-kernel workspaces}
 
     A [workspace] owns the tape value/adjoint buffers for this pack's
@@ -172,14 +179,34 @@ val penalty_value_grad_into : t -> workspace -> float array -> float array -> fl
     bitwise-identical to the scalar workspace kernel on that candidate
     alone, at any batch size. All matrices are lane-major rows
     ([a.(l * k + i)] is component [i] of candidate [l]). Same ownership
-    rules as {!workspace}. *)
+    rules as {!workspace}.
+
+    By default the batched sweeps execute the pack's compiled superop
+    plans ({!Autodiff.Tape.compile_plan}) through the strict-IEEE C
+    kernels; {!set_plan_execution} (or the [FELIX_NO_TAPE_PLAN]
+    environment variable) falls back to the interpreted tape sweeps. The
+    strategy is chosen when a workspace is created and both are
+    bitwise-identical lane for lane, so the toggle is unobservable in
+    results — it exists for differential testing and benchmarking. *)
+
+val set_plan_execution : bool -> unit
+(** Select compiled-plan ([true], the default) or interpreted batched
+    execution for workspaces created afterwards. Initialised to [false]
+    when [FELIX_NO_TAPE_PLAN] is [1]/[true]/[yes]. *)
+
+val using_plan_execution : unit -> bool
 
 type batch_workspace
 
 val batch_workspace : t -> batch:int -> batch_workspace
-(** Buffers for up to [batch] lanes ([batch >= 1]). *)
+(** Buffers for up to [batch] lanes ([batch >= 1]); bound to the current
+    {!using_plan_execution} strategy. *)
 
 val batch_capacity : batch_workspace -> int
+
+val batch_workspace_planned : batch_workspace -> bool
+(** Whether this workspace executes the compiled plans (for tests and the
+    bench harness). *)
 
 val features_forward_batch :
   t -> batch_workspace -> batch:int -> float array -> float array

@@ -390,6 +390,198 @@ let test_tape_batch_bitwise =
       done;
       !ok)
 
+(* --- compiled superop plans ------------------------------------------------- *)
+
+(* Richer generator than [gen_expr]: the full operator set with no numeric
+   guards, so plans are exercised through infinities and NaNs too. *)
+let gen_expr_full : Expr.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  sized_size (int_range 0 10)
+  @@ fix (fun self n ->
+      if n <= 0 then
+        oneof
+          [ map (fun f -> Expr.const (f -. 4.0)) (float_bound_inclusive 8.0);
+            map Expr.var (oneofl expr_vars) ]
+      else begin
+        let sub = self (n / 2) in
+        oneof
+          [ map2 Expr.add sub sub; map2 Expr.sub sub sub; map2 Expr.mul sub sub;
+            map2 Expr.div sub sub; map2 Expr.pow sub sub; map2 Expr.min_ sub sub;
+            map2 Expr.max_ sub sub; map Expr.neg sub; map Expr.abs_ sub;
+            map Expr.sqrt_ sub; map Expr.log_ sub; map Expr.exp_ sub;
+            map3 (fun c a b -> Expr.select (Expr.ge c Expr.zero) a b) sub sub sub ]
+      end)
+
+(* Comparison contract of the compiled plans: the portable OCaml kernels
+   are held to strict full-bit equality (NaN payloads included); under the
+   C kernels two NaNs compare equal regardless of bits, because GCC may
+   legally commute a product of two NaNs (IEEE leaves NaN sign/payload
+   unspecified) — and a NaN's sign can never propagate into a non-NaN
+   value in this operator set, so everything else is exact bits there
+   too. *)
+let plan_eq ~strict x y =
+  Int64.equal (bits x) (bits y)
+  || ((not strict) && Float.is_nan x && Float.is_nan y)
+
+let plan_eq_prefix ~strict n a b =
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    if not (plan_eq ~strict a.(i) b.(i)) then ok := false
+  done;
+  !ok
+
+let test_plan_bitwise_random =
+  qtest ~count:40 "compiled plan = interpreter (both kernel sets, B=1..128)"
+    QCheck2.Gen.(pair (list_size (int_range 1 4) gen_expr_full) (int_range 0 1_000_000))
+    (fun (exprs, seed) ->
+      let tape = Autodiff.Tape.compile ~inputs:expr_vars exprs in
+      let plan = Autodiff.Tape.compile_plan tape in
+      let n_in = 3 and n_out = List.length exprs in
+      let rng = Random.State.make [| seed |] in
+      let was = Autodiff.Tape.using_vector_kernels () in
+      Fun.protect ~finally:(fun () -> Autodiff.Tape.set_vector_kernels was)
+      @@ fun () ->
+      Autodiff.Tape.Plan.superops plan
+      = Autodiff.Tape.Plan.source_ops plan - Autodiff.Tape.Plan.fused_pairs plan
+      && List.for_all
+           (fun batch ->
+             (* Inputs and adjoints stress the edge cases: both zero signs,
+                negatives (NaN through log/sqrt/pow), large magnitudes. *)
+             let xs =
+               Array.init (batch * n_in) (fun _ ->
+                   match Random.State.int rng 10 with
+                   | 0 -> 0.0
+                   | 1 -> -0.0
+                   | 2 -> -.Random.State.float rng 8.0
+                   | 3 -> Random.State.float rng 1e6
+                   | _ -> Random.State.float rng 5.0 -. 1.0)
+             in
+             let adj =
+               Array.init (batch * n_out) (fun _ ->
+                   match Random.State.int rng 5 with
+                   | 0 -> 0.0
+                   | 1 -> -0.0
+                   | _ -> Random.State.float rng 4.0 -. 2.0)
+             in
+             let bws = Autodiff.Tape.batch_workspace tape ~batch in
+             let outs =
+               Array.copy (Autodiff.Tape.forward_batch_into tape bws ~batch xs)
+             in
+             let grads = Array.make (batch * n_in) nan in
+             Autodiff.Tape.backward_batch_into tape bws ~batch adj grads;
+             List.for_all
+               (fun vec ->
+                 let strict = not vec in
+                 Autodiff.Tape.set_vector_kernels vec;
+                 let pws = Autodiff.Tape.plan_batch_workspace plan ~batch in
+                 let pouts =
+                   Array.copy (Autodiff.Tape.plan_forward_batch_into plan pws ~batch xs)
+                 in
+                 let pgrads = Array.make (batch * n_in) nan in
+                 Autodiff.Tape.plan_backward_batch_into plan pws ~batch adj pgrads;
+                 plan_eq_prefix ~strict (batch * n_out) pouts outs
+                 && plan_eq_prefix ~strict (batch * n_in) pgrads grads)
+               [ true; false ])
+           [ 1; 3; 8; 32; 128 ])
+
+let test_plan_zero_adjoint_guard () =
+  (* A lane whose output adjoints are all (±)0.0 must leave its input
+     gradients at exactly +0.0 bits: the compiled backward keeps the
+     interpreter's [g <> 0.0] skip, even when the forward value planes
+     hold infinities or NaNs that an unguarded product would propagate. *)
+  let exprs =
+    Expr.
+      [ div (var "a") (var "b");
+        pow (var "a") (var "b");
+        mul (exp_ (var "c")) (log_ (var "a")) ]
+  in
+  let tape = Autodiff.Tape.compile ~inputs:expr_vars exprs in
+  let plan = Autodiff.Tape.compile_plan tape in
+  let batch = 6 in
+  let xs =
+    [| 1.5; 2.0; 0.5;  (* ordinary *)
+       3.0; 0.0; 1.0;  (* b = 0: infinite forward values *)
+       -2.0; 1.0; 0.25;  (* a < 0: NaN through log *)
+       0.0; 0.0; 0.0;  (* everything zero *)
+       4.0; 0.5; -1.0;  (* live lane between dead ones *)
+       1e300; 1e300; 1e300 (* overflow territory *) |]
+  in
+  let adj =
+    [| 1.0; 0.5; -0.25;
+       0.0; -0.0; 0.0;
+       0.0; 0.0; -0.0;
+       -0.0; -0.0; -0.0;
+       2.0; 0.0; -0.0;
+       0.0; 0.0; 0.0 |]
+  in
+  let bws = Autodiff.Tape.batch_workspace tape ~batch in
+  ignore (Autodiff.Tape.forward_batch_into tape bws ~batch xs);
+  let grads = Array.make (batch * 3) nan in
+  Autodiff.Tape.backward_batch_into tape bws ~batch adj grads;
+  let was = Autodiff.Tape.using_vector_kernels () in
+  Fun.protect ~finally:(fun () -> Autodiff.Tape.set_vector_kernels was)
+  @@ fun () ->
+  List.iter
+    (fun vec ->
+      Autodiff.Tape.set_vector_kernels vec;
+      let label = if vec then "simd" else "portable" in
+      let pws = Autodiff.Tape.plan_batch_workspace plan ~batch in
+      ignore (Autodiff.Tape.plan_forward_batch_into plan pws ~batch xs);
+      let pgrads = Array.make (batch * 3) nan in
+      Autodiff.Tape.plan_backward_batch_into plan pws ~batch adj pgrads;
+      Alcotest.(check bool)
+        (label ^ ": grads bitwise-equal interpreter")
+        true
+        (plan_eq_prefix ~strict:true (batch * 3) pgrads grads);
+      (* Pin the skip itself: every zero-adjoint lane extracts exactly
+         +0.0, regardless of the poison in its value planes. *)
+      List.iter
+        (fun l ->
+          for i = 0 to 2 do
+            if not (Int64.equal (bits pgrads.((l * 3) + i)) (bits 0.0)) then
+              Alcotest.failf "%s: lane %d grad %d is %h, not +0.0" label l i
+                pgrads.((l * 3) + i)
+          done)
+        [ 1; 2; 3; 5 ])
+    [ true; false ]
+
+let test_plan_json_roundtrip () =
+  let exprs =
+    Expr.
+      [ pow (add (var "a") (var "b")) (var "c");
+        log_ (add one (mul (var "a") (exp_ (var "b"))));
+        select (ge (var "c") zero) (sqrt_ (abs_ (var "a"))) (neg (var "b")) ]
+  in
+  let tape = Autodiff.Tape.compile ~inputs:expr_vars exprs in
+  let plan = Autodiff.Tape.compile_plan tape in
+  let j = Autodiff.Tape.Plan.to_json plan in
+  (match Autodiff.Tape.Plan.of_json j with
+  | None -> Alcotest.fail "roundtrip decode failed"
+  | Some p2 ->
+    Alcotest.(check bool) "roundtrip is the identity" true
+      (Autodiff.Tape.Plan.to_json p2 = j);
+    Alcotest.(check int) "source ops preserved"
+      (Autodiff.Tape.Plan.source_ops plan)
+      (Autodiff.Tape.Plan.source_ops p2);
+    Alcotest.(check int) "superops preserved"
+      (Autodiff.Tape.Plan.superops plan)
+      (Autodiff.Tape.Plan.superops p2));
+  (* Corrupt payloads decode to None, never a crash. *)
+  let tamper key v =
+    match j with
+    | Json.Obj fields ->
+      Json.Obj (List.map (fun (k, x) -> if k = key then (k, v) else (k, x)) fields)
+    | _ -> Alcotest.fail "plan json is not an object"
+  in
+  let dead j = Option.is_none (Autodiff.Tape.Plan.of_json j) in
+  Alcotest.(check bool) "garbage" true (dead (Json.Str "x"));
+  Alcotest.(check bool) "bad opcode" true
+    (dead (tamper "code" (Json.List (List.init 12 (fun _ -> Json.Num 255.0)))));
+  Alcotest.(check bool) "truncated code" true (dead (tamper "code" (Json.List [ Json.Num 0.0 ])));
+  Alcotest.(check bool) "bad const bits" true
+    (dead (tamper "consts" (Json.List [ Json.Str "zz" ])));
+  Alcotest.(check bool) "outputs missing" true (dead (tamper "out_vregs" (Json.List [])))
+
 (* --- factorize ------------------------------------------------------------- *)
 
 let test_divisors () =
@@ -466,6 +658,11 @@ let tests =
     test_tape_optimize_exact;
     test_tape_workspace_reuse;
     test_tape_batch_bitwise;
+    test_plan_bitwise_random;
+    Alcotest.test_case "compiled backward keeps the zero-adjoint skip" `Quick
+      test_plan_zero_adjoint_guard;
+    Alcotest.test_case "plan json round-trips; corrupt decodes to None" `Quick
+      test_plan_json_roundtrip;
     Alcotest.test_case "divisors" `Quick test_divisors;
     Alcotest.test_case "nearest divisor (log-space)" `Quick test_nearest_divisor;
     Alcotest.test_case "round log to divisor" `Quick test_round_log_to_divisor;

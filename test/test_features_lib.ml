@@ -277,6 +277,52 @@ let test_pack_batch_bitwise () =
         points)
     [ 1; 4; 13 ]
 
+let test_pack_plan_toggle_bitwise () =
+  (* Compiled-plan and interpreted batch workspaces must be bitwise
+     interchangeable on the same pack, at any batch size — the execution
+     strategy is unobservable in results. *)
+  let rng = Rng.create 43 in
+  let sg = conv_sg () in
+  let pack = Pack.prepare sg (List.nth (Sketch.generate sg) 1) in
+  let n = Pack.num_vars pack in
+  let bits_eq a b =
+    Array.for_all2
+      (fun x y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y))
+      a b
+  in
+  let was = Pack.using_plan_execution () in
+  Fun.protect ~finally:(fun () -> Pack.set_plan_execution was)
+  @@ fun () ->
+  List.iter
+    (fun batch ->
+      let points = Array.init batch (fun _ -> sample_valid rng pack) in
+      let ys = Array.make (batch * n) 0.0 in
+      Array.iteri (fun l y -> Array.blit y 0 ys (l * n) n) points;
+      let adj = Array.init (batch * 82) (fun j -> cos (float_of_int j)) in
+      let sweep planned =
+        Pack.set_plan_execution planned;
+        let bws = Pack.batch_workspace pack ~batch in
+        Alcotest.(check bool) "strategy honoured" planned
+          (Pack.batch_workspace_planned bws);
+        let feats =
+          Array.sub (Pack.features_forward_batch pack bws ~batch ys) 0 (batch * 82)
+        in
+        let grads = Array.make (batch * n) 0.0 in
+        Pack.features_backward_batch pack bws ~batch adj grads;
+        let pgrads = Array.make (batch * n) 0.0 in
+        let pvals = Array.make batch 0.0 in
+        Pack.penalty_value_grad_batch_into pack bws ~batch ys ~grads:pgrads
+          ~values:pvals;
+        (feats, grads, pgrads, pvals)
+      in
+      let f1, g1, pg1, pv1 = sweep true in
+      let f2, g2, pg2, pv2 = sweep false in
+      Alcotest.(check bool) "features bitwise" true (bits_eq f1 f2);
+      Alcotest.(check bool) "feature grads bitwise" true (bits_eq g1 g2);
+      Alcotest.(check bool) "penalty grads bitwise" true (bits_eq pg1 pg2);
+      Alcotest.(check bool) "penalty values bitwise" true (bits_eq pv1 pv2))
+    [ 1; 5; 32 ]
+
 let test_pack_cache_stats () =
   let get k stats = List.assoc k stats in
   let sg = dense_sg () in
@@ -366,6 +412,36 @@ let test_pack_disk_cache_corruption () =
   Alcotest.(check int) "hit counted" (get "disk_hits" mid + 1)
     (get "disk_hits" (counters ()))
 
+let test_pack_disk_warm_skips_plan_compile () =
+  (* Plans travel with the tapes through the disk cache: a warm hit must
+     not invoke the plan compiler at all. *)
+  let dir = fresh_cache_dir () in
+  Fun.protect ~finally:(fun () -> remove_tree dir) @@ fun () ->
+  let sg = dense_sg () in
+  let sched = List.hd (Sketch.generate sg) in
+  let cold = Pack.prepare ~cache_dir:dir sg sched in
+  let before = Autodiff.Tape.plan_compiles () in
+  let warm = Pack.prepare ~cache_dir:dir sg sched in
+  Alcotest.(check int) "warm hit compiles no plans" before
+    (Autodiff.Tape.plan_compiles ());
+  Alcotest.(check string) "warm pack identical" (Pack.digest cold) (Pack.digest warm);
+  (* ... and the decoded plans execute identically to the cold pack's. *)
+  let n = Pack.num_vars cold in
+  let rng = Rng.create 47 in
+  let batch = 7 in
+  let ys = Array.make (batch * n) 0.0 in
+  Array.iteri
+    (fun l y -> Array.blit y 0 ys (l * n) n)
+    (Array.init batch (fun _ -> sample_valid rng cold));
+  let run pack =
+    let bws = Pack.batch_workspace pack ~batch in
+    Array.sub (Pack.features_forward_batch pack bws ~batch ys) 0 (batch * 82)
+  in
+  Alcotest.(check bool) "decoded plan bitwise" true
+    (Array.for_all2
+       (fun x y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y))
+       (run cold) (run warm))
+
 let test_prepare_all_parallel_identity () =
   let dir = fresh_cache_dir () in
   Fun.protect ~finally:(fun () -> remove_tree dir) @@ fun () ->
@@ -435,6 +511,10 @@ let tests =
     Alcotest.test_case "pack workspace sweeps bitwise-equal" `Quick test_pack_workspace_bitwise;
     Alcotest.test_case "pack batched sweeps bitwise-equal scalar" `Quick
       test_pack_batch_bitwise;
+    Alcotest.test_case "plan toggle is bitwise-unobservable" `Quick
+      test_pack_plan_toggle_bitwise;
+    Alcotest.test_case "warm disk hit skips plan compilation" `Quick
+      test_pack_disk_warm_skips_plan_compile;
     Alcotest.test_case "prepare_cached exposes LRU counters" `Quick test_pack_cache_stats;
     Alcotest.test_case "disk cache round-trips bitwise" `Quick test_pack_disk_cache_bitwise;
     Alcotest.test_case "disk cache survives corruption" `Quick test_pack_disk_cache_corruption;

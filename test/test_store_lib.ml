@@ -336,6 +336,36 @@ let test_resume_ignores_foreign_checkpoint () =
     (resumed.Tuner.total_measurements <= reference.Tuner.total_measurements);
   remove_tree dir
 
+let test_plan_toggle_run_identical () =
+  (* Compiled-plan vs interpreted batched tape execution must be invisible
+     to a full stored tuning run: results and the persisted checkpoint
+     (model weights, RNG state, curve — all bit-strings) are identical. *)
+  let was = Pack.using_plan_execution () in
+  Fun.protect ~finally:(fun () -> Pack.set_plan_execution was)
+  @@ fun () ->
+  let checkpoint dir =
+    let s = ok_store (Store.open_dir dir) in
+    let c =
+      match Store.load_checkpoint s with
+      | Ok j -> Json.to_line j
+      | Error e -> Alcotest.failf "checkpoint: %s" (Store.error_message e)
+    in
+    Store.close s;
+    Digest.to_hex (Digest.string c)
+  in
+  Pack.set_plan_execution true;
+  let dir_on = fresh_dir () in
+  let on = run_stored ~dir:dir_on ~rounds:4 ~seed:71 Tuner.Felix in
+  Pack.clear_memory_cache ();
+  Pack.set_plan_execution false;
+  let dir_off = fresh_dir () in
+  let off = run_stored ~dir:dir_off ~rounds:4 ~seed:71 Tuner.Felix in
+  check_results_identical "plan on vs off" on off;
+  Alcotest.(check string) "checkpoint digests equal" (checkpoint dir_on)
+    (checkpoint dir_off);
+  remove_tree dir_on;
+  remove_tree dir_off
+
 let test_warm_start_saves_measurements () =
   let dir = fresh_dir () in
   let cold = run_stored ~dir ~rounds:6 ~seed:61 Tuner.Felix in
@@ -385,4 +415,6 @@ let tests =
     Alcotest.test_case "foreign checkpoint is not resumed" `Slow
       test_resume_ignores_foreign_checkpoint;
     Alcotest.test_case "warm start saves measurements" `Slow
-      test_warm_start_saves_measurements ]
+      test_warm_start_saves_measurements;
+    Alcotest.test_case "plan toggle invisible to stored runs" `Slow
+      test_plan_toggle_run_identical ]
