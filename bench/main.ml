@@ -24,7 +24,8 @@ let experiments =
     ("batch", "scalar vs lockstep SoA descent across the population", Batch.run);
     ("tape", "interpreted vs compiled superop tape sweeps", Tape.run);
     ("warmstart", "time-to-target with and without a warm tuning store", Warmstart.run);
-    ("prepare", "cold-parallel and warm-disk pack compilation", Prepare.run) ]
+    ("prepare", "cold-parallel and warm-disk pack compilation", Prepare.run);
+    ("measure", "measurement seam overhead and fault-injection grid", Measure_bench.run) ]
 
 (* --- bechamel micro-benchmarks: one per table/figure harness ----------------- *)
 
@@ -108,6 +109,7 @@ let () =
           Tape.smoke := true;
           Warmstart.smoke := true;
           Prepare.smoke := true;
+          Measure_bench.smoke := true;
           false
         end
         else true)

@@ -1,0 +1,250 @@
+(* measure: the measurement seam's overhead and its fault-injection grid.
+
+   Two questions, answered with hard gates (exit 1 on regression):
+
+   1. What does routing measurements through [Measure] cost when nothing
+      fails?  The Direct backend at rate 0 must be bitwise-identical to
+      the legacy inline [Gpu_model.measure_ms] loop, and its wall-clock
+      overhead must stay under 3% (median paired ratio). A chaos
+      wrapper with all rates zero must also be bitwise-inert.
+
+   2. What happens under faults?  A grid of fault rate {0, 0.1, 0.3} ×
+      retry budget {0, 2} measures the same candidate population and
+      reports outcome and classification counts, total attempts and the
+      simulated-time cost of the faults.
+
+   Results land in BENCH_measure.json. *)
+
+module C = Bench_common
+
+let smoke = ref false
+
+let quiet = lazy (Telemetry.create ~enabled:false ())
+
+(* Paired-ratio timing: each rep times one run of each side back-to-back
+   and records the g/f ratio; the reported overhead is the median ratio
+   over many reps. Short samples keep each pair inside one CPU-frequency
+   regime, alternating which side goes first cancels within-pair drift,
+   and the median shrugs off the multi-percent block noise of a shared
+   container that sinks min-of-reps comparisons of a ~0% effect. *)
+let time_pair reps f g =
+  ignore (Sys.opaque_identity (f ()));
+  ignore (Sys.opaque_identity (g ()));
+  let sample h =
+    let t0 = Unix.gettimeofday () in
+    ignore (Sys.opaque_identity (h ()));
+    Unix.gettimeofday () -. t0
+  in
+  let bf = ref infinity and bg = ref infinity in
+  let ratios = Array.make reps 0.0 in
+  for k = 0 to reps - 1 do
+    let tf, tg =
+      if k land 1 = 0 then
+        let tf = sample f in
+        (tf, sample g)
+      else
+        let tg = sample g in
+        (sample f, tg)
+    in
+    bf := min !bf tf;
+    bg := min !bg tg;
+    ratios.(k) <- tg /. tf
+  done;
+  Array.sort compare ratios;
+  (!bf, !bg, ratios.(reps / 2))
+
+let bits = Int64.bits_of_float
+
+type cell = {
+  rate : float;
+  retries : int;
+  ok : int;
+  timeouts : int;
+  crashes : int;
+  flaky : int;
+  deterministic : int;
+  exhausted : int;
+  attempts : int;
+  measured_attempts : int;
+  extra_s : float;
+  wall_s : float;
+}
+
+let run () =
+  let n = if !smoke then 200 else 800 in
+  let reps = if !smoke then 201 else 301 in
+  let sg =
+    Compute.lower ~name:"dense" (Op.Dense { batch = 50; in_dim = 768; out_dim = 3072 })
+  in
+  let pack = Pack.prepare sg (List.nth (Sketch.generate sg) 1) in
+  let prog = Pack.program pack in
+  let sample_rng = Rng.create 17 in
+  let requests =
+    Array.init n (fun i ->
+        let y =
+          match Dataset.sample_valid_point sample_rng pack 200 with
+          | Some y -> y
+          | None -> failwith "no valid schedule point"
+        in
+        { Measure.digest = Printf.sprintf "bench|dense|%d" i;
+          device = Device.rtx_a5000;
+          program = prog;
+          env = Pack.env_of pack y })
+  in
+  let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("FAIL: " ^ m); exit 1) fmt in
+  Printf.printf "[measure] %d requests, %d timing reps\n%!" n reps;
+
+  (* --- seam overhead at rate 0: inline loop vs Direct measurer ------------- *)
+  let inline_run () =
+    let rng = Rng.create 7 in
+    Array.map
+      (fun r -> Gpu_model.measure_ms rng r.Measure.device r.Measure.program r.Measure.env)
+      requests
+  in
+  let direct_run () =
+    let m =
+      Measure.create ~telemetry:(Lazy.force quiet) ~cache_capacity:0 Measure.Direct
+        Measure.default
+    in
+    fst (Measure.measure_batch m ~rng:(Rng.create 7) requests)
+  in
+  let legacy = inline_run () in
+  let direct = direct_run () in
+  Array.iteri
+    (fun i (r : Measure.result) ->
+      match r.Measure.outcome with
+      | Measure.Ok lat when bits lat = bits legacy.(i) -> ()
+      | _ -> fail "Direct measurer not bitwise-identical to inline loop at %d" i)
+    direct;
+  let t_inline, t_direct, ratio = time_pair reps inline_run direct_run in
+  let overhead = ratio -. 1.0 in
+  Printf.printf "[measure] inline %.1f ms, direct %.1f ms (overhead %+.2f%%)\n%!"
+    (1e3 *. t_inline) (1e3 *. t_direct) (100.0 *. overhead);
+
+  (* --- zero-rate chaos is bitwise-inert ------------------------------------ *)
+  let chaos_zero =
+    { Measure.default with
+      Measure.chaos =
+        Some
+          { Measure.chaos_seed = 5; timeout_rate = 0.0; crash_rate = 0.0;
+            hang_rate = 0.0; flaky_rate = 0.0; flaky_magnitude = 0.25 } }
+  in
+  let m0 =
+    Measure.create ~telemetry:(Lazy.force quiet) ~cache_capacity:0 Measure.Direct
+      chaos_zero
+  in
+  let zres, zcost = Measure.measure_batch m0 ~rng:(Rng.create 7) requests in
+  Array.iteri
+    (fun i (r : Measure.result) ->
+      match r.Measure.outcome with
+      | Measure.Ok lat when bits lat = bits legacy.(i) -> ()
+      | _ -> fail "zero-rate chaos not bitwise-identical to direct at %d" i)
+    zres;
+  if zcost.Measure.measured_attempts <> n || bits zcost.Measure.extra_s <> bits 0.0 then
+    fail "zero-rate chaos has a non-legacy batch cost";
+
+  (* --- the fault grid ------------------------------------------------------- *)
+  let grid =
+    List.concat_map
+      (fun rate -> List.map (fun retries -> (rate, retries)) [ 0; 2 ])
+      [ 0.0; 0.1; 0.3 ]
+  in
+  let cells =
+    List.map
+      (fun (rate, retries) ->
+        let cfg =
+          { Measure.default with
+            Measure.max_attempts = retries + 1;
+            chaos =
+              (if rate = 0.0 then None else Some (Measure.chaos_with_rate ~seed:5 rate))
+          }
+        in
+        let m =
+          Measure.create ~telemetry:(Lazy.force quiet) ~cache_capacity:0
+            Measure.Direct cfg
+        in
+        let t0 = Unix.gettimeofday () in
+        let results, cost = Measure.measure_batch m ~rng:(Rng.create 7) requests in
+        let wall_s = Unix.gettimeofday () -. t0 in
+        let count p = Array.fold_left (fun a r -> if p r then a + 1 else a) 0 results in
+        let kind k (r : Measure.result) = Measure.outcome_kind r.Measure.outcome = k in
+        { rate;
+          retries;
+          ok = count (kind "ok");
+          timeouts = count (kind "timeout");
+          crashes = count (kind "crash");
+          flaky = count (fun r -> r.Measure.classification = Measure.Flaky);
+          deterministic =
+            count (fun r -> r.Measure.classification = Measure.Deterministic);
+          exhausted = count (fun r -> r.Measure.classification = Measure.Exhausted);
+          attempts =
+            Array.fold_left (fun a (r : Measure.result) -> a + r.Measure.attempts) 0
+              results;
+          measured_attempts = cost.Measure.measured_attempts;
+          extra_s = cost.Measure.extra_s;
+          wall_s })
+      grid
+  in
+  let t =
+    Table.create ~title:"fault-injection grid"
+      ~header:
+        [ "rate"; "retries"; "ok"; "timeout"; "crash"; "flaky"; "det"; "exh";
+          "attempts"; "extra sim s" ]
+  in
+  List.iter
+    (fun c ->
+      Table.add_row t
+        [ Printf.sprintf "%.1f" c.rate; string_of_int c.retries; string_of_int c.ok;
+          string_of_int c.timeouts; string_of_int c.crashes; string_of_int c.flaky;
+          string_of_int c.deterministic; string_of_int c.exhausted;
+          string_of_int c.attempts; Printf.sprintf "%.1f" c.extra_s ])
+    cells;
+  Table.print t;
+
+  (* --- artifact -------------------------------------------------------------- *)
+  let cell_json c =
+    Json.Obj
+      [ ("rate", Json.Num c.rate); ("retries", Json.Num (float_of_int c.retries));
+        ("ok", Json.Num (float_of_int c.ok));
+        ("timeouts", Json.Num (float_of_int c.timeouts));
+        ("crashes", Json.Num (float_of_int c.crashes));
+        ("flaky", Json.Num (float_of_int c.flaky));
+        ("deterministic", Json.Num (float_of_int c.deterministic));
+        ("exhausted", Json.Num (float_of_int c.exhausted));
+        ("attempts", Json.Num (float_of_int c.attempts));
+        ("measured_attempts", Json.Num (float_of_int c.measured_attempts));
+        ("extra_sim_s", Json.Num c.extra_s); ("wall_s", Json.Num c.wall_s) ]
+  in
+  let oc = open_out "BENCH_measure.json" in
+  output_string oc
+    (Json.to_string
+       (Json.Obj
+          [ ("requests", Json.Num (float_of_int n));
+            ("reps", Json.Num (float_of_int reps));
+            ("inline_s", Json.Num t_inline); ("direct_s", Json.Num t_direct);
+            ("overhead", Json.Num overhead);
+            ("grid", Json.List (List.map cell_json cells)) ]));
+  output_string oc "\n";
+  close_out oc;
+  print_endline "wrote BENCH_measure.json";
+
+  (* --- gates ------------------------------------------------------------------ *)
+  if overhead > 0.03 then
+    fail "measurement seam overhead %.2f%% exceeds 3%%" (100.0 *. overhead);
+  List.iter
+    (fun c ->
+      if c.rate = 0.0 then begin
+        if c.ok <> n || c.attempts <> n then
+          fail "rate-0 cell (retries %d) is not fault-free" c.retries;
+        if bits c.extra_s <> bits 0.0 then
+          fail "rate-0 cell (retries %d) has nonzero extra cost" c.retries
+      end
+      else begin
+        if c.timeouts + c.crashes + c.flaky = 0 then
+          fail "rate-%.1f cell (retries %d) injected no faults" c.rate c.retries;
+        if c.retries > 0 && c.attempts <= n then
+          fail "rate-%.1f cell with retries made no retry attempts" c.rate
+      end)
+    cells;
+  Printf.printf "[measure] OK: bitwise-inert at rate 0, overhead %+.2f%% (gate 3%%)\n%!"
+    (100.0 *. overhead)

@@ -91,6 +91,57 @@ let gd_batch_arg =
                  to the FELIX_BATCH environment variable (else 1). Results are \
                  bit-identical at any value.")
 
+(* Measurement-policy flags; env-variable fallbacks mirror FELIX_JOBS:
+   unset, empty or unparsable means the built-in default. Range errors are
+   caught by Tuner.validate's typed Invalid_config path, not here. *)
+let env_float name =
+  Option.bind (Sys.getenv_opt name) (fun s -> float_of_string_opt (String.trim s))
+
+let env_int name =
+  Option.bind (Sys.getenv_opt name) (fun s -> int_of_string_opt (String.trim s))
+
+let measure_timeout_arg =
+  let default =
+    Option.value (env_float "FELIX_MEASURE_TIMEOUT")
+      ~default:Measure.default.Measure.timeout_s
+  in
+  Arg.(value & opt float default
+       & info [ "measure-timeout" ] ~docv:"SECONDS"
+           ~doc:"Per-measurement deadline in simulated seconds; a timed-out \
+                 attempt costs this much tuning time. Defaults to the \
+                 FELIX_MEASURE_TIMEOUT environment variable (else 5).")
+
+let measure_retries_arg =
+  let default =
+    Option.value (env_int "FELIX_MEASURE_RETRIES")
+      ~default:(Measure.default.Measure.max_attempts - 1)
+  in
+  Arg.(value & opt int default
+       & info [ "measure-retries" ] ~docv:"N"
+           ~doc:"Retry a failed measurement up to $(docv) more times (total \
+                 attempts $(docv)+1) with exponential backoff; a candidate that \
+                 fails identically twice is classified deterministic and not \
+                 retried again. Defaults to the FELIX_MEASURE_RETRIES \
+                 environment variable (else 2).")
+
+let chaos_arg =
+  let default = Option.value (env_float "FELIX_MEASURE_CHAOS") ~default:0.0 in
+  Arg.(value & opt float default
+       & info [ "chaos" ] ~docv:"RATE"
+           ~doc:"Inject measurement faults deterministically at total rate \
+                 $(docv) in [0, 1], split evenly across timeouts, crashes, \
+                 hangs and flaky noise; the fault schedule is keyed on the \
+                 candidate digest and the search seed, so runs with equal \
+                 seeds see identical faults. 0 (the default, or the \
+                 FELIX_MEASURE_CHAOS environment variable) disables injection.")
+
+let measure_of ~timeout ~retries ~chaos ~seed =
+  { Measure.default with
+    Measure.timeout_s = timeout;
+    max_attempts = retries + 1;
+    chaos =
+      (if chaos <> 0.0 then Some (Measure.chaos_with_rate ~seed chaos) else None) }
+
 let out_arg =
   Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"PREFIX"
          ~doc:"Write PREFIX.csv (progress curve) and PREFIX.json (summary).")
@@ -153,12 +204,12 @@ let pack_cache_arg =
    invocation record that [resume] replays: the shared Serve.Job codec
    means the three paths cannot drift apart. *)
 let spec_of ~net ~device ~rounds ~batch ~seed ~quick ~engine ~jobs ~gd_batch
-    ~deadline ~store_dir ~pack_cache =
+    ~measure ~deadline ~store_dir ~pack_cache =
   let search = config_of_quick quick rounds in
   let run =
     Tuning_config.(
       builder |> with_search search |> with_seed seed |> with_jobs jobs
-      |> with_batch gd_batch)
+      |> with_batch gd_batch |> with_measurer measure)
   in
   let run =
     match pack_cache with
@@ -235,18 +286,22 @@ let execute_tune ?store_dir (spec : Serve.Job.spec) out trace metrics =
       Printf.printf "wrote %s.csv and %s.json\n" prefix prefix
 
 let tune_cmd =
-  let run net device rounds batch seed quick engine jobs gd_batch store_dir pack_cache
-      out trace metrics =
+  let run net device rounds batch seed quick engine jobs gd_batch measure_timeout
+      measure_retries chaos store_dir pack_cache out trace metrics =
+    let measure =
+      measure_of ~timeout:measure_timeout ~retries:measure_retries ~chaos ~seed
+    in
     let spec =
       spec_of ~net ~device ~rounds ~batch ~seed ~quick ~engine ~jobs ~gd_batch
-        ~deadline:None ~store_dir:None ~pack_cache
+        ~measure ~deadline:None ~store_dir:None ~pack_cache
     in
     execute_tune ?store_dir spec out trace metrics
   in
   Cmd.v (Cmd.info "tune" ~doc:"Tune a network's schedules for a device.")
     Term.(const run $ network_arg $ device_arg $ rounds_arg $ batch_arg $ seed_arg
-          $ quick_arg $ engine_arg $ jobs_arg $ gd_batch_arg $ store_arg
-          $ pack_cache_arg $ out_arg $ trace_arg $ metrics_arg)
+          $ quick_arg $ engine_arg $ jobs_arg $ gd_batch_arg $ measure_timeout_arg
+          $ measure_retries_arg $ chaos_arg $ store_arg $ pack_cache_arg $ out_arg
+          $ trace_arg $ metrics_arg)
 
 (* Optional parallelism overrides for [resume]: omitted flags keep the
    recorded invocation's values (results are invariant either way). *)
@@ -400,13 +455,17 @@ let submit_cmd =
              ~doc:"With $(b,--wait): write the finished job's result artifact to \
                    $(docv) (byte-identical to $(b,tune -o)'s JSON).")
   in
-  let run net device rounds batch seed quick engine jobs gd_batch store_dir deadline
-      socket wait out =
+  let run net device rounds batch seed quick engine jobs gd_batch measure_timeout
+      measure_retries chaos store_dir deadline socket wait out =
     (* The pack cache is daemon-side state (serve --pack-cache), not part of
-       the job spec: submitted jobs share whatever cache the daemon mounts. *)
+       the job spec: submitted jobs share whatever cache the daemon mounts.
+       The measurement policy *is* job state: it rides the spec codec. *)
+    let measure =
+      measure_of ~timeout:measure_timeout ~retries:measure_retries ~chaos ~seed
+    in
     let spec =
       spec_of ~net ~device ~rounds ~batch ~seed ~quick ~engine ~jobs ~gd_batch
-        ~deadline ~store_dir ~pack_cache:None
+        ~measure ~deadline ~store_dir ~pack_cache:None
     in
     with_client socket @@ fun c ->
     match Serve.Client.submit c spec with
@@ -431,8 +490,9 @@ let submit_cmd =
   Cmd.v
     (Cmd.info "submit" ~doc:"Submit a tuning job to a running service.")
     Term.(const run $ network_arg $ device_arg $ rounds_arg $ batch_arg $ seed_arg
-          $ quick_arg $ engine_arg $ jobs_arg $ gd_batch_arg $ store_arg
-          $ deadline_arg $ socket_arg $ wait_arg $ result_out_arg)
+          $ quick_arg $ engine_arg $ jobs_arg $ gd_batch_arg $ measure_timeout_arg
+          $ measure_retries_arg $ chaos_arg $ store_arg $ deadline_arg $ socket_arg
+          $ wait_arg $ result_out_arg)
 
 let job_id_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"JOB"
@@ -496,6 +556,8 @@ let store_cmd =
         let st = Store.stats store in
         let t = Table.create ~title:("store " ^ dir) ~header:[ "field"; "value" ] in
         Table.add_row t [ "records"; string_of_int st.Store.records ];
+        Table.add_row t [ "failed measurements"; string_of_int st.Store.failures ];
+        Table.add_row t [ "retried measurements"; string_of_int st.Store.retried ];
         Table.add_row t [ "runs started"; string_of_int st.Store.runs_started ];
         Table.add_row t [ "runs completed"; string_of_int st.Store.runs_completed ];
         Table.add_row t [ "devices"; String.concat ", " st.Store.devices ];

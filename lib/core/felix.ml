@@ -1,5 +1,6 @@
 module Runtime = Runtime
 module Tuning_config = Tuning_config
+module Measure = Measure
 module Store = Store
 module Serve = Serve
 

@@ -28,6 +28,12 @@ module Tuning_config = Tuning_config
     ([Tuning_config.(builder |> with_rounds 32 |> with_jobs 4)]),
     re-exported for the same reason. *)
 
+module Measure = Measure
+(** The pluggable measurement subsystem (backends, outcome taxonomy,
+    retry policy, deterministic fault injection), re-exported so façade
+    users can write
+    [Felix.Tuning_config.with_measurer { Felix.Measure.default with ... }]. *)
+
 module Store = Store
 (** The durable tuning store (journal + checkpoints + versioned
     artifacts), re-exported so façade users can write

@@ -1,0 +1,409 @@
+(* The measurement seam. Two invariants carry the whole design:
+
+   1. No-fault requests consume exactly the tuning-RNG values the legacy
+      inline path (Gpu_model.measure_ms / finish_measure_ms in candidate
+      order) would — one gaussian per finite base, none otherwise — so the
+      Direct default is bitwise-identical to pre-measurer tuner output.
+
+   2. Chaos fault decisions never touch the tuning RNG. Each (digest,
+      attempt) pair addresses a private SplitMix64 substream derived from
+      the chaos seed and an FNV-1a hash of the digest, so the fault
+      schedule is a pure function of the configuration and the digests —
+      independent of request order, batching and parallelism — and a
+      resumed run replays the exact faults of the uninterrupted one. *)
+
+type request = {
+  digest : string;
+  device : Device.t;
+  program : Loop_ir.t;
+  env : Eval.env;
+}
+
+type outcome = Ok of float | Timeout | Crash of string | Invalid
+
+let latency_ms = function Ok l -> l | Timeout | Crash _ | Invalid -> Float.infinity
+
+let outcome_kind = function
+  | Ok _ -> "ok"
+  | Timeout -> "timeout"
+  | Crash _ -> "crash"
+  | Invalid -> "invalid"
+
+type classification = First_try | Flaky | Deterministic | Exhausted
+
+let classification_name = function
+  | First_try -> "first-try"
+  | Flaky -> "flaky"
+  | Deterministic -> "deterministic"
+  | Exhausted -> "exhausted"
+
+type result = {
+  outcome : outcome;
+  attempts : int;
+  classification : classification;
+  from_cache : bool;
+}
+
+(* --- configuration ---------------------------------------------------------- *)
+
+type chaos = {
+  chaos_seed : int;
+  timeout_rate : float;
+  crash_rate : float;
+  hang_rate : float;
+  flaky_rate : float;
+  flaky_magnitude : float;
+}
+
+let chaos_with_rate ?(seed = 0) rate =
+  let quarter = rate /. 4.0 in
+  { chaos_seed = seed; timeout_rate = quarter; crash_rate = quarter;
+    hang_rate = quarter; flaky_rate = quarter; flaky_magnitude = 0.25 }
+
+type config = {
+  timeout_s : float;
+  max_attempts : int;
+  backoff_s : float;
+  chaos : chaos option;
+}
+
+let default = { timeout_s = 5.0; max_attempts = 3; backoff_s = 0.25; chaos = None }
+
+let validate c =
+  let pos_finite v = Float.is_finite v && v > 0.0 in
+  let nonneg_finite v = Float.is_finite v && v >= 0.0 in
+  let rate v = Float.is_finite v && v >= 0.0 && v <= 1.0 in
+  let checks =
+    [ (pos_finite c.timeout_s, "measure timeout_s must be finite and > 0");
+      (c.max_attempts >= 1, "measure max_attempts must be >= 1");
+      (nonneg_finite c.backoff_s, "measure backoff_s must be finite and >= 0") ]
+    @ (match c.chaos with
+      | None -> []
+      | Some ch ->
+        [ (rate ch.timeout_rate, "chaos timeout_rate must be in [0, 1]");
+          (rate ch.crash_rate, "chaos crash_rate must be in [0, 1]");
+          (rate ch.hang_rate, "chaos hang_rate must be in [0, 1]");
+          (rate ch.flaky_rate, "chaos flaky_rate must be in [0, 1]");
+          ( rate (ch.timeout_rate +. ch.crash_rate +. ch.hang_rate +. ch.flaky_rate),
+            "chaos fault rates must sum to <= 1" );
+          ( Float.is_finite ch.flaky_magnitude
+            && ch.flaky_magnitude >= 0.0
+            && ch.flaky_magnitude < 1.0,
+            "chaos flaky_magnitude must be in [0, 1)" ) ])
+  in
+  match List.find_opt (fun (ok, _) -> not ok) checks with
+  | Some (_, msg) -> Stdlib.Error msg
+  | None -> Stdlib.Ok ()
+
+(* Codec: floats as IEEE-754 bit strings, like every other persistent
+   float in the system (Store.Bits), so a decoded config is bit-identical
+   to the encoded one and can participate in checkpoint identity. *)
+
+let config_to_json c =
+  let f v = Json.Str (Store.Bits.of_float v) in
+  let i v = Json.Num (float_of_int v) in
+  let chaos =
+    match c.chaos with
+    | None -> Json.Null
+    | Some ch ->
+      Json.Obj
+        [ ("seed", i ch.chaos_seed); ("timeout_rate", f ch.timeout_rate);
+          ("crash_rate", f ch.crash_rate); ("hang_rate", f ch.hang_rate);
+          ("flaky_rate", f ch.flaky_rate); ("flaky_magnitude", f ch.flaky_magnitude) ]
+  in
+  Json.Obj
+    [ ("timeout_s", f c.timeout_s); ("max_attempts", i c.max_attempts);
+      ("backoff_s", f c.backoff_s); ("chaos", chaos) ]
+
+exception Codec of string
+
+let config_of_json j =
+  let field k = match Json.find j k with Some v -> v | None -> raise (Codec k) in
+  let int_field j k =
+    match Option.bind (Json.find j k) Json.as_int with
+    | Some v -> v
+    | None -> raise (Codec k)
+  in
+  let bits_field j k =
+    match Option.bind (Option.bind (Json.find j k) Json.as_string) Store.Bits.to_float with
+    | Some v -> v
+    | None -> raise (Codec k)
+  in
+  try
+    let chaos =
+      match field "chaos" with
+      | Json.Null -> None
+      | cj ->
+        Some
+          { chaos_seed = int_field cj "seed";
+            timeout_rate = bits_field cj "timeout_rate";
+            crash_rate = bits_field cj "crash_rate";
+            hang_rate = bits_field cj "hang_rate";
+            flaky_rate = bits_field cj "flaky_rate";
+            flaky_magnitude = bits_field cj "flaky_magnitude" }
+    in
+    Stdlib.Ok
+      { timeout_s = bits_field j "timeout_s";
+        max_attempts = int_field j "max_attempts";
+        backoff_s = bits_field j "backoff_s";
+        chaos }
+  with Codec k ->
+    Stdlib.Error (Printf.sprintf "measure config: missing or malformed field %S" k)
+
+let config_equal a b = config_to_json a = config_to_json b
+
+(* --- the measurer ----------------------------------------------------------- *)
+
+type backend = Direct | Pool of Runtime.t
+
+type t = {
+  backend : backend;
+  cfg : config;
+  cache : (string, result) Runtime.Lru.t option;  (* digest -> final outcome *)
+  c_requests : Telemetry.Counter.t;
+  c_attempts : Telemetry.Counter.t;
+  c_retries : Telemetry.Counter.t;
+  c_ok : Telemetry.Counter.t;
+  c_timeouts : Telemetry.Counter.t;
+  c_crashes : Telemetry.Counter.t;
+  c_invalid : Telemetry.Counter.t;
+  c_flaky : Telemetry.Counter.t;
+  c_recovered : Telemetry.Counter.t;
+  c_deterministic : Telemetry.Counter.t;
+  c_exhausted : Telemetry.Counter.t;
+  c_cache_hits : Telemetry.Counter.t;
+  h_latency : Telemetry.Histogram.t;
+  h_attempts : Telemetry.Histogram.t;
+}
+
+let create ?(telemetry = Telemetry.global) ?(cache_capacity = 4096) backend cfg =
+  { backend;
+    cfg;
+    cache =
+      (if cache_capacity > 0 then
+         Some (Runtime.Lru.create ~capacity:cache_capacity ())
+       else None);
+    c_requests = Telemetry.counter telemetry "measure.requests";
+    c_attempts = Telemetry.counter telemetry "measure.attempts";
+    c_retries = Telemetry.counter telemetry "measure.retries";
+    c_ok = Telemetry.counter telemetry "measure.ok";
+    c_timeouts = Telemetry.counter telemetry "measure.timeouts";
+    c_crashes = Telemetry.counter telemetry "measure.crashes";
+    c_invalid = Telemetry.counter telemetry "measure.invalid";
+    c_flaky = Telemetry.counter telemetry "measure.flaky_injected";
+    c_recovered = Telemetry.counter telemetry "measure.recovered";
+    c_deterministic = Telemetry.counter telemetry "measure.deterministic";
+    c_exhausted = Telemetry.counter telemetry "measure.exhausted";
+    c_cache_hits = Telemetry.counter telemetry "measure.cache_hits";
+    h_latency = Telemetry.histogram telemetry "measure.latency_ms";
+    h_attempts = Telemetry.histogram telemetry "measure.attempts_per_request" }
+
+let config t = t.cfg
+let backend_name t = match t.backend with Direct -> "direct" | Pool _ -> "pool"
+
+type batch_cost = { measured_attempts : int; extra_s : float }
+
+let zero_cost = { measured_attempts = 0; extra_s = 0.0 }
+
+(* --- fault injection -------------------------------------------------------- *)
+
+(* 64-bit FNV-1a of the digest: a stable, platform-independent address of
+   the request inside the chaos RNG's substream space. *)
+let fnv64 s =
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun ch -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code ch))) prime)
+    s;
+  !h
+
+type fault = No_fault | F_timeout | F_crash | F_hang | F_flaky of float
+
+(* One decision per (digest, attempt), independent of everything else. *)
+let fault_for ch ~digest ~attempt =
+  let idx = Int64.to_int (Int64.logand (fnv64 digest) 0x3FFFFFFFFFFFFFFFL) in
+  let r = Rng.substream (Rng.substream (Rng.create ch.chaos_seed) idx) attempt in
+  let u = Rng.uniform r in
+  let t1 = ch.timeout_rate in
+  let t2 = t1 +. ch.crash_rate in
+  let t3 = t2 +. ch.hang_rate in
+  let t4 = t3 +. ch.flaky_rate in
+  if u < t1 then F_timeout
+  else if u < t2 then F_crash
+  else if u < t3 then F_hang
+  else if u < t4 then
+    F_flaky (1.0 +. (ch.flaky_magnitude *. ((2.0 *. Rng.uniform r) -. 1.0)))
+  else No_fault
+
+let crash_message digest =
+  Printf.sprintf "injected device fault %016Lx" (fnv64 digest)
+
+(* Two consecutive failures that look the same are a deterministic
+   failure: retrying cannot help. Crash messages are keyed on the digest
+   (not the attempt), so a genuinely broken candidate fails fast. *)
+let same_failure a b =
+  match (a, b) with
+  | Timeout, Timeout -> true
+  | Invalid, Invalid -> true
+  | Crash m1, Crash m2 -> m1 = m2
+  | _ -> false
+
+(* --- the retry loop --------------------------------------------------------- *)
+
+(* Measure one request given its (deterministic) noiseless base latency,
+   accumulating its simulated-time cost into [meas]/[extra] (out-refs so
+   the no-fault fast path returns only the result, with no tuple or boxed
+   float per request). The base is computed once: the simulator is
+   deterministic, so a retry re-runs only the parts that can change
+   (noise, faults).
+
+   RNG discipline: only clean and flaky attempts call finish_measure_ms
+   (one gaussian when the base is finite; none — plus a sim.invalid count
+   — when it is not, exactly like the legacy path). Timed-out and crashed
+   attempts consume nothing from [rng]. *)
+let run_one t rng ~base ~meas ~extra digest =
+  let cfg = t.cfg in
+  let rec attempt_loop attempt prev =
+    Telemetry.Counter.incr t.c_attempts;
+    if attempt > 1 then Telemetry.Counter.incr t.c_retries;
+    let fault =
+      match cfg.chaos with
+      | Some ch when Float.is_finite base -> fault_for ch ~digest ~attempt
+      | _ -> No_fault
+    in
+    match fault with
+    | No_fault | F_flaky _ -> (
+      let lat = Gpu_model.finish_measure_ms rng base in
+      if Float.is_finite lat then begin
+        let lat =
+          match fault with
+          | F_flaky f ->
+            Telemetry.Counter.incr t.c_flaky;
+            lat *. f
+          | _ -> lat
+        in
+        Telemetry.Counter.incr t.c_ok;
+        Telemetry.Histogram.observe t.h_latency lat;
+        let classification =
+          if attempt = 1 then First_try
+          else begin
+            Telemetry.Counter.incr t.c_recovered;
+            Flaky
+          end
+        in
+        incr meas;
+        { outcome = Ok lat; attempts = attempt; classification; from_cache = false }
+      end
+      else begin
+        (* Invalid schedule: the failure is a property of the candidate,
+           never retried (also keeps the no-chaos path's RNG and clock
+           identical to legacy regardless of max_attempts). *)
+        Telemetry.Counter.incr t.c_invalid;
+        Telemetry.Counter.incr t.c_deterministic;
+        incr meas;
+        { outcome = Invalid; attempts = attempt; classification = Deterministic;
+          from_cache = false }
+      end)
+    | F_timeout | F_hang ->
+      (* A hang runs into the deadline; both cost the full timeout. *)
+      Telemetry.Counter.incr t.c_timeouts;
+      extra := !extra +. cfg.timeout_s;
+      settle_failure attempt prev Timeout
+    | F_crash ->
+      (* The candidate compiled and started running before dying: one
+         measurement's worth of simulated time was spent. *)
+      Telemetry.Counter.incr t.c_crashes;
+      incr meas;
+      settle_failure attempt prev (Crash (crash_message digest))
+  and settle_failure attempt prev outcome =
+    let deterministic =
+      match prev with Some p -> same_failure p outcome | None -> false
+    in
+    if deterministic then begin
+      Telemetry.Counter.incr t.c_deterministic;
+      { outcome; attempts = attempt; classification = Deterministic;
+        from_cache = false }
+    end
+    else if attempt >= cfg.max_attempts then begin
+      Telemetry.Counter.incr t.c_exhausted;
+      { outcome; attempts = attempt; classification = Exhausted; from_cache = false }
+    end
+    else begin
+      let backoff = cfg.backoff_s *. (2.0 ** float_of_int (attempt - 1)) in
+      extra := !extra +. backoff;
+      attempt_loop (attempt + 1) (Some outcome)
+    end
+  in
+  attempt_loop 1 None
+
+(* --- batches ---------------------------------------------------------------- *)
+
+let dummy_result =
+  { outcome = Invalid; attempts = 0; classification = Deterministic; from_cache = false }
+
+let measure_batch t ~rng ?with_base requests =
+  let n = Array.length requests in
+  Telemetry.Counter.incr ~by:n t.c_requests;
+  let results = Array.make n dummy_result in
+  let meas = ref 0 in
+  let extra = ref 0.0 in
+  (* Noise, faults and retries happen here, in request order on the
+     caller's RNG stream, whichever backend computed the base. Every index
+     is either a cache hit or joined, so the placeholder never escapes. *)
+  let join i req base =
+    let r = run_one t rng ~base ~meas ~extra req.digest in
+    Telemetry.Histogram.observe t.h_attempts (float_of_int r.attempts);
+    (match t.cache with Some c -> Runtime.Lru.add c req.digest r | None -> ());
+    results.(i) <- r
+  in
+  let cache_hit req =
+    match t.cache with
+    | None -> None
+    | Some c -> Runtime.Lru.find_opt c req.digest
+  in
+  (match t.backend with
+  | Direct ->
+    (* One fused pass, the exact shape of the legacy inline loop (the
+       base is RNG-free, so fusing base and noise per request draws the
+       same stream as the staged Pool join below). Kept allocation-light:
+       this path must cost ~nothing over calling Gpu_model.measure_ms. *)
+    for i = 0 to n - 1 do
+      let req = requests.(i) in
+      match cache_hit req with
+      | Some r ->
+        Telemetry.Counter.incr t.c_cache_hits;
+        results.(i) <- { r with from_cache = true }
+      | None ->
+        let base = Gpu_model.measure_base_ms req.device req.program req.env in
+        (match with_base with
+        | Some f when Float.is_finite base -> f i base
+        | _ -> ());
+        join i req base
+    done
+  | Pool rt ->
+    (* Outcome-cache hits are settled first and consume nothing; the
+       noiseless bases of the misses — the expensive, RNG-free half —
+       fan out across the domain pool, memoised under the digest. *)
+    let misses = ref [] in
+    Array.iteri
+      (fun i req ->
+        match cache_hit req with
+        | Some r ->
+          Telemetry.Counter.incr t.c_cache_hits;
+          results.(i) <- { r with from_cache = true }
+        | None -> misses := (i, req) :: !misses)
+      requests;
+    let fresh = Array.of_list (List.rev !misses) in
+    let base_of (i, req) =
+      let base =
+        Gpu_model.measure_base_ms ~cache:(Runtime.sim_cache rt) ~key:req.digest
+          req.device req.program req.env
+      in
+      (match with_base with
+      | Some f when Float.is_finite base -> f i base
+      | _ -> ());
+      base
+    in
+    let bases = Runtime.parallel_map rt base_of fresh in
+    Array.iteri (fun j (i, req) -> join i req bases.(j)) fresh);
+  (results, { measured_attempts = !meas; extra_s = !extra })

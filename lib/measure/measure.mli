@@ -1,0 +1,193 @@
+(** Pluggable measurement subsystem: the seam between {e deciding what to
+    measure} and {e obtaining a measurement}.
+
+    On real hardware, candidate measurements crash, hang, time out and
+    return flaky numbers; AutoTVM's builder/runner split and RPC measurer
+    exist to absorb exactly those failure modes. A {!t} (a "measurer")
+    owns the measure step end-to-end so every future backend — remote
+    workers, real devices — plugs in behind one typed interface, and so
+    the failure handling (deadline, retry, classification, caching) can be
+    tested today against the simulator.
+
+    A {!request} travels through a {!backend}:
+
+    - {!Direct} — today's in-process simulator path and the default;
+      bitwise-identical to calling {!Gpu_model.measure_ms} inline;
+    - {!Pool} — fans a batch's noiseless base measurements across the
+      {!Runtime} domain pool (memoised in the runtime's simulator cache),
+      applying measurement noise at the join in request order, so results
+      are bit-identical to {!Direct} at any domain count. The configured
+      [timeout_s] is the per-request deadline: an attempt that exceeds it
+      (today only via injected hangs; on real hardware, via a wall-clock
+      watchdog) is cut off and reported as {!Timeout}.
+
+    Either backend can be wrapped in {e chaos}: a deterministic
+    fault-injecting layer keyed on the request digest and a seeded RNG
+    substream (see {!chaos}) that injects timeouts, crashes, hangs
+    (infinite latencies, cut off at the deadline) and flaky multiplicative
+    noise at configured rates.
+
+    The outcome of a request is typed ({!outcome}), produced under a
+    retry/backoff policy — at most [max_attempts] tries, exponential
+    backoff in {e simulated} time, and flaky-vs-deterministic
+    classification: a request that fails identically twice in a row is
+    classified {!Deterministic} and not retried again — with a
+    digest-keyed outcome cache layered on top.
+
+    Determinism contract: with [chaos = None] (any backend) a request
+    consumes exactly the tuning-RNG values the legacy inline path would,
+    so tuner results are bit-identical to pre-measurer code. Fault
+    decisions never touch the tuning RNG — they are drawn from a private
+    substream addressed by [(digest, attempt)] — so a chaos run is a pure
+    function of [(chaos seed, rates, request digests)], independent of
+    request order, batch boundaries and parallelism. *)
+
+(** {1 Requests and outcomes} *)
+
+type request = {
+  digest : string;
+      (** canonical identity of the candidate measurement: must cover
+          device, workload and schedule assignment (the tuner uses
+          [device|workload|schedule-key]). Keys the outcome cache, the
+          pool's simulator memo and every chaos fault decision. *)
+  device : Device.t;
+  program : Loop_ir.t;
+  env : Eval.env;  (** schedule-variable assignment *)
+}
+
+type outcome =
+  | Ok of float  (** measured latency in ms *)
+  | Timeout  (** the attempt exceeded the per-request deadline *)
+  | Crash of string  (** the worker died; the message is the diagnostic *)
+  | Invalid  (** the schedule itself is invalid (infinite base latency) *)
+
+val latency_ms : outcome -> float
+(** [Ok l -> l]; every failure is [infinity] (the tuner's dedup tables
+    store failures at infinite latency, like invalid schedules today). *)
+
+val outcome_kind : outcome -> string
+(** Stable identifier: ["ok"], ["timeout"], ["crash"], ["invalid"]. *)
+
+(** How a request's final outcome was reached. *)
+type classification =
+  | First_try  (** succeeded on attempt 1 *)
+  | Flaky  (** failed at least once, then succeeded on a retry *)
+  | Deterministic
+      (** failed identically twice in a row (or the schedule is
+          {!Invalid}): retrying cannot help, so the measurer stops early *)
+  | Exhausted  (** ran out of attempts with non-identical failures *)
+
+val classification_name : classification -> string
+
+type result = {
+  outcome : outcome;
+  attempts : int;  (** attempts actually made (>= 1; cached hits keep the
+                       original count) *)
+  classification : classification;
+  from_cache : bool;  (** served from the outcome cache: no simulator or
+                          RNG activity *)
+}
+
+(** {1 Configuration} *)
+
+(** Deterministic fault injection. Each attempt of each request draws one
+    decision from [Rng.substream (Rng.substream (create seed) hash(digest))
+    attempt] and partitions it by the four rates (their sum must be
+    <= 1): timeout, crash, hang and flaky multiplicative noise (a factor
+    uniform in [1 ± flaky_magnitude]). Keying on the digest rather than
+    on arrival order is what keeps parallel and resumed runs
+    deterministic: the fault schedule of a candidate does not depend on
+    when, where or with which batch it is measured. *)
+type chaos = {
+  chaos_seed : int;
+  timeout_rate : float;
+  crash_rate : float;
+  hang_rate : float;  (** hangs run into the deadline: reported {!Timeout} *)
+  flaky_rate : float;
+  flaky_magnitude : float;  (** relative magnitude of flaky noise, in [0, 1) *)
+}
+
+val chaos_with_rate : ?seed:int -> float -> chaos
+(** [chaos_with_rate r] splits a total fault rate [r] (in [0, 1]) evenly
+    across the four fault classes, with [flaky_magnitude = 0.25] and
+    [seed] defaulting to 0 — the CLI's [--chaos r]. *)
+
+type config = {
+  timeout_s : float;
+      (** per-request deadline in simulated seconds; a timed-out attempt
+          costs this much simulated time *)
+  max_attempts : int;  (** >= 1; total tries including the first *)
+  backoff_s : float;
+      (** base of the exponential backoff: retry [k] (k >= 1) waits
+          [backoff_s * 2^(k-1)] simulated seconds *)
+  chaos : chaos option;  (** [None] = no fault injection (the default) *)
+}
+
+val default : config
+(** [timeout_s = 5.0], [max_attempts = 3], [backoff_s = 0.25],
+    [chaos = None]. With no faults injected the policy fields are inert:
+    every request succeeds on attempt 1 at zero extra simulated cost. *)
+
+val validate : config -> (unit, string) Stdlib.result
+(** Range checks ([Error] carries the first violated constraint's
+    message): positive finite timeout, [max_attempts >= 1], non-negative
+    finite backoff, rates in [0, 1] summing to <= 1,
+    [flaky_magnitude] in [0, 1). *)
+
+val config_to_json : config -> Json.t
+val config_of_json : Json.t -> (config, string) Stdlib.result
+(** Bit-exact codec (floats as IEEE-754 bit strings) shared — via
+    [Tuning_config]'s run codec — by [run.json], the service wire
+    protocol and checkpoint identity. *)
+
+val config_equal : config -> config -> bool
+(** Structural equality with floats compared by bits (so configs that
+    serialise identically compare equal). *)
+
+(** {1 The measurer} *)
+
+type backend = Direct | Pool of Runtime.t
+
+type t
+
+val create : ?telemetry:Telemetry.t -> ?cache_capacity:int -> backend -> config -> t
+(** [cache_capacity] bounds the digest-keyed outcome cache (default
+    4096; [0] disables it). [telemetry] receives the [measure.*] metrics
+    (default {!Telemetry.global}). *)
+
+val config : t -> config
+val backend_name : t -> string  (** ["direct"] or ["pool"] *)
+
+(** Simulated-time cost of a batch, for the caller's clock accounting:
+    [measured_attempts] attempts actually ran the candidate to completion
+    (each costs one [measure_seconds]); [extra_s] adds the deadline cost
+    of timed-out attempts and the retry backoffs. With no faults this is
+    exactly [(batch size, 0.0)], preserving the legacy clock arithmetic
+    bit-for-bit. *)
+type batch_cost = { measured_attempts : int; extra_s : float }
+
+val zero_cost : batch_cost
+
+val measure_batch :
+  t ->
+  rng:Rng.t ->
+  ?with_base:(int -> float -> unit) ->
+  request array ->
+  result array * batch_cost
+(** Measure a batch of (caller-deduplicated) requests. Results come back
+    in request order; measurement noise is drawn from [rng] in request
+    order regardless of backend, preserving the tuning RNG stream.
+
+    [with_base i base] is invoked once per request whose noiseless base
+    latency is finite, {e where the base is computed} — on a pool domain
+    for {!Pool}, inline for {!Direct} — so callers can piggyback pure
+    per-candidate work (the tuner extracts feature vectors there) on the
+    parallel phase. It is not called for cached or invalid requests.
+
+    Telemetry: [measure.requests], [measure.attempts] (and per-attempt
+    outcomes [measure.ok] / [measure.timeouts] / [measure.crashes] /
+    [measure.invalid], which sum to [measure.attempts]),
+    [measure.retries], [measure.flaky_injected], [measure.recovered],
+    [measure.deterministic], [measure.exhausted], [measure.cache_hits],
+    plus histograms [measure.latency_ms] (successful outcomes) and
+    [measure.attempts_per_request]. *)

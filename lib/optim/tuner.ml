@@ -146,89 +146,75 @@ let note_measurement ?(count = true) st pack y key lat =
 
 (* A dedup hit on a store-seeded key is a measurement the warm start paid
    for in a previous run; it costs zero simulated time and is counted as a
-   store hit. [journal] (when a store is attached) records every latency
-   actually measured. *)
+   store hit. [journal] (when a store is attached) records every outcome
+   actually obtained — successes and failures alike. *)
 let note_store_hit ~telemetry st key =
   if Hashtbl.mem st.seeded key then
     Telemetry.Counter.incr (Telemetry.counter telemetry "store.hits")
 
-let record_measurement ?journal ~telemetry rng device st pack y =
-  let key = Pack.schedule_key pack y in
-  if Hashtbl.mem st.measured key then begin
-    note_store_hit ~telemetry st key;
-    None
-  end
-  else begin
-    let lat = Gpu_model.measure_ms rng device (Pack.program pack) (Pack.env_of pack y) in
-    note_measurement st pack y key lat;
-    (match journal with Some f -> f st pack y key lat | None -> ());
-    Some lat
-  end
+(* The request digest doubles as the Pool backend's simulator-cache key,
+   so it keeps the historical [device|workload|schedule-key] format. *)
+let request_of device st pack y key =
+  { Measure.digest = device.Device.device_name ^ "|" ^ st.key_prefix ^ key;
+    device;
+    program = Pack.program pack;
+    env = Pack.env_of pack y }
 
-(* Measure a round's candidates; returns (measured count, training pairs in
-   the reversed order the sequential loop accumulates them).
+(* Simulated time a measured batch costs the tuning clock. With the
+   default (fault-free) policy this is exactly
+   [float n_fresh *. measure_seconds], matching the legacy arithmetic
+   bit-for-bit; faults add deadline and backoff time on top. *)
+let batch_seconds (cfg : Tuning_config.t) (cost : Measure.batch_cost) =
+  (float_of_int cost.Measure.measured_attempts *. cfg.Tuning_config.measure_seconds)
+  +. cost.Measure.extra_s
 
-   The parallel path computes the noiseless base latencies (and feature
-   vectors for the finite ones) on the pool, then applies measurement noise
-   from the tuning RNG in candidate order at the join — consuming exactly
-   the random values the sequential path would, so both paths are
-   bit-identical. *)
-let measure_candidates ?runtime ?journal ~telemetry rng device st candidates =
-  match runtime with
-  | None ->
-    let pairs = ref [] in
-    let n_measured = ref 0 in
-    List.iter
+(* Measure a round's candidates through the measurer; returns
+   (fresh-request count, simulated-time cost, training pairs in the
+   reversed order the historical loop accumulated them).
+
+   Dedup stays the tuner's job (the measurer's outcome cache is keyed the
+   same way but never hit here): proposals already in [st.measured] —
+   including store-seeded ones — cost nothing, and within-batch duplicates
+   collapse. Measurement noise is drawn from the tuning RNG at the join in
+   candidate order whatever the backend, so Direct and Pool are
+   bit-identical. Feature vectors piggyback on the backend's base
+   computation ([with_base] runs on the pool for [Pool]). *)
+let measure_candidates measurer ?journal ~telemetry rng device st candidates =
+  let seen = Hashtbl.create 32 in
+  let fresh =
+    List.filter_map
       (fun (pack, y) ->
-        match record_measurement ?journal ~telemetry rng device st pack y with
-        | Some lat ->
-          incr n_measured;
-          if Float.is_finite lat then
-            pairs := (Pack.features_at pack y, -.log lat) :: !pairs
-        | None -> ())
-      candidates;
-    (!n_measured, !pairs)
-  | Some rt ->
-    let cache = Runtime.sim_cache rt in
-    let seen = Hashtbl.create 32 in
-    let fresh =
-      List.filter_map
-        (fun (pack, y) ->
-          let key = Pack.schedule_key pack y in
-          if Hashtbl.mem st.measured key then begin
-            note_store_hit ~telemetry st key;
-            None
-          end
-          else if Hashtbl.mem seen key then None
-          else begin
-            Hashtbl.replace seen key ();
-            Some (pack, y, key)
-          end)
-        candidates
-      |> Array.of_list
-    in
-    let measure_base (pack, y, key) =
-      let cache_key = device.Device.device_name ^ "|" ^ st.key_prefix ^ key in
-      let base =
-        Gpu_model.measure_base_ms ~cache ~key:cache_key device (Pack.program pack)
-          (Pack.env_of pack y)
-      in
-      let feats = if Float.is_finite base then Some (Pack.features_at pack y) else None in
-      (base, feats)
-    in
-    let bases = Runtime.parallel_map rt measure_base fresh in
-    let pairs = ref [] in
-    Array.iteri
-      (fun i (pack, y, key) ->
-        let base, feats = bases.(i) in
-        let lat = Gpu_model.finish_measure_ms rng base in
-        note_measurement st pack y key lat;
-        (match journal with Some f -> f st pack y key lat | None -> ());
-        match feats with
-        | Some f when Float.is_finite lat -> pairs := (f, -.log lat) :: !pairs
-        | _ -> ())
-      fresh;
-    (Array.length fresh, !pairs)
+        let key = Pack.schedule_key pack y in
+        if Hashtbl.mem st.measured key then begin
+          note_store_hit ~telemetry st key;
+          None
+        end
+        else if Hashtbl.mem seen key then None
+        else begin
+          Hashtbl.replace seen key ();
+          Some (pack, y, key)
+        end)
+      candidates
+    |> Array.of_list
+  in
+  let requests = Array.map (fun (pack, y, key) -> request_of device st pack y key) fresh in
+  let feats = Array.make (Array.length fresh) None in
+  let with_base i _base =
+    let pack, y, _ = fresh.(i) in
+    feats.(i) <- Some (Pack.features_at pack y)
+  in
+  let results, cost = Measure.measure_batch measurer ~rng ~with_base requests in
+  let pairs = ref [] in
+  Array.iteri
+    (fun i (pack, y, key) ->
+      let r = results.(i) in
+      note_measurement st pack y key (Measure.latency_ms r.Measure.outcome);
+      (match journal with Some f -> f st pack y key r | None -> ());
+      match (feats.(i), r.Measure.outcome) with
+      | Some f, Measure.Ok lat -> pairs := (f, -.log lat) :: !pairs
+      | _ -> ())
+    fresh;
+  (Array.length fresh, cost, !pairs)
 
 (* Fine-tune the cost model on freshly measured pairs (Alg. 1 line 24);
    returns the last batch loss when an update happened. *)
@@ -247,7 +233,7 @@ let update_model model adam pairs =
    rejection sampling and its measurement noise interleave on the one
    tuning RNG, so reordering would change the stream. One measurement per
    task is not a hot path. *)
-let initial_round cfg ?journal ~telemetry rng device clock states =
+let initial_round cfg measurer ?journal ~telemetry rng device clock states =
   List.iter
     (fun st ->
       match
@@ -262,10 +248,17 @@ let initial_round cfg ?journal ~telemetry rng device clock states =
         (* Only an actual measurement costs simulated time: a dedup hit on
            a warm-started key is free, which is what makes warm curves
            strictly dominate cold ones. *)
-        (match record_measurement ?journal ~telemetry rng device st pack y with
-        | Some _ ->
-          Tuning_config.Clock.advance clock cfg.Tuning_config.measure_seconds
-        | None -> ())
+        let key = Pack.schedule_key pack y in
+        if Hashtbl.mem st.measured key then note_store_hit ~telemetry st key
+        else begin
+          let results, cost =
+            Measure.measure_batch measurer ~rng [| request_of device st pack y key |]
+          in
+          let r = results.(0) in
+          note_measurement st pack y key (Measure.latency_ms r.Measure.outcome);
+          (match journal with Some f -> f st pack y key r | None -> ());
+          Tuning_config.Clock.advance clock (batch_seconds cfg cost)
+        end
       | None -> ())
     states
 
@@ -324,8 +317,8 @@ let run_engine_round cfg rng ?runtime ?batch engine model st =
 
 let subgraph_name st = st.t.Partition.subgraph.Compute.sg_name
 
-let tune_round cfg rng ?runtime ?batch ?journal device engine model model_adam clock
-    ~telemetry ~emit ~round st =
+let tune_round cfg measurer rng ?runtime ?batch ?journal device engine model model_adam
+    clock ~telemetry ~emit ~round st =
   let task_id = st.t.Partition.task_id in
   emit
     (Round_started
@@ -343,15 +336,15 @@ let tune_round cfg rng ?runtime ?batch ?journal device engine model model_adam c
     run_engine_round cfg rng ?runtime ?batch engine model st
   in
   let before = st.best in
-  let n_measured, pairs =
-    measure_candidates ?runtime ?journal ~telemetry rng device st candidates
+  let n_measured, cost, pairs =
+    measure_candidates measurer ?journal ~telemetry rng device st candidates
   in
   (* Time accounting follows measurements actually paid for: deduplicated
      proposals — in particular re-proposals of store-seeded schedules —
-     advance the simulated clock by zero. *)
+     advance the simulated clock by zero; timed-out attempts and retry
+     backoffs (fault injection only) add their deadline and wait time. *)
   Tuning_config.Clock.advance clock
-    ((float_of_int n_measured *. cfg.Tuning_config.measure_seconds)
-    +. overhead +. cfg.Tuning_config.model_update_seconds);
+    (batch_seconds cfg cost +. overhead +. cfg.Tuning_config.model_update_seconds);
   emit
     (Candidates_measured
        { round; task_id; proposed = List.length candidates; measured = n_measured;
@@ -418,14 +411,18 @@ let sketch_name pack = (Pack.schedule pack).Schedule.sched_name
 
 (* jobs and batch are deliberately not part of the identity: results are
    invariant to both, so a run may be resumed at any parallelism. The
-   search codec lives in Tuning_config and is shared with the CLI
-   invocation record and the service wire protocol. *)
+   measurement policy *is* identity (faults change results), but is
+   emitted only when non-default so pre-measurer checkpoints keep
+   matching. The search codec lives in Tuning_config and is shared with
+   the CLI invocation record and the service wire protocol. *)
 let identity_json (rc : Tuning_config.run) ~network ~device_name engine =
   Json.Obj
-    [ ("network", Json.Str network); ("device", Json.Str device_name);
-      ("engine", Json.Str (engine_name engine));
-      ("seed", Json.Num (float_of_int rc.Tuning_config.seed));
-      ("search", Tuning_config.search_to_json rc.Tuning_config.search) ]
+    ([ ("network", Json.Str network); ("device", Json.Str device_name);
+       ("engine", Json.Str (engine_name engine));
+       ("seed", Json.Num (float_of_int rc.Tuning_config.seed));
+       ("search", Tuning_config.search_to_json rc.Tuning_config.search) ]
+    @ (if Measure.config_equal rc.Tuning_config.measure Measure.default then []
+       else [ ("measure", Measure.config_to_json rc.Tuning_config.measure) ]))
 
 let point_to_json pack y =
   Json.Obj
@@ -628,7 +625,29 @@ let warm_seed store ~device_name states =
                   :: !pairs
               end
             end)
-        records)
+        records;
+      (* Known failures seed the dedup cache at infinite latency — the
+         whole point of journaling them: a resumed or warm-started run
+         must not re-pay a failure already classified. They contribute no
+         training pairs (like invalid schedules). *)
+      let failures =
+        Store.completed_failures store ~device:device_name ~task_key:(task_key_of st)
+      in
+      List.iter
+        (fun (r : Store.Failure.t) ->
+          match List.assoc_opt r.Store.Failure.sketch by_name with
+          | None -> ()
+          | Some pack ->
+            if
+              Array.length r.Store.Failure.y = Pack.num_vars pack
+              && not (Hashtbl.mem st.measured r.Store.Failure.key)
+            then begin
+              note_measurement ~count:false st pack r.Store.Failure.y
+                r.Store.Failure.key Float.infinity;
+              Hashtbl.replace st.seeded r.Store.Failure.key ();
+              incr total
+            end)
+        failures)
     states;
   (!total, !pairs)
 
@@ -690,6 +709,9 @@ let validate (rc : Tuning_config.run) =
       (pos_finite cfg.time_budget_s, "time_budget_s must be finite and > 0");
       (rc.Tuning_config.jobs >= 1, "jobs must be >= 1");
       (rc.Tuning_config.batch >= 1, "batch must be >= 1") ]
+    @ (match Measure.validate rc.Tuning_config.measure with
+      | Ok () -> []
+      | Error m -> [ (false, m) ])
   in
   match List.find_opt (fun (ok, _) -> not ok) checks with
   | Some (_, msg) -> Error (Invalid_config msg)
@@ -708,6 +730,11 @@ let run_raw (rc : Tuning_config.run) device base_model graph engine =
   let on_event = rc.Tuning_config.on_event in
   let telemetry = Option.value rc.Tuning_config.telemetry ~default:Telemetry.global in
   let store = rc.Tuning_config.store in
+  let measurer =
+    Measure.create ~telemetry
+      (match runtime with Some rt -> Measure.Pool rt | None -> Measure.Direct)
+      rc.Tuning_config.measure
+  in
   let clock = Tuning_config.Clock.create () in
   let run_sp =
     Telemetry.span_begin telemetry "tuner.tune"
@@ -760,18 +787,36 @@ let run_raw (rc : Tuning_config.run) device base_model graph engine =
     | None -> None
     | Some s ->
       let c_records = Telemetry.counter telemetry "store.records" in
+      let c_failures = Telemetry.counter telemetry "store.failures" in
       Some
-        (fun st pack y key lat ->
-          Store.append s
-            { Store.Record.network = graph.Graph.graph_name;
-              device = device.Device.device_name;
-              task_key = task_key_of st;
-              sketch = sketch_name pack;
-              key;
-              y = Array.copy y;
-              latency_ms = lat;
-              round = !round };
-          Telemetry.Counter.incr c_records)
+        (fun st pack y key (r : Measure.result) ->
+          match r.Measure.outcome with
+          | Measure.Ok lat ->
+            Store.append s
+              { Store.Record.network = graph.Graph.graph_name;
+                device = device.Device.device_name;
+                task_key = task_key_of st;
+                sketch = sketch_name pack;
+                key;
+                y = Array.copy y;
+                latency_ms = lat;
+                round = !round;
+                attempts = r.Measure.attempts };
+            Telemetry.Counter.incr c_records
+          | outcome ->
+            Store.append_failure s
+              { Store.Failure.network = graph.Graph.graph_name;
+                device = device.Device.device_name;
+                task_key = task_key_of st;
+                sketch = sketch_name pack;
+                key;
+                y = Array.copy y;
+                kind = Measure.outcome_kind outcome;
+                message = (match outcome with Measure.Crash m -> m | _ -> "");
+                attempts = r.Measure.attempts;
+                deterministic = r.Measure.classification = Measure.Deterministic;
+                round = !round };
+            Telemetry.Counter.incr c_failures)
   in
   (* Journal lines of the round are made durable before the checkpoint
      that says the round happened, so a kill at any instant resumes from
@@ -814,7 +859,7 @@ let run_raw (rc : Tuning_config.run) device base_model graph engine =
       Store.begin_run s ~id
     | None -> ());
     Telemetry.with_span telemetry "tuner.initial_round" (fun () ->
-        initial_round cfg ?journal ~telemetry rng device clock states);
+        initial_round cfg measurer ?journal ~telemetry rng device clock states);
     curve :=
       [ { time_s = Tuning_config.Clock.now clock; latency_ms = network_latency states } ];
     save_ckpt ~completed:false);
@@ -825,8 +870,8 @@ let run_raw (rc : Tuning_config.run) device base_model graph engine =
     incr round;
     let st = select_task states in
     ignore
-      (tune_round cfg rng ?runtime ?batch ?journal device engine model model_adam clock
-         ~telemetry ~emit:on_event ~round:!round st);
+      (tune_round cfg measurer rng ?runtime ?batch ?journal device engine model
+         model_adam clock ~telemetry ~emit:on_event ~round:!round st);
     let net_ms = network_latency states in
     Telemetry.Gauge.set (Telemetry.gauge telemetry "tuner.network_latency_ms") net_ms;
     curve := { time_s = Tuning_config.Clock.now clock; latency_ms = net_ms } :: !curve;
@@ -892,6 +937,11 @@ let run_single_raw (rc : Tuning_config.run) ~rounds device base_model sg engine 
   let cfg = rc.Tuning_config.search in
   let on_event = rc.Tuning_config.on_event in
   let telemetry = Option.value rc.Tuning_config.telemetry ~default:Telemetry.global in
+  let measurer =
+    Measure.create ~telemetry
+      (match runtime with Some rt -> Measure.Pool rt | None -> Measure.Direct)
+      rc.Tuning_config.measure
+  in
   let rng = Rng.create rc.Tuning_config.seed in
   let model = Mlp.copy base_model in
   let model_adam = Mlp.adam_for ~lr:2e-4 model in
@@ -902,12 +952,12 @@ let run_single_raw (rc : Tuning_config.run) ~rounds device base_model sg engine 
     (Tuning_started
        { network = sg.Compute.sg_name; device_name = device.Device.device_name; engine;
          n_tasks = 1 });
-  initial_round cfg ~telemetry rng device clock [ st ];
+  initial_round cfg measurer ~telemetry rng device clock [ st ];
   let curve = ref [ { time_s = Tuning_config.Clock.now clock; latency_ms = st.best } ] in
   let predictions = ref [] in
   for round = 1 to rounds do
     let preds =
-      tune_round cfg rng ?runtime ?batch device engine model model_adam clock
+      tune_round cfg measurer rng ?runtime ?batch device engine model model_adam clock
         ~telemetry ~emit:on_event ~round st
     in
     predictions := !predictions @ preds;

@@ -106,6 +106,7 @@ type run = {
   seed : int;
   jobs : int;
   batch : int;
+  measure : Measure.config;
   runtime : Runtime.t option;
   on_event : event -> unit;
   telemetry : Telemetry.t option;
@@ -121,8 +122,9 @@ let batch_from_env () =
   | Some s -> ( try max 1 (int_of_string (String.trim s)) with _ -> 1)
 
 let builder =
-  { search = default; seed = 0; jobs = 1; batch = batch_from_env (); runtime = None;
-    on_event = no_event; telemetry = None; store = None; pack_cache = None }
+  { search = default; seed = 0; jobs = 1; batch = batch_from_env ();
+    measure = Measure.default; runtime = None; on_event = no_event;
+    telemetry = None; store = None; pack_cache = None }
 
 let with_search search r = { r with search }
 let with_rounds n r = { r with search = { r.search with max_rounds = n } }
@@ -134,6 +136,7 @@ let with_measure_per_round n r =
 let with_seed seed r = { r with seed }
 let with_jobs jobs r = { r with jobs = max 1 jobs }
 let with_batch batch r = { r with batch = max 1 batch }
+let with_measurer measure r = { r with measure }
 let with_runtime rt r = { r with runtime = Some rt }
 let with_on_event on_event r = { r with on_event }
 let with_telemetry reg r = { r with telemetry = Some reg }
@@ -196,10 +199,15 @@ let search_of_json j =
 
 let to_json (r : run) =
   Json.Obj
-    [ ("search", search_to_json r.search);
-      ("seed", Json.Num (float_of_int r.seed));
-      ("jobs", Json.Num (float_of_int r.jobs));
-      ("batch", Json.Num (float_of_int r.batch)) ]
+    ([ ("search", search_to_json r.search);
+       ("seed", Json.Num (float_of_int r.seed));
+       ("jobs", Json.Num (float_of_int r.jobs));
+       ("batch", Json.Num (float_of_int r.batch)) ]
+    (* Emitted only when non-default, so run.json, job specs and checkpoint
+       identities written by a default (fault-free) run keep the exact
+       pre-measurer byte format. *)
+    @ (if Measure.config_equal r.measure Measure.default then []
+       else [ ("measure", Measure.config_to_json r.measure) ]))
 
 (* The process-local fields (runtime, callback, telemetry, store) have no
    serialised form; a decoded run carries the builder defaults for them and
@@ -215,7 +223,15 @@ let of_json j =
          let seed = int_field j "seed" in
          let jobs = int_field j "jobs" in
          let batch = int_field j "batch" in
-         Ok
-           (builder |> with_search search |> with_seed seed |> with_jobs jobs
-           |> with_batch batch)
+         let measure =
+           match Json.find j "measure" with
+           | None -> Ok Measure.default
+           | Some mj -> Measure.config_of_json mj
+         in
+         match measure with
+         | Error m -> Error m
+         | Ok measure ->
+           Ok
+             (builder |> with_search search |> with_seed seed |> with_jobs jobs
+             |> with_batch batch |> with_measurer measure)
        with Codec k -> Error (Printf.sprintf "run config: missing or malformed field %S" k)))

@@ -141,6 +141,14 @@ type run = {
           tiles of this many candidates. Results are bitwise-identical to
           the scalar path at any width (and any [jobs]); this knob trades
           nothing but memory for speed. *)
+  measure : Measure.config;
+      (** measurement policy: per-request deadline, retry/backoff and
+          optional deterministic fault injection (see [lib/measure]). The
+          default injects nothing and is bitwise-inert: tuner output is
+          identical to pre-measurer code. Unlike the process-local fields
+          below, this {e is} search identity — it participates in the JSON
+          codec and checkpoint identity (emitted only when non-default, so
+          default artifacts keep their byte format). *)
   runtime : Runtime.t option;
       (** explicit runtime to share across runs; overrides [jobs] *)
   on_event : event -> unit;
@@ -179,6 +187,10 @@ val with_jobs : int -> run -> run
 
 val with_batch : int -> run -> run
 (** Lockstep descent batch width; clamped to [>= 1] (1 = scalar path). *)
+
+val with_measurer : Measure.config -> run -> run
+(** Measurement policy (deadline, retries, chaos); validated by
+    [Tuner.validate] into the typed [Invalid_config] error path. *)
 
 val with_runtime : Runtime.t -> run -> run
 val with_on_event : (event -> unit) -> run -> run

@@ -173,7 +173,9 @@ let measure_base_ms ?cache ?key dev p env =
       base)
   | _ -> compute ()
 
-let finish_measure_ms ?(noise = 0.015) rng base =
+let default_noise = 0.015
+
+let finish_measure_ms ?(noise = default_noise) rng base =
   if Float.is_finite base then begin
     let lat = base *. (1.0 +. (noise *. Rng.gaussian rng)) in
     Telemetry.Histogram.observe h_measured lat;

@@ -51,6 +51,11 @@ val measure_base_ms :
     everything the latency depends on (device, workload, schedule
     assignment). Counts one [sim.measurements] regardless of cache hits. *)
 
+val default_noise : float
+(** Relative magnitude of simulated measurement noise (0.015) — exported
+    so measurement-layer tests and benches can reproduce the inline path
+    without hard-coding the constant. *)
+
 val finish_measure_ms : ?noise:float -> Rng.t -> float -> float
 (** The noise half of {!measure_ms}: draws one gaussian from [rng] when the
     base latency is finite (infinite bases are counted invalid and returned

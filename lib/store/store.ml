@@ -131,19 +131,24 @@ module Record = struct
     y : float array;
     latency_ms : float;
     round : int;
+    attempts : int;
   }
 
   let to_json r =
     Json.Obj
-      [ ("k", Json.Str "m");
-        ("net", Json.Str r.network);
-        ("dev", Json.Str r.device);
-        ("task", Json.Str r.task_key);
-        ("sk", Json.Str r.sketch);
-        ("key", Json.Str r.key);
-        ("y", Json.Str (Bits.of_floats r.y));
-        ("lat", Json.Str (Bits.of_float r.latency_ms));
-        ("round", Json.Num (float_of_int r.round)) ]
+      ([ ("k", Json.Str "m");
+         ("net", Json.Str r.network);
+         ("dev", Json.Str r.device);
+         ("task", Json.Str r.task_key);
+         ("sk", Json.Str r.sketch);
+         ("key", Json.Str r.key);
+         ("y", Json.Str (Bits.of_floats r.y));
+         ("lat", Json.Str (Bits.of_float r.latency_ms));
+         ("round", Json.Num (float_of_int r.round)) ]
+      (* emitted only for retried measurements, so journals written by a
+         fault-free run stay byte-identical to the pre-measurer format *)
+      @ (if r.attempts <> 1 then [ ("att", Json.Num (float_of_int r.attempts)) ]
+         else []))
 
   let of_json j =
     let str k = Option.bind (Json.find j k) Json.as_string in
@@ -155,7 +160,60 @@ module Record = struct
     with
     | ( Some network, Some device, Some task_key, Some sketch, Some key,
         Some y, Some latency_ms, Some round ) ->
-      Some { network; device; task_key; sketch; key; y; latency_ms; round }
+      Some
+        { network; device; task_key; sketch; key; y; latency_ms; round;
+          attempts = Option.value (int "att") ~default:1 }
+    | _ -> None
+end
+
+(* --- failed measurements ---------------------------------------------------- *)
+
+module Failure = struct
+  type t = {
+    network : string;
+    device : string;
+    task_key : string;
+    sketch : string;
+    key : string;
+    y : float array;
+    kind : string;
+    message : string;
+    attempts : int;
+    deterministic : bool;
+    round : int;
+  }
+
+  let to_json r =
+    Json.Obj
+      [ ("k", Json.Str "f");
+        ("net", Json.Str r.network);
+        ("dev", Json.Str r.device);
+        ("task", Json.Str r.task_key);
+        ("sk", Json.Str r.sketch);
+        ("key", Json.Str r.key);
+        ("y", Json.Str (Bits.of_floats r.y));
+        ("fk", Json.Str r.kind);
+        ("msg", Json.Str r.message);
+        ("att", Json.Num (float_of_int r.attempts));
+        ("det", Json.Bool r.deterministic);
+        ("round", Json.Num (float_of_int r.round)) ]
+
+  let of_json j =
+    let str k = Option.bind (Json.find j k) Json.as_string in
+    let int k = Option.bind (Json.find j k) Json.as_int in
+    let bool k =
+      Option.bind (Json.find j k) (function Json.Bool b -> Some b | _ -> None)
+    in
+    match
+      ( str "net", str "dev", str "task", str "sk", str "key",
+        Option.bind (str "y") Bits.to_floats,
+        (str "fk", str "msg", int "att", bool "det", int "round") )
+    with
+    | ( Some network, Some device, Some task_key, Some sketch, Some key,
+        Some y, (Some kind, Some message, Some attempts, Some deterministic, Some round) ) ->
+      Some
+        { network; device; task_key; sketch; key; y; kind; message; attempts;
+          deterministic; round }
     | _ -> None
 end
 
@@ -174,6 +232,8 @@ type t = {
   (* replayed + appended state, newest first *)
   mutable records : (string option * Record.t) list;
   mutable n_records : int;
+  mutable failures : (string option * Failure.t) list;
+  mutable n_failures : int;
   started : (string, unit) Hashtbl.t;
   completed : (string, unit) Hashtbl.t;
   mutable current_run : string option;
@@ -204,7 +264,8 @@ let split_lines content =
   (List.rev !lines, if !start < n then Some !start else None)
 
 type replayed = {
-  rp_entries : [ `Run of string * string | `Measure of Record.t ] list;
+  rp_entries :
+    [ `Run of string * string | `Measure of Record.t | `Failure of Failure.t ] list;
   rp_truncate_at : int option;  (** torn tail begins here *)
 }
 
@@ -255,6 +316,8 @@ let replay_text content =
                 match Option.bind (Json.find j "k") Json.as_string with
                 | Some "m" ->
                   Option.map (fun r -> `Measure r) (Record.of_json j)
+                | Some "f" ->
+                  Option.map (fun r -> `Failure r) (Failure.of_json j)
                 | Some "run" -> (
                   match
                     ( Option.bind (Json.find j "ev") Json.as_string,
@@ -290,6 +353,9 @@ let apply_entry t = function
   | `Measure r ->
     t.records <- (t.current_run, r) :: t.records;
     t.n_records <- t.n_records + 1
+  | `Failure r ->
+    t.failures <- (t.current_run, r) :: t.failures;
+    t.n_failures <- t.n_failures + 1
 
 let write_line t json =
   output_string t.oc (Json.to_line json);
@@ -330,6 +396,8 @@ let open_dir path =
         oc;
         records = [];
         n_records = 0;
+        failures = [];
+        n_failures = 0;
         started = Hashtbl.create 8;
         completed = Hashtbl.create 8;
         current_run = None;
@@ -352,6 +420,10 @@ let close t =
 let append t r =
   write_line t (Record.to_json r);
   apply_entry t (`Measure r)
+
+let append_failure t r =
+  write_line t (Failure.to_json r);
+  apply_entry t (`Failure r)
 
 let run_marker ev id =
   Json.Obj [ ("k", Json.Str "run"); ("ev", Json.Str ev); ("id", Json.Str id) ]
@@ -385,6 +457,17 @@ let completed_records t ~device ~task_key =
     [] t.records
 (* [records] is newest-first, so the fold returns journal order. *)
 
+let completed_failures t ~device ~task_key =
+  List.fold_left
+    (fun acc (run, (r : Failure.t)) ->
+      match run with
+      | Some id
+        when Hashtbl.mem t.completed id
+             && r.Failure.device = device && r.Failure.task_key = task_key ->
+        r :: acc
+      | _ -> acc)
+    [] t.failures
+
 let checkpoint_path t = Filename.concat t.store_dir "checkpoint.json"
 
 let save_checkpoint t json =
@@ -397,6 +480,8 @@ let load_checkpoint t =
 
 type stats = {
   records : int;
+  failures : int;
+  retried : int;
   runs_started : int;
   runs_completed : int;
   devices : string list;
@@ -415,7 +500,23 @@ let stats t =
       Hashtbl.replace devices r.Record.device ();
       Hashtbl.replace tasks (r.Record.device, r.Record.task_key) ())
     t.records;
+  List.iter
+    (fun (_, (r : Failure.t)) ->
+      Hashtbl.replace devices r.Failure.device ();
+      Hashtbl.replace tasks (r.Failure.device, r.Failure.task_key) ())
+    t.failures;
+  let retried =
+    List.fold_left
+      (fun acc (_, (r : Record.t)) -> if r.Record.attempts > 1 then acc + 1 else acc)
+      0 t.records
+    + List.fold_left
+        (fun acc (_, (r : Failure.t)) ->
+          if r.Failure.attempts > 1 then acc + 1 else acc)
+        0 t.failures
+  in
   { records = t.n_records;
+    failures = t.n_failures;
+    retried;
     runs_started = Hashtbl.length t.started;
     runs_completed = Hashtbl.length t.completed;
     devices = Hashtbl.fold (fun d () acc -> d :: acc) devices [] |> List.sort compare;

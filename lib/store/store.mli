@@ -77,6 +77,29 @@ module Record : sig
     y : float array;  (** schedule-variable assignment, exact bits *)
     latency_ms : float;
     round : int;  (** tuning round that paid for the measurement *)
+    attempts : int;
+        (** measurement attempts the measurer made (1 unless a flaky
+            failure was retried; serialised only when [<> 1], so
+            fault-free journals keep the pre-measurer byte format) *)
+  }
+end
+
+(** Failed measurements are journal records too, so a resumed run does not
+    re-pay a failure already classified as deterministic, and so
+    [store stats] can account for every attempt. *)
+module Failure : sig
+  type t = {
+    network : string;
+    device : string;
+    task_key : string;
+    sketch : string;
+    key : string;
+    y : float array;
+    kind : string;  (** {!Measure.outcome_kind}: "timeout" | "crash" | "invalid" *)
+    message : string;  (** crash diagnostic; [""] otherwise *)
+    attempts : int;
+    deterministic : bool;  (** classified deterministic (vs retries exhausted) *)
+    round : int;
   }
 end
 
@@ -96,6 +119,9 @@ val append : t -> Record.t -> unit
 (** Buffered append of one measurement line; durable after {!sync}.
     Raises [Sys_error] on I/O failure — the store fails loudly rather
     than silently dropping records. *)
+
+val append_failure : t -> Failure.t -> unit
+(** Buffered append of one failed-measurement line; durable after {!sync}. *)
 
 val sync : t -> unit
 (** Flush and fsync the journal (called by the tuner once per round). *)
@@ -122,6 +148,12 @@ val completed_records :
 (** Measurements of completed runs for one (device, task) in journal
     order — the warm-start replay set. *)
 
+val completed_failures :
+  t -> device:string -> task_key:string -> Failure.t list
+(** Failed measurements of completed runs for one (device, task) in
+    journal order — seeded into warm starts at infinite latency so known
+    failures are not re-measured. *)
+
 (** {2 Checkpoints} *)
 
 val save_checkpoint : t -> Json.t -> (unit, error) result
@@ -132,6 +164,8 @@ val load_checkpoint : t -> (Json.t, error) result
 
 type stats = {
   records : int;
+  failures : int;  (** failed-measurement records *)
+  retried : int;  (** records (successes or failures) that took > 1 attempt *)
   runs_started : int;  (** distinct run ids seen (incl. resumed) *)
   runs_completed : int;
   devices : string list;  (** sorted, distinct *)

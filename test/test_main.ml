@@ -13,4 +13,5 @@ let () =
       ("cost_model", Test_cost_model_lib.tests);
       ("optim", Test_optim_lib.tests);
       ("frameworks_api", Test_frameworks_lib.tests);
-      ("serve", Test_serve_lib.tests) ]
+      ("serve", Test_serve_lib.tests);
+      ("measure", Test_measure_lib.tests) ]

@@ -1,0 +1,637 @@
+(* Tests for lib/measure: the pluggable measurement subsystem.
+
+   The four ISSUE-level properties — Direct ≡ legacy inline bitwise,
+   chaos determinism, retry classification, chaos resume bit-identity —
+   plus the config codec, the outcome cache, telemetry accounting, the
+   service job codec passthrough and the store's failure records. *)
+
+open Testutil
+
+let quick = Tuning_config.quick
+
+let search rounds = { quick with Tuning_config.max_rounds = rounds }
+
+let shared_model =
+  lazy
+    (let rng = Rng.create 300 in
+     let samples =
+       Dataset.generate rng Device.rtx_a5000 ~schedules_per_task:60
+         [ dense_sg (); conv_sg () ]
+     in
+     let ds = Dataset.split rng samples in
+     let model, _ = Train.pretrain rng ~epochs:5 ~hidden:[ 64; 64 ] ds in
+     model)
+
+let fresh_dir () =
+  let path = Filename.temp_file "felix_measure" "" in
+  Sys.remove path;
+  path
+
+let rec remove_tree path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> remove_tree (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let bits = Int64.bits_of_float
+
+(* A pack shared by the direct measurement tests; requests differ only in
+   schedule point and digest. *)
+let shared_pack =
+  lazy
+    (let sg = dense_sg () in
+     Pack.prepare sg (List.nth (Sketch.generate sg) 1))
+
+let request_at pack ~digest y =
+  { Measure.digest;
+    device = Device.rtx_a5000;
+    program = Pack.program pack;
+    env = Pack.env_of pack y }
+
+let sample_requests ?(n = 6) ?(prefix = "d") seed =
+  let pack = Lazy.force shared_pack in
+  let rng = Rng.create (seed lxor 0x9e3779b9) in
+  Array.init n (fun i ->
+      request_at pack ~digest:(Printf.sprintf "%s%d" prefix i) (sample_valid rng pack))
+
+let quiet () = Telemetry.create ~enabled:false ()
+
+(* --- (a) Direct ≡ legacy inline path ----------------------------------------- *)
+
+let test_direct_matches_inline =
+  qtest ~count:25 "Direct measurer == inline measure_ms bitwise"
+    (QCheck2.Gen.int_range 0 1_000_000)
+    (fun seed ->
+      let reqs = sample_requests seed in
+      (* Legacy path: Gpu_model.measure_ms on the tuning RNG, in order. *)
+      let rng_legacy = Rng.create seed in
+      let legacy =
+        Array.map
+          (fun r ->
+            Gpu_model.measure_ms rng_legacy r.Measure.device r.Measure.program
+              r.Measure.env)
+          reqs
+      in
+      let m = Measure.create ~telemetry:(quiet ()) Measure.Direct Measure.default in
+      let rng = Rng.create seed in
+      let results, cost = Measure.measure_batch m ~rng reqs in
+      cost.Measure.measured_attempts = Array.length reqs
+      && bits cost.Measure.extra_s = bits 0.0
+      && Array.for_all2
+           (fun l (r : Measure.result) ->
+             match r.Measure.outcome with
+             | Measure.Ok lat ->
+               bits lat = bits l && r.Measure.attempts = 1
+               && r.Measure.classification = Measure.First_try
+             | _ -> false)
+           legacy results
+      (* Both paths must leave the tuning RNG in the same state. *)
+      && bits (Rng.uniform rng_legacy) = bits (Rng.uniform rng))
+
+let chaos_half = Some (Measure.chaos_with_rate ~seed:7 0.5)
+
+let compare_results msg (a : Measure.result array) (b : Measure.result array) =
+  Alcotest.(check int) (msg ^ ": same length") (Array.length a) (Array.length b);
+  Array.iteri
+    (fun i (ra : Measure.result) ->
+      let rb = b.(i) in
+      if Measure.outcome_kind ra.Measure.outcome <> Measure.outcome_kind rb.Measure.outcome
+      then Alcotest.failf "%s: outcome kind differs at %d" msg i;
+      if bits (Measure.latency_ms ra.Measure.outcome)
+         <> bits (Measure.latency_ms rb.Measure.outcome)
+      then Alcotest.failf "%s: latency bits differ at %d" msg i;
+      if ra.Measure.attempts <> rb.Measure.attempts then
+        Alcotest.failf "%s: attempts differ at %d" msg i;
+      if ra.Measure.classification <> rb.Measure.classification then
+        Alcotest.failf "%s: classification differs at %d" msg i)
+    a
+
+let pool_runtime = lazy (Runtime.create ~domains:3 ())
+
+let test_pool_matches_direct () =
+  (* The Pool backend is bit-identical to Direct, with and without chaos. *)
+  List.iter
+    (fun (name, chaos) ->
+      let cfg = { Measure.default with Measure.chaos } in
+      let run backend =
+        let m = Measure.create ~telemetry:(quiet ()) backend cfg in
+        Measure.measure_batch m ~rng:(Rng.create 42) (sample_requests ~n:10 9)
+      in
+      let direct, dcost = run Measure.Direct in
+      let pooled, pcost =
+        run (Measure.Pool (Lazy.force pool_runtime))
+      in
+      compare_results (name ^ ": pool vs direct") direct pooled;
+      Alcotest.(check int) (name ^ ": measured attempts") dcost.Measure.measured_attempts
+        pcost.Measure.measured_attempts;
+      Alcotest.(check bool)
+        (name ^ ": extra_s bits")
+        true
+        (bits dcost.Measure.extra_s = bits pcost.Measure.extra_s))
+    [ ("no chaos", None); ("chaos 0.5", chaos_half) ]
+
+(* --- (b) chaos determinism ---------------------------------------------------- *)
+
+let test_chaos_deterministic =
+  qtest ~count:20 "same chaos seed + rates => identical fault schedule"
+    (QCheck2.Gen.int_range 0 1_000_000)
+    (fun seed ->
+      let cfg =
+        { Measure.default with
+          Measure.chaos = Some (Measure.chaos_with_rate ~seed:(seed mod 97) 0.6) }
+      in
+      let run () =
+        let m = Measure.create ~telemetry:(quiet ()) Measure.Direct cfg in
+        Measure.measure_batch m ~rng:(Rng.create seed) (sample_requests ~n:8 seed)
+      in
+      let r1, c1 = run () in
+      let r2, c2 = run () in
+      c1.Measure.measured_attempts = c2.Measure.measured_attempts
+      && bits c1.Measure.extra_s = bits c2.Measure.extra_s
+      && Array.for_all2
+           (fun (a : Measure.result) (b : Measure.result) ->
+             Measure.outcome_kind a.Measure.outcome
+             = Measure.outcome_kind b.Measure.outcome
+             && bits (Measure.latency_ms a.Measure.outcome)
+                = bits (Measure.latency_ms b.Measure.outcome)
+             && a.Measure.attempts = b.Measure.attempts
+             && a.Measure.classification = b.Measure.classification)
+           r1 r2)
+
+let test_chaos_order_independent () =
+  (* The fault schedule of a digest does not depend on where in the batch
+     it is measured (latencies do — measurement noise stays on the tuning
+     RNG in request order — but faults, attempts and classification are a
+     pure function of the digest). *)
+  let cfg = { Measure.default with Measure.chaos = chaos_half } in
+  let reqs = sample_requests ~n:12 17 in
+  let rev = Array.of_list (List.rev (Array.to_list reqs)) in
+  let run order =
+    let m = Measure.create ~telemetry:(quiet ()) Measure.Direct cfg in
+    fst (Measure.measure_batch m ~rng:(Rng.create 5) order)
+  in
+  let fwd = run reqs in
+  let bwd = run rev in
+  let n = Array.length reqs in
+  let faults = ref 0 in
+  Array.iteri
+    (fun i (a : Measure.result) ->
+      let b = bwd.(n - 1 - i) in
+      if Measure.outcome_kind a.Measure.outcome <> Measure.outcome_kind b.Measure.outcome
+      then Alcotest.failf "fault kind depends on order (digest %d)" i;
+      if a.Measure.attempts <> b.Measure.attempts then
+        Alcotest.failf "attempt count depends on order (digest %d)" i;
+      if a.Measure.classification <> b.Measure.classification then
+        Alcotest.failf "classification depends on order (digest %d)" i;
+      if a.Measure.outcome <> Measure.Ok (Measure.latency_ms a.Measure.outcome) then
+        incr faults)
+    fwd;
+  Alcotest.(check bool) "the schedule actually contains faults" true (!faults > 0)
+
+(* --- (c) retry classification -------------------------------------------------- *)
+
+let scan_results ?(n = 200) cfg =
+  let pack = Lazy.force shared_pack in
+  let y = sample_valid (Rng.create 23) pack in
+  let m = Measure.create ~telemetry:(quiet ()) Measure.Direct cfg in
+  let rng = Rng.create 99 in
+  Array.init n (fun i ->
+      let r, _ =
+        Measure.measure_batch m ~rng
+          [| request_at pack ~digest:(Printf.sprintf "scan%d" i) y |]
+      in
+      r.(0))
+
+let test_retry_classification () =
+  let cfg =
+    { Measure.default with
+      Measure.chaos =
+        Some
+          { Measure.chaos_seed = 3; timeout_rate = 0.3; crash_rate = 0.3;
+            hang_rate = 0.0; flaky_rate = 0.0; flaky_magnitude = 0.0 } }
+  in
+  let results = scan_results cfg in
+  let count p = Array.fold_left (fun n r -> if p r then n + 1 else n) 0 results in
+  Array.iter
+    (fun (r : Measure.result) ->
+      match r.Measure.classification with
+      | Measure.First_try ->
+        if r.Measure.attempts <> 1 then Alcotest.fail "first-try with retries";
+        if Measure.outcome_kind r.Measure.outcome <> "ok" then
+          Alcotest.fail "first-try must succeed"
+      | Measure.Flaky ->
+        (* Failed at least once, then recovered. *)
+        if Measure.outcome_kind r.Measure.outcome <> "ok" then
+          Alcotest.fail "flaky must end in success";
+        if r.Measure.attempts < 2 || r.Measure.attempts > cfg.Measure.max_attempts
+        then Alcotest.fail "flaky attempt count out of range"
+      | Measure.Deterministic ->
+        (* Two identical failures in a row: fail fast, never exhaust the
+           budget on a broken candidate. *)
+        if Measure.outcome_kind r.Measure.outcome = "ok" then
+          Alcotest.fail "deterministic must be a failure here";
+        if r.Measure.attempts < 2 || r.Measure.attempts > cfg.Measure.max_attempts
+        then Alcotest.fail "deterministic attempt count out of range"
+      | Measure.Exhausted ->
+        if Measure.outcome_kind r.Measure.outcome = "ok" then
+          Alcotest.fail "exhausted must be a failure";
+        if r.Measure.attempts <> cfg.Measure.max_attempts then
+          Alcotest.fail "exhausted must use the full budget")
+    results;
+  (* At 60% fault rate across 200 digests, every class must occur. *)
+  Alcotest.(check bool) "some first-try" true
+    (count (fun r -> r.Measure.classification = Measure.First_try) > 0);
+  Alcotest.(check bool) "some flaky recoveries" true
+    (count (fun r -> r.Measure.classification = Measure.Flaky) > 0);
+  Alcotest.(check bool) "some deterministic failures" true
+    (count (fun r -> r.Measure.classification = Measure.Deterministic) > 0);
+  (* A deterministic failure that settles on attempt 2 proves fail-fast:
+     the third attempt the budget allows is never spent. *)
+  Alcotest.(check bool) "deterministic fails fast" true
+    (count
+       (fun r ->
+         r.Measure.classification = Measure.Deterministic && r.Measure.attempts = 2)
+     > 0);
+  Alcotest.(check bool) "some exhausted" true
+    (count (fun r -> r.Measure.classification = Measure.Exhausted) > 0)
+
+let test_invalid_never_retried () =
+  (* An infinite-base schedule is a property of the candidate: one
+     attempt, Deterministic, no tuning RNG consumed, chaos never
+     consulted. *)
+  let pack = Lazy.force shared_pack in
+  let y = Array.map snd (Pack.bounds_log pack) in
+  List.iter
+    (fun chaos ->
+      let cfg = { Measure.default with Measure.max_attempts = 5; chaos } in
+      let m = Measure.create ~telemetry:(quiet ()) Measure.Direct cfg in
+      let rng = Rng.create 3 in
+      let results, cost =
+        Measure.measure_batch m ~rng [| request_at pack ~digest:"invalid0" y |]
+      in
+      let r = results.(0) in
+      Alcotest.(check bool) "outcome invalid" true (r.Measure.outcome = Measure.Invalid);
+      Alcotest.(check int) "one attempt" 1 r.Measure.attempts;
+      Alcotest.(check bool) "deterministic" true
+        (r.Measure.classification = Measure.Deterministic);
+      Alcotest.(check int) "counts one measured attempt" 1
+        cost.Measure.measured_attempts;
+      Alcotest.(check bool) "no extra time" true (bits cost.Measure.extra_s = bits 0.0);
+      Alcotest.(check bool) "tuning RNG untouched" true
+        (bits (Rng.uniform rng) = bits (Rng.uniform (Rng.create 3))))
+    [ None; chaos_half ]
+
+let test_outcome_cache () =
+  let reqs = sample_requests ~n:4 31 in
+  let m = Measure.create ~telemetry:(quiet ()) Measure.Direct Measure.default in
+  let first, _ = Measure.measure_batch m ~rng:(Rng.create 1) reqs in
+  let rng = Rng.create 2 in
+  let second, cost = Measure.measure_batch m ~rng reqs in
+  Array.iteri
+    (fun i (r : Measure.result) ->
+      if not r.Measure.from_cache then Alcotest.failf "request %d not cached" i;
+      if
+        bits (Measure.latency_ms r.Measure.outcome)
+        <> bits (Measure.latency_ms first.(i).Measure.outcome)
+      then Alcotest.failf "cached latency differs at %d" i)
+    second;
+  Alcotest.(check int) "cache hits cost nothing" 0 cost.Measure.measured_attempts;
+  Alcotest.(check bool) "cache hits consume no RNG" true
+    (bits (Rng.uniform rng) = bits (Rng.uniform (Rng.create 2)));
+  (* cache_capacity:0 disables caching: re-measuring costs again. *)
+  let m0 =
+    Measure.create ~telemetry:(quiet ()) ~cache_capacity:0 Measure.Direct
+      Measure.default
+  in
+  ignore (Measure.measure_batch m0 ~rng:(Rng.create 1) reqs);
+  let again, cost0 = Measure.measure_batch m0 ~rng:(Rng.create 2) reqs in
+  Alcotest.(check bool) "no cache => fresh results" true
+    (Array.for_all (fun (r : Measure.result) -> not r.Measure.from_cache) again);
+  Alcotest.(check int) "no cache => full cost" (Array.length reqs)
+    cost0.Measure.measured_attempts
+
+(* --- config codec and validation ----------------------------------------------- *)
+
+let test_config_codec_roundtrip =
+  qtest ~count:50 "config codec round-trips bit-exactly"
+    (QCheck2.Gen.int_range 0 1_000_000)
+    (fun seed ->
+      let r = Rng.create seed in
+      let cfg =
+        { Measure.timeout_s = 0.01 +. (Rng.uniform r *. 30.0);
+          max_attempts = 1 + (seed mod 6);
+          backoff_s = Rng.uniform r;
+          chaos =
+            (if seed mod 3 = 0 then None
+             else
+               Some
+                 { Measure.chaos_seed = seed;
+                   timeout_rate = 0.2 *. Rng.uniform r;
+                   crash_rate = 0.2 *. Rng.uniform r;
+                   hang_rate = 0.2 *. Rng.uniform r;
+                   flaky_rate = 0.2 *. Rng.uniform r;
+                   flaky_magnitude = 0.9 *. Rng.uniform r }) }
+      in
+      (match Measure.validate cfg with Stdlib.Ok () -> true | Stdlib.Error _ -> false)
+      &&
+      match Measure.config_of_json (Measure.config_to_json cfg) with
+      | Stdlib.Ok c -> Measure.config_equal c cfg
+      | Stdlib.Error _ -> false)
+
+let test_validate_rejects () =
+  List.iter
+    (fun (cfg, hint) ->
+      match Measure.validate cfg with
+      | Stdlib.Error msg ->
+        Alcotest.(check bool)
+          (Printf.sprintf "error mentions %s" hint)
+          true (contains ~needle:hint msg)
+      | Stdlib.Ok () -> Alcotest.failf "expected %s to be rejected" hint)
+    [ ({ Measure.default with Measure.max_attempts = 0 }, "max_attempts");
+      ({ Measure.default with Measure.timeout_s = 0.0 }, "timeout_s");
+      ({ Measure.default with Measure.backoff_s = Float.infinity }, "backoff_s");
+      ( { Measure.default with Measure.chaos = Some (Measure.chaos_with_rate 1.5) },
+        "rate" );
+      ( { Measure.default with
+          Measure.chaos =
+            Some { (Measure.chaos_with_rate 0.2) with Measure.flaky_magnitude = 1.0 }
+        },
+        "flaky_magnitude" ) ]
+
+let test_tuner_rejects_bad_measure_config () =
+  let rc =
+    Tuning_config.(
+      builder
+      |> with_search (search 2)
+      |> with_seed 1
+      |> with_measurer { Measure.default with Measure.max_attempts = 0 })
+  in
+  match
+    Tuner.run rc Device.rtx_a5000 (Lazy.force shared_model)
+      (Workload.graph Workload.Dcgan) Tuner.Felix
+  with
+  | Error (Tuner.Invalid_config msg) ->
+    Alcotest.(check bool) "names the field" true (contains ~needle:"max_attempts" msg)
+  | Ok _ -> Alcotest.fail "expected Invalid_config"
+  | Error e -> Alcotest.failf "wrong error: %s" (Tuner.error_message e)
+
+(* --- telemetry accounting ------------------------------------------------------ *)
+
+let test_telemetry_accounting () =
+  let tel = Telemetry.create () in
+  let cfg = { Measure.default with Measure.chaos = chaos_half } in
+  let m = Measure.create ~telemetry:tel Measure.Direct cfg in
+  let reqs = sample_requests ~n:40 ~prefix:"tel" 77 in
+  let results, _ = Measure.measure_batch m ~rng:(Rng.create 8) reqs in
+  let c name = Telemetry.Counter.value (Telemetry.counter tel name) in
+  Alcotest.(check int) "requests" 40 (c "measure.requests");
+  (* Every attempt is accounted for by exactly one per-attempt outcome. *)
+  Alcotest.(check int) "attempts = ok + timeouts + crashes + invalid"
+    (c "measure.attempts")
+    (c "measure.ok" + c "measure.timeouts" + c "measure.crashes" + c "measure.invalid");
+  Alcotest.(check int) "retries = attempts - requests"
+    (c "measure.attempts" - 40)
+    (c "measure.retries");
+  let n_class cls =
+    Array.fold_left
+      (fun n (r : Measure.result) -> if r.Measure.classification = cls then n + 1 else n)
+      0 results
+  in
+  Alcotest.(check int) "recovered = flaky results" (n_class Measure.Flaky)
+    (c "measure.recovered");
+  Alcotest.(check int) "exhausted counter" (n_class Measure.Exhausted)
+    (c "measure.exhausted");
+  Alcotest.(check int) "deterministic counter" (n_class Measure.Deterministic)
+    (c "measure.deterministic");
+  let h = Telemetry.histogram tel "measure.attempts_per_request" in
+  Alcotest.(check int) "one attempts observation per request" 40
+    (Telemetry.Histogram.count h);
+  Alcotest.(check bool) "attempt histogram sums to the attempt counter" true
+    (int_of_float (Telemetry.Histogram.sum h) = c "measure.attempts");
+  Alcotest.(check bool) "some faults were injected" true
+    (c "measure.timeouts" + c "measure.crashes" > 0)
+
+(* --- service job codec passthrough --------------------------------------------- *)
+
+let chaos_cfg =
+  { Measure.default with
+    Measure.timeout_s = 2.5;
+    max_attempts = 4;
+    chaos = Some (Measure.chaos_with_rate ~seed:11 0.3) }
+
+let test_job_codec_measure_passthrough () =
+  let spec measure =
+    { Serve.Job.network = Workload.Dcgan;
+      inference_batch = 1;
+      device = Device.rtx_a5000;
+      engine = Tuner.Felix;
+      run =
+        Tuning_config.(
+          builder |> with_search (search 3) |> with_seed 5 |> with_measurer measure);
+      deadline_s = None;
+      store_dir = None }
+  in
+  (match Serve.Job.of_json (Serve.Job.to_json (spec chaos_cfg)) with
+  | Ok s ->
+    Alcotest.(check bool) "measure config survives the wire" true
+      (Measure.config_equal s.Serve.Job.run.Tuning_config.measure chaos_cfg)
+  | Error e -> Alcotest.failf "job codec: %s" e);
+  (* The default measure config is elided: pre-measurer specs and
+     run.json files stay byte-identical. *)
+  let line = Json.to_line (Serve.Job.to_json (spec Measure.default)) in
+  Alcotest.(check bool) "default config not serialised" false
+    (contains ~needle:{|"measure":|} line);
+  match Serve.Job.of_json (Serve.Job.to_json (spec Measure.default)) with
+  | Ok s ->
+    Alcotest.(check bool) "missing field decodes to default" true
+      (Measure.config_equal s.Serve.Job.run.Tuning_config.measure Measure.default)
+  | Error e -> Alcotest.failf "job codec (default): %s" e
+
+(* --- store failure records ------------------------------------------------------ *)
+
+let test_store_failure_stats () =
+  let dir = fresh_dir () in
+  let s =
+    match Store.open_dir dir with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "store: %s" (Store.error_message e)
+  in
+  let record ~key ~attempts =
+    { Store.Record.network = "net"; device = "dev"; task_key = "t0"; sketch = "sk";
+      key; y = [| 1.0 |]; latency_ms = 1.5; round = 1; attempts }
+  in
+  let failure ~key ~kind ~attempts ~deterministic =
+    { Store.Failure.network = "net"; device = "dev"; task_key = "t0"; sketch = "sk";
+      key; y = [| 1.0 |]; kind; message = "boom"; attempts; deterministic; round = 2 }
+  in
+  let id = Store.fresh_run_id s in
+  Store.begin_run s ~id;
+  Store.append s (record ~key:"k1" ~attempts:1);
+  Store.append s (record ~key:"k2" ~attempts:3);
+  Store.append_failure s (failure ~key:"k3" ~kind:"timeout" ~attempts:2 ~deterministic:true);
+  Store.append_failure s
+    (failure ~key:"k4" ~kind:"crash" ~attempts:4 ~deterministic:false);
+  Store.complete_run s ~id;
+  Store.close s;
+  (* Everything must survive reopen: failures are journal records too. *)
+  let s =
+    match Store.open_dir dir with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "reopen: %s" (Store.error_message e)
+  in
+  let st = Store.stats s in
+  Alcotest.(check int) "failure count" 2 st.Store.failures;
+  Alcotest.(check int) "retried = records + failures with attempts > 1" 3
+    st.Store.retried;
+  let fs = Store.completed_failures s ~device:"dev" ~task_key:"t0" in
+  Alcotest.(check int) "filtered failures" 2 (List.length fs);
+  Alcotest.(check bool) "kinds survive" true
+    (List.exists (fun f -> f.Store.Failure.kind = "timeout") fs
+    && List.exists (fun f -> f.Store.Failure.kind = "crash") fs);
+  Alcotest.(check int) "no failures for other tasks" 0
+    (List.length (Store.completed_failures s ~device:"dev" ~task_key:"t9"));
+  Store.close s;
+  remove_tree dir
+
+(* --- chaos through the tuner ----------------------------------------------------- *)
+
+let dcgan () = Workload.graph Workload.Dcgan
+
+let chaos_rc ~rounds ~seed =
+  Tuning_config.(
+    builder
+    |> with_search (search rounds)
+    |> with_seed seed
+    |> with_measurer chaos_cfg)
+
+let run_chaos_plain ~rounds ~seed () =
+  run_tuner (chaos_rc ~rounds ~seed) Device.rtx_a5000 (Lazy.force shared_model)
+    (dcgan ()) Tuner.Felix
+
+let run_chaos_stored ?on_event ~dir ~rounds ~seed () =
+  let s =
+    match Store.open_dir dir with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "store: %s" (Store.error_message e)
+  in
+  let rc = Tuning_config.with_store s (chaos_rc ~rounds ~seed) in
+  let rc =
+    match on_event with Some f -> Tuning_config.with_on_event f rc | None -> rc
+  in
+  let finish () = Store.close s in
+  match
+    Tuner.run rc Device.rtx_a5000 (Lazy.force shared_model) (dcgan ()) Tuner.Felix
+  with
+  | Ok r ->
+    finish ();
+    r
+  | Error e ->
+    finish ();
+    Alcotest.failf "Tuner.run: %s" (Tuner.error_message e)
+  | exception e ->
+    finish ();
+    raise e
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let test_chaos_tuner_runs_identical () =
+  (* Two same-seed chaos runs are bit-identical, down to the journal and
+     checkpoint bytes — the fault schedule is part of the search identity. *)
+  let plain = run_chaos_plain ~rounds:6 ~seed:13 () in
+  let dir1 = fresh_dir () in
+  let dir2 = fresh_dir () in
+  let r1 = run_chaos_stored ~dir:dir1 ~rounds:6 ~seed:13 () in
+  let r2 = run_chaos_stored ~dir:dir2 ~rounds:6 ~seed:13 () in
+  Test_store_lib.check_results_identical "chaos stored vs plain" plain r1;
+  Test_store_lib.check_results_identical "chaos stored twice" r1 r2;
+  List.iter
+    (fun f ->
+      let a = read_file (Filename.concat dir1 f) in
+      let b = read_file (Filename.concat dir2 f) in
+      if not (String.equal a b) then Alcotest.failf "%s differs between runs" f)
+    [ "journal.jsonl"; "checkpoint.json" ];
+  Alcotest.(check bool) "the journal records failures" true
+    (contains ~needle:{|"k":"f"|} (read_file (Filename.concat dir1 "journal.jsonl")));
+  remove_tree dir1;
+  remove_tree dir2
+
+let test_chaos_resume_bit_identical () =
+  (* Abort a chaos run mid-flight, resume, and require bit-identity with
+     the uninterrupted run: deterministic failures are replayed from the
+     journal, flaky candidates re-fault identically (digest-keyed chaos). *)
+  let reference = run_chaos_plain ~rounds:6 ~seed:31 () in
+  let dir = fresh_dir () in
+  (match
+     run_chaos_stored ~dir ~rounds:6 ~seed:31
+       ~on_event:(Test_store_lib.abort_after 3) ()
+   with
+  | _ -> Alcotest.fail "expected the interrupting callback to fire"
+  | exception Test_store_lib.Abort_for_test -> ());
+  let resumed = run_chaos_stored ~dir ~rounds:6 ~seed:31 () in
+  Test_store_lib.check_results_identical "chaos resume" reference resumed;
+  remove_tree dir
+
+let test_chaos_run_completes_and_classifies () =
+  (* At a 30% fault rate the run still completes; every failure the
+     measurer reports is classified and journalled. *)
+  let tel = Telemetry.create () in
+  let dir = fresh_dir () in
+  let s =
+    match Store.open_dir dir with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "store: %s" (Store.error_message e)
+  in
+  let rc =
+    Tuning_config.(
+      chaos_rc ~rounds:8 ~seed:13 |> with_store s |> with_telemetry tel)
+  in
+  let r =
+    match
+      Tuner.run rc Device.rtx_a5000 (Lazy.force shared_model) (dcgan ()) Tuner.Felix
+    with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "Tuner.run: %s" (Tuner.error_message e)
+  in
+  Store.close s;
+  Alcotest.(check bool) "finite final latency" true
+    (Float.is_finite r.Tuner.final_latency_ms);
+  let c name = Telemetry.Counter.value (Telemetry.counter tel name) in
+  Alcotest.(check bool) "faults were injected" true
+    (c "measure.timeouts" + c "measure.crashes" > 0);
+  Alcotest.(check int) "attempt accounting closes"
+    (c "measure.attempts")
+    (c "measure.ok" + c "measure.timeouts" + c "measure.crashes" + c "measure.invalid");
+  let s =
+    match Store.open_dir dir with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "reopen: %s" (Store.error_message e)
+  in
+  let st = Store.stats s in
+  Alcotest.(check bool) "failures journalled" true (st.Store.failures > 0);
+  Store.close s;
+  remove_tree dir
+
+let tests =
+  [ test_direct_matches_inline;
+    Alcotest.test_case "pool == direct bitwise" `Quick test_pool_matches_direct;
+    test_chaos_deterministic;
+    Alcotest.test_case "chaos is order-independent" `Quick test_chaos_order_independent;
+    Alcotest.test_case "retry classification" `Quick test_retry_classification;
+    Alcotest.test_case "invalid never retried" `Quick test_invalid_never_retried;
+    Alcotest.test_case "outcome cache" `Quick test_outcome_cache;
+    test_config_codec_roundtrip;
+    Alcotest.test_case "validate rejects bad configs" `Quick test_validate_rejects;
+    Alcotest.test_case "tuner rejects bad measure config" `Quick
+      test_tuner_rejects_bad_measure_config;
+    Alcotest.test_case "telemetry accounting" `Quick test_telemetry_accounting;
+    Alcotest.test_case "job codec measure passthrough" `Quick
+      test_job_codec_measure_passthrough;
+    Alcotest.test_case "store failure records" `Quick test_store_failure_stats;
+    Alcotest.test_case "chaos tuner runs identical" `Quick
+      test_chaos_tuner_runs_identical;
+    Alcotest.test_case "chaos resume bit-identical" `Quick
+      test_chaos_resume_bit_identical;
+    Alcotest.test_case "chaos run completes and classifies" `Quick
+      test_chaos_run_completes_and_classifies ]

@@ -38,7 +38,8 @@ let ok_store = function
 
 let record ?(network = "net") ?(device = "dev") ?(task_key = "t0") ?(sketch = "sk")
     ~key ~lat ?(y = [| 1.0; 2.5 |]) ?(round = 1) () =
-  { Store.Record.network; device; task_key; sketch; key; y; latency_ms = lat; round }
+  { Store.Record.network; device; task_key; sketch; key; y; latency_ms = lat; round;
+    attempts = 1 }
 
 (* --- bits ------------------------------------------------------------------- *)
 
